@@ -1,0 +1,173 @@
+// Experiment §2.3-[3] (DESIGN.md experiment index): exact vs approximate
+// confidence computation.
+//
+// Paper claim: "Outside a narrow range of variable-to-clause count ratios,
+// it [the exact algorithm] outperforms the approximation techniques."
+//
+// Workload: random monotone DNFs with a fixed clause count and width,
+// sweeping the number of variables so the variable-to-clause ratio r moves
+// through [0.05, 4]. At tiny r (few variables, heavily shared) variable
+// elimination hits few distinct variables; at large r (mostly disjoint
+// clauses) decomposition splits the DNF into independent pieces; the hard
+// region is in between — where the Karp-Luby/DKLR estimator wins.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/conf/exact.h"
+#include "src/conf/montecarlo.h"
+
+using namespace maybms;
+using maybms_bench::PrintHeader;
+using maybms_bench::TimeMs;
+
+namespace {
+
+struct Instance {
+  WorldTable wt;
+  Dnf dnf;
+};
+
+// Random monotone DNF: `clauses` clauses of `width` Boolean atoms drawn
+// uniformly from `vars` variables (tuple probability 0.5 biases the
+// confidence away from degenerate 0/1 values).
+Instance RandomDnf(int vars, int clauses, int width, uint64_t seed) {
+  Instance inst;
+  Rng rng(seed);
+  std::vector<VarId> ids;
+  for (int i = 0; i < vars; ++i) {
+    ids.push_back(*inst.wt.NewBooleanVariable(0.1 + 0.3 * rng.NextDouble()));
+  }
+  for (int c = 0; c < clauses; ++c) {
+    std::vector<Atom> atoms;
+    for (int a = 0; a < width; ++a) {
+      atoms.push_back({ids[rng.NextBounded(ids.size())], 1});
+    }
+    auto cond = Condition::FromAtoms(std::move(atoms));
+    if (cond) inst.dnf.AddClause(std::move(*cond));
+  }
+  return inst;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Exact (variable elimination + decomposition) vs approximate\n");
+  std::printf("(Karp-Luby + DKLR) confidence computation.\n");
+  std::printf("Paper claim: exact wins outside a narrow band of variable-to-"
+              "clause ratios.\n");
+
+  const int kClauses = 80;
+  const int kWidth = 3;
+  const double kEps = 0.1, kDelta = 0.05;
+  const uint64_t kExactStepCap = 4'000'000;  // safety net in the hard region
+
+  PrintHeader("ratio sweep (80 clauses, width 3, aconf(0.1, 0.05))");
+  std::printf("%-8s %-7s %12s %12s %10s %s\n", "vars", "ratio", "exact(ms)",
+              "aconf(ms)", "exact p", "winner");
+
+  int exact_wins_low = 0, approx_wins_mid = 0, exact_wins_high = 0;
+  for (int vars : {4, 8, 16, 24, 40, 64, 96, 160, 320, 640, 1280, 2560}) {
+    double ratio = static_cast<double>(vars) / kClauses;
+    Instance inst = RandomDnf(vars, kClauses, kWidth, 42 + vars);
+
+    double exact_p = -1;
+    bool exact_ok = true;
+    double exact_ms = TimeMs([&] {
+      ExactOptions options;
+      options.max_steps = kExactStepCap;
+      Result<double> r = ExactConfidence(inst.dnf, inst.wt, options);
+      if (r.ok()) {
+        exact_p = *r;
+      } else {
+        exact_ok = false;
+      }
+    });
+
+    double approx_p = -1;
+    double approx_ms = TimeMs([&] {
+      Rng rng(7);
+      auto r = ApproxConfidence(inst.dnf, inst.wt, kEps, kDelta, &rng);
+      if (r.ok()) approx_p = r->estimate;
+    });
+
+    const char* winner;
+    if (!exact_ok) {
+      winner = "aconf (exact capped)";
+    } else {
+      winner = exact_ms < approx_ms ? "exact" : "aconf";
+    }
+    if (exact_ok && exact_ms < approx_ms) {
+      if (ratio <= 0.3) ++exact_wins_low;
+      if (ratio >= 8.0) ++exact_wins_high;
+    } else if (ratio > 0.3 && ratio < 8.0) {
+      ++approx_wins_mid;
+    }
+    std::printf("%-8d %-7.2f %12.2f %12.2f %10.5f %s\n", vars, ratio,
+                exact_ok ? exact_ms : -1.0, approx_ms, exact_p, winner);
+  }
+
+  // Ablation: the design choices inside the exact solver — elimination
+  // heuristic, memoization (ws-tree sharing), and clause absorption.
+  PrintHeader("ablation: exact-solver design choices (40 clauses, width 3)");
+  std::printf("%-28s %12s %14s %12s\n", "configuration", "time(ms)", "steps",
+              "cache hits");
+  {
+    Instance inst = RandomDnf(28, 40, 3, 4242);
+    struct Config {
+      const char* name;
+      ExactOptions options;
+    };
+    std::vector<Config> configs;
+    ExactOptions base;
+    base.max_steps = 50'000'000;
+    configs.push_back({"max-occurrence (default)", base});
+    {
+      ExactOptions o = base;
+      o.heuristic = EliminationHeuristic::kMinCostEstimate;
+      configs.push_back({"min-cost-estimate", o});
+    }
+    {
+      ExactOptions o = base;
+      o.heuristic = EliminationHeuristic::kFirstVariable;
+      configs.push_back({"first-variable (baseline)", o});
+    }
+    {
+      ExactOptions o = base;
+      o.use_cache = false;
+      configs.push_back({"no memoization", o});
+    }
+    {
+      ExactOptions o = base;
+      o.remove_subsumed = false;
+      configs.push_back({"no clause absorption", o});
+    }
+    double reference = -1;
+    for (const Config& config : configs) {
+      ExactStats stats;
+      double p = -1;
+      double ms = TimeMs([&] {
+        Result<double> r = ExactConfidence(inst.dnf, inst.wt, config.options, &stats);
+        if (r.ok()) p = *r;
+      });
+      if (reference < 0) reference = p;
+      std::printf("%-28s %12.2f %14llu %12llu%s\n", config.name, ms,
+                  static_cast<unsigned long long>(stats.steps),
+                  static_cast<unsigned long long>(stats.cache_hits),
+                  std::abs(p - reference) < 1e-9 ? "" : "  RESULT MISMATCH");
+    }
+  }
+
+  PrintHeader("shape summary");
+  std::printf("exact wins at low ratios  (r <= 0.3): %d sweep points\n",
+              exact_wins_low);
+  std::printf("aconf wins in the middle  (0.3 < r < 8): %d sweep points\n",
+              approx_wins_mid);
+  std::printf("exact wins at high ratios (r >= 8):   %d sweep points\n",
+              exact_wins_high);
+  std::printf("\nExpected shape per the paper: exact is faster at both ends of "
+              "the ratio axis;\nthe approximation only pays off in the narrow "
+              "hard band in between.\n");
+  return 0;
+}

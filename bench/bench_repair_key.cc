@@ -1,0 +1,122 @@
+// Experiment §2.2-constructs (DESIGN.md experiment index): throughput of
+// the hypothesis-space constructs repair-key and pick-tuples, and of the
+// parsimonious operators they feed. Google Benchmark micro-suite.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/engine/database.h"
+
+namespace maybms {
+namespace {
+
+// Builds options(k, v, w) with `groups` groups of `per_group` alternatives.
+void BuildOptions(Database* db, int64_t groups, int64_t per_group) {
+  Rng rng(11);
+  Status st = db->Execute("create table options (k int, v int, w double)");
+  if (!st.ok()) std::abort();
+  TablePtr t = *db->catalog().GetTable("options");
+  for (int64_t g = 0; g < groups; ++g) {
+    for (int64_t a = 0; a < per_group; ++a) {
+      t->AppendUnchecked(Row({Value::Int(g), Value::Int(a),
+                              Value::Double(0.25 + rng.NextDouble())}));
+    }
+  }
+}
+
+void BM_RepairKey(benchmark::State& state) {
+  const int64_t groups = state.range(0);
+  const int64_t per_group = state.range(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    BuildOptions(&db, groups, per_group);
+    state.ResumeTiming();
+    auto r = db.Query("select * from (repair key k in options weight by w) r");
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * groups * per_group);
+}
+BENCHMARK(BM_RepairKey)
+    ->Args({100, 4})
+    ->Args({1000, 4})
+    ->Args({10000, 4})
+    ->Args({100, 64})
+    ->Args({1000, 64});
+
+void BM_PickTuples(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    BuildOptions(&db, rows, 1);
+    state.ResumeTiming();
+    auto r = db.Query(
+        "select * from (pick tuples from options independently "
+        "with probability w / 2) r");
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_PickTuples)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// Joining two U-relations: condition merging on the hash-join path.
+void BM_UncertainJoin(benchmark::State& state) {
+  const int64_t groups = state.range(0);
+  Database db;
+  BuildOptions(&db, groups, 4);
+  Status st = db.Execute(
+      "create table u1 as select * from (repair key k in options weight by w) r");
+  if (!st.ok()) std::abort();
+  st = db.Execute(
+      "create table u2 as select * from (repair key k in options weight by w) r");
+  if (!st.ok()) std::abort();
+  for (auto _ : state) {
+    auto r = db.Query("select a.k, a.v from u1 a, u2 b where a.k = b.k and a.v = b.v");
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * groups * 4);
+}
+BENCHMARK(BM_UncertainJoin)->Arg(100)->Arg(1000)->Arg(10000);
+
+// tconf(): per-tuple marginals are a single pass over the conditions.
+void BM_Tconf(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Database db;
+  BuildOptions(&db, rows, 1);
+  Status st = db.Execute(
+      "create table u as select * from (pick tuples from options independently "
+      "with probability w / 2) r");
+  if (!st.ok()) std::abort();
+  for (auto _ : state) {
+    auto r = db.Query("select v, tconf() from u");
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_Tconf)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// possible: duplicate elimination + zero-probability filtering.
+void BM_Possible(benchmark::State& state) {
+  const int64_t groups = state.range(0);
+  Database db;
+  BuildOptions(&db, groups, 8);
+  Status st = db.Execute(
+      "create table u as select * from (repair key k in options weight by w) r");
+  if (!st.ok()) std::abort();
+  for (auto _ : state) {
+    auto r = db.Query("select possible v from u");
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * groups * 8);
+}
+BENCHMARK(BM_Possible)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace maybms
+
+BENCHMARK_MAIN();

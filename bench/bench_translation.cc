@@ -1,0 +1,90 @@
+// Experiment §2.3-[1] (DESIGN.md experiment index): the parsimonious
+// translation of positive relational algebra over U-relations.
+//
+// Paper claim: positive RA queries on U-relations are answered "using a
+// parsimonious translation ... evaluated in standard relational way" —
+// i.e. probabilistic query processing costs only a (small) constant factor
+// over certain processing until confidence computation is requested.
+//
+// Workload: a select-project-join query run (a) over certain tables and
+// (b) over structurally identical U-relations produced by pick-tuples,
+// sweeping the row count and reporting the overhead factor.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/common/str_util.h"
+#include "src/engine/database.h"
+
+using namespace maybms;
+using maybms_bench::PrintHeader;
+using maybms_bench::TimeMs3;
+
+namespace {
+
+// Builds R(a, b) and S(b, c) with `rows` rows each, plus uncertain copies
+// UR / US (tuple-independent, probability 0.8).
+Status Build(Database* db, int rows, uint64_t seed) {
+  Rng rng(seed);
+  MAYBMS_RETURN_NOT_OK(db->Execute("create table R (a int, b int)"));
+  MAYBMS_RETURN_NOT_OK(db->Execute("create table S (b int, c int)"));
+  Catalog& catalog = db->catalog();
+  TablePtr r = *catalog.GetTable("R");
+  TablePtr s = *catalog.GetTable("S");
+  const int domain = rows / 4 + 1;
+  for (int i = 0; i < rows; ++i) {
+    r->AppendUnchecked(Row({Value::Int(static_cast<int64_t>(rng.NextBounded(domain))),
+                            Value::Int(static_cast<int64_t>(rng.NextBounded(domain)))}));
+    s->AppendUnchecked(Row({Value::Int(static_cast<int64_t>(rng.NextBounded(domain))),
+                            Value::Int(static_cast<int64_t>(rng.NextBounded(domain)))}));
+  }
+  MAYBMS_RETURN_NOT_OK(db->Execute(
+      "create table UR as select * from "
+      "(pick tuples from R independently with probability 0.8) x"));
+  MAYBMS_RETURN_NOT_OK(db->Execute(
+      "create table US as select * from "
+      "(pick tuples from S independently with probability 0.8) x"));
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Parsimonious translation: positive relational algebra over "
+              "U-relations\nvs the same query over certain relations.\n");
+  std::printf("Query: select r.a, s.c from r, s where r.b = s.b and r.a < K\n");
+
+  PrintHeader("row-count sweep (median of 3 runs)");
+  std::printf("%-10s %14s %16s %12s %12s\n", "rows", "certain(ms)",
+              "U-relation(ms)", "overhead", "out rows");
+
+  for (int rows : {1000, 5000, 20000, 50000, 100000}) {
+    Database db;
+    if (!Build(&db, rows, 99).ok()) return 1;
+    std::string filter = StringFormat("%d", rows / 8);
+
+    size_t out_rows = 0;
+    double certain_ms = TimeMs3([&] {
+      auto r = db.Query("select r.a, s.c from R r, S s where r.b = s.b and r.a < " +
+                        filter);
+      if (r.ok()) out_rows = r->NumRows();
+    });
+    size_t uout_rows = 0;
+    double uncertain_ms = TimeMs3([&] {
+      auto r = db.Query("select r.a, s.c from UR r, US s where r.b = s.b and r.a < " +
+                        filter);
+      if (r.ok()) uout_rows = r->NumRows();
+    });
+    std::printf("%-10d %14.2f %16.2f %11.2fx %12zu\n", rows, certain_ms, uncertain_ms,
+                uncertain_ms / certain_ms, uout_rows);
+    if (out_rows != uout_rows) {
+      std::printf("  WARNING: row counts differ (%zu vs %zu)\n", out_rows, uout_rows);
+    }
+  }
+
+  std::printf(
+      "\nShape check: the U-relational run returns the same tuples (plus merged\n"
+      "condition columns) at a small constant-factor overhead that stays flat\n"
+      "as data grows — query processing itself never enumerates worlds.\n");
+  return 0;
+}

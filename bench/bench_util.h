@@ -1,0 +1,31 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+namespace maybms_bench {
+
+/// Wall-clock milliseconds of one call.
+inline double TimeMs(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Median-of-3 wall-clock milliseconds.
+inline double TimeMs3(const std::function<void()>& fn) {
+  double a = TimeMs(fn), b = TimeMs(fn), c = TimeMs(fn);
+  if (a > b) std::swap(a, b);
+  if (b > c) std::swap(b, c);
+  if (a > b) std::swap(a, b);
+  return b;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace maybms_bench

@@ -1,0 +1,116 @@
+// Synthetic NBA roster generator.
+//
+// The paper's demo pulls rosters, injuries, and box scores from
+// www.nba.com; that feed is not available offline, so this generator
+// produces deterministic data of the same shape (see DESIGN.md,
+// substitution table): players with salaries and skills, per-player
+// fitness stochastic matrices over the states F / SE / SL (Figure 1), a
+// current-status table, and recent game scores. Player 0 is "Bryant" with
+// the exact Figure 1 matrix, so the paper's queries run verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/str_util.h"
+#include "src/engine/database.h"
+
+namespace maybms_examples {
+
+/// Creates and populates the demo tables in `db`:
+///   Players  (Player text, Salary double)
+///   Skills   (Player text, Skill text)
+///   FT       (Player text, Init text, Final text, P double)   -- Figure 1
+///   States   (Player text, State text)
+///   Recent   (Player text, Game int, Points int, W double)
+inline maybms::Status LoadNbaData(maybms::Database* db, int num_players,
+                                  uint64_t seed = 7) {
+  using maybms::Status;
+  using maybms::StringFormat;
+  maybms::Rng rng(seed);
+
+  MAYBMS_RETURN_NOT_OK(db->Execute("create table Players (Player text, Salary double)"));
+  MAYBMS_RETURN_NOT_OK(db->Execute("create table Skills (Player text, Skill text)"));
+  MAYBMS_RETURN_NOT_OK(db->Execute(
+      "create table FT (Player text, Init text, Final text, P double)"));
+  MAYBMS_RETURN_NOT_OK(db->Execute("create table States (Player text, State text)"));
+  MAYBMS_RETURN_NOT_OK(db->Execute(
+      "create table Recent (Player text, Game int, Points int, W double)"));
+
+  const char* kStates[3] = {"F", "SE", "SL"};
+  const char* kSkills[5] = {"shooting", "passing", "defense", "three_point",
+                            "free_throw"};
+  // The exact Figure 1 matrix (player 0, "Bryant"); zero entries are kept
+  // in FT — repair-key drops them, as in R2 of the figure.
+  const double kBryant[3][3] = {{0.8, 0.05, 0.15}, {0.1, 0.6, 0.3}, {0.8, 0.0, 0.2}};
+
+  for (int p = 0; p < num_players; ++p) {
+    std::string name = p == 0 ? "Bryant" : StringFormat("Player%03d", p);
+    double salary = 2.0 + 28.0 * rng.NextDouble();  // $2M .. $30M
+    MAYBMS_RETURN_NOT_OK(db->Execute(StringFormat(
+        "insert into Players values ('%s', %.2f)", name.c_str(), salary)));
+
+    // 1-3 skills per player.
+    int num_skills = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int s = 0; s < num_skills; ++s) {
+      MAYBMS_RETURN_NOT_OK(db->Execute(
+          StringFormat("insert into Skills values ('%s', '%s')", name.c_str(),
+                       kSkills[(p + s * 2) % 5])));
+    }
+
+    // Fitness transition matrix: Bryant gets Figure 1, others a random
+    // row-stochastic matrix biased toward staying fit.
+    double m[3][3];
+    if (p == 0) {
+      for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) m[i][j] = kBryant[i][j];
+      }
+    } else {
+      for (int i = 0; i < 3; ++i) {
+        double row[3];
+        double total = 0;
+        for (int j = 0; j < 3; ++j) {
+          row[j] = rng.NextDouble() + (i == j ? 1.0 : 0.1);
+          total += row[j];
+        }
+        double acc = 0;
+        for (int j = 0; j < 2; ++j) {
+          m[i][j] = row[j] / total;
+          acc += m[i][j];
+        }
+        m[i][2] = 1.0 - acc;
+      }
+    }
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        MAYBMS_RETURN_NOT_OK(db->Execute(StringFormat(
+            "insert into FT values ('%s', '%s', '%s', %.17g)", name.c_str(),
+            kStates[i], kStates[j], m[i][j])));
+      }
+    }
+
+    // Current status: Bryant starts fit (as in §3); others random.
+    const char* init = p == 0 ? "F" : kStates[rng.NextBounded(3)];
+    MAYBMS_RETURN_NOT_OK(db->Execute(
+        StringFormat("insert into States values ('%s', '%s')", name.c_str(), init)));
+
+    // Five recent games with recency weights 1..5.
+    for (int g = 1; g <= 5; ++g) {
+      int points = static_cast<int>(rng.NextBounded(35));
+      MAYBMS_RETURN_NOT_OK(db->Execute(
+          StringFormat("insert into Recent values ('%s', %d, %d, %d)", name.c_str(),
+                       g, points, g)));
+    }
+  }
+
+  // PlayerStatus: a two-state availability distribution per player derived
+  // from the fitness matrix (P(fit) after one step from the current state).
+  MAYBMS_RETURN_NOT_OK(db->Execute(
+      "create table PlayerStatus as "
+      "select f.Player, f.Final as Status, f.P from FT f, States s "
+      "where f.Player = s.Player and f.Init = s.State"));
+  return Status::OK();
+}
+
+}  // namespace maybms_examples

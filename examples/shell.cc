@@ -1,0 +1,156 @@
+// maybms shell: an interactive psql-style REPL over the embedded engine.
+//
+//   build/examples/shell            # interactive
+//   build/examples/shell file.sql   # run a script, then exit
+//
+// Meta-commands: \d (list tables), \d <table> (describe), \explain <query>,
+// \seed <n> (reseed aconf RNG), \save <file> / \load <file> (dump and
+// restore the whole database, conditions and world table included), \q.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/common/str_util.h"
+#include "src/engine/database.h"
+#include "src/storage/persist.h"
+
+using maybms::Database;
+using maybms::EqualsIgnoreCase;
+using maybms::Trim;
+
+namespace {
+
+void ListTables(const Database& db) {
+  std::printf("%-24s %-10s %8s\n", "table", "kind", "rows");
+  for (const std::string& name : db.catalog().TableNames()) {
+    auto table = db.catalog().GetTable(name);
+    if (!table.ok()) continue;
+    std::printf("%-24s %-10s %8zu\n", name.c_str(),
+                (*table)->uncertain() ? "uncertain" : "t-certain", (*table)->NumRows());
+  }
+}
+
+void DescribeTable(const Database& db, const std::string& name) {
+  auto table = db.catalog().GetTable(name);
+  if (!table.ok()) {
+    std::printf("%s\n", table.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s (%s, %zu rows)\n", (*table)->name().c_str(),
+              (*table)->uncertain() ? "U-relation" : "t-certain table",
+              (*table)->NumRows());
+  for (const maybms::Column& col : (*table)->schema().columns()) {
+    std::printf("  %-20s %s\n", col.name.c_str(),
+                std::string(maybms::TypeIdToString(col.type)).c_str());
+  }
+}
+
+// Executes one complete statement or meta-command; returns false on \q.
+bool Dispatch(Database* db, const std::string& line) {
+  std::string_view trimmed = Trim(line);
+  if (trimmed.empty()) return true;
+  if (trimmed[0] == '\\') {
+    std::string cmd(trimmed);
+    if (cmd == "\\q") return false;
+    if (cmd == "\\d") {
+      ListTables(*db);
+      return true;
+    }
+    if (cmd.rfind("\\d ", 0) == 0) {
+      DescribeTable(*db, std::string(Trim(cmd.substr(3))));
+      return true;
+    }
+    if (cmd.rfind("\\explain ", 0) == 0) {
+      auto plan = db->Explain(cmd.substr(9));
+      std::printf("%s", plan.ok() ? plan->c_str()
+                                  : (plan.status().ToString() + "\n").c_str());
+      return true;
+    }
+    if (cmd.rfind("\\seed ", 0) == 0) {
+      db->Reseed(std::strtoull(cmd.c_str() + 6, nullptr, 10));
+      std::printf("RNG reseeded\n");
+      return true;
+    }
+    if (cmd.rfind("\\save ", 0) == 0) {
+      auto st = maybms::SaveDatabaseToFile(db->catalog(),
+                                           std::string(Trim(cmd.substr(6))));
+      std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
+      return true;
+    }
+    if (cmd.rfind("\\load ", 0) == 0) {
+      // Restore replaces the session database (restores need a fresh one).
+      auto fresh = std::make_unique<Database>();
+      auto st = maybms::LoadDatabaseFromFile(std::string(Trim(cmd.substr(6))),
+                                             &fresh->catalog());
+      if (st.ok()) {
+        *db = std::move(*fresh);
+        std::printf("loaded\n");
+      } else {
+        std::printf("%s\n", st.ToString().c_str());
+      }
+      return true;
+    }
+    std::printf("unknown meta-command; try \\d, \\explain <q>, \\seed <n>, "
+                "\\save <f>, \\load <f>, \\q\n");
+    return true;
+  }
+  auto result = db->Query(trimmed);
+  if (!result.ok()) {
+    std::printf("%s\n", result.status().ToString().c_str());
+    return true;
+  }
+  if (result->NumColumns() > 0) {
+    std::printf("%s", result->ToString().c_str());
+  } else {
+    std::printf("%s\n", result->message().c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Database db;
+
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto result = db.ExecuteScript(buf.str());
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    if (result->NumColumns() > 0) std::printf("%s", result->ToString().c_str());
+    return 0;
+  }
+
+  std::printf("maybms shell — type SQL terminated by ';', or \\q to quit\n");
+  std::string buffer;
+  std::string line;
+  std::printf("maybms> ");
+  while (std::getline(std::cin, line)) {
+    std::string_view trimmed = Trim(line);
+    // Meta-commands act immediately; SQL accumulates until ';'.
+    if (buffer.empty() && !trimmed.empty() && trimmed[0] == '\\') {
+      if (!Dispatch(&db, line)) return 0;
+      std::printf("maybms> ");
+      continue;
+    }
+    buffer += line;
+    buffer += "\n";
+    if (trimmed.ends_with(";")) {
+      std::string stmt = buffer;
+      buffer.clear();
+      if (!Dispatch(&db, stmt)) return 0;
+    }
+    std::printf(buffer.empty() ? "maybms> " : "   ...> ");
+  }
+  return 0;
+}

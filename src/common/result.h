@@ -1,0 +1,59 @@
+// Result<T>: a value or a Status, in the style of arrow::Result.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace maybms {
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit conversion from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value; undefined if !ok().
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  /// Moves the value out, or returns `alternative` on error.
+  T ValueOr(T alternative) && {
+    return ok() ? std::move(*value_) : std::move(alternative);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define MAYBMS_CONCAT_IMPL(a, b) a##b
+#define MAYBMS_CONCAT(a, b) MAYBMS_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define MAYBMS_ASSIGN_OR_RETURN(lhs, expr)                            \
+  MAYBMS_ASSIGN_OR_RETURN_IMPL(MAYBMS_CONCAT(_res_, __LINE__), lhs, expr)
+
+#define MAYBMS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+}  // namespace maybms

@@ -1,0 +1,46 @@
+#include "src/common/rng.h"
+
+namespace maybms {
+
+Rng::Rng(uint64_t seed) {
+  state_ = 0;
+  Next();
+  state_ += (static_cast<__uint128_t>(seed) << 64) | (seed * 0x9e3779b97f4a7c15ULL);
+  Next();
+}
+
+uint64_t Rng::Next() {
+  state_ = state_ * kMultiplier + kIncrement;
+  // XSL-RR output function: xor-fold the 128-bit state, then rotate by the
+  // top 6 bits.
+  uint64_t xored = static_cast<uint64_t>(state_ >> 64) ^ static_cast<uint64_t>(state_);
+  unsigned rot = static_cast<unsigned>(state_ >> 122);
+  return (xored >> rot) | (xored << ((-rot) & 63));
+}
+
+double Rng::NextDouble() {
+  // 53 random bits scaled into [0, 1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(Next()) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+}  // namespace maybms

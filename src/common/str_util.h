@@ -1,0 +1,29 @@
+// Small string helpers shared across the engine.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maybms {
+
+/// ASCII lower-casing (SQL identifiers and keywords are case-insensitive).
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Splits on a delimiter character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins parts with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace maybms

@@ -1,0 +1,197 @@
+#include "src/conf/exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace maybms {
+
+namespace {
+
+// Canonical clause-set key for the memo table.
+struct MemoKey {
+  std::vector<Condition> clauses;  // sorted
+  size_t hash = 0;
+
+  static MemoKey Make(const Dnf& dnf) {
+    MemoKey key;
+    key.clauses = dnf.clauses();
+    std::sort(key.clauses.begin(), key.clauses.end());
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Condition& c : key.clauses) {
+      h ^= c.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    key.hash = h;
+    return key;
+  }
+
+  bool operator==(const MemoKey& other) const {
+    return hash == other.hash && clauses == other.clauses;
+  }
+};
+
+struct MemoKeyHash {
+  size_t operator()(const MemoKey& k) const { return k.hash; }
+};
+
+class ExactSolver {
+ public:
+  ExactSolver(const WorldTable& wt, const ExactOptions& options, ExactStats* stats)
+      : wt_(wt), options_(options), stats_(stats) {}
+
+  Result<double> Solve(Dnf dnf, uint64_t depth) {
+    if (stats_) {
+      ++stats_->steps;
+      stats_->max_depth = std::max(stats_->max_depth, depth);
+    }
+    ++steps_;
+    if (options_.max_steps != 0 && steps_ > options_.max_steps) {
+      return Status::OutOfRange("exact confidence computation exceeded max_steps");
+    }
+
+    if (dnf.IsEmpty()) return 0.0;
+    if (dnf.HasEmptyClause()) return 1.0;
+    if (options_.remove_subsumed) dnf.RemoveSubsumed();
+
+    // Single clause: product of independent atom probabilities.
+    if (dnf.NumClauses() == 1) {
+      return wt_.ConditionProb(dnf.clauses()[0]);
+    }
+
+    // Memoization: distinct Shannon branches often reconverge to the same
+    // residual sub-DNF (the sharing exploited by ws-trees).
+    MemoKey key;
+    if (options_.use_cache) {
+      key = MemoKey::Make(dnf);
+      auto it = memo_.find(key);
+      if (it != memo_.end()) {
+        if (stats_) ++stats_->cache_hits;
+        return it->second;
+      }
+    }
+    MAYBMS_ASSIGN_OR_RETURN(double p, SolveUncached(std::move(dnf), depth));
+    if (options_.use_cache &&
+        (options_.max_cache_entries == 0 || memo_.size() < options_.max_cache_entries)) {
+      memo_.emplace(std::move(key), p);
+      if (stats_) stats_->cache_entries = memo_.size();
+    }
+    return p;
+  }
+
+ private:
+  Result<double> SolveUncached(Dnf dnf, uint64_t depth) {
+
+    // (1) Decomposition into variable-disjoint independent components.
+    std::vector<std::vector<size_t>> components = dnf.IndependentComponents();
+    if (components.size() > 1) {
+      if (stats_) ++stats_->decompositions;
+      double none = 1.0;
+      for (const std::vector<size_t>& comp : components) {
+        Dnf sub;
+        for (size_t idx : comp) sub.AddClause(dnf.clauses()[idx]);
+        MAYBMS_ASSIGN_OR_RETURN(double p, Solve(std::move(sub), depth + 1));
+        none *= (1.0 - p);
+      }
+      return 1.0 - none;
+    }
+
+    // (2) Variable elimination: Shannon expansion over one variable.
+    VarId var = ChooseVariable(dnf);
+    if (stats_) ++stats_->shannon_expansions;
+
+    // Assignments of `var` actually mentioned by the DNF.
+    std::vector<AsgId> mentioned;
+    for (const Condition& c : dnf.clauses()) {
+      if (auto a = c.Lookup(var)) mentioned.push_back(*a);
+    }
+    std::sort(mentioned.begin(), mentioned.end());
+    mentioned.erase(std::unique(mentioned.begin(), mentioned.end()), mentioned.end());
+
+    double total = 0;
+    double mentioned_mass = 0;
+    for (AsgId a : mentioned) {
+      double pa = wt_.AtomProb(Atom{var, a});
+      mentioned_mass += pa;
+      if (pa == 0.0) continue;
+      MAYBMS_ASSIGN_OR_RETURN(double sub, Solve(dnf.Assign(var, a), depth + 1));
+      total += pa * sub;
+    }
+    // Residual branch: var takes an assignment not mentioned in the DNF;
+    // every clause mentioning var is false there.
+    double other_mass = 1.0 - mentioned_mass;
+    if (other_mass > 1e-15) {
+      MAYBMS_ASSIGN_OR_RETURN(double sub, Solve(dnf.DropVariable(var), depth + 1));
+      total += other_mass * sub;
+    }
+    return total;
+  }
+
+ private:
+  VarId ChooseVariable(const Dnf& dnf) const {
+    // Count occurrences (clauses containing each variable).
+    std::unordered_map<VarId, uint32_t> occurrences;
+    for (const Condition& c : dnf.clauses()) {
+      for (const Atom& a : c.atoms()) ++occurrences[a.var];
+    }
+    switch (options_.heuristic) {
+      case EliminationHeuristic::kFirstVariable: {
+        VarId best = occurrences.begin()->first;
+        for (const auto& [v, n] : occurrences) best = std::min(best, v);
+        return best;
+      }
+      case EliminationHeuristic::kMaxOccurrence: {
+        VarId best = occurrences.begin()->first;
+        uint32_t best_n = 0;
+        for (const auto& [v, n] : occurrences) {
+          if (n > best_n || (n == best_n && v < best)) {
+            best = v;
+            best_n = n;
+          }
+        }
+        return best;
+      }
+      case EliminationHeuristic::kMinCostEstimate: {
+        // Cost of expanding x ≈ (#branches) × (clauses that survive per
+        // branch). Approximate the survivors by (total - occurrences):
+        // clauses not mentioning x survive all branches.
+        VarId best = occurrences.begin()->first;
+        double best_cost = std::numeric_limits<double>::infinity();
+        size_t total = dnf.NumClauses();
+        for (const auto& [v, n] : occurrences) {
+          std::unordered_map<AsgId, bool> asgs;
+          for (const Condition& c : dnf.clauses()) {
+            if (auto a = c.Lookup(v)) asgs[*a] = true;
+          }
+          double branches = static_cast<double>(asgs.size()) + 1;
+          double survivors = static_cast<double>(total - n) + 1;
+          double cost = branches * survivors / (static_cast<double>(n) + 1);
+          if (cost < best_cost || (cost == best_cost && v < best)) {
+            best = v;
+            best_cost = cost;
+          }
+        }
+        return best;
+      }
+    }
+    return occurrences.begin()->first;
+  }
+
+  const WorldTable& wt_;
+  const ExactOptions& options_;
+  ExactStats* stats_;
+  uint64_t steps_ = 0;
+  std::unordered_map<MemoKey, double, MemoKeyHash> memo_;
+};
+
+}  // namespace
+
+Result<double> ExactConfidence(const Dnf& dnf, const WorldTable& wt,
+                               const ExactOptions& options, ExactStats* stats) {
+  ExactSolver solver(wt, options, stats);
+  MAYBMS_ASSIGN_OR_RETURN(double p, solver.Solve(dnf, 0));
+  // Clamp tiny floating-point drift.
+  return std::min(1.0, std::max(0.0, p));
+}
+
+}  // namespace maybms

@@ -1,0 +1,69 @@
+// Exact confidence computation (paper §2.3, citing Koch & Olteanu,
+// "Conditioning Probabilistic Databases", VLDB 2008).
+//
+// Given a DNF whose clauses are conjunctive local conditions, the algorithm
+// recursively applies
+//   (1) DECOMPOSITION of the DNF into independent subsets of clauses
+//       (subsets that do not share variables): the probabilities combine as
+//       P = 1 - Π(1 - P_i); and
+//   (2) VARIABLE ELIMINATION (Shannon expansion over the assignments of one
+//       variable): P = Σ_a P(x=a)·P(DNF | x:=a) + P(other)·P(DNF \ x),
+// with cost-estimation heuristics for choosing which variable to eliminate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/lineage/dnf.h"
+#include "src/prob/world_table.h"
+
+namespace maybms {
+
+/// Which variable the elimination step picks inside a component.
+enum class EliminationHeuristic {
+  /// Variable occurring in the most clauses — maximizes immediate
+  /// simplification and the chance of disconnecting the component (the
+  /// paper's cost-estimation-driven default behaves like this on most
+  /// inputs).
+  kMaxOccurrence,
+  /// Variable minimizing (branching factor) / (clauses touched): a direct
+  /// cost estimate of the expansion.
+  kMinCostEstimate,
+  /// First variable in id order (baseline for ablation benchmarks).
+  kFirstVariable,
+};
+
+/// Tuning knobs for the exact algorithm.
+struct ExactOptions {
+  EliminationHeuristic heuristic = EliminationHeuristic::kMaxOccurrence;
+  /// Remove subsumed clauses before recursion (absorption).
+  bool remove_subsumed = true;
+  /// Memoize sub-DNF probabilities (the ws-tree sharing of [Koch &
+  /// Olteanu '08]): Shannon branches frequently reconverge to the same
+  /// residual formula.
+  bool use_cache = true;
+  /// Cap on memo entries (0 disables the cap).
+  size_t max_cache_entries = 1u << 20;
+  /// Abort once this many recursion nodes have been expanded (0 = no
+  /// limit). Exact confidence is #P-hard; callers that prefer fallback to
+  /// approximation can bound the work.
+  uint64_t max_steps = 0;
+};
+
+/// Counters describing the shape of the decomposition tree that was built.
+struct ExactStats {
+  uint64_t steps = 0;             ///< recursion nodes expanded
+  uint64_t decompositions = 0;    ///< independent-partition applications
+  uint64_t shannon_expansions = 0;///< variable eliminations
+  uint64_t max_depth = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_entries = 0;
+};
+
+/// Computes P(dnf) exactly. Returns OutOfRange if `max_steps` is hit.
+Result<double> ExactConfidence(const Dnf& dnf, const WorldTable& wt,
+                               const ExactOptions& options = {},
+                               ExactStats* stats = nullptr);
+
+}  // namespace maybms

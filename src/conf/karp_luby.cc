@@ -1,0 +1,69 @@
+#include "src/conf/karp_luby.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace maybms {
+
+KarpLubyEstimator::KarpLubyEstimator(const Dnf& dnf, const WorldTable& wt)
+    : dnf_(dnf), wt_(wt) {
+  if (dnf.IsEmpty()) {
+    trivial_ = true;
+    trivial_probability_ = 0;
+    return;
+  }
+  if (dnf.HasEmptyClause()) {
+    trivial_ = true;
+    trivial_probability_ = 1;
+    return;
+  }
+  cumulative_.reserve(dnf.NumClauses());
+  double acc = 0;
+  for (const Condition& c : dnf.clauses()) {
+    acc += wt.ConditionProb(c);
+    cumulative_.push_back(acc);
+  }
+  total_weight_ = acc;
+  if (total_weight_ <= 0) {
+    trivial_ = true;
+    trivial_probability_ = 0;
+  }
+}
+
+bool KarpLubyEstimator::Trial(Rng* rng) const {
+  // Sample clause index i proportional to its marginal probability.
+  double u = rng->NextDouble() * total_weight_;
+  size_t i = static_cast<size_t>(
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u) -
+      cumulative_.begin());
+  if (i >= cumulative_.size()) i = cumulative_.size() - 1;
+
+  // Sample a world conditioned on clause i: its atoms are fixed; all other
+  // variables follow their prior. Variables are sampled lazily on demand.
+  std::unordered_map<VarId, AsgId> world;
+  for (const Atom& a : dnf_.clauses()[i].atoms()) world.emplace(a.var, a.asg);
+  auto assignment_of = [&](VarId var) -> AsgId {
+    auto it = world.find(var);
+    if (it != world.end()) return it->second;
+    AsgId a = wt_.SampleAssignment(var, rng);
+    world.emplace(var, a);
+    return a;
+  };
+
+  // Z = 1 iff no earlier clause is satisfied by the sampled world (clause i
+  // is satisfied by construction, so i is then the minimal satisfying
+  // index — the canonical-cover trick making trials unbiased).
+  for (size_t j = 0; j < i; ++j) {
+    bool satisfied = true;
+    for (const Atom& a : dnf_.clauses()[j].atoms()) {
+      if (assignment_of(a.var) != a.asg) {
+        satisfied = false;
+        break;
+      }
+    }
+    if (satisfied) return false;
+  }
+  return true;
+}
+
+}  // namespace maybms

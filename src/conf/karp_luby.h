@@ -1,0 +1,50 @@
+// The Karp-Luby unbiased estimator for DNF counting, "in a modified version
+// adapted to confidence computation in probabilistic databases" (paper
+// §2.3, citing [2]).
+//
+// Coverage construction: let U = Σ_i P(C_i) (clause marginals). A trial
+// samples a clause i with probability P(C_i)/U, then samples a world from
+// the distribution conditioned on C_i being true. The Bernoulli outcome
+// Z = 1 iff i is the *first* clause the world satisfies; E[Z] = P(⋃C_i)/U,
+// so U·Z̄ is an unbiased estimate of the confidence.
+#pragma once
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/lineage/dnf.h"
+#include "src/prob/world_table.h"
+
+namespace maybms {
+
+/// Reusable trial generator over a fixed DNF.
+class KarpLubyEstimator {
+ public:
+  /// Precomputes clause weights. The DNF must have consistent clauses
+  /// (guaranteed for lineage built from Conditions).
+  KarpLubyEstimator(const Dnf& dnf, const WorldTable& wt);
+
+  /// Σ_i P(C_i): the normalization constant (upper bound on the
+  /// confidence by the union bound).
+  double TotalWeight() const { return total_weight_; }
+
+  /// True if the DNF is trivially decided (no clauses / an empty clause /
+  /// all clause weights zero); Trial() must not be called then.
+  bool Trivial() const { return trivial_; }
+  /// The trivial probability when Trivial() is true.
+  double TrivialProbability() const { return trivial_probability_; }
+
+  /// One Bernoulli trial Z with E[Z] = P(dnf)/TotalWeight().
+  bool Trial(Rng* rng) const;
+
+ private:
+  const Dnf& dnf_;
+  const WorldTable& wt_;
+  std::vector<double> cumulative_;  // cumulative clause weights
+  double total_weight_ = 0;
+  bool trivial_ = false;
+  double trivial_probability_ = 0;
+};
+
+}  // namespace maybms

@@ -1,0 +1,140 @@
+#include "src/conf/montecarlo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/str_util.h"
+#include "src/conf/karp_luby.h"
+
+namespace maybms {
+
+namespace {
+
+constexpr double kEMinus2 = 0.7182818284590452;  // e − 2
+
+Status ValidateParams(double epsilon, double delta) {
+  if (!(epsilon > 0) || epsilon >= 1) {
+    return Status::InvalidArgument(
+        StringFormat("aconf epsilon must be in (0,1), got %g", epsilon));
+  }
+  if (!(delta > 0) || delta >= 1) {
+    return Status::InvalidArgument(
+        StringFormat("aconf delta must be in (0,1), got %g", delta));
+  }
+  return Status::OK();
+}
+
+// Υ = 4(e−2)·ln(2/δ)/ε² — the master sample-complexity constant of DKLR.
+double Upsilon(double epsilon, double delta) {
+  return 4 * kEMinus2 * std::log(2.0 / delta) / (epsilon * epsilon);
+}
+
+}  // namespace
+
+Result<MonteCarloResult> StoppingRuleEstimate(const TrialFn& trial, double epsilon,
+                                              double delta, Rng* rng,
+                                              const MonteCarloOptions& options) {
+  MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
+  const double upsilon1 = 1 + (1 + epsilon) * Upsilon(epsilon, delta);
+  double sum = 0;
+  uint64_t n = 0;
+  while (sum < upsilon1) {
+    if (options.max_samples != 0 && n >= options.max_samples) {
+      return Status::OutOfRange(StringFormat(
+          "stopping-rule estimation exceeded %llu samples (mean too small "
+          "for requested ε=%g, δ=%g)",
+          static_cast<unsigned long long>(options.max_samples), epsilon, delta));
+    }
+    sum += trial(rng);
+    ++n;
+  }
+  MonteCarloResult result;
+  result.estimate = upsilon1 / static_cast<double>(n);
+  result.samples = n;
+  return result;
+}
+
+Result<MonteCarloResult> OptimalEstimate(const TrialFn& trial, double epsilon,
+                                         double delta, Rng* rng,
+                                         const MonteCarloOptions& options) {
+  MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
+  const double sqrt_eps = std::sqrt(epsilon);
+  const double upsilon = Upsilon(epsilon, delta);
+  const double upsilon2 = 2 * (1 + sqrt_eps) * (1 + 2 * sqrt_eps) *
+                          (1 + std::log(1.5) / std::log(2.0 / delta)) * upsilon;
+
+  // Phase 1: rough estimate with relaxed accuracy min(1/2, √ε), δ/3.
+  const double eps1 = std::min(0.5, sqrt_eps);
+  MAYBMS_ASSIGN_OR_RETURN(
+      MonteCarloResult phase1,
+      StoppingRuleEstimate(trial, eps1, delta / 3, rng, options));
+  const double mu_hat = phase1.estimate;
+  uint64_t used = phase1.samples;
+
+  auto budget_left = [&]() -> uint64_t {
+    if (options.max_samples == 0) return UINT64_MAX;
+    return options.max_samples > used ? options.max_samples - used : 0;
+  };
+
+  // Phase 2: variance estimate from squared differences of trial pairs.
+  uint64_t n2 = static_cast<uint64_t>(std::ceil(upsilon2 * epsilon / mu_hat));
+  n2 = std::max<uint64_t>(n2, 1);
+  if (n2 > budget_left() / 2) {
+    return Status::OutOfRange("optimal estimation phase 2 exceeded sample budget");
+  }
+  double s = 0;
+  for (uint64_t i = 0; i < n2; ++i) {
+    double a = trial(rng);
+    double b = trial(rng);
+    s += (a - b) * (a - b) / 2;
+  }
+  used += 2 * n2;
+  const double rho_hat = std::max(s / static_cast<double>(n2), epsilon * mu_hat);
+
+  // Phase 3: the sequentially-determined definitive run.
+  uint64_t n3 = static_cast<uint64_t>(std::ceil(upsilon2 * rho_hat / (mu_hat * mu_hat)));
+  n3 = std::max<uint64_t>(n3, 1);
+  if (n3 > budget_left()) {
+    return Status::OutOfRange("optimal estimation phase 3 exceeded sample budget");
+  }
+  double sum = 0;
+  for (uint64_t i = 0; i < n3; ++i) sum += trial(rng);
+  used += n3;
+
+  MonteCarloResult result;
+  result.estimate = sum / static_cast<double>(n3);
+  result.samples = used;
+  return result;
+}
+
+Result<MonteCarloResult> ApproxConfidence(const Dnf& dnf, const WorldTable& wt,
+                                          double epsilon, double delta, Rng* rng,
+                                          const MonteCarloOptions& options) {
+  MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
+  KarpLubyEstimator estimator(dnf, wt);
+  if (estimator.Trivial()) {
+    MonteCarloResult result;
+    result.estimate = estimator.TrivialProbability();
+    result.samples = 0;
+    return result;
+  }
+  // Single-clause DNFs are exact products; no sampling needed.
+  if (dnf.NumClauses() == 1) {
+    MonteCarloResult result;
+    result.estimate = wt.ConditionProb(dnf.clauses()[0]);
+    result.samples = 0;
+    return result;
+  }
+  TrialFn trial = [&estimator](Rng* r) -> double {
+    return estimator.Trial(r) ? 1.0 : 0.0;
+  };
+  // Z̄ estimates p/U with relative error ε, hence U·Z̄ estimates p with
+  // relative error ε: the mean μ = p/U ≥ 1/m (m clauses) keeps the DKLR
+  // sample bound polynomial — the Karp-Luby property.
+  MAYBMS_ASSIGN_OR_RETURN(MonteCarloResult mc,
+                          OptimalEstimate(trial, epsilon, delta, rng, options));
+  mc.estimate = std::min(1.0, mc.estimate * estimator.TotalWeight());
+  return mc;
+}
+
+}  // namespace maybms

@@ -1,0 +1,61 @@
+// Optimal Monte Carlo estimation (Dagum, Karp, Luby, Ross — "An Optimal
+// Algorithm for Monte Carlo Estimation", SIAM J. Comput. 29(5), 2000).
+//
+// The paper (§2.3) combines the Karp-Luby estimator with the DKLR
+// "optimal algorithm ... based on sequential analysis [which] determines
+// the number of invocations of the Karp-Luby estimator needed to achieve
+// the required bound by running the estimator a small number of times to
+// estimate its mean and variance."
+//
+// This file implements both the Stopping Rule Algorithm (SRA) and the
+// three-phase approximation algorithm AA, plus aconf(ε,δ) on DNF lineage.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/lineage/dnf.h"
+#include "src/prob/world_table.h"
+
+namespace maybms {
+
+/// A randomized experiment producing values in [0, 1].
+using TrialFn = std::function<double(Rng*)>;
+
+/// Outcome of a sequential estimation run.
+struct MonteCarloResult {
+  double estimate = 0;
+  uint64_t samples = 0;  ///< total trials consumed (all phases)
+};
+
+/// Knobs for the DKLR algorithms.
+struct MonteCarloOptions {
+  /// Hard cap on total trials (guards #P-hard worst cases); 0 = unlimited.
+  uint64_t max_samples = 200'000'000;
+};
+
+/// DKLR Stopping Rule Algorithm: runs trials until the running sum reaches
+/// Υ₁ = 1 + (1+ε)·4(e−2)·ln(2/δ)/ε²; the output μ̂ = Υ₁/N satisfies
+/// P(|μ̂ − μ| ≤ εμ) ≥ 1 − δ for any [0,1]-valued trial with mean μ > 0.
+Result<MonteCarloResult> StoppingRuleEstimate(const TrialFn& trial, double epsilon,
+                                              double delta, Rng* rng,
+                                              const MonteCarloOptions& options = {});
+
+/// DKLR ΑΑ algorithm (optimal up to constants): phase 1 estimates μ
+/// roughly via SRA, phase 2 estimates the variance, phase 3 runs the
+/// number of trials prescribed by the sequential analysis.
+Result<MonteCarloResult> OptimalEstimate(const TrialFn& trial, double epsilon,
+                                         double delta, Rng* rng,
+                                         const MonteCarloOptions& options = {});
+
+/// aconf(ε,δ): (ε,δ)-approximation of the confidence of a DNF — the
+/// probability that the computed value deviates from the correct
+/// probability p by more than ε·p is less than δ (paper §2.2). Combines
+/// the Karp-Luby estimator with OptimalEstimate.
+Result<MonteCarloResult> ApproxConfidence(const Dnf& dnf, const WorldTable& wt,
+                                          double epsilon, double delta, Rng* rng,
+                                          const MonteCarloOptions& options = {});
+
+}  // namespace maybms

@@ -1,0 +1,24 @@
+#include "src/conf/naive.h"
+
+#include "src/prob/world_enum.h"
+
+namespace maybms {
+
+Result<double> NaiveConfidence(const Dnf& dnf, const WorldTable& wt,
+                               uint64_t max_worlds) {
+  if (dnf.IsEmpty()) return 0.0;
+  if (dnf.HasEmptyClause()) return 1.0;
+  double p = 0;
+  Status st = EnumerateWorlds(wt, dnf.Variables(), max_worlds, [&](const World& w) {
+    for (const Condition& clause : dnf.clauses()) {
+      if (w.Satisfies(clause)) {
+        p += w.probability;
+        return;
+      }
+    }
+  });
+  MAYBMS_RETURN_NOT_OK(st);
+  return p;
+}
+
+}  // namespace maybms

@@ -1,0 +1,20 @@
+// Naive confidence computation by possible-world enumeration. Exponential
+// in the number of variables; exists as the ground-truth oracle for tests
+// and as the brute-force baseline in benchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/lineage/dnf.h"
+#include "src/prob/world_table.h"
+
+namespace maybms {
+
+/// Sums the probability of every world (over the DNF's variables) that
+/// satisfies at least one clause. Errors if more than `max_worlds` worlds
+/// would be enumerated.
+Result<double> NaiveConfidence(const Dnf& dnf, const WorldTable& wt,
+                               uint64_t max_worlds = 1u << 22);
+
+}  // namespace maybms

@@ -1,0 +1,53 @@
+#include "src/engine/database.h"
+
+#include "src/plan/planner.h"
+#include "src/sql/parser.h"
+
+namespace maybms {
+
+Database::Database(DatabaseOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {}
+
+void Database::Reseed(uint64_t seed) { rng_ = Rng(seed); }
+
+Result<QueryResult> Database::RunStatement(const Statement& stmt) {
+  MAYBMS_ASSIGN_OR_RETURN(BoundStatement bound, BindStatement(catalog_, stmt));
+  ExecContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.rng = &rng_;
+  ctx.options = &options_.exec;
+  MAYBMS_ASSIGN_OR_RETURN(StatementResult result, ExecuteStatement(bound, &ctx));
+  if (result.has_data) {
+    return QueryResult(std::move(result.data), std::move(result.message));
+  }
+  return QueryResult(TableData{}, std::move(result.message));
+}
+
+Result<QueryResult> Database::Query(std::string_view sql) {
+  MAYBMS_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
+  return RunStatement(*stmt);
+}
+
+Status Database::Execute(std::string_view sql) {
+  Result<QueryResult> result = Query(sql);
+  return result.ok() ? Status::OK() : result.status();
+}
+
+Result<QueryResult> Database::ExecuteScript(std::string_view sql) {
+  MAYBMS_ASSIGN_OR_RETURN(std::vector<StatementPtr> stmts, ParseScript(sql));
+  if (stmts.empty()) return Status::InvalidArgument("empty script");
+  QueryResult last;
+  for (const StatementPtr& stmt : stmts) {
+    MAYBMS_ASSIGN_OR_RETURN(last, RunStatement(*stmt));
+  }
+  return last;
+}
+
+Result<std::string> Database::Explain(std::string_view sql) {
+  MAYBMS_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
+  MAYBMS_ASSIGN_OR_RETURN(BoundStatement bound, BindStatement(catalog_, *stmt));
+  if (!bound.plan) return std::string("(no plan: DDL/DML statement)\n");
+  return ExplainPlan(*bound.plan);
+}
+
+}  // namespace maybms

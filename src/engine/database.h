@@ -1,0 +1,68 @@
+// The MayBMS engine facade: a complete probabilistic database management
+// system (paper title) in a library. Parses the MayBMS query language,
+// binds and plans it, and executes against the in-memory catalog.
+//
+// Quickstart:
+//   maybms::Database db;
+//   db.Execute("create table coin (face text)");
+//   db.Execute("insert into coin values ('heads'), ('tails')");
+//   auto r = db.Query(
+//       "select face, conf() as p from (repair key face in coin) c group by face");
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/engine/query_result.h"
+#include "src/exec/executor.h"
+#include "src/storage/catalog.h"
+
+namespace maybms {
+
+/// Session-level settings.
+struct DatabaseOptions {
+  /// RNG seed for aconf() Monte Carlo estimation (runs are reproducible).
+  uint64_t seed = 42;
+  ExecOptions exec;
+};
+
+/// An embedded MayBMS instance: catalog + world table + query pipeline.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+
+  /// Runs a single statement and returns its result (rows for selects,
+  /// affected counts/messages for DDL and DML).
+  Result<QueryResult> Query(std::string_view sql);
+
+  /// Runs a statement for its side effects; errors if it fails.
+  Status Execute(std::string_view sql);
+
+  /// Runs a ';'-separated script, stopping at the first error. Returns
+  /// the result of the last statement.
+  Result<QueryResult> ExecuteScript(std::string_view sql);
+
+  /// EXPLAIN: the bound logical plan for a query.
+  Result<std::string> Explain(std::string_view sql);
+
+  /// Direct access for embedding: the catalog and world table.
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  WorldTable& world_table() { return catalog_.world_table(); }
+
+  DatabaseOptions& options() { return options_; }
+
+  /// Reseeds the session RNG (aconf reproducibility).
+  void Reseed(uint64_t seed);
+
+ private:
+  Result<QueryResult> RunStatement(const Statement& stmt);
+
+  DatabaseOptions options_;
+  Catalog catalog_;
+  Rng rng_;
+};
+
+}  // namespace maybms

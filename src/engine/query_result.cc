@@ -1,0 +1,65 @@
+#include "src/engine/query_result.h"
+
+#include <algorithm>
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+std::optional<Value> QueryResult::Lookup(size_t key_col, const Value& key,
+                                         size_t value_col) const {
+  for (const Row& row : data_.rows) {
+    if (row.values[key_col].Equals(key)) return row.values[value_col];
+  }
+  return std::nullopt;
+}
+
+Result<Value> QueryResult::ScalarValue() const {
+  if (NumRows() != 1 || NumColumns() != 1) {
+    return Status::InvalidArgument(StringFormat(
+        "expected a scalar result, got %zu rows x %zu columns", NumRows(),
+        NumColumns()));
+  }
+  return data_.rows[0].values[0];
+}
+
+std::string QueryResult::ToString() const {
+  std::vector<std::string> headers;
+  for (const Column& col : data_.schema.columns()) headers.push_back(col.name);
+  bool show_cond = data_.uncertain;
+  if (show_cond) headers.push_back("condition");
+
+  std::vector<std::vector<std::string>> cells;
+  for (const Row& row : data_.rows) {
+    std::vector<std::string> line;
+    for (const Value& v : row.values) line.push_back(v.ToString());
+    if (show_cond) line.push_back(row.condition.ToString());
+    cells.push_back(std::move(line));
+  }
+
+  std::vector<size_t> widths(headers.size(), 0);
+  for (size_t i = 0; i < headers.size(); ++i) widths[i] = headers[i].size();
+  for (const auto& line : cells) {
+    for (size_t i = 0; i < line.size(); ++i) widths[i] = std::max(widths[i], line[i].size());
+  }
+
+  auto render_row = [&](const std::vector<std::string>& line) {
+    std::string out = "|";
+    for (size_t i = 0; i < headers.size(); ++i) {
+      std::string cell = i < line.size() ? line[i] : "";
+      out += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+  std::string sep = "+";
+  for (size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + render_row(headers) + sep;
+  for (const auto& line : cells) out += render_row(line);
+  out += sep;
+  out += StringFormat("(%zu row%s)\n", cells.size(), cells.size() == 1 ? "" : "s");
+  return out;
+}
+
+}  // namespace maybms

@@ -1,0 +1,46 @@
+// Client-facing query results with pretty printing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/exec/exec_context.h"
+
+namespace maybms {
+
+/// The result of Database::Query: a schema, rows (with conditions when the
+/// result is an uncertain relation), and convenience accessors.
+class QueryResult {
+ public:
+  QueryResult() = default;
+  QueryResult(TableData data, std::string message)
+      : data_(std::move(data)), message_(std::move(message)) {}
+
+  const Schema& schema() const { return data_.schema; }
+  const std::vector<Row>& rows() const { return data_.rows; }
+  size_t NumRows() const { return data_.rows.size(); }
+  size_t NumColumns() const { return data_.schema.NumColumns(); }
+  bool uncertain() const { return data_.uncertain; }
+  const std::string& message() const { return message_; }
+
+  /// Cell accessor (row-major).
+  const Value& At(size_t row, size_t col) const { return data_.rows[row].values[col]; }
+
+  /// Finds the first row whose `key_col` equals `key` and returns the
+  /// value at `value_col`; nullopt when absent. Convenient in tests.
+  std::optional<Value> Lookup(size_t key_col, const Value& key, size_t value_col) const;
+
+  /// Scalar result (exactly one row / one column).
+  Result<Value> ScalarValue() const;
+
+  /// ASCII table rendering; uncertain results include a condition column.
+  std::string ToString() const;
+
+ private:
+  TableData data_;
+  std::string message_;
+};
+
+}  // namespace maybms

@@ -1,0 +1,21 @@
+// Per-group aggregate computation, including the probabilistic aggregates
+// of paper §2.2: conf (exact), aconf (Karp-Luby + DKLR), esum/ecount
+// (linearity of expectation), and argmax.
+#pragma once
+
+#include <vector>
+
+#include "src/exec/exec_context.h"
+#include "src/plan/logical_plan.h"
+
+namespace maybms {
+
+/// Computes all aggregates over one group of input rows. Returns one
+/// result row of aggregate values — or several when an argmax aggregate
+/// ties (paper §2.2 item 3: argmax outputs *all* arg values attaining the
+/// group maximum); non-argmax aggregate values are replicated across ties.
+Result<std::vector<std::vector<Value>>> ComputeGroupAggregates(
+    const std::vector<const Row*>& group_rows,
+    const std::vector<BoundAggregate>& aggs, ExecContext* ctx);
+
+}  // namespace maybms

@@ -1,0 +1,41 @@
+// Shared execution context and materialized intermediate results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/conf/exact.h"
+#include "src/conf/montecarlo.h"
+#include "src/storage/catalog.h"
+#include "src/types/row.h"
+#include "src/types/schema.h"
+
+namespace maybms {
+
+/// Engine-level execution options (confidence computation knobs).
+struct ExecOptions {
+  ExactOptions exact;            ///< conf() exact-algorithm tuning
+  MonteCarloOptions montecarlo;  ///< aconf() sample caps
+};
+
+/// Everything operators need: the catalog (DML / create-table-as), the
+/// world table (repair-key/pick-tuples create variables; confidence reads
+/// probabilities), and the session RNG (aconf).
+struct ExecContext {
+  Catalog* catalog = nullptr;
+  Rng* rng = nullptr;
+  const ExecOptions* options = nullptr;
+
+  WorldTable& worlds() { return catalog->world_table(); }
+  const WorldTable& worlds() const { return catalog->world_table(); }
+};
+
+/// A materialized operator result.
+struct TableData {
+  Schema schema;
+  std::vector<Row> rows;
+  bool uncertain = false;
+};
+
+}  // namespace maybms

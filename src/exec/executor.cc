@@ -1,0 +1,147 @@
+#include "src/exec/executor.h"
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+namespace {
+
+Result<StatementResult> ExecuteSelect(const BoundStatement& stmt, ExecContext* ctx) {
+  StatementResult result;
+  MAYBMS_ASSIGN_OR_RETURN(result.data, ExecutePlan(*stmt.plan, ctx));
+  result.has_data = true;
+  result.message = StringFormat("SELECT %zu", result.data.rows.size());
+  return result;
+}
+
+Result<StatementResult> ExecuteCreateTable(const BoundStatement& stmt,
+                                           ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(
+      TablePtr table,
+      ctx->catalog->CreateTable(stmt.table_name, stmt.create_schema,
+                                /*uncertain=*/false));
+  (void)table;
+  StatementResult result;
+  result.message = "CREATE TABLE";
+  return result;
+}
+
+Result<StatementResult> ExecuteCreateTableAs(const BoundStatement& stmt,
+                                             ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TableData data, ExecutePlan(*stmt.plan, ctx));
+  // The system catalog records whether the new table is a U-relation or a
+  // standard relation (paper §2.4).
+  MAYBMS_ASSIGN_OR_RETURN(
+      TablePtr table,
+      ctx->catalog->CreateTable(stmt.table_name, data.schema, data.uncertain));
+  table->mutable_rows() = std::move(data.rows);
+  StatementResult result;
+  result.affected_rows = table->NumRows();
+  result.message = StringFormat("SELECT %zu", table->NumRows());
+  return result;
+}
+
+Result<StatementResult> ExecuteInsert(const BoundStatement& stmt, ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TablePtr table, ctx->catalog->GetTable(stmt.table_name));
+  StatementResult result;
+  if (stmt.plan) {
+    MAYBMS_ASSIGN_OR_RETURN(TableData data, ExecutePlan(*stmt.plan, ctx));
+    if (data.uncertain && !table->uncertain()) {
+      return Status::ExecutionError(StringFormat(
+          "cannot insert uncertain rows into t-certain table '%s'",
+          stmt.table_name.c_str()));
+    }
+    for (Row& row : data.rows) {
+      MAYBMS_RETURN_NOT_OK(table->Append(std::move(row)));
+      ++result.affected_rows;
+    }
+  } else {
+    for (const std::vector<Value>& values : stmt.insert_rows) {
+      MAYBMS_RETURN_NOT_OK(table->Append(Row(values)));
+      ++result.affected_rows;
+    }
+  }
+  result.message = StringFormat("INSERT %zu", result.affected_rows);
+  return result;
+}
+
+Result<StatementResult> ExecuteUpdate(const BoundStatement& stmt, ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TablePtr table, ctx->catalog->GetTable(stmt.table_name));
+  StatementResult result;
+  // "Updates are just modifications of these tables that can be expressed
+  // using the standard SQL update operations" (paper §2.3): data columns
+  // change, conditions are untouched.
+  for (Row& row : table->mutable_rows()) {
+    if (stmt.dml_where) {
+      MAYBMS_ASSIGN_OR_RETURN(Value v, stmt.dml_where->Eval(row.values));
+      if (!IsTruthy(v)) continue;
+    }
+    // Evaluate all assignments against the pre-update row.
+    std::vector<std::pair<size_t, Value>> new_values;
+    for (const auto& [idx, expr] : stmt.update_sets) {
+      MAYBMS_ASSIGN_OR_RETURN(Value v, expr->Eval(row.values));
+      new_values.emplace_back(idx, std::move(v));
+    }
+    for (auto& [idx, v] : new_values) row.values[idx] = std::move(v);
+    ++result.affected_rows;
+  }
+  result.message = StringFormat("UPDATE %zu", result.affected_rows);
+  return result;
+}
+
+Result<StatementResult> ExecuteDelete(const BoundStatement& stmt, ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TablePtr table, ctx->catalog->GetTable(stmt.table_name));
+  StatementResult result;
+  std::vector<Row>& rows = table->mutable_rows();
+  std::vector<Row> kept;
+  kept.reserve(rows.size());
+  for (Row& row : rows) {
+    bool remove = true;
+    if (stmt.dml_where) {
+      MAYBMS_ASSIGN_OR_RETURN(Value v, stmt.dml_where->Eval(row.values));
+      remove = IsTruthy(v);
+    }
+    if (remove) {
+      ++result.affected_rows;
+    } else {
+      kept.push_back(std::move(row));
+    }
+  }
+  rows = std::move(kept);
+  result.message = StringFormat("DELETE %zu", result.affected_rows);
+  return result;
+}
+
+Result<StatementResult> ExecuteDrop(const BoundStatement& stmt, ExecContext* ctx) {
+  Status st = ctx->catalog->DropTable(stmt.table_name);
+  if (!st.ok() && !(stmt.drop_if_exists && st.code() == StatusCode::kNotFound)) {
+    return st;
+  }
+  StatementResult result;
+  result.message = "DROP TABLE";
+  return result;
+}
+
+}  // namespace
+
+Result<StatementResult> ExecuteStatement(const BoundStatement& stmt, ExecContext* ctx) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return ExecuteSelect(stmt, ctx);
+    case StatementKind::kCreateTable:
+      return ExecuteCreateTable(stmt, ctx);
+    case StatementKind::kCreateTableAs:
+      return ExecuteCreateTableAs(stmt, ctx);
+    case StatementKind::kInsert:
+      return ExecuteInsert(stmt, ctx);
+    case StatementKind::kUpdate:
+      return ExecuteUpdate(stmt, ctx);
+    case StatementKind::kDelete:
+      return ExecuteDelete(stmt, ctx);
+    case StatementKind::kDropTable:
+      return ExecuteDrop(stmt, ctx);
+  }
+  return Status::Internal("unhandled bound statement kind");
+}
+
+}  // namespace maybms

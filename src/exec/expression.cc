@@ -1,0 +1,297 @@
+#include "src/exec/expression.h"
+
+#include <cmath>
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+namespace {
+
+bool IsNumericType(TypeId t) { return t == TypeId::kInt || t == TypeId::kDouble; }
+
+}  // namespace
+
+bool IsTruthy(const Value& v) {
+  if (v.is_null()) return false;
+  switch (v.type()) {
+    case TypeId::kBool:
+      return v.AsBool();
+    case TypeId::kInt:
+      return v.AsInt() != 0;
+    case TypeId::kDouble:
+      return v.AsDouble() != 0;
+    default:
+      return false;
+  }
+}
+
+Result<Value> BoundUnary::Eval(const std::vector<Value>& row) const {
+  MAYBMS_ASSIGN_OR_RETURN(Value v, operand->Eval(row));
+  switch (op) {
+    case UnaryOp::kNot: {
+      if (v.is_null()) return Value::Null();
+      return Value::Bool(!IsTruthy(v));
+    }
+    case UnaryOp::kNegate: {
+      if (v.is_null()) return Value::Null();
+      if (v.type() == TypeId::kInt) return Value::Int(-v.AsInt());
+      MAYBMS_ASSIGN_OR_RETURN(double d, v.ToDouble());
+      return Value::Double(-d);
+    }
+  }
+  return Status::Internal("unknown unary operator");
+}
+
+std::string BoundUnary::ToString() const {
+  return (op == UnaryOp::kNot ? "not " : "-") + operand->ToString();
+}
+
+Result<Value> BoundBinary::Eval(const std::vector<Value>& row) const {
+  // Logical connectives: Kleene three-valued logic with short-circuiting.
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    MAYBMS_ASSIGN_OR_RETURN(Value l, left->Eval(row));
+    bool l_null = l.is_null();
+    bool l_true = !l_null && IsTruthy(l);
+    if (op == BinaryOp::kAnd && !l_null && !l_true) return Value::Bool(false);
+    if (op == BinaryOp::kOr && l_true) return Value::Bool(true);
+    MAYBMS_ASSIGN_OR_RETURN(Value r, right->Eval(row));
+    bool r_null = r.is_null();
+    bool r_true = !r_null && IsTruthy(r);
+    if (op == BinaryOp::kAnd) {
+      if (!r_null && !r_true) return Value::Bool(false);
+      if (l_null || r_null) return Value::Null();
+      return Value::Bool(true);
+    }
+    if (r_true) return Value::Bool(true);
+    if (l_null || r_null) return Value::Null();
+    return Value::Bool(false);
+  }
+
+  MAYBMS_ASSIGN_OR_RETURN(Value l, left->Eval(row));
+  MAYBMS_ASSIGN_OR_RETURN(Value r, right->Eval(row));
+  if (l.is_null() || r.is_null()) return Value::Null();
+
+  switch (op) {
+    case BinaryOp::kEq:
+      return Value::Bool(l.Equals(r));
+    case BinaryOp::kNe:
+      return Value::Bool(!l.Equals(r));
+    case BinaryOp::kLt:
+      return Value::Bool(l.Compare(r) < 0);
+    case BinaryOp::kLe:
+      return Value::Bool(l.Compare(r) <= 0);
+    case BinaryOp::kGt:
+      return Value::Bool(l.Compare(r) > 0);
+    case BinaryOp::kGe:
+      return Value::Bool(l.Compare(r) >= 0);
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod: {
+      if (op == BinaryOp::kAdd && l.type() == TypeId::kString &&
+          r.type() == TypeId::kString) {
+        return Value::String(l.AsString() + r.AsString());
+      }
+      if (!IsNumericType(l.type()) && l.type() != TypeId::kBool) {
+        return Status::TypeError(
+            StringFormat("arithmetic on non-numeric value '%s'", l.ToString().c_str()));
+      }
+      if (!IsNumericType(r.type()) && r.type() != TypeId::kBool) {
+        return Status::TypeError(
+            StringFormat("arithmetic on non-numeric value '%s'", r.ToString().c_str()));
+      }
+      bool both_int = l.type() == TypeId::kInt && r.type() == TypeId::kInt;
+      if (both_int && op != BinaryOp::kDiv) {
+        int64_t a = l.AsInt(), b = r.AsInt();
+        switch (op) {
+          case BinaryOp::kAdd:
+            return Value::Int(a + b);
+          case BinaryOp::kSub:
+            return Value::Int(a - b);
+          case BinaryOp::kMul:
+            return Value::Int(a * b);
+          case BinaryOp::kMod:
+            if (b == 0) return Status::ExecutionError("modulo by zero");
+            return Value::Int(a % b);
+          default:
+            break;
+        }
+      }
+      MAYBMS_ASSIGN_OR_RETURN(double a, l.ToDouble());
+      MAYBMS_ASSIGN_OR_RETURN(double b, r.ToDouble());
+      switch (op) {
+        case BinaryOp::kAdd:
+          return Value::Double(a + b);
+        case BinaryOp::kSub:
+          return Value::Double(a - b);
+        case BinaryOp::kMul:
+          return Value::Double(a * b);
+        case BinaryOp::kDiv:
+          if (b == 0) return Status::ExecutionError("division by zero");
+          return Value::Double(a / b);
+        case BinaryOp::kMod:
+          if (b == 0) return Status::ExecutionError("modulo by zero");
+          return Value::Double(std::fmod(a, b));
+        default:
+          break;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return Status::Internal("unknown binary operator");
+}
+
+std::string BoundBinary::ToString() const {
+  return "(" + left->ToString() + " " + std::string(BinaryOpToString(op)) + " " +
+         right->ToString() + ")";
+}
+
+namespace {
+
+struct ScalarFnSpec {
+  const char* name;
+  size_t min_args;
+  size_t max_args;
+  // kNull in the table means "same numeric type rules apply" (resolved in
+  // ScalarFunctionResultType).
+  TypeId result;
+};
+
+constexpr ScalarFnSpec kScalarFns[] = {
+    {"abs", 1, 1, TypeId::kNull},      {"sqrt", 1, 1, TypeId::kDouble},
+    {"exp", 1, 1, TypeId::kDouble},    {"ln", 1, 1, TypeId::kDouble},
+    {"pow", 2, 2, TypeId::kDouble},    {"round", 1, 1, TypeId::kDouble},
+    {"floor", 1, 1, TypeId::kDouble},  {"ceil", 1, 1, TypeId::kDouble},
+    {"least", 2, 16, TypeId::kNull},   {"greatest", 2, 16, TypeId::kNull},
+    {"length", 1, 1, TypeId::kInt},    {"lower", 1, 1, TypeId::kString},
+    {"upper", 1, 1, TypeId::kString},
+};
+
+const ScalarFnSpec* FindScalarFn(const std::string& name) {
+  for (const ScalarFnSpec& spec : kScalarFns) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool IsScalarFunction(const std::string& name) {
+  return FindScalarFn(name) != nullptr;
+}
+
+Result<TypeId> ScalarFunctionResultType(const std::string& name,
+                                        const std::vector<TypeId>& arg_types) {
+  const ScalarFnSpec* spec = FindScalarFn(name);
+  if (spec == nullptr) {
+    return Status::BindError(StringFormat("unknown function '%s'", name.c_str()));
+  }
+  if (arg_types.size() < spec->min_args || arg_types.size() > spec->max_args) {
+    return Status::BindError(
+        StringFormat("function '%s' called with %zu arguments", name.c_str(),
+                     arg_types.size()));
+  }
+  if (spec->result != TypeId::kNull) return spec->result;
+  // abs/least/greatest: numeric pass-through (double if any arg double).
+  TypeId out = TypeId::kInt;
+  for (TypeId t : arg_types) {
+    if (t == TypeId::kDouble || t == TypeId::kNull) out = TypeId::kDouble;
+    if (t == TypeId::kString) return TypeId::kString;  // least/greatest on text
+  }
+  return out;
+}
+
+Result<Value> BoundScalarFunction::Eval(const std::vector<Value>& row) const {
+  std::vector<Value> vals;
+  vals.reserve(args.size());
+  for (const BoundExprPtr& a : args) {
+    MAYBMS_ASSIGN_OR_RETURN(Value v, a->Eval(row));
+    if (v.is_null()) return Value::Null();
+    vals.push_back(std::move(v));
+  }
+  auto as_double = [&](size_t i) { return vals[i].ToDouble(); };
+  if (name == "abs") {
+    if (vals[0].type() == TypeId::kInt) return Value::Int(std::abs(vals[0].AsInt()));
+    MAYBMS_ASSIGN_OR_RETURN(double d, as_double(0));
+    return Value::Double(std::fabs(d));
+  }
+  if (name == "sqrt") {
+    MAYBMS_ASSIGN_OR_RETURN(double d, as_double(0));
+    if (d < 0) return Status::ExecutionError("sqrt of negative value");
+    return Value::Double(std::sqrt(d));
+  }
+  if (name == "exp") {
+    MAYBMS_ASSIGN_OR_RETURN(double d, as_double(0));
+    return Value::Double(std::exp(d));
+  }
+  if (name == "ln") {
+    MAYBMS_ASSIGN_OR_RETURN(double d, as_double(0));
+    if (d <= 0) return Status::ExecutionError("ln of non-positive value");
+    return Value::Double(std::log(d));
+  }
+  if (name == "pow") {
+    MAYBMS_ASSIGN_OR_RETURN(double a, as_double(0));
+    MAYBMS_ASSIGN_OR_RETURN(double b, as_double(1));
+    return Value::Double(std::pow(a, b));
+  }
+  if (name == "round") {
+    MAYBMS_ASSIGN_OR_RETURN(double d, as_double(0));
+    return Value::Double(std::round(d));
+  }
+  if (name == "floor") {
+    MAYBMS_ASSIGN_OR_RETURN(double d, as_double(0));
+    return Value::Double(std::floor(d));
+  }
+  if (name == "ceil") {
+    MAYBMS_ASSIGN_OR_RETURN(double d, as_double(0));
+    return Value::Double(std::ceil(d));
+  }
+  if (name == "least" || name == "greatest") {
+    Value best = vals[0];
+    for (size_t i = 1; i < vals.size(); ++i) {
+      int c = vals[i].Compare(best);
+      if ((name == "least" && c < 0) || (name == "greatest" && c > 0)) best = vals[i];
+    }
+    return best;
+  }
+  if (name == "length") {
+    if (vals[0].type() != TypeId::kString) {
+      return Status::TypeError("length() requires a string");
+    }
+    return Value::Int(static_cast<int64_t>(vals[0].AsString().size()));
+  }
+  if (name == "lower" || name == "upper") {
+    if (vals[0].type() != TypeId::kString) {
+      return Status::TypeError(name + "() requires a string");
+    }
+    std::string s = vals[0].AsString();
+    for (char& c : s) {
+      c = name == "lower" ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+                          : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    return Value::String(std::move(s));
+  }
+  return Status::Internal(StringFormat("unhandled scalar function '%s'", name.c_str()));
+}
+
+std::string BoundScalarFunction::ToString() const {
+  std::string out = name + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i]->ToString();
+  }
+  return out + ")";
+}
+
+BoundExprPtr BoundScalarFunction::Clone() const {
+  std::vector<BoundExprPtr> cloned;
+  cloned.reserve(args.size());
+  for (const BoundExprPtr& a : args) cloned.push_back(a->Clone());
+  return std::make_unique<BoundScalarFunction>(name, std::move(cloned), type);
+}
+
+}  // namespace maybms

@@ -1,0 +1,497 @@
+#include "src/exec/operators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/str_util.h"
+#include "src/exec/aggregates.h"
+
+namespace maybms {
+
+namespace {
+
+// Hash-map key over evaluated value vectors.
+struct ValueKey {
+  std::vector<Value> values;
+  size_t hash;
+
+  bool operator==(const ValueKey& other) const {
+    return hash == other.hash && ValuesEqual(values, other.values);
+  }
+};
+
+struct ValueKeyHash {
+  size_t operator()(const ValueKey& k) const { return k.hash; }
+};
+
+Result<ValueKey> EvalKey(const std::vector<BoundExprPtr>& exprs,
+                         const std::vector<Value>& row) {
+  ValueKey key;
+  key.values.reserve(exprs.size());
+  for (const BoundExprPtr& e : exprs) {
+    MAYBMS_ASSIGN_OR_RETURN(Value v, e->Eval(row));
+    key.values.push_back(std::move(v));
+  }
+  key.hash = HashValues(key.values);
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// Operator implementations
+// ---------------------------------------------------------------------------
+
+Result<TableData> ExecuteScan(const ScanNode& node) {
+  TableData out;
+  out.schema = node.table->schema();
+  out.uncertain = node.table->uncertain();
+  out.rows = node.table->rows();
+  return out;
+}
+
+Result<TableData> ExecuteFilter(const FilterNode& node, ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TableData in, ExecutePlan(*node.children[0], ctx));
+  TableData out;
+  out.schema = std::move(in.schema);
+  out.uncertain = in.uncertain;
+  for (Row& row : in.rows) {
+    MAYBMS_ASSIGN_OR_RETURN(Value v, node.predicate->Eval(row.values));
+    if (IsTruthy(v)) out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<TableData> ExecuteProject(const ProjectNode& node, ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TableData in, ExecutePlan(*node.children[0], ctx));
+  TableData out;
+  out.schema = node.output_schema;
+  out.uncertain = node.uncertain;
+  out.rows.reserve(in.rows.size());
+  const WorldTable& wt = ctx->worlds();
+  for (Row& row : in.rows) {
+    Row result;
+    result.values.reserve(node.exprs.size());
+    for (const BoundExprPtr& e : node.exprs) {
+      if (e->kind == BoundExprKind::kTconf) {
+        // tconf(): the marginal probability of this tuple in isolation —
+        // the product of its condition's atom probabilities (§2.2).
+        result.values.push_back(Value::Double(wt.ConditionProb(row.condition)));
+      } else {
+        MAYBMS_ASSIGN_OR_RETURN(Value v, e->Eval(row.values));
+        result.values.push_back(std::move(v));
+      }
+    }
+    // tconf() maps uncertain to t-certain: conditions are consumed.
+    if (!node.has_tconf) result.condition = std::move(row.condition);
+    out.rows.push_back(std::move(result));
+  }
+  return out;
+}
+
+Result<TableData> ExecuteJoin(const JoinNode& node, ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TableData left, ExecutePlan(*node.children[0], ctx));
+  MAYBMS_ASSIGN_OR_RETURN(TableData right, ExecutePlan(*node.children[1], ctx));
+  TableData out;
+  out.schema = node.output_schema;
+  out.uncertain = node.uncertain;
+
+  auto emit = [&](const Row& l, const Row& r) -> Result<bool> {
+    // Parsimonious translation of join: concatenate the data columns and
+    // merge the condition columns; pairs with inconsistent conditions
+    // (same variable, different assignment) drop out [ICDE'08].
+    std::optional<Condition> merged = Condition::Merge(l.condition, r.condition);
+    if (!merged) return false;
+    Row joined;
+    joined.values.reserve(l.values.size() + r.values.size());
+    joined.values = l.values;
+    joined.values.insert(joined.values.end(), r.values.begin(), r.values.end());
+    if (node.residual) {
+      MAYBMS_ASSIGN_OR_RETURN(Value v, node.residual->Eval(joined.values));
+      if (!IsTruthy(v)) return false;
+    }
+    joined.condition = std::move(*merged);
+    out.rows.push_back(std::move(joined));
+    return true;
+  };
+
+  if (node.left_keys.empty()) {
+    // Cross product with optional residual predicate.
+    for (const Row& l : left.rows) {
+      for (const Row& r : right.rows) {
+        MAYBMS_RETURN_NOT_OK(emit(l, r).status());
+      }
+    }
+    return out;
+  }
+
+  // Hash join: build on the right input.
+  std::unordered_map<ValueKey, std::vector<size_t>, ValueKeyHash> table;
+  table.reserve(right.rows.size());
+  for (size_t i = 0; i < right.rows.size(); ++i) {
+    MAYBMS_ASSIGN_OR_RETURN(ValueKey key, EvalKey(node.right_keys, right.rows[i].values));
+    bool has_null = false;
+    for (const Value& v : key.values) has_null |= v.is_null();
+    if (has_null) continue;  // SQL equality: null joins nothing
+    table[std::move(key)].push_back(i);
+  }
+  for (const Row& l : left.rows) {
+    MAYBMS_ASSIGN_OR_RETURN(ValueKey key, EvalKey(node.left_keys, l.values));
+    bool has_null = false;
+    for (const Value& v : key.values) has_null |= v.is_null();
+    if (has_null) continue;
+    auto it = table.find(key);
+    if (it == table.end()) continue;
+    for (size_t i : it->second) {
+      MAYBMS_RETURN_NOT_OK(emit(l, right.rows[i]).status());
+    }
+  }
+  return out;
+}
+
+Result<TableData> ExecuteAggregate(const AggregateNode& node, ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TableData in, ExecutePlan(*node.children[0], ctx));
+  TableData out;
+  out.schema = node.output_schema;
+  out.uncertain = false;
+
+  // Group rows; groups remember first-seen order for stable output.
+  std::unordered_map<ValueKey, size_t, ValueKeyHash> group_index;
+  std::vector<std::vector<const Row*>> groups;
+  std::vector<std::vector<Value>> group_values;
+  for (const Row& row : in.rows) {
+    MAYBMS_ASSIGN_OR_RETURN(ValueKey key, EvalKey(node.group_exprs, row.values));
+    auto [it, inserted] = group_index.try_emplace(key, groups.size());
+    if (inserted) {
+      groups.emplace_back();
+      group_values.push_back(key.values);
+    }
+    groups[it->second].push_back(&row);
+  }
+  // Global aggregate over an empty input still yields one (empty) group.
+  if (groups.empty() && node.group_exprs.empty()) {
+    groups.emplace_back();
+    group_values.emplace_back();
+  }
+
+  for (size_t g = 0; g < groups.size(); ++g) {
+    MAYBMS_ASSIGN_OR_RETURN(std::vector<std::vector<Value>> agg_rows,
+                            ComputeGroupAggregates(groups[g], node.aggregates, ctx));
+    for (std::vector<Value>& agg_vals : agg_rows) {
+      Row result;
+      result.values = group_values[g];
+      for (Value& v : agg_vals) result.values.push_back(std::move(v));
+      out.rows.push_back(std::move(result));
+    }
+  }
+  return out;
+}
+
+Result<TableData> ExecuteRepairKey(const RepairKeyNode& node, ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TableData in, ExecutePlan(*node.children[0], ctx));
+  TableData out;
+  out.schema = node.output_schema;
+  out.uncertain = true;
+
+  // Group rows by the key attributes.
+  std::unordered_map<ValueKey, std::vector<size_t>, ValueKeyHash> groups;
+  std::vector<ValueKey> order;  // deterministic group order
+  for (size_t i = 0; i < in.rows.size(); ++i) {
+    ValueKey key;
+    key.values.reserve(node.key_indices.size());
+    for (size_t idx : node.key_indices) key.values.push_back(in.rows[i].values[idx]);
+    key.hash = HashValues(key.values);
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) order.push_back(key);
+    it->second.push_back(i);
+  }
+
+  WorldTable& wt = ctx->worlds();
+  for (const ValueKey& key : order) {
+    const std::vector<size_t>& members = groups[key];
+    // Evaluate weights; default weight 1 (uniform repairs).
+    std::vector<double> weights;
+    std::vector<size_t> alive;
+    double total = 0;
+    for (size_t i : members) {
+      double w = 1.0;
+      if (node.weight) {
+        MAYBMS_ASSIGN_OR_RETURN(Value v, node.weight->Eval(in.rows[i].values));
+        if (v.is_null()) {
+          w = 0;  // null weight: tuple cannot be chosen
+        } else {
+          MAYBMS_ASSIGN_OR_RETURN(w, v.ToDouble());
+        }
+      }
+      if (std::isnan(w) || w < 0) {
+        return Status::ExecutionError(StringFormat(
+            "repair-key weight %g is negative or NaN (weights must be "
+            "non-negative)", w));
+      }
+      if (w == 0) continue;  // zero-weight alternatives are dropped (Fig. 1)
+      alive.push_back(i);
+      weights.push_back(w);
+      total += w;
+    }
+    if (alive.empty()) continue;  // whole group has zero weight: no repair tuple
+    if (alive.size() == 1) {
+      // A single alternative is chosen with probability 1: no variable is
+      // needed — the tuple is certain (semantically identical encoding).
+      out.rows.push_back(in.rows[alive[0]]);
+      continue;
+    }
+    std::vector<double> probs;
+    probs.reserve(weights.size());
+    for (double w : weights) probs.push_back(w / total);
+    MAYBMS_ASSIGN_OR_RETURN(VarId var, wt.NewVariable(std::move(probs), node.label));
+    for (size_t j = 0; j < alive.size(); ++j) {
+      Row row = in.rows[alive[j]];
+      row.condition = Condition();
+      row.condition.AddAtom(Atom{var, static_cast<AsgId>(j)});
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+Result<TableData> ExecutePickTuples(const PickTuplesNode& node, ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TableData in, ExecutePlan(*node.children[0], ctx));
+  TableData out;
+  out.schema = node.output_schema;
+  out.uncertain = true;
+  WorldTable& wt = ctx->worlds();
+
+  for (Row& row : in.rows) {
+    double p = 0.5;  // default: all subsets, uniformly
+    if (node.probability) {
+      MAYBMS_ASSIGN_OR_RETURN(Value v, node.probability->Eval(row.values));
+      if (v.is_null()) {
+        p = 0;
+      } else {
+        MAYBMS_ASSIGN_OR_RETURN(p, v.ToDouble());
+      }
+    }
+    if (std::isnan(p) || p < 0 || p > 1) {
+      return Status::ExecutionError(
+          StringFormat("pick-tuples probability %g outside [0,1]", p));
+    }
+    if (p == 1.0) {
+      out.rows.push_back(std::move(row));  // certain tuple, no variable
+      continue;
+    }
+    MAYBMS_ASSIGN_OR_RETURN(VarId var, wt.NewBooleanVariable(p, node.label));
+    row.condition = Condition();
+    row.condition.AddAtom(Atom{var, 1});
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<TableData> ExecutePossible(const PossibleNode& node, ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TableData in, ExecutePlan(*node.children[0], ctx));
+  TableData out;
+  out.schema = node.output_schema;
+  out.uncertain = false;
+  const WorldTable& wt = ctx->worlds();
+
+  std::unordered_map<size_t, std::vector<size_t>> buckets;  // hash -> out rows
+  for (Row& row : in.rows) {
+    // Filter tuples with probability zero, eliminate duplicates (§2.2).
+    if (wt.ConditionProb(row.condition) <= 0) continue;
+    size_t h = HashValues(row.values);
+    std::vector<size_t>& bucket = buckets[h];
+    bool duplicate = false;
+    for (size_t idx : bucket) {
+      if (ValuesEqual(out.rows[idx].values, row.values)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    bucket.push_back(out.rows.size());
+    out.rows.push_back(Row(std::move(row.values)));
+  }
+  return out;
+}
+
+Result<TableData> ExecuteSemiJoinIn(const SemiJoinInNode& node, ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TableData left, ExecutePlan(*node.children[0], ctx));
+  MAYBMS_ASSIGN_OR_RETURN(TableData right, ExecutePlan(*node.children[1], ctx));
+  TableData out;
+  out.schema = node.output_schema;
+  out.uncertain = node.uncertain;
+
+  // Key value → the conditions under which it appears on the right.
+  std::unordered_map<ValueKey, std::vector<Condition>, ValueKeyHash> matches;
+  for (Row& row : right.rows) {
+    if (row.values[0].is_null()) continue;
+    ValueKey key;
+    key.values.push_back(row.values[0]);
+    key.hash = HashValues(key.values);
+    std::vector<Condition>& conds = matches[key];
+    // Deduplicate identical conditions; a true condition subsumes all.
+    if (!conds.empty() && conds.front().IsTrue()) continue;
+    if (row.condition.IsTrue()) {
+      conds.clear();
+      conds.push_back(Condition());
+      continue;
+    }
+    if (std::find(conds.begin(), conds.end(), row.condition) == conds.end()) {
+      conds.push_back(std::move(row.condition));
+    }
+  }
+
+  for (Row& row : left.rows) {
+    MAYBMS_ASSIGN_OR_RETURN(Value key_val, node.left_key->Eval(row.values));
+    if (key_val.is_null()) continue;  // null never matches IN / NOT IN
+    ValueKey key;
+    key.values.push_back(std::move(key_val));
+    key.hash = HashValues(key.values);
+    auto it = matches.find(key);
+    if (node.anti) {
+      // NOT IN: binder guarantees the right side is t-certain.
+      if (it == matches.end()) out.rows.push_back(std::move(row));
+      continue;
+    }
+    if (it == matches.end()) continue;
+    for (const Condition& cond : it->second) {
+      std::optional<Condition> merged = Condition::Merge(row.condition, cond);
+      if (!merged) continue;
+      Row result = row;
+      result.condition = std::move(*merged);
+      out.rows.push_back(std::move(result));
+    }
+  }
+  return out;
+}
+
+Result<TableData> ExecuteUnion(const UnionNode& node, ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TableData left, ExecutePlan(*node.children[0], ctx));
+  MAYBMS_ASSIGN_OR_RETURN(TableData right, ExecutePlan(*node.children[1], ctx));
+  TableData out;
+  out.schema = node.output_schema;
+  out.uncertain = node.uncertain;
+  out.rows = std::move(left.rows);
+  for (Row& row : right.rows) out.rows.push_back(std::move(row));
+
+  if (node.deduplicate) {
+    std::unordered_set<size_t> hashes;
+    std::vector<Row> deduped;
+    for (Row& row : out.rows) {
+      size_t h = HashValues(row.values);
+      bool dup = false;
+      if (hashes.count(h)) {
+        for (const Row& prev : deduped) {
+          if (ValuesEqual(prev.values, row.values)) {
+            dup = true;
+            break;
+          }
+        }
+      }
+      if (!dup) {
+        hashes.insert(h);
+        deduped.push_back(std::move(row));
+      }
+    }
+    out.rows = std::move(deduped);
+  }
+  return out;
+}
+
+Result<TableData> ExecuteDistinct(const DistinctNode& node, ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TableData in, ExecutePlan(*node.children[0], ctx));
+  TableData out;
+  out.schema = std::move(in.schema);
+  out.uncertain = in.uncertain;
+  std::unordered_set<size_t> hashes;
+  for (Row& row : in.rows) {
+    size_t h = HashValues(row.values);
+    bool dup = false;
+    if (hashes.count(h)) {
+      for (const Row& prev : out.rows) {
+        if (ValuesEqual(prev.values, row.values)) {
+          dup = true;
+          break;
+        }
+      }
+    }
+    if (!dup) {
+      hashes.insert(h);
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+Result<TableData> ExecuteSort(const SortNode& node, ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TableData in, ExecutePlan(*node.children[0], ctx));
+  // Precompute sort keys.
+  std::vector<std::pair<std::vector<Value>, size_t>> keyed;
+  keyed.reserve(in.rows.size());
+  for (size_t i = 0; i < in.rows.size(); ++i) {
+    std::vector<Value> keys;
+    keys.reserve(node.keys.size());
+    for (const SortNode::Key& k : node.keys) {
+      MAYBMS_ASSIGN_OR_RETURN(Value v, k.expr->Eval(in.rows[i].values));
+      keys.push_back(std::move(v));
+    }
+    keyed.emplace_back(std::move(keys), i);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(), [&](const auto& a, const auto& b) {
+    for (size_t k = 0; k < node.keys.size(); ++k) {
+      int c = a.first[k].Compare(b.first[k]);
+      if (c != 0) return node.keys[k].descending ? c > 0 : c < 0;
+    }
+    return false;
+  });
+  TableData out;
+  out.schema = std::move(in.schema);
+  out.uncertain = in.uncertain;
+  out.rows.reserve(in.rows.size());
+  for (const auto& [keys, idx] : keyed) out.rows.push_back(std::move(in.rows[idx]));
+  return out;
+}
+
+Result<TableData> ExecuteLimit(const LimitNode& node, ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TableData in, ExecutePlan(*node.children[0], ctx));
+  if (node.limit >= 0 && static_cast<size_t>(node.limit) < in.rows.size()) {
+    in.rows.resize(static_cast<size_t>(node.limit));
+  }
+  return in;
+}
+
+}  // namespace
+
+Result<TableData> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
+  switch (plan.kind) {
+    case PlanKind::kScan:
+      return ExecuteScan(static_cast<const ScanNode&>(plan));
+    case PlanKind::kFilter:
+      return ExecuteFilter(static_cast<const FilterNode&>(plan), ctx);
+    case PlanKind::kProject:
+      return ExecuteProject(static_cast<const ProjectNode&>(plan), ctx);
+    case PlanKind::kJoin:
+      return ExecuteJoin(static_cast<const JoinNode&>(plan), ctx);
+    case PlanKind::kAggregate:
+      return ExecuteAggregate(static_cast<const AggregateNode&>(plan), ctx);
+    case PlanKind::kRepairKey:
+      return ExecuteRepairKey(static_cast<const RepairKeyNode&>(plan), ctx);
+    case PlanKind::kPickTuples:
+      return ExecutePickTuples(static_cast<const PickTuplesNode&>(plan), ctx);
+    case PlanKind::kPossible:
+      return ExecutePossible(static_cast<const PossibleNode&>(plan), ctx);
+    case PlanKind::kSemiJoinIn:
+      return ExecuteSemiJoinIn(static_cast<const SemiJoinInNode&>(plan), ctx);
+    case PlanKind::kUnion:
+      return ExecuteUnion(static_cast<const UnionNode&>(plan), ctx);
+    case PlanKind::kDistinct:
+      return ExecuteDistinct(static_cast<const DistinctNode&>(plan), ctx);
+    case PlanKind::kSort:
+      return ExecuteSort(static_cast<const SortNode&>(plan), ctx);
+    case PlanKind::kLimit:
+      return ExecuteLimit(static_cast<const LimitNode&>(plan), ctx);
+  }
+  return Status::Internal("unhandled plan kind");
+}
+
+}  // namespace maybms

@@ -1,0 +1,15 @@
+// Plan execution: materializing interpreter for bound logical plans,
+// implementing the parsimonious U-relational translation of positive
+// relational algebra [Antova et al., ICDE'08] and the probabilistic
+// operators of the MayBMS language.
+#pragma once
+
+#include "src/exec/exec_context.h"
+#include "src/plan/logical_plan.h"
+
+namespace maybms {
+
+/// Executes a bound plan, producing a materialized result.
+Result<TableData> ExecutePlan(const PlanNode& plan, ExecContext* ctx);
+
+}  // namespace maybms

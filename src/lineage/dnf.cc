@@ -1,0 +1,136 @@
+#include "src/lineage/dnf.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <unordered_map>
+
+namespace maybms {
+
+bool Dnf::HasEmptyClause() const {
+  for (const Condition& c : clauses_) {
+    if (c.IsTrue()) return true;
+  }
+  return false;
+}
+
+std::vector<VarId> Dnf::Variables() const {
+  std::vector<VarId> vars;
+  for (const Condition& c : clauses_) {
+    for (const Atom& a : c.atoms()) vars.push_back(a.var);
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+void Dnf::RemoveSubsumed() {
+  // Exact duplicates are dropped with a hash set (linear).
+  {
+    std::unordered_map<size_t, std::vector<size_t>> buckets;
+    std::vector<Condition> unique;
+    unique.reserve(clauses_.size());
+    for (Condition& c : clauses_) {
+      std::vector<size_t>& bucket = buckets[c.Hash()];
+      bool dup = false;
+      for (size_t idx : bucket) {
+        if (unique[idx] == c) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) {
+        bucket.push_back(unique.size());
+        unique.push_back(std::move(c));
+      }
+    }
+    clauses_ = std::move(unique);
+  }
+
+  // Pairwise absorption (a clause is redundant if a more general clause's
+  // atoms are a subset of its atoms) is quadratic; it only pays off on the
+  // small DNFs the exact solver recurses into, so cap it.
+  constexpr size_t kSubsumptionLimit = 512;
+  if (clauses_.size() > kSubsumptionLimit) return;
+
+  std::vector<size_t> order(clauses_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return clauses_[a].NumAtoms() < clauses_[b].NumAtoms();
+  });
+  std::vector<Condition> kept;
+  kept.reserve(clauses_.size());
+  for (size_t idx : order) {
+    const Condition& cand = clauses_[idx];
+    bool subsumed = false;
+    for (const Condition& k : kept) {
+      if (k.SubsetOf(cand)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) kept.push_back(cand);
+  }
+  clauses_ = std::move(kept);
+}
+
+std::vector<std::vector<size_t>> Dnf::IndependentComponents() const {
+  // Union-find over clause indices, joined through shared variables.
+  std::vector<size_t> parent(clauses_.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](size_t a, size_t b) { parent[find(a)] = find(b); };
+
+  std::unordered_map<VarId, size_t> first_clause_with_var;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    for (const Atom& a : clauses_[i].atoms()) {
+      auto [it, inserted] = first_clause_with_var.try_emplace(a.var, i);
+      if (!inserted) unite(i, it->second);
+    }
+  }
+
+  std::unordered_map<size_t, size_t> root_to_component;
+  std::vector<std::vector<size_t>> components;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    size_t root = find(i);
+    auto [it, inserted] = root_to_component.try_emplace(root, components.size());
+    if (inserted) components.emplace_back();
+    components[it->second].push_back(i);
+  }
+  return components;
+}
+
+Dnf Dnf::Assign(VarId var, AsgId asg) const {
+  Dnf out;
+  for (const Condition& c : clauses_) {
+    std::optional<Condition> reduced = c.Assign(var, asg);
+    if (reduced) out.AddClause(std::move(*reduced));
+  }
+  return out;
+}
+
+Dnf Dnf::DropVariable(VarId var) const {
+  Dnf out;
+  for (const Condition& c : clauses_) {
+    if (!c.Lookup(var)) out.AddClause(c);
+  }
+  return out;
+}
+
+std::string Dnf::ToString() const {
+  if (clauses_.empty()) return "false";
+  std::string out;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (i > 0) out += " ∨ ";
+    out += clauses_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace maybms

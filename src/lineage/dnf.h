@@ -1,0 +1,60 @@
+// DNF lineage. The confidence of a (group of duplicate) result tuple(s) is
+// the probability of the disjunction of the tuples' conjunctive conditions
+// (paper §2.3: "Given a DNF (of which each clause is a conjunctive local
+// condition) ...").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/prob/condition.h"
+
+namespace maybms {
+
+/// A disjunction of conjunctive clauses over independent random variables.
+/// Clauses are Conditions (consistent conjunctions).
+class Dnf {
+ public:
+  Dnf() = default;
+  explicit Dnf(std::vector<Condition> clauses) : clauses_(std::move(clauses)) {}
+
+  void AddClause(Condition clause) { clauses_.push_back(std::move(clause)); }
+
+  size_t NumClauses() const { return clauses_.size(); }
+  const std::vector<Condition>& clauses() const { return clauses_; }
+
+  /// True iff some clause is the empty conjunction (formula is valid).
+  bool HasEmptyClause() const;
+  /// True iff there are no clauses (formula is unsatisfiable).
+  bool IsEmpty() const { return clauses_.empty(); }
+
+  /// All distinct variables mentioned, sorted.
+  std::vector<VarId> Variables() const;
+
+  /// Removes duplicate clauses and clauses subsumed by a more general one
+  /// (clause B is redundant if some clause A's atoms are a subset of B's).
+  void RemoveSubsumed();
+
+  /// Partition of clause indices into connected components under the
+  /// "shares a variable" relation. Two components are probabilistically
+  /// independent — the basis of the decomposition step of the exact
+  /// algorithm (paper §2.3).
+  std::vector<std::vector<size_t>> IndependentComponents() const;
+
+  /// The DNF conditioned on var := asg. Clauses with a conflicting atom
+  /// drop out; matching atoms are erased (a clause shrinking to empty makes
+  /// the result valid).
+  Dnf Assign(VarId var, AsgId asg) const;
+
+  /// Clauses that do not mention `var` (the residual branch of Shannon
+  /// expansion over assignments absent from the DNF).
+  Dnf DropVariable(VarId var) const;
+
+  /// "(x1->0 ∧ x2->1) ∨ (x3->2)"
+  std::string ToString() const;
+
+ private:
+  std::vector<Condition> clauses_;
+};
+
+}  // namespace maybms

@@ -1,0 +1,1016 @@
+#include "src/plan/binder.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Aggregate-function tables
+// ---------------------------------------------------------------------------
+
+bool IsAggregateName(const std::string& lower_name) {
+  static const std::unordered_set<std::string> kAggs = {
+      "sum", "count", "avg", "min", "max", "conf", "aconf",
+      "esum", "ecount", "argmax"};
+  return kAggs.count(lower_name) > 0;
+}
+
+// Recursively checks whether an AST expression contains an aggregate (or
+// tconf) call.
+void ScanForCalls(const Expr& expr, bool* has_agg, bool* has_tconf) {
+  switch (expr.kind) {
+    case ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const FunctionCallExpr&>(expr);
+      if (call.name == "tconf") *has_tconf = true;
+      if (IsAggregateName(call.name)) *has_agg = true;
+      for (const ExprPtr& a : call.args) {
+        if (a) ScanForCalls(*a, has_agg, has_tconf);
+      }
+      return;
+    }
+    case ExprKind::kUnary:
+      ScanForCalls(*static_cast<const UnaryExpr&>(expr).operand, has_agg, has_tconf);
+      return;
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      ScanForCalls(*bin.left, has_agg, has_tconf);
+      ScanForCalls(*bin.right, has_agg, has_tconf);
+      return;
+    }
+    case ExprKind::kIsNull:
+      ScanForCalls(*static_cast<const IsNullExpr&>(expr).operand, has_agg, has_tconf);
+      return;
+    default:
+      return;
+  }
+}
+
+// Splits a WHERE tree into AND-conjuncts.
+void FlattenConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBinary) {
+    const auto* bin = static_cast<const BinaryExpr*>(e);
+    if (bin->op == BinaryOp::kAnd) {
+      FlattenConjuncts(bin->left.get(), out);
+      FlattenConjuncts(bin->right.get(), out);
+      return;
+    }
+  }
+  out->push_back(e);
+}
+
+std::string NormalizeExprKey(const Expr& e) { return ToLower(e.ToString()); }
+
+// Default output-column name for a select item.
+std::string DeriveItemName(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+      return static_cast<const ColumnRefExpr&>(e).column;
+    case ExprKind::kFunctionCall:
+      return static_cast<const FunctionCallExpr&>(e).name;
+    default:
+      return e.ToString();
+  }
+}
+
+TypeId NumericResultType(TypeId a, TypeId b) {
+  if (a == TypeId::kInt && b == TypeId::kInt) return TypeId::kInt;
+  return TypeId::kDouble;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Expression binding
+// ---------------------------------------------------------------------------
+
+Result<BoundExprPtr> Binder::BindColumnRef(const ColumnRefExpr& col,
+                                           const BindContext& ctx) {
+  if (!col.table.empty()) {
+    std::string want = ToLower(col.table);
+    for (const Scope& scope : ctx.scopes) {
+      if (scope.name == want) {
+        auto idx = scope.schema->FindColumn(col.column);
+        if (!idx) {
+          return Status::BindError(StringFormat("column '%s' does not exist in '%s'",
+                                                col.column.c_str(), col.table.c_str()));
+        }
+        size_t abs = scope.offset + *idx;
+        return BoundExprPtr(std::make_unique<BoundColumnRef>(
+            abs, scope.schema->column(*idx).type, col.ToString()));
+      }
+    }
+    return Status::BindError(
+        StringFormat("unknown table or alias '%s'", col.table.c_str()));
+  }
+  // Unqualified: search all scopes; ambiguity is an error.
+  std::optional<size_t> found;
+  TypeId found_type = TypeId::kNull;
+  for (const Scope& scope : ctx.scopes) {
+    auto idx = scope.schema->FindColumn(col.column);
+    if (idx) {
+      if (found) {
+        return Status::BindError(
+            StringFormat("column reference '%s' is ambiguous", col.column.c_str()));
+      }
+      found = scope.offset + *idx;
+      found_type = scope.schema->column(*idx).type;
+    }
+  }
+  if (!found) {
+    return Status::BindError(
+        StringFormat("column '%s' does not exist", col.column.c_str()));
+  }
+  return BoundExprPtr(std::make_unique<BoundColumnRef>(*found, found_type, col.column));
+}
+
+Result<BoundExprPtr> Binder::BindExpr(const Expr& expr, const BindContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return BoundExprPtr(std::make_unique<BoundLiteral>(
+          static_cast<const LiteralExpr&>(expr).value));
+    case ExprKind::kColumnRef:
+      return BindColumnRef(static_cast<const ColumnRefExpr&>(expr), ctx);
+    case ExprKind::kStar:
+      return Status::BindError("'*' is not allowed in this context");
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(expr);
+      MAYBMS_ASSIGN_OR_RETURN(BoundExprPtr operand, BindExpr(*un.operand, ctx));
+      TypeId t = un.op == UnaryOp::kNot ? TypeId::kBool : operand->type;
+      return BoundExprPtr(std::make_unique<BoundUnary>(un.op, std::move(operand), t));
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      MAYBMS_ASSIGN_OR_RETURN(BoundExprPtr left, BindExpr(*bin.left, ctx));
+      MAYBMS_ASSIGN_OR_RETURN(BoundExprPtr right, BindExpr(*bin.right, ctx));
+      TypeId t;
+      switch (bin.op) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          t = TypeId::kBool;
+          break;
+        case BinaryOp::kDiv:
+          t = TypeId::kDouble;
+          break;
+        case BinaryOp::kAdd:
+          if (left->type == TypeId::kString && right->type == TypeId::kString) {
+            t = TypeId::kString;
+            break;
+          }
+          [[fallthrough]];
+        default:
+          t = NumericResultType(left->type, right->type);
+          break;
+      }
+      return BoundExprPtr(
+          std::make_unique<BoundBinary>(bin.op, std::move(left), std::move(right), t));
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const FunctionCallExpr&>(expr);
+      if (call.name == "tconf") {
+        return Status::BindError(
+            "tconf() may only appear in the select list of a query over an "
+            "uncertain relation");
+      }
+      if (IsAggregateName(call.name)) {
+        return Status::BindError(StringFormat(
+            "aggregate '%s' is not allowed in this context", call.name.c_str()));
+      }
+      if (!IsScalarFunction(call.name)) {
+        return Status::BindError(
+            StringFormat("unknown function '%s'", call.name.c_str()));
+      }
+      std::vector<BoundExprPtr> args;
+      std::vector<TypeId> arg_types;
+      for (const ExprPtr& a : call.args) {
+        MAYBMS_ASSIGN_OR_RETURN(BoundExprPtr bound, BindExpr(*a, ctx));
+        arg_types.push_back(bound->type);
+        args.push_back(std::move(bound));
+      }
+      MAYBMS_ASSIGN_OR_RETURN(TypeId t, ScalarFunctionResultType(call.name, arg_types));
+      return BoundExprPtr(
+          std::make_unique<BoundScalarFunction>(call.name, std::move(args), t));
+    }
+    case ExprKind::kInSubquery:
+      return Status::BindError(
+          "IN (subquery) is only supported as a top-level WHERE conjunct");
+    case ExprKind::kIsNull: {
+      const auto& isn = static_cast<const IsNullExpr&>(expr);
+      MAYBMS_ASSIGN_OR_RETURN(BoundExprPtr operand, BindExpr(*isn.operand, ctx));
+      return BoundExprPtr(std::make_unique<BoundIsNull>(std::move(operand), isn.negated));
+    }
+  }
+  return Status::Internal("unhandled expression kind in binder");
+}
+
+Result<Value> Binder::EvalConstExpr(const Expr& expr) {
+  Binder dummy(nullptr);
+  BindContext empty_ctx;
+  MAYBMS_ASSIGN_OR_RETURN(BoundExprPtr bound, dummy.BindExpr(expr, empty_ctx));
+  std::vector<Value> no_row;
+  return bound->Eval(no_row);
+}
+
+Result<BoundExprPtr> Binder::BindTableExpr(const Expr& expr, const Schema& schema,
+                                           const std::string& table_name) {
+  BindContext ctx;
+  Scope scope;
+  scope.name = ToLower(table_name);
+  scope.offset = 0;
+  scope.schema = &schema;
+  ctx.scopes.push_back(scope);
+  ctx.combined = schema;
+  return BindExpr(expr, ctx);
+}
+
+// ---------------------------------------------------------------------------
+// FROM-item binding
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Shared one-row zero-column input for FROM-less selects.
+TablePtr DualTable() {
+  static TablePtr dual = [] {
+    auto t = std::make_shared<Table>("dual", Schema{}, false);
+    t->AppendUnchecked(Row{});
+    return t;
+  }();
+  return dual;
+}
+
+}  // namespace
+
+Result<Binder::FromItem> Binder::BindTableRef(const TableRef& ref) {
+  FromItem item;
+  switch (ref.kind) {
+    case TableRefKind::kBaseTable: {
+      const auto& base = static_cast<const BaseTableRef&>(ref);
+      if (catalog_ == nullptr) {
+        return Status::BindError("no catalog available for table lookup");
+      }
+      MAYBMS_ASSIGN_OR_RETURN(TablePtr table, catalog_->GetTable(base.name));
+      item.plan = std::make_unique<ScanNode>(std::move(table));
+      item.name = ToLower(ref.alias.empty() ? base.name : ref.alias);
+      return item;
+    }
+    case TableRefKind::kSubquery: {
+      const auto& sub = static_cast<const SubqueryRef&>(ref);
+      MAYBMS_ASSIGN_OR_RETURN(item.plan, BindSelect(*sub.select));
+      item.name = ToLower(ref.alias);
+      return item;
+    }
+    case TableRefKind::kRepairKey: {
+      MAYBMS_ASSIGN_OR_RETURN(item.plan,
+                              BindRepairKey(static_cast<const RepairKeyRef&>(ref)));
+      item.name = ToLower(ref.alias);
+      return item;
+    }
+    case TableRefKind::kPickTuples: {
+      MAYBMS_ASSIGN_OR_RETURN(item.plan,
+                              BindPickTuples(static_cast<const PickTuplesRef&>(ref)));
+      item.name = ToLower(ref.alias);
+      return item;
+    }
+  }
+  return Status::Internal("unhandled table-ref kind");
+}
+
+Result<PlanNodePtr> Binder::BindRepairKey(const RepairKeyRef& ref) {
+  MAYBMS_ASSIGN_OR_RETURN(FromItem input, BindTableRef(*ref.input));
+  if (input.plan->uncertain) {
+    return Status::BindError(
+        "repair key requires a t-certain input (paper §2.2: repair-key maps "
+        "t-certain tables to uncertain tables)");
+  }
+  const Schema& schema = input.plan->output_schema;
+  BindContext ctx;
+  Scope scope{input.name, 0, &schema};
+  ctx.scopes.push_back(scope);
+  ctx.combined = schema;
+
+  auto node = std::make_unique<RepairKeyNode>(std::move(input.plan), schema);
+  for (const ColumnRefExpr& col : ref.key_columns) {
+    MAYBMS_ASSIGN_OR_RETURN(BoundExprPtr bound, BindColumnRef(col, ctx));
+    node->key_indices.push_back(static_cast<BoundColumnRef*>(bound.get())->index);
+  }
+  if (ref.weight) {
+    MAYBMS_ASSIGN_OR_RETURN(node->weight, BindExpr(*ref.weight, ctx));
+    if (node->weight->type == TypeId::kString || node->weight->type == TypeId::kBool) {
+      return Status::BindError("repair-key weight expression must be numeric");
+    }
+  }
+  node->label = StringFormat("rk%d", anon_counter_++);
+  return PlanNodePtr(std::move(node));
+}
+
+Result<PlanNodePtr> Binder::BindPickTuples(const PickTuplesRef& ref) {
+  MAYBMS_ASSIGN_OR_RETURN(FromItem input, BindTableRef(*ref.input));
+  if (input.plan->uncertain) {
+    return Status::BindError("pick tuples requires a t-certain input");
+  }
+  const Schema& schema = input.plan->output_schema;
+  BindContext ctx;
+  Scope scope{input.name, 0, &schema};
+  ctx.scopes.push_back(scope);
+  ctx.combined = schema;
+
+  auto node = std::make_unique<PickTuplesNode>(std::move(input.plan), schema);
+  node->independently = ref.independently;
+  if (ref.probability) {
+    MAYBMS_ASSIGN_OR_RETURN(node->probability, BindExpr(*ref.probability, ctx));
+    if (node->probability->type == TypeId::kString ||
+        node->probability->type == TypeId::kBool) {
+      return Status::BindError("pick-tuples probability expression must be numeric");
+    }
+  }
+  node->label = StringFormat("pt%d", anon_counter_++);
+  return PlanNodePtr(std::move(node));
+}
+
+// ---------------------------------------------------------------------------
+// Select binding
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Aggregate binding
+// ---------------------------------------------------------------------------
+
+namespace {
+
+TypeId AggregateResultType(AggKind kind, const BoundExpr* arg) {
+  switch (kind) {
+    case AggKind::kSum:
+      return (arg != nullptr && arg->type == TypeId::kInt) ? TypeId::kInt
+                                                           : TypeId::kDouble;
+    case AggKind::kCount:
+    case AggKind::kCountStar:
+      return TypeId::kInt;
+    case AggKind::kAvg:
+    case AggKind::kConf:
+    case AggKind::kAconf:
+    case AggKind::kEsum:
+    case AggKind::kEcount:
+      return TypeId::kDouble;
+    case AggKind::kMin:
+    case AggKind::kMax:
+    case AggKind::kArgmax:
+      return arg != nullptr ? arg->type : TypeId::kNull;
+  }
+  return TypeId::kNull;
+}
+
+}  // namespace
+
+Result<BoundAggregate> Binder::MakeAggregate(const FunctionCallExpr& call,
+                                             const BindContext& input_ctx,
+                                             bool input_uncertain) {
+  BoundAggregate agg;
+  agg.output_name = call.name;
+  const std::string& name = call.name;
+  auto require_args = [&](size_t n) -> Status {
+    if (call.args.size() != n) {
+      return Status::BindError(StringFormat("%s() expects %zu argument(s), got %zu",
+                                            name.c_str(), n, call.args.size()));
+    }
+    return Status::OK();
+  };
+  auto forbid_on_uncertain = [&]() -> Status {
+    if (input_uncertain) {
+      return Status::BindError(StringFormat(
+          "aggregate '%s' is not supported on uncertain relations (paper "
+          "§2.2): it would produce exponentially many results across the "
+          "possible worlds; use esum/ecount or conf instead",
+          name.c_str()));
+    }
+    return Status::OK();
+  };
+
+  if (name == "count") {
+    if (call.args.size() == 1 && call.args[0]->kind == ExprKind::kStar) {
+      MAYBMS_RETURN_NOT_OK(forbid_on_uncertain());
+      agg.kind = AggKind::kCountStar;
+      return agg;
+    }
+    MAYBMS_RETURN_NOT_OK(require_args(1));
+    MAYBMS_RETURN_NOT_OK(forbid_on_uncertain());
+    agg.kind = AggKind::kCount;
+    MAYBMS_ASSIGN_OR_RETURN(agg.arg, BindExpr(*call.args[0], input_ctx));
+    return agg;
+  }
+  if (name == "sum" || name == "avg" || name == "min" || name == "max") {
+    MAYBMS_RETURN_NOT_OK(require_args(1));
+    MAYBMS_RETURN_NOT_OK(forbid_on_uncertain());
+    agg.kind = name == "sum"   ? AggKind::kSum
+               : name == "avg" ? AggKind::kAvg
+               : name == "min" ? AggKind::kMin
+                               : AggKind::kMax;
+    MAYBMS_ASSIGN_OR_RETURN(agg.arg, BindExpr(*call.args[0], input_ctx));
+    return agg;
+  }
+  if (name == "conf") {
+    MAYBMS_RETURN_NOT_OK(require_args(0));
+    agg.kind = AggKind::kConf;
+    return agg;
+  }
+  if (name == "aconf") {
+    agg.kind = AggKind::kAconf;
+    if (call.args.empty()) {
+      agg.epsilon = 0.05;
+      agg.delta = 0.05;
+      return agg;
+    }
+    MAYBMS_RETURN_NOT_OK(require_args(2));
+    MAYBMS_ASSIGN_OR_RETURN(Value eps, EvalConstExpr(*call.args[0]));
+    MAYBMS_ASSIGN_OR_RETURN(Value del, EvalConstExpr(*call.args[1]));
+    MAYBMS_ASSIGN_OR_RETURN(agg.epsilon, eps.ToDouble());
+    MAYBMS_ASSIGN_OR_RETURN(agg.delta, del.ToDouble());
+    return agg;
+  }
+  if (name == "esum") {
+    MAYBMS_RETURN_NOT_OK(require_args(1));
+    agg.kind = AggKind::kEsum;
+    MAYBMS_ASSIGN_OR_RETURN(agg.arg, BindExpr(*call.args[0], input_ctx));
+    return agg;
+  }
+  if (name == "ecount") {
+    agg.kind = AggKind::kEcount;
+    if (call.args.empty()) return agg;
+    MAYBMS_RETURN_NOT_OK(require_args(1));
+    MAYBMS_ASSIGN_OR_RETURN(agg.arg, BindExpr(*call.args[0], input_ctx));
+    return agg;
+  }
+  if (name == "argmax") {
+    MAYBMS_RETURN_NOT_OK(require_args(2));
+    MAYBMS_RETURN_NOT_OK(forbid_on_uncertain());
+    agg.kind = AggKind::kArgmax;
+    MAYBMS_ASSIGN_OR_RETURN(agg.arg, BindExpr(*call.args[0], input_ctx));
+    MAYBMS_ASSIGN_OR_RETURN(agg.arg2, BindExpr(*call.args[1], input_ctx));
+    return agg;
+  }
+  return Status::BindError(StringFormat("unknown aggregate '%s'", name.c_str()));
+}
+
+Result<BoundExprPtr> Binder::BindAggItem(const Expr& expr, const BindContext& input_ctx,
+                                         const std::vector<std::string>& group_keys,
+                                         const std::vector<BoundExprPtr>& bound_groups,
+                                         std::vector<BoundAggregate>* aggs,
+                                         bool input_uncertain) {
+  // Group-key match by normalized source text.
+  std::string normalized = NormalizeExprKey(expr);
+  for (size_t i = 0; i < group_keys.size(); ++i) {
+    if (group_keys[i] == normalized) {
+      return BoundExprPtr(std::make_unique<BoundColumnRef>(
+          i, bound_groups[i]->type, DeriveItemName(expr)));
+    }
+  }
+  // Group-key match by bound column index (catches qualified vs
+  // unqualified spellings of the same column).
+  if (expr.kind == ExprKind::kColumnRef) {
+    Result<BoundExprPtr> bound = BindColumnRef(
+        static_cast<const ColumnRefExpr&>(expr), input_ctx);
+    if (bound.ok() && (*bound)->kind == BoundExprKind::kColumnRef) {
+      size_t idx = static_cast<BoundColumnRef*>(bound->get())->index;
+      for (size_t i = 0; i < bound_groups.size(); ++i) {
+        if (bound_groups[i]->kind == BoundExprKind::kColumnRef &&
+            static_cast<BoundColumnRef*>(bound_groups[i].get())->index == idx) {
+          return BoundExprPtr(std::make_unique<BoundColumnRef>(
+              i, bound_groups[i]->type, DeriveItemName(expr)));
+        }
+      }
+    }
+    return Status::BindError(StringFormat(
+        "column '%s' must appear in the GROUP BY clause or be used in an "
+        "aggregate function",
+        expr.ToString().c_str()));
+  }
+
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return BoundExprPtr(std::make_unique<BoundLiteral>(
+          static_cast<const LiteralExpr&>(expr).value));
+    case ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const FunctionCallExpr&>(expr);
+      if (IsAggregateName(call.name)) {
+        MAYBMS_ASSIGN_OR_RETURN(BoundAggregate agg,
+                                MakeAggregate(call, input_ctx, input_uncertain));
+        TypeId type = AggregateResultType(agg.kind, agg.arg.get());
+        size_t index = group_keys.size() + aggs->size();
+        std::string name = agg.output_name;
+        aggs->push_back(std::move(agg));
+        return BoundExprPtr(std::make_unique<BoundColumnRef>(index, type, name));
+      }
+      // Scalar function over aggregate-mode subexpressions.
+      std::vector<BoundExprPtr> args;
+      std::vector<TypeId> arg_types;
+      for (const ExprPtr& a : call.args) {
+        MAYBMS_ASSIGN_OR_RETURN(
+            BoundExprPtr bound,
+            BindAggItem(*a, input_ctx, group_keys, bound_groups, aggs, input_uncertain));
+        arg_types.push_back(bound->type);
+        args.push_back(std::move(bound));
+      }
+      MAYBMS_ASSIGN_OR_RETURN(TypeId t, ScalarFunctionResultType(call.name, arg_types));
+      return BoundExprPtr(
+          std::make_unique<BoundScalarFunction>(call.name, std::move(args), t));
+    }
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(expr);
+      MAYBMS_ASSIGN_OR_RETURN(BoundExprPtr operand,
+                              BindAggItem(*un.operand, input_ctx, group_keys,
+                                          bound_groups, aggs, input_uncertain));
+      TypeId t = un.op == UnaryOp::kNot ? TypeId::kBool : operand->type;
+      return BoundExprPtr(std::make_unique<BoundUnary>(un.op, std::move(operand), t));
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      MAYBMS_ASSIGN_OR_RETURN(BoundExprPtr left,
+                              BindAggItem(*bin.left, input_ctx, group_keys, bound_groups,
+                                          aggs, input_uncertain));
+      MAYBMS_ASSIGN_OR_RETURN(BoundExprPtr right,
+                              BindAggItem(*bin.right, input_ctx, group_keys,
+                                          bound_groups, aggs, input_uncertain));
+      TypeId t;
+      switch (bin.op) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          t = TypeId::kBool;
+          break;
+        case BinaryOp::kDiv:
+          t = TypeId::kDouble;
+          break;
+        default:
+          t = NumericResultType(left->type, right->type);
+          break;
+      }
+      return BoundExprPtr(
+          std::make_unique<BoundBinary>(bin.op, std::move(left), std::move(right), t));
+    }
+    case ExprKind::kIsNull: {
+      const auto& isn = static_cast<const IsNullExpr&>(expr);
+      MAYBMS_ASSIGN_OR_RETURN(BoundExprPtr operand,
+                              BindAggItem(*isn.operand, input_ctx, group_keys,
+                                          bound_groups, aggs, input_uncertain));
+      return BoundExprPtr(
+          std::make_unique<BoundIsNull>(std::move(operand), isn.negated));
+    }
+    default:
+      return Status::BindError(StringFormat(
+          "expression '%s' is not allowed in an aggregate select list",
+          expr.ToString().c_str()));
+  }
+}
+
+Result<PlanNodePtr> Binder::BindAggregateSelect(
+    const SelectStmt& stmt, const std::vector<const SelectItem*>& all_items,
+    PlanNodePtr input, const BindContext& ctx) {
+  const bool input_uncertain = input->uncertain;
+
+  // Bind the group-by expressions against the join input.
+  std::vector<BoundExprPtr> bound_groups;
+  std::vector<std::string> group_keys;
+  for (const ExprPtr& g : stmt.group_by) {
+    MAYBMS_ASSIGN_OR_RETURN(BoundExprPtr bound, BindExpr(*g, ctx));
+    group_keys.push_back(NormalizeExprKey(*g));
+    bound_groups.push_back(std::move(bound));
+  }
+
+  // Rewrite select items over the aggregate output.
+  std::vector<BoundAggregate> aggs;
+  std::vector<BoundExprPtr> final_exprs;
+  Schema final_schema;
+  for (const SelectItem* item : all_items) {
+    MAYBMS_ASSIGN_OR_RETURN(BoundExprPtr rewritten,
+                            BindAggItem(*item->expr, ctx, group_keys, bound_groups,
+                                        &aggs, input_uncertain));
+    std::string name = item->alias.empty() ? DeriveItemName(*item->expr) : item->alias;
+    final_schema.AddColumn(Column{std::move(name), rewritten->type});
+    final_exprs.push_back(std::move(rewritten));
+  }
+
+  // Aggregate node schema: [group columns..., aggregate columns...].
+  Schema agg_schema;
+  for (size_t i = 0; i < bound_groups.size(); ++i) {
+    std::string name = stmt.group_by[i]->kind == ExprKind::kColumnRef
+                           ? static_cast<const ColumnRefExpr&>(*stmt.group_by[i]).column
+                           : stmt.group_by[i]->ToString();
+    agg_schema.AddColumn(Column{std::move(name), bound_groups[i]->type});
+  }
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    TypeId t = AggregateResultType(aggs[i].kind, aggs[i].arg.get());
+    agg_schema.AddColumn(Column{aggs[i].output_name + std::to_string(i), t});
+  }
+
+  // Aggregation always produces a t-certain table: standard aggregates
+  // require certain input, and conf/aconf/esum/ecount map uncertain input
+  // to t-certain output (paper §2.2 item (i)).
+  auto agg_node = std::make_unique<AggregateNode>(std::move(input),
+                                                  std::move(agg_schema),
+                                                  /*out_uncertain=*/false);
+  agg_node->group_exprs = std::move(bound_groups);
+  agg_node->aggregates = std::move(aggs);
+
+  // Remember the aggregate context so ORDER BY can resolve group-by
+  // expressions and aggregate calls (see ApplyOrderLimit).
+  agg_state_ = AggOrderState{std::move(group_keys), agg_node.get(), &ctx,
+                             input_uncertain};
+
+  return PlanNodePtr(std::make_unique<ProjectNode>(
+      std::move(agg_node), std::move(final_exprs), std::move(final_schema),
+      /*out_uncertain=*/false));
+}
+
+Result<PlanNodePtr> Binder::ApplyOrderLimit(PlanNodePtr plan, const SelectStmt& stmt,
+                                            const BindContext* input_ctx) {
+  if (!stmt.order_by.empty()) {
+    // Each ORDER BY key resolves against the select-list output first
+    // (aliases, computed columns); keys that are not projected fall back
+    // to the pre-projection input and are carried as hidden sort columns
+    // on an extended projection, stripped again after the sort. This is
+    // the standard SQL resolution order and supports mixing both kinds in
+    // one ORDER BY ("order by R1.Player, p desc").
+    BindContext out_ctx;
+    out_ctx.scopes.push_back(Scope{"", 0, &plan->output_schema});
+    out_ctx.combined = plan->output_schema;
+
+    ProjectNode* project =
+        plan->kind == PlanKind::kProject ? static_cast<ProjectNode*>(plan.get())
+                                         : nullptr;
+    bool can_extend = project != nullptr && !project->has_tconf;
+    AggregateNode* agg =
+        (can_extend && project->children[0]->kind == PlanKind::kAggregate &&
+         agg_state_ && agg_state_->agg_node == project->children[0].get())
+            ? agg_state_->agg_node
+            : nullptr;
+
+    const size_t original_columns = plan->output_schema.NumColumns();
+    std::vector<SortNode::Key> keys;
+    for (const OrderItem& item : stmt.order_by) {
+      SortNode::Key key;
+      key.descending = item.descending;
+      Result<BoundExprPtr> bound = BindExpr(*item.expr, out_ctx);
+      if (bound.ok()) {
+        key.expr = std::move(*bound);
+        keys.push_back(std::move(key));
+        continue;
+      }
+      if (!can_extend) return bound.status();
+      // Hidden column: bind against the projection's input.
+      Result<BoundExprPtr> hidden = Status::BindError("");
+      if (agg != nullptr) {
+        // Aggregate select: group-by expressions and aggregate calls are
+        // both legal ORDER BY keys; new aggregates extend the node.
+        hidden = BindAggItem(*item.expr, *agg_state_->input_ctx,
+                             agg_state_->group_keys, agg->group_exprs,
+                             &agg->aggregates, agg_state_->input_uncertain);
+        while (agg->output_schema.NumColumns() <
+               agg->group_exprs.size() + agg->aggregates.size()) {
+          size_t i = agg->output_schema.NumColumns() - agg->group_exprs.size();
+          agg->output_schema.AddColumn(
+              Column{agg->aggregates[i].output_name + std::to_string(i),
+                     TypeId::kDouble});
+        }
+      } else if (input_ctx != nullptr) {
+        hidden = BindExpr(*item.expr, *input_ctx);
+      }
+      if (!hidden.ok()) return bound.status();  // report the original error
+      size_t hidden_index = project->output_schema.NumColumns();
+      project->output_schema.AddColumn(Column{
+          StringFormat("__sort%zu", hidden_index), (*hidden)->type});
+      TypeId hidden_type = (*hidden)->type;
+      project->exprs.push_back(std::move(*hidden));
+      key.expr = std::make_unique<BoundColumnRef>(hidden_index, hidden_type,
+                                                  "__sort");
+      keys.push_back(std::move(key));
+    }
+
+    plan = std::make_unique<SortNode>(std::move(plan), std::move(keys));
+    if (plan->output_schema.NumColumns() != original_columns) {
+      // Strip the hidden sort columns.
+      std::vector<BoundExprPtr> strip;
+      Schema stripped;
+      for (size_t i = 0; i < original_columns; ++i) {
+        const Column& col = plan->output_schema.column(i);
+        strip.push_back(std::make_unique<BoundColumnRef>(i, col.type, col.name));
+        stripped.AddColumn(col);
+      }
+      bool out_uncertain = plan->uncertain;
+      plan = std::make_unique<ProjectNode>(std::move(plan), std::move(strip),
+                                           std::move(stripped), out_uncertain);
+    }
+  }
+  if (stmt.limit) {
+    plan = std::make_unique<LimitNode>(std::move(plan), *stmt.limit);
+  }
+  return plan;
+}
+
+Result<PlanNodePtr> Binder::BindSelect(const SelectStmt& stmt) {
+  if (!stmt.union_next) return BindSelectCore(stmt, /*skip_order_limit=*/false);
+
+  // UNION chain: bind every core without its ORDER BY/LIMIT, then apply the
+  // final core's ORDER BY/LIMIT to the union result (SQL semantics where a
+  // trailing ORDER BY orders the whole union).
+  std::vector<const SelectStmt*> cores;
+  for (const SelectStmt* s = &stmt; s != nullptr; s = s->union_next.get()) {
+    cores.push_back(s);
+  }
+  MAYBMS_ASSIGN_OR_RETURN(PlanNodePtr plan, BindSelectCore(*cores[0], true));
+  for (size_t i = 1; i < cores.size(); ++i) {
+    MAYBMS_ASSIGN_OR_RETURN(PlanNodePtr right, BindSelectCore(*cores[i], true));
+    if (!plan->output_schema.UnionCompatible(right->output_schema)) {
+      return Status::BindError(StringFormat(
+          "UNION inputs are not union-compatible: %s vs %s",
+          plan->output_schema.ToString().c_str(),
+          right->output_schema.ToString().c_str()));
+    }
+    bool dedup =
+        !cores[i]->union_all && !plan->uncertain && !right->uncertain;
+    plan = std::make_unique<UnionNode>(std::move(plan), std::move(right), dedup);
+  }
+  return ApplyOrderLimit(std::move(plan), *cores.back());
+}
+
+Result<PlanNodePtr> Binder::BindSelectCore(const SelectStmt& stmt,
+                                           bool skip_order_limit) {
+  // ---- FROM ----------------------------------------------------------------
+  std::vector<FromItem> items;
+  if (stmt.from.empty()) {
+    FromItem dual;
+    dual.plan = std::make_unique<ScanNode>(DualTable());
+    dual.name = "";
+    items.push_back(std::move(dual));
+  } else {
+    for (const TableRefPtr& ref : stmt.from) {
+      MAYBMS_ASSIGN_OR_RETURN(FromItem item, BindTableRef(*ref));
+      items.push_back(std::move(item));
+    }
+  }
+
+  // ---- WHERE decomposition ---------------------------------------------------
+  std::vector<const Expr*> conjuncts;
+  FlattenConjuncts(stmt.where.get(), &conjuncts);
+  std::vector<bool> used(conjuncts.size(), false);
+
+  // Soft bind: BindErrors mean "not bindable at this level".
+  auto try_bind = [&](const Expr& e, const BindContext& ctx) -> std::optional<BoundExprPtr> {
+    Result<BoundExprPtr> r = BindExpr(e, ctx);
+    if (r.ok()) return std::move(r).value();
+    return std::nullopt;
+  };
+
+  // Stage 1: push single-table conjuncts below the joins.
+  for (size_t t = 0; t < items.size(); ++t) {
+    BindContext single;
+    Scope scope{items[t].name, 0, &items[t].plan->output_schema};
+    single.scopes.push_back(scope);
+    single.combined = items[t].plan->output_schema;
+    for (size_t c = 0; c < conjuncts.size(); ++c) {
+      if (used[c] || conjuncts[c]->kind == ExprKind::kInSubquery) continue;
+      if (auto bound = try_bind(*conjuncts[c], single)) {
+        items[t].plan =
+            std::make_unique<FilterNode>(std::move(items[t].plan), std::move(*bound));
+        used[c] = true;
+      }
+    }
+  }
+
+  // Stage 2: left-deep join tree with equi-key extraction.
+  BindContext ctx;  // grows as joins are added
+  PlanNodePtr plan = std::move(items[0].plan);
+  {
+    Scope scope{items[0].name, 0, &plan->output_schema};
+    ctx.scopes.push_back(scope);
+    ctx.combined = plan->output_schema;
+  }
+  for (size_t t = 1; t < items.size(); ++t) {
+    PlanNodePtr right = std::move(items[t].plan);
+    BindContext right_ctx;
+    Scope right_scope{items[t].name, 0, &right->output_schema};
+    right_ctx.scopes.push_back(right_scope);
+    right_ctx.combined = right->output_schema;
+
+    std::vector<BoundExprPtr> left_keys, right_keys;
+    for (size_t c = 0; c < conjuncts.size(); ++c) {
+      if (used[c] || conjuncts[c]->kind != ExprKind::kBinary) continue;
+      const auto* bin = static_cast<const BinaryExpr*>(conjuncts[c]);
+      if (bin->op != BinaryOp::kEq) continue;
+      // lhs from the accumulated left side, rhs from the new right side?
+      auto l = try_bind(*bin->left, ctx);
+      auto r = try_bind(*bin->right, right_ctx);
+      if (l && r) {
+        left_keys.push_back(std::move(*l));
+        right_keys.push_back(std::move(*r));
+        used[c] = true;
+        continue;
+      }
+      // Swapped orientation.
+      auto l2 = try_bind(*bin->right, ctx);
+      auto r2 = try_bind(*bin->left, right_ctx);
+      if (l2 && r2) {
+        left_keys.push_back(std::move(*l2));
+        right_keys.push_back(std::move(*r2));
+        used[c] = true;
+      }
+    }
+
+    Schema combined = Schema::Concat(ctx.combined, right->output_schema);
+    bool out_uncertain = plan->uncertain || right->uncertain;
+    auto join = std::make_unique<JoinNode>(std::move(plan), std::move(right), combined,
+                                           out_uncertain);
+    join->left_keys = std::move(left_keys);
+    join->right_keys = std::move(right_keys);
+
+    // Scopes/ctx now include the right side.
+    Scope appended{items[t].name, ctx.combined.NumColumns(), nullptr};
+    ctx.combined = std::move(combined);
+    ctx.scopes.push_back(appended);
+    // Re-point scope schemas: store schema pointers into stable child plans.
+    // (The right child schema lives in the join's child node.)
+    ctx.scopes.back().schema = &join->children[1]->output_schema;
+
+    // Residual conjuncts that became bindable at this level.
+    BoundExprPtr residual;
+    for (size_t c = 0; c < conjuncts.size(); ++c) {
+      if (used[c] || conjuncts[c]->kind == ExprKind::kInSubquery) continue;
+      if (auto bound = try_bind(*conjuncts[c], ctx)) {
+        if (residual) {
+          residual = std::make_unique<BoundBinary>(
+              BinaryOp::kAnd, std::move(residual), std::move(*bound), TypeId::kBool);
+        } else {
+          residual = std::move(*bound);
+        }
+        used[c] = true;
+      }
+    }
+    join->residual = std::move(residual);
+    plan = std::move(join);
+  }
+
+  // Stage 3: IN-subquery conjuncts become (anti-)semijoins.
+  for (size_t c = 0; c < conjuncts.size(); ++c) {
+    if (used[c] || conjuncts[c]->kind != ExprKind::kInSubquery) continue;
+    const auto* in = static_cast<const InSubqueryExpr*>(conjuncts[c]);
+    MAYBMS_ASSIGN_OR_RETURN(BoundExprPtr key, BindExpr(*in->operand, ctx));
+    Binder sub_binder(catalog_);
+    MAYBMS_ASSIGN_OR_RETURN(PlanNodePtr sub_plan, sub_binder.BindSelect(*in->subquery));
+    if (sub_plan->output_schema.NumColumns() != 1) {
+      return Status::BindError("IN subquery must return exactly one column");
+    }
+    if (in->negated && sub_plan->uncertain) {
+      return Status::BindError(
+          "NOT IN with an uncertain subquery is not supported: uncertain "
+          "subqueries may only occur positively (paper §2.2)");
+    }
+    plan = std::make_unique<SemiJoinInNode>(std::move(plan), std::move(sub_plan),
+                                            std::move(key), in->negated);
+    // Schema unchanged; scopes remain valid.
+    used[c] = true;
+  }
+
+  // Stage 4: anything left must bind now — this surfaces real bind errors.
+  for (size_t c = 0; c < conjuncts.size(); ++c) {
+    if (used[c]) continue;
+    MAYBMS_ASSIGN_OR_RETURN(BoundExprPtr bound, BindExpr(*conjuncts[c], ctx));
+    plan = std::make_unique<FilterNode>(std::move(plan), std::move(bound));
+    used[c] = true;
+  }
+
+  const bool input_uncertain = plan->uncertain;
+
+  // ---- Select list -----------------------------------------------------------
+  // Expand stars.
+  std::vector<const SelectItem*> raw_items;
+  std::vector<SelectItem> expanded_storage;  // own expanded star items
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr->kind == ExprKind::kStar) {
+      const auto& star = static_cast<const StarExpr&>(*item.expr);
+      bool matched = false;
+      for (const Scope& scope : ctx.scopes) {
+        if (!star.table.empty() && scope.name != ToLower(star.table)) continue;
+        matched = true;
+        for (size_t i = 0; i < scope.schema->NumColumns(); ++i) {
+          SelectItem gen;
+          std::string qualifier = scope.name;
+          gen.expr = std::make_unique<ColumnRefExpr>(
+              qualifier, scope.schema->column(i).name);
+          expanded_storage.push_back(std::move(gen));
+        }
+      }
+      if (!matched) {
+        return Status::BindError(
+            StringFormat("unknown table or alias '%s' in '%s.*'", star.table.c_str(),
+                         star.table.c_str()));
+      }
+      continue;
+    }
+    raw_items.push_back(&item);
+  }
+  // Rebuild the ordered item list (stars expanded in place).
+  std::vector<const SelectItem*> all_items;
+  {
+    size_t star_pos = 0;
+    for (const SelectItem& item : stmt.items) {
+      if (item.expr->kind == ExprKind::kStar) {
+        const auto& star = static_cast<const StarExpr&>(*item.expr);
+        for (const Scope& scope : ctx.scopes) {
+          if (!star.table.empty() && scope.name != ToLower(star.table)) continue;
+          for (size_t i = 0; i < scope.schema->NumColumns(); ++i) {
+            all_items.push_back(&expanded_storage[star_pos++]);
+          }
+        }
+      } else {
+        all_items.push_back(&item);
+      }
+    }
+  }
+  if (all_items.empty()) {
+    return Status::BindError("select list is empty");
+  }
+
+  bool has_agg = false, has_tconf = false;
+  for (const SelectItem* item : all_items) {
+    ScanForCalls(*item->expr, &has_agg, &has_tconf);
+  }
+  if (has_tconf && (has_agg || !stmt.group_by.empty())) {
+    return Status::BindError(
+        "tconf() cannot be combined with aggregates or GROUP BY (it is "
+        "computed per tuple in isolation)");
+  }
+  if (!stmt.group_by.empty() && !has_agg) {
+    return Status::BindError(
+        input_uncertain
+            ? "GROUP BY without aggregates on an uncertain relation amounts to "
+              "select distinct, which is not supported; use 'select possible' "
+              "or conf()"
+            : "GROUP BY requires at least one aggregate in the select list");
+  }
+
+  if (has_agg) {
+    MAYBMS_ASSIGN_OR_RETURN(
+        plan, BindAggregateSelect(stmt, all_items, std::move(plan), ctx));
+  } else {
+    // Plain projection (with optional tconf()).
+    std::vector<BoundExprPtr> exprs;
+    Schema out_schema;
+    bool tconf_present = false;
+    for (const SelectItem* item : all_items) {
+      BoundExprPtr bound;
+      if (item->expr->kind == ExprKind::kFunctionCall &&
+          static_cast<const FunctionCallExpr&>(*item->expr).name == "tconf") {
+        const auto& call = static_cast<const FunctionCallExpr&>(*item->expr);
+        if (!call.args.empty()) {
+          return Status::BindError("tconf() takes no arguments");
+        }
+        bound = std::make_unique<BoundTconf>();
+        tconf_present = true;
+      } else {
+        MAYBMS_ASSIGN_OR_RETURN(bound, BindExpr(*item->expr, ctx));
+      }
+      std::string name =
+          item->alias.empty() ? DeriveItemName(*item->expr) : item->alias;
+      out_schema.AddColumn(Column{std::move(name), bound->type});
+      exprs.push_back(std::move(bound));
+    }
+    bool out_uncertain = input_uncertain && !tconf_present;
+    auto project = std::make_unique<ProjectNode>(std::move(plan), std::move(exprs),
+                                                 std::move(out_schema), out_uncertain);
+    project->has_tconf = tconf_present;
+    plan = std::move(project);
+  }
+
+  // ---- DISTINCT / POSSIBLE ---------------------------------------------------
+  if (stmt.distinct) {
+    if (plan->uncertain) {
+      return Status::BindError(
+          "select distinct is not supported on uncertain relations (paper "
+          "§2.2); use 'select possible'");
+    }
+    plan = std::make_unique<DistinctNode>(std::move(plan));
+  }
+  if (stmt.possible) {
+    plan = std::make_unique<PossibleNode>(std::move(plan));
+  }
+
+  if (skip_order_limit) return plan;
+  return ApplyOrderLimit(std::move(plan), stmt, &ctx);
+}
+
+}  // namespace maybms

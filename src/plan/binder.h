@@ -1,0 +1,99 @@
+// The binder/analyzer: resolves names, checks types, performs the
+// uncertainty typing of the MayBMS query language (uncertain vs t-certain
+// relations), enforces the paper's §2.2 restrictions, and emits bound
+// logical plans.
+#pragma once
+
+#include <memory>
+
+#include "src/plan/logical_plan.h"
+#include "src/sql/ast.h"
+#include "src/storage/catalog.h"
+
+namespace maybms {
+
+class Binder {
+ public:
+  explicit Binder(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Binds a full select (including UNION chains) to a logical plan.
+  Result<PlanNodePtr> BindSelect(const SelectStmt& stmt);
+
+  /// Binds a scalar expression against a single table's schema (used by
+  /// DML: UPDATE SET / WHERE, DELETE WHERE).
+  Result<BoundExprPtr> BindTableExpr(const Expr& expr, const Schema& schema,
+                                     const std::string& table_name);
+
+  /// Evaluates a constant expression (no column references) at bind time.
+  static Result<Value> EvalConstExpr(const Expr& expr);
+
+ private:
+  struct Scope {
+    std::string name;  ///< lower-cased alias or table name ("" if anonymous)
+    size_t offset = 0;
+    const Schema* schema = nullptr;
+  };
+
+  struct FromItem {
+    PlanNodePtr plan;
+    std::string name;
+  };
+
+  struct BindContext {
+    std::vector<Scope> scopes;
+    Schema combined;  ///< concatenation of scope schemas
+  };
+
+  Result<PlanNodePtr> BindSelectCore(const SelectStmt& stmt, bool skip_order_limit);
+
+  /// Builds AggregateNode + final projection for a select list containing
+  /// aggregate calls. `all_items` are the star-expanded select items.
+  Result<PlanNodePtr> BindAggregateSelect(const SelectStmt& stmt,
+                                          const std::vector<const SelectItem*>& all_items,
+                                          PlanNodePtr input, const BindContext& ctx);
+
+  /// Rewrites one select-item expression into an expression over the
+  /// aggregate output schema [group values..., aggregate results...],
+  /// appending newly-encountered aggregate calls to `aggs`.
+  Result<BoundExprPtr> BindAggItem(const Expr& expr, const BindContext& input_ctx,
+                                   const std::vector<std::string>& group_keys,
+                                   const std::vector<BoundExprPtr>& bound_groups,
+                                   std::vector<BoundAggregate>* aggs,
+                                   bool input_uncertain);
+
+  /// Builds a BoundAggregate from an aggregate function call.
+  Result<BoundAggregate> MakeAggregate(const FunctionCallExpr& call,
+                                       const BindContext& input_ctx,
+                                       bool input_uncertain);
+
+  Result<FromItem> BindTableRef(const TableRef& ref);
+  Result<PlanNodePtr> BindRepairKey(const RepairKeyRef& ref);
+  Result<PlanNodePtr> BindPickTuples(const PickTuplesRef& ref);
+
+  Result<BoundExprPtr> BindExpr(const Expr& expr, const BindContext& ctx);
+  Result<BoundExprPtr> BindColumnRef(const ColumnRefExpr& col, const BindContext& ctx);
+
+  /// Applies ORDER BY / LIMIT of `stmt` on top of `plan`. Sort keys bind
+  /// against the plan's output schema (select aliases); keys that are not
+  /// projected fall back to the pre-projection input (`input_ctx`, when
+  /// provided) with the sort placed below the projection.
+  Result<PlanNodePtr> ApplyOrderLimit(PlanNodePtr plan, const SelectStmt& stmt,
+                                      const BindContext* input_ctx = nullptr);
+
+  /// Context of the last aggregate select bound within the current
+  /// BindSelectCore call, used by ApplyOrderLimit to resolve ORDER BY keys
+  /// that reference group-by expressions or aggregates (which live in the
+  /// aggregate output, not the final projection's output schema).
+  struct AggOrderState {
+    std::vector<std::string> group_keys;  ///< normalized group-by source text
+    AggregateNode* agg_node = nullptr;
+    const BindContext* input_ctx = nullptr;
+    bool input_uncertain = false;
+  };
+  std::optional<AggOrderState> agg_state_;
+
+  const Catalog* catalog_;
+  int anon_counter_ = 0;
+};
+
+}  // namespace maybms

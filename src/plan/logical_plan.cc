@@ -1,0 +1,143 @@
+#include "src/plan/logical_plan.h"
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+std::string_view AggKindToString(AggKind k) {
+  switch (k) {
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kCountStar:
+      return "count(*)";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kConf:
+      return "conf";
+    case AggKind::kAconf:
+      return "aconf";
+    case AggKind::kEsum:
+      return "esum";
+    case AggKind::kEcount:
+      return "ecount";
+    case AggKind::kArgmax:
+      return "argmax";
+  }
+  return "?";
+}
+
+namespace {
+
+void ExplainInto(const PlanNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node.Describe());
+  if (node.uncertain) out->append("  [uncertain]");
+  out->push_back('\n');
+  for (const PlanNodePtr& child : node.children) {
+    ExplainInto(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const PlanNode& root) {
+  std::string out;
+  ExplainInto(root, 0, &out);
+  return out;
+}
+
+std::string ScanNode::Describe() const {
+  return StringFormat("Scan %s (%zu rows)", table->name().c_str(), table->NumRows());
+}
+
+std::string FilterNode::Describe() const {
+  return "Filter " + predicate->ToString();
+}
+
+std::string ProjectNode::Describe() const {
+  std::string out = "Project ";
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs[i]->ToString();
+  }
+  return out;
+}
+
+std::string JoinNode::Describe() const {
+  std::string out = left_keys.empty() ? "CrossJoin" : "HashJoin";
+  for (size_t i = 0; i < left_keys.size(); ++i) {
+    out += i == 0 ? " on " : " and ";
+    out += left_keys[i]->ToString() + " = " + right_keys[i]->ToString();
+  }
+  if (residual) out += " where " + residual->ToString();
+  return out;
+}
+
+std::string AggregateNode::Describe() const {
+  std::string out = "Aggregate";
+  if (!group_exprs.empty()) {
+    out += " group by ";
+    for (size_t i = 0; i < group_exprs.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_exprs[i]->ToString();
+    }
+  }
+  out += " compute ";
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AggKindToString(aggregates[i].kind);
+  }
+  return out;
+}
+
+std::string RepairKeyNode::Describe() const {
+  std::string out = "RepairKey on ";
+  for (size_t i = 0; i < key_indices.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += output_schema.column(key_indices[i]).name;
+  }
+  if (weight) out += " weight by " + weight->ToString();
+  return out;
+}
+
+std::string PickTuplesNode::Describe() const {
+  std::string out = "PickTuples";
+  if (independently) out += " independently";
+  if (probability) out += " with probability " + probability->ToString();
+  return out;
+}
+
+std::string PossibleNode::Describe() const { return "Possible"; }
+
+std::string SemiJoinInNode::Describe() const {
+  return std::string(anti ? "AntiSemiJoin " : "SemiJoin ") + left_key->ToString() +
+         " in (subquery)";
+}
+
+std::string UnionNode::Describe() const {
+  return deduplicate ? "Union (distinct)" : "Union (all)";
+}
+
+std::string DistinctNode::Describe() const { return "Distinct"; }
+
+std::string SortNode::Describe() const {
+  std::string out = "Sort by ";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += keys[i].expr->ToString();
+    if (keys[i].descending) out += " desc";
+  }
+  return out;
+}
+
+std::string LimitNode::Describe() const {
+  return StringFormat("Limit %lld", static_cast<long long>(limit));
+}
+
+}  // namespace maybms

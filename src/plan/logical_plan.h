@@ -1,0 +1,237 @@
+// Bound logical query plans. The binder produces these from the AST; the
+// executor interprets them. The plan language is the U-relational algebra
+// of [Antova et al., ICDE'08]: positive relational algebra evaluated
+// parsimoniously over U-relations, extended with the probabilistic
+// operators of the MayBMS query language (paper §2.2-2.3).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/exec/expression.h"
+#include "src/storage/table.h"
+
+namespace maybms {
+
+enum class PlanKind : uint8_t {
+  kScan,
+  kFilter,
+  kProject,
+  kJoin,        ///< inner join: hash on equi-keys plus residual predicate
+  kAggregate,   ///< group-by with standard and/or probabilistic aggregates
+  kRepairKey,
+  kPickTuples,
+  kPossible,    ///< filter prob-0 rows + duplicate elimination → t-certain
+  kSemiJoinIn,  ///< IN (subquery), condition-merging for uncertain inputs
+  kUnion,       ///< multiset union (paper §2.2)
+  kDistinct,
+  kSort,
+  kLimit,
+};
+
+/// Aggregate functions (paper §2.2): the uncertainty-aware constructs plus
+/// the standard SQL aggregates allowed on t-certain input.
+enum class AggKind : uint8_t {
+  kSum,
+  kCount,      ///< count(expr): non-null count
+  kCountStar,
+  kAvg,
+  kMin,
+  kMax,
+  kConf,    ///< exact confidence of each distinct tuple (group)
+  kAconf,   ///< (ε,δ)-approximate confidence
+  kEsum,    ///< expected sum (linearity of expectation)
+  kEcount,  ///< expected count
+  kArgmax,  ///< argmax(arg, value): all arg values attaining the group max
+};
+
+std::string_view AggKindToString(AggKind k);
+
+struct BoundAggregate {
+  AggKind kind;
+  BoundExprPtr arg;   ///< nullable (conf, count(*), ecount())
+  BoundExprPtr arg2;  ///< argmax's value expression
+  double epsilon = 0; ///< aconf parameters (bound to literals)
+  double delta = 0;
+  std::string output_name;
+};
+
+struct PlanNode;
+using PlanNodePtr = std::unique_ptr<PlanNode>;
+
+struct PlanNode {
+  PlanNode(PlanKind k, Schema s, bool unc)
+      : kind(k), output_schema(std::move(s)), uncertain(unc) {}
+  virtual ~PlanNode() = default;
+
+  /// Single-line operator description (EXPLAIN-style).
+  virtual std::string Describe() const = 0;
+
+  const PlanKind kind;
+  Schema output_schema;
+  /// Whether the operator's output is an uncertain relation (has condition
+  /// columns) or a t-certain table — the binder's uncertainty typing.
+  bool uncertain;
+  std::vector<PlanNodePtr> children;
+};
+
+/// Renders the plan tree with indentation.
+std::string ExplainPlan(const PlanNode& root);
+
+struct ScanNode : PlanNode {
+  ScanNode(TablePtr t)
+      : PlanNode(PlanKind::kScan, t->schema(), t->uncertain()), table(std::move(t)) {}
+  std::string Describe() const override;
+
+  TablePtr table;
+};
+
+struct FilterNode : PlanNode {
+  FilterNode(PlanNodePtr child, BoundExprPtr pred)
+      : PlanNode(PlanKind::kFilter, child->output_schema, child->uncertain),
+        predicate(std::move(pred)) {
+    children.push_back(std::move(child));
+  }
+  std::string Describe() const override;
+
+  BoundExprPtr predicate;
+};
+
+struct ProjectNode : PlanNode {
+  ProjectNode(PlanNodePtr child, std::vector<BoundExprPtr> e, Schema out_schema,
+              bool out_uncertain)
+      : PlanNode(PlanKind::kProject, std::move(out_schema), out_uncertain),
+        exprs(std::move(e)) {
+    children.push_back(std::move(child));
+  }
+  std::string Describe() const override;
+
+  std::vector<BoundExprPtr> exprs;
+  /// True when some expr is tconf(): output conditions are cleared and the
+  /// per-row marginal probability is emitted (t-certain output).
+  bool has_tconf = false;
+};
+
+struct JoinNode : PlanNode {
+  JoinNode(PlanNodePtr left, PlanNodePtr right, Schema out_schema, bool out_uncertain)
+      : PlanNode(PlanKind::kJoin, std::move(out_schema), out_uncertain) {
+    children.push_back(std::move(left));
+    children.push_back(std::move(right));
+  }
+  std::string Describe() const override;
+
+  /// Hash-join key pairs: expressions over the left/right child schemas.
+  std::vector<BoundExprPtr> left_keys;
+  std::vector<BoundExprPtr> right_keys;
+  /// Residual predicate over the concatenated schema (nullable).
+  BoundExprPtr residual;
+};
+
+struct AggregateNode : PlanNode {
+  AggregateNode(PlanNodePtr child, Schema out_schema, bool out_uncertain)
+      : PlanNode(PlanKind::kAggregate, std::move(out_schema), out_uncertain) {
+    children.push_back(std::move(child));
+  }
+  std::string Describe() const override;
+
+  std::vector<BoundExprPtr> group_exprs;
+  std::vector<BoundAggregate> aggregates;
+};
+
+struct RepairKeyNode : PlanNode {
+  RepairKeyNode(PlanNodePtr child, Schema out_schema)
+      : PlanNode(PlanKind::kRepairKey, std::move(out_schema), /*uncertain=*/true) {
+    children.push_back(std::move(child));
+  }
+  std::string Describe() const override;
+
+  std::vector<size_t> key_indices;
+  BoundExprPtr weight;  ///< nullable: uniform
+  std::string label;    ///< debug label prefix for created variables
+};
+
+struct PickTuplesNode : PlanNode {
+  PickTuplesNode(PlanNodePtr child, Schema out_schema)
+      : PlanNode(PlanKind::kPickTuples, std::move(out_schema), /*uncertain=*/true) {
+    children.push_back(std::move(child));
+  }
+  std::string Describe() const override;
+
+  BoundExprPtr probability;  ///< nullable: defaults to 0.5
+  bool independently = false;
+  std::string label;
+};
+
+struct PossibleNode : PlanNode {
+  explicit PossibleNode(PlanNodePtr child)
+      : PlanNode(PlanKind::kPossible, child->output_schema, /*uncertain=*/false) {
+    children.push_back(std::move(child));
+  }
+  std::string Describe() const override;
+};
+
+struct SemiJoinInNode : PlanNode {
+  SemiJoinInNode(PlanNodePtr left, PlanNodePtr right, BoundExprPtr key, bool anti_join)
+      : PlanNode(PlanKind::kSemiJoinIn, left->output_schema,
+                 left->uncertain || right->uncertain),
+        left_key(std::move(key)), anti(anti_join) {
+    children.push_back(std::move(left));
+    children.push_back(std::move(right));
+  }
+  std::string Describe() const override;
+
+  BoundExprPtr left_key;  ///< over the left child schema
+  bool anti;              ///< NOT IN (t-certain right side only)
+};
+
+struct UnionNode : PlanNode {
+  UnionNode(PlanNodePtr left, PlanNodePtr right, bool dedup)
+      : PlanNode(PlanKind::kUnion, left->output_schema,
+                 left->uncertain || right->uncertain),
+        deduplicate(dedup) {
+    children.push_back(std::move(left));
+    children.push_back(std::move(right));
+  }
+  std::string Describe() const override;
+
+  /// Plain UNION over two t-certain inputs deduplicates; UNION over
+  /// uncertain inputs is the multiset union of paper §2.2.
+  bool deduplicate;
+};
+
+struct DistinctNode : PlanNode {
+  explicit DistinctNode(PlanNodePtr child)
+      : PlanNode(PlanKind::kDistinct, child->output_schema, child->uncertain) {
+    children.push_back(std::move(child));
+  }
+  std::string Describe() const override;
+};
+
+struct SortNode : PlanNode {
+  struct Key {
+    BoundExprPtr expr;
+    bool descending = false;
+  };
+  SortNode(PlanNodePtr child, std::vector<Key> k)
+      : PlanNode(PlanKind::kSort, child->output_schema, child->uncertain),
+        keys(std::move(k)) {
+    children.push_back(std::move(child));
+  }
+  std::string Describe() const override;
+
+  std::vector<Key> keys;
+};
+
+struct LimitNode : PlanNode {
+  LimitNode(PlanNodePtr child, int64_t n)
+      : PlanNode(PlanKind::kLimit, child->output_schema, child->uncertain), limit(n) {
+    children.push_back(std::move(child));
+  }
+  std::string Describe() const override;
+
+  int64_t limit;
+};
+
+}  // namespace maybms

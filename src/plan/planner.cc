@@ -1,0 +1,157 @@
+#include "src/plan/planner.h"
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+namespace {
+
+Result<BoundStatement> BindSelectStatement(const Catalog& catalog,
+                                           const SelectStmt& stmt) {
+  Binder binder(&catalog);
+  BoundStatement out;
+  out.kind = StatementKind::kSelect;
+  MAYBMS_ASSIGN_OR_RETURN(out.plan, binder.BindSelect(stmt));
+  return out;
+}
+
+Result<BoundStatement> BindCreateTable(const CreateTableStmt& stmt) {
+  BoundStatement out;
+  out.kind = StatementKind::kCreateTable;
+  out.table_name = stmt.name;
+  for (const ColumnDef& col : stmt.columns) {
+    if (out.create_schema.FindColumn(col.name)) {
+      return Status::BindError(
+          StringFormat("duplicate column name '%s'", col.name.c_str()));
+    }
+    out.create_schema.AddColumn(Column{col.name, col.type});
+  }
+  if (out.create_schema.NumColumns() == 0) {
+    return Status::BindError("CREATE TABLE requires at least one column");
+  }
+  return out;
+}
+
+Result<BoundStatement> BindCreateTableAs(const Catalog& catalog,
+                                         const CreateTableAsStmt& stmt) {
+  Binder binder(&catalog);
+  BoundStatement out;
+  out.kind = StatementKind::kCreateTableAs;
+  out.table_name = stmt.name;
+  MAYBMS_ASSIGN_OR_RETURN(out.plan, binder.BindSelect(*stmt.select));
+  return out;
+}
+
+Result<BoundStatement> BindInsert(const Catalog& catalog, const InsertStmt& stmt) {
+  MAYBMS_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(stmt.table));
+  const Schema& schema = table->schema();
+
+  // Resolve the column list to schema positions.
+  std::vector<size_t> positions;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.NumColumns(); ++i) positions.push_back(i);
+  } else {
+    for (const std::string& name : stmt.columns) {
+      MAYBMS_ASSIGN_OR_RETURN(size_t idx, schema.GetColumnIndex(name));
+      positions.push_back(idx);
+    }
+  }
+
+  BoundStatement out;
+  out.kind = StatementKind::kInsert;
+  out.table_name = stmt.table;
+
+  if (stmt.select) {
+    Binder binder(&catalog);
+    MAYBMS_ASSIGN_OR_RETURN(out.plan, binder.BindSelect(*stmt.select));
+    if (out.plan->output_schema.NumColumns() != positions.size()) {
+      return Status::BindError(StringFormat(
+          "INSERT SELECT provides %zu columns, target expects %zu",
+          out.plan->output_schema.NumColumns(), positions.size()));
+    }
+    if (!stmt.columns.empty()) {
+      return Status::NotImplemented(
+          "INSERT ... SELECT with an explicit column list is not supported");
+    }
+    return out;
+  }
+
+  for (const std::vector<ExprPtr>& row : stmt.rows) {
+    if (row.size() != positions.size()) {
+      return Status::BindError(StringFormat(
+          "INSERT row has %zu values, expected %zu", row.size(), positions.size()));
+    }
+    std::vector<Value> values(schema.NumColumns(), Value::Null());
+    for (size_t i = 0; i < row.size(); ++i) {
+      MAYBMS_ASSIGN_OR_RETURN(Value v, Binder::EvalConstExpr(*row[i]));
+      values[positions[i]] = std::move(v);
+    }
+    out.insert_rows.push_back(std::move(values));
+  }
+  return out;
+}
+
+Result<BoundStatement> BindUpdate(const Catalog& catalog, const UpdateStmt& stmt) {
+  MAYBMS_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(stmt.table));
+  const Schema& schema = table->schema();
+  Binder binder(&catalog);
+
+  BoundStatement out;
+  out.kind = StatementKind::kUpdate;
+  out.table_name = stmt.table;
+  for (const auto& [col, expr] : stmt.assignments) {
+    MAYBMS_ASSIGN_OR_RETURN(size_t idx, schema.GetColumnIndex(col));
+    MAYBMS_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                            binder.BindTableExpr(*expr, schema, stmt.table));
+    out.update_sets.emplace_back(idx, std::move(bound));
+  }
+  if (stmt.where) {
+    MAYBMS_ASSIGN_OR_RETURN(out.dml_where,
+                            binder.BindTableExpr(*stmt.where, schema, stmt.table));
+  }
+  return out;
+}
+
+Result<BoundStatement> BindDelete(const Catalog& catalog, const DeleteStmt& stmt) {
+  MAYBMS_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(stmt.table));
+  Binder binder(&catalog);
+
+  BoundStatement out;
+  out.kind = StatementKind::kDelete;
+  out.table_name = stmt.table;
+  if (stmt.where) {
+    MAYBMS_ASSIGN_OR_RETURN(
+        out.dml_where, binder.BindTableExpr(*stmt.where, table->schema(), stmt.table));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BoundStatement> BindStatement(const Catalog& catalog, const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return BindSelectStatement(catalog, static_cast<const SelectStmt&>(stmt));
+    case StatementKind::kCreateTable:
+      return BindCreateTable(static_cast<const CreateTableStmt&>(stmt));
+    case StatementKind::kCreateTableAs:
+      return BindCreateTableAs(catalog, static_cast<const CreateTableAsStmt&>(stmt));
+    case StatementKind::kInsert:
+      return BindInsert(catalog, static_cast<const InsertStmt&>(stmt));
+    case StatementKind::kUpdate:
+      return BindUpdate(catalog, static_cast<const UpdateStmt&>(stmt));
+    case StatementKind::kDelete:
+      return BindDelete(catalog, static_cast<const DeleteStmt&>(stmt));
+    case StatementKind::kDropTable: {
+      const auto& drop = static_cast<const DropTableStmt&>(stmt);
+      BoundStatement out;
+      out.kind = StatementKind::kDropTable;
+      out.table_name = drop.name;
+      out.drop_if_exists = drop.if_exists;
+      return out;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+}  // namespace maybms

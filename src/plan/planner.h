@@ -1,0 +1,44 @@
+// Statement-level planning: dispatches parsed statements to the binder and
+// produces executable bound statements (queries, DDL, DML).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/plan/binder.h"
+#include "src/plan/logical_plan.h"
+#include "src/sql/ast.h"
+#include "src/storage/catalog.h"
+
+namespace maybms {
+
+/// A fully bound, executable statement.
+struct BoundStatement {
+  StatementKind kind = StatementKind::kSelect;
+
+  /// Query plan (kSelect, kCreateTableAs, and INSERT ... SELECT sources).
+  PlanNodePtr plan;
+
+  /// Target table (create / insert / update / delete / drop).
+  std::string table_name;
+
+  /// CREATE TABLE schema.
+  Schema create_schema;
+
+  /// INSERT ... VALUES rows (constant-folded) in *schema column order*.
+  std::vector<std::vector<Value>> insert_rows;
+
+  /// UPDATE assignments: (column index, bound value expression).
+  std::vector<std::pair<size_t, BoundExprPtr>> update_sets;
+
+  /// UPDATE / DELETE predicate over the target table schema (nullable).
+  BoundExprPtr dml_where;
+
+  bool drop_if_exists = false;
+};
+
+/// Binds any parsed statement against the catalog.
+Result<BoundStatement> BindStatement(const Catalog& catalog, const Statement& stmt);
+
+}  // namespace maybms

@@ -1,0 +1,110 @@
+#include "src/prob/condition.h"
+
+#include <algorithm>
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+std::optional<Condition> Condition::FromAtoms(std::vector<Atom> atoms) {
+  std::sort(atoms.begin(), atoms.end());
+  Condition cond;
+  cond.atoms_.reserve(atoms.size());
+  for (const Atom& a : atoms) {
+    if (!cond.atoms_.empty() && cond.atoms_.back().var == a.var) {
+      if (cond.atoms_.back().asg != a.asg) return std::nullopt;
+      continue;  // duplicate atom
+    }
+    cond.atoms_.push_back(a);
+  }
+  return cond;
+}
+
+bool Condition::AddAtom(Atom atom) {
+  auto it = std::lower_bound(atoms_.begin(), atoms_.end(), atom,
+                             [](const Atom& a, const Atom& b) { return a.var < b.var; });
+  if (it != atoms_.end() && it->var == atom.var) {
+    return it->asg == atom.asg;
+  }
+  atoms_.insert(it, atom);
+  return true;
+}
+
+std::optional<AsgId> Condition::Lookup(VarId var) const {
+  auto it = std::lower_bound(atoms_.begin(), atoms_.end(), Atom{var, 0},
+                             [](const Atom& a, const Atom& b) { return a.var < b.var; });
+  if (it != atoms_.end() && it->var == var) return it->asg;
+  return std::nullopt;
+}
+
+std::optional<Condition> Condition::Merge(const Condition& a, const Condition& b) {
+  Condition out;
+  out.atoms_.reserve(a.atoms_.size() + b.atoms_.size());
+  size_t i = 0, j = 0;
+  while (i < a.atoms_.size() && j < b.atoms_.size()) {
+    const Atom& x = a.atoms_[i];
+    const Atom& y = b.atoms_[j];
+    if (x.var < y.var) {
+      out.atoms_.push_back(x);
+      ++i;
+    } else if (y.var < x.var) {
+      out.atoms_.push_back(y);
+      ++j;
+    } else {
+      if (x.asg != y.asg) return std::nullopt;  // inconsistent: row drops out
+      out.atoms_.push_back(x);
+      ++i;
+      ++j;
+    }
+  }
+  out.atoms_.insert(out.atoms_.end(), a.atoms_.begin() + i, a.atoms_.end());
+  out.atoms_.insert(out.atoms_.end(), b.atoms_.begin() + j, b.atoms_.end());
+  return out;
+}
+
+bool Condition::SubsetOf(const Condition& other) const {
+  if (atoms_.size() > other.atoms_.size()) return false;
+  size_t j = 0;
+  for (const Atom& a : atoms_) {
+    while (j < other.atoms_.size() && other.atoms_[j].var < a.var) ++j;
+    if (j >= other.atoms_.size() || other.atoms_[j].var != a.var ||
+        other.atoms_[j].asg != a.asg) {
+      return false;
+    }
+    ++j;
+  }
+  return true;
+}
+
+std::optional<Condition> Condition::Assign(VarId var, AsgId asg) const {
+  auto bound = Lookup(var);
+  if (!bound) return *this;
+  if (*bound != asg) return std::nullopt;
+  Condition out;
+  out.atoms_.reserve(atoms_.size() - 1);
+  for (const Atom& a : atoms_) {
+    if (a.var != var) out.atoms_.push_back(a);
+  }
+  return out;
+}
+
+size_t Condition::Hash() const {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (const Atom& a : atoms_) {
+    h ^= (static_cast<size_t>(a.var) << 32) | a.asg;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string Condition::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StringFormat("x%u->%u", atoms_[i].var, atoms_[i].asg);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace maybms

@@ -1,0 +1,83 @@
+// Conditions: the condition columns of U-relations.
+//
+// A U-relation row carries a conjunction of atoms "x ↦ a" over independent
+// finite random variables (paper §2.1: "The condition columns store
+// variables from a finite set of independent random variables and their
+// assignments"). The row exists exactly in the worlds whose total valuation
+// satisfies every atom.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace maybms {
+
+/// Identifier of a random variable in the world table.
+using VarId = uint32_t;
+/// Identifier of one possible assignment (domain value) of a variable.
+using AsgId = uint32_t;
+
+/// One atom "variable ↦ assignment". MayBMS stores these as pairs of
+/// integers (paper §2.4).
+struct Atom {
+  VarId var = 0;
+  AsgId asg = 0;
+
+  friend bool operator==(const Atom&, const Atom&) = default;
+  friend auto operator<=>(const Atom&, const Atom&) = default;
+};
+
+/// A consistent conjunction of atoms, kept sorted by variable id with at
+/// most one atom per variable. The empty condition is "true" (t-certain
+/// rows).
+class Condition {
+ public:
+  /// The always-true condition (no atoms).
+  Condition() = default;
+
+  /// Builds from an atom list; returns nullopt if two atoms bind the same
+  /// variable to different assignments (inconsistent conjunction).
+  static std::optional<Condition> FromAtoms(std::vector<Atom> atoms);
+
+  /// True iff there are no atoms (row exists in every world).
+  bool IsTrue() const { return atoms_.empty(); }
+  size_t NumAtoms() const { return atoms_.size(); }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  /// Conjoins another atom. Returns false (leaving *this unchanged) if the
+  /// variable is already bound to a different assignment.
+  bool AddAtom(Atom atom);
+
+  /// Assignment of `var` in this condition, if bound.
+  std::optional<AsgId> Lookup(VarId var) const;
+
+  /// Conjunction of two conditions; nullopt when inconsistent. This is the
+  /// core of the parsimonious join translation: joined rows merge their
+  /// condition columns and inconsistent combinations drop out.
+  static std::optional<Condition> Merge(const Condition& a, const Condition& b);
+
+  /// True iff every atom of this condition appears in `other` (i.e. `other`
+  /// implies `this`). Used for clause subsumption in lineage simplification.
+  bool SubsetOf(const Condition& other) const;
+
+  /// Conditions on var := asg: atoms on `var` with a different assignment
+  /// make the condition false (nullopt); a matching atom is removed.
+  std::optional<Condition> Assign(VarId var, AsgId asg) const;
+
+  /// Hash/equality for canonicalization and duplicate elimination; the
+  /// total order (lexicographic over atoms) canonicalizes clause sets for
+  /// the exact solver's memo table.
+  size_t Hash() const;
+  friend bool operator==(const Condition&, const Condition&) = default;
+  friend auto operator<=>(const Condition&, const Condition&) = default;
+
+  /// "{x3->1, x7->0}" (or "{}" when true).
+  std::string ToString() const;
+
+ private:
+  std::vector<Atom> atoms_;  // sorted by var, unique vars
+};
+
+}  // namespace maybms

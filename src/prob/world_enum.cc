@@ -1,0 +1,71 @@
+#include "src/prob/world_enum.h"
+
+#include <algorithm>
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+bool World::Satisfies(const Condition& cond) const {
+  for (const Atom& a : cond.atoms()) {
+    auto it = std::lower_bound(vars->begin(), vars->end(), a.var);
+    if (it == vars->end() || *it != a.var) return false;
+    size_t idx = static_cast<size_t>(it - vars->begin());
+    if (assignment[idx] != a.asg) return false;
+  }
+  return true;
+}
+
+Status EnumerateWorlds(const WorldTable& wt, std::vector<VarId> vars,
+                       uint64_t max_worlds,
+                       const std::function<void(const World&)>& fn) {
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+
+  double total = 1;
+  for (VarId v : vars) total *= static_cast<double>(wt.DomainSize(v));
+  if (total > static_cast<double>(max_worlds)) {
+    return Status::OutOfRange(StringFormat(
+        "world enumeration over %zu variables would produce %.0f worlds (cap %llu)",
+        vars.size(), total, static_cast<unsigned long long>(max_worlds)));
+  }
+
+  World world;
+  world.vars = &vars;
+  world.assignment.assign(vars.size(), 0);
+
+  // Odometer enumeration.
+  while (true) {
+    double p = 1.0;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      p *= wt.AtomProb(Atom{vars[i], world.assignment[i]});
+    }
+    world.probability = p;
+    fn(world);
+
+    size_t i = 0;
+    for (; i < vars.size(); ++i) {
+      if (++world.assignment[i] < wt.DomainSize(vars[i])) break;
+      world.assignment[i] = 0;
+    }
+    if (i == vars.size()) break;
+    if (vars.empty()) break;
+  }
+  return Status::OK();
+}
+
+World SampleWorld(const WorldTable& wt, const std::vector<VarId>& vars, Rng* rng) {
+  World world;
+  world.vars = &vars;
+  world.assignment.reserve(vars.size());
+  double p = 1.0;
+  for (VarId v : vars) {
+    AsgId a = wt.SampleAssignment(v, rng);
+    world.assignment.push_back(a);
+    p *= wt.AtomProb(Atom{v, a});
+  }
+  world.probability = p;
+  return world;
+}
+
+}  // namespace maybms

@@ -1,0 +1,35 @@
+// Possible-world enumeration and sampling over a set of variables.
+// Exponential; used as the ground-truth oracle in tests and by the naive
+// confidence computation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/prob/world_table.h"
+
+namespace maybms {
+
+/// A total valuation of the variables in `vars` (parallel vectors).
+struct World {
+  const std::vector<VarId>* vars = nullptr;
+  std::vector<AsgId> assignment;  // assignment[i] valuates (*vars)[i]
+  double probability = 0;
+
+  /// True iff the world satisfies every atom of `cond` (atoms over
+  /// variables not in `vars` make it unsatisfied).
+  bool Satisfies(const Condition& cond) const;
+};
+
+/// Calls `fn` once per possible world over exactly the variables in `vars`
+/// (deduplicated). Errors if the world count would exceed `max_worlds`.
+Status EnumerateWorlds(const WorldTable& wt, std::vector<VarId> vars,
+                       uint64_t max_worlds, const std::function<void(const World&)>& fn);
+
+/// Samples a world over `vars` from the product distribution.
+World SampleWorld(const WorldTable& wt, const std::vector<VarId>& vars, Rng* rng);
+
+}  // namespace maybms

@@ -1,0 +1,63 @@
+#include "src/prob/world_table.h"
+
+#include <cmath>
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+Result<VarId> WorldTable::NewVariable(std::vector<double> probs, std::string label) {
+  if (probs.empty()) {
+    return Status::InvalidArgument("variable must have at least one assignment");
+  }
+  double sum = 0;
+  for (double p : probs) {
+    if (p < 0 || p > 1 + 1e-9 || std::isnan(p)) {
+      return Status::InvalidArgument(
+          StringFormat("assignment probability %g outside [0,1]", p));
+    }
+    sum += p;
+  }
+  if (std::fabs(sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument(
+        StringFormat("assignment probabilities sum to %g, expected 1", sum));
+  }
+  VarId id = static_cast<VarId>(variables_.size());
+  variables_.push_back(Variable{std::move(probs), std::move(label)});
+  return id;
+}
+
+Result<VarId> WorldTable::NewBooleanVariable(double p, std::string label) {
+  if (p < 0 || p > 1 || std::isnan(p)) {
+    return Status::InvalidArgument(StringFormat("probability %g outside [0,1]", p));
+  }
+  return NewVariable({1.0 - p, p}, std::move(label));
+}
+
+double WorldTable::ConditionProb(const Condition& cond) const {
+  double p = 1.0;
+  for (const Atom& a : cond.atoms()) p *= AtomProb(a);
+  return p;
+}
+
+AsgId WorldTable::SampleAssignment(VarId var, Rng* rng) const {
+  const std::vector<double>& probs = variables_[var].probs;
+  double u = rng->NextDouble();
+  double acc = 0;
+  for (size_t i = 0; i + 1 < probs.size(); ++i) {
+    acc += probs[i];
+    if (u < acc) return static_cast<AsgId>(i);
+  }
+  return static_cast<AsgId>(probs.size() - 1);
+}
+
+double WorldTable::NumWorldsApprox() const {
+  double n = 1;
+  for (const Variable& v : variables_) {
+    n *= static_cast<double>(v.probs.size());
+    if (n > 1e300) return n;
+  }
+  return n;
+}
+
+}  // namespace maybms

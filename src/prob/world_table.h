@@ -1,0 +1,58 @@
+// The world table: the registry of independent finite random variables and
+// their assignment probabilities. In MayBMS this is the relation W(var,
+// asg, prob) maintained by the system; here it is the single source of
+// truth for probabilities (see DESIGN.md, substitution table).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/prob/condition.h"
+
+namespace maybms {
+
+/// Registry of independent random variables. Each variable has a finite
+/// domain {0, ..., k-1} with probabilities summing to 1.
+class WorldTable {
+ public:
+  /// Registers a fresh variable with the given assignment distribution.
+  /// `probs` must be non-empty, non-negative, and sum to 1 within 1e-9
+  /// (repair-key normalizes weights before calling this).
+  Result<VarId> NewVariable(std::vector<double> probs, std::string label = "");
+
+  /// Convenience: a Boolean variable with P(asg 1) = p (pick-tuples).
+  /// Assignment 0 = "absent", 1 = "present".
+  Result<VarId> NewBooleanVariable(double p, std::string label = "");
+
+  size_t NumVariables() const { return variables_.size(); }
+  size_t DomainSize(VarId var) const { return variables_[var].probs.size(); }
+  const std::string& Label(VarId var) const { return variables_[var].label; }
+
+  /// P(var = asg).
+  double AtomProb(const Atom& atom) const {
+    return variables_[atom.var].probs[atom.asg];
+  }
+
+  /// Probability of a conjunction of atoms over *independent* variables:
+  /// the product of the atom probabilities (conditions hold at most one
+  /// atom per variable, so this is exact).
+  double ConditionProb(const Condition& cond) const;
+
+  /// Samples an assignment of `var` from its distribution.
+  AsgId SampleAssignment(VarId var, Rng* rng) const;
+
+  /// Total number of possible worlds (product of domain sizes, capped at
+  /// `cap` to avoid overflow). Useful for testing oracles.
+  double NumWorldsApprox() const;
+
+ private:
+  struct Variable {
+    std::vector<double> probs;
+    std::string label;
+  };
+  std::vector<Variable> variables_;
+};
+
+}  // namespace maybms

@@ -1,0 +1,461 @@
+#include "src/sprout/safe_plan.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "src/common/str_util.h"
+#include "src/conf/exact.h"
+#include "src/lineage/dnf.h"
+#include "src/sprout/tuple_independent.h"
+#include "src/types/row.h"
+
+namespace maybms {
+namespace sprout {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+struct VecHash {
+  size_t operator()(const std::vector<Value>& v) const { return HashValues(v); }
+};
+struct VecEq {
+  bool operator()(const std::vector<Value>& a, const std::vector<Value>& b) const {
+    return ValuesEqual(a, b);
+  }
+};
+
+// A relation of key-value bindings with a probability per key (the output
+// of eager aggregation operators).
+struct ProbRel {
+  std::vector<std::string> vars;
+  std::unordered_map<std::vector<Value>, double, VecHash, VecEq> rows;
+};
+
+// A relation of bindings with lineage (lazy plans).
+struct LineageRel {
+  std::vector<std::string> vars;
+  std::vector<std::pair<std::vector<Value>, Condition>> rows;
+};
+
+// Checks that a tuple matches an atom's variable pattern (repeated
+// variables must hold equal values) and extracts the binding in
+// first-occurrence variable order.
+bool MatchTuple(const QueryAtom& atom, const Row& row,
+                const std::vector<std::string>& out_vars,
+                std::vector<Value>* out_values) {
+  out_values->clear();
+  out_values->resize(out_vars.size());
+  std::vector<bool> bound(out_vars.size(), false);
+  for (size_t i = 0; i < atom.vars.size(); ++i) {
+    auto it = std::find(out_vars.begin(), out_vars.end(), atom.vars[i]);
+    size_t idx = static_cast<size_t>(it - out_vars.begin());
+    if (bound[idx]) {
+      if (!(*out_values)[idx].Equals(row.values[i])) return false;
+    } else {
+      (*out_values)[idx] = row.values[i];
+      bound[idx] = true;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> DistinctVars(const QueryAtom& atom) {
+  std::vector<std::string> vars;
+  for (const std::string& v : atom.vars) {
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) vars.push_back(v);
+  }
+  return vars;
+}
+
+// ---------------------------------------------------------------------------
+// Eager (safe-plan) evaluation
+// ---------------------------------------------------------------------------
+
+class EagerEvaluator {
+ public:
+  EagerEvaluator(const WorldTable& wt, PlanStats* stats) : wt_(wt), stats_(stats) {}
+
+  Result<ProbRel> Eval(std::vector<const QueryAtom*> atoms,
+                       std::set<std::string> fixed) {
+    // Base case: a single subgoal. Project onto the fixed variables;
+    // existential variables are eliminated by the independent-project
+    // combination 1 − Π(1 − p) over the tuple-independent rows.
+    if (atoms.size() == 1) {
+      const QueryAtom& atom = *atoms[0];
+      std::vector<std::string> all_vars = DistinctVars(atom);
+      ProbRel out;
+      for (const std::string& v : all_vars) {
+        if (fixed.count(v)) out.vars.push_back(v);
+      }
+      std::vector<Value> binding;
+      for (const Row& row : atom.relation->rows()) {
+        if (!MatchTuple(atom, row, all_vars, &binding)) continue;
+        std::vector<Value> key;
+        key.reserve(out.vars.size());
+        for (const std::string& v : out.vars) {
+          size_t idx = static_cast<size_t>(
+              std::find(all_vars.begin(), all_vars.end(), v) - all_vars.begin());
+          key.push_back(binding[idx]);
+        }
+        double p = wt_.ConditionProb(row.condition);
+        auto [it, inserted] = out.rows.try_emplace(std::move(key), 0.0);
+        // Accumulate "probability that none matches" complement-wise.
+        it->second = 1.0 - (1.0 - it->second) * (1.0 - p);
+      }
+      if (stats_ != nullptr) {
+        stats_->intermediate_tuples += out.rows.size();
+        ++stats_->independent_projects;
+      }
+      return out;
+    }
+
+    // Independent-join: split into components connected via non-fixed
+    // variables; their probabilities multiply.
+    std::vector<std::vector<const QueryAtom*>> components =
+        Components(atoms, fixed);
+    if (components.size() > 1) {
+      if (stats_ != nullptr) ++stats_->independent_joins;
+      MAYBMS_ASSIGN_OR_RETURN(ProbRel acc, Eval(components[0], fixed));
+      for (size_t i = 1; i < components.size(); ++i) {
+        MAYBMS_ASSIGN_OR_RETURN(ProbRel next, Eval(components[i], fixed));
+        acc = NaturalJoin(acc, next);
+      }
+      return acc;
+    }
+
+    // Independent-project: find a root variable (a non-fixed variable
+    // occurring in every atom), fix it, recurse, then project it away.
+    std::optional<std::string> root = FindRootVariable(atoms, fixed);
+    if (!root) {
+      return Status::InvalidArgument(
+          "query is not hierarchical: no safe plan exists (SPROUT eager "
+          "plans require hierarchical queries)");
+    }
+    std::set<std::string> fixed2 = fixed;
+    fixed2.insert(*root);
+    MAYBMS_ASSIGN_OR_RETURN(ProbRel inner, Eval(std::move(atoms), std::move(fixed2)));
+
+    // Group by the key without the root variable: 1 − Π(1 − p).
+    size_t root_idx = static_cast<size_t>(
+        std::find(inner.vars.begin(), inner.vars.end(), *root) - inner.vars.begin());
+    ProbRel out;
+    for (const std::string& v : inner.vars) {
+      if (v != *root) out.vars.push_back(v);
+    }
+    for (const auto& [key, p] : inner.rows) {
+      std::vector<Value> reduced;
+      reduced.reserve(key.size() - 1);
+      for (size_t i = 0; i < key.size(); ++i) {
+        if (i != root_idx) reduced.push_back(key[i]);
+      }
+      auto [it, inserted] = out.rows.try_emplace(std::move(reduced), 0.0);
+      it->second = 1.0 - (1.0 - it->second) * (1.0 - p);
+    }
+    if (stats_ != nullptr) {
+      stats_->intermediate_tuples += out.rows.size();
+      ++stats_->independent_projects;
+    }
+    return out;
+  }
+
+ private:
+  static std::vector<std::vector<const QueryAtom*>> Components(
+      const std::vector<const QueryAtom*>& atoms, const std::set<std::string>& fixed) {
+    std::vector<int> component(atoms.size(), -1);
+    std::vector<std::vector<const QueryAtom*>> out;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (component[i] >= 0) continue;
+      // BFS over atoms sharing non-fixed variables.
+      std::vector<size_t> queue{i};
+      component[i] = static_cast<int>(out.size());
+      out.emplace_back();
+      while (!queue.empty()) {
+        size_t cur = queue.back();
+        queue.pop_back();
+        out.back().push_back(atoms[cur]);
+        for (size_t j = 0; j < atoms.size(); ++j) {
+          if (component[j] >= 0) continue;
+          bool shares = false;
+          for (const std::string& v : atoms[cur]->vars) {
+            if (fixed.count(v)) continue;
+            if (std::find(atoms[j]->vars.begin(), atoms[j]->vars.end(), v) !=
+                atoms[j]->vars.end()) {
+              shares = true;
+              break;
+            }
+          }
+          if (shares) {
+            component[j] = component[i];
+            queue.push_back(j);
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  static std::optional<std::string> FindRootVariable(
+      const std::vector<const QueryAtom*>& atoms, const std::set<std::string>& fixed) {
+    for (const std::string& v : atoms[0]->vars) {
+      if (fixed.count(v)) continue;
+      bool in_all = true;
+      for (const QueryAtom* atom : atoms) {
+        if (std::find(atom->vars.begin(), atom->vars.end(), v) == atom->vars.end()) {
+          in_all = false;
+          break;
+        }
+      }
+      if (in_all) return v;
+    }
+    return std::nullopt;
+  }
+
+  ProbRel NaturalJoin(const ProbRel& a, const ProbRel& b) {
+    // Shared key variables.
+    std::vector<size_t> a_shared, b_shared, b_extra;
+    for (size_t j = 0; j < b.vars.size(); ++j) {
+      auto it = std::find(a.vars.begin(), a.vars.end(), b.vars[j]);
+      if (it != a.vars.end()) {
+        a_shared.push_back(static_cast<size_t>(it - a.vars.begin()));
+        b_shared.push_back(j);
+      } else {
+        b_extra.push_back(j);
+      }
+    }
+    ProbRel out;
+    out.vars = a.vars;
+    for (size_t j : b_extra) out.vars.push_back(b.vars[j]);
+
+    // Hash the smaller input by its shared projection.
+    std::unordered_map<std::vector<Value>,
+                       std::vector<std::pair<const std::vector<Value>*, double>>,
+                       VecHash, VecEq>
+        index;
+    for (const auto& [key, p] : b.rows) {
+      std::vector<Value> proj;
+      proj.reserve(b_shared.size());
+      for (size_t j : b_shared) proj.push_back(key[j]);
+      index[std::move(proj)].emplace_back(&key, p);
+    }
+    for (const auto& [key, p] : a.rows) {
+      std::vector<Value> proj;
+      proj.reserve(a_shared.size());
+      for (size_t i : a_shared) proj.push_back(key[i]);
+      auto it = index.find(proj);
+      if (it == index.end()) continue;
+      for (const auto& [bkey, bp] : it->second) {
+        std::vector<Value> joined = key;
+        for (size_t j : b_extra) joined.push_back((*bkey)[j]);
+        out.rows[std::move(joined)] = p * bp;
+      }
+    }
+    if (stats_ != nullptr) stats_->intermediate_tuples += out.rows.size();
+    return out;
+  }
+
+  const WorldTable& wt_;
+  PlanStats* stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Lazy evaluation: materialize lineage, then one confidence pass
+// ---------------------------------------------------------------------------
+
+Result<LineageRel> MaterializeJoin(const ConjunctiveQuery& query, PlanStats* stats) {
+  LineageRel acc;
+  bool first = true;
+  for (const QueryAtom& atom : query.atoms) {
+    std::vector<std::string> atom_vars = DistinctVars(atom);
+    if (first) {
+      acc.vars = atom_vars;
+      std::vector<Value> binding;
+      for (const Row& row : atom.relation->rows()) {
+        if (!MatchTuple(atom, row, atom_vars, &binding)) continue;
+        acc.rows.emplace_back(binding, row.condition);
+      }
+      first = false;
+      if (stats != nullptr) stats->intermediate_tuples += acc.rows.size();
+      continue;
+    }
+    // Hash join with the accumulated bindings on shared variables.
+    std::vector<size_t> acc_shared, atom_shared, atom_extra;
+    for (size_t j = 0; j < atom_vars.size(); ++j) {
+      auto it = std::find(acc.vars.begin(), acc.vars.end(), atom_vars[j]);
+      if (it != acc.vars.end()) {
+        acc_shared.push_back(static_cast<size_t>(it - acc.vars.begin()));
+        atom_shared.push_back(j);
+      } else {
+        atom_extra.push_back(j);
+      }
+    }
+    std::unordered_map<std::vector<Value>,
+                       std::vector<std::pair<std::vector<Value>, const Condition*>>,
+                       VecHash, VecEq>
+        index;
+    std::vector<Value> binding;
+    for (const Row& row : atom.relation->rows()) {
+      if (!MatchTuple(atom, row, atom_vars, &binding)) continue;
+      std::vector<Value> proj;
+      proj.reserve(atom_shared.size());
+      for (size_t j : atom_shared) proj.push_back(binding[j]);
+      index[std::move(proj)].emplace_back(binding, &row.condition);
+    }
+    LineageRel next;
+    next.vars = acc.vars;
+    for (size_t j : atom_extra) next.vars.push_back(atom_vars[j]);
+    for (const auto& [values, cond] : acc.rows) {
+      std::vector<Value> proj;
+      proj.reserve(acc_shared.size());
+      for (size_t i : acc_shared) proj.push_back(values[i]);
+      auto it = index.find(proj);
+      if (it == index.end()) continue;
+      for (const auto& [avalues, acond] : it->second) {
+        std::optional<Condition> merged = Condition::Merge(cond, *acond);
+        if (!merged) continue;
+        std::vector<Value> joined = values;
+        for (size_t j : atom_extra) joined.push_back(avalues[j]);
+        next.rows.emplace_back(std::move(joined), std::move(*merged));
+      }
+    }
+    acc = std::move(next);
+    if (stats != nullptr) stats->intermediate_tuples += acc.rows.size();
+  }
+  return acc;
+}
+
+}  // namespace
+
+bool IsHierarchical(const ConjunctiveQuery& query) {
+  // Collect, per non-head variable, the set of atoms using it.
+  std::set<std::string> head(query.head.begin(), query.head.end());
+  std::map<std::string, std::set<size_t>> atom_sets;
+  for (size_t i = 0; i < query.atoms.size(); ++i) {
+    for (const std::string& v : query.atoms[i].vars) {
+      if (!head.count(v)) atom_sets[v].insert(i);
+    }
+  }
+  for (auto it1 = atom_sets.begin(); it1 != atom_sets.end(); ++it1) {
+    for (auto it2 = std::next(it1); it2 != atom_sets.end(); ++it2) {
+      const std::set<size_t>& a = it1->second;
+      const std::set<size_t>& b = it2->second;
+      std::vector<size_t> inter;
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(inter));
+      if (inter.empty()) continue;
+      bool a_in_b = std::includes(b.begin(), b.end(), a.begin(), a.end());
+      bool b_in_a = std::includes(a.begin(), a.end(), b.begin(), b.end());
+      if (!a_in_b && !b_in_a) return false;
+    }
+  }
+  return true;
+}
+
+Status ValidateQuery(const ConjunctiveQuery& query) {
+  if (query.atoms.empty()) {
+    return Status::InvalidArgument("conjunctive query has no atoms");
+  }
+  std::set<const Table*> seen;
+  std::set<std::string> all_vars;
+  for (const QueryAtom& atom : query.atoms) {
+    if (atom.relation == nullptr) {
+      return Status::InvalidArgument("query atom has no relation");
+    }
+    if (atom.vars.size() != atom.relation->schema().NumColumns()) {
+      return Status::InvalidArgument(StringFormat(
+          "atom over '%s' has %zu variables but the relation has %zu columns",
+          atom.relation->name().c_str(), atom.vars.size(),
+          atom.relation->schema().NumColumns()));
+    }
+    if (!seen.insert(atom.relation.get()).second) {
+      return Status::InvalidArgument(
+          "self-joins are not supported by SPROUT plans (the class of "
+          "queries in [5] is conjunctive queries without self-joins)");
+    }
+    if (!IsTupleIndependent(*atom.relation)) {
+      return Status::InvalidArgument(StringFormat(
+          "relation '%s' is not tuple-independent", atom.relation->name().c_str()));
+    }
+    all_vars.insert(atom.vars.begin(), atom.vars.end());
+  }
+  for (const std::string& h : query.head) {
+    if (!all_vars.count(h)) {
+      return Status::InvalidArgument(
+          StringFormat("head variable '%s' does not occur in any atom", h.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ResultTuple>> Evaluate(const ConjunctiveQuery& query,
+                                          const WorldTable& wt, PlanStyle style,
+                                          PlanStats* stats) {
+  MAYBMS_RETURN_NOT_OK(ValidateQuery(query));
+
+  if (style == PlanStyle::kEager) {
+    if (!IsHierarchical(query)) {
+      return Status::InvalidArgument(
+          "query is not hierarchical: no eager safe plan exists");
+    }
+    EagerEvaluator evaluator(wt, stats);
+    std::vector<const QueryAtom*> atoms;
+    for (const QueryAtom& atom : query.atoms) atoms.push_back(&atom);
+    std::set<std::string> fixed(query.head.begin(), query.head.end());
+    MAYBMS_ASSIGN_OR_RETURN(ProbRel rel, evaluator.Eval(std::move(atoms), fixed));
+
+    // Reorder keys into query.head order.
+    std::vector<size_t> order;
+    for (const std::string& h : query.head) {
+      auto it = std::find(rel.vars.begin(), rel.vars.end(), h);
+      if (it == rel.vars.end()) {
+        return Status::Internal("head variable missing from eager plan output");
+      }
+      order.push_back(static_cast<size_t>(it - rel.vars.begin()));
+    }
+    std::vector<ResultTuple> out;
+    out.reserve(rel.rows.size());
+    for (const auto& [key, p] : rel.rows) {
+      ResultTuple t;
+      for (size_t idx : order) t.head_values.push_back(key[idx]);
+      t.probability = p;
+      out.push_back(std::move(t));
+    }
+    return out;
+  }
+
+  // Lazy: materialize the join lineage, then evaluate per head group.
+  MAYBMS_ASSIGN_OR_RETURN(LineageRel joined, MaterializeJoin(query, stats));
+  std::vector<size_t> head_idx;
+  for (const std::string& h : query.head) {
+    auto it = std::find(joined.vars.begin(), joined.vars.end(), h);
+    if (it == joined.vars.end()) {
+      return Status::Internal("head variable missing from join output");
+    }
+    head_idx.push_back(static_cast<size_t>(it - joined.vars.begin()));
+  }
+  std::unordered_map<std::vector<Value>, Dnf, VecHash, VecEq> groups;
+  for (const auto& [values, cond] : joined.rows) {
+    std::vector<Value> key;
+    key.reserve(head_idx.size());
+    for (size_t i : head_idx) key.push_back(values[i]);
+    groups[std::move(key)].AddClause(cond);
+  }
+  std::vector<ResultTuple> out;
+  out.reserve(groups.size());
+  for (auto& [key, dnf] : groups) {
+    if (stats != nullptr) stats->lineage_clauses += dnf.NumClauses();
+    MAYBMS_ASSIGN_OR_RETURN(double p, ExactConfidence(dnf, wt));
+    ResultTuple t;
+    t.head_values = key;
+    t.probability = p;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace sprout
+}  // namespace maybms

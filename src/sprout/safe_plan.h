@@ -1,0 +1,81 @@
+// SPROUT: scalable query processing on tuple-independent probabilistic
+// databases "by reduction of confidence computation to a sequence of
+// SQL-like aggregations" (paper §2.3, citing [5] "SPROUT: Lazy vs. Eager
+// Query Plans for Tuple-Independent Probabilistic Databases", ICDE'09).
+//
+// Queries are conjunctive queries without self-joins over tuple-independent
+// U-relations. For *hierarchical* queries, a safe plan computes exact
+// confidences with relational aggregation:
+//   - independent-join: probabilities of variable-disjoint subqueries
+//     multiply;
+//   - independent-project: eliminating a root variable combines the
+//     per-value probabilities as 1 − Π(1 − p).
+// Two plan styles are provided:
+//   - EAGER: aggregations are interleaved with the joins (intermediate
+//     results stay small, probabilities are folded in early);
+//   - LAZY:  the plan first materializes the full join lineage, then
+//     computes the confidence at the end (one pass over the lineage with
+//     the generic exact algorithm, which is polynomial here because
+//     hierarchical lineage decomposes without Shannon expansion).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/prob/world_table.h"
+#include "src/storage/table.h"
+
+namespace maybms {
+namespace sprout {
+
+/// One subgoal R(x1, ..., xn): a relation plus one query-variable name per
+/// column. Repeated variable names inside an atom express equality
+/// selections; shared names across atoms express equality joins.
+struct QueryAtom {
+  TablePtr relation;
+  std::vector<std::string> vars;
+};
+
+/// A conjunctive query without self-joins over tuple-independent tables.
+struct ConjunctiveQuery {
+  std::vector<std::string> head;  ///< distinguished (group-by) variables
+  std::vector<QueryAtom> atoms;
+};
+
+/// One result tuple: head-variable values and the confidence.
+struct ResultTuple {
+  std::vector<Value> head_values;
+  double probability = 0;
+};
+
+enum class PlanStyle { kEager, kLazy };
+
+/// Counters describing the work a plan performed.
+struct PlanStats {
+  uint64_t intermediate_tuples = 0;  ///< tuples materialized across operators
+  uint64_t independent_projects = 0;
+  uint64_t independent_joins = 0;
+  uint64_t lineage_clauses = 0;  ///< lazy only: clauses of the final lineage
+};
+
+/// True iff the query is hierarchical: for any two non-head variables, the
+/// sets of atoms using them are disjoint or nested. Hierarchical queries
+/// (without self-joins) are exactly the tractable ones — SPROUT's target.
+bool IsHierarchical(const ConjunctiveQuery& query);
+
+/// Validates the query (arity match, tuple-independent inputs).
+Status ValidateQuery(const ConjunctiveQuery& query);
+
+/// Evaluates the query, returning one ResultTuple per head-value
+/// combination possible in some world. kEager requires a hierarchical
+/// query (returns InvalidArgument otherwise); kLazy works for any
+/// conjunctive query (falls back to the generic exact algorithm on the
+/// materialized lineage).
+Result<std::vector<ResultTuple>> Evaluate(const ConjunctiveQuery& query,
+                                          const WorldTable& wt, PlanStyle style,
+                                          PlanStats* stats = nullptr);
+
+}  // namespace sprout
+}  // namespace maybms

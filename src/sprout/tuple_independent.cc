@@ -1,0 +1,39 @@
+#include "src/sprout/tuple_independent.h"
+
+#include <unordered_set>
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+bool IsTupleIndependent(const Table& table) {
+  std::unordered_set<VarId> seen;
+  for (const Row& row : table.rows()) {
+    if (row.condition.IsTrue()) continue;
+    if (row.condition.NumAtoms() != 1) return false;
+    VarId var = row.condition.atoms()[0].var;
+    if (!seen.insert(var).second) return false;  // variable shared across rows
+  }
+  return true;
+}
+
+Result<TablePtr> MakeTupleIndependentTable(
+    const std::string& name, const Schema& schema,
+    const std::vector<std::pair<std::vector<Value>, double>>& rows, WorldTable* wt) {
+  auto table = std::make_shared<Table>(name, schema, /*uncertain=*/true);
+  for (const auto& [values, p] : rows) {
+    if (p < 0 || p > 1) {
+      return Status::InvalidArgument(
+          StringFormat("tuple probability %g outside [0,1]", p));
+    }
+    Row row{values};
+    if (p < 1.0) {
+      MAYBMS_ASSIGN_OR_RETURN(VarId var, wt->NewBooleanVariable(p, name));
+      row.condition.AddAtom(Atom{var, 1});
+    }
+    MAYBMS_RETURN_NOT_OK(table->Append(std::move(row)));
+  }
+  return table;
+}
+
+}  // namespace maybms

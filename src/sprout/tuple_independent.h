@@ -1,0 +1,27 @@
+// Tuple-independent probabilistic relations: every tuple is present
+// independently with its own probability — the input class of SPROUT
+// (paper §2.3, citing Olteanu/Huang/Koch, ICDE'09).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/prob/world_table.h"
+#include "src/storage/table.h"
+
+namespace maybms {
+
+/// True iff every row of the table either is certain or carries exactly
+/// one condition atom over a variable private to that row (within the
+/// table): the tuple-independence test.
+bool IsTupleIndependent(const Table& table);
+
+/// Builds a tuple-independent U-relation: each (values, p) entry becomes a
+/// row present with probability p via a fresh Boolean variable (p = 1 rows
+/// are stored as certain).
+Result<TablePtr> MakeTupleIndependentTable(
+    const std::string& name, const Schema& schema,
+    const std::vector<std::pair<std::vector<Value>, double>>& rows, WorldTable* wt);
+
+}  // namespace maybms

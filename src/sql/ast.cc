@@ -1,0 +1,95 @@
+#include "src/sql/ast.h"
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+std::string LiteralExpr::ToString() const {
+  if (value.type() == TypeId::kString) return "'" + value.ToString() + "'";
+  return value.ToString();
+}
+
+std::string ColumnRefExpr::ToString() const {
+  if (table.empty()) return column;
+  return table + "." + column;
+}
+
+std::string StarExpr::ToString() const {
+  if (table.empty()) return "*";
+  return table + ".*";
+}
+
+std::string UnaryExpr::ToString() const {
+  switch (op) {
+    case UnaryOp::kNot:
+      return "not " + operand->ToString();
+    case UnaryOp::kNegate:
+      return "-" + operand->ToString();
+  }
+  return "?";
+}
+
+std::string_view BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+  }
+  return "?";
+}
+
+std::string BinaryExpr::ToString() const {
+  return "(" + left->ToString() + " " + std::string(BinaryOpToString(op)) + " " +
+         right->ToString() + ")";
+}
+
+std::string FunctionCallExpr::ToString() const {
+  std::string out = name + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+InSubqueryExpr::~InSubqueryExpr() = default;
+
+std::string InSubqueryExpr::ToString() const {
+  return operand->ToString() + (negated ? " not in (...)" : " in (...)");
+}
+
+std::string IsNullExpr::ToString() const {
+  return operand->ToString() + (negated ? " is not null" : " is null");
+}
+
+SubqueryRef::SubqueryRef(std::unique_ptr<SelectStmt> s)
+    : TableRef(TableRefKind::kSubquery), select(std::move(s)) {}
+SubqueryRef::~SubqueryRef() = default;
+RepairKeyRef::~RepairKeyRef() = default;
+PickTuplesRef::~PickTuplesRef() = default;
+
+}  // namespace maybms

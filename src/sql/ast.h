@@ -1,0 +1,289 @@
+// Abstract syntax tree for the MayBMS query language: SQL extended with
+// the uncertainty-aware constructs of paper §2.2 — conf/aconf/tconf,
+// possible, repair-key, pick-tuples, argmax, esum/ecount.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/types/value.h"
+
+namespace maybms {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct SelectStmt;
+
+enum class ExprKind : uint8_t {
+  kLiteral,
+  kColumnRef,
+  kStar,
+  kUnary,
+  kBinary,
+  kFunctionCall,
+  kInSubquery,
+  kIsNull,
+};
+
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+  virtual ~Expr() = default;
+  /// SQL-ish rendering, used in error messages and as default output
+  /// column names.
+  virtual std::string ToString() const = 0;
+
+  const ExprKind kind;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct LiteralExpr : Expr {
+  explicit LiteralExpr(Value v) : Expr(ExprKind::kLiteral), value(std::move(v)) {}
+  std::string ToString() const override;
+
+  Value value;
+};
+
+/// Possibly-qualified column reference: [table.]column.
+struct ColumnRefExpr : Expr {
+  ColumnRefExpr(std::string t, std::string c)
+      : Expr(ExprKind::kColumnRef), table(std::move(t)), column(std::move(c)) {}
+  std::string ToString() const override;
+
+  std::string table;  ///< empty if unqualified
+  std::string column;
+};
+
+/// '*' or 'table.*' in a select list or inside count(*).
+struct StarExpr : Expr {
+  explicit StarExpr(std::string t = "") : Expr(ExprKind::kStar), table(std::move(t)) {}
+  std::string ToString() const override;
+
+  std::string table;
+};
+
+enum class UnaryOp : uint8_t { kNot, kNegate };
+
+struct UnaryExpr : Expr {
+  UnaryExpr(UnaryOp o, ExprPtr e)
+      : Expr(ExprKind::kUnary), op(o), operand(std::move(e)) {}
+  std::string ToString() const override;
+
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+enum class BinaryOp : uint8_t {
+  kAnd, kOr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv, kMod,
+};
+
+std::string_view BinaryOpToString(BinaryOp op);
+
+struct BinaryExpr : Expr {
+  BinaryExpr(BinaryOp o, ExprPtr l, ExprPtr r)
+      : Expr(ExprKind::kBinary), op(o), left(std::move(l)), right(std::move(r)) {}
+  std::string ToString() const override;
+
+  BinaryOp op;
+  ExprPtr left;
+  ExprPtr right;
+};
+
+/// Function call — scalar functions and all aggregates, including the
+/// uncertainty-aware ones: conf(), aconf(ε,δ), tconf(), esum(e), ecount(e?),
+/// argmax(arg, value), and the standard sum/count/avg/min/max.
+struct FunctionCallExpr : Expr {
+  FunctionCallExpr(std::string n, std::vector<ExprPtr> a)
+      : Expr(ExprKind::kFunctionCall), name(std::move(n)), args(std::move(a)) {}
+  std::string ToString() const override;
+
+  std::string name;  ///< lower-cased
+  std::vector<ExprPtr> args;
+};
+
+/// `expr IN (select ...)`. Per paper §2.2, uncertain subqueries may occur
+/// here when the condition occurs positively.
+struct InSubqueryExpr : Expr {
+  InSubqueryExpr(ExprPtr op, std::unique_ptr<SelectStmt> sub, bool neg)
+      : Expr(ExprKind::kInSubquery), operand(std::move(op)), subquery(std::move(sub)),
+        negated(neg) {}
+  ~InSubqueryExpr() override;
+  std::string ToString() const override;
+
+  ExprPtr operand;
+  std::unique_ptr<SelectStmt> subquery;
+  bool negated;
+};
+
+struct IsNullExpr : Expr {
+  IsNullExpr(ExprPtr op, bool neg)
+      : Expr(ExprKind::kIsNull), operand(std::move(op)), negated(neg) {}
+  std::string ToString() const override;
+
+  ExprPtr operand;
+  bool negated;
+};
+
+// ---------------------------------------------------------------------------
+// Table references
+// ---------------------------------------------------------------------------
+
+enum class TableRefKind : uint8_t { kBaseTable, kSubquery, kRepairKey, kPickTuples };
+
+struct TableRef {
+  explicit TableRef(TableRefKind k) : kind(k) {}
+  virtual ~TableRef() = default;
+
+  const TableRefKind kind;
+  std::string alias;  ///< empty if none
+};
+
+using TableRefPtr = std::unique_ptr<TableRef>;
+
+struct BaseTableRef : TableRef {
+  explicit BaseTableRef(std::string n)
+      : TableRef(TableRefKind::kBaseTable), name(std::move(n)) {}
+
+  std::string name;
+};
+
+struct SubqueryRef : TableRef {
+  explicit SubqueryRef(std::unique_ptr<SelectStmt> s);
+  ~SubqueryRef() override;
+
+  std::unique_ptr<SelectStmt> select;
+};
+
+/// `repair key <attrs> in <input> [weight by <expr>]` (paper §2.2 item 2):
+/// nondeterministically chooses a maximal repair of the key in the input,
+/// one possible world per combination of per-group choices.
+struct RepairKeyRef : TableRef {
+  RepairKeyRef() : TableRef(TableRefKind::kRepairKey) {}
+  ~RepairKeyRef() override;
+
+  std::vector<ColumnRefExpr> key_columns;
+  TableRefPtr input;
+  ExprPtr weight;  ///< nullable: uniform repairs when absent
+};
+
+/// `pick tuples from <input> [independently] [with probability <expr>]`:
+/// the probabilistic relation of all possible subsets of the input.
+struct PickTuplesRef : TableRef {
+  PickTuplesRef() : TableRef(TableRefKind::kPickTuples) {}
+  ~PickTuplesRef() override;
+
+  TableRefPtr input;
+  bool independently = false;
+  ExprPtr probability;  ///< nullable: defaults to 0.5 (uniform subsets)
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StatementKind : uint8_t {
+  kSelect,
+  kCreateTable,
+  kCreateTableAs,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kDropTable,
+};
+
+struct Statement {
+  explicit Statement(StatementKind k) : kind(k) {}
+  virtual ~Statement() = default;
+
+  const StatementKind kind;
+};
+
+using StatementPtr = std::unique_ptr<Statement>;
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  ///< empty if none
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStmt : Statement {
+  SelectStmt() : Statement(StatementKind::kSelect) {}
+
+  bool distinct = false;
+  /// `select possible ...`: filter probability-0 tuples, eliminate
+  /// duplicates, output t-certain (paper §2.2 item 1).
+  bool possible = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRefPtr> from;
+  ExprPtr where;                  ///< nullable
+  std::vector<ExprPtr> group_by;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+  /// UNION chain: this select UNION union_next (multiset union, §2.2).
+  std::unique_ptr<SelectStmt> union_next;
+  /// True if the UNION was spelled UNION ALL (always multiset). Plain
+  /// UNION additionally deduplicates when both sides are t-certain.
+  bool union_all = false;
+};
+
+struct ColumnDef {
+  std::string name;
+  TypeId type;
+};
+
+struct CreateTableStmt : Statement {
+  CreateTableStmt() : Statement(StatementKind::kCreateTable) {}
+
+  std::string name;
+  std::vector<ColumnDef> columns;
+};
+
+struct CreateTableAsStmt : Statement {
+  CreateTableAsStmt() : Statement(StatementKind::kCreateTableAs) {}
+
+  std::string name;
+  std::unique_ptr<SelectStmt> select;
+};
+
+struct InsertStmt : Statement {
+  InsertStmt() : Statement(StatementKind::kInsert) {}
+
+  std::string table;
+  std::vector<std::string> columns;  ///< empty = all, in schema order
+  std::vector<std::vector<ExprPtr>> rows;  ///< VALUES lists
+  std::unique_ptr<SelectStmt> select;      ///< INSERT ... SELECT (or null)
+};
+
+struct UpdateStmt : Statement {
+  UpdateStmt() : Statement(StatementKind::kUpdate) {}
+
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  ///< nullable
+};
+
+struct DeleteStmt : Statement {
+  DeleteStmt() : Statement(StatementKind::kDelete) {}
+
+  std::string table;
+  ExprPtr where;  ///< nullable
+};
+
+struct DropTableStmt : Statement {
+  DropTableStmt() : Statement(StatementKind::kDropTable) {}
+
+  std::string name;
+  bool if_exists = false;
+};
+
+}  // namespace maybms

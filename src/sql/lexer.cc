@@ -1,0 +1,146 @@
+#include "src/sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+bool Token::IsSymbol(std::string_view s) const {
+  return type == TokenType::kSymbol && text == s;
+}
+
+bool Token::IsWord(std::string_view word) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, word);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::string(sql.substr(start, i - start));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t exp = i + 1;
+        if (exp < n && (sql[exp] == '+' || sql[exp] == '-')) ++exp;
+        if (exp < n && std::isdigit(static_cast<unsigned char>(sql[exp]))) {
+          is_float = true;
+          i = exp;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        }
+      }
+      std::string text(sql.substr(start, i - start));
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        tok.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kInteger;
+        tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StringFormat("unterminated string literal at offset %zu", tok.offset));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators first.
+    auto starts_with = [&](std::string_view op) {
+      return sql.substr(i, op.size()) == op;
+    };
+    std::string_view two_char_ops[] = {"<=", ">=", "<>", "!=", "=="};
+    bool matched = false;
+    for (std::string_view op : two_char_ops) {
+      if (starts_with(op)) {
+        tok.type = TokenType::kSymbol;
+        tok.text = std::string(op);
+        i += op.size();
+        tokens.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    if (std::string_view("(),.*=<>+-/%;").find(c) != std::string_view::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::ParseError(
+        StringFormat("unexpected character '%c' at offset %zu", c, i));
+  }
+  Token eof;
+  eof.type = TokenType::kEof;
+  eof.offset = n;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace maybms

@@ -1,0 +1,40 @@
+// SQL lexer for the MayBMS dialect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace maybms {
+
+enum class TokenType : uint8_t {
+  kIdentifier,  ///< bare or keyword word (keywords resolved by the parser)
+  kInteger,
+  kFloat,
+  kString,  ///< single-quoted literal, quotes stripped, '' unescaped
+  kSymbol,  ///< punctuation / operator, text holds the exact symbol
+  kEof,
+};
+
+/// One lexed token. `text` is the raw identifier/symbol (identifiers keep
+/// original case; comparisons are case-insensitive), numeric fields hold
+/// parsed literal values.
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t offset = 0;  ///< byte offset in the input (for error messages)
+
+  bool IsSymbol(std::string_view s) const;
+  /// Case-insensitive identifier/keyword match.
+  bool IsWord(std::string_view word) const;
+};
+
+/// Tokenizes `sql`. Comments ("-- ..." to end of line) are skipped.
+/// Returns ParseError with offset context for malformed input.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace maybms

@@ -1,0 +1,18 @@
+// Recursive-descent parser for the MayBMS query language.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sql/ast.h"
+
+namespace maybms {
+
+/// Parses a single SQL statement (a trailing ';' is permitted).
+Result<StatementPtr> ParseStatement(std::string_view sql);
+
+/// Parses a ';'-separated script.
+Result<std::vector<StatementPtr>> ParseScript(std::string_view sql);
+
+}  // namespace maybms

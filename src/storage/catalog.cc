@@ -1,0 +1,56 @@
+#include "src/storage/catalog.h"
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+Result<TablePtr> Catalog::CreateTable(const std::string& name, Schema schema,
+                                      bool uncertain) {
+  std::string key = ToLower(name);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists(StringFormat("table '%s' already exists", name.c_str()));
+  }
+  auto table = std::make_shared<Table>(name, std::move(schema), uncertain);
+  tables_[key] = table;
+  return table;
+}
+
+Status Catalog::RegisterTable(TablePtr table) {
+  std::string key = ToLower(table->name());
+  if (tables_.count(key)) {
+    return Status::AlreadyExists(
+        StringFormat("table '%s' already exists", table->name().c_str()));
+  }
+  tables_[key] = std::move(table);
+  return Status::OK();
+}
+
+Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound(StringFormat("table '%s' does not exist", name.c_str()));
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound(StringFormat("table '%s' does not exist", name.c_str()));
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+}  // namespace maybms

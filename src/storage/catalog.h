@@ -1,0 +1,42 @@
+// The system catalog: named tables plus the world table. Mirrors the role
+// of the patched PostgreSQL catalog, which "can distinguish between
+// U-relations and standard relational tables" (paper §2.4).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/prob/world_table.h"
+#include "src/storage/table.h"
+
+namespace maybms {
+
+/// Name → table registry (case-insensitive names) plus the shared
+/// WorldTable holding every random variable of the database.
+class Catalog {
+ public:
+  /// Creates a table; errors if the (case-insensitive) name exists.
+  Result<TablePtr> CreateTable(const std::string& name, Schema schema,
+                               bool uncertain = false);
+
+  /// Registers an externally-built table under its own name.
+  Status RegisterTable(TablePtr table);
+
+  Result<TablePtr> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+  WorldTable& world_table() { return world_table_; }
+  const WorldTable& world_table() const { return world_table_; }
+
+ private:
+  std::map<std::string, TablePtr> tables_;  // key: lower-cased name
+  WorldTable world_table_;
+};
+
+}  // namespace maybms

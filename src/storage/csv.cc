@@ -1,0 +1,165 @@
+#include "src/storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+namespace {
+
+// Splits one CSV record respecting double-quote quoting.
+std::vector<std::string> SplitCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<Value> ParseField(const std::string& field, TypeId type) {
+  std::string_view trimmed = Trim(field);
+  if (trimmed.empty() || EqualsIgnoreCase(trimmed, "null")) return Value::Null();
+  std::string text(trimmed);
+  switch (type) {
+    case TypeId::kBool:
+      if (EqualsIgnoreCase(text, "true") || text == "1") return Value::Bool(true);
+      if (EqualsIgnoreCase(text, "false") || text == "0") return Value::Bool(false);
+      return Status::ParseError(StringFormat("invalid bool '%s'", text.c_str()));
+    case TypeId::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end != text.c_str() + text.size()) {
+        return Status::ParseError(StringFormat("invalid int '%s'", text.c_str()));
+      }
+      return Value::Int(v);
+    }
+    case TypeId::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size()) {
+        return Status::ParseError(StringFormat("invalid double '%s'", text.c_str()));
+      }
+      return Value::Double(v);
+    }
+    case TypeId::kString:
+      return Value::String(std::move(text));
+    default:
+      return Status::ParseError("column with unsupported CSV type");
+  }
+}
+
+// Quotes a field if it contains commas, quotes, or newlines.
+std::string QuoteCsv(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Result<TablePtr> CsvToTable(const std::string& name, const Schema& schema,
+                            const std::string& csv_text) {
+  std::istringstream in(csv_text);
+  std::string line;
+  if (!std::getline(in, line)) return Status::ParseError("empty CSV input");
+  std::vector<std::string> header = SplitCsvLine(Trim(line));
+  if (header.size() != schema.NumColumns()) {
+    return Status::ParseError(StringFormat(
+        "CSV header has %zu fields, schema has %zu columns", header.size(),
+        schema.NumColumns()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (!EqualsIgnoreCase(Trim(header[i]), schema.column(i).name)) {
+      return Status::ParseError(StringFormat(
+          "CSV header field '%s' does not match schema column '%s'",
+          header[i].c_str(), schema.column(i).name.c_str()));
+    }
+  }
+  auto table = std::make_shared<Table>(name, schema, /*uncertain=*/false);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(trimmed);
+    if (fields.size() != schema.NumColumns()) {
+      return Status::ParseError(StringFormat("CSV line %zu has %zu fields, expected %zu",
+                                             line_no, fields.size(),
+                                             schema.NumColumns()));
+    }
+    Row row;
+    row.values.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      MAYBMS_ASSIGN_OR_RETURN(Value v, ParseField(fields[i], schema.column(i).type));
+      row.values.push_back(std::move(v));
+    }
+    MAYBMS_RETURN_NOT_OK(table->Append(std::move(row)));
+  }
+  return table;
+}
+
+Result<TablePtr> LoadCsvFile(const std::string& name, const Schema& schema,
+                             const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError(StringFormat("cannot open '%s'", path.c_str()));
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return CsvToTable(name, schema, buf.str());
+}
+
+std::string TableToCsv(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (size_t i = 0; i < schema.NumColumns(); ++i) {
+    if (i > 0) out += ",";
+    out += QuoteCsv(schema.column(i).name);
+  }
+  out += "\n";
+  for (const Row& row : table.rows()) {
+    for (size_t i = 0; i < row.values.size(); ++i) {
+      if (i > 0) out += ",";
+      if (!row.values[i].is_null()) out += QuoteCsv(row.values[i].ToString());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status SaveCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError(StringFormat("cannot open '%s'", path.c_str()));
+  out << TableToCsv(table);
+  return Status::OK();
+}
+
+}  // namespace maybms

@@ -1,0 +1,29 @@
+// Minimal CSV import/export for example data sets. Values are parsed
+// against a declared schema; quoting with '"' and embedded commas are
+// supported.
+#pragma once
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/storage/table.h"
+
+namespace maybms {
+
+/// Parses CSV text (first line = header, must match the schema's column
+/// names case-insensitively) into a new table.
+Result<TablePtr> CsvToTable(const std::string& name, const Schema& schema,
+                            const std::string& csv_text);
+
+/// Reads a CSV file from disk into a new table.
+Result<TablePtr> LoadCsvFile(const std::string& name, const Schema& schema,
+                             const std::string& path);
+
+/// Serializes a table's data columns as CSV (header + rows). Conditions
+/// are not serialized; use for t-certain results.
+std::string TableToCsv(const Table& table);
+
+/// Writes a table to a CSV file.
+Status SaveCsvFile(const Table& table, const std::string& path);
+
+}  // namespace maybms

@@ -1,0 +1,280 @@
+#include "src/storage/persist.h"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+namespace {
+
+constexpr const char* kMagic = "MAYBMS DUMP v1";
+
+// Field-level escaping for tab-separated records.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out.push_back(s[i]);
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      default:
+        out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::string SerializeValue(const Value& v) {
+  switch (v.type()) {
+    case TypeId::kNull:
+      return "\\N";
+    case TypeId::kBool:
+      return v.AsBool() ? "true" : "false";
+    case TypeId::kInt:
+      return std::to_string(v.AsInt());
+    case TypeId::kDouble:
+      return StringFormat("%.17g", v.AsDouble());
+    case TypeId::kString:
+      return Escape(v.AsString());
+  }
+  return "\\N";
+}
+
+Result<Value> DeserializeValue(const std::string& field, TypeId type) {
+  if (field == "\\N") return Value::Null();
+  switch (type) {
+    case TypeId::kBool:
+      return Value::Bool(field == "true");
+    case TypeId::kInt:
+      return Value::Int(std::strtoll(field.c_str(), nullptr, 10));
+    case TypeId::kDouble:
+      return Value::Double(std::strtod(field.c_str(), nullptr));
+    case TypeId::kString:
+      return Value::String(Unescape(field));
+    default:
+      return Status::ParseError("dump contains a value for an untyped column");
+  }
+}
+
+}  // namespace
+
+std::string DumpDatabase(const Catalog& catalog) {
+  std::string out = kMagic;
+  out += "\n";
+
+  // World table: one line per variable: label, then the distribution.
+  const WorldTable& wt = catalog.world_table();
+  out += StringFormat("WORLDTABLE %zu\n", wt.NumVariables());
+  for (VarId v = 0; v < wt.NumVariables(); ++v) {
+    out += StringFormat("V\t%s\t%zu", Escape(wt.Label(v)).c_str(), wt.DomainSize(v));
+    for (AsgId a = 0; a < wt.DomainSize(v); ++a) {
+      out += StringFormat("\t%.17g", wt.AtomProb(Atom{v, a}));
+    }
+    out += "\n";
+  }
+
+  for (const std::string& name : catalog.TableNames()) {
+    TablePtr table = *catalog.GetTable(name);
+    out += StringFormat("TABLE\t%s\t%d\t%zu\t%zu\n", Escape(table->name()).c_str(),
+                        table->uncertain() ? 1 : 0, table->schema().NumColumns(),
+                        table->NumRows());
+    for (const Column& col : table->schema().columns()) {
+      out += StringFormat("C\t%s\t%s\n", Escape(col.name).c_str(),
+                          std::string(TypeIdToString(col.type)).c_str());
+    }
+    for (const Row& row : table->rows()) {
+      out += "R";
+      for (const Value& v : row.values) {
+        out += "\t";
+        out += SerializeValue(v);
+      }
+      // Condition column: "var:asg" pairs after a '|' marker.
+      out += "\t|";
+      for (const Atom& a : row.condition.atoms()) {
+        out += StringFormat("\t%u:%u", a.var, a.asg);
+      }
+      out += "\n";
+    }
+  }
+  out += "END\n";
+  return out;
+}
+
+Status SaveDatabaseToFile(const Catalog& catalog, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError(StringFormat("cannot open '%s'", path.c_str()));
+  out << DumpDatabase(catalog);
+  if (!out.good()) return Status::IoError(StringFormat("write to '%s' failed", path.c_str()));
+  return Status::OK();
+}
+
+Status RestoreDatabase(const std::string& dump, Catalog* catalog) {
+  if (!catalog->TableNames().empty() || catalog->world_table().NumVariables() != 0) {
+    return Status::InvalidArgument(
+        "RestoreDatabase requires a fresh catalog (variable ids are dense)");
+  }
+  std::istringstream in(dump);
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != kMagic) {
+    return Status::ParseError("not a MayBMS dump (bad magic)");
+  }
+
+  if (!std::getline(in, line)) return Status::ParseError("truncated dump");
+  size_t num_vars = 0;
+  if (std::sscanf(line.c_str(), "WORLDTABLE %zu", &num_vars) != 1) {
+    return Status::ParseError("missing WORLDTABLE section");
+  }
+  for (size_t i = 0; i < num_vars; ++i) {
+    if (!std::getline(in, line)) return Status::ParseError("truncated world table");
+    std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() < 3 || fields[0] != "V") {
+      return Status::ParseError("malformed world-table record");
+    }
+    size_t domain = std::strtoull(fields[2].c_str(), nullptr, 10);
+    if (fields.size() != 3 + domain) {
+      return Status::ParseError("world-table record has wrong arity");
+    }
+    std::vector<double> probs;
+    probs.reserve(domain);
+    for (size_t a = 0; a < domain; ++a) {
+      probs.push_back(std::strtod(fields[3 + a].c_str(), nullptr));
+    }
+    MAYBMS_ASSIGN_OR_RETURN(
+        VarId v, catalog->world_table().NewVariable(std::move(probs),
+                                                    Unescape(fields[1])));
+    (void)v;
+  }
+
+  while (std::getline(in, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed == "END") return Status::OK();
+    std::vector<std::string> header = Split(line, '\t');
+    if (header.size() != 5 || header[0] != "TABLE") {
+      return Status::ParseError(
+          StringFormat("expected TABLE record, got '%s'", line.c_str()));
+    }
+    std::string name = Unescape(header[1]);
+    bool uncertain = header[2] == "1";
+    size_t num_cols = std::strtoull(header[3].c_str(), nullptr, 10);
+    size_t num_rows = std::strtoull(header[4].c_str(), nullptr, 10);
+
+    Schema schema;
+    for (size_t c = 0; c < num_cols; ++c) {
+      if (!std::getline(in, line)) return Status::ParseError("truncated schema");
+      std::vector<std::string> fields = Split(line, '\t');
+      if (fields.size() != 3 || fields[0] != "C") {
+        return Status::ParseError("malformed column record");
+      }
+      TypeId type;
+      const std::string& t = fields[2];
+      if (t == "int") {
+        type = TypeId::kInt;
+      } else if (t == "double") {
+        type = TypeId::kDouble;
+      } else if (t == "string") {
+        type = TypeId::kString;
+      } else if (t == "bool") {
+        type = TypeId::kBool;
+      } else if (t == "null") {
+        type = TypeId::kNull;
+      } else {
+        return Status::ParseError(StringFormat("unknown column type '%s'", t.c_str()));
+      }
+      schema.AddColumn(Column{Unescape(fields[1]), type});
+    }
+
+    MAYBMS_ASSIGN_OR_RETURN(TablePtr table,
+                            catalog->CreateTable(name, schema, uncertain));
+    for (size_t r = 0; r < num_rows; ++r) {
+      if (!std::getline(in, line)) return Status::ParseError("truncated rows");
+      std::vector<std::string> fields = Split(line, '\t');
+      if (fields.empty() || fields[0] != "R") {
+        return Status::ParseError("malformed row record");
+      }
+      // Layout: R <v1> ... <vn> | <atom>*
+      size_t bar = 0;
+      for (size_t i = 1; i < fields.size(); ++i) {
+        if (fields[i] == "|") {
+          bar = i;
+          break;
+        }
+      }
+      if (bar != num_cols + 1) {
+        return Status::ParseError("row record has wrong arity");
+      }
+      Row row;
+      row.values.reserve(num_cols);
+      for (size_t c = 0; c < num_cols; ++c) {
+        MAYBMS_ASSIGN_OR_RETURN(Value v,
+                                DeserializeValue(fields[1 + c], schema.column(c).type));
+        row.values.push_back(std::move(v));
+      }
+      for (size_t i = bar + 1; i < fields.size(); ++i) {
+        unsigned var = 0, asg = 0;
+        if (std::sscanf(fields[i].c_str(), "%u:%u", &var, &asg) != 2) {
+          return Status::ParseError("malformed condition atom");
+        }
+        if (var >= catalog->world_table().NumVariables() ||
+            asg >= catalog->world_table().DomainSize(var)) {
+          return Status::ParseError("condition atom references unknown variable");
+        }
+        if (!row.condition.AddAtom(Atom{var, asg})) {
+          return Status::ParseError("inconsistent condition in dump");
+        }
+      }
+      MAYBMS_RETURN_NOT_OK(table->Append(std::move(row)));
+    }
+  }
+  return Status::ParseError("dump is missing the END marker");
+}
+
+Status LoadDatabaseFromFile(const std::string& path, Catalog* catalog) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError(StringFormat("cannot open '%s'", path.c_str()));
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return RestoreDatabase(buf.str(), catalog);
+}
+
+}  // namespace maybms

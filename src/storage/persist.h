@@ -1,0 +1,35 @@
+// Database persistence: dump and restore of the whole catalog — tables
+// (data columns *and* condition columns) plus the world table.
+//
+// Paper §2.3 ("Updates, concurrency control, and recovery"): "As a
+// consequence of our choice of a purely relational representation system,
+// these issues cause surprisingly little difficulty. U-relations are
+// represented relationally ..." — the dump below is exactly that
+// relational representation serialized: each row's condition is a list of
+// (variable, assignment) integer pairs and the world table is a ternary
+// relation (variable, assignment, probability).
+#pragma once
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/storage/catalog.h"
+
+namespace maybms {
+
+/// Serializes the catalog (all tables + the world table) into a single
+/// self-contained text dump.
+std::string DumpDatabase(const Catalog& catalog);
+
+/// Writes DumpDatabase() to a file.
+Status SaveDatabaseToFile(const Catalog& catalog, const std::string& path);
+
+/// Restores a dump into `catalog`. The catalog must be fresh: no tables
+/// and an empty world table (variable ids in conditions are dense indexes
+/// into the dumped world table).
+Status RestoreDatabase(const std::string& dump, Catalog* catalog);
+
+/// Reads a dump file and restores it.
+Status LoadDatabaseFromFile(const std::string& path, Catalog* catalog);
+
+}  // namespace maybms

@@ -1,0 +1,40 @@
+#include "src/storage/table.h"
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+Status Table::Append(Row row) {
+  if (row.values.size() != schema_.NumColumns()) {
+    return Status::InvalidArgument(StringFormat(
+        "row arity %zu does not match table '%s' arity %zu", row.values.size(),
+        name_.c_str(), schema_.NumColumns()));
+  }
+  for (size_t i = 0; i < row.values.size(); ++i) {
+    Value& v = row.values[i];
+    TypeId declared = schema_.column(i).type;
+    if (v.is_null() || declared == TypeId::kNull) continue;
+    if (v.type() == declared) continue;
+    if (declared == TypeId::kDouble && v.type() == TypeId::kInt) {
+      v = Value::Double(static_cast<double>(v.AsInt()));
+      continue;
+    }
+    if (declared == TypeId::kInt && v.type() == TypeId::kDouble &&
+        static_cast<double>(static_cast<int64_t>(v.AsDouble())) == v.AsDouble()) {
+      v = Value::Int(static_cast<int64_t>(v.AsDouble()));
+      continue;
+    }
+    return Status::TypeError(StringFormat(
+        "value of type %s cannot be stored in column '%s' of type %s",
+        std::string(TypeIdToString(v.type())).c_str(), schema_.column(i).name.c_str(),
+        std::string(TypeIdToString(declared)).c_str()));
+  }
+  if (!row.condition.IsTrue() && !uncertain_) {
+    return Status::InvalidArgument(StringFormat(
+        "conditioned row appended to t-certain table '%s'", name_.c_str()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+}  // namespace maybms

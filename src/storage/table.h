@@ -1,0 +1,51 @@
+// In-memory heap tables. Plays the role of PostgreSQL's storage layer in
+// the original system: U-relations are stored as ordinary relations whose
+// rows additionally carry condition columns (paper §2.1, §2.4).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/types/row.h"
+#include "src/types/schema.h"
+
+namespace maybms {
+
+/// A named, schema-ful collection of rows. `uncertain()` mirrors the
+/// MayBMS system-catalog flag distinguishing U-relations from standard
+/// relational tables (paper §2.4).
+class Table {
+ public:
+  Table(std::string name, Schema schema, bool uncertain = false)
+      : name_(std::move(name)), schema_(std::move(schema)), uncertain_(uncertain) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  bool uncertain() const { return uncertain_; }
+  void set_uncertain(bool u) { uncertain_ = u; }
+
+  size_t NumRows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+
+  /// Appends a row after checking arity and value/declared-type agreement
+  /// (nulls are allowed in any column; ints widen to double columns).
+  Status Append(Row row);
+
+  /// Appends without checks (bulk paths that validated already).
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  void Clear() { rows_.clear(); }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  bool uncertain_;
+  std::vector<Row> rows_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace maybms

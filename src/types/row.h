@@ -1,0 +1,33 @@
+// Rows of U-relations: data values plus the condition columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/prob/condition.h"
+#include "src/types/value.h"
+
+namespace maybms {
+
+/// One row: the data attribute values plus the (possibly empty) condition.
+/// A t-certain row has the empty (true) condition.
+struct Row {
+  std::vector<Value> values;
+  Condition condition;
+
+  Row() = default;
+  explicit Row(std::vector<Value> v) : values(std::move(v)) {}
+  Row(std::vector<Value> v, Condition c)
+      : values(std::move(v)), condition(std::move(c)) {}
+
+  /// "(v1, v2 | {x1->0})"
+  std::string ToString() const;
+};
+
+/// Equality/hash over a key prefix or projection of the data values (used
+/// by group-by and hash joins).
+size_t HashValues(const std::vector<Value>& values);
+size_t HashValuesAt(const std::vector<Value>& values, const std::vector<size_t>& idxs);
+bool ValuesEqual(const std::vector<Value>& a, const std::vector<Value>& b);
+
+}  // namespace maybms

@@ -1,0 +1,54 @@
+#include "src/types/schema.h"
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+std::optional<size_t> Schema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::GetColumnIndex(std::string_view name) const {
+  auto idx = FindColumn(name);
+  if (!idx) {
+    return Status::BindError(StringFormat("column '%.*s' does not exist",
+                                          static_cast<int>(name.size()), name.data()));
+  }
+  return *idx;
+}
+
+Schema Schema::Concat(const Schema& a, const Schema& b) {
+  std::vector<Column> cols = a.columns();
+  cols.insert(cols.end(), b.columns().begin(), b.columns().end());
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += TypeIdToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+bool Schema::UnionCompatible(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    TypeId a = columns_[i].type, b = other.columns_[i].type;
+    bool num_a = a == TypeId::kInt || a == TypeId::kDouble;
+    bool num_b = b == TypeId::kInt || b == TypeId::kDouble;
+    if (a != b && !(num_a && num_b) && a != TypeId::kNull && b != TypeId::kNull) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace maybms

@@ -1,0 +1,53 @@
+// Relation schemas: ordered, named, typed columns.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/types/value.h"
+
+namespace maybms {
+
+/// A single column: name (case-insensitive for lookup, original case kept
+/// for display) and declared type.
+struct Column {
+  std::string name;
+  TypeId type = TypeId::kNull;
+};
+
+/// An ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t NumColumns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  /// Case-insensitive lookup; nullopt when missing or ambiguous lookup is
+  /// not detected here (first match wins).
+  std::optional<size_t> FindColumn(std::string_view name) const;
+
+  /// Like FindColumn but errors with the relation context when missing.
+  Result<size_t> GetColumnIndex(std::string_view name) const;
+
+  /// Concatenation (for joins / condition-preserving translation).
+  static Schema Concat(const Schema& a, const Schema& b);
+
+  /// "(<name> <type>, ...)".
+  std::string ToString() const;
+
+  /// True if both schemas have the same column count and types (names may
+  /// differ) — the SQL notion of union compatibility.
+  bool UnionCompatible(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace maybms

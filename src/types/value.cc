@@ -1,0 +1,170 @@
+#include "src/types/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+std::string_view TypeIdToString(TypeId t) {
+  switch (t) {
+    case TypeId::kNull:
+      return "null";
+    case TypeId::kBool:
+      return "bool";
+    case TypeId::kInt:
+      return "int";
+    case TypeId::kDouble:
+      return "double";
+    case TypeId::kString:
+      return "string";
+  }
+  return "?";
+}
+
+TypeId Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return TypeId::kNull;
+    case 1:
+      return TypeId::kBool;
+    case 2:
+      return TypeId::kInt;
+    case 3:
+      return TypeId::kDouble;
+    case 4:
+      return TypeId::kString;
+  }
+  return TypeId::kNull;
+}
+
+Result<double> Value::ToDouble() const {
+  switch (type()) {
+    case TypeId::kBool:
+      return AsBool() ? 1.0 : 0.0;
+    case TypeId::kInt:
+      return static_cast<double>(AsInt());
+    case TypeId::kDouble:
+      return AsDouble();
+    default:
+      return Status::TypeError(StringFormat(
+          "cannot convert %s value to double", std::string(TypeIdToString(type())).c_str()));
+  }
+}
+
+Result<int64_t> Value::ToInt() const {
+  switch (type()) {
+    case TypeId::kBool:
+      return static_cast<int64_t>(AsBool());
+    case TypeId::kInt:
+      return AsInt();
+    case TypeId::kDouble:
+      return static_cast<int64_t>(AsDouble());
+    default:
+      return Status::TypeError(StringFormat(
+          "cannot convert %s value to int", std::string(TypeIdToString(type())).c_str()));
+  }
+}
+
+namespace {
+
+// Numeric class spanning int and double for cross-type comparison.
+bool IsNumeric(TypeId t) { return t == TypeId::kInt || t == TypeId::kDouble; }
+
+}  // namespace
+
+bool Value::Equals(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  TypeId a = type(), b = other.type();
+  if (IsNumeric(a) && IsNumeric(b)) {
+    if (a == TypeId::kInt && b == TypeId::kInt) return AsInt() == other.AsInt();
+    return *ToDouble() == *other.ToDouble();
+  }
+  if (a != b) return false;
+  return data_ == other.data_;
+}
+
+int Value::Compare(const Value& other) const {
+  auto rank = [](TypeId t) -> int {
+    switch (t) {
+      case TypeId::kNull:
+        return 0;
+      case TypeId::kBool:
+        return 1;
+      case TypeId::kInt:
+      case TypeId::kDouble:
+        return 2;
+      case TypeId::kString:
+        return 3;
+    }
+    return 4;
+  };
+  int ra = rank(type()), rb = rank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type()) {
+    case TypeId::kNull:
+      return 0;
+    case TypeId::kBool: {
+      int a = AsBool(), b = other.AsBool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case TypeId::kInt:
+      if (other.type() == TypeId::kInt) {
+        int64_t a = AsInt(), b = other.AsInt();
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      [[fallthrough]];
+    case TypeId::kDouble: {
+      double a = *ToDouble(), b = *other.ToDouble();
+      if (a == b) return 0;
+      return a < b ? -1 : 1;
+    }
+    case TypeId::kString: {
+      int c = AsString().compare(other.AsString());
+      return c == 0 ? 0 : (c < 0 ? -1 : 1);
+    }
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case TypeId::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case TypeId::kBool:
+      return AsBool() ? 0x1234567 : 0x89abcde;
+    case TypeId::kInt:
+      // Hash ints through double so 5 and 5.0 collide (Equals-consistent).
+      return std::hash<double>{}(static_cast<double>(AsInt()));
+    case TypeId::kDouble:
+      return std::hash<double>{}(AsDouble());
+    case TypeId::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return AsBool() ? "true" : "false";
+    case TypeId::kInt:
+      return std::to_string(AsInt());
+    case TypeId::kDouble: {
+      double d = AsDouble();
+      if (std::floor(d) == d && std::fabs(d) < 1e15) {
+        return StringFormat("%.1f", d);
+      }
+      std::string s = StringFormat("%.6g", d);
+      return s;
+    }
+    case TypeId::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+}  // namespace maybms

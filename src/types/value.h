@@ -1,0 +1,78 @@
+// Dynamic SQL values. MayBMS (like its PostgreSQL substrate) is dynamically
+// typed at the executor level: every cell is a Value tagged with a TypeId.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "src/common/result.h"
+
+namespace maybms {
+
+/// SQL data types supported by the engine.
+enum class TypeId : uint8_t {
+  kNull = 0,  ///< the SQL NULL "type" (untyped null literal)
+  kBool,
+  kInt,     ///< 64-bit signed integer
+  kDouble,  ///< 64-bit IEEE float (the paper stores probabilities this way)
+  kString,
+};
+
+/// Human-readable type name ("int", "double", ...).
+std::string_view TypeIdToString(TypeId t);
+
+/// A single dynamically-typed SQL value.
+class Value {
+ public:
+  /// NULL value.
+  Value() : data_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(v); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  TypeId type() const;
+
+  /// Typed accessors; undefined behaviour if the type does not match
+  /// (checked in debug builds via std::get).
+  bool AsBool() const { return std::get<bool>(data_); }
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric coercion: int/double/bool to double. Error for other types.
+  Result<double> ToDouble() const;
+  /// Numeric coercion to int64 (double truncates). Error for other types.
+  Result<int64_t> ToInt() const;
+
+  /// SQL equality: null equals nothing (returns false, callers handle
+  /// three-valued logic); int and double compare numerically.
+  bool Equals(const Value& other) const;
+
+  /// Total order for sorting and group-by keys: NULL < bool < numeric <
+  /// string; numerics compare by value across int/double.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  /// Hash consistent with Equals (int 5 and double 5.0 hash alike).
+  size_t Hash() const;
+
+  /// Display form ("NULL", "42", "3.5", "abc", "true").
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return Equals(other); }
+
+ private:
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+}  // namespace maybms

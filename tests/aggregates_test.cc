@@ -1,0 +1,244 @@
+// Tests for aggregates: the standard SQL aggregates on t-certain tables
+// and the probabilistic aggregates conf/aconf/esum/ecount/argmax.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/engine/database.h"
+
+namespace maybms {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+class AggregatesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("create table sales (region text, item text, "
+                            "qty int, price double)").ok());
+    ASSERT_TRUE(db_.Execute(
+        "insert into sales values "
+        "('east','pen',10,1.5), ('east','pad',5,3.0), ('east','pen',20,1.5), "
+        "('west','pen',8,1.5), ('west','pad',null,3.0)").ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(AggregatesTest, GlobalStandardAggregates) {
+  auto r = db_.Query(
+      "select count(*), count(qty), sum(qty), avg(qty), min(qty), max(qty) from sales");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->At(0, 0).AsInt(), 5);
+  EXPECT_EQ(r->At(0, 1).AsInt(), 4);  // one null qty
+  EXPECT_EQ(r->At(0, 2).AsInt(), 43);
+  EXPECT_DOUBLE_EQ(r->At(0, 3).AsDouble(), 43.0 / 4);
+  EXPECT_EQ(r->At(0, 4).AsInt(), 5);
+  EXPECT_EQ(r->At(0, 5).AsInt(), 20);
+}
+
+TEST_F(AggregatesTest, GroupedAggregates) {
+  auto r = db_.Query(
+      "select region, sum(qty) as total from sales group by region order by region");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 2u);
+  EXPECT_EQ(r->At(0, 0).AsString(), "east");
+  EXPECT_EQ(r->At(0, 1).AsInt(), 35);
+  EXPECT_EQ(r->At(1, 1).AsInt(), 8);
+}
+
+TEST_F(AggregatesTest, AggregatesOverEmptyInput) {
+  auto r = db_.Query("select count(*), sum(qty), min(qty) from sales where qty > 99");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_EQ(r->At(0, 0).AsInt(), 0);
+  EXPECT_TRUE(r->At(0, 1).is_null());
+  EXPECT_TRUE(r->At(0, 2).is_null());
+}
+
+TEST_F(AggregatesTest, GroupedAggregateOverEmptyInputHasNoGroups) {
+  auto r = db_.Query("select region, count(*) from sales where qty > 99 group by region");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 0u);
+}
+
+TEST_F(AggregatesTest, AggregateArithmetic) {
+  auto r = db_.Query("select sum(qty * price) / count(qty) as avg_value from sales");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // (15 + 15 + 30 + 12) / 4
+  EXPECT_DOUBLE_EQ(r->At(0, 0).AsDouble(), 18.0);
+}
+
+TEST_F(AggregatesTest, MinMaxOnStrings) {
+  auto r = db_.Query("select min(item), max(item) from sales");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->At(0, 0).AsString(), "pad");
+  EXPECT_EQ(r->At(0, 1).AsString(), "pen");
+}
+
+TEST_F(AggregatesTest, SumIntStaysIntSumDoubleIsDouble) {
+  auto r = db_.Query("select sum(qty), sum(price) from sales");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->At(0, 0).type(), TypeId::kInt);
+  EXPECT_EQ(r->At(0, 1).type(), TypeId::kDouble);
+}
+
+// ---------------------------------------------------------------------------
+// argmax (paper §2.2 item 3)
+// ---------------------------------------------------------------------------
+
+TEST_F(AggregatesTest, ArgmaxBasic) {
+  auto r = db_.Query(
+      "select region, argmax(item, qty) as best from sales group by region "
+      "order by region");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 2u);
+  EXPECT_EQ(r->At(0, 1).AsString(), "pen");  // east: qty 20
+  EXPECT_EQ(r->At(1, 1).AsString(), "pen");  // west: qty 8 (null ignored)
+}
+
+TEST_F(AggregatesTest, ArgmaxEmitsAllTies) {
+  ASSERT_TRUE(db_.Execute("insert into sales values ('east','ink',20,9.0)").ok());
+  auto r = db_.Query(
+      "select argmax(item, qty) as best from sales where region = 'east'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // pen and ink both reach qty 20 → two output rows.
+  ASSERT_EQ(r->NumRows(), 2u);
+  std::vector<std::string> got = {r->At(0, 0).AsString(), r->At(1, 0).AsString()};
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got[0], "ink");
+  EXPECT_EQ(got[1], "pen");
+}
+
+TEST_F(AggregatesTest, ArgmaxAllNullValuesYieldsNull) {
+  auto r = db_.Query(
+      "select argmax(item, qty) from sales where region = 'west' and item = 'pad'");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_TRUE(r->At(0, 0).is_null());
+}
+
+TEST_F(AggregatesTest, ArgmaxCombinedWithOtherAggregates) {
+  auto r = db_.Query(
+      "select region, argmax(item, qty) as best, sum(qty) as total "
+      "from sales group by region order by region");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->At(0, 2).AsInt(), 35);
+}
+
+// ---------------------------------------------------------------------------
+// esum / ecount: expectations via linearity (paper §2.2 item 4)
+// ---------------------------------------------------------------------------
+
+class ExpectationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("create table t (g text, v int, p double)").ok());
+    ASSERT_TRUE(db_.Execute(
+        "insert into t values "
+        "('a',10,0.5), ('a',20,0.25), ('b',8,1.0), ('b',2,0.75)").ok());
+    // Tuple-independent uncertain view of t.
+    ASSERT_TRUE(db_.Execute(
+        "create table ut as select * from "
+        "(pick tuples from t independently with probability p) r").ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(ExpectationTest, EsumIsLinearExpectation) {
+  auto r = db_.Query("select g, esum(v) as e from ut group by g order by g");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 2u);
+  EXPECT_NEAR(r->At(0, 1).AsDouble(), 10 * 0.5 + 20 * 0.25, kTol);
+  EXPECT_NEAR(r->At(1, 1).AsDouble(), 8 * 1.0 + 2 * 0.75, kTol);
+}
+
+TEST_F(ExpectationTest, EcountIsExpectedCardinality) {
+  auto r = db_.Query("select g, ecount() as e from ut group by g order by g");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NEAR(r->At(0, 1).AsDouble(), 0.75, kTol);
+  EXPECT_NEAR(r->At(1, 1).AsDouble(), 1.75, kTol);
+}
+
+TEST_F(ExpectationTest, GlobalEsumWithoutGroupBy) {
+  auto r = db_.Query("select esum(v) from ut");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->At(0, 0).AsDouble(), 5 + 5 + 8 + 1.5, kTol);
+}
+
+TEST_F(ExpectationTest, EsumOverExpression) {
+  auto r = db_.Query("select esum(v * 2) from ut where g = 'a'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NEAR(r->At(0, 0).AsDouble(), 2 * (10 * 0.5 + 20 * 0.25), kTol);
+}
+
+TEST_F(ExpectationTest, EsumOnCertainInputIsPlainSum) {
+  auto r = db_.Query("select esum(v) from t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->At(0, 0).AsDouble(), 40.0, kTol);
+}
+
+TEST_F(ExpectationTest, EsumOverEmptyGroupIsZero) {
+  auto r = db_.Query("select esum(v), ecount() from ut where v > 1000");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->At(0, 0).AsDouble(), 0.0, kTol);
+  EXPECT_NEAR(r->At(0, 1).AsDouble(), 0.0, kTol);
+}
+
+// esum equals the expectation computed by brute-force possible-world
+// enumeration (linearity of expectation sanity check).
+TEST_F(ExpectationTest, EsumMatchesWorldEnumeration) {
+  // E[sum] over the 'a' group: worlds of the two Boolean variables.
+  // P = 0.5, 0.25 → E = 10·0.5 + 20·0.25 = 10.
+  auto r = db_.Query("select esum(v) from ut where g = 'a'");
+  ASSERT_TRUE(r.ok());
+  double by_worlds = 0;
+  // Enumerate the 4 worlds explicitly.
+  const double p1 = 0.5, p2 = 0.25;
+  by_worlds += p1 * p2 * (10 + 20);
+  by_worlds += p1 * (1 - p2) * 10;
+  by_worlds += (1 - p1) * p2 * 20;
+  EXPECT_NEAR(r->At(0, 0).AsDouble(), by_worlds, kTol);
+}
+
+// ---------------------------------------------------------------------------
+// conf / aconf via SQL on constructed hypothesis spaces
+// ---------------------------------------------------------------------------
+
+TEST_F(ExpectationTest, ConfOnCertainGroupIsOne) {
+  auto r = db_.Query("select g, conf() as p from t group by g");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (const Row& row : r->rows()) {
+    EXPECT_NEAR(row.values[1].AsDouble(), 1.0, kTol);
+  }
+}
+
+TEST_F(ExpectationTest, ConfGroupsDuplicatesAsDisjunction) {
+  // Two independent tuples with the same g: P(g appears) = 1-(1-p1)(1-p2).
+  auto r = db_.Query("select g, conf() as p from ut group by g order by g");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NEAR(r->At(0, 1).AsDouble(), 1 - 0.5 * 0.75, kTol);
+  EXPECT_NEAR(r->At(1, 1).AsDouble(), 1.0, kTol);  // contains a p=1 tuple
+}
+
+TEST_F(ExpectationTest, AconfApproximatesConf) {
+  auto exact = db_.Query("select g, conf() as p from ut group by g order by g");
+  auto approx = db_.Query("select g, aconf(0.05, 0.05) as p from ut group by g order by g");
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  for (size_t i = 0; i < exact->NumRows(); ++i) {
+    double e = exact->At(i, 1).AsDouble();
+    double a = approx->At(i, 1).AsDouble();
+    EXPECT_NEAR(a, e, e * 0.05 + 1e-12);
+  }
+}
+
+TEST_F(ExpectationTest, AconfDefaultParameters) {
+  auto r = db_.Query("select g, aconf() as p from ut group by g");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace maybms

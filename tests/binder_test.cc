@@ -1,0 +1,229 @@
+// Tests for the binder: name resolution, uncertainty typing, and the
+// paper's §2.2 restrictions on the query language.
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+
+namespace maybms {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("create table t (a int, b text, w double)").ok());
+    ASSERT_TRUE(db_.Execute("insert into t values (1,'x',0.5), (2,'y',0.5)").ok());
+    ASSERT_TRUE(db_.Execute("create table u (a int, c text)").ok());
+    ASSERT_TRUE(db_.Execute("insert into u values (1,'p'), (3,'q')").ok());
+  }
+
+  // Expects the statement to fail at bind time with the given code.
+  void ExpectBindError(const std::string& sql, std::string_view needle = "") {
+    Result<QueryResult> r = db_.Query(sql);
+    ASSERT_FALSE(r.ok()) << sql;
+    EXPECT_EQ(r.status().code(), StatusCode::kBindError) << r.status().ToString();
+    if (!needle.empty()) {
+      EXPECT_NE(r.status().message().find(needle), std::string::npos)
+          << r.status().ToString();
+    }
+  }
+
+  Database db_;
+};
+
+TEST_F(BinderTest, UnknownTableAndColumn) {
+  Result<QueryResult> r = db_.Query("select * from nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  ExpectBindError("select nope from t", "does not exist");
+  ExpectBindError("select t.nope from t", "does not exist");
+  ExpectBindError("select x.a from t", "unknown table or alias");
+}
+
+TEST_F(BinderTest, AmbiguousColumnRejected) {
+  ExpectBindError("select a from t, u", "ambiguous");
+}
+
+TEST_F(BinderTest, QualifiedColumnsDisambiguate) {
+  auto r = db_.Query("select t.a, u.a from t, u where t.a = u.a");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumRows(), 1u);
+}
+
+TEST_F(BinderTest, AliasShadowsTableName) {
+  auto r = db_.Query("select x.a from t x");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectBindError("select t.a from t x");  // original name hidden by alias
+}
+
+TEST_F(BinderTest, StandardAggregatesForbiddenOnUncertain) {
+  ExpectBindError(
+      "select sum(a) from (pick tuples from t independently with probability w) r",
+      "not supported on uncertain relations");
+  ExpectBindError(
+      "select count(*) from (pick tuples from t) r",
+      "not supported on uncertain relations");
+  ExpectBindError(
+      "select avg(a) from (repair key b in t weight by w) r",
+      "not supported on uncertain relations");
+  ExpectBindError(
+      "select min(a) from (pick tuples from t) r",
+      "not supported on uncertain relations");
+  ExpectBindError(
+      "select argmax(a, w) from (pick tuples from t) r",
+      "not supported on uncertain relations");
+}
+
+TEST_F(BinderTest, StandardAggregatesAllowedOnCertain) {
+  auto r = db_.Query("select sum(a), count(*), avg(a), min(b), max(b) from t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->At(0, 0).AsInt(), 3);
+  EXPECT_EQ(r->At(0, 1).AsInt(), 2);
+}
+
+TEST_F(BinderTest, SelectDistinctForbiddenOnUncertain) {
+  ExpectBindError("select distinct a from (pick tuples from t) r",
+                  "select distinct is not supported on uncertain relations");
+  EXPECT_TRUE(db_.Query("select distinct a from t").ok());
+}
+
+TEST_F(BinderTest, EsumEcountAllowedOnUncertain) {
+  EXPECT_TRUE(db_.Query("select esum(a) from (pick tuples from t) r").ok());
+  EXPECT_TRUE(db_.Query("select ecount() from (pick tuples from t) r").ok());
+  EXPECT_TRUE(db_.Query("select b, esum(a) from (pick tuples from t) r group by b").ok());
+}
+
+TEST_F(BinderTest, RepairKeyRequiresCertainInput) {
+  ExpectBindError(
+      "select * from (repair key a in (select a from (pick tuples from t) x) ) r",
+      "t-certain");
+}
+
+TEST_F(BinderTest, PickTuplesRequiresCertainInput) {
+  ExpectBindError(
+      "select * from (pick tuples from (select a from (pick tuples from t) x)) r",
+      "t-certain");
+}
+
+TEST_F(BinderTest, RepairKeyUnknownKeyColumn) {
+  ExpectBindError("select * from (repair key zz in t) r", "does not exist");
+}
+
+TEST_F(BinderTest, WeightMustBeNumeric) {
+  ExpectBindError("select * from (repair key a in t weight by b) r", "numeric");
+}
+
+TEST_F(BinderTest, TconfRestrictions) {
+  // tconf with GROUP BY is rejected.
+  ExpectBindError("select b, tconf() from (pick tuples from t) r group by b");
+  // tconf combined with aggregates is rejected.
+  ExpectBindError("select tconf(), conf() from (pick tuples from t) r");
+  // tconf takes no arguments.
+  ExpectBindError("select tconf(a) from (pick tuples from t) r");
+  // Plain tconf works.
+  EXPECT_TRUE(db_.Query("select a, tconf() from (pick tuples from t) r").ok());
+}
+
+TEST_F(BinderTest, GroupByWithoutAggregates) {
+  ExpectBindError("select a from t group by a", "requires at least one aggregate");
+  ExpectBindError("select a from (pick tuples from t) r group by a", "possible");
+}
+
+TEST_F(BinderTest, NonGroupedColumnRejected) {
+  ExpectBindError("select b, sum(a) from t group by a",
+                  "must appear in the GROUP BY clause");
+}
+
+TEST_F(BinderTest, GroupKeyMatchingQualifiedVsUnqualified) {
+  // Group by t.a, select a — same column, different spelling.
+  auto r = db_.Query("select a, count(*) from t group by t.a");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumRows(), 2u);
+}
+
+TEST_F(BinderTest, NotInWithUncertainSubqueryRejected) {
+  ExpectBindError(
+      "select a from t where a not in (select a from (pick tuples from u) r)",
+      "positively");
+  EXPECT_TRUE(
+      db_.Query("select a from t where a not in (select a from u)").ok());
+}
+
+TEST_F(BinderTest, InSubqueryMustBeSingleColumn) {
+  ExpectBindError("select a from t where a in (select a, c from u)",
+                  "exactly one column");
+}
+
+TEST_F(BinderTest, UnionCompatibilityChecked) {
+  ExpectBindError("select a from t union select c from u", "union-compatible");
+  EXPECT_TRUE(db_.Query("select a from t union select a from u").ok());
+}
+
+TEST_F(BinderTest, AggregateArgumentCounts) {
+  ExpectBindError("select conf(a) from (pick tuples from t) r", "expects 0");
+  ExpectBindError("select esum() from (pick tuples from t) r", "expects 1");
+  ExpectBindError("select argmax(a) from t", "expects 2");
+  ExpectBindError("select aconf(0.1) from (pick tuples from t) r", "expects 2");
+}
+
+TEST_F(BinderTest, UnknownFunctionRejected) {
+  ExpectBindError("select frobnicate(a) from t", "unknown function");
+}
+
+TEST_F(BinderTest, AggregatesNotAllowedInWhere) {
+  ExpectBindError("select a from t where sum(a) > 1", "not allowed in this context");
+}
+
+TEST_F(BinderTest, UncertaintyTypingPropagates) {
+  // Join of certain and uncertain is uncertain; conf() makes it certain.
+  auto plan1 = db_.Explain("select t.a from t, (pick tuples from u) r where t.a = r.a");
+  ASSERT_TRUE(plan1.ok());
+  EXPECT_NE(plan1->find("[uncertain]"), std::string::npos);
+
+  auto plan2 = db_.Explain(
+      "select t.a, conf() from t, (pick tuples from u) r where t.a = r.a group by t.a");
+  ASSERT_TRUE(plan2.ok());
+  // Top node (Project over Aggregate) is certain.
+  EXPECT_NE(plan2->find("Aggregate"), std::string::npos);
+  size_t first_line_end = plan2->find('\n');
+  EXPECT_EQ(plan2->substr(0, first_line_end).find("[uncertain]"), std::string::npos);
+}
+
+TEST_F(BinderTest, EquiJoinBecomesHashJoin) {
+  auto plan = db_.Explain("select t.a from t, u where t.a = u.a");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("HashJoin"), std::string::npos);
+}
+
+TEST_F(BinderTest, CrossJoinWhenNoEquiPredicate) {
+  auto plan = db_.Explain("select t.a from t, u where t.a < u.a");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("CrossJoin"), std::string::npos);
+}
+
+TEST_F(BinderTest, SingleTablePredicatePushedDown) {
+  auto plan = db_.Explain("select t.a from t, u where t.a = u.a and t.b = 'x'");
+  ASSERT_TRUE(plan.ok());
+  // The filter must appear below the join (indented deeper).
+  size_t join_pos = plan->find("HashJoin");
+  size_t filter_pos = plan->find("Filter");
+  ASSERT_NE(join_pos, std::string::npos);
+  ASSERT_NE(filter_pos, std::string::npos);
+  EXPECT_GT(filter_pos, join_pos);
+}
+
+TEST_F(BinderTest, OrderByAliasWorks) {
+  auto r = db_.Query("select a as v from t order by v desc");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->At(0, 0).AsInt(), 2);
+}
+
+TEST_F(BinderTest, ConstantFoldingInInsert) {
+  ASSERT_TRUE(db_.Execute("insert into t values (1 + 2, lower('ABC'), 0.25 * 2)").ok());
+  auto r = db_.Query("select b from t where a = 3");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_EQ(r->At(0, 0).AsString(), "abc");
+}
+
+}  // namespace
+}  // namespace maybms

@@ -1,0 +1,202 @@
+// Unit tests for src/common: Status/Result, RNG, string utilities.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/str_util.h"
+
+namespace maybms {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::ParseError("unexpected token");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_EQ(st.message(), "unexpected token");
+  EXPECT_EQ(st.ToString(), "Parse error: unexpected token");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::TypeError("x").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::BindError("x").code(), StatusCode::kBindError);
+  EXPECT_EQ(Status::ExecutionError("x").code(), StatusCode::kExecutionError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+TEST(ResultTest, ValueAccess) {
+  Result<int> r = Half(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(ResultTest, ErrorAccess) {
+  Result<int> r = Half(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ(Result<int>(Half(3)).ValueOr(-1), -1);
+  EXPECT_EQ(Result<int>(Half(4)).ValueOr(-1), 2);
+}
+
+Result<int> Chain(int x) {
+  MAYBMS_ASSIGN_OR_RETURN(int h, Half(x));
+  MAYBMS_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagates) {
+  EXPECT_EQ(*Chain(8), 2);
+  EXPECT_FALSE(Chain(6).ok());  // 6/2 = 3 is odd
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, DoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedRoughlyUniform) {
+  Rng rng(13);
+  std::map<uint64_t, int> counts;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(6)];
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(c, n / 6.0, n / 6.0 * 0.1) << "value " << v;
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// String utilities
+// ---------------------------------------------------------------------------
+
+TEST(StrUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("SELECT Conf"), "select conf");
+  EXPECT_EQ(ToLower(""), "");
+  EXPECT_EQ(ToLower("a_1B"), "a_1b");
+}
+
+TEST(StrUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("RePair", "repair"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("key", "keys"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StrUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\na b\r "), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StrUtilTest, SplitKeepsEmptyFields) {
+  std::vector<std::string> parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StrUtilTest, StringFormat) {
+  EXPECT_EQ(StringFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StringFormat("%.3f", 0.5), "0.500");
+  EXPECT_EQ(StringFormat("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace maybms

@@ -1,0 +1,286 @@
+// Tests for exact confidence computation (variable elimination +
+// independence decomposition). The naive possible-world enumeration is the
+// ground-truth oracle; randomized TEST_P sweeps check agreement across DNF
+// shapes and heuristics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/conf/exact.h"
+#include "src/conf/naive.h"
+
+namespace maybms {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+Condition C(std::vector<Atom> atoms) { return *Condition::FromAtoms(std::move(atoms)); }
+
+TEST(ExactConfTest, TrivialCases) {
+  WorldTable wt;
+  EXPECT_DOUBLE_EQ(*ExactConfidence(Dnf(), wt), 0.0);
+  Dnf valid;
+  valid.AddClause(Condition());
+  EXPECT_DOUBLE_EQ(*ExactConfidence(valid, wt), 1.0);
+}
+
+TEST(ExactConfTest, SingleClauseIsProduct) {
+  WorldTable wt;
+  VarId x = *wt.NewVariable({0.3, 0.7});
+  VarId y = *wt.NewVariable({0.5, 0.5});
+  Dnf dnf({C({{x, 1}, {y, 0}})});
+  EXPECT_NEAR(*ExactConfidence(dnf, wt), 0.35, kTol);
+}
+
+TEST(ExactConfTest, DisjointClausesOnSameVariableAdd) {
+  // x->0 ∨ x->2 on a 3-valued variable: mutually exclusive events.
+  WorldTable wt;
+  VarId x = *wt.NewVariable({0.2, 0.3, 0.5});
+  Dnf dnf({C({{x, 0}}), C({{x, 2}})});
+  EXPECT_NEAR(*ExactConfidence(dnf, wt), 0.7, kTol);
+}
+
+TEST(ExactConfTest, IndependentClausesInclusionExclusion) {
+  WorldTable wt;
+  VarId x = *wt.NewBooleanVariable(0.4);
+  VarId y = *wt.NewBooleanVariable(0.5);
+  Dnf dnf({C({{x, 1}}), C({{y, 1}})});
+  // 1 - (1-0.4)(1-0.5) = 0.7
+  EXPECT_NEAR(*ExactConfidence(dnf, wt), 0.7, kTol);
+}
+
+TEST(ExactConfTest, SharedVariableForcesShannonExpansion) {
+  WorldTable wt;
+  VarId x = *wt.NewBooleanVariable(0.5);
+  VarId y = *wt.NewBooleanVariable(0.5);
+  VarId z = *wt.NewBooleanVariable(0.5);
+  // (x ∧ y) ∨ (x ∧ z): P = P(x)·(1 - (1-P(y))(1-P(z))) = 0.5 · 0.75
+  Dnf dnf({C({{x, 1}, {y, 1}}), C({{x, 1}, {z, 1}})});
+  ExactStats stats;
+  EXPECT_NEAR(*ExactConfidence(dnf, wt, {}, &stats), 0.375, kTol);
+  EXPECT_GE(stats.shannon_expansions, 1u);
+}
+
+TEST(ExactConfTest, MatchesNaiveOnKnownHardFormula) {
+  WorldTable wt;
+  std::vector<VarId> v;
+  for (int i = 0; i < 6; ++i) v.push_back(*wt.NewBooleanVariable(0.3 + 0.1 * (i % 3)));
+  // Chain: (v0 v1) ∨ (v1 v2) ∨ (v2 v3) ∨ (v3 v4) ∨ (v4 v5)
+  Dnf dnf;
+  for (int i = 0; i < 5; ++i) {
+    dnf.AddClause(C({{v[i], 1}, {v[i + 1], 1}}));
+  }
+  double naive = *NaiveConfidence(dnf, wt);
+  double exact = *ExactConfidence(dnf, wt);
+  EXPECT_NEAR(exact, naive, kTol);
+}
+
+TEST(ExactConfTest, StatsReflectDecompositions) {
+  WorldTable wt;
+  VarId a = *wt.NewBooleanVariable(0.5);
+  VarId b = *wt.NewBooleanVariable(0.5);
+  Dnf dnf({C({{a, 1}}), C({{b, 1}})});
+  ExactStats stats;
+  ASSERT_TRUE(ExactConfidence(dnf, wt, {}, &stats).ok());
+  EXPECT_GE(stats.decompositions, 1u);
+  EXPECT_GE(stats.steps, 3u);  // root + two components
+}
+
+TEST(ExactConfTest, MaxStepsAborts) {
+  WorldTable wt;
+  std::vector<VarId> v;
+  for (int i = 0; i < 12; ++i) v.push_back(*wt.NewBooleanVariable(0.5));
+  Dnf dnf;
+  for (int i = 0; i < 11; ++i) dnf.AddClause(C({{v[i], 1}, {v[i + 1], 1}}));
+  ExactOptions options;
+  options.max_steps = 2;
+  Result<double> r = ExactConfidence(dnf, wt, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ExactConfTest, ZeroProbabilityAtomsHandled) {
+  WorldTable wt;
+  VarId x = *wt.NewVariable({0.0, 1.0});
+  VarId y = *wt.NewBooleanVariable(0.25);
+  Dnf dnf({C({{x, 0}}), C({{y, 1}})});
+  EXPECT_NEAR(*ExactConfidence(dnf, wt), 0.25, kTol);
+}
+
+TEST(ExactConfTest, ComplementaryClausesSumToOne) {
+  WorldTable wt;
+  VarId x = *wt.NewVariable({0.25, 0.35, 0.4});
+  Dnf dnf({C({{x, 0}}), C({{x, 1}}), C({{x, 2}})});
+  EXPECT_NEAR(*ExactConfidence(dnf, wt), 1.0, kTol);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized agreement with the naive oracle, across DNF shapes and
+// elimination heuristics.
+// ---------------------------------------------------------------------------
+
+struct RandomDnfParams {
+  int num_vars;
+  int domain_size;
+  int num_clauses;
+  int clause_width;
+  EliminationHeuristic heuristic;
+};
+
+class ExactVsNaiveTest : public ::testing::TestWithParam<RandomDnfParams> {};
+
+// Builds a random world table + DNF with the given shape.
+std::pair<WorldTable, Dnf> RandomInstance(const RandomDnfParams& p, uint64_t seed) {
+  WorldTable wt;
+  Rng rng(seed);
+  std::vector<VarId> vars;
+  for (int i = 0; i < p.num_vars; ++i) {
+    std::vector<double> probs(p.domain_size);
+    double total = 0;
+    for (double& pr : probs) {
+      pr = rng.NextDouble() + 0.05;
+      total += pr;
+    }
+    double acc = 0;
+    for (size_t j = 0; j + 1 < probs.size(); ++j) {
+      probs[j] /= total;
+      acc += probs[j];
+    }
+    probs.back() = 1.0 - acc;  // exact normalization
+    vars.push_back(*wt.NewVariable(std::move(probs)));
+  }
+  Dnf dnf;
+  for (int c = 0; c < p.num_clauses; ++c) {
+    std::vector<Atom> atoms;
+    for (int a = 0; a < p.clause_width; ++a) {
+      VarId v = vars[rng.NextBounded(vars.size())];
+      AsgId asg = static_cast<AsgId>(rng.NextBounded(p.domain_size));
+      atoms.push_back({v, asg});
+    }
+    auto cond = Condition::FromAtoms(std::move(atoms));
+    if (cond) dnf.AddClause(std::move(*cond));
+  }
+  return {std::move(wt), std::move(dnf)};
+}
+
+TEST_P(ExactVsNaiveTest, AgreesWithEnumeration) {
+  const RandomDnfParams p = GetParam();
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    auto [wt, dnf] = RandomInstance(p, seed * 7919);
+    ExactOptions options;
+    options.heuristic = p.heuristic;
+    double naive = *NaiveConfidence(dnf, wt);
+    Result<double> exact = ExactConfidence(dnf, wt, options);
+    ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+    EXPECT_NEAR(*exact, naive, 1e-9)
+        << "seed " << seed << " dnf " << dnf.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ExactVsNaiveTest,
+    ::testing::Values(
+        RandomDnfParams{4, 2, 3, 2, EliminationHeuristic::kMaxOccurrence},
+        RandomDnfParams{6, 2, 6, 3, EliminationHeuristic::kMaxOccurrence},
+        RandomDnfParams{8, 2, 10, 2, EliminationHeuristic::kMaxOccurrence},
+        RandomDnfParams{5, 3, 6, 2, EliminationHeuristic::kMaxOccurrence},
+        RandomDnfParams{4, 4, 8, 3, EliminationHeuristic::kMaxOccurrence},
+        RandomDnfParams{6, 3, 8, 2, EliminationHeuristic::kMinCostEstimate},
+        RandomDnfParams{8, 2, 10, 3, EliminationHeuristic::kMinCostEstimate},
+        RandomDnfParams{6, 3, 8, 2, EliminationHeuristic::kFirstVariable},
+        RandomDnfParams{8, 2, 12, 2, EliminationHeuristic::kFirstVariable},
+        RandomDnfParams{10, 2, 4, 1, EliminationHeuristic::kMaxOccurrence},
+        RandomDnfParams{3, 5, 10, 2, EliminationHeuristic::kMaxOccurrence},
+        RandomDnfParams{12, 2, 6, 4, EliminationHeuristic::kMaxOccurrence}));
+
+// Subsumption removal must not change results.
+TEST(ExactConfTest, SubsumptionTogglePreservesResult) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    auto [wt, dnf] =
+        RandomInstance({6, 2, 8, 2, EliminationHeuristic::kMaxOccurrence}, seed * 131);
+    ExactOptions with_sub, without_sub;
+    with_sub.remove_subsumed = true;
+    without_sub.remove_subsumed = false;
+    EXPECT_NEAR(*ExactConfidence(dnf, wt, with_sub), *ExactConfidence(dnf, wt, without_sub),
+                1e-9);
+  }
+}
+
+// All heuristics agree with each other (they only change the tree shape).
+TEST(ExactConfTest, HeuristicsAgree) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    auto [wt, dnf] =
+        RandomInstance({7, 3, 9, 3, EliminationHeuristic::kMaxOccurrence}, seed * 977);
+    ExactOptions a, b, c;
+    a.heuristic = EliminationHeuristic::kMaxOccurrence;
+    b.heuristic = EliminationHeuristic::kMinCostEstimate;
+    c.heuristic = EliminationHeuristic::kFirstVariable;
+    double pa = *ExactConfidence(dnf, wt, a);
+    double pb = *ExactConfidence(dnf, wt, b);
+    double pc = *ExactConfidence(dnf, wt, c);
+    EXPECT_NEAR(pa, pb, 1e-9);
+    EXPECT_NEAR(pa, pc, 1e-9);
+  }
+}
+
+// Memoization (ws-tree sharing) must not change results, and must fire on
+// formulas whose Shannon branches reconverge.
+TEST(ExactConfTest, CacheTogglePreservesResult) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    auto [wt, dnf] =
+        RandomInstance({8, 2, 12, 3, EliminationHeuristic::kMaxOccurrence}, seed * 19);
+    ExactOptions cached, uncached;
+    cached.use_cache = true;
+    uncached.use_cache = false;
+    EXPECT_NEAR(*ExactConfidence(dnf, wt, cached), *ExactConfidence(dnf, wt, uncached),
+                1e-9);
+  }
+}
+
+TEST(ExactConfTest, CacheHitsOnReconvergentBranches) {
+  WorldTable wt;
+  std::vector<VarId> v;
+  for (int i = 0; i < 14; ++i) v.push_back(*wt.NewBooleanVariable(0.5));
+  // A long chain forces deep Shannon expansion with shared residuals.
+  Dnf dnf;
+  for (int i = 0; i + 1 < 14; ++i) dnf.AddClause(C({{v[i], 1}, {v[i + 1], 1}}));
+  ExactStats with_cache, without_cache;
+  ExactOptions cached, uncached;
+  cached.use_cache = true;
+  uncached.use_cache = false;
+  double pc = *ExactConfidence(dnf, wt, cached, &with_cache);
+  double pu = *ExactConfidence(dnf, wt, uncached, &without_cache);
+  EXPECT_NEAR(pc, pu, 1e-12);
+  EXPECT_GT(with_cache.cache_hits, 0u);
+  EXPECT_LT(with_cache.steps, without_cache.steps);
+}
+
+TEST(ExactConfTest, CacheCapRespected) {
+  WorldTable wt;
+  std::vector<VarId> v;
+  for (int i = 0; i < 12; ++i) v.push_back(*wt.NewBooleanVariable(0.5));
+  Dnf dnf;
+  for (int i = 0; i + 1 < 12; ++i) dnf.AddClause(C({{v[i], 1}, {v[i + 1], 1}}));
+  ExactOptions options;
+  options.max_cache_entries = 4;
+  ExactStats stats;
+  ASSERT_TRUE(ExactConfidence(dnf, wt, options, &stats).ok());
+  EXPECT_LE(stats.cache_entries, 4u);
+}
+
+TEST(NaiveConfTest, CapEnforced) {
+  WorldTable wt;
+  Dnf dnf;
+  std::vector<Atom> atoms;
+  for (int i = 0; i < 40; ++i) {
+    VarId v = *wt.NewBooleanVariable(0.5);
+    dnf.AddClause(C({{v, 1}}));
+  }
+  Result<double> r = NaiveConfidence(dnf, wt, 1024);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace maybms

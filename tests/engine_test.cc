@@ -1,0 +1,169 @@
+// Tests for the engine facade: Database, QueryResult, Explain, scripts,
+// seeding, and the embedding API (catalog/world-table access).
+#include <gtest/gtest.h>
+
+#include "src/common/str_util.h"
+#include "src/engine/database.h"
+#include "src/sprout/tuple_independent.h"
+
+namespace maybms {
+namespace {
+
+TEST(DatabaseTest, QueryParseErrorsSurface) {
+  Database db;
+  Result<QueryResult> r = db.Query("selec 1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(DatabaseTest, ExecuteScriptStopsAtFirstError) {
+  Database db;
+  Result<QueryResult> r = db.ExecuteScript(
+      "create table t (a int); insert into t values ('not an int');"
+      "insert into t values (2);");
+  ASSERT_FALSE(r.ok());
+  // The failing insert must not leave the later statement applied.
+  auto count = db.Query("select count(*) from t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->At(0, 0).AsInt(), 0);
+}
+
+TEST(DatabaseTest, EmptyScriptRejected) {
+  Database db;
+  EXPECT_FALSE(db.ExecuteScript("  ;;  ").ok());
+}
+
+TEST(DatabaseTest, ExplainOnDmlReportsNoPlan) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table t (a int)").ok());
+  auto plan = db.Explain("insert into t values (1)");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("no plan"), std::string::npos);
+}
+
+TEST(DatabaseTest, ExplainShowsProbabilisticOperators) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table t (k int, w double)").ok());
+  auto plan = db.Explain(
+      "select k, conf() from (repair key k in t weight by w) r group by k");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("RepairKey"), std::string::npos);
+  EXPECT_NE(plan->find("conf"), std::string::npos);
+  EXPECT_NE(plan->find("[uncertain]"), std::string::npos);
+}
+
+TEST(DatabaseTest, ReseedChangesMonteCarloStream) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table t (x int)").ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(db.Execute("insert into t values (1)").ok());
+  }
+  ASSERT_TRUE(db.Execute("create table u as select * from (pick tuples from t) r").ok());
+  auto run = [&db]() {
+    auto r = db.Query("select x, aconf(0.2, 0.2) as p from u group by x");
+    EXPECT_TRUE(r.ok());
+    return r->At(0, 1).AsDouble();
+  };
+  db.Reseed(1);
+  double a = run();
+  db.Reseed(1);
+  double b = run();
+  EXPECT_DOUBLE_EQ(a, b);  // same seed, same estimate
+}
+
+TEST(DatabaseTest, OptionsControlExactSolver) {
+  DatabaseOptions options;
+  options.exec.exact.max_steps = 1;  // absurdly tight budget
+  Database db(options);
+  ASSERT_TRUE(db.Execute("create table t (k int, v int)").ok());
+  for (int k = 0; k < 6; ++k) {
+    for (int v = 0; v < 2; ++v) {
+      ASSERT_TRUE(db.Execute(StringFormat("insert into t values (%d,%d)", k, v)).ok());
+    }
+  }
+  ASSERT_TRUE(db.Execute("create table u as select * from (repair key k in t) r").ok());
+  Result<QueryResult> r =
+      db.Query("select a.v, conf() from u a, u b where a.v = b.v group by a.v");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(QueryResultTest, ScalarValueAccessor) {
+  Database db;
+  auto one = db.Query("select 41 + 1");
+  ASSERT_TRUE(one.ok());
+  auto v = one->ScalarValue();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 42);
+
+  auto wide = db.Query("select 1, 2");
+  ASSERT_TRUE(wide.ok());
+  EXPECT_FALSE(wide->ScalarValue().ok());
+}
+
+TEST(QueryResultTest, LookupFindsFirstMatch) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table t (k text, v int)").ok());
+  ASSERT_TRUE(db.Execute("insert into t values ('a',1), ('b',2), ('a',3)").ok());
+  auto r = db.Query("select k, v from t");
+  ASSERT_TRUE(r.ok());
+  auto found = r->Lookup(0, Value::String("a"), 1);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->AsInt(), 1);
+  EXPECT_FALSE(r->Lookup(0, Value::String("zz"), 1).has_value());
+}
+
+TEST(QueryResultTest, UncertainResultsRenderConditions) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table t (k int, v int)").ok());
+  ASSERT_TRUE(db.Execute("insert into t values (1,10), (1,20)").ok());
+  auto r = db.Query("select * from (repair key k in t) x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->uncertain());
+  std::string rendered = r->ToString();
+  EXPECT_NE(rendered.find("condition"), std::string::npos);
+  EXPECT_NE(rendered.find("x0->"), std::string::npos);
+}
+
+TEST(QueryResultTest, MessageForDdl) {
+  Database db;
+  auto r = db.Query("create table t (a int)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->message(), "CREATE TABLE");
+  EXPECT_EQ(r->NumColumns(), 0u);
+}
+
+// Embedding API: tables built programmatically (bulk load path) are
+// queryable through SQL, including tuple-independent U-relations built
+// with the sprout helper.
+TEST(EmbeddingTest, ProgrammaticTablesAreQueryable) {
+  Database db;
+  Schema schema({{"name", TypeId::kString}, {"score", TypeId::kInt}});
+  auto rows = std::vector<std::pair<std::vector<Value>, double>>{
+      {{Value::String("a"), Value::Int(10)}, 0.5},
+      {{Value::String("b"), Value::Int(20)}, 0.75},
+  };
+  auto table = MakeTupleIndependentTable("scores", schema, rows, &db.world_table());
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(db.catalog().RegisterTable(*table).ok());
+
+  auto r = db.Query("select esum(score) from scores");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->At(0, 0).AsDouble(), 10 * 0.5 + 20 * 0.75);
+}
+
+TEST(EmbeddingTest, BulkAppendThenSql) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table big (x int)").ok());
+  TablePtr t = *db.catalog().GetTable("big");
+  for (int i = 0; i < 1000; ++i) {
+    t->AppendUnchecked(Row({Value::Int(i)}));
+  }
+  auto r = db.Query("select count(*), sum(x) from big");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->At(0, 0).AsInt(), 1000);
+  EXPECT_EQ(r->At(0, 1).AsInt(), 499500);
+}
+
+}  // namespace
+}  // namespace maybms

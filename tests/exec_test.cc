@@ -1,0 +1,279 @@
+// Tests for the executor: scans, filters, projections, joins, unions,
+// sorting, DML, and the parsimonious condition handling of the
+// U-relational translation.
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+
+namespace maybms {
+namespace {
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("create table emp (id int, name text, dept text, "
+                            "salary double)").ok());
+    ASSERT_TRUE(db_.Execute(
+        "insert into emp values "
+        "(1,'ann','eng',100.0), (2,'bob','eng',90.0), "
+        "(3,'cat','ops',80.0), (4,'dan','ops',85.0), (5,'eve','hr',70.0)").ok());
+    ASSERT_TRUE(db_.Execute("create table dept (dept text, city text)").ok());
+    ASSERT_TRUE(db_.Execute("insert into dept values ('eng','NYC'), ('ops','SF')").ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecTest, ScanAndProject) {
+  auto r = db_.Query("select name, salary * 2 as double_pay from emp order by id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 5u);
+  EXPECT_EQ(r->schema().column(1).name, "double_pay");
+  EXPECT_DOUBLE_EQ(r->At(0, 1).AsDouble(), 200.0);
+}
+
+TEST_F(ExecTest, FilterComparisons) {
+  auto r = db_.Query("select name from emp where salary >= 85 and dept <> 'hr'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 3u);
+}
+
+TEST_F(ExecTest, FilterWithArithmeticAndFunctions) {
+  auto r = db_.Query("select name from emp where salary % 20 = 0 or length(name) = 3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumRows(), 5u);
+}
+
+TEST_F(ExecTest, HashJoinMatchesExpected) {
+  auto r = db_.Query(
+      "select e.name, d.city from emp e, dept d where e.dept = d.dept order by e.id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 4u);  // hr has no dept row
+  EXPECT_EQ(r->At(0, 1).AsString(), "NYC");
+  EXPECT_EQ(r->At(3, 1).AsString(), "SF");
+}
+
+TEST_F(ExecTest, CrossJoinCount) {
+  auto r = db_.Query("select e.id from emp e, dept d");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 10u);
+}
+
+TEST_F(ExecTest, ThreeWayJoin) {
+  ASSERT_TRUE(db_.Execute("create table city (city text, country text)").ok());
+  ASSERT_TRUE(db_.Execute("insert into city values ('NYC','US'), ('SF','US')").ok());
+  auto r = db_.Query(
+      "select e.name, c.country from emp e, dept d, city c "
+      "where e.dept = d.dept and d.city = c.city and e.salary > 85 "
+      "order by e.name");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 2u);  // ann (100) and bob (90), both eng -> NYC
+  EXPECT_EQ(r->At(0, 0).AsString(), "ann");
+  EXPECT_EQ(r->At(1, 0).AsString(), "bob");
+  EXPECT_EQ(r->At(0, 1).AsString(), "US");
+}
+
+TEST_F(ExecTest, JoinOnComputedKeys) {
+  auto r = db_.Query(
+      "select e1.name from emp e1, emp e2 where e1.salary = e2.salary + 10");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // 100=90+10 (ann), 90=80+10 (bob), 80=70+10 (cat).
+  EXPECT_EQ(r->NumRows(), 3u);
+}
+
+TEST_F(ExecTest, NullsNeverJoin) {
+  ASSERT_TRUE(db_.Execute("insert into emp values (6, 'nat', null, 50.0)").ok());
+  ASSERT_TRUE(db_.Execute("insert into dept values (null, 'LA')").ok());
+  auto r = db_.Query("select e.name from emp e, dept d where e.dept = d.dept");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 4u);  // unchanged
+}
+
+TEST_F(ExecTest, UnionDedupOnCertain) {
+  auto r = db_.Query("select dept from emp union select dept from dept");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumRows(), 3u);  // eng, ops, hr deduplicated
+  auto all = db_.Query("select dept from emp union all select dept from dept");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->NumRows(), 7u);
+}
+
+TEST_F(ExecTest, OrderByMultipleKeysAndLimit) {
+  auto r = db_.Query("select name from emp order by dept asc, salary desc limit 3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 3u);
+  EXPECT_EQ(r->At(0, 0).AsString(), "ann");   // eng 100
+  EXPECT_EQ(r->At(1, 0).AsString(), "bob");   // eng 90
+  EXPECT_EQ(r->At(2, 0).AsString(), "eve");   // hr 70
+}
+
+TEST_F(ExecTest, OrderByAppliesToWholeUnion) {
+  auto r = db_.Query(
+      "select name from emp where dept = 'hr' union "
+      "select name from emp where dept = 'eng' order by name desc");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 3u);
+  EXPECT_EQ(r->At(0, 0).AsString(), "eve");
+  EXPECT_EQ(r->At(2, 0).AsString(), "ann");
+}
+
+TEST_F(ExecTest, InSubqueryCertain) {
+  auto r = db_.Query(
+      "select name from emp where dept in (select dept from dept where city = 'NYC')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumRows(), 2u);
+  auto anti = db_.Query("select name from emp where dept not in (select dept from dept)");
+  ASSERT_TRUE(anti.ok());
+  EXPECT_EQ(anti->NumRows(), 1u);  // eve (hr)
+}
+
+TEST_F(ExecTest, FromlessArithmetic) {
+  auto r = db_.Query("select 2 + 3 * 4 as x, 'a' + 'b' as s, 10 / 4 as d");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->At(0, 0).AsInt(), 14);
+  EXPECT_EQ(r->At(0, 1).AsString(), "ab");
+  EXPECT_DOUBLE_EQ(r->At(0, 2).AsDouble(), 2.5);
+}
+
+TEST_F(ExecTest, DivisionByZeroIsError) {
+  Result<QueryResult> r = db_.Query("select 1 / 0");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
+}
+
+TEST_F(ExecTest, ScalarFunctions) {
+  auto r = db_.Query(
+      "select abs(-3), sqrt(16.0), pow(2, 10), round(2.6), least(3, 1, 2), "
+      "greatest(3.5, 1.0), upper('ab'), length('abc')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->At(0, 0).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(r->At(0, 1).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(r->At(0, 2).AsDouble(), 1024.0);
+  EXPECT_DOUBLE_EQ(r->At(0, 3).AsDouble(), 3.0);
+  EXPECT_EQ(r->At(0, 4).AsInt(), 1);
+  EXPECT_DOUBLE_EQ(r->At(0, 5).AsDouble(), 3.5);
+  EXPECT_EQ(r->At(0, 6).AsString(), "AB");
+  EXPECT_EQ(r->At(0, 7).AsInt(), 3);
+}
+
+TEST_F(ExecTest, NullPropagationInExpressions) {
+  ASSERT_TRUE(db_.Execute("insert into emp values (7, null, 'eng', null)").ok());
+  auto r = db_.Query("select name from emp where salary > 0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 5u);  // null salary filtered out (null is not true)
+  auto isn = db_.Query("select id from emp where name is null");
+  ASSERT_TRUE(isn.ok());
+  EXPECT_EQ(isn->NumRows(), 1u);
+}
+
+TEST_F(ExecTest, ThreeValuedLogic) {
+  auto r = db_.Query("select id from emp where salary > 1000 or id = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 1u);
+  // null or true = true.
+  ASSERT_TRUE(db_.Execute("insert into emp values (8, 'x', 'eng', null)").ok());
+  auto r2 = db_.Query("select id from emp where salary > 1000 or id = 8");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->NumRows(), 1u);
+}
+
+TEST_F(ExecTest, UpdateAndDelete) {
+  ASSERT_TRUE(db_.Execute("update emp set salary = salary + 5 where dept = 'eng'").ok());
+  auto r = db_.Query("select salary from emp where id = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->At(0, 0).AsDouble(), 105.0);
+
+  ASSERT_TRUE(db_.Execute("delete from emp where dept = 'hr'").ok());
+  auto count = db_.Query("select count(*) from emp");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->At(0, 0).AsInt(), 4);
+}
+
+TEST_F(ExecTest, UpdateUsesPreUpdateValues) {
+  ASSERT_TRUE(db_.Execute("create table swap (a int, b int)").ok());
+  ASSERT_TRUE(db_.Execute("insert into swap values (1, 2)").ok());
+  ASSERT_TRUE(db_.Execute("update swap set a = b, b = a").ok());
+  auto r = db_.Query("select a, b from swap");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->At(0, 0).AsInt(), 2);
+  EXPECT_EQ(r->At(0, 1).AsInt(), 1);
+}
+
+TEST_F(ExecTest, DeleteAllWithoutWhere) {
+  ASSERT_TRUE(db_.Execute("delete from dept").ok());
+  auto r = db_.Query("select count(*) from dept");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->At(0, 0).AsInt(), 0);
+}
+
+TEST_F(ExecTest, CreateTableAsPreservesUncertainty) {
+  ASSERT_TRUE(db_.Execute("create table picked as "
+                          "select * from (pick tuples from emp) r").ok());
+  auto t = db_.catalog().GetTable("picked");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE((*t)->uncertain());
+  auto c = db_.Query("create table certain_copy as select id from emp");
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE((*db_.catalog().GetTable("certain_copy"))->uncertain());
+}
+
+TEST_F(ExecTest, InsertSelect) {
+  ASSERT_TRUE(db_.Execute("create table names (name text)").ok());
+  ASSERT_TRUE(db_.Execute("insert into names select name from emp where dept='eng'").ok());
+  auto r = db_.Query("select count(*) from names");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->At(0, 0).AsInt(), 2);
+}
+
+TEST_F(ExecTest, InsertUncertainIntoCertainRejected) {
+  ASSERT_TRUE(db_.Execute("create table sink (id int, name text, dept text, "
+                          "salary double)").ok());
+  Status st = db_.Execute("insert into sink select * from (pick tuples from emp) r");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+}
+
+TEST_F(ExecTest, DropTable) {
+  ASSERT_TRUE(db_.Execute("drop table dept").ok());
+  EXPECT_FALSE(db_.Query("select * from dept").ok());
+  EXPECT_FALSE(db_.Execute("drop table dept").ok());
+  EXPECT_TRUE(db_.Execute("drop table if exists dept").ok());
+}
+
+TEST_F(ExecTest, SubqueryInFrom) {
+  auto r = db_.Query(
+      "select dept, total from (select dept, sum(salary) as total from emp "
+      "group by dept) s where total > 75 order by total desc");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 2u);
+  EXPECT_EQ(r->At(0, 0).AsString(), "eng");
+}
+
+TEST_F(ExecTest, ExplainRendersPlanTree) {
+  auto plan = db_.Explain("select name from emp where salary > 80 order by name");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("Sort"), std::string::npos);
+  EXPECT_NE(plan->find("Project"), std::string::npos);
+  EXPECT_NE(plan->find("Filter"), std::string::npos);
+  EXPECT_NE(plan->find("Scan emp"), std::string::npos);
+}
+
+TEST_F(ExecTest, QueryResultPrinting) {
+  auto r = db_.Query("select id, name from emp where id = 1");
+  ASSERT_TRUE(r.ok());
+  std::string s = r->ToString();
+  EXPECT_NE(s.find("id"), std::string::npos);
+  EXPECT_NE(s.find("ann"), std::string::npos);
+  EXPECT_NE(s.find("(1 row)"), std::string::npos);
+}
+
+TEST_F(ExecTest, ExecuteScriptRunsAll) {
+  auto r = db_.ExecuteScript(
+      "create table s1 (x int); insert into s1 values (1), (2); "
+      "select sum(x) from s1;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->At(0, 0).AsInt(), 3);
+}
+
+}  // namespace
+}  // namespace maybms

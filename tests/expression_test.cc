@@ -1,0 +1,198 @@
+// Unit tests for bound-expression evaluation (src/exec/expression):
+// three-valued logic, arithmetic semantics, scalar functions, cloning.
+#include <gtest/gtest.h>
+
+#include "src/exec/expression.h"
+
+namespace maybms {
+namespace {
+
+BoundExprPtr Lit(Value v) { return std::make_unique<BoundLiteral>(std::move(v)); }
+BoundExprPtr Col(size_t i, TypeId t) {
+  return std::make_unique<BoundColumnRef>(i, t, "c");
+}
+BoundExprPtr Bin(BinaryOp op, BoundExprPtr l, BoundExprPtr r,
+                 TypeId t = TypeId::kNull) {
+  return std::make_unique<BoundBinary>(op, std::move(l), std::move(r), t);
+}
+
+Value Eval(const BoundExprPtr& e, std::vector<Value> row = {}) {
+  auto r = e->Eval(row);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : Value::Null();
+}
+
+TEST(ExpressionTest, IsTruthySemantics) {
+  EXPECT_TRUE(IsTruthy(Value::Bool(true)));
+  EXPECT_TRUE(IsTruthy(Value::Int(-2)));
+  EXPECT_TRUE(IsTruthy(Value::Double(0.1)));
+  EXPECT_FALSE(IsTruthy(Value::Bool(false)));
+  EXPECT_FALSE(IsTruthy(Value::Int(0)));
+  EXPECT_FALSE(IsTruthy(Value::Null()));
+  EXPECT_FALSE(IsTruthy(Value::String("true")));
+}
+
+TEST(ExpressionTest, ArithmeticTypes) {
+  EXPECT_EQ(Eval(Bin(BinaryOp::kAdd, Lit(Value::Int(2)), Lit(Value::Int(3)))).AsInt(), 5);
+  EXPECT_DOUBLE_EQ(
+      Eval(Bin(BinaryOp::kMul, Lit(Value::Int(2)), Lit(Value::Double(1.5)))).AsDouble(),
+      3.0);
+  // Division always yields double (PostgreSQL-style would truncate ints;
+  // MayBMS weight expressions want real division).
+  EXPECT_DOUBLE_EQ(
+      Eval(Bin(BinaryOp::kDiv, Lit(Value::Int(3)), Lit(Value::Int(2)))).AsDouble(), 1.5);
+  EXPECT_EQ(Eval(Bin(BinaryOp::kMod, Lit(Value::Int(7)), Lit(Value::Int(3)))).AsInt(), 1);
+  EXPECT_DOUBLE_EQ(
+      Eval(Bin(BinaryOp::kMod, Lit(Value::Double(7.5)), Lit(Value::Int(2)))).AsDouble(),
+      1.5);
+}
+
+TEST(ExpressionTest, StringConcatViaPlus) {
+  EXPECT_EQ(Eval(Bin(BinaryOp::kAdd, Lit(Value::String("a")), Lit(Value::String("b"))))
+                .AsString(),
+            "ab");
+}
+
+TEST(ExpressionTest, ArithmeticOnStringsFails) {
+  auto e = Bin(BinaryOp::kSub, Lit(Value::String("a")), Lit(Value::Int(1)));
+  std::vector<Value> row;
+  EXPECT_FALSE(e->Eval(row).ok());
+}
+
+TEST(ExpressionTest, DivisionAndModByZero) {
+  std::vector<Value> row;
+  EXPECT_FALSE(Bin(BinaryOp::kDiv, Lit(Value::Int(1)), Lit(Value::Int(0)))
+                   ->Eval(row).ok());
+  EXPECT_FALSE(Bin(BinaryOp::kMod, Lit(Value::Int(1)), Lit(Value::Int(0)))
+                   ->Eval(row).ok());
+}
+
+TEST(ExpressionTest, NullPropagatesThroughComparisons) {
+  EXPECT_TRUE(Eval(Bin(BinaryOp::kEq, Lit(Value::Null()), Lit(Value::Int(1)))).is_null());
+  EXPECT_TRUE(Eval(Bin(BinaryOp::kLt, Lit(Value::Int(1)), Lit(Value::Null()))).is_null());
+  EXPECT_TRUE(
+      Eval(Bin(BinaryOp::kAdd, Lit(Value::Null()), Lit(Value::Int(1)))).is_null());
+}
+
+TEST(ExpressionTest, KleeneAnd) {
+  auto t = [] { return Lit(Value::Bool(true)); };
+  auto f = [] { return Lit(Value::Bool(false)); };
+  auto n = [] { return Lit(Value::Null()); };
+  EXPECT_TRUE(Eval(Bin(BinaryOp::kAnd, t(), t())).AsBool());
+  EXPECT_FALSE(Eval(Bin(BinaryOp::kAnd, t(), f())).AsBool());
+  // false AND null = false (not null).
+  EXPECT_FALSE(Eval(Bin(BinaryOp::kAnd, f(), n())).AsBool());
+  EXPECT_FALSE(Eval(Bin(BinaryOp::kAnd, n(), f())).AsBool());
+  // true AND null = null.
+  EXPECT_TRUE(Eval(Bin(BinaryOp::kAnd, t(), n())).is_null());
+}
+
+TEST(ExpressionTest, KleeneOr) {
+  auto t = [] { return Lit(Value::Bool(true)); };
+  auto f = [] { return Lit(Value::Bool(false)); };
+  auto n = [] { return Lit(Value::Null()); };
+  // true OR null = true.
+  EXPECT_TRUE(Eval(Bin(BinaryOp::kOr, n(), t())).AsBool());
+  EXPECT_TRUE(Eval(Bin(BinaryOp::kOr, t(), n())).AsBool());
+  // false OR null = null.
+  EXPECT_TRUE(Eval(Bin(BinaryOp::kOr, f(), n())).is_null());
+  EXPECT_FALSE(Eval(Bin(BinaryOp::kOr, f(), f())).AsBool());
+}
+
+TEST(ExpressionTest, NotAndNegate) {
+  auto not_true = std::make_unique<BoundUnary>(UnaryOp::kNot, Lit(Value::Bool(true)),
+                                               TypeId::kBool);
+  EXPECT_FALSE(Eval(BoundExprPtr(std::move(not_true))).AsBool());
+  auto neg = std::make_unique<BoundUnary>(UnaryOp::kNegate, Lit(Value::Int(4)),
+                                          TypeId::kInt);
+  EXPECT_EQ(Eval(BoundExprPtr(std::move(neg))).AsInt(), -4);
+  auto not_null = std::make_unique<BoundUnary>(UnaryOp::kNot, Lit(Value::Null()),
+                                               TypeId::kBool);
+  EXPECT_TRUE(Eval(BoundExprPtr(std::move(not_null))).is_null());
+}
+
+TEST(ExpressionTest, IsNullDoesNotPropagate) {
+  auto isnull = std::make_unique<BoundIsNull>(Lit(Value::Null()), false);
+  EXPECT_TRUE(Eval(BoundExprPtr(std::move(isnull))).AsBool());
+  auto isnotnull = std::make_unique<BoundIsNull>(Lit(Value::Int(1)), true);
+  EXPECT_TRUE(Eval(BoundExprPtr(std::move(isnotnull))).AsBool());
+}
+
+TEST(ExpressionTest, ColumnRefReadsRow) {
+  auto col = Col(1, TypeId::kInt);
+  EXPECT_EQ(Eval(col, {Value::Int(9), Value::Int(42)}).AsInt(), 42);
+  // Out-of-range index is an internal error, not UB.
+  std::vector<Value> short_row = {Value::Int(9)};
+  EXPECT_FALSE(col->Eval(short_row).ok());
+}
+
+TEST(ExpressionTest, ScalarFunctionRegistry) {
+  EXPECT_TRUE(IsScalarFunction("sqrt"));
+  EXPECT_TRUE(IsScalarFunction("greatest"));
+  EXPECT_FALSE(IsScalarFunction("conf"));
+  EXPECT_FALSE(IsScalarFunction("nope"));
+  EXPECT_FALSE(ScalarFunctionResultType("sqrt", {TypeId::kInt, TypeId::kInt}).ok());
+  EXPECT_EQ(*ScalarFunctionResultType("abs", {TypeId::kInt}), TypeId::kInt);
+  EXPECT_EQ(*ScalarFunctionResultType("abs", {TypeId::kDouble}), TypeId::kDouble);
+  EXPECT_EQ(*ScalarFunctionResultType("length", {TypeId::kString}), TypeId::kInt);
+}
+
+TEST(ExpressionTest, ScalarFunctionsNullPropagation) {
+  std::vector<BoundExprPtr> args;
+  args.push_back(Lit(Value::Null()));
+  auto fn = std::make_unique<BoundScalarFunction>("sqrt", std::move(args),
+                                                  TypeId::kDouble);
+  EXPECT_TRUE(Eval(BoundExprPtr(std::move(fn))).is_null());
+}
+
+TEST(ExpressionTest, ScalarFunctionDomainErrors) {
+  std::vector<Value> row;
+  std::vector<BoundExprPtr> a1;
+  a1.push_back(Lit(Value::Double(-1)));
+  BoundScalarFunction sqrt_neg("sqrt", std::move(a1), TypeId::kDouble);
+  EXPECT_FALSE(sqrt_neg.Eval(row).ok());
+  std::vector<BoundExprPtr> a2;
+  a2.push_back(Lit(Value::Double(0)));
+  BoundScalarFunction ln_zero("ln", std::move(a2), TypeId::kDouble);
+  EXPECT_FALSE(ln_zero.Eval(row).ok());
+}
+
+TEST(ExpressionTest, CloneIsDeepAndEquivalent) {
+  auto original = Bin(BinaryOp::kAdd, Col(0, TypeId::kInt),
+                      Bin(BinaryOp::kMul, Lit(Value::Int(3)), Col(1, TypeId::kInt)));
+  BoundExprPtr clone = original->Clone();
+  std::vector<Value> row = {Value::Int(2), Value::Int(5)};
+  EXPECT_EQ(Eval(original, row).AsInt(), 17);
+  EXPECT_EQ(Eval(clone, row).AsInt(), 17);
+  EXPECT_EQ(original->ToString(), clone->ToString());
+}
+
+TEST(ExpressionTest, CollectColumns) {
+  auto e = Bin(BinaryOp::kAdd, Col(2, TypeId::kInt),
+               Bin(BinaryOp::kMul, Col(0, TypeId::kInt), Col(2, TypeId::kInt)));
+  std::vector<size_t> cols;
+  e->CollectColumns(&cols);
+  ASSERT_EQ(cols.size(), 3u);  // duplicates preserved
+  EXPECT_EQ(cols[0], 2u);
+  EXPECT_EQ(cols[1], 0u);
+}
+
+TEST(ExpressionTest, TconfOutsideProjectionIsInternalError) {
+  BoundTconf tconf;
+  std::vector<Value> row;
+  Result<Value> r = tconf.Eval(row);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ExpressionTest, CrossTypeComparison) {
+  EXPECT_TRUE(Eval(Bin(BinaryOp::kEq, Lit(Value::Int(5)), Lit(Value::Double(5.0))))
+                  .AsBool());
+  EXPECT_TRUE(Eval(Bin(BinaryOp::kGe, Lit(Value::Double(2.5)), Lit(Value::Int(2))))
+                  .AsBool());
+  EXPECT_FALSE(Eval(Bin(BinaryOp::kEq, Lit(Value::String("5")), Lit(Value::Int(5))))
+                   .AsBool());
+}
+
+}  // namespace
+}  // namespace maybms

@@ -1,0 +1,341 @@
+// Integration tests: the paper's §3 decision-support scenarios (team
+// management, performance prediction), the MayBMS-website demo scenarios
+// (data cleaning with constraints), attribute-level uncertainty via
+// vertical decomposition (§2.1), and multi-statement pipelines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/engine/database.h"
+
+namespace maybms {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// ---------------------------------------------------------------------------
+// §3 Team management: "for each skill the probability that someone with
+// that skill will be playing, given the current status of the players".
+// ---------------------------------------------------------------------------
+
+class TeamManagementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Player status distribution: repair-key over per-player status rows
+    // builds the hypothesis space of who is available.
+    ASSERT_TRUE(db_.Execute("create table PlayerStatus (player text, status text, "
+                            "p double)").ok());
+    ASSERT_TRUE(db_.Execute(
+        "insert into PlayerStatus values "
+        "('kobe','fit',0.7), ('kobe','injured',0.3), "
+        "('shaq','fit',0.5), ('shaq','injured',0.5), "
+        "('ray','fit',0.9), ('ray','injured',0.1)").ok());
+    ASSERT_TRUE(db_.Execute("create table Skills (player text, skill text)").ok());
+    ASSERT_TRUE(db_.Execute(
+        "insert into Skills values "
+        "('kobe','shooting'), ('kobe','passing'), "
+        "('shaq','defense'), ('shaq','shooting'), "
+        "('ray','three_point')").ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(TeamManagementTest, SkillAvailabilityProbabilities) {
+  ASSERT_TRUE(db_.Execute(
+      "create table Status as select * from "
+      "(repair key player in PlayerStatus weight by p) r").ok());
+  auto r = db_.Query(
+      "select s.skill, conf() as p from Status t, Skills s "
+      "where t.player = s.player and t.status = 'fit' "
+      "group by s.skill order by s.skill");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto p = [&](const std::string& skill) {
+    auto v = r->Lookup(0, Value::String(skill), 1);
+    return v ? v->AsDouble() : -1;
+  };
+  EXPECT_NEAR(p("passing"), 0.7, kTol);         // kobe fit
+  EXPECT_NEAR(p("defense"), 0.5, kTol);         // shaq fit
+  EXPECT_NEAR(p("three_point"), 0.9, kTol);     // ray fit
+  // shooting: kobe or shaq fit = 1 - 0.3*0.5.
+  EXPECT_NEAR(p("shooting"), 1 - 0.3 * 0.5, kTol);
+}
+
+TEST_F(TeamManagementTest, LayoffWhatIfAnalysis) {
+  // What if shaq is laid off? Shooting availability must stay >= 90%,
+  // passing >= 95% (the paper's financial-crisis scenario).
+  ASSERT_TRUE(db_.Execute(
+      "create table Status2 as select * from "
+      "(repair key player in (select * from PlayerStatus where player <> 'shaq') "
+      "weight by p) r").ok());
+  auto r = db_.Query(
+      "select s.skill, conf() as p from Status2 t, Skills s "
+      "where t.player = s.player and t.status = 'fit' "
+      "group by s.skill");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto p = [&](const std::string& skill) {
+    auto v = r->Lookup(0, Value::String(skill), 1);
+    return v ? v->AsDouble() : 0.0;
+  };
+  // Without shaq, shooting availability drops to kobe alone: 0.7 < 0.9 —
+  // the manager learns shaq cannot be laid off.
+  EXPECT_NEAR(p("shooting"), 0.7, kTol);
+  EXPECT_LT(p("shooting"), 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// §3 Performance prediction: predicted points as recency-weighted
+// expectation (esum over an uncertain game-outcome space).
+// ---------------------------------------------------------------------------
+
+TEST(PerformancePredictionTest, WeightedExpectedPoints) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table Recent (player text, game int, points int, "
+                         "w double)").ok());
+  // Heavier weights for more recent games (game 3 newest).
+  ASSERT_TRUE(db.Execute(
+      "insert into Recent values "
+      "('kobe',1,20,1.0), ('kobe',2,30,2.0), ('kobe',3,40,3.0), "
+      "('ray',1,10,1.0), ('ray',2,10,2.0), ('ray',3,16,3.0)").ok());
+  // Model: one representative game drawn per player ∝ recency weight;
+  // predicted points = expected points of the drawn game.
+  auto r = db.Query(
+      "select player, esum(points) as predicted from "
+      "(repair key player in Recent weight by w) r "
+      "group by player order by player");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 2u);
+  // kobe: (20*1 + 30*2 + 40*3) / 6 = 200/6.
+  EXPECT_NEAR(r->At(0, 1).AsDouble(), 200.0 / 6, kTol);
+  // ray: (10 + 20 + 48) / 6 = 78/6 = 13.
+  EXPECT_NEAR(r->At(1, 1).AsDouble(), 13.0, kTol);
+}
+
+// ---------------------------------------------------------------------------
+// Data cleaning with constraints (MayBMS website demo scenario): duplicate
+// customer records; repair-key picks one per key; queries over the repairs
+// quantify which resolution is likely.
+// ---------------------------------------------------------------------------
+
+TEST(DataCleaningTest, KeyRepairResolvesDuplicates) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table dirty (ssn int, name text, city text, "
+                         "quality double)").ok());
+  ASSERT_TRUE(db.Execute(
+      "insert into dirty values "
+      "(1,'John Smith','NYC',0.8), (1,'Jon Smith','NYC',0.2), "
+      "(2,'Alice Lee','SF',0.5), (2,'Alice Li','LA',0.5)").ok());
+  ASSERT_TRUE(db.Execute(
+      "create table cleaned as select * from "
+      "(repair key ssn in dirty weight by quality) r").ok());
+
+  // Every possible world satisfies the key constraint: per ssn exactly one
+  // tuple (ecount == 1).
+  auto counts = db.Query("select ssn, ecount() as n from cleaned group by ssn");
+  ASSERT_TRUE(counts.ok()) << counts.status().ToString();
+  for (const Row& row : counts->rows()) {
+    EXPECT_NEAR(row.values[1].AsDouble(), 1.0, kTol);
+  }
+
+  // Marginal of each resolution.
+  auto r = db.Query(
+      "select name, conf() as p from cleaned where ssn = 1 group by name");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->Lookup(0, Value::String("John Smith"), 1)->AsDouble(), 0.8, kTol);
+
+  // Cross-table consistency question: probability Alice is in SF.
+  auto sf = db.Query(
+      "select conf() as p from cleaned where ssn = 2 and city = 'SF' group by city");
+  ASSERT_TRUE(sf.ok());
+  EXPECT_NEAR(sf->At(0, 0).AsDouble(), 0.5, kTol);
+}
+
+// ---------------------------------------------------------------------------
+// Attribute-level uncertainty via vertical decomposition (§2.1): one
+// U-relation per uncertain attribute plus a tuple-id column; joining on
+// the tuple id undoes the decomposition.
+// ---------------------------------------------------------------------------
+
+TEST(VerticalDecompositionTest, RecomposeAttributes) {
+  Database db;
+  // Tuple 1 has uncertain city {NYC:0.6, SF:0.4} and uncertain age
+  // {30:0.5, 31:0.5}, independent of each other.
+  ASSERT_TRUE(db.Execute("create table CityOpt (tid int, city text, p double)").ok());
+  ASSERT_TRUE(db.Execute("insert into CityOpt values (1,'NYC',0.6), (1,'SF',0.4)").ok());
+  ASSERT_TRUE(db.Execute("create table AgeOpt (tid int, age int, p double)").ok());
+  ASSERT_TRUE(db.Execute("insert into AgeOpt values (1,30,0.5), (1,31,0.5)").ok());
+
+  ASSERT_TRUE(db.Execute("create table UCity as select * from "
+                         "(repair key tid in CityOpt weight by p) r").ok());
+  ASSERT_TRUE(db.Execute("create table UAge as select * from "
+                         "(repair key tid in AgeOpt weight by p) r").ok());
+
+  // Undo the vertical decomposition: join on tid.
+  auto joint = db.Query(
+      "select c.city, a.age, conf() as p from UCity c, UAge a "
+      "where c.tid = a.tid group by c.city, a.age");
+  ASSERT_TRUE(joint.ok()) << joint.status().ToString();
+  ASSERT_EQ(joint->NumRows(), 4u);
+  double total = 0;
+  for (const Row& row : joint->rows()) {
+    total += row.values[2].AsDouble();
+    if (row.values[0].Equals(Value::String("NYC")) &&
+        row.values[1].Equals(Value::Int(30))) {
+      EXPECT_NEAR(row.values[2].AsDouble(), 0.3, kTol);  // independent: 0.6*0.5
+    }
+  }
+  EXPECT_NEAR(total, 1.0, kTol);
+}
+
+// ---------------------------------------------------------------------------
+// Uncertain subqueries occurring positively in IN conditions (§2.2).
+// ---------------------------------------------------------------------------
+
+TEST(InSubqueryTest, UncertainSubqueryMergesConditions) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table person (name text)").ok());
+  ASSERT_TRUE(db.Execute("insert into person values ('a'), ('b'), ('c')").ok());
+  ASSERT_TRUE(db.Execute("create table pick (name text, p double)").ok());
+  ASSERT_TRUE(db.Execute("insert into pick values ('a',0.5), ('b',0.25)").ok());
+  // Who is in the picked set? IN with an uncertain subquery.
+  auto r = db.Query(
+      "select name, conf() as q from person where name in "
+      "(select name from (pick tuples from pick independently with probability p) s) "
+      "group by name order by name");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 2u);
+  EXPECT_NEAR(r->At(0, 1).AsDouble(), 0.5, kTol);
+  EXPECT_NEAR(r->At(1, 1).AsDouble(), 0.25, kTol);
+}
+
+TEST(InSubqueryTest, DuplicateWitnessesDisjoin) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table q (x int)").ok());
+  ASSERT_TRUE(db.Execute("insert into q values (1)").ok());
+  ASSERT_TRUE(db.Execute("create table w (x int, p double)").ok());
+  // Two independent witnesses for x = 1.
+  ASSERT_TRUE(db.Execute("insert into w values (1, 0.5), (1, 0.5)").ok());
+  auto r = db.Query(
+      "select x, conf() as p from q where x in "
+      "(select x from (pick tuples from w independently with probability p) s) "
+      "group by x");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_NEAR(r->At(0, 1).AsDouble(), 0.75, kTol);  // 1 - 0.5^2
+}
+
+// ---------------------------------------------------------------------------
+// Multiset union of uncertain relations (§2.2).
+// ---------------------------------------------------------------------------
+
+TEST(UnionTest, UncertainUnionAccumulatesEvidence) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table s1 (x int, p double)").ok());
+  ASSERT_TRUE(db.Execute("insert into s1 values (7, 0.5)").ok());
+  ASSERT_TRUE(db.Execute("create table s2 (x int, p double)").ok());
+  ASSERT_TRUE(db.Execute("insert into s2 values (7, 0.5)").ok());
+  auto r = db.Query(
+      "select x, conf() as p from ("
+      "select x from (pick tuples from s1 independently with probability p) a "
+      "union "
+      "select x from (pick tuples from s2 independently with probability p) b) u "
+      "group by x");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 1u);
+  // Union is multiset: the two tuples are independent witnesses.
+  EXPECT_NEAR(r->At(0, 1).AsDouble(), 0.75, kTol);
+}
+
+// ---------------------------------------------------------------------------
+// Possible-worlds audit: updates on U-relations are plain relational
+// updates (§2.3).
+// ---------------------------------------------------------------------------
+
+TEST(UpdateTest, UpdatesOnURelationPreserveConditions) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table base (x int, p double)").ok());
+  ASSERT_TRUE(db.Execute("insert into base values (1,0.5), (2,0.5)").ok());
+  ASSERT_TRUE(db.Execute("create table u as select * from "
+                         "(pick tuples from base independently with probability p) r").ok());
+  // Standard SQL update on the U-relation's data columns.
+  ASSERT_TRUE(db.Execute("update u set x = x * 10").ok());
+  auto r = db.Query("select x, tconf() as p from u order by x");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 2u);
+  EXPECT_EQ(r->At(0, 0).AsInt(), 10);
+  EXPECT_NEAR(r->At(0, 1).AsDouble(), 0.5, kTol);  // condition untouched
+  // Deleting one uncertain tuple removes its alternative entirely.
+  ASSERT_TRUE(db.Execute("delete from u where x = 20").ok());
+  auto n = db.Query("select ecount() from u");
+  ASSERT_TRUE(n.ok());
+  EXPECT_NEAR(n->At(0, 0).AsDouble(), 0.5, kTol);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end §3 pipeline with several players and both queries chained.
+// ---------------------------------------------------------------------------
+
+TEST(FullPipelineTest, MultiPlayerFitnessPrediction) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table FT (Player text, Init text, Final text, "
+                         "P double)").ok());
+  // Bryant uses the Figure 1 matrix; ONeal a different one.
+  ASSERT_TRUE(db.Execute(
+      "insert into FT values "
+      "('Bryant','F','F',0.8), ('Bryant','F','SE',0.05), ('Bryant','F','SL',0.15), "
+      "('Bryant','SE','F',0.1), ('Bryant','SE','SE',0.6), ('Bryant','SE','SL',0.3), "
+      "('Bryant','SL','F',0.8), ('Bryant','SL','SL',0.2), "
+      "('ONeal','F','F',0.5), ('ONeal','F','SE',0.5), "
+      "('ONeal','SE','F',0.25), ('ONeal','SE','SE',0.75)").ok());
+  ASSERT_TRUE(db.Execute("create table States (Player text, State text)").ok());
+  ASSERT_TRUE(db.Execute(
+      "insert into States values ('Bryant','F'), ('ONeal','SE')").ok());
+
+  ASSERT_TRUE(db.Execute(
+      "create table FT2 as "
+      "select R1.Player, R1.Init, R2.Final, conf() as p from "
+      "(repair key Player, Init in FT weight by p) R1, "
+      "(repair key Player, Init in FT weight by p) R2, States S "
+      "where R1.Player = S.Player and R1.Init = S.State "
+      "and R1.Final = R2.Init and R1.Player = R2.Player "
+      "group by R1.Player, R1.Init, R2.Final").ok());
+
+  auto walk3 = db.Query(
+      "select R1.Player, R2.Final as State, conf() as p from "
+      "(repair key Player, Init in FT2 weight by p) R1, "
+      "(repair key Player, Init in FT weight by p) R2 "
+      "where R1.Final = R2.Init and R1.Player = R2.Player "
+      "group by R1.player, R2.Final order by R1.Player, R2.Final");
+  ASSERT_TRUE(walk3.ok()) << walk3.status().ToString();
+
+  // Per-player rows sum to 1 (stochastic matrix rows).
+  double bryant_total = 0, oneal_total = 0;
+  auto pidx = walk3->schema().FindColumn("p");
+  ASSERT_TRUE(pidx);
+  for (const Row& row : walk3->rows()) {
+    if (row.values[0].Equals(Value::String("Bryant"))) {
+      bryant_total += row.values[*pidx].AsDouble();
+    } else {
+      oneal_total += row.values[*pidx].AsDouble();
+    }
+  }
+  EXPECT_NEAR(bryant_total, 1.0, kTol);
+  EXPECT_NEAR(oneal_total, 1.0, kTol);
+
+  // ONeal's 3-step walk from SE on his 2-state chain: explicit power.
+  // M = [[0.5,0.5],[0.25,0.75]] (rows F, SE); start SE.
+  double m[2][2] = {{0.5, 0.5}, {0.25, 0.75}};
+  double v[2] = {0.25, 0.75};  // one step from SE
+  for (int step = 0; step < 2; ++step) {
+    double nv[2] = {v[0] * m[0][0] + v[1] * m[1][0], v[0] * m[0][1] + v[1] * m[1][1]};
+    v[0] = nv[0];
+    v[1] = nv[1];
+  }
+  auto oneal_f = walk3->Lookup(0, Value::String("ONeal"), *pidx);
+  // Lookup finds the first ONeal row (ordered by State: F before SE).
+  ASSERT_TRUE(oneal_f.has_value());
+  EXPECT_NEAR(oneal_f->AsDouble(), v[0], kTol);
+}
+
+}  // namespace
+}  // namespace maybms

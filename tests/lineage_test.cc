@@ -1,0 +1,93 @@
+// Unit tests for src/lineage: DNF structure and transformations.
+#include <gtest/gtest.h>
+
+#include "src/lineage/dnf.h"
+
+namespace maybms {
+namespace {
+
+Condition C(std::vector<Atom> atoms) { return *Condition::FromAtoms(std::move(atoms)); }
+
+TEST(DnfTest, EmptyAndValid) {
+  Dnf dnf;
+  EXPECT_TRUE(dnf.IsEmpty());
+  EXPECT_FALSE(dnf.HasEmptyClause());
+  dnf.AddClause(Condition());
+  EXPECT_FALSE(dnf.IsEmpty());
+  EXPECT_TRUE(dnf.HasEmptyClause());
+}
+
+TEST(DnfTest, VariablesSortedDistinct) {
+  Dnf dnf({C({{5, 0}, {1, 1}}), C({{5, 1}}), C({{3, 0}})});
+  std::vector<VarId> vars = dnf.Variables();
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars[0], 1u);
+  EXPECT_EQ(vars[1], 3u);
+  EXPECT_EQ(vars[2], 5u);
+}
+
+TEST(DnfTest, RemoveSubsumedDropsMoreSpecificClauses) {
+  // {x1->0} subsumes {x1->0, x2->1}.
+  Dnf dnf({C({{1, 0}, {2, 1}}), C({{1, 0}}), C({{3, 0}})});
+  dnf.RemoveSubsumed();
+  EXPECT_EQ(dnf.NumClauses(), 2u);
+}
+
+TEST(DnfTest, RemoveSubsumedDropsExactDuplicates) {
+  Dnf dnf({C({{1, 0}}), C({{1, 0}}), C({{1, 0}})});
+  dnf.RemoveSubsumed();
+  EXPECT_EQ(dnf.NumClauses(), 1u);
+}
+
+TEST(DnfTest, RemoveSubsumedKeepsIncomparableClauses) {
+  Dnf dnf({C({{1, 0}}), C({{1, 1}}), C({{2, 0}})});
+  dnf.RemoveSubsumed();
+  EXPECT_EQ(dnf.NumClauses(), 3u);
+}
+
+TEST(DnfTest, IndependentComponentsByVariableSharing) {
+  // Clauses 0,1 share x1; clause 2 is independent.
+  Dnf dnf({C({{1, 0}, {2, 0}}), C({{1, 1}}), C({{7, 0}})});
+  auto comps = dnf.IndependentComponents();
+  ASSERT_EQ(comps.size(), 2u);
+  size_t sizes[2] = {comps[0].size(), comps[1].size()};
+  EXPECT_EQ(sizes[0] + sizes[1], 3u);
+  EXPECT_TRUE((sizes[0] == 2 && sizes[1] == 1) || (sizes[0] == 1 && sizes[1] == 2));
+}
+
+TEST(DnfTest, IndependentComponentsTransitiveChain) {
+  // x1-x2 chain links all three clauses into one component.
+  Dnf dnf({C({{1, 0}}), C({{1, 1}, {2, 0}}), C({{2, 1}})});
+  EXPECT_EQ(dnf.IndependentComponents().size(), 1u);
+}
+
+TEST(DnfTest, AssignSimplifies) {
+  Dnf dnf({C({{1, 0}, {2, 1}}), C({{1, 1}}), C({{3, 0}})});
+  Dnf assigned = dnf.Assign(1, 0);
+  // Clause 0 loses atom x1; clause 1 (x1->1) drops out; clause 2 unchanged.
+  ASSERT_EQ(assigned.NumClauses(), 2u);
+  EXPECT_EQ(assigned.clauses()[0], C({{2, 1}}));
+  EXPECT_EQ(assigned.clauses()[1], C({{3, 0}}));
+}
+
+TEST(DnfTest, AssignCanProduceValidFormula) {
+  Dnf dnf({C({{1, 0}})});
+  Dnf assigned = dnf.Assign(1, 0);
+  EXPECT_TRUE(assigned.HasEmptyClause());
+}
+
+TEST(DnfTest, DropVariableKeepsOnlyClausesWithoutIt) {
+  Dnf dnf({C({{1, 0}}), C({{2, 0}}), C({{1, 1}, {2, 1}})});
+  Dnf dropped = dnf.DropVariable(1);
+  ASSERT_EQ(dropped.NumClauses(), 1u);
+  EXPECT_EQ(dropped.clauses()[0], C({{2, 0}}));
+}
+
+TEST(DnfTest, ToStringRendering) {
+  EXPECT_EQ(Dnf().ToString(), "false");
+  Dnf dnf({C({{1, 0}}), C({{2, 1}})});
+  EXPECT_EQ(dnf.ToString(), "{x1->0} ∨ {x2->1}");
+}
+
+}  // namespace
+}  // namespace maybms

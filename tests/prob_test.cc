@@ -1,0 +1,248 @@
+// Unit tests for src/prob: conditions, the world table, world enumeration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/prob/condition.h"
+#include "src/prob/world_enum.h"
+#include "src/prob/world_table.h"
+
+namespace maybms {
+namespace {
+
+TEST(ConditionTest, EmptyIsTrue) {
+  Condition c;
+  EXPECT_TRUE(c.IsTrue());
+  EXPECT_EQ(c.NumAtoms(), 0u);
+  EXPECT_EQ(c.ToString(), "{}");
+}
+
+TEST(ConditionTest, FromAtomsSortsAndDedupes) {
+  auto c = Condition::FromAtoms({{5, 1}, {2, 0}, {5, 1}});
+  ASSERT_TRUE(c.has_value());
+  ASSERT_EQ(c->NumAtoms(), 2u);
+  EXPECT_EQ(c->atoms()[0].var, 2u);
+  EXPECT_EQ(c->atoms()[1].var, 5u);
+}
+
+TEST(ConditionTest, FromAtomsDetectsInconsistency) {
+  EXPECT_FALSE(Condition::FromAtoms({{3, 0}, {3, 1}}).has_value());
+}
+
+TEST(ConditionTest, AddAtomKeepsSortedOrder) {
+  Condition c;
+  EXPECT_TRUE(c.AddAtom({7, 1}));
+  EXPECT_TRUE(c.AddAtom({2, 0}));
+  EXPECT_TRUE(c.AddAtom({5, 3}));
+  ASSERT_EQ(c.NumAtoms(), 3u);
+  EXPECT_EQ(c.atoms()[0].var, 2u);
+  EXPECT_EQ(c.atoms()[1].var, 5u);
+  EXPECT_EQ(c.atoms()[2].var, 7u);
+}
+
+TEST(ConditionTest, AddAtomConflictRejected) {
+  Condition c;
+  EXPECT_TRUE(c.AddAtom({1, 0}));
+  EXPECT_FALSE(c.AddAtom({1, 2}));
+  EXPECT_TRUE(c.AddAtom({1, 0}));  // idempotent re-add
+  EXPECT_EQ(c.NumAtoms(), 1u);
+}
+
+TEST(ConditionTest, Lookup) {
+  auto c = *Condition::FromAtoms({{1, 4}, {9, 0}});
+  EXPECT_EQ(*c.Lookup(1), 4u);
+  EXPECT_EQ(*c.Lookup(9), 0u);
+  EXPECT_FALSE(c.Lookup(5).has_value());
+}
+
+TEST(ConditionTest, MergeConsistent) {
+  auto a = *Condition::FromAtoms({{1, 0}, {3, 2}});
+  auto b = *Condition::FromAtoms({{2, 1}, {3, 2}});
+  auto merged = Condition::Merge(a, b);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->NumAtoms(), 3u);
+  EXPECT_EQ(*merged->Lookup(1), 0u);
+  EXPECT_EQ(*merged->Lookup(2), 1u);
+  EXPECT_EQ(*merged->Lookup(3), 2u);
+}
+
+TEST(ConditionTest, MergeInconsistentDropsOut) {
+  auto a = *Condition::FromAtoms({{3, 2}});
+  auto b = *Condition::FromAtoms({{3, 1}});
+  EXPECT_FALSE(Condition::Merge(a, b).has_value());
+}
+
+TEST(ConditionTest, MergeWithTrueIsIdentity) {
+  auto a = *Condition::FromAtoms({{4, 1}});
+  auto merged = Condition::Merge(a, Condition());
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(*merged, a);
+}
+
+TEST(ConditionTest, SubsetOf) {
+  auto small = *Condition::FromAtoms({{2, 1}});
+  auto big = *Condition::FromAtoms({{1, 0}, {2, 1}, {3, 0}});
+  auto other = *Condition::FromAtoms({{2, 2}});
+  EXPECT_TRUE(small.SubsetOf(big));
+  EXPECT_TRUE(Condition().SubsetOf(small));
+  EXPECT_FALSE(big.SubsetOf(small));
+  EXPECT_FALSE(other.SubsetOf(big));
+}
+
+TEST(ConditionTest, AssignRemovesMatchingAtom) {
+  auto c = *Condition::FromAtoms({{1, 0}, {2, 1}});
+  auto reduced = c.Assign(1, 0);
+  ASSERT_TRUE(reduced.has_value());
+  EXPECT_EQ(reduced->NumAtoms(), 1u);
+  EXPECT_FALSE(reduced->Lookup(1).has_value());
+}
+
+TEST(ConditionTest, AssignConflictKillsCondition) {
+  auto c = *Condition::FromAtoms({{1, 0}});
+  EXPECT_FALSE(c.Assign(1, 1).has_value());
+}
+
+TEST(ConditionTest, AssignUnmentionedVariableIsNoop) {
+  auto c = *Condition::FromAtoms({{1, 0}});
+  auto r = c.Assign(9, 3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, c);
+}
+
+TEST(ConditionTest, HashEqualityContract) {
+  auto a = *Condition::FromAtoms({{1, 0}, {2, 1}});
+  auto b = *Condition::FromAtoms({{2, 1}, {1, 0}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+// ---------------------------------------------------------------------------
+// WorldTable
+// ---------------------------------------------------------------------------
+
+TEST(WorldTableTest, NewVariableValidation) {
+  WorldTable wt;
+  EXPECT_FALSE(wt.NewVariable({}).ok());
+  EXPECT_FALSE(wt.NewVariable({0.5, 0.4}).ok());       // sums to 0.9
+  EXPECT_FALSE(wt.NewVariable({1.5, -0.5}).ok());      // out of range
+  EXPECT_TRUE(wt.NewVariable({0.25, 0.25, 0.5}).ok());
+  EXPECT_EQ(wt.NumVariables(), 1u);
+}
+
+TEST(WorldTableTest, AtomAndConditionProb) {
+  WorldTable wt;
+  VarId x = *wt.NewVariable({0.2, 0.8});
+  VarId y = *wt.NewVariable({0.5, 0.25, 0.25});
+  EXPECT_DOUBLE_EQ(wt.AtomProb({x, 1}), 0.8);
+  EXPECT_DOUBLE_EQ(wt.AtomProb({y, 2}), 0.25);
+  auto c = *Condition::FromAtoms({{x, 1}, {y, 0}});
+  EXPECT_DOUBLE_EQ(wt.ConditionProb(c), 0.4);
+  EXPECT_DOUBLE_EQ(wt.ConditionProb(Condition()), 1.0);
+}
+
+TEST(WorldTableTest, BooleanVariable) {
+  WorldTable wt;
+  VarId b = *wt.NewBooleanVariable(0.3);
+  EXPECT_EQ(wt.DomainSize(b), 2u);
+  EXPECT_DOUBLE_EQ(wt.AtomProb({b, 1}), 0.3);
+  EXPECT_DOUBLE_EQ(wt.AtomProb({b, 0}), 0.7);
+  EXPECT_FALSE(wt.NewBooleanVariable(1.5).ok());
+}
+
+TEST(WorldTableTest, SampleAssignmentFrequencies) {
+  WorldTable wt;
+  VarId x = *wt.NewVariable({0.1, 0.6, 0.3});
+  Rng rng(99);
+  std::map<AsgId, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[wt.SampleAssignment(x, &rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.6, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(WorldTableTest, NumWorldsApprox) {
+  WorldTable wt;
+  ASSERT_TRUE(wt.NewVariable({0.5, 0.5}).ok());
+  ASSERT_TRUE(wt.NewVariable({0.25, 0.25, 0.25, 0.25}).ok());
+  EXPECT_DOUBLE_EQ(wt.NumWorldsApprox(), 8.0);
+}
+
+// ---------------------------------------------------------------------------
+// World enumeration
+// ---------------------------------------------------------------------------
+
+TEST(WorldEnumTest, ProbabilitiesSumToOne) {
+  WorldTable wt;
+  VarId x = *wt.NewVariable({0.2, 0.8});
+  VarId y = *wt.NewVariable({0.1, 0.3, 0.6});
+  double total = 0;
+  int worlds = 0;
+  ASSERT_TRUE(EnumerateWorlds(wt, {x, y}, 100, [&](const World& w) {
+                total += w.probability;
+                ++worlds;
+              }).ok());
+  EXPECT_EQ(worlds, 6);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(WorldEnumTest, SatisfiesChecksAtoms) {
+  WorldTable wt;
+  VarId x = *wt.NewVariable({0.5, 0.5});
+  VarId y = *wt.NewVariable({0.5, 0.5});
+  auto cond = *Condition::FromAtoms({{x, 1}, {y, 0}});
+  double match_prob = 0;
+  ASSERT_TRUE(EnumerateWorlds(wt, {x, y}, 100, [&](const World& w) {
+                if (w.Satisfies(cond)) match_prob += w.probability;
+              }).ok());
+  EXPECT_NEAR(match_prob, 0.25, 1e-12);
+}
+
+TEST(WorldEnumTest, CapEnforced) {
+  WorldTable wt;
+  std::vector<VarId> vars;
+  for (int i = 0; i < 30; ++i) vars.push_back(*wt.NewVariable({0.5, 0.5}));
+  Status st = EnumerateWorlds(wt, vars, 1000, [](const World&) {});
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+}
+
+TEST(WorldEnumTest, DuplicateVariablesDeduplicated) {
+  WorldTable wt;
+  VarId x = *wt.NewVariable({0.5, 0.5});
+  int worlds = 0;
+  ASSERT_TRUE(EnumerateWorlds(wt, {x, x, x}, 100, [&](const World&) { ++worlds; }).ok());
+  EXPECT_EQ(worlds, 2);
+}
+
+TEST(WorldEnumTest, EmptyVariableSetHasOneWorld) {
+  WorldTable wt;
+  int worlds = 0;
+  double p = 0;
+  ASSERT_TRUE(EnumerateWorlds(wt, {}, 10, [&](const World& w) {
+                ++worlds;
+                p = w.probability;
+              }).ok());
+  EXPECT_EQ(worlds, 1);
+  EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+TEST(WorldEnumTest, SampleWorldConsistency) {
+  WorldTable wt;
+  VarId x = *wt.NewVariable({0.25, 0.75});
+  VarId y = *wt.NewVariable({1.0});
+  Rng rng(4);
+  std::vector<VarId> vars = {x, y};
+  int ones = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    World w = SampleWorld(wt, vars, &rng);
+    ASSERT_EQ(w.assignment.size(), 2u);
+    EXPECT_EQ(w.assignment[1], 0u);  // y is deterministic
+    ones += (w.assignment[0] == 1);
+  }
+  EXPECT_NEAR(ones / static_cast<double>(n), 0.75, 0.01);
+}
+
+}  // namespace
+}  // namespace maybms

@@ -1,0 +1,251 @@
+// Tests for the hypothesis-space constructs: repair-key and pick-tuples
+// (paper §2.2 item 2), plus possible and tconf over their outputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/engine/database.h"
+
+namespace maybms {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+class RepairKeyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("create table votes (city text, cand text, w double)").ok());
+    ASSERT_TRUE(db_.Execute(
+        "insert into votes values "
+        "('NYC','alice',3.0), ('NYC','bob',1.0), "
+        "('SF','alice',1.0), ('SF','carol',1.0), ('SF','dave',2.0)").ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(RepairKeyTest, CreatesOneVariablePerGroup) {
+  auto r = db_.Query("select * from (repair key city in votes weight by w) r");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumRows(), 5u);
+  EXPECT_TRUE(r->uncertain());
+  // Two groups → two fresh variables.
+  EXPECT_EQ(db_.world_table().NumVariables(), 2u);
+}
+
+TEST_F(RepairKeyTest, WeightsAreNormalizedPerGroup) {
+  auto r = db_.Query(
+      "select cand, conf() as p from (repair key city in votes weight by w) r "
+      "where city = 'NYC' group by cand");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto p = [&](const std::string& c) {
+    auto v = r->Lookup(0, Value::String(c), 1);
+    return v ? v->AsDouble() : -1;
+  };
+  EXPECT_NEAR(p("alice"), 0.75, kTol);
+  EXPECT_NEAR(p("bob"), 0.25, kTol);
+}
+
+TEST_F(RepairKeyTest, UniformWithoutWeight) {
+  auto r = db_.Query(
+      "select cand, conf() as p from (repair key city in votes) r "
+      "where city = 'SF' group by cand");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (const Row& row : r->rows()) {
+    EXPECT_NEAR(row.values[1].AsDouble(), 1.0 / 3, kTol);
+  }
+}
+
+TEST_F(RepairKeyTest, ZeroWeightAlternativesDropped) {
+  ASSERT_TRUE(db_.Execute("insert into votes values ('NYC','zed',0.0)").ok());
+  auto r = db_.Query("select * from (repair key city in votes weight by w) r");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 5u);  // zed does not appear
+}
+
+TEST_F(RepairKeyTest, NegativeWeightRejected) {
+  ASSERT_TRUE(db_.Execute("insert into votes values ('NYC','neg',-1.0)").ok());
+  Result<QueryResult> r =
+      db_.Query("select * from (repair key city in votes weight by w) r");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
+}
+
+TEST_F(RepairKeyTest, SingletonGroupIsCertain) {
+  ASSERT_TRUE(db_.Execute("insert into votes values ('LA','only',5.0)").ok());
+  auto r = db_.Query(
+      "select * from (repair key city in votes weight by w) r where city = 'LA'");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_TRUE(r->rows()[0].condition.IsTrue());
+}
+
+TEST_F(RepairKeyTest, RepairOverWholeTableAsOneGroup) {
+  // Key on a constant-valued column set: all rows of one city.
+  auto r = db_.Query(
+      "select cand, conf() as p from "
+      "(repair key city in (select * from votes where city = 'SF') weight by w) r "
+      "group by cand");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  double total = 0;
+  for (const Row& row : r->rows()) total += row.values[1].AsDouble();
+  EXPECT_NEAR(total, 1.0, kTol);
+}
+
+TEST_F(RepairKeyTest, KeyOnAllColumnsKeepsEverythingCertain) {
+  // Each (city, cand, w) is unique → every group is a singleton.
+  auto r = db_.Query("select * from (repair key city, cand, w in votes) r");
+  ASSERT_TRUE(r.ok());
+  for (const Row& row : r->rows()) {
+    EXPECT_TRUE(row.condition.IsTrue());
+  }
+}
+
+TEST_F(RepairKeyTest, MarginalsSumToOnePerGroup) {
+  auto r = db_.Query(
+      "select city, ecount() as n from (repair key city in votes weight by w) r "
+      "group by city");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Expected number of tuples per repaired group is exactly 1.
+  for (const Row& row : r->rows()) {
+    EXPECT_NEAR(row.values[1].AsDouble(), 1.0, kTol);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// pick-tuples
+// ---------------------------------------------------------------------------
+
+TEST_F(RepairKeyTest, PickTuplesDefaultHalf) {
+  auto r = db_.Query("select cand, tconf() as p from (pick tuples from votes) r");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 5u);
+  for (const Row& row : r->rows()) {
+    EXPECT_NEAR(row.values[1].AsDouble(), 0.5, kTol);
+  }
+}
+
+TEST_F(RepairKeyTest, PickTuplesWithProbabilityExpression) {
+  auto r = db_.Query(
+      "select cand, tconf() as p from "
+      "(pick tuples from votes independently with probability w / 4) r "
+      "where city = 'NYC'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto p = [&](const std::string& c) {
+    auto v = r->Lookup(0, Value::String(c), 1);
+    return v ? v->AsDouble() : -1;
+  };
+  EXPECT_NEAR(p("alice"), 0.75, kTol);
+  EXPECT_NEAR(p("bob"), 0.25, kTol);
+}
+
+TEST_F(RepairKeyTest, PickTuplesProbabilityOneIsCertain) {
+  auto r = db_.Query(
+      "select * from (pick tuples from votes with probability 1.0) r");
+  ASSERT_TRUE(r.ok());
+  for (const Row& row : r->rows()) {
+    EXPECT_TRUE(row.condition.IsTrue());
+  }
+}
+
+TEST_F(RepairKeyTest, PickTuplesProbabilityZeroKeptButImpossible) {
+  auto r = db_.Query(
+      "select cand, tconf() as p from (pick tuples from votes with probability 0.0) r");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 5u);
+  for (const Row& row : r->rows()) {
+    EXPECT_NEAR(row.values[1].AsDouble(), 0.0, kTol);
+  }
+  // possible filters them out.
+  auto poss = db_.Query(
+      "select possible cand from (pick tuples from votes with probability 0.0) r");
+  ASSERT_TRUE(poss.ok()) << poss.status().ToString();
+  EXPECT_EQ(poss->NumRows(), 0u);
+}
+
+TEST_F(RepairKeyTest, PickTuplesOutOfRangeProbabilityRejected) {
+  EXPECT_FALSE(db_.Query(
+      "select * from (pick tuples from votes with probability 1.5) r").ok());
+  EXPECT_FALSE(db_.Query(
+      "select * from (pick tuples from votes with probability 0 - 0.5) r").ok());
+}
+
+TEST_F(RepairKeyTest, PickTuplesSubsetSemantics) {
+  // Two rows, p = 0.5 each: P(at least one present) = 0.75.
+  ASSERT_TRUE(db_.Execute("create table pair (x int)").ok());
+  ASSERT_TRUE(db_.Execute("insert into pair values (1), (2)").ok());
+  auto r = db_.Query(
+      "select conf() as p from (select 1 as tag from (pick tuples from pair) r) s "
+      "group by tag");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_NEAR(r->At(0, 0).AsDouble(), 0.75, kTol);
+}
+
+// ---------------------------------------------------------------------------
+// possible / tconf
+// ---------------------------------------------------------------------------
+
+TEST_F(RepairKeyTest, PossibleDeduplicates) {
+  auto r = db_.Query("select possible city from (repair key city in votes) r");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumRows(), 2u);
+  EXPECT_FALSE(r->uncertain());
+}
+
+TEST_F(RepairKeyTest, PossibleOnCertainActsAsDistinct) {
+  auto r = db_.Query("select possible city from votes");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 2u);
+}
+
+TEST_F(RepairKeyTest, TconfOutputIsCertain) {
+  auto r = db_.Query("select cand, tconf() from (repair key city in votes weight by w) r");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->uncertain());
+  EXPECT_EQ(r->NumRows(), 5u);
+}
+
+TEST_F(RepairKeyTest, TconfComputesMarginalOfJoinedConditions) {
+  // Join two independent repairs: marginal = product.
+  auto r = db_.Query(
+      "select a.cand, tconf() as p from "
+      "(repair key city in votes weight by w) a, "
+      "(repair key city in votes weight by w) b "
+      "where a.city = 'NYC' and b.city = 'NYC' and a.cand = 'alice' "
+      "and b.cand = 'alice'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_NEAR(r->At(0, 1).AsDouble(), 0.75 * 0.75, kTol);
+}
+
+TEST_F(RepairKeyTest, InconsistentJoinPairsDropOut) {
+  // Self-join of one repair on different candidates: same variable, two
+  // different assignments → empty result.
+  auto q =
+      "create table rep as select * from (repair key city in votes weight by w) r";
+  ASSERT_TRUE(db_.Execute(q).ok());
+  auto r = db_.Query(
+      "select a.cand, b.cand from rep a, rep b "
+      "where a.city = 'NYC' and b.city = 'NYC' and a.cand = 'alice' "
+      "and b.cand = 'bob'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumRows(), 0u);
+}
+
+TEST_F(RepairKeyTest, SelfJoinOnSameAssignmentKeepsCondition) {
+  ASSERT_TRUE(db_.Execute(
+      "create table rep2 as select * from (repair key city in votes weight by w) r").ok());
+  auto r = db_.Query(
+      "select a.cand, conf() as p from rep2 a, rep2 b "
+      "where a.city = 'NYC' and b.city = 'NYC' and a.cand = b.cand "
+      "group by a.cand");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // P(alice ∧ alice) = P(alice) = 0.75 — not squared: same world.
+  auto v = r->Lookup(0, Value::String("alice"), 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NEAR(v->AsDouble(), 0.75, kTol);
+}
+
+}  // namespace
+}  // namespace maybms

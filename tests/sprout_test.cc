@@ -1,0 +1,282 @@
+// Tests for SPROUT safe plans (lazy and eager) on tuple-independent
+// probabilistic databases, checked against the generic exact algorithm and
+// against each other.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/conf/naive.h"
+#include "src/sprout/safe_plan.h"
+#include "src/sprout/tuple_independent.h"
+
+namespace maybms {
+namespace {
+
+using sprout::ConjunctiveQuery;
+using sprout::Evaluate;
+using sprout::IsHierarchical;
+using sprout::PlanStats;
+using sprout::PlanStyle;
+using sprout::QueryAtom;
+using sprout::ResultTuple;
+
+constexpr double kTol = 1e-9;
+
+std::vector<Value> Vals(std::initializer_list<int> xs) {
+  std::vector<Value> out;
+  for (int x : xs) out.push_back(Value::Int(x));
+  return out;
+}
+
+Schema IntSchema(std::initializer_list<const char*> names) {
+  Schema s;
+  for (const char* n : names) s.AddColumn({n, TypeId::kInt});
+  return s;
+}
+
+double FindProb(const std::vector<ResultTuple>& results,
+                const std::vector<Value>& key) {
+  for (const ResultTuple& t : results) {
+    if (ValuesEqual(t.head_values, key)) return t.probability;
+  }
+  return -1;
+}
+
+TEST(TupleIndependentTest, DetectsIndependence) {
+  WorldTable wt;
+  Schema schema = IntSchema({"a"});
+  auto t = MakeTupleIndependentTable("R", schema, {{Vals({1}), 0.5}, {Vals({2}), 0.7}},
+                                     &wt);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(IsTupleIndependent(**t));
+
+  // Sharing a variable across rows breaks independence.
+  Table shared("S", schema, true);
+  VarId v = *wt.NewBooleanVariable(0.5);
+  Row r1(Vals({1}));
+  r1.condition.AddAtom({v, 1});
+  Row r2(Vals({2}));
+  r2.condition.AddAtom({v, 0});
+  ASSERT_TRUE(shared.Append(r1).ok());
+  ASSERT_TRUE(shared.Append(r2).ok());
+  EXPECT_FALSE(IsTupleIndependent(shared));
+
+  // Multi-atom conditions break independence too.
+  Table multi("M", schema, true);
+  Row r3(Vals({3}));
+  r3.condition.AddAtom({*wt.NewBooleanVariable(0.5), 1});
+  r3.condition.AddAtom({*wt.NewBooleanVariable(0.5), 1});
+  ASSERT_TRUE(multi.Append(r3).ok());
+  EXPECT_FALSE(IsTupleIndependent(multi));
+}
+
+TEST(TupleIndependentTest, CertainRowsStayCertain) {
+  WorldTable wt;
+  auto t = MakeTupleIndependentTable("R", IntSchema({"a"}), {{Vals({1}), 1.0}}, &wt);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE((*t)->rows()[0].condition.IsTrue());
+  EXPECT_EQ(wt.NumVariables(), 0u);
+}
+
+TEST(HierarchicalTest, Classification) {
+  WorldTable wt;
+  auto r = *MakeTupleIndependentTable("R", IntSchema({"x"}), {}, &wt);
+  auto s = *MakeTupleIndependentTable("S", IntSchema({"x", "y"}), {}, &wt);
+  auto t = *MakeTupleIndependentTable("T", IntSchema({"y"}), {}, &wt);
+
+  // Boolean R(x), S(x,y), T(y): atoms(x)={R,S}, atoms(y)={S,T} overlap on S
+  // but neither contains the other → NOT hierarchical (the classic hard
+  // query H0).
+  ConjunctiveQuery h0{{}, {{r, {"x"}}, {s, {"x", "y"}}, {t, {"y"}}}};
+  EXPECT_FALSE(IsHierarchical(h0));
+
+  // R(x), S(x,y): atoms(x)={R,S} ⊇ atoms(y)={S} → hierarchical.
+  ConjunctiveQuery ok{{}, {{r, {"x"}}, {s, {"x", "y"}}}};
+  EXPECT_TRUE(IsHierarchical(ok));
+
+  // Head variables are exempt: H0 with head {y} becomes hierarchical.
+  ConjunctiveQuery h0_head{{"y"}, {{r, {"x"}}, {s, {"x", "y"}}, {t, {"y"}}}};
+  EXPECT_TRUE(IsHierarchical(h0_head));
+}
+
+TEST(SproutValidationTest, RejectsBadQueries) {
+  WorldTable wt;
+  auto r = *MakeTupleIndependentTable("R", IntSchema({"x"}), {{Vals({1}), 0.5}}, &wt);
+  // Arity mismatch.
+  ConjunctiveQuery bad_arity{{}, {{r, {"x", "y"}}}};
+  EXPECT_FALSE(Evaluate(bad_arity, wt, PlanStyle::kLazy).ok());
+  // Self-join.
+  ConjunctiveQuery self_join{{}, {{r, {"x"}}, {r, {"y"}}}};
+  EXPECT_FALSE(Evaluate(self_join, wt, PlanStyle::kLazy).ok());
+  // Unknown head variable.
+  ConjunctiveQuery bad_head{{"z"}, {{r, {"x"}}}};
+  EXPECT_FALSE(Evaluate(bad_head, wt, PlanStyle::kLazy).ok());
+  // Empty query.
+  ConjunctiveQuery empty{{}, {}};
+  EXPECT_FALSE(Evaluate(empty, wt, PlanStyle::kLazy).ok());
+}
+
+TEST(SproutTest, SingleAtomBooleanQuery) {
+  WorldTable wt;
+  auto r = *MakeTupleIndependentTable(
+      "R", IntSchema({"x"}), {{Vals({1}), 0.5}, {Vals({2}), 0.5}}, &wt);
+  ConjunctiveQuery q{{}, {{r, {"x"}}}};
+  for (PlanStyle style : {PlanStyle::kEager, PlanStyle::kLazy}) {
+    auto result = Evaluate(q, wt, style);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->size(), 1u);
+    EXPECT_NEAR((*result)[0].probability, 0.75, kTol);  // 1 - 0.5*0.5
+  }
+}
+
+TEST(SproutTest, SingleAtomGroupedByHead) {
+  WorldTable wt;
+  auto r = *MakeTupleIndependentTable(
+      "R", IntSchema({"g", "x"}),
+      {{Vals({1, 10}), 0.5}, {Vals({1, 11}), 0.5}, {Vals({2, 10}), 0.25}}, &wt);
+  ConjunctiveQuery q{{"g"}, {{r, {"g", "x"}}}};
+  for (PlanStyle style : {PlanStyle::kEager, PlanStyle::kLazy}) {
+    auto result = Evaluate(q, wt, style);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_NEAR(FindProb(*result, Vals({1})), 0.75, kTol);
+    EXPECT_NEAR(FindProb(*result, Vals({2})), 0.25, kTol);
+  }
+}
+
+TEST(SproutTest, RepeatedVariableInAtomIsSelection) {
+  WorldTable wt;
+  auto r = *MakeTupleIndependentTable(
+      "R", IntSchema({"a", "b"}), {{Vals({1, 1}), 0.5}, {Vals({1, 2}), 0.9}}, &wt);
+  ConjunctiveQuery q{{}, {{r, {"x", "x"}}}};  // R(x,x): only the (1,1) row
+  for (PlanStyle style : {PlanStyle::kEager, PlanStyle::kLazy}) {
+    auto result = Evaluate(q, wt, style);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->size(), 1u);
+    EXPECT_NEAR((*result)[0].probability, 0.5, kTol);
+  }
+}
+
+TEST(SproutTest, TwoAtomJoinMatchesNaive) {
+  WorldTable wt;
+  auto r = *MakeTupleIndependentTable(
+      "R", IntSchema({"x"}), {{Vals({1}), 0.6}, {Vals({2}), 0.3}}, &wt);
+  auto s = *MakeTupleIndependentTable(
+      "S", IntSchema({"x", "y"}),
+      {{Vals({1, 5}), 0.5}, {Vals({1, 6}), 0.4}, {Vals({2, 5}), 0.9}}, &wt);
+  // Boolean query ∃x∃y R(x) ∧ S(x,y).
+  ConjunctiveQuery q{{}, {{r, {"x"}}, {s, {"x", "y"}}}};
+  ASSERT_TRUE(IsHierarchical(q));
+
+  // Ground truth via naive enumeration over the lineage.
+  // Lineage: (r1 ∧ s1) ∨ (r1 ∧ s2) ∨ (r2 ∧ s3).
+  Dnf lineage;
+  auto atom_of = [](const TablePtr& t, size_t i) { return t->rows()[i].condition; };
+  lineage.AddClause(*Condition::Merge(atom_of(r, 0), atom_of(s, 0)));
+  lineage.AddClause(*Condition::Merge(atom_of(r, 0), atom_of(s, 1)));
+  lineage.AddClause(*Condition::Merge(atom_of(r, 1), atom_of(s, 2)));
+  double truth = *NaiveConfidence(lineage, wt);
+
+  for (PlanStyle style : {PlanStyle::kEager, PlanStyle::kLazy}) {
+    auto result = Evaluate(q, wt, style);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->size(), 1u);
+    EXPECT_NEAR((*result)[0].probability, truth, kTol);
+  }
+}
+
+TEST(SproutTest, EagerRejectsNonHierarchical) {
+  WorldTable wt;
+  auto r = *MakeTupleIndependentTable("R", IntSchema({"x"}), {{Vals({1}), 0.5}}, &wt);
+  auto s = *MakeTupleIndependentTable("S", IntSchema({"x", "y"}),
+                                      {{Vals({1, 2}), 0.5}}, &wt);
+  auto t = *MakeTupleIndependentTable("T", IntSchema({"y"}), {{Vals({2}), 0.5}}, &wt);
+  ConjunctiveQuery h0{{}, {{r, {"x"}}, {s, {"x", "y"}}, {t, {"y"}}}};
+  EXPECT_FALSE(Evaluate(h0, wt, PlanStyle::kEager).ok());
+  // Lazy evaluates it anyway (generic exact algorithm on the lineage).
+  auto lazy = Evaluate(h0, wt, PlanStyle::kLazy);
+  ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
+  ASSERT_EQ(lazy->size(), 1u);
+  EXPECT_NEAR((*lazy)[0].probability, 0.125, kTol);
+}
+
+// Randomized: lazy and eager agree on random hierarchical instances, and
+// both agree with brute-force possible-world enumeration.
+class SproutRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SproutRandomTest, LazyEagerAndNaiveAgree) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 10007);
+  WorldTable wt;
+
+  // R(g, x), S(x, y): hierarchical for head {g}.
+  std::vector<std::pair<std::vector<Value>, double>> r_rows, s_rows;
+  for (int g = 1; g <= 2; ++g) {
+    for (int x = 1; x <= 3; ++x) {
+      if (rng.NextBernoulli(0.7)) {
+        r_rows.push_back({Vals({g, x}), 0.2 + 0.6 * rng.NextDouble()});
+      }
+    }
+  }
+  for (int x = 1; x <= 3; ++x) {
+    for (int y = 1; y <= 2; ++y) {
+      if (rng.NextBernoulli(0.7)) {
+        s_rows.push_back({Vals({x, y}), 0.2 + 0.6 * rng.NextDouble()});
+      }
+    }
+  }
+  auto r = *MakeTupleIndependentTable("R", IntSchema({"g", "x"}), r_rows, &wt);
+  auto s = *MakeTupleIndependentTable("S", IntSchema({"x", "y"}), s_rows, &wt);
+  ConjunctiveQuery q{{"g"}, {{r, {"g", "x"}}, {s, {"x", "y"}}}};
+  ASSERT_TRUE(IsHierarchical(q));
+
+  auto eager = Evaluate(q, wt, PlanStyle::kEager);
+  auto lazy = Evaluate(q, wt, PlanStyle::kLazy);
+  ASSERT_TRUE(eager.ok()) << eager.status().ToString();
+  ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
+  ASSERT_EQ(eager->size(), lazy->size());
+
+  for (const ResultTuple& t : *eager) {
+    double lp = FindProb(*lazy, t.head_values);
+    EXPECT_NEAR(t.probability, lp, kTol);
+    // Brute-force oracle: lineage of this head value.
+    Dnf lineage;
+    for (const Row& rr : r->rows()) {
+      if (!rr.values[0].Equals(t.head_values[0])) continue;
+      for (const Row& sr : s->rows()) {
+        if (!sr.values[0].Equals(rr.values[1])) continue;
+        auto merged = Condition::Merge(rr.condition, sr.condition);
+        if (merged) lineage.AddClause(std::move(*merged));
+      }
+    }
+    double truth = *NaiveConfidence(lineage, wt);
+    EXPECT_NEAR(t.probability, truth, kTol) << "head " << t.head_values[0].ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SproutRandomTest, ::testing::Range(1, 13));
+
+// Eager plans materialize fewer intermediate tuples than lazy plans on a
+// star join with wide fan-out (the ICDE'09 motivation).
+TEST(SproutTest, EagerMaterializesLessThanLazyOnFanout) {
+  WorldTable wt;
+  std::vector<std::pair<std::vector<Value>, double>> r_rows, s_rows;
+  for (int x = 0; x < 20; ++x) {
+    r_rows.push_back({Vals({x}), 0.5});
+    for (int y = 0; y < 20; ++y) {
+      s_rows.push_back({Vals({x, y}), 0.5});
+    }
+  }
+  auto r = *MakeTupleIndependentTable("R", IntSchema({"x"}), r_rows, &wt);
+  auto s = *MakeTupleIndependentTable("S", IntSchema({"x", "y"}), s_rows, &wt);
+  ConjunctiveQuery q{{}, {{r, {"x"}}, {s, {"x", "y"}}}};
+
+  PlanStats eager_stats, lazy_stats;
+  ASSERT_TRUE(Evaluate(q, wt, PlanStyle::kEager, &eager_stats).ok());
+  ASSERT_TRUE(Evaluate(q, wt, PlanStyle::kLazy, &lazy_stats).ok());
+  EXPECT_LT(eager_stats.intermediate_tuples, lazy_stats.intermediate_tuples);
+  EXPECT_EQ(lazy_stats.lineage_clauses, 400u);
+}
+
+}  // namespace
+}  // namespace maybms

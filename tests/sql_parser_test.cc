@@ -1,0 +1,309 @@
+// Tests for the SQL lexer and the MayBMS-dialect parser.
+#include <gtest/gtest.h>
+
+#include "src/sql/lexer.h"
+#include "src/sql/parser.h"
+
+namespace maybms {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("select x, 42, 3.5 from t");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 9u);  // incl. EOF
+  EXPECT_TRUE((*tokens)[0].IsWord("SELECT"));
+  EXPECT_EQ((*tokens)[1].text, "x");
+  EXPECT_TRUE((*tokens)[2].IsSymbol(","));
+  EXPECT_EQ((*tokens)[3].int_value, 42);
+  EXPECT_DOUBLE_EQ((*tokens)[5].float_value, 3.5);
+  EXPECT_EQ((*tokens)[8].type, TokenType::kEof);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = Tokenize("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringRejected) {
+  EXPECT_FALSE(Tokenize("select 'oops").ok());
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("select 1 -- trailing comment\n, 2");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto tokens = Tokenize("a <= b <> c >= d != e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[1].IsSymbol("<="));
+  EXPECT_TRUE((*tokens)[3].IsSymbol("<>"));
+  EXPECT_TRUE((*tokens)[5].IsSymbol(">="));
+  EXPECT_TRUE((*tokens)[7].IsSymbol("!="));
+}
+
+TEST(LexerTest, ScientificNotation) {
+  auto tokens = Tokenize("1e3 2.5E-2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ((*tokens)[1].float_value, 0.025);
+}
+
+TEST(LexerTest, RejectsStrayCharacters) {
+  EXPECT_FALSE(Tokenize("select #").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parser: select
+// ---------------------------------------------------------------------------
+
+const SelectStmt& AsSelect(const StatementPtr& stmt) {
+  EXPECT_EQ(stmt->kind, StatementKind::kSelect);
+  return static_cast<const SelectStmt&>(*stmt);
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = ParseStatement("select a, b as bb from t where a > 1 order by b desc limit 5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& sel = AsSelect(*stmt);
+  ASSERT_EQ(sel.items.size(), 2u);
+  EXPECT_EQ(sel.items[1].alias, "bb");
+  ASSERT_EQ(sel.from.size(), 1u);
+  EXPECT_EQ(sel.from[0]->kind, TableRefKind::kBaseTable);
+  ASSERT_TRUE(sel.where != nullptr);
+  ASSERT_EQ(sel.order_by.size(), 1u);
+  EXPECT_TRUE(sel.order_by[0].descending);
+  EXPECT_EQ(*sel.limit, 5);
+}
+
+TEST(ParserTest, ImplicitAliasWithoutAs) {
+  auto stmt = ParseStatement("select R1.x from FT R1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& sel = AsSelect(*stmt);
+  EXPECT_EQ(sel.from[0]->alias, "R1");
+}
+
+TEST(ParserTest, StarAndQualifiedStar) {
+  auto stmt = ParseStatement("select *, t.* from t");
+  ASSERT_TRUE(stmt.ok());
+  const SelectStmt& sel = AsSelect(*stmt);
+  ASSERT_EQ(sel.items.size(), 2u);
+  EXPECT_EQ(sel.items[0].expr->kind, ExprKind::kStar);
+  EXPECT_EQ(static_cast<const StarExpr&>(*sel.items[1].expr).table, "t");
+}
+
+TEST(ParserTest, GroupByAndAggregates) {
+  auto stmt = ParseStatement(
+      "select player, conf() as p from r group by player");
+  ASSERT_TRUE(stmt.ok());
+  const SelectStmt& sel = AsSelect(*stmt);
+  ASSERT_EQ(sel.group_by.size(), 1u);
+  const auto& call = static_cast<const FunctionCallExpr&>(*sel.items[1].expr);
+  EXPECT_EQ(call.name, "conf");
+  EXPECT_TRUE(call.args.empty());
+}
+
+TEST(ParserTest, RepairKeyInFrom) {
+  auto stmt = ParseStatement(
+      "select * from (repair key Player, Init in FT weight by P) R1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& sel = AsSelect(*stmt);
+  ASSERT_EQ(sel.from.size(), 1u);
+  ASSERT_EQ(sel.from[0]->kind, TableRefKind::kRepairKey);
+  const auto& rk = static_cast<const RepairKeyRef&>(*sel.from[0]);
+  ASSERT_EQ(rk.key_columns.size(), 2u);
+  EXPECT_EQ(rk.key_columns[0].column, "Player");
+  EXPECT_EQ(rk.key_columns[1].column, "Init");
+  EXPECT_EQ(rk.input->kind, TableRefKind::kBaseTable);
+  ASSERT_TRUE(rk.weight != nullptr);
+  EXPECT_EQ(sel.from[0]->alias, "R1");
+}
+
+TEST(ParserTest, RepairKeyWithSubqueryInput) {
+  auto stmt = ParseStatement(
+      "select * from (repair key k in (select k, w from t where w > 0) "
+      "weight by w) r");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& rk = static_cast<const RepairKeyRef&>(*AsSelect(*stmt).from[0]);
+  EXPECT_EQ(rk.input->kind, TableRefKind::kSubquery);
+}
+
+TEST(ParserTest, BareRepairKeyStatement) {
+  auto stmt = ParseStatement("repair key k in t weight by w");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& sel = AsSelect(*stmt);
+  ASSERT_EQ(sel.from.size(), 1u);
+  EXPECT_EQ(sel.from[0]->kind, TableRefKind::kRepairKey);
+  EXPECT_EQ(sel.items[0].expr->kind, ExprKind::kStar);
+}
+
+TEST(ParserTest, PickTuplesVariants) {
+  auto stmt = ParseStatement(
+      "select * from (pick tuples from t independently with probability 0.3) s");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& pt = static_cast<const PickTuplesRef&>(*AsSelect(*stmt).from[0]);
+  EXPECT_TRUE(pt.independently);
+  ASSERT_TRUE(pt.probability != nullptr);
+
+  auto bare = ParseStatement("pick tuples from t");
+  ASSERT_TRUE(bare.ok()) << bare.status().ToString();
+  const auto& pt2 = static_cast<const PickTuplesRef&>(*AsSelect(*bare).from[0]);
+  EXPECT_FALSE(pt2.independently);
+  EXPECT_TRUE(pt2.probability == nullptr);
+}
+
+TEST(ParserTest, SelectPossible) {
+  auto stmt = ParseStatement("select possible x from r");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(AsSelect(*stmt).possible);
+  EXPECT_FALSE(AsSelect(*stmt).distinct);
+}
+
+TEST(ParserTest, SelectDistinct) {
+  auto stmt = ParseStatement("select distinct x from r");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(AsSelect(*stmt).distinct);
+}
+
+TEST(ParserTest, UnionChain) {
+  auto stmt = ParseStatement("select a from t union select a from u union all select a from v");
+  ASSERT_TRUE(stmt.ok());
+  const SelectStmt& first = AsSelect(*stmt);
+  ASSERT_TRUE(first.union_next != nullptr);
+  EXPECT_FALSE(first.union_next->union_all);
+  ASSERT_TRUE(first.union_next->union_next != nullptr);
+  EXPECT_TRUE(first.union_next->union_next->union_all);
+}
+
+TEST(ParserTest, InSubqueryAndValueList) {
+  auto stmt = ParseStatement("select a from t where a in (select b from u)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(AsSelect(*stmt).where->kind, ExprKind::kInSubquery);
+
+  auto list = ParseStatement("select a from t where a in (1, 2, 3)");
+  ASSERT_TRUE(list.ok());
+  // Rewritten to a disjunction of equalities.
+  EXPECT_EQ(AsSelect(*list).where->kind, ExprKind::kBinary);
+
+  auto neg = ParseStatement("select a from t where a not in (select b from u)");
+  ASSERT_TRUE(neg.ok());
+  EXPECT_TRUE(static_cast<const InSubqueryExpr&>(*AsSelect(*neg).where).negated);
+}
+
+TEST(ParserTest, IsNullVariants) {
+  auto stmt = ParseStatement("select a from t where a is null and b is not null");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = ParseStatement("select 1 + 2 * 3 = 7 and not 1 > 2");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& sel = AsSelect(*stmt);
+  // ((1 + (2*3)) = 7) and (not (1 > 2))
+  const auto& top = static_cast<const BinaryExpr&>(*sel.items[0].expr);
+  EXPECT_EQ(top.op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, FromlessSelect) {
+  auto stmt = ParseStatement("select 1 + 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(AsSelect(*stmt).from.empty());
+}
+
+TEST(ParserTest, AconfArguments) {
+  auto stmt = ParseStatement("select aconf(0.05, 0.01) from r");
+  ASSERT_TRUE(stmt.ok());
+  const auto& call = static_cast<const FunctionCallExpr&>(*AsSelect(*stmt).items[0].expr);
+  EXPECT_EQ(call.name, "aconf");
+  EXPECT_EQ(call.args.size(), 2u);
+}
+
+TEST(ParserTest, CountStar) {
+  auto stmt = ParseStatement("select count(*) from t");
+  ASSERT_TRUE(stmt.ok());
+  const auto& call = static_cast<const FunctionCallExpr&>(*AsSelect(*stmt).items[0].expr);
+  ASSERT_EQ(call.args.size(), 1u);
+  EXPECT_EQ(call.args[0]->kind, ExprKind::kStar);
+}
+
+// ---------------------------------------------------------------------------
+// Parser: DDL / DML
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = ParseStatement(
+      "create table t (a int, b double precision, c varchar(10), d boolean)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& ct = static_cast<const CreateTableStmt&>(**stmt);
+  ASSERT_EQ(ct.columns.size(), 4u);
+  EXPECT_EQ(ct.columns[0].type, TypeId::kInt);
+  EXPECT_EQ(ct.columns[1].type, TypeId::kDouble);
+  EXPECT_EQ(ct.columns[2].type, TypeId::kString);
+  EXPECT_EQ(ct.columns[3].type, TypeId::kBool);
+}
+
+TEST(ParserTest, CreateTableAs) {
+  auto stmt = ParseStatement("create table t2 as select * from t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->kind, StatementKind::kCreateTableAs);
+}
+
+TEST(ParserTest, UnknownTypeRejected) {
+  EXPECT_FALSE(ParseStatement("create table t (a blob)").ok());
+}
+
+TEST(ParserTest, InsertValues) {
+  auto stmt = ParseStatement("insert into t (a, b) values (1, 'x'), (2, 'y')");
+  ASSERT_TRUE(stmt.ok());
+  const auto& ins = static_cast<const InsertStmt&>(**stmt);
+  EXPECT_EQ(ins.columns.size(), 2u);
+  EXPECT_EQ(ins.rows.size(), 2u);
+}
+
+TEST(ParserTest, InsertSelect) {
+  auto stmt = ParseStatement("insert into t select * from u");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(static_cast<const InsertStmt&>(**stmt).select != nullptr);
+}
+
+TEST(ParserTest, UpdateDeleteDrop) {
+  ASSERT_TRUE(ParseStatement("update t set a = a + 1 where b = 2").ok());
+  ASSERT_TRUE(ParseStatement("delete from t where a < 0").ok());
+  ASSERT_TRUE(ParseStatement("drop table t").ok());
+  auto drop_ie = ParseStatement("drop table if exists t");
+  ASSERT_TRUE(drop_ie.ok());
+  EXPECT_TRUE(static_cast<const DropTableStmt&>(**drop_ie).if_exists);
+}
+
+TEST(ParserTest, ScriptParsing) {
+  auto stmts = ParseScript("create table t (a int); insert into t values (1);;"
+                           "select * from t;");
+  ASSERT_TRUE(stmts.ok()) << stmts.status().ToString();
+  EXPECT_EQ(stmts->size(), 3u);
+}
+
+TEST(ParserTest, ErrorsCarryOffsets) {
+  Result<StatementPtr> r = ParseStatement("select from t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseStatement("select 1 select 2").ok());
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  EXPECT_TRUE(ParseStatement("SELECT A FROM T WHERE A = 1 GROUP BY A").ok());
+  EXPECT_TRUE(ParseStatement("RePair KEY k IN t").ok());
+}
+
+}  // namespace
+}  // namespace maybms

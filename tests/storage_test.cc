@@ -1,0 +1,165 @@
+// Unit tests for src/storage: tables, catalog, CSV import/export.
+#include <gtest/gtest.h>
+
+#include "src/storage/catalog.h"
+#include "src/storage/csv.h"
+#include "src/storage/table.h"
+
+namespace maybms {
+namespace {
+
+Schema PlayerSchema() {
+  return Schema({{"Player", TypeId::kString}, {"Score", TypeId::kInt}});
+}
+
+TEST(TableTest, AppendChecksArity) {
+  Table t("t", PlayerSchema());
+  EXPECT_TRUE(t.Append(Row({Value::String("a"), Value::Int(1)})).ok());
+  Status st = t.Append(Row({Value::String("a")}));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.NumRows(), 1u);
+}
+
+TEST(TableTest, AppendChecksTypesWithWidening) {
+  Table t("t", Schema({{"x", TypeId::kDouble}}));
+  EXPECT_TRUE(t.Append(Row({Value::Int(3)})).ok());  // int widens to double
+  EXPECT_EQ(t.rows()[0].values[0].type(), TypeId::kDouble);
+  EXPECT_FALSE(t.Append(Row({Value::String("no")})).ok());
+}
+
+TEST(TableTest, AppendNarrowsExactDoublesToInt) {
+  Table t("t", Schema({{"x", TypeId::kInt}}));
+  EXPECT_TRUE(t.Append(Row({Value::Double(4.0)})).ok());
+  EXPECT_EQ(t.rows()[0].values[0].type(), TypeId::kInt);
+  EXPECT_FALSE(t.Append(Row({Value::Double(4.5)})).ok());
+}
+
+TEST(TableTest, NullAllowedAnywhere) {
+  Table t("t", PlayerSchema());
+  EXPECT_TRUE(t.Append(Row({Value::Null(), Value::Null()})).ok());
+}
+
+TEST(TableTest, ConditionedRowRequiresUncertainTable) {
+  Table certain("c", PlayerSchema(), /*uncertain=*/false);
+  Table uncertain("u", PlayerSchema(), /*uncertain=*/true);
+  Row row({Value::String("a"), Value::Int(1)});
+  row.condition.AddAtom({0, 1});
+  EXPECT_FALSE(certain.Append(row).ok());
+  EXPECT_TRUE(uncertain.Append(row).ok());
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("T1", PlayerSchema()).ok());
+  EXPECT_TRUE(catalog.HasTable("t1"));  // case-insensitive
+  ASSERT_TRUE(catalog.GetTable("T1").ok());
+  EXPECT_EQ(catalog.GetTable("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(catalog.DropTable("t1").ok());
+  EXPECT_FALSE(catalog.HasTable("T1"));
+  EXPECT_EQ(catalog.DropTable("T1").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DuplicateNamesRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("T", PlayerSchema()).ok());
+  EXPECT_EQ(catalog.CreateTable("t", PlayerSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, RegisterExternallyBuiltTable) {
+  Catalog catalog;
+  auto t = std::make_shared<Table>("Ext", PlayerSchema(), true);
+  ASSERT_TRUE(catalog.RegisterTable(t).ok());
+  auto fetched = catalog.GetTable("ext");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_TRUE((*fetched)->uncertain());
+  EXPECT_FALSE(catalog.RegisterTable(t).ok());
+}
+
+TEST(CatalogTest, TableNamesListsAll) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("B", PlayerSchema()).ok());
+  ASSERT_TRUE(catalog.CreateTable("A", PlayerSchema()).ok());
+  std::vector<std::string> names = catalog.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "A");  // map order: lower-cased keys
+  EXPECT_EQ(names[1], "B");
+}
+
+TEST(CatalogTest, WorldTableShared) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.world_table().NewBooleanVariable(0.5).ok());
+  EXPECT_EQ(catalog.world_table().NumVariables(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+TEST(CsvTest, RoundTrip) {
+  Schema schema({{"name", TypeId::kString},
+                 {"score", TypeId::kInt},
+                 {"p", TypeId::kDouble},
+                 {"ok", TypeId::kBool}});
+  std::string csv =
+      "name,score,p,ok\n"
+      "alice,10,0.5,true\n"
+      "bob,-3,1.25,false\n";
+  auto table = CsvToTable("t", schema, csv);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ((*table)->NumRows(), 2u);
+  EXPECT_EQ((*table)->rows()[0].values[0].AsString(), "alice");
+  EXPECT_EQ((*table)->rows()[1].values[1].AsInt(), -3);
+  EXPECT_DOUBLE_EQ((*table)->rows()[1].values[2].AsDouble(), 1.25);
+  EXPECT_FALSE((*table)->rows()[1].values[3].AsBool());
+
+  std::string out = TableToCsv(**table);
+  auto again = CsvToTable("t2", schema, out);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->NumRows(), 2u);
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  Schema schema({{"a", TypeId::kString}, {"b", TypeId::kInt}});
+  std::string csv = "a,b\n\"x, y\",1\n\"he said \"\"hi\"\"\",2\n";
+  auto table = CsvToTable("t", schema, csv);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->rows()[0].values[0].AsString(), "x, y");
+  EXPECT_EQ((*table)->rows()[1].values[0].AsString(), "he said \"hi\"");
+}
+
+TEST(CsvTest, EmptyFieldsAreNull) {
+  Schema schema({{"a", TypeId::kString}, {"b", TypeId::kInt}});
+  auto table = CsvToTable("t", schema, "a,b\n,\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE((*table)->rows()[0].values[0].is_null());
+  EXPECT_TRUE((*table)->rows()[0].values[1].is_null());
+}
+
+TEST(CsvTest, HeaderMismatchRejected) {
+  Schema schema({{"a", TypeId::kInt}});
+  EXPECT_FALSE(CsvToTable("t", schema, "wrong\n1\n").ok());
+  EXPECT_FALSE(CsvToTable("t", schema, "a,b\n1,2\n").ok());
+  EXPECT_FALSE(CsvToTable("t", schema, "").ok());
+}
+
+TEST(CsvTest, BadValuesRejectedWithLineInfo) {
+  Schema schema({{"a", TypeId::kInt}});
+  Status st = CsvToTable("t", schema, "a\n1\nxyz\n").status();
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Schema schema({{"a", TypeId::kInt}});
+  Table t("t", schema);
+  ASSERT_TRUE(t.Append(Row({Value::Int(42)})).ok());
+  std::string path = ::testing::TempDir() + "/maybms_csv_test.csv";
+  ASSERT_TRUE(SaveCsvFile(t, path).ok());
+  auto loaded = LoadCsvFile("t2", schema, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->rows()[0].values[0].AsInt(), 42);
+  EXPECT_FALSE(LoadCsvFile("t3", schema, "/nonexistent/x.csv").ok());
+}
+
+}  // namespace
+}  // namespace maybms
