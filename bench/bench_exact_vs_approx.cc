@@ -19,6 +19,7 @@
 #include "src/conf/montecarlo.h"
 
 using namespace maybms;
+using maybms_bench::JsonReporter;
 using maybms_bench::PrintHeader;
 using maybms_bench::TimeMs;
 
@@ -53,6 +54,7 @@ Instance RandomDnf(int vars, int clauses, int width, uint64_t seed) {
 }  // namespace
 
 int main() {
+  JsonReporter json("exact_vs_approx");
   std::printf("Exact (variable elimination + decomposition) vs approximate\n");
   std::printf("(Karp-Luby + DKLR) confidence computation.\n");
   std::printf("Paper claim: exact wins outside a narrow band of variable-to-"
@@ -106,6 +108,10 @@ int main() {
     }
     std::printf("%-8d %-7.2f %12.2f %12.2f %10.5f %s\n", vars, ratio,
                 exact_ok ? exact_ms : -1.0, approx_ms, exact_p, winner);
+    json.Report("exact", exact_ok ? exact_ms : -1.0)
+        .Param("vars", vars)
+        .Metric("p", exact_p);
+    json.Report("aconf", approx_ms).Param("vars", vars).Metric("p", approx_p);
   }
 
   // Ablation: the design choices inside the exact solver — elimination
@@ -156,6 +162,9 @@ int main() {
                   static_cast<unsigned long long>(stats.steps),
                   static_cast<unsigned long long>(stats.cache_hits),
                   std::abs(p - reference) < 1e-9 ? "" : "  RESULT MISMATCH");
+      json.Report(std::string("ablation/") + config.name, ms)
+          .Metric("steps", static_cast<double>(stats.steps))
+          .Metric("cache_hits", static_cast<double>(stats.cache_hits));
     }
   }
 

@@ -16,6 +16,7 @@ using maybms::Database;
 using maybms::QueryResult;
 using maybms::Row;
 using maybms::Value;
+using maybms_bench::JsonReporter;
 using maybms_bench::PrintHeader;
 using maybms_bench::TimeMs;
 
@@ -139,11 +140,15 @@ int main() {
 
   // --- Scaling: roster size sweep ---------------------------------------
   PrintHeader("Timing vs roster size (the demo's what-if workload)");
+  JsonReporter json("fig1_random_walk");
+  json.Report("walk3_single", walk3_ms).Metric("max_abs_err", max_err);
   std::printf("%-9s %14s %16s\n", "players", "2-step (ms)", "3-step (ms)");
   for (int players : {1, 5, 10, 25, 50, 100}) {
     double t2 = 0, t3 = 0, b3[3];
     if (!RunPaperQueries(players, &t2, &t3, b3)) return 1;
     std::printf("%-9d %14.2f %16.2f\n", players, t2, t3);
+    json.Report("walk2", t2).Param("players", players);
+    json.Report("walk3", t3).Param("players", players);
   }
 
   std::printf("\nShape check: probabilities equal matrix powers exactly; cost "

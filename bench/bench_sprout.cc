@@ -27,6 +27,7 @@ using namespace maybms;
 using sprout::ConjunctiveQuery;
 using sprout::PlanStats;
 using sprout::PlanStyle;
+using maybms_bench::JsonReporter;
 using maybms_bench::PrintHeader;
 using maybms_bench::TimeMs;
 
@@ -75,6 +76,7 @@ Db Generate(int sf, uint64_t seed) {
 }  // namespace
 
 int main() {
+  JsonReporter json("sprout");
   std::printf("SPROUT: lazy vs eager plans for tuple-independent probabilistic "
               "databases.\n");
   std::printf("Query: Q() :- Customer(ck), Orders(ck,ok), Lineitem(ck,ok,part)  "
@@ -139,6 +141,13 @@ int main() {
                 static_cast<unsigned long long>(eager_stats.intermediate_tuples),
                 static_cast<unsigned long long>(lazy_stats.intermediate_tuples),
                 agree ? "" : "DISAGREE!");
+    json.Report("eager", eager_ms)
+        .Param("sf", sf)
+        .Metric("tuples", static_cast<double>(eager_stats.intermediate_tuples));
+    json.Report("lazy", lazy_ms)
+        .Param("sf", sf)
+        .Metric("tuples", static_cast<double>(lazy_stats.intermediate_tuples));
+    json.Report("exact_dnf", exact_ms).Param("sf", sf).Metric("p", p_exact);
   }
 
   // Per-customer variant: head variable ck, one confidence per customer
@@ -174,6 +183,8 @@ int main() {
     }
     std::printf("%-6d %10.2f %10.2f %12zu %16.2e\n", sf, eager_ms, lazy_ms,
                 eager_out.size(), max_diff);
+    json.Report("per_customer_eager", eager_ms).Param("sf", sf);
+    json.Report("per_customer_lazy", lazy_ms).Param("sf", sf);
   }
 
   std::printf(

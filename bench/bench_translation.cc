@@ -17,6 +17,7 @@
 #include "src/engine/database.h"
 
 using namespace maybms;
+using maybms_bench::JsonReporter;
 using maybms_bench::PrintHeader;
 using maybms_bench::TimeMs3;
 
@@ -55,6 +56,7 @@ int main() {
   std::printf("Query: select r.a, s.c from r, s where r.b = s.b and r.a < K\n");
 
   PrintHeader("row-count sweep (median of 3 runs)");
+  JsonReporter json("translation");
   std::printf("%-10s %14s %16s %12s %12s\n", "rows", "certain(ms)",
               "U-relation(ms)", "overhead", "out rows");
 
@@ -77,6 +79,12 @@ int main() {
     });
     std::printf("%-10d %14.2f %16.2f %11.2fx %12zu\n", rows, certain_ms, uncertain_ms,
                 uncertain_ms / certain_ms, uout_rows);
+    json.Report("certain", certain_ms)
+        .Param("rows", rows)
+        .Metric("out_rows", static_cast<double>(out_rows));
+    json.Report("u_relation", uncertain_ms)
+        .Param("rows", rows)
+        .Metric("out_rows", static_cast<double>(uout_rows));
     if (out_rows != uout_rows) {
       std::printf("  WARNING: row counts differ (%zu vs %zu)\n", out_rows, uout_rows);
     }

@@ -3,7 +3,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <functional>
+#include <string>
+#include <vector>
 
 namespace maybms_bench {
 
@@ -27,5 +30,78 @@ inline double TimeMs3(const std::function<void()>& fn) {
 inline void PrintHeader(const char* title) {
   std::printf("\n=== %s ===\n", title);
 }
+
+/// Machine-readable benchmark output: each record is one measured case.
+/// Flush() writes `BENCH_<name>.json` next to the binary so the perf
+/// trajectory can be diffed across commits:
+///   {"bench":"sprout","results":[{"case":"lazy","params":{"sf":4000},
+///    "ms":64.5,"metrics":{"tuples":48202}}, ...]}
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name) : name_(std::move(bench_name)) {}
+  ~JsonReporter() { Flush(); }
+
+  class Record {
+   public:
+    Record& Param(const char* key, double v) {
+      Add(&params_, key, v);
+      return *this;
+    }
+    Record& Metric(const char* key, double v) {
+      Add(&metrics_, key, v);
+      return *this;
+    }
+
+   private:
+    friend class JsonReporter;
+    static void Add(std::string* out, const char* key, double v) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "%s\"%s\":%.17g", out->empty() ? "" : ",",
+                    key, v);
+      *out += buf;
+    }
+    std::string case_name_;
+    double ms_ = 0;
+    std::string params_;
+    std::string metrics_;
+  };
+
+  /// Records one timed case. Further Param()/Metric() calls attach detail.
+  /// (records_ is a deque so the returned reference stays valid across
+  /// later Report calls.)
+  Record& Report(const std::string& case_name, double ms) {
+    records_.emplace_back();
+    records_.back().case_name_ = case_name;
+    records_.back().ms_ = ms;
+    return records_.back();
+  }
+
+  void Flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\"bench\":\"%s\",\"results\":[", name_.c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "%s{\"case\":\"%s\",\"ms\":%.17g", i == 0 ? "" : ",",
+                   r.case_name_.c_str(), r.ms_);
+      if (!r.params_.empty()) std::fprintf(f, ",\"params\":{%s}", r.params_.c_str());
+      if (!r.metrics_.empty()) {
+        std::fprintf(f, ",\"metrics\":{%s}", r.metrics_.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("\n[bench] wrote %s (%zu cases)\n", path.c_str(), records_.size());
+  }
+
+ private:
+  std::string name_;
+  std::deque<Record> records_;
+  bool flushed_ = false;
+};
 
 }  // namespace maybms_bench

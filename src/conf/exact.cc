@@ -9,38 +9,80 @@ namespace maybms {
 
 namespace {
 
-// Canonical clause-set key for the memo table.
-struct MemoKey {
-  std::vector<Condition> clauses;  // sorted
-  size_t hash = 0;
+// A sub-DNF is a sorted, duplicate-free vector of interned clause ids.
+using ClauseSet = std::vector<ClauseId>;
 
-  static MemoKey Make(const Dnf& dnf) {
-    MemoKey key;
-    key.clauses = dnf.clauses();
-    std::sort(key.clauses.begin(), key.clauses.end());
-    size_t h = 0x9e3779b97f4a7c15ULL;
-    for (const Condition& c : key.clauses) {
-      h ^= c.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
-    }
-    key.hash = h;
-    return key;
+uint64_t HashClauseSet(const ClauseSet& set) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (ClauseId id : set) {
+    h ^= id + 0x9e3779b9ULL + (h << 6) + (h >> 2);
   }
+  return h;
+}
+
+struct MemoKey {
+  ClauseSet set;
+  uint64_t hash = 0;
 
   bool operator==(const MemoKey& other) const {
-    return hash == other.hash && clauses == other.clauses;
+    return hash == other.hash && set == other.set;
   }
 };
 
 struct MemoKeyHash {
-  size_t operator()(const MemoKey& k) const { return k.hash; }
+  size_t operator()(const MemoKey& k) const { return static_cast<size_t>(k.hash); }
 };
+
+// True iff a's atoms are a subset of b's (both sorted by var, unique vars).
+bool SpanSubset(AtomSpan a, AtomSpan b) {
+  if (a.size > b.size) return false;
+  size_t j = 0;
+  for (const Atom& atom : a) {
+    while (j < b.size && b[j].var < atom.var) ++j;
+    if (j >= b.size || b[j].var != atom.var || b[j].asg != atom.asg) return false;
+    ++j;
+  }
+  return true;
+}
 
 class ExactSolver {
  public:
-  ExactSolver(const WorldTable& wt, const ExactOptions& options, ExactStats* stats)
-      : wt_(wt), options_(options), stats_(stats) {}
+  ExactSolver(CompiledDnf dnf, const ExactOptions& options, ExactStats* stats)
+      : dnf_(std::move(dnf)), options_(options), stats_(stats) {
+    size_t n_vars = dnf_.NumVars();
+    var_occ_.assign(n_vars, 0);
+    var_epoch_.assign(n_vars, 0);
+    var_pos_.assign(n_vars, 0);
+    asg_epoch_.assign(dnf_.NumVars() == 0 ? 0 : TotalProbSlots(), 0);
+  }
 
-  Result<double> Solve(Dnf dnf, uint64_t depth) {
+  Result<double> SolveRoot() {
+    // An empty clause (a valid DNF) can only occur in the root set:
+    // AssignVar short-circuits instead of interning empty reductions, and
+    // every other derived set is a subset of its parent. Checking here
+    // keeps a per-node linear scan out of Solve().
+    std::vector<ClauseId> root = dnf_.RootSet();
+    for (ClauseId id : root) {
+      if (dnf_.ClauseSize(id) == 0) {
+        if (stats_) ++stats_->steps;
+        ++steps_;
+        return 1.0;
+      }
+    }
+    return Solve(std::move(root), 0);
+  }
+
+ private:
+  size_t TotalProbSlots() const {
+    size_t slots = 0;
+    for (size_t v = 0; v < dnf_.NumVars(); ++v) slots += dnf_.DomainSize(v);
+    return slots;
+  }
+  size_t ProbSlot(LocalVar v, AsgId a) const {
+    return static_cast<size_t>(dnf_.VarProbs(v) - dnf_.VarProbs(0)) + a;
+  }
+
+  Result<double> Solve(ClauseSet set, uint64_t depth) {
     if (stats_) {
       ++stats_->steps;
       stats_->max_depth = std::max(stats_->max_depth, depth);
@@ -50,28 +92,37 @@ class ExactSolver {
       return Status::OutOfRange("exact confidence computation exceeded max_steps");
     }
 
-    if (dnf.IsEmpty()) return 0.0;
-    if (dnf.HasEmptyClause()) return 1.0;
-    if (options_.remove_subsumed) dnf.RemoveSubsumed();
+    if (set.empty()) return 0.0;
+    if (options_.remove_subsumed) RemoveSubsumed(&set);
 
     // Single clause: product of independent atom probabilities.
-    if (dnf.NumClauses() == 1) {
-      return wt_.ConditionProb(dnf.clauses()[0]);
-    }
+    if (set.size() == 1) return dnf_.ClauseProb(set[0]);
 
     // Memoization: distinct Shannon branches often reconverge to the same
-    // residual sub-DNF (the sharing exploited by ws-trees).
+    // residual sub-DNF (the sharing exploited by ws-trees). Interning makes
+    // the key a plain id vector, moved (not copied) into the table. Sets of
+    // two clauses resolve in a couple of nodes — caching them costs more
+    // than re-solving.
+    bool use_cache = options_.use_cache && set.size() > 2;
     MemoKey key;
-    if (options_.use_cache) {
-      key = MemoKey::Make(dnf);
+    if (use_cache) {
+      key.hash = HashClauseSet(set);
+      key.set = std::move(set);
       auto it = memo_.find(key);
       if (it != memo_.end()) {
+        ++cache_hits_;
         if (stats_) ++stats_->cache_hits;
         return it->second;
       }
     }
-    MAYBMS_ASSIGN_OR_RETURN(double p, SolveUncached(std::move(dnf), depth));
-    if (options_.use_cache &&
+    const ClauseSet& work = use_cache ? key.set : set;
+    MAYBMS_ASSIGN_OR_RETURN(double p, SolveUncached(work, depth));
+    // Hierarchical lineage decomposes without ever reconverging; stop
+    // filling a cache that has produced no hit by the time it holds many
+    // thousands of entries (probes stay on — they only cost the hash
+    // already computed above).
+    bool keep_filling = cache_hits_ > 0 || memo_.size() < kCacheNoHitCap;
+    if (use_cache && keep_filling &&
         (options_.max_cache_entries == 0 || memo_.size() < options_.max_cache_entries)) {
       memo_.emplace(std::move(key), p);
       if (stats_) stats_->cache_entries = memo_.size();
@@ -79,31 +130,29 @@ class ExactSolver {
     return p;
   }
 
- private:
-  Result<double> SolveUncached(Dnf dnf, uint64_t depth) {
-
-    // (1) Decomposition into variable-disjoint independent components.
-    std::vector<std::vector<size_t>> components = dnf.IndependentComponents();
+  Result<double> SolveUncached(const ClauseSet& set, uint64_t depth) {
+    // (1) Decomposition into variable-disjoint independent components
+    // (Components returns empty when the set is one component).
+    std::vector<ClauseSet> components = Components(set);
     if (components.size() > 1) {
       if (stats_) ++stats_->decompositions;
       double none = 1.0;
-      for (const std::vector<size_t>& comp : components) {
-        Dnf sub;
-        for (size_t idx : comp) sub.AddClause(dnf.clauses()[idx]);
-        MAYBMS_ASSIGN_OR_RETURN(double p, Solve(std::move(sub), depth + 1));
+      for (ClauseSet& comp : components) {
+        MAYBMS_ASSIGN_OR_RETURN(double p, Solve(std::move(comp), depth + 1));
         none *= (1.0 - p);
       }
       return 1.0 - none;
     }
 
     // (2) Variable elimination: Shannon expansion over one variable.
-    VarId var = ChooseVariable(dnf);
+    LocalVar var = ChooseVariable(set);
     if (stats_) ++stats_->shannon_expansions;
 
-    // Assignments of `var` actually mentioned by the DNF.
+    // Assignments of `var` actually mentioned by the sub-DNF.
     std::vector<AsgId> mentioned;
-    for (const Condition& c : dnf.clauses()) {
-      if (auto a = c.Lookup(var)) mentioned.push_back(*a);
+    for (ClauseId id : set) {
+      const Atom* atom = FindVar(dnf_.Clause(id), var);
+      if (atom != nullptr) mentioned.push_back(atom->asg);
     }
     std::sort(mentioned.begin(), mentioned.end());
     mentioned.erase(std::unique(mentioned.begin(), mentioned.end()), mentioned.end());
@@ -111,39 +160,144 @@ class ExactSolver {
     double total = 0;
     double mentioned_mass = 0;
     for (AsgId a : mentioned) {
-      double pa = wt_.AtomProb(Atom{var, a});
+      double pa = dnf_.AtomProbLocal(var, a);
       mentioned_mass += pa;
       if (pa == 0.0) continue;
-      MAYBMS_ASSIGN_OR_RETURN(double sub, Solve(dnf.Assign(var, a), depth + 1));
+      bool valid = false;
+      ClauseSet assigned = AssignVar(set, var, a, &valid);
+      double sub;
+      if (valid) {
+        sub = 1.0;
+        // The branch is decided, but it still counts as one visited node so
+        // step accounting stays comparable across representations.
+        if (stats_) ++stats_->steps;
+        ++steps_;
+      } else {
+        MAYBMS_ASSIGN_OR_RETURN(sub, Solve(std::move(assigned), depth + 1));
+      }
       total += pa * sub;
     }
     // Residual branch: var takes an assignment not mentioned in the DNF;
     // every clause mentioning var is false there.
     double other_mass = 1.0 - mentioned_mass;
     if (other_mass > 1e-15) {
-      MAYBMS_ASSIGN_OR_RETURN(double sub, Solve(dnf.DropVariable(var), depth + 1));
+      ClauseSet rest;
+      rest.reserve(set.size());
+      for (ClauseId id : set) {
+        if (FindVar(dnf_.Clause(id), var) == nullptr) rest.push_back(id);
+      }
+      MAYBMS_ASSIGN_OR_RETURN(double sub, Solve(std::move(rest), depth + 1));
       total += other_mass * sub;
     }
     return total;
   }
 
- private:
-  VarId ChooseVariable(const Dnf& dnf) const {
-    // Count occurrences (clauses containing each variable).
-    std::unordered_map<VarId, uint32_t> occurrences;
-    for (const Condition& c : dnf.clauses()) {
-      for (const Atom& a : c.atoms()) ++occurrences[a.var];
+  static const Atom* FindVar(AtomSpan span, LocalVar var) {
+    const Atom* it = std::lower_bound(
+        span.begin(), span.end(), var,
+        [](const Atom& a, LocalVar v) { return a.var < v; });
+    if (it != span.end() && it->var == var) return it;
+    return nullptr;
+  }
+
+  // Conditions the set on var := asg. Clauses with a conflicting atom drop
+  // out; a clause shrinking to empty makes the branch valid (*valid set).
+  ClauseSet AssignVar(const ClauseSet& set, LocalVar var, AsgId asg, bool* valid) {
+    ClauseSet out;
+    out.reserve(set.size());
+    for (ClauseId id : set) {
+      AtomSpan span = dnf_.Clause(id);
+      const Atom* atom = FindVar(span, var);
+      if (atom == nullptr) {
+        out.push_back(id);
+        continue;
+      }
+      if (atom->asg != asg) continue;  // clause false under this branch
+      if (span.size == 1) {
+        *valid = true;
+        return {};
+      }
+      scratch_atoms_.clear();
+      for (const Atom& a : span) {
+        if (a.var != var) scratch_atoms_.push_back(a);
+      }
+      out.push_back(dnf_.Intern(scratch_atoms_.data(), scratch_atoms_.size()));
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  // Connected components under "shares a variable", as sorted id sets.
+  // Returns an empty vector for the (frequent) single-component case so
+  // the caller skips materialization entirely.
+  std::vector<ClauseSet> Components(const ClauseSet& set) {
+    // Union-find over positions in `set`, joined through shared variables
+    // via an epoch-stamped var -> first-position table.
+    parent_.resize(set.size());
+    for (size_t i = 0; i < set.size(); ++i) parent_[i] = i;
+    auto find = [&](size_t x) {
+      while (parent_[x] != x) {
+        parent_[x] = parent_[parent_[x]];
+        x = parent_[x];
+      }
+      return x;
+    };
+    ++epoch_;
+    for (size_t i = 0; i < set.size(); ++i) {
+      for (const Atom& a : dnf_.Clause(set[i])) {
+        if (var_epoch_[a.var] == epoch_) {
+          parent_[find(i)] = find(var_pos_[a.var]);
+        } else {
+          var_epoch_[a.var] = epoch_;
+          var_pos_[a.var] = static_cast<uint32_t>(i);
+        }
+      }
+    }
+    size_t root0 = find(0);
+    bool single = true;
+    for (size_t i = 1; i < set.size(); ++i) {
+      if (find(i) != root0) {
+        single = false;
+        break;
+      }
+    }
+    if (single) return {};
+    std::vector<ClauseSet> components;
+    std::unordered_map<size_t, size_t> root_to_component;
+    for (size_t i = 0; i < set.size(); ++i) {
+      size_t root = find(i);
+      auto [it, inserted] = root_to_component.try_emplace(root, components.size());
+      if (inserted) components.emplace_back();
+      components[it->second].push_back(set[i]);
+    }
+    return components;  // position order preserves the sets' sortedness
+  }
+
+  LocalVar ChooseVariable(const ClauseSet& set) {
+    // Occurrence counts over an epoch-stamped array: O(atoms), no allocs.
+    ++epoch_;
+    touched_.clear();
+    for (ClauseId id : set) {
+      for (const Atom& a : dnf_.Clause(id)) {
+        if (var_epoch_[a.var] != epoch_) {
+          var_epoch_[a.var] = epoch_;
+          var_occ_[a.var] = 0;
+          touched_.push_back(a.var);
+        }
+        ++var_occ_[a.var];
+      }
     }
     switch (options_.heuristic) {
       case EliminationHeuristic::kFirstVariable: {
-        VarId best = occurrences.begin()->first;
-        for (const auto& [v, n] : occurrences) best = std::min(best, v);
-        return best;
+        // Local ids preserve global id order.
+        return *std::min_element(touched_.begin(), touched_.end());
       }
       case EliminationHeuristic::kMaxOccurrence: {
-        VarId best = occurrences.begin()->first;
+        LocalVar best = touched_[0];
         uint32_t best_n = 0;
-        for (const auto& [v, n] : occurrences) {
+        for (LocalVar v : touched_) {
+          uint32_t n = var_occ_[v];
           if (n > best_n || (n == best_n && v < best)) {
             best = v;
             best_n = n;
@@ -152,18 +306,30 @@ class ExactSolver {
         return best;
       }
       case EliminationHeuristic::kMinCostEstimate: {
-        // Cost of expanding x ≈ (#branches) × (clauses that survive per
-        // branch). Approximate the survivors by (total - occurrences):
-        // clauses not mentioning x survive all branches.
-        VarId best = occurrences.begin()->first;
-        double best_cost = std::numeric_limits<double>::infinity();
-        size_t total = dnf.NumClauses();
-        for (const auto& [v, n] : occurrences) {
-          std::unordered_map<AsgId, bool> asgs;
-          for (const Condition& c : dnf.clauses()) {
-            if (auto a = c.Lookup(v)) asgs[*a] = true;
+        // Distinct assignments per variable via a second epoch array over
+        // flattened (var, asg) probability slots.
+        ++asg_pass_;
+        asg_count_.assign(touched_.size(), 0);
+        // Map var -> index in touched_ through var_pos_ (reuse the slot).
+        for (size_t i = 0; i < touched_.size(); ++i) {
+          var_pos_[touched_[i]] = static_cast<uint32_t>(i);
+        }
+        for (ClauseId id : set) {
+          for (const Atom& a : dnf_.Clause(id)) {
+            size_t slot = ProbSlot(a.var, a.asg);
+            if (asg_epoch_[slot] != asg_pass_) {
+              asg_epoch_[slot] = asg_pass_;
+              ++asg_count_[var_pos_[a.var]];
+            }
           }
-          double branches = static_cast<double>(asgs.size()) + 1;
+        }
+        LocalVar best = touched_[0];
+        double best_cost = std::numeric_limits<double>::infinity();
+        size_t total = set.size();
+        for (size_t i = 0; i < touched_.size(); ++i) {
+          LocalVar v = touched_[i];
+          uint32_t n = var_occ_[v];
+          double branches = static_cast<double>(asg_count_[i]) + 1;
           double survivors = static_cast<double>(total - n) + 1;
           double cost = branches * survivors / (static_cast<double>(n) + 1);
           if (cost < best_cost || (cost == best_cost && v < best)) {
@@ -174,24 +340,74 @@ class ExactSolver {
         return best;
       }
     }
-    return occurrences.begin()->first;
+    return touched_[0];
   }
 
-  const WorldTable& wt_;
+  void RemoveSubsumed(ClauseSet* set) {
+    // Interned ids are already duplicate-free; only pairwise absorption
+    // remains (a clause is redundant if a more general clause's atoms are a
+    // subset of its atoms). Quadratic, so capped like the Dnf version.
+    constexpr size_t kSubsumptionLimit = 512;
+    if (set->size() > kSubsumptionLimit) return;
+
+    order_.assign(set->begin(), set->end());
+    std::sort(order_.begin(), order_.end(), [&](ClauseId a, ClauseId b) {
+      return dnf_.ClauseSize(a) < dnf_.ClauseSize(b);
+    });
+    ClauseSet kept;
+    kept.reserve(order_.size());
+    for (ClauseId cand : order_) {
+      AtomSpan cand_span = dnf_.Clause(cand);
+      bool subsumed = false;
+      for (ClauseId k : kept) {
+        if (SpanSubset(dnf_.Clause(k), cand_span)) {
+          subsumed = true;
+          break;
+        }
+      }
+      if (!subsumed) kept.push_back(cand);
+    }
+    std::sort(kept.begin(), kept.end());
+    *set = std::move(kept);
+  }
+
+  static constexpr size_t kCacheNoHitCap = 16384;
+
+  CompiledDnf dnf_;
   const ExactOptions& options_;
   ExactStats* stats_;
   uint64_t steps_ = 0;
+  uint64_t cache_hits_ = 0;
   std::unordered_map<MemoKey, double, MemoKeyHash> memo_;
+
+  // Reusable scratch (epoch-stamped so per-node work is O(touched)).
+  std::vector<uint32_t> var_occ_;
+  std::vector<uint64_t> var_epoch_;
+  std::vector<uint32_t> var_pos_;
+  std::vector<uint64_t> asg_epoch_;
+  std::vector<uint32_t> asg_count_;
+  std::vector<LocalVar> touched_;
+  std::vector<size_t> parent_;
+  std::vector<Atom> scratch_atoms_;
+  std::vector<ClauseId> order_;
+  uint64_t epoch_ = 0;
+  uint64_t asg_pass_ = 0;
 };
 
 }  // namespace
 
-Result<double> ExactConfidence(const Dnf& dnf, const WorldTable& wt,
+Result<double> ExactConfidence(CompiledDnf dnf, const WorldTable& wt,
                                const ExactOptions& options, ExactStats* stats) {
-  ExactSolver solver(wt, options, stats);
-  MAYBMS_ASSIGN_OR_RETURN(double p, solver.Solve(dnf, 0));
+  (void)wt;  // probabilities were copied into the compiled form
+  ExactSolver solver(std::move(dnf), options, stats);
+  MAYBMS_ASSIGN_OR_RETURN(double p, solver.SolveRoot());
   // Clamp tiny floating-point drift.
   return std::min(1.0, std::max(0.0, p));
+}
+
+Result<double> ExactConfidence(const Dnf& dnf, const WorldTable& wt,
+                               const ExactOptions& options, ExactStats* stats) {
+  return ExactConfidence(CompiledDnf(dnf, wt), wt, options, stats);
 }
 
 }  // namespace maybms

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "src/common/result.h"
+#include "src/lineage/compiled_dnf.h"
 #include "src/lineage/dnf.h"
 #include "src/prob/world_table.h"
 
@@ -63,6 +64,13 @@ struct ExactStats {
 
 /// Computes P(dnf) exactly. Returns OutOfRange if `max_steps` is hit.
 Result<double> ExactConfidence(const Dnf& dnf, const WorldTable& wt,
+                               const ExactOptions& options = {},
+                               ExactStats* stats = nullptr);
+
+/// Same, over pre-compiled lineage (the batch engine builds CompiledDnf
+/// straight from condition-column spans; `wt` is unused — probabilities
+/// were captured at compile time).
+Result<double> ExactConfidence(CompiledDnf dnf, const WorldTable& wt,
                                const ExactOptions& options = {},
                                ExactStats* stats = nullptr);
 

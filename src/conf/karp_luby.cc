@@ -1,33 +1,69 @@
 #include "src/conf/karp_luby.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 namespace maybms {
 
 KarpLubyEstimator::KarpLubyEstimator(const Dnf& dnf, const WorldTable& wt)
-    : dnf_(dnf), wt_(wt) {
-  if (dnf.IsEmpty()) {
+    : dnf_(dnf, wt) {
+  Init();
+}
+
+KarpLubyEstimator::KarpLubyEstimator(CompiledDnf dnf) : dnf_(std::move(dnf)) {
+  Init();
+}
+
+void KarpLubyEstimator::Init() {
+  const std::vector<ClauseId>& clauses = dnf_.original_clauses();
+  if (clauses.empty()) {
     trivial_ = true;
     trivial_probability_ = 0;
     return;
   }
-  if (dnf.HasEmptyClause()) {
-    trivial_ = true;
-    trivial_probability_ = 1;
-    return;
+  for (ClauseId id : clauses) {
+    if (dnf_.ClauseSize(id) == 0) {
+      trivial_ = true;
+      trivial_probability_ = 1;
+      return;
+    }
   }
-  cumulative_.reserve(dnf.NumClauses());
+  cumulative_.reserve(clauses.size());
   double acc = 0;
-  for (const Condition& c : dnf.clauses()) {
-    acc += wt.ConditionProb(c);
+  for (ClauseId id : clauses) {
+    acc += dnf_.ClauseProb(id);
     cumulative_.push_back(acc);
   }
   total_weight_ = acc;
+  // Size the world arrays before any early return: Trial() on a trivial
+  // estimator is a contract violation, but it must not scribble past an
+  // empty vector (the old map-based sampling was memory-safe there too).
+  world_val_.assign(dnf_.NumVars(), 0);
+  world_epoch_.assign(dnf_.NumVars(), 0);
   if (total_weight_ <= 0) {
     trivial_ = true;
     trivial_probability_ = 0;
   }
+}
+
+AsgId KarpLubyEstimator::AssignmentOf(LocalVar var, Rng* rng) const {
+  if (world_epoch_[var] == epoch_) return world_val_[var];
+  // Inverse-CDF sample from the variable's prior (same scheme as
+  // WorldTable::SampleAssignment).
+  const double* probs = dnf_.VarProbs(var);
+  uint32_t domain = dnf_.DomainSize(var);
+  double u = rng->NextDouble();
+  double cdf = 0;
+  AsgId a = domain - 1;
+  for (uint32_t i = 0; i + 1 < domain; ++i) {
+    cdf += probs[i];
+    if (u < cdf) {
+      a = static_cast<AsgId>(i);
+      break;
+    }
+  }
+  world_epoch_[var] = epoch_;
+  world_val_[var] = a;
+  return a;
 }
 
 bool KarpLubyEstimator::Trial(Rng* rng) const {
@@ -39,24 +75,21 @@ bool KarpLubyEstimator::Trial(Rng* rng) const {
   if (i >= cumulative_.size()) i = cumulative_.size() - 1;
 
   // Sample a world conditioned on clause i: its atoms are fixed; all other
-  // variables follow their prior. Variables are sampled lazily on demand.
-  std::unordered_map<VarId, AsgId> world;
-  for (const Atom& a : dnf_.clauses()[i].atoms()) world.emplace(a.var, a.asg);
-  auto assignment_of = [&](VarId var) -> AsgId {
-    auto it = world.find(var);
-    if (it != world.end()) return it->second;
-    AsgId a = wt_.SampleAssignment(var, rng);
-    world.emplace(var, a);
-    return a;
-  };
+  // variables follow their prior, sampled lazily on demand.
+  ++epoch_;
+  const std::vector<ClauseId>& clauses = dnf_.original_clauses();
+  for (const Atom& a : dnf_.Clause(clauses[i])) {
+    world_epoch_[a.var] = epoch_;
+    world_val_[a.var] = a.asg;
+  }
 
   // Z = 1 iff no earlier clause is satisfied by the sampled world (clause i
   // is satisfied by construction, so i is then the minimal satisfying
   // index — the canonical-cover trick making trials unbiased).
   for (size_t j = 0; j < i; ++j) {
     bool satisfied = true;
-    for (const Atom& a : dnf_.clauses()[j].atoms()) {
-      if (assignment_of(a.var) != a.asg) {
+    for (const Atom& a : dnf_.Clause(clauses[j])) {
+      if (AssignmentOf(a.var, rng) != a.asg) {
         satisfied = false;
         break;
       }

@@ -7,12 +7,18 @@
 // the distribution conditioned on C_i being true. The Bernoulli outcome
 // Z = 1 iff i is the *first* clause the world satisfies; E[Z] = P(⋃C_i)/U,
 // so U·Z̄ is an unbiased estimate of the confidence.
+//
+// Trials run over compiled lineage (CompiledDnf): clause scans walk one
+// packed atom array and the partially-sampled world lives in flat
+// epoch-stamped arrays indexed by dense variable ids — no hashing in the
+// sampling loop.
 #pragma once
 
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/common/rng.h"
+#include "src/lineage/compiled_dnf.h"
 #include "src/lineage/dnf.h"
 #include "src/prob/world_table.h"
 
@@ -24,6 +30,9 @@ class KarpLubyEstimator {
   /// Precomputes clause weights. The DNF must have consistent clauses
   /// (guaranteed for lineage built from Conditions).
   KarpLubyEstimator(const Dnf& dnf, const WorldTable& wt);
+
+  /// Over pre-compiled lineage (batch-engine aconf path).
+  explicit KarpLubyEstimator(CompiledDnf dnf);
 
   /// Σ_i P(C_i): the normalization constant (upper bound on the
   /// confidence by the union bound).
@@ -39,12 +48,19 @@ class KarpLubyEstimator {
   bool Trial(Rng* rng) const;
 
  private:
-  const Dnf& dnf_;
-  const WorldTable& wt_;
+  void Init();
+  AsgId AssignmentOf(LocalVar var, Rng* rng) const;
+
+  CompiledDnf dnf_;
   std::vector<double> cumulative_;  // cumulative clause weights
   double total_weight_ = 0;
   bool trivial_ = false;
   double trivial_probability_ = 0;
+
+  // Lazily-sampled world, epoch-stamped per trial (single-threaded).
+  mutable std::vector<AsgId> world_val_;
+  mutable std::vector<uint64_t> world_epoch_;
+  mutable uint64_t epoch_ = 0;
 };
 
 }  // namespace maybms

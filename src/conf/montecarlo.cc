@@ -107,11 +107,12 @@ Result<MonteCarloResult> OptimalEstimate(const TrialFn& trial, double epsilon,
   return result;
 }
 
-Result<MonteCarloResult> ApproxConfidence(const Dnf& dnf, const WorldTable& wt,
-                                          double epsilon, double delta, Rng* rng,
-                                          const MonteCarloOptions& options) {
-  MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
-  KarpLubyEstimator estimator(dnf, wt);
+namespace {
+
+Result<MonteCarloResult> ApproxWithEstimator(const KarpLubyEstimator& estimator,
+                                             size_t num_clauses, double single_prob,
+                                             double epsilon, double delta, Rng* rng,
+                                             const MonteCarloOptions& options) {
   if (estimator.Trivial()) {
     MonteCarloResult result;
     result.estimate = estimator.TrivialProbability();
@@ -119,9 +120,9 @@ Result<MonteCarloResult> ApproxConfidence(const Dnf& dnf, const WorldTable& wt,
     return result;
   }
   // Single-clause DNFs are exact products; no sampling needed.
-  if (dnf.NumClauses() == 1) {
+  if (num_clauses == 1) {
     MonteCarloResult result;
-    result.estimate = wt.ConditionProb(dnf.clauses()[0]);
+    result.estimate = single_prob;
     result.samples = 0;
     return result;
   }
@@ -135,6 +136,31 @@ Result<MonteCarloResult> ApproxConfidence(const Dnf& dnf, const WorldTable& wt,
                           OptimalEstimate(trial, epsilon, delta, rng, options));
   mc.estimate = std::min(1.0, mc.estimate * estimator.TotalWeight());
   return mc;
+}
+
+}  // namespace
+
+Result<MonteCarloResult> ApproxConfidence(const Dnf& dnf, const WorldTable& wt,
+                                          double epsilon, double delta, Rng* rng,
+                                          const MonteCarloOptions& options) {
+  MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
+  KarpLubyEstimator estimator(dnf, wt);
+  double single_prob =
+      dnf.NumClauses() == 1 ? wt.ConditionProb(dnf.clauses()[0]) : 0;
+  return ApproxWithEstimator(estimator, dnf.NumClauses(), single_prob, epsilon,
+                             delta, rng, options);
+}
+
+Result<MonteCarloResult> ApproxConfidence(CompiledDnf dnf, double epsilon,
+                                          double delta, Rng* rng,
+                                          const MonteCarloOptions& options) {
+  MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
+  size_t num_clauses = dnf.original_clauses().size();
+  double single_prob =
+      num_clauses == 1 ? dnf.ClauseProb(dnf.original_clauses()[0]) : 0;
+  KarpLubyEstimator estimator(std::move(dnf));
+  return ApproxWithEstimator(estimator, num_clauses, single_prob, epsilon, delta,
+                             rng, options);
 }
 
 }  // namespace maybms

@@ -16,6 +16,7 @@
 
 #include "src/common/result.h"
 #include "src/common/rng.h"
+#include "src/lineage/compiled_dnf.h"
 #include "src/lineage/dnf.h"
 #include "src/prob/world_table.h"
 
@@ -56,6 +57,11 @@ Result<MonteCarloResult> OptimalEstimate(const TrialFn& trial, double epsilon,
 /// the Karp-Luby estimator with OptimalEstimate.
 Result<MonteCarloResult> ApproxConfidence(const Dnf& dnf, const WorldTable& wt,
                                           double epsilon, double delta, Rng* rng,
+                                          const MonteCarloOptions& options = {});
+
+/// Same, over pre-compiled lineage (the batch engine's aconf path).
+Result<MonteCarloResult> ApproxConfidence(CompiledDnf dnf, double epsilon,
+                                          double delta, Rng* rng,
                                           const MonteCarloOptions& options = {});
 
 }  // namespace maybms

@@ -1,0 +1,1339 @@
+#include "src/exec/batch_operators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/common/row_index.h"
+#include "src/common/str_util.h"
+#include "src/conf/karp_luby.h"
+#include "src/exec/vector_expression.h"
+#include "src/lineage/compiled_dnf.h"
+#include "src/storage/columnar.h"
+
+namespace maybms {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+bool TruthyCell(const ColumnVector& mask, size_t k) {
+  if (!mask.boxed() && mask.type() == TypeId::kBool) {
+    return !mask.IsNull(k) && mask.BoolData()[k] != 0;
+  }
+  return IsTruthy(mask.GetValue(k));
+}
+
+ConditionColumn GatherConditions(const ConditionColumn& in,
+                                 const std::vector<uint32_t>& sel) {
+  ConditionColumn out;
+  if (in.AllTrue()) {
+    for (size_t i = 0; i < sel.size(); ++i) out.AppendTrue();
+    return out;
+  }
+  for (uint32_t i : sel) out.AppendFrom(in, i);
+  return out;
+}
+
+Batch GatherBatch(const Batch& in, const std::vector<uint32_t>& sel) {
+  Batch out;
+  out.columns.reserve(in.columns.size());
+  for (const ColumnVectorPtr& col : in.columns) {
+    out.columns.push_back(std::make_shared<ColumnVector>(col->Gather(sel)));
+  }
+  out.conditions = GatherConditions(in.conditions, sel);
+  out.num_rows = sel.size();
+  return out;
+}
+
+/// Filters a batch by a predicate: evaluates it vectorized, keeps truthy
+/// rows. Passes the batch through untouched when every row survives.
+Result<Batch> FilterBatch(const BoundExpr& pred, Batch in) {
+  MAYBMS_ASSIGN_OR_RETURN(ColumnVectorPtr mask, EvalVector(pred, in));
+  std::vector<uint32_t> sel;
+  sel.reserve(in.num_rows);
+  for (size_t k = 0; k < in.num_rows; ++k) {
+    if (TruthyCell(*mask, k)) sel.push_back(static_cast<uint32_t>(k));
+  }
+  if (sel.size() == in.num_rows) return in;
+  return GatherBatch(in, sel);
+}
+
+// ---------------------------------------------------------------------------
+// Operator interface
+// ---------------------------------------------------------------------------
+
+class BatchOperator {
+ public:
+  virtual ~BatchOperator() = default;
+  /// Fills *out with the next batch; returns false when exhausted.
+  virtual Result<bool> Next(Batch* out) = 0;
+};
+
+using BatchOperatorPtr = std::unique_ptr<BatchOperator>;
+
+Result<BatchOperatorPtr> BuildOperator(const PlanNode& plan, ExecContext* ctx);
+
+/// Base for pipeline breakers: Compute() materializes everything on the
+/// first pull, then batches are handed out one by one.
+class MaterializedOperator : public BatchOperator {
+ public:
+  Result<bool> Next(Batch* out) override {
+    if (!computed_) {
+      MAYBMS_RETURN_NOT_OK(Compute());
+      computed_ = true;
+    }
+    if (cursor_ >= ready_.size()) return false;
+    *out = std::move(ready_[cursor_++]);
+    return true;
+  }
+
+ protected:
+  virtual Status Compute() = 0;
+
+  std::vector<Batch> ready_;
+
+ private:
+  bool computed_ = false;
+  size_t cursor_ = 0;
+};
+
+/// A fully drained child: its batches plus flat row -> (batch, index) maps
+/// and the concatenated condition column (pipeline breakers work over it).
+struct Drained {
+  std::vector<Batch> batches;
+  std::vector<uint32_t> row_batch;
+  std::vector<uint32_t> row_idx;
+  ConditionColumn conds;
+  size_t num_rows = 0;
+
+  Value GetValue(size_t col, size_t row) const {
+    return batches[row_batch[row]].columns[col]->GetValue(row_idx[row]);
+  }
+};
+
+/// `concat_conds` controls whether the per-batch conditions are also
+/// concatenated into Drained::conds — callers that read conditions from the
+/// batches directly (the hash join) skip the copy.
+Result<Drained> DrainAll(BatchOperator* child, bool concat_conds = true) {
+  Drained d;
+  Batch b;
+  while (true) {
+    MAYBMS_ASSIGN_OR_RETURN(bool more, child->Next(&b));
+    if (!more) break;
+    uint32_t bi = static_cast<uint32_t>(d.batches.size());
+    for (size_t i = 0; i < b.num_rows; ++i) {
+      d.row_batch.push_back(bi);
+      d.row_idx.push_back(static_cast<uint32_t>(i));
+      if (concat_conds) d.conds.AppendFrom(b.conditions, i);
+    }
+    d.num_rows += b.num_rows;
+    d.batches.push_back(std::move(b));
+    b = Batch();
+  }
+  return d;
+}
+
+/// Evaluates an expression over every drained batch.
+Result<std::vector<ColumnVectorPtr>> EvalPerBatch(const BoundExpr& expr,
+                                                  const Drained& d) {
+  std::vector<ColumnVectorPtr> out;
+  out.reserve(d.batches.size());
+  for (const Batch& b : d.batches) {
+    MAYBMS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(expr, b));
+    out.push_back(std::move(col));
+  }
+  return out;
+}
+
+/// An output batch under construction: columns typed per the output schema,
+/// values appended row-wise by scatter-style operators (joins etc.).
+Batch AllocateOutput(const Schema& schema) { return Batch::Allocate(schema, 0); }
+
+// ---------------------------------------------------------------------------
+// Scan: hands out the table's cached columnar chunks, sharing columns.
+// ---------------------------------------------------------------------------
+
+class ScanOp : public BatchOperator {
+ public:
+  explicit ScanOp(const ScanNode& node) : columnar_(node.table->Columnar()) {}
+
+  Result<bool> Next(Batch* out) override {
+    if (chunk_ >= columnar_->chunks.size()) return false;
+    const Batch& src = columnar_->chunks[chunk_++];
+    out->columns = src.columns;  // shared; downstream operators never mutate
+    out->conditions = src.conditions;
+    out->num_rows = src.num_rows;
+    return true;
+  }
+
+ private:
+  std::shared_ptr<const ColumnarTable> columnar_;
+  size_t chunk_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+class FilterOp : public BatchOperator {
+ public:
+  FilterOp(BatchOperatorPtr child, const BoundExpr* pred)
+      : child_(std::move(child)), pred_(pred) {}
+
+  Result<bool> Next(Batch* out) override {
+    Batch in;
+    while (true) {
+      MAYBMS_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+      if (!more) return false;
+      MAYBMS_ASSIGN_OR_RETURN(Batch filtered, FilterBatch(*pred_, std::move(in)));
+      if (filtered.num_rows == 0) {
+        in = Batch();
+        continue;
+      }
+      *out = std::move(filtered);
+      return true;
+    }
+  }
+
+ private:
+  BatchOperatorPtr child_;
+  const BoundExpr* pred_;
+};
+
+// ---------------------------------------------------------------------------
+// Project (including tconf(): per-row marginal probability from the
+// condition column, output t-certain)
+// ---------------------------------------------------------------------------
+
+class ProjectOp : public BatchOperator {
+ public:
+  ProjectOp(BatchOperatorPtr child, const ProjectNode& node, ExecContext* ctx)
+      : child_(std::move(child)), node_(node), ctx_(ctx) {}
+
+  Result<bool> Next(Batch* out) override {
+    Batch in;
+    MAYBMS_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) return false;
+    out->columns.clear();
+    out->columns.reserve(node_.exprs.size());
+    const WorldTable& wt = ctx_->worlds();
+    for (const BoundExprPtr& e : node_.exprs) {
+      if (e->kind == BoundExprKind::kTconf) {
+        // tconf(): the marginal probability of this tuple in isolation —
+        // the product of its condition's atom probabilities (§2.2),
+        // computed straight off the packed condition spans.
+        auto col = std::make_shared<ColumnVector>(TypeId::kDouble);
+        col->Reserve(in.num_rows);
+        for (size_t k = 0; k < in.num_rows; ++k) {
+          AtomSpan span = in.conditions.Span(k);
+          col->AppendDouble(wt.ConditionProb(span.data, span.size));
+        }
+        out->columns.push_back(std::move(col));
+      } else {
+        MAYBMS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*e, in));
+        out->columns.push_back(std::move(col));
+      }
+    }
+    out->num_rows = in.num_rows;
+    out->conditions = ConditionColumn();
+    if (node_.has_tconf) {
+      // tconf() maps uncertain to t-certain: conditions are consumed.
+      for (size_t k = 0; k < in.num_rows; ++k) out->conditions.AppendTrue();
+    } else {
+      out->conditions = std::move(in.conditions);
+    }
+    return true;
+  }
+
+ private:
+  BatchOperatorPtr child_;
+  const ProjectNode& node_;
+  ExecContext* ctx_;
+};
+
+// ---------------------------------------------------------------------------
+// Join: hash join (equi-keys) or cross product, with the parsimonious
+// condition merge and an optional residual predicate.
+// ---------------------------------------------------------------------------
+
+class JoinOp : public BatchOperator {
+ public:
+  JoinOp(BatchOperatorPtr left, BatchOperatorPtr right, const JoinNode& node)
+      : left_(std::move(left)), right_(std::move(right)), node_(node) {}
+
+  Result<bool> Next(Batch* out) override {
+    if (!built_) {
+      MAYBMS_RETURN_NOT_OK(Build());
+      built_ = true;
+    }
+    Batch in;
+    while (true) {
+      MAYBMS_ASSIGN_OR_RETURN(bool more, left_->Next(&in));
+      if (!more) return false;
+      MAYBMS_ASSIGN_OR_RETURN(Batch joined, JoinLeftBatch(in));
+      if (node_.residual != nullptr && joined.num_rows > 0) {
+        MAYBMS_ASSIGN_OR_RETURN(joined,
+                                FilterBatch(*node_.residual, std::move(joined)));
+      }
+      if (joined.num_rows == 0) {
+        in = Batch();
+        continue;
+      }
+      *out = std::move(joined);
+      return true;
+    }
+  }
+
+ private:
+  Status Build() {
+    // EmitPair reads conditions from the per-batch columns; skip the
+    // concatenated copy.
+    MAYBMS_ASSIGN_OR_RETURN(right_data_,
+                            DrainAll(right_.get(), /*concat_conds=*/false));
+    if (node_.left_keys.empty()) return Status::OK();  // cross product
+    right_key_cols_.reserve(right_data_.batches.size());
+    for (const Batch& b : right_data_.batches) {
+      std::vector<ColumnVectorPtr> keys;
+      keys.reserve(node_.right_keys.size());
+      for (const BoundExprPtr& e : node_.right_keys) {
+        MAYBMS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*e, b));
+        keys.push_back(std::move(col));
+      }
+      right_key_cols_.push_back(std::move(keys));
+    }
+    index_ = HashRowIndex(right_data_.num_rows);
+    std::vector<Value> key(node_.right_keys.size());
+    for (size_t row = 0; row < right_data_.num_rows; ++row) {
+      uint32_t b = right_data_.row_batch[row];
+      uint32_t i = right_data_.row_idx[row];
+      bool has_null = false;
+      for (size_t k = 0; k < key.size(); ++k) {
+        key[k] = right_key_cols_[b][k]->GetValue(i);
+        has_null |= key[k].is_null();
+      }
+      if (has_null) continue;  // SQL equality: null joins nothing
+      index_.Insert(HashValueSpan(key.data(), key.size()),
+                    static_cast<uint32_t>(row));
+    }
+    return Status::OK();
+  }
+
+  // Appends left row `li` of `lb` joined with global right row `row`,
+  // unless their conditions are inconsistent.
+  void EmitPair(const Batch& lb, size_t li, size_t row, Batch* out) {
+    uint32_t b = right_data_.row_batch[row];
+    uint32_t ri = right_data_.row_idx[row];
+    const Batch& rb = right_data_.batches[b];
+    // Merge the condition columns first; inconsistent pairs drop out
+    // [ICDE'08] before any values are copied.
+    if (!out->conditions.AppendMerged(lb.conditions.Span(li),
+                                      rb.conditions.Span(ri))) {
+      return;
+    }
+    size_t lcols = lb.columns.size();
+    for (size_t c = 0; c < lcols; ++c) {
+      out->columns[c]->Append(lb.columns[c]->GetValue(li));
+    }
+    for (size_t c = 0; c < rb.columns.size(); ++c) {
+      out->columns[lcols + c]->Append(rb.columns[c]->GetValue(ri));
+    }
+    ++out->num_rows;
+  }
+
+  Result<Batch> JoinLeftBatch(const Batch& lb) {
+    Batch out = AllocateOutput(node_.output_schema);
+    if (node_.left_keys.empty()) {
+      for (size_t li = 0; li < lb.num_rows; ++li) {
+        for (size_t row = 0; row < right_data_.num_rows; ++row) {
+          EmitPair(lb, li, row, &out);
+        }
+      }
+      return out;
+    }
+    std::vector<ColumnVectorPtr> left_keys;
+    left_keys.reserve(node_.left_keys.size());
+    for (const BoundExprPtr& e : node_.left_keys) {
+      MAYBMS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*e, lb));
+      left_keys.push_back(std::move(col));
+    }
+    std::vector<Value> key(left_keys.size());
+    std::vector<uint32_t> candidates;
+    for (size_t li = 0; li < lb.num_rows; ++li) {
+      bool has_null = false;
+      for (size_t k = 0; k < left_keys.size(); ++k) {
+        key[k] = left_keys[k]->GetValue(li);
+        has_null |= key[k].is_null();
+      }
+      if (has_null) continue;
+      candidates.clear();
+      index_.ForEach(HashValueSpan(key.data(), key.size()), [&](uint32_t row) {
+        candidates.push_back(row);
+        return true;
+      });
+      // Build-insertion (= right input) order, like the row engine's
+      // per-key bucket vectors.
+      std::sort(candidates.begin(), candidates.end());
+      for (uint32_t row : candidates) {
+        uint32_t b = right_data_.row_batch[row];
+        uint32_t ri = right_data_.row_idx[row];
+        bool match = true;
+        for (size_t k = 0; k < key.size(); ++k) {
+          if (!key[k].Equals(right_key_cols_[b][k]->GetValue(ri))) {
+            match = false;
+            break;
+          }
+        }
+        if (match) EmitPair(lb, li, row, &out);
+      }
+    }
+    return out;
+  }
+
+  BatchOperatorPtr left_;
+  BatchOperatorPtr right_;
+  const JoinNode& node_;
+  bool built_ = false;
+  Drained right_data_;
+  std::vector<std::vector<ColumnVectorPtr>> right_key_cols_;  // per batch
+  HashRowIndex index_;
+};
+
+// ---------------------------------------------------------------------------
+// SemiJoinIn: IN / NOT IN (subquery) with condition merging.
+// ---------------------------------------------------------------------------
+
+class SemiJoinInOp : public BatchOperator {
+ public:
+  SemiJoinInOp(BatchOperatorPtr left, BatchOperatorPtr right,
+               const SemiJoinInNode& node)
+      : left_(std::move(left)), right_(std::move(right)), node_(node) {}
+
+  Result<bool> Next(Batch* out) override {
+    if (!built_) {
+      MAYBMS_RETURN_NOT_OK(Build());
+      built_ = true;
+    }
+    Batch in;
+    while (true) {
+      MAYBMS_ASSIGN_OR_RETURN(bool more, left_->Next(&in));
+      if (!more) return false;
+      MAYBMS_ASSIGN_OR_RETURN(Batch result, ProbeLeftBatch(in));
+      if (result.num_rows == 0) {
+        in = Batch();
+        continue;
+      }
+      *out = std::move(result);
+      return true;
+    }
+  }
+
+ private:
+  Status Build() {
+    // Key value -> the conditions under which it appears on the right;
+    // identical conditions deduplicate, a true condition subsumes all.
+    MAYBMS_ASSIGN_OR_RETURN(Drained right, DrainAll(right_.get()));
+    for (size_t row = 0; row < right.num_rows; ++row) {
+      Value key = right.GetValue(0, row);
+      if (key.is_null()) continue;
+      uint64_t h = HashValueSpan(&key, 1);
+      uint32_t entry = HashRowIndex::kNoRow;
+      index_.ForEach(h, [&](uint32_t e) {
+        if (keys_[e].Equals(key)) {
+          entry = e;
+          return false;
+        }
+        return true;
+      });
+      if (entry == HashRowIndex::kNoRow) {
+        entry = static_cast<uint32_t>(keys_.size());
+        keys_.push_back(std::move(key));
+        conds_.emplace_back();
+        index_.Insert(h, entry);
+      }
+      std::vector<Condition>& conds = conds_[entry];
+      if (!conds.empty() && conds.front().IsTrue()) continue;
+      Condition cond = right.conds.ToCondition(row);
+      if (cond.IsTrue()) {
+        conds.clear();
+        conds.push_back(Condition());
+        continue;
+      }
+      if (std::find(conds.begin(), conds.end(), cond) == conds.end()) {
+        conds.push_back(std::move(cond));
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<Batch> ProbeLeftBatch(const Batch& lb) {
+    Batch out = AllocateOutput(node_.output_schema);
+    MAYBMS_ASSIGN_OR_RETURN(ColumnVectorPtr key_col,
+                            EvalVector(*node_.left_key, lb));
+    for (size_t li = 0; li < lb.num_rows; ++li) {
+      Value key = key_col->GetValue(li);
+      if (key.is_null()) continue;  // null never matches IN / NOT IN
+      uint32_t entry = HashRowIndex::kNoRow;
+      index_.ForEach(HashValueSpan(&key, 1), [&](uint32_t e) {
+        if (keys_[e].Equals(key)) {
+          entry = e;
+          return false;
+        }
+        return true;
+      });
+      if (node_.anti) {
+        // NOT IN: binder guarantees the right side is t-certain.
+        if (entry == HashRowIndex::kNoRow) AppendRow(lb, li, nullptr, &out);
+        continue;
+      }
+      if (entry == HashRowIndex::kNoRow) continue;
+      for (const Condition& cond : conds_[entry]) {
+        AppendRow(lb, li, &cond, &out);
+      }
+    }
+    return out;
+  }
+
+  // Appends left row li; when `cond` is given, merges it into the row's
+  // condition (skipping the row on inconsistency).
+  void AppendRow(const Batch& lb, size_t li, const Condition* cond, Batch* out) {
+    AtomSpan left_span = lb.conditions.Span(li);
+    if (cond == nullptr) {
+      out->conditions.AppendAtoms(left_span);
+    } else {
+      AtomSpan right_span{cond->atoms().data(), cond->atoms().size()};
+      if (!out->conditions.AppendMerged(left_span, right_span)) return;
+    }
+    for (size_t c = 0; c < lb.columns.size(); ++c) {
+      out->columns[c]->Append(lb.columns[c]->GetValue(li));
+    }
+    ++out->num_rows;
+  }
+
+  BatchOperatorPtr left_;
+  BatchOperatorPtr right_;
+  const SemiJoinInNode& node_;
+  bool built_ = false;
+  HashRowIndex index_;
+  std::vector<Value> keys_;
+  std::vector<std::vector<Condition>> conds_;
+};
+
+// ---------------------------------------------------------------------------
+// Duplicate elimination (Distinct / deduplicating Union / Possible): an
+// accumulated value-row set over an open-addressed index.
+// ---------------------------------------------------------------------------
+
+class DedupAccumulator {
+ public:
+  explicit DedupAccumulator(const Schema& schema) : acc_(AllocateOutput(schema)) {}
+
+  /// True if the value row was new (and was appended).
+  bool Add(const Batch& in, size_t row) {
+    size_t ncols = in.columns.size();
+    key_.resize(ncols);
+    for (size_t c = 0; c < ncols; ++c) key_[c] = in.columns[c]->GetValue(row);
+    uint64_t h = HashValueSpan(key_.data(), key_.size());
+    bool dup = false;
+    index_.ForEach(h, [&](uint32_t prev) {
+      for (size_t c = 0; c < ncols; ++c) {
+        if (!acc_.columns[c]->GetValue(prev).Equals(key_[c])) return true;
+      }
+      dup = true;
+      return false;
+    });
+    if (dup) return false;
+    index_.Insert(h, static_cast<uint32_t>(acc_.num_rows));
+    for (size_t c = 0; c < ncols; ++c) acc_.columns[c]->Append(key_[c]);
+    ++acc_.num_rows;
+    return true;
+  }
+
+  /// The accumulated distinct value rows (conditions owed by the caller).
+  Batch& batch() { return acc_; }
+
+ private:
+  Batch acc_;
+  HashRowIndex index_;
+  std::vector<Value> key_;
+};
+
+class DistinctOp : public MaterializedOperator {
+ public:
+  DistinctOp(BatchOperatorPtr child, const DistinctNode& node)
+      : child_(std::move(child)), node_(node) {}
+
+ protected:
+  Status Compute() override {
+    DedupAccumulator acc(node_.output_schema);
+    ConditionColumn conds;
+    Batch in;
+    while (true) {
+      MAYBMS_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+      if (!more) break;
+      for (size_t i = 0; i < in.num_rows; ++i) {
+        // First-occurrence row (values AND its condition) survives,
+        // matching the row engine.
+        if (acc.Add(in, i)) conds.AppendFrom(in.conditions, i);
+      }
+      in = Batch();
+    }
+    acc.batch().conditions = std::move(conds);
+    ready_.push_back(std::move(acc.batch()));
+    return Status::OK();
+  }
+
+ private:
+  BatchOperatorPtr child_;
+  const DistinctNode& node_;
+};
+
+class UnionOp : public MaterializedOperator {
+ public:
+  UnionOp(BatchOperatorPtr left, BatchOperatorPtr right, const UnionNode& node)
+      : left_(std::move(left)), right_(std::move(right)), node_(node) {}
+
+ protected:
+  Status Compute() override {
+    if (!node_.deduplicate) {
+      Batch in;
+      for (BatchOperator* side : {left_.get(), right_.get()}) {
+        while (true) {
+          MAYBMS_ASSIGN_OR_RETURN(bool more, side->Next(&in));
+          if (!more) break;
+          ready_.push_back(std::move(in));
+          in = Batch();
+        }
+      }
+      return Status::OK();
+    }
+    DedupAccumulator acc(node_.output_schema);
+    ConditionColumn conds;
+    Batch in;
+    for (BatchOperator* side : {left_.get(), right_.get()}) {
+      while (true) {
+        MAYBMS_ASSIGN_OR_RETURN(bool more, side->Next(&in));
+        if (!more) break;
+        for (size_t i = 0; i < in.num_rows; ++i) {
+          if (acc.Add(in, i)) conds.AppendFrom(in.conditions, i);
+        }
+        in = Batch();
+      }
+    }
+    acc.batch().conditions = std::move(conds);
+    ready_.push_back(std::move(acc.batch()));
+    return Status::OK();
+  }
+
+ private:
+  BatchOperatorPtr left_;
+  BatchOperatorPtr right_;
+  const UnionNode& node_;
+};
+
+// possible: filter probability-zero tuples, eliminate duplicates, output
+// t-certain (§2.2).
+class PossibleOp : public MaterializedOperator {
+ public:
+  PossibleOp(BatchOperatorPtr child, const PossibleNode& node, ExecContext* ctx)
+      : child_(std::move(child)), node_(node), ctx_(ctx) {}
+
+ protected:
+  Status Compute() override {
+    DedupAccumulator acc(node_.output_schema);
+    const WorldTable& wt = ctx_->worlds();
+    Batch in;
+    while (true) {
+      MAYBMS_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+      if (!more) break;
+      for (size_t i = 0; i < in.num_rows; ++i) {
+        AtomSpan span = in.conditions.Span(i);
+        if (wt.ConditionProb(span.data, span.size) <= 0) continue;
+        acc.Add(in, i);
+      }
+      in = Batch();
+    }
+    Batch& b = acc.batch();
+    for (size_t i = 0; i < b.num_rows; ++i) b.conditions.AppendTrue();
+    ready_.push_back(std::move(b));
+    return Status::OK();
+  }
+
+ private:
+  BatchOperatorPtr child_;
+  const PossibleNode& node_;
+  ExecContext* ctx_;
+};
+
+// ---------------------------------------------------------------------------
+// Sort / Limit
+// ---------------------------------------------------------------------------
+
+class SortOp : public MaterializedOperator {
+ public:
+  SortOp(BatchOperatorPtr child, const SortNode& node)
+      : child_(std::move(child)), node_(node) {}
+
+ protected:
+  Status Compute() override {
+    MAYBMS_ASSIGN_OR_RETURN(Drained in, DrainAll(child_.get()));
+    // Precompute sort keys, column-at-a-time per batch.
+    std::vector<std::vector<ColumnVectorPtr>> key_cols;  // [key][batch]
+    key_cols.reserve(node_.keys.size());
+    for (const SortNode::Key& k : node_.keys) {
+      MAYBMS_ASSIGN_OR_RETURN(std::vector<ColumnVectorPtr> cols,
+                              EvalPerBatch(*k.expr, in));
+      key_cols.push_back(std::move(cols));
+    }
+    std::vector<uint32_t> order(in.num_rows);
+    for (size_t i = 0; i < in.num_rows; ++i) order[i] = static_cast<uint32_t>(i);
+    std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      for (size_t k = 0; k < node_.keys.size(); ++k) {
+        Value va = key_cols[k][in.row_batch[a]]->GetValue(in.row_idx[a]);
+        Value vb = key_cols[k][in.row_batch[b]]->GetValue(in.row_idx[b]);
+        int c = va.Compare(vb);
+        if (c != 0) return node_.keys[k].descending ? c > 0 : c < 0;
+      }
+      return false;
+    });
+    Batch out = AllocateOutput(node_.output_schema);
+    for (uint32_t row : order) {
+      const Batch& b = in.batches[in.row_batch[row]];
+      uint32_t i = in.row_idx[row];
+      for (size_t c = 0; c < b.columns.size(); ++c) {
+        out.columns[c]->Append(b.columns[c]->GetValue(i));
+      }
+      out.conditions.AppendFrom(in.conds, row);
+      ++out.num_rows;
+    }
+    ready_.push_back(std::move(out));
+    return Status::OK();
+  }
+
+ private:
+  BatchOperatorPtr child_;
+  const SortNode& node_;
+};
+
+class LimitOp : public BatchOperator {
+ public:
+  LimitOp(BatchOperatorPtr child, const LimitNode& node)
+      : child_(std::move(child)), remaining_(node.limit) {}
+
+  Result<bool> Next(Batch* out) override {
+    if (remaining_ == 0) return Drain();
+    Batch in;
+    MAYBMS_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) return false;
+    if (remaining_ < 0 || static_cast<size_t>(remaining_) >= in.num_rows) {
+      if (remaining_ >= 0) remaining_ -= static_cast<int64_t>(in.num_rows);
+      *out = std::move(in);
+      return true;
+    }
+    std::vector<uint32_t> sel(static_cast<size_t>(remaining_));
+    for (size_t i = 0; i < sel.size(); ++i) sel[i] = static_cast<uint32_t>(i);
+    *out = GatherBatch(in, sel);
+    remaining_ = 0;
+    return true;
+  }
+
+ private:
+  // The row engine materializes the child fully before truncating, so its
+  // side effects (pick-tuples/repair-key variable registration) and errors
+  // past the cutoff still happen. Drain the rest for engine parity.
+  Result<bool> Drain() {
+    Batch in;
+    while (true) {
+      MAYBMS_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+      if (!more) return false;
+      in = Batch();
+    }
+  }
+
+  BatchOperatorPtr child_;
+  int64_t remaining_;  // negative = unlimited
+};
+
+// ---------------------------------------------------------------------------
+// repair-key: group by the key attributes and introduce one finite random
+// variable per multi-alternative group (paper §2.2 / Fig. 1).
+// ---------------------------------------------------------------------------
+
+class RepairKeyOp : public MaterializedOperator {
+ public:
+  RepairKeyOp(BatchOperatorPtr child, const RepairKeyNode& node, ExecContext* ctx)
+      : child_(std::move(child)), node_(node), ctx_(ctx) {}
+
+ protected:
+  Status Compute() override {
+    MAYBMS_ASSIGN_OR_RETURN(Drained in, DrainAll(child_.get()));
+
+    // Group rows by the raw key attribute values, first-seen order.
+    HashRowIndex group_index;
+    std::vector<std::vector<uint32_t>> groups;
+    std::vector<Value> key(node_.key_indices.size());
+    for (size_t row = 0; row < in.num_rows; ++row) {
+      for (size_t k = 0; k < node_.key_indices.size(); ++k) {
+        key[k] = in.GetValue(node_.key_indices[k], row);
+      }
+      uint64_t h = HashValueSpan(key.data(), key.size());
+      uint32_t found = HashRowIndex::kNoRow;
+      group_index.ForEach(h, [&](uint32_t g) {
+        uint32_t rep = groups[g][0];
+        for (size_t k = 0; k < node_.key_indices.size(); ++k) {
+          if (!in.GetValue(node_.key_indices[k], rep).Equals(key[k])) return true;
+        }
+        found = g;
+        return false;
+      });
+      if (found != HashRowIndex::kNoRow) {
+        groups[found].push_back(static_cast<uint32_t>(row));
+      } else {
+        group_index.Insert(h, static_cast<uint32_t>(groups.size()));
+        groups.push_back({static_cast<uint32_t>(row)});
+      }
+    }
+
+    // Evaluate weights column-at-a-time (default weight 1: uniform).
+    std::vector<ColumnVectorPtr> weight_cols;
+    if (node_.weight != nullptr) {
+      MAYBMS_ASSIGN_OR_RETURN(weight_cols, EvalPerBatch(*node_.weight, in));
+    }
+    auto weight_of = [&](uint32_t row) -> Result<double> {
+      if (node_.weight == nullptr) return 1.0;
+      Value v = weight_cols[in.row_batch[row]]->GetValue(in.row_idx[row]);
+      if (v.is_null()) return 0.0;  // null weight: tuple cannot be chosen
+      return v.ToDouble();
+    };
+
+    Batch out = AllocateOutput(node_.output_schema);
+    WorldTable& wt = ctx_->worlds();
+    for (const std::vector<uint32_t>& members : groups) {
+      std::vector<double> weights;
+      std::vector<uint32_t> alive;
+      double total = 0;
+      for (uint32_t row : members) {
+        MAYBMS_ASSIGN_OR_RETURN(double w, weight_of(row));
+        if (std::isnan(w) || w < 0) {
+          return Status::ExecutionError(StringFormat(
+              "repair-key weight %g is negative or NaN (weights must be "
+              "non-negative)", w));
+        }
+        if (w == 0) continue;  // zero-weight alternatives are dropped (Fig. 1)
+        alive.push_back(row);
+        weights.push_back(w);
+        total += w;
+      }
+      if (alive.empty()) continue;  // whole group zero weight: no repair tuple
+      if (alive.size() == 1) {
+        // A single alternative is chosen with probability 1: no variable is
+        // needed — the tuple is certain (semantically identical encoding).
+        EmitRow(in, alive[0], in.conds.Span(alive[0]), &out);
+        continue;
+      }
+      std::vector<double> probs;
+      probs.reserve(weights.size());
+      for (double w : weights) probs.push_back(w / total);
+      MAYBMS_ASSIGN_OR_RETURN(VarId var, wt.NewVariable(std::move(probs), node_.label));
+      for (size_t j = 0; j < alive.size(); ++j) {
+        Atom atom{var, static_cast<AsgId>(j)};
+        EmitRow(in, alive[j], AtomSpan{&atom, 1}, &out);
+      }
+    }
+    ready_.push_back(std::move(out));
+    return Status::OK();
+  }
+
+ private:
+  void EmitRow(const Drained& in, uint32_t row, AtomSpan cond, Batch* out) {
+    const Batch& b = in.batches[in.row_batch[row]];
+    uint32_t i = in.row_idx[row];
+    for (size_t c = 0; c < b.columns.size(); ++c) {
+      out->columns[c]->Append(b.columns[c]->GetValue(i));
+    }
+    out->conditions.AppendAtoms(cond);
+    ++out->num_rows;
+  }
+
+  BatchOperatorPtr child_;
+  const RepairKeyNode& node_;
+  ExecContext* ctx_;
+};
+
+// ---------------------------------------------------------------------------
+// pick-tuples: a fresh Boolean variable per row (probability < 1).
+// ---------------------------------------------------------------------------
+
+class PickTuplesOp : public BatchOperator {
+ public:
+  PickTuplesOp(BatchOperatorPtr child, const PickTuplesNode& node, ExecContext* ctx)
+      : child_(std::move(child)), node_(node), ctx_(ctx) {}
+
+  Result<bool> Next(Batch* out) override {
+    Batch in;
+    MAYBMS_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) return false;
+    ColumnVectorPtr prob_col;
+    if (node_.probability != nullptr) {
+      MAYBMS_ASSIGN_OR_RETURN(prob_col, EvalVector(*node_.probability, in));
+    }
+    WorldTable& wt = ctx_->worlds();
+    ConditionColumn conds;
+    for (size_t k = 0; k < in.num_rows; ++k) {
+      double p = 0.5;  // default: all subsets, uniformly
+      if (prob_col != nullptr) {
+        Value v = prob_col->GetValue(k);
+        if (v.is_null()) {
+          p = 0;
+        } else {
+          MAYBMS_ASSIGN_OR_RETURN(p, v.ToDouble());
+        }
+      }
+      if (std::isnan(p) || p < 0 || p > 1) {
+        return Status::ExecutionError(
+            StringFormat("pick-tuples probability %g outside [0,1]", p));
+      }
+      if (p == 1.0) {
+        conds.AppendFrom(in.conditions, k);  // certain tuple, no variable
+        continue;
+      }
+      MAYBMS_ASSIGN_OR_RETURN(VarId var, wt.NewBooleanVariable(p, node_.label));
+      Atom atom{var, 1};
+      conds.AppendAtoms(AtomSpan{&atom, 1});
+    }
+    out->columns = std::move(in.columns);
+    out->conditions = std::move(conds);
+    out->num_rows = in.num_rows;
+    return true;
+  }
+
+ private:
+  BatchOperatorPtr child_;
+  const PickTuplesNode& node_;
+  ExecContext* ctx_;
+};
+
+// ---------------------------------------------------------------------------
+// Aggregate: group-by over materialized input; conf()/aconf() lineage is
+// compiled per group straight from the concatenated condition column.
+// ---------------------------------------------------------------------------
+
+class AggregateOp : public MaterializedOperator {
+ public:
+  AggregateOp(BatchOperatorPtr child, const AggregateNode& node, ExecContext* ctx)
+      : child_(std::move(child)), node_(node), ctx_(ctx) {}
+
+ protected:
+  Status Compute() override {
+    MAYBMS_ASSIGN_OR_RETURN(Drained in, DrainAll(child_.get()));
+
+    // Group rows, first-seen order.
+    std::vector<std::vector<ColumnVectorPtr>> group_cols;  // [expr][batch]
+    group_cols.reserve(node_.group_exprs.size());
+    for (const BoundExprPtr& e : node_.group_exprs) {
+      MAYBMS_ASSIGN_OR_RETURN(std::vector<ColumnVectorPtr> cols,
+                              EvalPerBatch(*e, in));
+      group_cols.push_back(std::move(cols));
+    }
+    HashRowIndex group_index;
+    std::vector<std::vector<uint32_t>> groups;
+    std::vector<Value> group_keys;  // flattened, arity = #group_exprs
+    size_t arity = node_.group_exprs.size();
+    std::vector<Value> key(arity);
+    for (size_t row = 0; row < in.num_rows; ++row) {
+      for (size_t k = 0; k < arity; ++k) {
+        key[k] = group_cols[k][in.row_batch[row]]->GetValue(in.row_idx[row]);
+      }
+      uint64_t h = HashValueSpan(key.data(), arity);
+      uint32_t found = HashRowIndex::kNoRow;
+      group_index.ForEach(h, [&](uint32_t g) {
+        const Value* stored = group_keys.data() + static_cast<size_t>(g) * arity;
+        for (size_t k = 0; k < arity; ++k) {
+          if (!stored[k].Equals(key[k])) return true;
+        }
+        found = g;
+        return false;
+      });
+      if (found != HashRowIndex::kNoRow) {
+        groups[found].push_back(static_cast<uint32_t>(row));
+      } else {
+        group_index.Insert(h, static_cast<uint32_t>(groups.size()));
+        groups.push_back({static_cast<uint32_t>(row)});
+        group_keys.insert(group_keys.end(), key.begin(), key.end());
+      }
+    }
+    // Global aggregate over an empty input still yields one (empty) group.
+    if (groups.empty() && node_.group_exprs.empty()) groups.emplace_back();
+
+    // Evaluate aggregate arguments column-at-a-time, once per batch.
+    std::vector<std::vector<ColumnVectorPtr>> arg_cols(node_.aggregates.size());
+    std::vector<std::vector<ColumnVectorPtr>> arg2_cols(node_.aggregates.size());
+    for (size_t a = 0; a < node_.aggregates.size(); ++a) {
+      if (node_.aggregates[a].arg != nullptr) {
+        MAYBMS_ASSIGN_OR_RETURN(arg_cols[a],
+                                EvalPerBatch(*node_.aggregates[a].arg, in));
+      }
+      if (node_.aggregates[a].arg2 != nullptr) {
+        MAYBMS_ASSIGN_OR_RETURN(arg2_cols[a],
+                                EvalPerBatch(*node_.aggregates[a].arg2, in));
+      }
+    }
+    auto arg_value = [&](size_t a, uint32_t row) {
+      return arg_cols[a][in.row_batch[row]]->GetValue(in.row_idx[row]);
+    };
+    auto arg2_value = [&](size_t a, uint32_t row) {
+      return arg2_cols[a][in.row_batch[row]]->GetValue(in.row_idx[row]);
+    };
+
+    // esum/ecount consume the per-row marginal probability; compute the
+    // whole column at most once, straight off the condition spans.
+    std::vector<double> cond_probs;
+    bool need_probs = false;
+    for (const BoundAggregate& agg : node_.aggregates) {
+      need_probs |= agg.kind == AggKind::kEsum || agg.kind == AggKind::kEcount;
+    }
+    const WorldTable& wt = ctx_->worlds();
+    if (need_probs) {
+      cond_probs.reserve(in.num_rows);
+      for (size_t row = 0; row < in.num_rows; ++row) {
+        AtomSpan span = in.conds.Span(row);
+        cond_probs.push_back(wt.ConditionProb(span.data, span.size));
+      }
+    }
+
+    Batch out = AllocateOutput(node_.output_schema);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      MAYBMS_ASSIGN_OR_RETURN(
+          std::vector<std::vector<Value>> agg_rows,
+          GroupAggregates(in, groups[g], arg_value, arg2_value, cond_probs));
+      for (std::vector<Value>& agg_vals : agg_rows) {
+        for (size_t k = 0; k < arity; ++k) {
+          out.columns[k]->Append(group_keys[g * arity + k]);
+        }
+        for (size_t a = 0; a < agg_vals.size(); ++a) {
+          out.columns[arity + a]->Append(agg_vals[a]);
+        }
+        out.conditions.AppendTrue();
+        ++out.num_rows;
+      }
+    }
+    ready_.push_back(std::move(out));
+    return Status::OK();
+  }
+
+ private:
+  // Accumulator for one standard SQL aggregate (mirrors the row engine).
+  struct StandardAcc {
+    int64_t count = 0;
+    double dsum = 0;
+    int64_t isum = 0;
+    bool all_int = true;
+    bool any = false;
+    Value min_v;
+    Value max_v;
+
+    void Add(const Value& v) {
+      if (v.is_null()) return;
+      any = true;
+      ++count;
+      if (v.type() == TypeId::kInt) {
+        isum += v.AsInt();
+        dsum += static_cast<double>(v.AsInt());
+      } else if (v.type() == TypeId::kDouble || v.type() == TypeId::kBool) {
+        all_int = false;
+        dsum += *v.ToDouble();
+      } else {
+        all_int = false;  // strings: sum/avg invalid, min/max fine
+      }
+      if (min_v.is_null() || v.Compare(min_v) < 0) min_v = v;
+      if (max_v.is_null() || v.Compare(max_v) > 0) max_v = v;
+    }
+  };
+
+  template <typename ArgFn, typename Arg2Fn>
+  Result<std::vector<std::vector<Value>>> GroupAggregates(
+      const Drained& in, const std::vector<uint32_t>& members, ArgFn&& arg_value,
+      Arg2Fn&& arg2_value, const std::vector<double>& cond_probs) {
+    const std::vector<BoundAggregate>& aggs = node_.aggregates;
+    const WorldTable& wt = ctx_->worlds();
+
+    std::vector<Value> values(aggs.size(), Value::Null());
+    int argmax_index = -1;
+    std::vector<Value> argmax_ties;
+
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const BoundAggregate& agg = aggs[a];
+      switch (agg.kind) {
+        case AggKind::kCountStar: {
+          values[a] = Value::Int(static_cast<int64_t>(members.size()));
+          break;
+        }
+        case AggKind::kCount: {
+          int64_t n = 0;
+          for (uint32_t row : members) {
+            if (!arg_value(a, row).is_null()) ++n;
+          }
+          values[a] = Value::Int(n);
+          break;
+        }
+        case AggKind::kSum:
+        case AggKind::kAvg:
+        case AggKind::kMin:
+        case AggKind::kMax: {
+          StandardAcc acc;
+          for (uint32_t row : members) {
+            Value v = arg_value(a, row);
+            if (!v.is_null() &&
+                (agg.kind == AggKind::kSum || agg.kind == AggKind::kAvg) &&
+                v.type() == TypeId::kString) {
+              return Status::TypeError("sum/avg over non-numeric values");
+            }
+            acc.Add(v);
+          }
+          if (!acc.any) {
+            values[a] = Value::Null();
+          } else if (agg.kind == AggKind::kSum) {
+            values[a] = acc.all_int ? Value::Int(acc.isum) : Value::Double(acc.dsum);
+          } else if (agg.kind == AggKind::kAvg) {
+            values[a] = Value::Double(acc.dsum / static_cast<double>(acc.count));
+          } else if (agg.kind == AggKind::kMin) {
+            values[a] = acc.min_v;
+          } else {
+            values[a] = acc.max_v;
+          }
+          break;
+        }
+        case AggKind::kConf:
+        case AggKind::kAconf: {
+          // The group's lineage — the disjunction of the duplicate tuples'
+          // conjunctive conditions (paper §2.3) — compiles directly from
+          // the packed condition-column spans: no Condition objects, no
+          // per-row re-parsing.
+          CompiledDnf lineage(in.conds, members.data(), members.size(), wt);
+          if (agg.kind == AggKind::kConf) {
+            MAYBMS_ASSIGN_OR_RETURN(
+                double p, ExactConfidence(std::move(lineage), wt,
+                                          ctx_->options->exact, nullptr));
+            values[a] = Value::Double(p);
+          } else {
+            MAYBMS_ASSIGN_OR_RETURN(
+                MonteCarloResult mc,
+                ApproxConfidence(std::move(lineage), agg.epsilon, agg.delta,
+                                 ctx_->rng, ctx_->options->montecarlo));
+            values[a] = Value::Double(mc.estimate);
+          }
+          break;
+        }
+        case AggKind::kEsum: {
+          // Expected sum by linearity of expectation: Σ value·P(condition)
+          // — linear time, no #P confidence computation (§2.2 item 4).
+          double total = 0;
+          for (uint32_t row : members) {
+            Value v = arg_value(a, row);
+            if (v.is_null()) continue;
+            MAYBMS_ASSIGN_OR_RETURN(double d, v.ToDouble());
+            total += d * cond_probs[row];
+          }
+          values[a] = Value::Double(total);
+          break;
+        }
+        case AggKind::kEcount: {
+          double total = 0;
+          for (uint32_t row : members) {
+            if (agg.arg != nullptr && arg_value(a, row).is_null()) continue;
+            total += cond_probs[row];
+          }
+          values[a] = Value::Double(total);
+          break;
+        }
+        case AggKind::kArgmax: {
+          if (argmax_index >= 0) {
+            return Status::ExecutionError(
+                "at most one argmax aggregate is supported per select");
+          }
+          argmax_index = static_cast<int>(a);
+          Value best;
+          for (uint32_t row : members) {
+            Value v = arg2_value(a, row);
+            if (v.is_null()) continue;
+            if (best.is_null() || v.Compare(best) > 0) best = v;
+          }
+          if (!best.is_null()) {
+            for (uint32_t row : members) {
+              Value v = arg2_value(a, row);
+              if (v.is_null() || !v.Equals(best)) continue;
+              Value arg_v = arg_value(a, row);
+              bool seen = false;
+              for (const Value& t : argmax_ties) {
+                if (t.Equals(arg_v)) {
+                  seen = true;
+                  break;
+                }
+              }
+              if (!seen) argmax_ties.push_back(std::move(arg_v));
+            }
+          }
+          break;
+        }
+      }
+    }
+
+    std::vector<std::vector<Value>> out;
+    if (argmax_index < 0) {
+      out.push_back(std::move(values));
+      return out;
+    }
+    if (argmax_ties.empty()) argmax_ties.push_back(Value::Null());
+    for (Value& tie : argmax_ties) {
+      std::vector<Value> row = values;
+      row[static_cast<size_t>(argmax_index)] = std::move(tie);
+      out.push_back(std::move(row));
+    }
+    return out;
+  }
+
+  BatchOperatorPtr child_;
+  const AggregateNode& node_;
+  ExecContext* ctx_;
+};
+
+// ---------------------------------------------------------------------------
+// Plan -> operator tree
+// ---------------------------------------------------------------------------
+
+Result<BatchOperatorPtr> BuildOperator(const PlanNode& plan, ExecContext* ctx) {
+  switch (plan.kind) {
+    case PlanKind::kScan:
+      return BatchOperatorPtr(new ScanOp(static_cast<const ScanNode&>(plan)));
+    case PlanKind::kFilter: {
+      const auto& node = static_cast<const FilterNode&>(plan);
+      MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                              BuildOperator(*node.children[0], ctx));
+      return BatchOperatorPtr(new FilterOp(std::move(child), node.predicate.get()));
+    }
+    case PlanKind::kProject: {
+      const auto& node = static_cast<const ProjectNode&>(plan);
+      MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                              BuildOperator(*node.children[0], ctx));
+      return BatchOperatorPtr(new ProjectOp(std::move(child), node, ctx));
+    }
+    case PlanKind::kJoin: {
+      const auto& node = static_cast<const JoinNode&>(plan);
+      MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr left,
+                              BuildOperator(*node.children[0], ctx));
+      MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr right,
+                              BuildOperator(*node.children[1], ctx));
+      return BatchOperatorPtr(new JoinOp(std::move(left), std::move(right), node));
+    }
+    case PlanKind::kAggregate: {
+      const auto& node = static_cast<const AggregateNode&>(plan);
+      MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                              BuildOperator(*node.children[0], ctx));
+      return BatchOperatorPtr(new AggregateOp(std::move(child), node, ctx));
+    }
+    case PlanKind::kRepairKey: {
+      const auto& node = static_cast<const RepairKeyNode&>(plan);
+      MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                              BuildOperator(*node.children[0], ctx));
+      return BatchOperatorPtr(new RepairKeyOp(std::move(child), node, ctx));
+    }
+    case PlanKind::kPickTuples: {
+      const auto& node = static_cast<const PickTuplesNode&>(plan);
+      MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                              BuildOperator(*node.children[0], ctx));
+      return BatchOperatorPtr(new PickTuplesOp(std::move(child), node, ctx));
+    }
+    case PlanKind::kPossible: {
+      const auto& node = static_cast<const PossibleNode&>(plan);
+      MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                              BuildOperator(*node.children[0], ctx));
+      return BatchOperatorPtr(new PossibleOp(std::move(child), node, ctx));
+    }
+    case PlanKind::kSemiJoinIn: {
+      const auto& node = static_cast<const SemiJoinInNode&>(plan);
+      MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr left,
+                              BuildOperator(*node.children[0], ctx));
+      MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr right,
+                              BuildOperator(*node.children[1], ctx));
+      return BatchOperatorPtr(
+          new SemiJoinInOp(std::move(left), std::move(right), node));
+    }
+    case PlanKind::kUnion: {
+      const auto& node = static_cast<const UnionNode&>(plan);
+      MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr left,
+                              BuildOperator(*node.children[0], ctx));
+      MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr right,
+                              BuildOperator(*node.children[1], ctx));
+      return BatchOperatorPtr(new UnionOp(std::move(left), std::move(right), node));
+    }
+    case PlanKind::kDistinct: {
+      const auto& node = static_cast<const DistinctNode&>(plan);
+      MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                              BuildOperator(*node.children[0], ctx));
+      return BatchOperatorPtr(new DistinctOp(std::move(child), node));
+    }
+    case PlanKind::kSort: {
+      const auto& node = static_cast<const SortNode&>(plan);
+      MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                              BuildOperator(*node.children[0], ctx));
+      return BatchOperatorPtr(new SortOp(std::move(child), node));
+    }
+    case PlanKind::kLimit: {
+      const auto& node = static_cast<const LimitNode&>(plan);
+      MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                              BuildOperator(*node.children[0], ctx));
+      return BatchOperatorPtr(new LimitOp(std::move(child), node));
+    }
+  }
+  return Status::Internal("unhandled plan kind");
+}
+
+// The uncertain flag of the materialized result, mirroring the row
+// engine's per-operator propagation.
+bool RuntimeUncertain(const PlanNode& plan) {
+  switch (plan.kind) {
+    case PlanKind::kScan:
+      return static_cast<const ScanNode&>(plan).table->uncertain();
+    case PlanKind::kFilter:
+    case PlanKind::kDistinct:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+      return RuntimeUncertain(*plan.children[0]);
+    case PlanKind::kAggregate:
+    case PlanKind::kPossible:
+      return false;
+    case PlanKind::kRepairKey:
+    case PlanKind::kPickTuples:
+      return true;
+    default:
+      return plan.uncertain;
+  }
+}
+
+}  // namespace
+
+Result<TableData> ExecutePlanBatch(const PlanNode& plan, ExecContext* ctx) {
+  // Callers may hand over a context without options; the conf()/aconf()
+  // aggregates read them, so substitute defaults (outlives the operator
+  // tree — it is executed before this function returns).
+  static const ExecOptions kDefaultOptions;
+  ExecContext local = *ctx;
+  if (local.options == nullptr) local.options = &kDefaultOptions;
+  ctx = &local;
+  MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr root, BuildOperator(plan, ctx));
+  TableData out;
+  out.schema = plan.output_schema;
+  out.uncertain = RuntimeUncertain(plan);
+  Batch batch;
+  while (true) {
+    MAYBMS_ASSIGN_OR_RETURN(bool more, root->Next(&batch));
+    if (!more) break;
+    batch.AppendTo(&out.rows);
+    batch = Batch();
+  }
+  return out;
+}
+
+}  // namespace maybms

@@ -1,0 +1,21 @@
+// The vectorized executor: a bound logical plan compiled into a pull-based
+// tree of batch operators. Each operator's Next() produces a Batch —
+// columnar data plus a packed condition column — so scans share column
+// vectors instead of copying rows, filters and projections evaluate
+// expressions column-at-a-time, and conf()/aconf() aggregates compile their
+// lineage straight from condition-column spans.
+//
+// Semantics (values, probabilities, and output order) match the row engine
+// in src/exec/operators.cc exactly; the parity test suite holds both
+// engines to that.
+#pragma once
+
+#include "src/exec/exec_context.h"
+#include "src/plan/logical_plan.h"
+
+namespace maybms {
+
+/// Executes a bound plan with the batch engine, materializing the result.
+Result<TableData> ExecutePlanBatch(const PlanNode& plan, ExecContext* ctx);
+
+}  // namespace maybms

@@ -13,10 +13,17 @@
 
 namespace maybms {
 
+/// Which plan interpreter executes queries.
+enum class ExecEngine : uint8_t {
+  kRow,    ///< row-at-a-time materializing interpreter (legacy/reference)
+  kBatch,  ///< vectorized pull-based operator tree over columnar batches
+};
+
 /// Engine-level execution options (confidence computation knobs).
 struct ExecOptions {
   ExactOptions exact;            ///< conf() exact-algorithm tuning
   MonteCarloOptions montecarlo;  ///< aconf() sample caps
+  ExecEngine engine = ExecEngine::kBatch;
 };
 
 /// Everything operators need: the catalog (DML / create-table-as), the

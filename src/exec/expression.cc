@@ -26,8 +26,7 @@ bool IsTruthy(const Value& v) {
   }
 }
 
-Result<Value> BoundUnary::Eval(const std::vector<Value>& row) const {
-  MAYBMS_ASSIGN_OR_RETURN(Value v, operand->Eval(row));
+Result<Value> EvalUnaryValue(UnaryOp op, const Value& v) {
   switch (op) {
     case UnaryOp::kNot: {
       if (v.is_null()) return Value::Null();
@@ -43,33 +42,34 @@ Result<Value> BoundUnary::Eval(const std::vector<Value>& row) const {
   return Status::Internal("unknown unary operator");
 }
 
+Result<Value> BoundUnary::Eval(const std::vector<Value>& row) const {
+  MAYBMS_ASSIGN_OR_RETURN(Value v, operand->Eval(row));
+  return EvalUnaryValue(op, v);
+}
+
 std::string BoundUnary::ToString() const {
   return (op == UnaryOp::kNot ? "not " : "-") + operand->ToString();
 }
 
-Result<Value> BoundBinary::Eval(const std::vector<Value>& row) const {
-  // Logical connectives: Kleene three-valued logic with short-circuiting.
+Result<Value> EvalBinaryValue(BinaryOp op, const Value& l, const Value& r) {
+  // Logical connectives: Kleene three-valued logic over the two values
+  // (short-circuiting, when wanted, happens in the callers that control
+  // operand evaluation).
   if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
-    MAYBMS_ASSIGN_OR_RETURN(Value l, left->Eval(row));
     bool l_null = l.is_null();
     bool l_true = !l_null && IsTruthy(l);
-    if (op == BinaryOp::kAnd && !l_null && !l_true) return Value::Bool(false);
-    if (op == BinaryOp::kOr && l_true) return Value::Bool(true);
-    MAYBMS_ASSIGN_OR_RETURN(Value r, right->Eval(row));
     bool r_null = r.is_null();
     bool r_true = !r_null && IsTruthy(r);
     if (op == BinaryOp::kAnd) {
-      if (!r_null && !r_true) return Value::Bool(false);
+      if ((!l_null && !l_true) || (!r_null && !r_true)) return Value::Bool(false);
       if (l_null || r_null) return Value::Null();
       return Value::Bool(true);
     }
-    if (r_true) return Value::Bool(true);
+    if (l_true || r_true) return Value::Bool(true);
     if (l_null || r_null) return Value::Null();
     return Value::Bool(false);
   }
 
-  MAYBMS_ASSIGN_OR_RETURN(Value l, left->Eval(row));
-  MAYBMS_ASSIGN_OR_RETURN(Value r, right->Eval(row));
   if (l.is_null() || r.is_null()) return Value::Null();
 
   switch (op) {
@@ -145,6 +145,23 @@ Result<Value> BoundBinary::Eval(const std::vector<Value>& row) const {
   return Status::Internal("unknown binary operator");
 }
 
+Result<Value> BoundBinary::Eval(const std::vector<Value>& row) const {
+  // Short-circuit the logical connectives: the right operand is only
+  // evaluated when the left value does not already decide the result.
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    MAYBMS_ASSIGN_OR_RETURN(Value l, left->Eval(row));
+    bool l_null = l.is_null();
+    bool l_true = !l_null && IsTruthy(l);
+    if (op == BinaryOp::kAnd && !l_null && !l_true) return Value::Bool(false);
+    if (op == BinaryOp::kOr && l_true) return Value::Bool(true);
+    MAYBMS_ASSIGN_OR_RETURN(Value r, right->Eval(row));
+    return EvalBinaryValue(op, l, r);
+  }
+  MAYBMS_ASSIGN_OR_RETURN(Value l, left->Eval(row));
+  MAYBMS_ASSIGN_OR_RETURN(Value r, right->Eval(row));
+  return EvalBinaryValue(op, l, r);
+}
+
 std::string BoundBinary::ToString() const {
   return "(" + left->ToString() + " " + std::string(BinaryOpToString(op)) + " " +
          right->ToString() + ")";
@@ -205,14 +222,8 @@ Result<TypeId> ScalarFunctionResultType(const std::string& name,
   return out;
 }
 
-Result<Value> BoundScalarFunction::Eval(const std::vector<Value>& row) const {
-  std::vector<Value> vals;
-  vals.reserve(args.size());
-  for (const BoundExprPtr& a : args) {
-    MAYBMS_ASSIGN_OR_RETURN(Value v, a->Eval(row));
-    if (v.is_null()) return Value::Null();
-    vals.push_back(std::move(v));
-  }
+Result<Value> EvalScalarFunctionValue(const std::string& name,
+                                      const std::vector<Value>& vals) {
   auto as_double = [&](size_t i) { return vals[i].ToDouble(); };
   if (name == "abs") {
     if (vals[0].type() == TypeId::kInt) return Value::Int(std::abs(vals[0].AsInt()));
@@ -276,6 +287,17 @@ Result<Value> BoundScalarFunction::Eval(const std::vector<Value>& row) const {
     return Value::String(std::move(s));
   }
   return Status::Internal(StringFormat("unhandled scalar function '%s'", name.c_str()));
+}
+
+Result<Value> BoundScalarFunction::Eval(const std::vector<Value>& row) const {
+  std::vector<Value> vals;
+  vals.reserve(args.size());
+  for (const BoundExprPtr& a : args) {
+    MAYBMS_ASSIGN_OR_RETURN(Value v, a->Eval(row));
+    if (v.is_null()) return Value::Null();
+    vals.push_back(std::move(v));
+  }
+  return EvalScalarFunctionValue(name, vals);
 }
 
 std::string BoundScalarFunction::ToString() const {

@@ -170,6 +170,19 @@ struct BoundTconf : BoundExpr {
   BoundExprPtr Clone() const override { return std::make_unique<BoundTconf>(); }
 };
 
+/// Scalar kernels shared by the row-at-a-time tree walk and the vectorized
+/// executor (src/exec/vector_expression.h), so both engines agree on SQL
+/// semantics to the bit.
+///
+/// EvalUnaryValue/EvalBinaryValue accept null operands and propagate them
+/// per SQL rules (AND/OR use Kleene three-valued logic over the two given
+/// values). EvalScalarFunctionValue requires non-null arguments (callers
+/// return null when any argument is null).
+Result<Value> EvalUnaryValue(UnaryOp op, const Value& v);
+Result<Value> EvalBinaryValue(BinaryOp op, const Value& l, const Value& r);
+Result<Value> EvalScalarFunctionValue(const std::string& name,
+                                      const std::vector<Value>& vals);
+
 /// True if `name` is one of the scalar function names BoundScalarFunction
 /// understands.
 bool IsScalarFunction(const std::string& name);

@@ -7,6 +7,7 @@
 
 #include "src/common/str_util.h"
 #include "src/exec/aggregates.h"
+#include "src/exec/batch_operators.h"
 
 namespace maybms {
 
@@ -460,9 +461,10 @@ Result<TableData> ExecuteLimit(const LimitNode& node, ExecContext* ctx) {
   return in;
 }
 
-}  // namespace
-
-Result<TableData> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
+// The original row-at-a-time materializing interpreter, kept as the
+// reference engine behind ExecOptions::engine (parity tests run every
+// query through both paths).
+Result<TableData> ExecutePlanRow(const PlanNode& plan, ExecContext* ctx) {
   switch (plan.kind) {
     case PlanKind::kScan:
       return ExecuteScan(static_cast<const ScanNode&>(plan));
@@ -492,6 +494,15 @@ Result<TableData> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
       return ExecuteLimit(static_cast<const LimitNode&>(plan), ctx);
   }
   return Status::Internal("unhandled plan kind");
+}
+
+}  // namespace
+
+Result<TableData> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
+  if (ctx->options == nullptr || ctx->options->engine == ExecEngine::kBatch) {
+    return ExecutePlanBatch(plan, ctx);
+  }
+  return ExecutePlanRow(plan, ctx);
 }
 
 }  // namespace maybms

@@ -1,0 +1,27 @@
+// Vectorized expression evaluation: a BoundExpr evaluated over a whole
+// Batch at once, producing a ColumnVector.
+//
+// Hot shapes (column/literal comparisons and arithmetic over int64/double
+// columns) run as tight typed loops over the raw column arrays. Everything
+// else falls back to a per-row loop over the *same scalar kernels the row
+// engine uses* (EvalUnaryValue/EvalBinaryValue/EvalScalarFunctionValue), so
+// the two engines cannot disagree on SQL semantics.
+//
+// Error parity: AND/OR are not short-circuited when vector-evaluating (the
+// Kleene result is identical); if the eagerly-evaluated side fails — e.g. a
+// division by zero on a row the row engine would have skipped — evaluation
+// re-runs row-at-a-time with proper short-circuiting.
+#pragma once
+
+#include "src/common/result.h"
+#include "src/exec/expression.h"
+#include "src/types/batch.h"
+
+namespace maybms {
+
+/// Evaluates `expr` over every row of `in`. kTconf placeholders are the
+/// projection operator's job and yield an internal error here, mirroring
+/// BoundTconf::Eval.
+Result<ColumnVectorPtr> EvalVector(const BoundExpr& expr, const Batch& in);
+
+}  // namespace maybms

@@ -1,0 +1,197 @@
+#include "src/lineage/compiled_dnf.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/row_index.h"
+
+namespace maybms {
+
+namespace {
+
+uint64_t HashAtoms(const Atom* atoms, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= (static_cast<uint64_t>(atoms[i].var) << 32) | atoms[i].asg;
+    h *= 0x100000001b3ULL;
+  }
+  // The open-addressed intern table masks with a power of two, and raw
+  // FNV's low bits barely depend on the high input bits where the variable
+  // ids live.
+  return Mix64(h);
+}
+
+}  // namespace
+
+ClauseId CompiledDnf::InternGlobal(const Atom* atoms, size_t n,
+                                   const Remap& remap,
+                                   std::vector<Atom>* scratch) {
+  scratch->clear();
+  scratch->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    LocalVar local;
+    if (!remap.dense.empty()) {
+      local = remap.dense[atoms[i].var];
+    } else {
+      // local_to_global_ is sorted ascending, so the remap is a binary
+      // search and preserves the span's by-variable sort order.
+      auto it = std::lower_bound(local_to_global_.begin(), local_to_global_.end(),
+                                 atoms[i].var);
+      local = static_cast<LocalVar>(it - local_to_global_.begin());
+    }
+    // Validate assignments once at the compile boundary so the solver's and
+    // estimator's hot loops can index the flat probability array unchecked
+    // (mirrors WorldTable's checked AtomProb).
+    if (atoms[i].asg >= DomainSize(local)) {
+      std::fprintf(stderr,
+                   "compiled lineage: assignment %u out of range for variable "
+                   "x%u (domain size %u) — corrupt condition column\n",
+                   atoms[i].asg, local_to_global_[local], DomainSize(local));
+      std::abort();
+    }
+    scratch->push_back(Atom{local, atoms[i].asg});
+  }
+  return Intern(scratch->data(), scratch->size());
+}
+
+CompiledDnf::Remap CompiledDnf::MakeRemap(size_t total_atoms) const {
+  // A dense global->local array costs O(max global id) to build; binary
+  // search costs O(total_atoms · log V). Pick the cheaper one — compiles of
+  // big lineages get the flat array, small per-group compiles avoid the
+  // huge allocation.
+  Remap remap;
+  if (local_to_global_.empty()) return remap;
+  size_t max_gid = static_cast<size_t>(local_to_global_.back()) + 1;
+  if (max_gid < total_atoms * 8) {
+    remap.dense.assign(max_gid, 0);
+    for (size_t l = 0; l < local_to_global_.size(); ++l) {
+      remap.dense[local_to_global_[l]] = static_cast<LocalVar>(l);
+    }
+  }
+  return remap;
+}
+
+void CompiledDnf::ReserveClauses(size_t expected) {
+  size_t cap = 64;
+  while (cap * 3 < expected * 4 * 2) cap *= 2;  // load < 0.75 after 2x growth
+  if (cap > intern_id_.size()) {
+    intern_hash_.assign(cap, 0);
+    intern_id_.assign(cap, kNoClause);
+  }
+}
+
+void CompiledDnf::GrowInternTable() {
+  size_t new_cap = intern_id_.empty() ? 64 : intern_id_.size() * 2;
+  std::vector<uint64_t> old_hash = std::move(intern_hash_);
+  std::vector<ClauseId> old_id = std::move(intern_id_);
+  intern_hash_.assign(new_cap, 0);
+  intern_id_.assign(new_cap, kNoClause);
+  size_t mask = new_cap - 1;
+  for (size_t i = 0; i < old_id.size(); ++i) {
+    if (old_id[i] == kNoClause) continue;
+    size_t slot = static_cast<size_t>(old_hash[i]) & mask;
+    while (intern_id_[slot] != kNoClause) slot = (slot + 1) & mask;
+    intern_hash_[slot] = old_hash[i];
+    intern_id_[slot] = old_id[i];
+  }
+}
+
+ClauseId CompiledDnf::Intern(const Atom* atoms, size_t n) {
+  if (intern_count_ * 4 >= intern_id_.size() * 3) GrowInternTable();
+  uint64_t h = HashAtoms(atoms, n);
+  size_t mask = intern_id_.size() - 1;
+  size_t slot = static_cast<size_t>(h) & mask;
+  while (intern_id_[slot] != kNoClause) {
+    if (intern_hash_[slot] == h) {
+      AtomSpan existing = Clause(intern_id_[slot]);
+      if (existing.size == n &&
+          std::equal(existing.begin(), existing.end(), atoms)) {
+        return intern_id_[slot];
+      }
+    }
+    slot = (slot + 1) & mask;
+  }
+  ClauseId id = static_cast<ClauseId>(NumStoredClauses());
+  clause_atoms_.insert(clause_atoms_.end(), atoms, atoms + n);
+  clause_offsets_.push_back(static_cast<uint32_t>(clause_atoms_.size()));
+  clause_prob_.push_back(-1);
+  intern_hash_[slot] = h;
+  intern_id_[slot] = id;
+  ++intern_count_;
+  return id;
+}
+
+void CompiledDnf::BuildVariableTable(const WorldTable& wt) {
+  // local_to_global_ holds every mentioned global id, possibly with
+  // duplicates; dense ids are its sorted-unique positions — a monotone
+  // remap, so clause spans stay sorted by variable after remapping.
+  std::sort(local_to_global_.begin(), local_to_global_.end());
+  local_to_global_.erase(
+      std::unique(local_to_global_.begin(), local_to_global_.end()),
+      local_to_global_.end());
+  var_prob_offsets_.push_back(0);
+  for (VarId g : local_to_global_) {
+    size_t domain = wt.DomainSize(g);
+    for (size_t a = 0; a < domain; ++a) {
+      var_probs_.push_back(wt.AtomProb(Atom{g, static_cast<AsgId>(a)}));
+    }
+    var_prob_offsets_.push_back(static_cast<uint32_t>(var_probs_.size()));
+  }
+}
+
+CompiledDnf::CompiledDnf(const Dnf& dnf, const WorldTable& wt) {
+  clause_offsets_.push_back(0);
+  size_t total_atoms = 0;
+  for (const Condition& c : dnf.clauses()) {
+    for (const Atom& a : c.atoms()) local_to_global_.push_back(a.var);
+    total_atoms += c.atoms().size();
+  }
+  BuildVariableTable(wt);
+  Remap remap = MakeRemap(total_atoms);
+  ReserveClauses(dnf.NumClauses());
+  std::vector<Atom> scratch;
+  original_.reserve(dnf.NumClauses());
+  for (const Condition& c : dnf.clauses()) {
+    original_.push_back(
+        InternGlobal(c.atoms().data(), c.atoms().size(), remap, &scratch));
+  }
+}
+
+CompiledDnf::CompiledDnf(const ConditionColumn& conds, const uint32_t* rows,
+                         size_t n, const WorldTable& wt) {
+  clause_offsets_.push_back(0);
+  size_t total_atoms = 0;
+  for (size_t i = 0; i < n; ++i) {
+    AtomSpan span = conds.Span(rows[i]);
+    for (const Atom& a : span) local_to_global_.push_back(a.var);
+    total_atoms += span.size;
+  }
+  BuildVariableTable(wt);
+  Remap remap = MakeRemap(total_atoms);
+  ReserveClauses(n);
+  std::vector<Atom> scratch;
+  original_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    AtomSpan span = conds.Span(rows[i]);
+    original_.push_back(InternGlobal(span.data, span.size, remap, &scratch));
+  }
+}
+
+std::vector<ClauseId> CompiledDnf::RootSet() const {
+  std::vector<ClauseId> set = original_;
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  return set;
+}
+
+double CompiledDnf::ClauseProb(ClauseId id) {
+  double cached = clause_prob_[id];
+  if (cached >= 0) return cached;
+  double p = 1.0;
+  for (const Atom& a : Clause(id)) p *= AtomProbLocal(a.var, a.asg);
+  clause_prob_[id] = p;
+  return p;
+}
+
+}  // namespace maybms

@@ -1,0 +1,125 @@
+// Compiled DNF lineage: the flat, interned representation the confidence
+// algorithms actually run on.
+//
+// A Dnf of heap-allocated Conditions is friendly to build incrementally but
+// hostile to the exact solver's inner loops: every Shannon branch copies
+// clause vectors, every memo probe sorts and hashes whole conditions, and
+// every probability lookup chases the world table. CompiledDnf fixes the
+// representation once up front:
+//
+//   - clauses live in one packed atom array with offsets (the same CSR
+//     layout as ConditionColumn — batch condition columns compile without
+//     per-row re-parsing);
+//   - clauses are INTERNED: identical atom sets share one ClauseId, so a
+//     sub-DNF is just a sorted vector<ClauseId>, memo keys hash a handful
+//     of u32s, and duplicate elimination is sort+unique;
+//   - variables are remapped to dense local ids 0..V-1 (order-preserving),
+//     with their distributions copied into one flat probability array, so
+//     occurrence counting and world sampling index plain arrays.
+//
+// The exact solver grows the store with reduced clauses while it recurses;
+// Karp-Luby uses it read-only.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/lineage/dnf.h"
+#include "src/prob/world_table.h"
+#include "src/types/condition_column.h"
+
+namespace maybms {
+
+using ClauseId = uint32_t;
+using LocalVar = uint32_t;
+
+inline constexpr ClauseId kNoClause = 0xffffffffu;
+
+class CompiledDnf {
+ public:
+  /// Compiles a Dnf (clause order and duplicates preserved in
+  /// original_clauses()).
+  CompiledDnf(const Dnf& dnf, const WorldTable& wt);
+
+  /// Compiles the conditions of the given rows of a batch condition column
+  /// — the batch engine's conf() path.
+  CompiledDnf(const ConditionColumn& conds, const uint32_t* rows, size_t n,
+              const WorldTable& wt);
+
+  // -- clause store ---------------------------------------------------------
+
+  /// The input clauses, in input order, duplicates preserved (Karp-Luby's
+  /// coverage distribution is defined over this list).
+  const std::vector<ClauseId>& original_clauses() const { return original_; }
+
+  /// The input clauses deduplicated and sorted (the exact solver's root
+  /// clause set).
+  std::vector<ClauseId> RootSet() const;
+
+  size_t NumStoredClauses() const { return clause_offsets_.size() - 1; }
+
+  /// Atoms of a clause, over LOCAL variable ids, sorted by variable.
+  AtomSpan Clause(ClauseId id) const {
+    uint32_t begin = clause_offsets_[id];
+    return AtomSpan{clause_atoms_.data() + begin, clause_offsets_[id + 1] - begin};
+  }
+  size_t ClauseSize(ClauseId id) const {
+    return clause_offsets_[id + 1] - clause_offsets_[id];
+  }
+
+  /// Marginal probability of a clause (product of its atom probabilities;
+  /// cached per stored clause).
+  double ClauseProb(ClauseId id);
+
+  /// Interns a clause given by local-var atoms (sorted by var, unique
+  /// vars). Returns the existing id when an identical clause is stored.
+  ClauseId Intern(const Atom* atoms, size_t n);
+
+  // -- variables ------------------------------------------------------------
+
+  size_t NumVars() const { return local_to_global_.size(); }
+  VarId GlobalVar(LocalVar v) const { return local_to_global_[v]; }
+  uint32_t DomainSize(LocalVar v) const {
+    return var_prob_offsets_[v + 1] - var_prob_offsets_[v];
+  }
+  double AtomProbLocal(LocalVar v, AsgId a) const {
+    return var_probs_[var_prob_offsets_[v] + a];
+  }
+  /// Contiguous distribution of a local variable.
+  const double* VarProbs(LocalVar v) const {
+    return var_probs_.data() + var_prob_offsets_[v];
+  }
+
+ private:
+  struct Remap {
+    std::vector<LocalVar> dense;  // empty: remap by binary search instead
+  };
+
+  void BuildVariableTable(const WorldTable& wt);
+  Remap MakeRemap(size_t total_atoms) const;
+  void ReserveClauses(size_t expected);
+  ClauseId InternGlobal(const Atom* atoms, size_t n, const Remap& remap,
+                        std::vector<Atom>* scratch);
+
+  void GrowInternTable();
+
+  // CSR clause store (local var ids).
+  std::vector<Atom> clause_atoms_;
+  std::vector<uint32_t> clause_offsets_;  // size NumStoredClauses()+1
+  std::vector<double> clause_prob_;       // cache; -1 = not computed
+  // Intern table: open-addressed (hash, id) slots — the solver interns a
+  // reduced clause on every Shannon branch, so probes must not allocate.
+  std::vector<uint64_t> intern_hash_;
+  std::vector<ClauseId> intern_id_;  // kNoClause = empty slot
+  size_t intern_count_ = 0;
+
+  std::vector<ClauseId> original_;
+
+  // Dense variable table.
+  std::vector<VarId> local_to_global_;
+  std::vector<uint32_t> var_prob_offsets_;  // size NumVars()+1
+  std::vector<double> var_probs_;
+};
+
+}  // namespace maybms

@@ -1,6 +1,8 @@
 #include "src/prob/world_table.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/common/str_util.h"
 
@@ -40,8 +42,25 @@ double WorldTable::ConditionProb(const Condition& cond) const {
   return p;
 }
 
+double WorldTable::ConditionProb(const Atom* atoms, size_t n) const {
+  double p = 1.0;
+  for (size_t i = 0; i < n; ++i) p *= AtomProb(atoms[i]);
+  return p;
+}
+
+void WorldTable::DieOutOfRange(const char* what, uint64_t index, uint64_t bound,
+                               VarId var) {
+  std::fprintf(stderr,
+               "world table: %s id %llu out of range (bound %llu, variable "
+               "x%u) — condition references an unregistered variable or "
+               "assignment\n",
+               what, static_cast<unsigned long long>(index),
+               static_cast<unsigned long long>(bound), var);
+  std::abort();
+}
+
 AsgId WorldTable::SampleAssignment(VarId var, Rng* rng) const {
-  const std::vector<double>& probs = variables_[var].probs;
+  const std::vector<double>& probs = Var(var).probs;
   double u = rng->NextDouble();
   double acc = 0;
   for (size_t i = 0; i + 1 < probs.size(); ++i) {

@@ -27,18 +27,27 @@ class WorldTable {
   Result<VarId> NewBooleanVariable(double p, std::string label = "");
 
   size_t NumVariables() const { return variables_.size(); }
-  size_t DomainSize(VarId var) const { return variables_[var].probs.size(); }
-  const std::string& Label(VarId var) const { return variables_[var].label; }
+  size_t DomainSize(VarId var) const { return Var(var).probs.size(); }
+  const std::string& Label(VarId var) const { return Var(var).label; }
 
-  /// P(var = asg).
+  /// P(var = asg). Aborts with a diagnostic on an unregistered variable or
+  /// out-of-domain assignment (a corrupt condition column; silently
+  /// indexing past the registry was UB).
   double AtomProb(const Atom& atom) const {
-    return variables_[atom.var].probs[atom.asg];
+    const std::vector<double>& probs = Var(atom.var).probs;
+    if (atom.asg >= probs.size()) {
+      DieOutOfRange("assignment", atom.asg, probs.size(), atom.var);
+    }
+    return probs[atom.asg];
   }
 
   /// Probability of a conjunction of atoms over *independent* variables:
   /// the product of the atom probabilities (conditions hold at most one
   /// atom per variable, so this is exact).
   double ConditionProb(const Condition& cond) const;
+
+  /// Same over a packed atom span (batch condition columns).
+  double ConditionProb(const Atom* atoms, size_t n) const;
 
   /// Samples an assignment of `var` from its distribution.
   AsgId SampleAssignment(VarId var, Rng* rng) const;
@@ -52,6 +61,19 @@ class WorldTable {
     std::vector<double> probs;
     std::string label;
   };
+
+  /// Checked registry lookup; aborts with a clear message on an id that was
+  /// never registered.
+  const Variable& Var(VarId var) const {
+    if (var >= variables_.size()) {
+      DieOutOfRange("variable", var, variables_.size(), var);
+    }
+    return variables_[var];
+  }
+
+  [[noreturn]] static void DieOutOfRange(const char* what, uint64_t index,
+                                         uint64_t bound, VarId var);
+
   std::vector<Variable> variables_;
 };
 

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
 #include <unordered_map>
 
+#include "src/common/row_index.h"
 #include "src/common/str_util.h"
 #include "src/conf/exact.h"
-#include "src/lineage/dnf.h"
+#include "src/lineage/compiled_dnf.h"
 #include "src/sprout/tuple_independent.h"
+#include "src/types/condition_column.h"
 #include "src/types/row.h"
 
 namespace maybms {
@@ -18,48 +21,119 @@ namespace {
 
 // ---------------------------------------------------------------------------
 // Shared helpers
+//
+// Both plan styles keep intermediate relations FLAT: bindings in one
+// arity-strided Value array, conditions in a packed ConditionColumn, and
+// hash indexes that store row numbers instead of copied keys. The per-row
+// vector allocations of a nested representation dominated the sprout
+// benches; this layout removes them from the join and aggregation loops.
 // ---------------------------------------------------------------------------
 
-struct VecHash {
-  size_t operator()(const std::vector<Value>& v) const { return HashValues(v); }
-};
-struct VecEq {
-  bool operator()(const std::vector<Value>& a, const std::vector<Value>& b) const {
-    return ValuesEqual(a, b);
-  }
-};
+// HashValueSpan/HashValueProjection (src/types/row.h) are the shared key
+// hashes; every index below is built and probed with the same functions.
+uint64_t HashProjection(const Value* row, const std::vector<uint32_t>& idxs) {
+  return HashValueProjection(row, idxs.data(), idxs.size());
+}
 
-// A relation of key-value bindings with a probability per key (the output
-// of eager aggregation operators).
+bool SpanEq(const Value* a, const Value* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (!a[i].Equals(b[i])) return false;
+  }
+  return true;
+}
+
+// HashRowIndex (src/common/row_index.h) keys every map below: callers keep
+// rows in their own flat storage and re-check values on hash matches.
+
+// A relation of key bindings with a probability per key (the output of
+// eager aggregation operators). Rows are unique on their binding.
 struct ProbRel {
   std::vector<std::string> vars;
-  std::unordered_map<std::vector<Value>, double, VecHash, VecEq> rows;
+  uint32_t arity = 0;
+  std::vector<Value> values;  // row i at [i*arity, (i+1)*arity)
+  std::vector<double> probs;
+  HashRowIndex index;  // binding hash -> rows
+
+  size_t NumRows() const { return probs.size(); }
+  const Value* RowVals(size_t i) const {
+    return values.data() + static_cast<size_t>(arity) * i;
+  }
+
+  /// Row with this binding, inserting (prob 0) when absent.
+  uint32_t FindOrInsert(const Value* vals, bool* inserted) {
+    uint64_t h = HashValueSpan(vals, arity);
+    uint32_t found = 0xffffffffu;
+    index.ForEach(h, [&](uint32_t idx) {
+      if (SpanEq(RowVals(idx), vals, arity)) {
+        found = idx;
+        return false;
+      }
+      return true;
+    });
+    if (found != 0xffffffffu) {
+      *inserted = false;
+      return found;
+    }
+    uint32_t idx = static_cast<uint32_t>(NumRows());
+    values.insert(values.end(), vals, vals + arity);
+    probs.push_back(0);
+    index.Insert(h, idx);
+    *inserted = true;
+    return idx;
+  }
+
+  /// Independent-project combination: P(some row matches the binding).
+  void OrCombine(const Value* vals, double p) {
+    bool inserted = false;
+    uint32_t idx = FindOrInsert(vals, &inserted);
+    probs[idx] = 1.0 - (1.0 - probs[idx]) * (1.0 - p);
+  }
 };
 
 // A relation of bindings with lineage (lazy plans).
 struct LineageRel {
   std::vector<std::string> vars;
-  std::vector<std::pair<std::vector<Value>, Condition>> rows;
+  uint32_t arity = 0;
+  std::vector<Value> values;
+  ConditionColumn conds;
+
+  size_t NumRows() const { return conds.size(); }
+  const Value* RowVals(size_t i) const {
+    return values.data() + static_cast<size_t>(arity) * i;
+  }
 };
 
-// Checks that a tuple matches an atom's variable pattern (repeated
-// variables must hold equal values) and extracts the binding in
-// first-occurrence variable order.
-bool MatchTuple(const QueryAtom& atom, const Row& row,
-                const std::vector<std::string>& out_vars,
-                std::vector<Value>* out_values) {
-  out_values->clear();
-  out_values->resize(out_vars.size());
+// Precompiled column routing for one atom: which relation column writes
+// each binding slot (first occurrence of a variable), and which columns
+// must equal an already-written slot (repeated variables express equality
+// selections). Compiled once per atom; matching a row is then a straight
+// copy plus the equality checks, with no per-row name lookups.
+struct TuplePattern {
+  std::vector<std::pair<uint32_t, uint32_t>> writes;  // (binding slot, column)
+  std::vector<std::pair<uint32_t, uint32_t>> checks;  // (column, binding slot)
+};
+
+TuplePattern MakePattern(const QueryAtom& atom,
+                         const std::vector<std::string>& out_vars) {
+  TuplePattern p;
   std::vector<bool> bound(out_vars.size(), false);
   for (size_t i = 0; i < atom.vars.size(); ++i) {
     auto it = std::find(out_vars.begin(), out_vars.end(), atom.vars[i]);
-    size_t idx = static_cast<size_t>(it - out_vars.begin());
+    uint32_t idx = static_cast<uint32_t>(it - out_vars.begin());
     if (bound[idx]) {
-      if (!(*out_values)[idx].Equals(row.values[i])) return false;
+      p.checks.emplace_back(static_cast<uint32_t>(i), idx);
     } else {
-      (*out_values)[idx] = row.values[i];
+      p.writes.emplace_back(idx, static_cast<uint32_t>(i));
       bound[idx] = true;
     }
+  }
+  return p;
+}
+
+bool MatchTuple(const TuplePattern& pattern, const Row& row, Value* out) {
+  for (const auto& [slot, col] : pattern.writes) out[slot] = row.values[col];
+  for (const auto& [col, slot] : pattern.checks) {
+    if (!row.values[col].Equals(out[slot])) return false;
   }
   return true;
 }
@@ -89,26 +163,24 @@ class EagerEvaluator {
       const QueryAtom& atom = *atoms[0];
       std::vector<std::string> all_vars = DistinctVars(atom);
       ProbRel out;
-      for (const std::string& v : all_vars) {
-        if (fixed.count(v)) out.vars.push_back(v);
-      }
-      std::vector<Value> binding;
-      for (const Row& row : atom.relation->rows()) {
-        if (!MatchTuple(atom, row, all_vars, &binding)) continue;
-        std::vector<Value> key;
-        key.reserve(out.vars.size());
-        for (const std::string& v : out.vars) {
-          size_t idx = static_cast<size_t>(
-              std::find(all_vars.begin(), all_vars.end(), v) - all_vars.begin());
-          key.push_back(binding[idx]);
+      std::vector<uint32_t> proj;
+      for (size_t i = 0; i < all_vars.size(); ++i) {
+        if (fixed.count(all_vars[i])) {
+          out.vars.push_back(all_vars[i]);
+          proj.push_back(static_cast<uint32_t>(i));
         }
-        double p = wt_.ConditionProb(row.condition);
-        auto [it, inserted] = out.rows.try_emplace(std::move(key), 0.0);
-        // Accumulate "probability that none matches" complement-wise.
-        it->second = 1.0 - (1.0 - it->second) * (1.0 - p);
+      }
+      out.arity = static_cast<uint32_t>(out.vars.size());
+      TuplePattern pattern = MakePattern(atom, all_vars);
+      std::vector<Value> binding(all_vars.size());
+      std::vector<Value> key(out.arity);
+      for (const Row& row : atom.relation->rows()) {
+        if (!MatchTuple(pattern, row, binding.data())) continue;
+        for (size_t k = 0; k < proj.size(); ++k) key[k] = binding[proj[k]];
+        out.OrCombine(key.data(), wt_.ConditionProb(row.condition));
       }
       if (stats_ != nullptr) {
-        stats_->intermediate_tuples += out.rows.size();
+        stats_->intermediate_tuples += out.NumRows();
         ++stats_->independent_projects;
       }
       return out;
@@ -147,17 +219,18 @@ class EagerEvaluator {
     for (const std::string& v : inner.vars) {
       if (v != *root) out.vars.push_back(v);
     }
-    for (const auto& [key, p] : inner.rows) {
-      std::vector<Value> reduced;
-      reduced.reserve(key.size() - 1);
-      for (size_t i = 0; i < key.size(); ++i) {
-        if (i != root_idx) reduced.push_back(key[i]);
+    out.arity = static_cast<uint32_t>(out.vars.size());
+    std::vector<Value> reduced(out.arity);
+    for (size_t i = 0; i < inner.NumRows(); ++i) {
+      const Value* row = inner.RowVals(i);
+      size_t k = 0;
+      for (size_t j = 0; j < inner.arity; ++j) {
+        if (j != root_idx) reduced[k++] = row[j];
       }
-      auto [it, inserted] = out.rows.try_emplace(std::move(reduced), 0.0);
-      it->second = 1.0 - (1.0 - it->second) * (1.0 - p);
+      out.OrCombine(reduced.data(), inner.probs[i]);
     }
     if (stats_ != nullptr) {
-      stats_->intermediate_tuples += out.rows.size();
+      stats_->intermediate_tuples += out.NumRows();
       ++stats_->independent_projects;
     }
     return out;
@@ -217,44 +290,46 @@ class EagerEvaluator {
 
   ProbRel NaturalJoin(const ProbRel& a, const ProbRel& b) {
     // Shared key variables.
-    std::vector<size_t> a_shared, b_shared, b_extra;
+    std::vector<uint32_t> a_shared, b_shared, b_extra;
     for (size_t j = 0; j < b.vars.size(); ++j) {
       auto it = std::find(a.vars.begin(), a.vars.end(), b.vars[j]);
       if (it != a.vars.end()) {
-        a_shared.push_back(static_cast<size_t>(it - a.vars.begin()));
-        b_shared.push_back(j);
+        a_shared.push_back(static_cast<uint32_t>(it - a.vars.begin()));
+        b_shared.push_back(static_cast<uint32_t>(j));
       } else {
-        b_extra.push_back(j);
+        b_extra.push_back(static_cast<uint32_t>(j));
       }
     }
     ProbRel out;
     out.vars = a.vars;
-    for (size_t j : b_extra) out.vars.push_back(b.vars[j]);
+    for (uint32_t j : b_extra) out.vars.push_back(b.vars[j]);
+    out.arity = static_cast<uint32_t>(out.vars.size());
 
-    // Hash the smaller input by its shared projection.
-    std::unordered_map<std::vector<Value>,
-                       std::vector<std::pair<const std::vector<Value>*, double>>,
-                       VecHash, VecEq>
-        index;
-    for (const auto& [key, p] : b.rows) {
-      std::vector<Value> proj;
-      proj.reserve(b_shared.size());
-      for (size_t j : b_shared) proj.push_back(key[j]);
-      index[std::move(proj)].emplace_back(&key, p);
+    // Index b by the hash of its shared projection (row numbers only).
+    HashRowIndex b_index(b.NumRows());
+    for (size_t i = 0; i < b.NumRows(); ++i) {
+      b_index.Insert(HashProjection(b.RowVals(i), b_shared),
+                     static_cast<uint32_t>(i));
     }
-    for (const auto& [key, p] : a.rows) {
-      std::vector<Value> proj;
-      proj.reserve(a_shared.size());
-      for (size_t i : a_shared) proj.push_back(key[i]);
-      auto it = index.find(proj);
-      if (it == index.end()) continue;
-      for (const auto& [bkey, bp] : it->second) {
-        std::vector<Value> joined = key;
-        for (size_t j : b_extra) joined.push_back((*bkey)[j]);
-        out.rows[std::move(joined)] = p * bp;
-      }
+    std::vector<Value> joined(out.arity);
+    for (size_t i = 0; i < a.NumRows(); ++i) {
+      const Value* arow = a.RowVals(i);
+      b_index.ForEach(HashProjection(arow, a_shared), [&](uint32_t bi) {
+        const Value* brow = b.RowVals(bi);
+        for (size_t k = 0; k < a_shared.size(); ++k) {
+          if (!arow[a_shared[k]].Equals(brow[b_shared[k]])) return true;
+        }
+        for (size_t k = 0; k < a.arity; ++k) joined[k] = arow[k];
+        for (size_t k = 0; k < b_extra.size(); ++k) {
+          joined[a.arity + k] = brow[b_extra[k]];
+        }
+        bool inserted = false;
+        uint32_t idx = out.FindOrInsert(joined.data(), &inserted);
+        out.probs[idx] = a.probs[i] * b.probs[bi];
+        return true;
+      });
     }
-    if (stats_ != nullptr) stats_->intermediate_tuples += out.rows.size();
+    if (stats_ != nullptr) stats_->intermediate_tuples += out.NumRows();
     return out;
   }
 
@@ -273,57 +348,72 @@ Result<LineageRel> MaterializeJoin(const ConjunctiveQuery& query, PlanStats* sta
     std::vector<std::string> atom_vars = DistinctVars(atom);
     if (first) {
       acc.vars = atom_vars;
-      std::vector<Value> binding;
+      acc.arity = static_cast<uint32_t>(atom_vars.size());
+      TuplePattern pattern = MakePattern(atom, atom_vars);
+      std::vector<Value> binding(atom_vars.size());
       for (const Row& row : atom.relation->rows()) {
-        if (!MatchTuple(atom, row, atom_vars, &binding)) continue;
-        acc.rows.emplace_back(binding, row.condition);
+        if (!MatchTuple(pattern, row, binding.data())) continue;
+        acc.values.insert(acc.values.end(), binding.begin(), binding.end());
+        acc.conds.AppendCondition(row.condition);
       }
       first = false;
-      if (stats != nullptr) stats->intermediate_tuples += acc.rows.size();
+      if (stats != nullptr) stats->intermediate_tuples += acc.NumRows();
       continue;
     }
     // Hash join with the accumulated bindings on shared variables.
-    std::vector<size_t> acc_shared, atom_shared, atom_extra;
+    std::vector<uint32_t> acc_shared, atom_shared, atom_extra;
     for (size_t j = 0; j < atom_vars.size(); ++j) {
       auto it = std::find(acc.vars.begin(), acc.vars.end(), atom_vars[j]);
       if (it != acc.vars.end()) {
-        acc_shared.push_back(static_cast<size_t>(it - acc.vars.begin()));
-        atom_shared.push_back(j);
+        acc_shared.push_back(static_cast<uint32_t>(it - acc.vars.begin()));
+        atom_shared.push_back(static_cast<uint32_t>(j));
       } else {
-        atom_extra.push_back(j);
+        atom_extra.push_back(static_cast<uint32_t>(j));
       }
     }
-    std::unordered_map<std::vector<Value>,
-                       std::vector<std::pair<std::vector<Value>, const Condition*>>,
-                       VecHash, VecEq>
-        index;
-    std::vector<Value> binding;
+    // Flatten the atom's matching rows, indexed by shared-projection hash.
+    std::vector<Value> atom_values;
+    std::vector<const Condition*> atom_conds;
+    HashRowIndex atom_index(atom.relation->NumRows());
+    uint32_t atom_arity = static_cast<uint32_t>(atom_vars.size());
+    TuplePattern pattern = MakePattern(atom, atom_vars);
+    std::vector<Value> binding(atom_vars.size());
     for (const Row& row : atom.relation->rows()) {
-      if (!MatchTuple(atom, row, atom_vars, &binding)) continue;
-      std::vector<Value> proj;
-      proj.reserve(atom_shared.size());
-      for (size_t j : atom_shared) proj.push_back(binding[j]);
-      index[std::move(proj)].emplace_back(binding, &row.condition);
+      if (!MatchTuple(pattern, row, binding.data())) continue;
+      uint32_t idx = static_cast<uint32_t>(atom_conds.size());
+      uint64_t h = HashValueProjection(binding.data(), atom_shared.data(),
+                                       atom_shared.size());
+      atom_values.insert(atom_values.end(), binding.begin(), binding.end());
+      atom_conds.push_back(&row.condition);
+      atom_index.Insert(h, idx);
     }
     LineageRel next;
     next.vars = acc.vars;
-    for (size_t j : atom_extra) next.vars.push_back(atom_vars[j]);
-    for (const auto& [values, cond] : acc.rows) {
-      std::vector<Value> proj;
-      proj.reserve(acc_shared.size());
-      for (size_t i : acc_shared) proj.push_back(values[i]);
-      auto it = index.find(proj);
-      if (it == index.end()) continue;
-      for (const auto& [avalues, acond] : it->second) {
-        std::optional<Condition> merged = Condition::Merge(cond, *acond);
-        if (!merged) continue;
-        std::vector<Value> joined = values;
-        for (size_t j : atom_extra) joined.push_back(avalues[j]);
-        next.rows.emplace_back(std::move(joined), std::move(*merged));
-      }
+    for (uint32_t j : atom_extra) next.vars.push_back(atom_vars[j]);
+    next.arity = static_cast<uint32_t>(next.vars.size());
+    for (size_t i = 0; i < acc.NumRows(); ++i) {
+      const Value* arow = acc.RowVals(i);
+      AtomSpan acond = acc.conds.Span(i);
+      atom_index.ForEach(HashProjection(arow, acc_shared), [&](uint32_t bi) {
+        const Value* brow =
+            atom_values.data() + static_cast<size_t>(atom_arity) * bi;
+        for (size_t k = 0; k < acc_shared.size(); ++k) {
+          if (!arow[acc_shared[k]].Equals(brow[atom_shared[k]])) return true;
+        }
+        const std::vector<Atom>& batoms = atom_conds[bi]->atoms();
+        // Merge conditions first: an inconsistent pair drops out before
+        // any values are copied.
+        if (!next.conds.AppendMerged(acond,
+                                     AtomSpan{batoms.data(), batoms.size()})) {
+          return true;
+        }
+        next.values.insert(next.values.end(), arow, arow + acc.arity);
+        for (uint32_t j : atom_extra) next.values.push_back(brow[j]);
+        return true;
+      });
     }
     acc = std::move(next);
-    if (stats != nullptr) stats->intermediate_tuples += acc.rows.size();
+    if (stats != nullptr) stats->intermediate_tuples += acc.NumRows();
   }
   return acc;
 }
@@ -417,40 +507,60 @@ Result<std::vector<ResultTuple>> Evaluate(const ConjunctiveQuery& query,
       order.push_back(static_cast<size_t>(it - rel.vars.begin()));
     }
     std::vector<ResultTuple> out;
-    out.reserve(rel.rows.size());
-    for (const auto& [key, p] : rel.rows) {
+    out.reserve(rel.NumRows());
+    for (size_t i = 0; i < rel.NumRows(); ++i) {
+      const Value* row = rel.RowVals(i);
       ResultTuple t;
-      for (size_t idx : order) t.head_values.push_back(key[idx]);
-      t.probability = p;
+      for (size_t idx : order) t.head_values.push_back(row[idx]);
+      t.probability = rel.probs[i];
       out.push_back(std::move(t));
     }
     return out;
   }
 
-  // Lazy: materialize the join lineage, then evaluate per head group.
+  // Lazy: materialize the join lineage, then evaluate per head group. The
+  // lineage never leaves its packed condition column: each group's clause
+  // rows compile straight into the exact solver's representation.
   MAYBMS_ASSIGN_OR_RETURN(LineageRel joined, MaterializeJoin(query, stats));
-  std::vector<size_t> head_idx;
+  std::vector<uint32_t> head_idx;
   for (const std::string& h : query.head) {
     auto it = std::find(joined.vars.begin(), joined.vars.end(), h);
     if (it == joined.vars.end()) {
       return Status::Internal("head variable missing from join output");
     }
-    head_idx.push_back(static_cast<size_t>(it - joined.vars.begin()));
+    head_idx.push_back(static_cast<uint32_t>(it - joined.vars.begin()));
   }
-  std::unordered_map<std::vector<Value>, Dnf, VecHash, VecEq> groups;
-  for (const auto& [values, cond] : joined.rows) {
-    std::vector<Value> key;
-    key.reserve(head_idx.size());
-    for (size_t i : head_idx) key.push_back(values[i]);
-    groups[std::move(key)].AddClause(cond);
+  // Group rows by head projection (group-number index, first-seen order).
+  HashRowIndex group_index;
+  std::vector<std::vector<uint32_t>> groups;  // member row numbers
+  for (size_t i = 0; i < joined.NumRows(); ++i) {
+    const Value* row = joined.RowVals(i);
+    uint64_t h = HashProjection(row, head_idx);
+    uint32_t found = 0xffffffffu;
+    group_index.ForEach(h, [&](uint32_t g) {
+      const Value* rep = joined.RowVals(groups[g][0]);
+      for (uint32_t idx : head_idx) {
+        if (!row[idx].Equals(rep[idx])) return true;
+      }
+      found = g;
+      return false;
+    });
+    if (found != 0xffffffffu) {
+      groups[found].push_back(static_cast<uint32_t>(i));
+    } else {
+      group_index.Insert(h, static_cast<uint32_t>(groups.size()));
+      groups.push_back({static_cast<uint32_t>(i)});
+    }
   }
   std::vector<ResultTuple> out;
   out.reserve(groups.size());
-  for (auto& [key, dnf] : groups) {
-    if (stats != nullptr) stats->lineage_clauses += dnf.NumClauses();
-    MAYBMS_ASSIGN_OR_RETURN(double p, ExactConfidence(dnf, wt));
+  for (const std::vector<uint32_t>& members : groups) {
+    if (stats != nullptr) stats->lineage_clauses += members.size();
+    CompiledDnf compiled(joined.conds, members.data(), members.size(), wt);
+    MAYBMS_ASSIGN_OR_RETURN(double p, ExactConfidence(std::move(compiled), wt));
     ResultTuple t;
-    t.head_values = key;
+    const Value* rep = joined.RowVals(members[0]);
+    for (uint32_t idx : head_idx) t.head_values.push_back(rep[idx]);
     t.probability = p;
     out.push_back(std::move(t));
   }

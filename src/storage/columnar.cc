@@ -1,0 +1,21 @@
+#include "src/storage/columnar.h"
+
+#include <algorithm>
+
+namespace maybms {
+
+std::shared_ptr<const ColumnarTable> ColumnarTable::Build(
+    const Schema& schema, const std::vector<Row>& rows) {
+  auto out = std::make_shared<ColumnarTable>();
+  out->num_rows = rows.size();
+  size_t chunk_count =
+      (rows.size() + Batch::kDefaultCapacity - 1) / Batch::kDefaultCapacity;
+  out->chunks.reserve(chunk_count);
+  for (size_t begin = 0; begin < rows.size(); begin += Batch::kDefaultCapacity) {
+    size_t n = std::min(Batch::kDefaultCapacity, rows.size() - begin);
+    out->chunks.push_back(Batch::FromRows(schema, rows.data() + begin, n));
+  }
+  return out;
+}
+
+}  // namespace maybms

@@ -1,0 +1,26 @@
+// Columnar snapshot of a heap table: the table's rows sliced into
+// fixed-size Batches. The batch executor's Scan reads these chunks and
+// shares their column vectors downstream instead of copying Row objects.
+//
+// The snapshot is immutable; Table caches one per version and rebuilds it
+// lazily after mutations (see Table::Columnar).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/types/batch.h"
+#include "src/types/row.h"
+#include "src/types/schema.h"
+
+namespace maybms {
+
+struct ColumnarTable {
+  std::vector<Batch> chunks;  // each at most Batch::kDefaultCapacity rows
+  size_t num_rows = 0;
+
+  static std::shared_ptr<const ColumnarTable> Build(const Schema& schema,
+                                                    const std::vector<Row>& rows);
+};
+
+}  // namespace maybms

@@ -1,6 +1,7 @@
 #include "src/storage/table.h"
 
 #include "src/common/str_util.h"
+#include "src/storage/columnar.h"
 
 namespace maybms {
 
@@ -33,8 +34,17 @@ Status Table::Append(Row row) {
     return Status::InvalidArgument(StringFormat(
         "conditioned row appended to t-certain table '%s'", name_.c_str()));
   }
+  ++version_;
   rows_.push_back(std::move(row));
   return Status::OK();
+}
+
+std::shared_ptr<const ColumnarTable> Table::Columnar() const {
+  if (columnar_ == nullptr || columnar_version_ != version_) {
+    columnar_ = ColumnarTable::Build(schema_, rows_);
+    columnar_version_ = version_;
+  }
+  return columnar_;
 }
 
 }  // namespace maybms

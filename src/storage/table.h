@@ -3,6 +3,7 @@
 // rows additionally carry condition columns (paper §2.1, §2.4).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,6 +11,10 @@
 #include "src/common/result.h"
 #include "src/types/row.h"
 #include "src/types/schema.h"
+
+namespace maybms {
+struct ColumnarTable;
+}
 
 namespace maybms {
 
@@ -28,22 +33,44 @@ class Table {
 
   size_t NumRows() const { return rows_.size(); }
   const std::vector<Row>& rows() const { return rows_; }
-  std::vector<Row>& mutable_rows() { return rows_; }
+  /// Mutable row access invalidates the columnar snapshot at ACQUISITION
+  /// time. Contract: do not mutate through the returned reference after a
+  /// later Columnar() call — re-acquire mutable_rows() instead — or the
+  /// cached snapshot goes stale.
+  std::vector<Row>& mutable_rows() {
+    ++version_;
+    return rows_;
+  }
 
   /// Appends a row after checking arity and value/declared-type agreement
   /// (nulls are allowed in any column; ints widen to double columns).
   Status Append(Row row);
 
   /// Appends without checks (bulk paths that validated already).
-  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+  void AppendUnchecked(Row row) {
+    ++version_;
+    rows_.push_back(std::move(row));
+  }
 
-  void Clear() { rows_.clear(); }
+  void Clear() {
+    ++version_;
+    rows_.clear();
+  }
+
+  /// Columnar snapshot of the current rows, cached per table version. The
+  /// batch executor scans these chunks; a mutation after the call simply
+  /// triggers a rebuild next time.
+  std::shared_ptr<const ColumnarTable> Columnar() const;
 
  private:
   std::string name_;
   Schema schema_;
   bool uncertain_;
   std::vector<Row> rows_;
+
+  uint64_t version_ = 0;  // bumped on every (potential) mutation
+  mutable uint64_t columnar_version_ = ~0ull;
+  mutable std::shared_ptr<const ColumnarTable> columnar_;
 };
 
 using TablePtr = std::shared_ptr<Table>;

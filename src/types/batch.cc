@@ -1,0 +1,41 @@
+#include "src/types/batch.h"
+
+namespace maybms {
+
+Batch Batch::Allocate(const Schema& schema, size_t capacity) {
+  Batch batch;
+  batch.columns.reserve(schema.NumColumns());
+  for (const Column& col : schema.columns()) {
+    auto cv = std::make_shared<ColumnVector>(col.type);
+    cv->Reserve(capacity);
+    batch.columns.push_back(std::move(cv));
+  }
+  return batch;
+}
+
+Batch Batch::FromRows(const Schema& schema, const Row* rows, size_t n) {
+  Batch batch = Allocate(schema, n);
+  for (size_t i = 0; i < n; ++i) batch.AppendRow(rows[i]);
+  return batch;
+}
+
+void Batch::AppendRow(const Row& row) {
+  for (size_t c = 0; c < columns.size(); ++c) columns[c]->Append(row.values[c]);
+  conditions.AppendCondition(row.condition);
+  ++num_rows;
+}
+
+Row Batch::RowAt(size_t i) const {
+  Row row;
+  row.values.reserve(columns.size());
+  for (const ColumnVectorPtr& col : columns) row.values.push_back(col->GetValue(i));
+  row.condition = conditions.ToCondition(i);
+  return row;
+}
+
+void Batch::AppendTo(std::vector<Row>* out) const {
+  out->reserve(out->size() + num_rows);
+  for (size_t i = 0; i < num_rows; ++i) out->push_back(RowAt(i));
+}
+
+}  // namespace maybms

@@ -1,0 +1,84 @@
+#include "src/types/condition_column.h"
+
+namespace maybms {
+
+void ConditionColumn::Clear() {
+  atoms_.clear();
+  offsets_.clear();
+  num_rows_ = 0;
+}
+
+void ConditionColumn::MaterializeOffsets() {
+  if (offsets_.empty()) offsets_.assign(num_rows_ + 1, 0);
+}
+
+void ConditionColumn::AppendTrue() {
+  ++num_rows_;
+  if (!offsets_.empty()) offsets_.push_back(static_cast<uint32_t>(atoms_.size()));
+}
+
+void ConditionColumn::AppendAtoms(AtomSpan atoms) {
+  if (atoms.empty()) {
+    AppendTrue();
+    return;
+  }
+  MaterializeOffsets();
+  atoms_.insert(atoms_.end(), atoms.begin(), atoms.end());
+  ++num_rows_;
+  offsets_.push_back(static_cast<uint32_t>(atoms_.size()));
+}
+
+void ConditionColumn::AppendCondition(const Condition& c) {
+  AppendAtoms(AtomSpan{c.atoms().data(), c.atoms().size()});
+}
+
+bool ConditionColumn::AppendMerged(AtomSpan a, AtomSpan b) {
+  if (a.empty()) {
+    AppendAtoms(b);
+    return true;
+  }
+  if (b.empty()) {
+    AppendAtoms(a);
+    return true;
+  }
+  MaterializeOffsets();
+  size_t checkpoint = atoms_.size();
+  size_t i = 0, j = 0;
+  while (i < a.size && j < b.size) {
+    const Atom& x = a[i];
+    const Atom& y = b[j];
+    if (x.var < y.var) {
+      atoms_.push_back(x);
+      ++i;
+    } else if (y.var < x.var) {
+      atoms_.push_back(y);
+      ++j;
+    } else {
+      if (x.asg != y.asg) {
+        atoms_.resize(checkpoint);  // inconsistent: undo partial merge
+        return false;
+      }
+      atoms_.push_back(x);
+      ++i;
+      ++j;
+    }
+  }
+  atoms_.insert(atoms_.end(), a.begin() + i, a.end());
+  atoms_.insert(atoms_.end(), b.begin() + j, b.end());
+  ++num_rows_;
+  offsets_.push_back(static_cast<uint32_t>(atoms_.size()));
+  return true;
+}
+
+Condition ConditionColumn::ToCondition(size_t i) const {
+  AtomSpan span = Span(i);
+  Condition out;
+  // The span already satisfies the Condition invariant, so FromAtoms
+  // cannot fail.
+  if (!span.empty()) {
+    out = *Condition::FromAtoms(std::vector<Atom>(span.begin(), span.end()));
+  }
+  return out;
+}
+
+}  // namespace maybms

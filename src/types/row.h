@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/row_index.h"
 #include "src/prob/condition.h"
 #include "src/types/value.h"
 
@@ -29,5 +30,28 @@ struct Row {
 size_t HashValues(const std::vector<Value>& values);
 size_t HashValuesAt(const std::vector<Value>& values, const std::vector<size_t>& idxs);
 bool ValuesEqual(const std::vector<Value>& a, const std::vector<Value>& b);
+
+/// Finalized (fmix64) hashes over flat value spans and projections: the
+/// single implementation backing every power-of-two-masked HashRowIndex
+/// (src/common/row_index.h) — build and probe sides must share it. Inline
+/// because they sit in join/group-by inner loops.
+inline uint64_t HashValueSpan(const Value* vals, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= vals[i].Hash();
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+inline uint64_t HashValueProjection(const Value* row, const uint32_t* idxs,
+                                    size_t n) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= row[idxs[i]].Hash();
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
 
 }  // namespace maybms

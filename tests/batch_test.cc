@@ -1,0 +1,167 @@
+// Unit tests for the columnar batch layer: ColumnVector typed storage and
+// boxing, ConditionColumn packing and merging, Batch row round-trips, and
+// the Table columnar-snapshot cache.
+#include <gtest/gtest.h>
+
+#include "src/storage/columnar.h"
+#include "src/storage/table.h"
+#include "src/types/batch.h"
+#include "src/types/column_vector.h"
+#include "src/types/condition_column.h"
+
+namespace maybms {
+namespace {
+
+TEST(ColumnVectorTest, TypedAppendAndGet) {
+  ColumnVector col(TypeId::kInt);
+  col.Append(Value::Int(7));
+  col.AppendNull();
+  col.Append(Value::Int(-3));
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_FALSE(col.boxed());
+  EXPECT_EQ(col.null_count(), 1u);
+  EXPECT_EQ(col.GetValue(0), Value::Int(7));
+  EXPECT_TRUE(col.GetValue(1).is_null());
+  EXPECT_EQ(col.GetValue(2), Value::Int(-3));
+  EXPECT_EQ(col.IntData()[0], 7);
+}
+
+TEST(ColumnVectorTest, IntWidensIntoDoubleColumn) {
+  ColumnVector col(TypeId::kDouble);
+  col.Append(Value::Int(5));
+  col.Append(Value::Double(2.5));
+  EXPECT_FALSE(col.boxed());
+  EXPECT_DOUBLE_EQ(col.GetValue(0).AsDouble(), 5.0);
+  EXPECT_DOUBLE_EQ(col.GetValue(1).AsDouble(), 2.5);
+}
+
+TEST(ColumnVectorTest, TypeMismatchDemotesToBoxed) {
+  ColumnVector col(TypeId::kInt);
+  col.Append(Value::Int(1));
+  col.Append(Value::String("mixed"));
+  EXPECT_TRUE(col.boxed());
+  EXPECT_EQ(col.GetValue(0), Value::Int(1));
+  EXPECT_EQ(col.GetValue(1), Value::String("mixed"));
+}
+
+TEST(ColumnVectorTest, UntypedNullColumnBoxesOnFirstValue) {
+  ColumnVector col(TypeId::kNull);
+  col.AppendNull();
+  col.Append(Value::Bool(true));
+  EXPECT_TRUE(col.GetValue(0).is_null());
+  EXPECT_EQ(col.GetValue(1), Value::Bool(true));
+}
+
+TEST(ColumnVectorTest, GatherPreservesValuesAndNulls) {
+  ColumnVector col(TypeId::kString);
+  col.Append(Value::String("a"));
+  col.AppendNull();
+  col.Append(Value::String("c"));
+  ColumnVector picked = col.Gather({2, 1, 0});
+  ASSERT_EQ(picked.size(), 3u);
+  EXPECT_EQ(picked.GetValue(0), Value::String("c"));
+  EXPECT_TRUE(picked.GetValue(1).is_null());
+  EXPECT_EQ(picked.GetValue(2), Value::String("a"));
+}
+
+TEST(ConditionColumnTest, AllTrueCostsNothing) {
+  ConditionColumn conds;
+  for (int i = 0; i < 100; ++i) conds.AppendTrue();
+  EXPECT_EQ(conds.size(), 100u);
+  EXPECT_TRUE(conds.AllTrue());
+  EXPECT_EQ(conds.NumAtoms(), 0u);
+  EXPECT_TRUE(conds.IsTrue(42));
+}
+
+TEST(ConditionColumnTest, PackedSpansRoundTrip) {
+  ConditionColumn conds;
+  conds.AppendTrue();
+  Condition c;
+  c.AddAtom(Atom{3, 1});
+  c.AddAtom(Atom{7, 0});
+  conds.AppendCondition(c);
+  conds.AppendTrue();
+  ASSERT_EQ(conds.size(), 3u);
+  EXPECT_TRUE(conds.IsTrue(0));
+  EXPECT_TRUE(conds.IsTrue(2));
+  AtomSpan span = conds.Span(1);
+  ASSERT_EQ(span.size, 2u);
+  EXPECT_EQ(span[0], (Atom{3, 1}));
+  EXPECT_EQ(span[1], (Atom{7, 0}));
+  EXPECT_EQ(conds.ToCondition(1), c);
+}
+
+TEST(ConditionColumnTest, MergeMatchesConditionMerge) {
+  Condition a, b;
+  a.AddAtom(Atom{1, 0});
+  a.AddAtom(Atom{5, 2});
+  b.AddAtom(Atom{3, 1});
+  b.AddAtom(Atom{5, 2});
+  ConditionColumn conds;
+  ASSERT_TRUE(conds.AppendMerged(AtomSpan{a.atoms().data(), a.atoms().size()},
+                                 AtomSpan{b.atoms().data(), b.atoms().size()}));
+  EXPECT_EQ(conds.ToCondition(0), *Condition::Merge(a, b));
+}
+
+TEST(ConditionColumnTest, InconsistentMergeAppendsNothing) {
+  Condition a, b;
+  a.AddAtom(Atom{5, 1});
+  b.AddAtom(Atom{5, 2});
+  ConditionColumn conds;
+  conds.AppendTrue();
+  EXPECT_FALSE(conds.AppendMerged(AtomSpan{a.atoms().data(), a.atoms().size()},
+                                  AtomSpan{b.atoms().data(), b.atoms().size()}));
+  EXPECT_EQ(conds.size(), 1u);  // the failed merge left no partial row
+  EXPECT_EQ(conds.NumAtoms(), 0u);
+}
+
+TEST(BatchTest, RowRoundTrip) {
+  Schema schema({{"k", TypeId::kInt}, {"name", TypeId::kString}});
+  Row r1({Value::Int(1), Value::String("x")});
+  Row r2({Value::Int(2), Value::String("y")});
+  r2.condition.AddAtom(Atom{0, 1});
+  std::vector<Row> rows{r1, r2};
+  Batch batch = Batch::FromRows(schema, rows.data(), rows.size());
+  ASSERT_EQ(batch.num_rows, 2u);
+  Row back = batch.RowAt(1);
+  EXPECT_EQ(back.values[0], Value::Int(2));
+  EXPECT_EQ(back.values[1], Value::String("y"));
+  EXPECT_EQ(back.condition, r2.condition);
+  std::vector<Row> out;
+  batch.AppendTo(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].values[0], Value::Int(1));
+}
+
+TEST(TableColumnarTest, SnapshotCachesUntilMutation) {
+  Table table("t", Schema({{"k", TypeId::kInt}}));
+  ASSERT_TRUE(table.Append(Row({Value::Int(1)})).ok());
+  auto snap1 = table.Columnar();
+  EXPECT_EQ(snap1->num_rows, 1u);
+  auto snap2 = table.Columnar();
+  EXPECT_EQ(snap1.get(), snap2.get());  // cached: same snapshot
+
+  ASSERT_TRUE(table.Append(Row({Value::Int(2)})).ok());
+  auto snap3 = table.Columnar();
+  EXPECT_NE(snap1.get(), snap3.get());  // invalidated by the mutation
+  EXPECT_EQ(snap3->num_rows, 2u);
+
+  table.mutable_rows().clear();
+  EXPECT_EQ(table.Columnar()->num_rows, 0u);
+}
+
+TEST(TableColumnarTest, ChunksRespectCapacity) {
+  Table table("t", Schema({{"k", TypeId::kInt}}));
+  for (int i = 0; i < 2500; ++i) {
+    ASSERT_TRUE(table.Append(Row({Value::Int(i)})).ok());
+  }
+  auto snap = table.Columnar();
+  ASSERT_EQ(snap->chunks.size(), 3u);
+  EXPECT_EQ(snap->chunks[0].num_rows, Batch::kDefaultCapacity);
+  EXPECT_EQ(snap->chunks[2].num_rows, 2500u - 2 * Batch::kDefaultCapacity);
+  EXPECT_EQ(snap->chunks[2].columns[0]->GetValue(0),
+            Value::Int(static_cast<int64_t>(2 * Batch::kDefaultCapacity)));
+}
+
+}  // namespace
+}  // namespace maybms
