@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/conf/exact.h"
 #include "src/conf/montecarlo.h"
 
@@ -55,6 +56,7 @@ Instance RandomDnf(int vars, int clauses, int width, uint64_t seed) {
 
 int main() {
   JsonReporter json("exact_vs_approx");
+  json.Env("hardware_threads", static_cast<double>(ThreadPool::DefaultThreads()));
   std::printf("Exact (variable elimination + decomposition) vs approximate\n");
   std::printf("(Karp-Luby + DKLR) confidence computation.\n");
   std::printf("Paper claim: exact wins outside a narrow band of variable-to-"
@@ -110,8 +112,57 @@ int main() {
                 exact_ok ? exact_ms : -1.0, approx_ms, exact_p, winner);
     json.Report("exact", exact_ok ? exact_ms : -1.0)
         .Param("vars", vars)
+        .Threads(1)
         .Metric("p", exact_p);
-    json.Report("aconf", approx_ms).Param("vars", vars).Metric("p", approx_p);
+    json.Report("aconf", approx_ms).Param("vars", vars).Threads(1).Metric(
+        "p", approx_p);
+  }
+
+  // Thread scaling: the same solvers on a work-stealing pool. Exact
+  // parallelizes across root components (plentiful at high
+  // variable-to-clause ratios); aconf draws Karp-Luby sample batches on
+  // deterministic RNG substreams across threads.
+  PrintHeader("thread scaling (1 vs 4 threads, same instances)");
+  std::printf("%-20s %-8s %12s %12s %9s\n", "case", "vars", "t1(ms)", "t4(ms)",
+              "speedup");
+  {
+    ThreadPool pool(4);
+    ExactOptions capped;
+    capped.max_steps = kExactStepCap;  // same safety net as the sweep
+    for (int vars : {640, 2560}) {
+      Instance inst = RandomDnf(vars, kClauses, kWidth, 42 + vars);
+      double p1 = -1, p4 = -1;
+      double t1 = TimeMs([&] {
+        Result<double> r = ExactConfidence(inst.dnf, inst.wt, capped);
+        if (r.ok()) p1 = *r;
+      });
+      double t4 = TimeMs([&] {
+        Result<double> r = ExactConfidence(inst.dnf, inst.wt, capped, nullptr, &pool);
+        if (r.ok()) p4 = *r;
+      });
+      std::printf("%-20s %-8d %12.2f %12.2f %8.2fx%s\n", "exact", vars, t1, t4,
+                  t1 / t4, p1 == p4 ? "" : "  RESULT MISMATCH");
+      json.Report("threads/exact", t1).Param("vars", vars).Threads(1).Metric("p", p1);
+      json.Report("threads/exact", t4).Param("vars", vars).Threads(4).Metric("p", p4);
+    }
+    for (int vars : {24, 64}) {
+      Instance inst = RandomDnf(vars, kClauses, kWidth, 42 + vars);
+      double p1 = -1, p4 = -1;
+      double t1 = TimeMs([&] {
+        auto r = ApproxConfidenceSeeded(CompiledDnf(inst.dnf, inst.wt), kEps,
+                                        kDelta, 7, {}, nullptr);
+        if (r.ok()) p1 = r->estimate;
+      });
+      double t4 = TimeMs([&] {
+        auto r = ApproxConfidenceSeeded(CompiledDnf(inst.dnf, inst.wt), kEps,
+                                        kDelta, 7, {}, &pool);
+        if (r.ok()) p4 = r->estimate;
+      });
+      std::printf("%-20s %-8d %12.2f %12.2f %8.2fx%s\n", "aconf(seeded)", vars, t1,
+                  t4, t1 / t4, p1 == p4 ? "" : "  RESULT MISMATCH");
+      json.Report("threads/aconf", t1).Param("vars", vars).Threads(1).Metric("p", p1);
+      json.Report("threads/aconf", t4).Param("vars", vars).Threads(4).Metric("p", p4);
+    }
   }
 
   // Ablation: the design choices inside the exact solver — elimination

@@ -19,6 +19,7 @@
 
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/conf/exact.h"
 #include "src/sprout/safe_plan.h"
 #include "src/sprout/tuple_independent.h"
@@ -77,15 +78,18 @@ Db Generate(int sf, uint64_t seed) {
 
 int main() {
   JsonReporter json("sprout");
+  json.Env("hardware_threads", static_cast<double>(ThreadPool::DefaultThreads()));
   std::printf("SPROUT: lazy vs eager plans for tuple-independent probabilistic "
               "databases.\n");
   std::printf("Query: Q() :- Customer(ck), Orders(ck,ok), Lineitem(ck,ok,part)  "
               "(hierarchical)\n");
 
   PrintHeader("scale sweep");
-  std::printf("%-6s %10s %10s %12s %12s %14s %14s\n", "sf", "eager(ms)",
-              "lazy(ms)", "exactDNF(ms)", "p(Q)", "eager interm.", "lazy interm.");
+  std::printf("%-6s %10s %10s %12s %14s %12s %14s %14s\n", "sf", "eager(ms)",
+              "lazy(ms)", "exactDNF(ms)", "exactDNF-t4(ms)", "p(Q)",
+              "eager interm.", "lazy interm.");
 
+  ThreadPool pool(4);
   for (int sf : {10, 50, 100, 500, 1000, 4000}) {
     Db db = Generate(sf, 1234 + sf);
     ConjunctiveQuery q{{},
@@ -110,7 +114,7 @@ int main() {
 
     // Generic exact algorithm on the materialized lineage: join manually,
     // then run the d-tree compiler (what MayBMS does without SPROUT).
-    double exact_ms = TimeMs([&] {
+    auto build_lineage = [&]() {
       Dnf lineage;
       // ck -> customer condition.
       std::unordered_map<int64_t, const Condition*> cust;
@@ -131,23 +135,42 @@ int main() {
           if (full) lineage.AddClause(std::move(*full));
         }
       }
+      return lineage;
+    };
+    double exact_ms = TimeMs([&] {
+      Dnf lineage = build_lineage();
       Result<double> r = ExactConfidence(lineage, db.wt);
       if (r.ok()) p_exact = *r;
     });
+    // Same lineage on 4 threads: the per-customer components of the
+    // hierarchical query decompose at the root and solve in parallel.
+    double p_exact_t4 = 0;
+    double exact_t4_ms = TimeMs([&] {
+      Dnf lineage = build_lineage();
+      Result<double> r = ExactConfidence(lineage, db.wt, {}, nullptr, &pool);
+      if (r.ok()) p_exact_t4 = *r;
+    });
 
-    bool agree = std::abs(p_eager - p_lazy) < 1e-9 && std::abs(p_eager - p_exact) < 1e-9;
-    std::printf("%-6d %10.2f %10.2f %12.2f %12.6f %14llu %14llu %s\n", sf, eager_ms,
-                lazy_ms, exact_ms, p_eager,
+    bool agree = std::abs(p_eager - p_lazy) < 1e-9 &&
+                 std::abs(p_eager - p_exact) < 1e-9 && p_exact == p_exact_t4;
+    std::printf("%-6d %10.2f %10.2f %12.2f %14.2f %12.6f %14llu %14llu %s\n", sf,
+                eager_ms, lazy_ms, exact_ms, exact_t4_ms, p_eager,
                 static_cast<unsigned long long>(eager_stats.intermediate_tuples),
                 static_cast<unsigned long long>(lazy_stats.intermediate_tuples),
                 agree ? "" : "DISAGREE!");
     json.Report("eager", eager_ms)
         .Param("sf", sf)
+        .Threads(1)
         .Metric("tuples", static_cast<double>(eager_stats.intermediate_tuples));
     json.Report("lazy", lazy_ms)
         .Param("sf", sf)
+        .Threads(1)
         .Metric("tuples", static_cast<double>(lazy_stats.intermediate_tuples));
-    json.Report("exact_dnf", exact_ms).Param("sf", sf).Metric("p", p_exact);
+    json.Report("exact_dnf", exact_ms).Param("sf", sf).Threads(1).Metric("p", p_exact);
+    json.Report("exact_dnf", exact_t4_ms)
+        .Param("sf", sf)
+        .Threads(4)
+        .Metric("p", p_exact_t4);
   }
 
   // Per-customer variant: head variable ck, one confidence per customer
@@ -183,8 +206,8 @@ int main() {
     }
     std::printf("%-6d %10.2f %10.2f %12zu %16.2e\n", sf, eager_ms, lazy_ms,
                 eager_out.size(), max_diff);
-    json.Report("per_customer_eager", eager_ms).Param("sf", sf);
-    json.Report("per_customer_lazy", lazy_ms).Param("sf", sf);
+    json.Report("per_customer_eager", eager_ms).Param("sf", sf).Threads(1);
+    json.Report("per_customer_lazy", lazy_ms).Param("sf", sf).Threads(1);
   }
 
   std::printf(

@@ -34,12 +34,21 @@ inline void PrintHeader(const char* title) {
 /// Machine-readable benchmark output: each record is one measured case.
 /// Flush() writes `BENCH_<name>.json` next to the binary so the perf
 /// trajectory can be diffed across commits:
-///   {"bench":"sprout","results":[{"case":"lazy","params":{"sf":4000},
+///   {"bench":"sprout","env":{"hardware_threads":8},
+///    "results":[{"case":"lazy","params":{"sf":4000,"num_threads":1},
 ///    "ms":64.5,"metrics":{"tuples":48202}}, ...]}
+///
+/// Cases that depend on the execution configuration MUST carry
+/// `num_threads` (and `morsel_size` where morsels apply) as params — see
+/// Record::Threads — so BENCH_*.json entries stay comparable across PRs
+/// now that the engine is parallel.
 class JsonReporter {
  public:
   explicit JsonReporter(std::string bench_name) : name_(std::move(bench_name)) {}
   ~JsonReporter() { Flush(); }
+
+  /// Top-level environment metadata (written once into an "env" object).
+  void Env(const char* key, double v) { Record::Add(&env_, key, v); }
 
   class Record {
    public:
@@ -49,6 +58,12 @@ class JsonReporter {
     }
     Record& Metric(const char* key, double v) {
       Add(&metrics_, key, v);
+      return *this;
+    }
+    /// Execution-configuration params every thread-sensitive case carries.
+    Record& Threads(unsigned num_threads, double morsel_size = 0) {
+      Param("num_threads", static_cast<double>(num_threads));
+      if (morsel_size > 0) Param("morsel_size", morsel_size);
       return *this;
     }
 
@@ -82,7 +97,9 @@ class JsonReporter {
     std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;
-    std::fprintf(f, "{\"bench\":\"%s\",\"results\":[", name_.c_str());
+    std::fprintf(f, "{\"bench\":\"%s\"", name_.c_str());
+    if (!env_.empty()) std::fprintf(f, ",\"env\":{%s}", env_.c_str());
+    std::fprintf(f, ",\"results\":[");
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       std::fprintf(f, "%s{\"case\":\"%s\",\"ms\":%.17g", i == 0 ? "" : ",",
@@ -100,6 +117,7 @@ class JsonReporter {
 
  private:
   std::string name_;
+  std::string env_;
   std::deque<Record> records_;
   bool flushed_ = false;
 };

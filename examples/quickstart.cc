@@ -31,7 +31,13 @@ bool Show(Database* db, const std::string& sql) {
 }  // namespace
 
 int main() {
-  Database db;
+  // Queries run morsel-parallel on exec.num_threads workers (default:
+  // hardware_concurrency; 1 = fully serial). Everything deterministic
+  // (conf() included) is identical at every thread count; aconf() is
+  // identical across thread counts >= 2 (1 keeps the legacy RNG stream).
+  maybms::DatabaseOptions options;
+  options.exec.num_threads = 0;
+  Database db(options);
   std::printf("MayBMS quickstart — a probabilistic database in 12 queries\n");
   std::printf("===========================================================\n\n");
 

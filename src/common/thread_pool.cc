@@ -1,0 +1,160 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace maybms {
+
+namespace {
+
+// Which pool (if any) the current thread is a worker of. Lets Submit keep
+// nested submissions on the submitting worker's own deque (LIFO locality)
+// and lets stealing start from a stable home slot.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker_index = 0;
+
+}  // namespace
+
+unsigned ThreadPool::DefaultThreads() {
+#ifdef MAYBMS_DEFAULT_THREADS_OVERRIDE
+  // Build-time pin (cmake -DCMAKE_CXX_FLAGS=-DMAYBMS_DEFAULT_THREADS_OVERRIDE=4):
+  // lets CI exercise the full suite under a parallel default on any host.
+  return MAYBMS_DEFAULT_THREADS_OVERRIDE;
+#else
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+#endif
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  parallelism_ = std::max(1u, num_threads);
+  // The ParallelFor caller is one of the compute threads, so spawn one
+  // fewer worker — num_threads=N means N runnable threads, not N+1.
+  size_t n = parallelism_ - 1;
+  deques_.resize(n);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t target;
+    if (tls_pool == this) {
+      target = tls_worker_index;  // nested submit: stay local
+    } else {
+      target = next_deque_;
+      next_deque_ = (next_deque_ + 1) % deques_.size();
+    }
+    deques_[target].push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_pool = this;
+  tls_worker_index = index;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    std::function<void()> task;
+    // Own deque first (LIFO: newest task, warm caches), then steal the
+    // oldest task from a sibling (FIFO keeps stolen work coarse).
+    if (!deques_[index].empty()) {
+      task = std::move(deques_[index].back());
+      deques_[index].pop_back();
+    } else {
+      for (size_t k = 1; k < deques_.size() && !task; ++k) {
+        size_t victim = (index + k) % deques_.size();
+        if (!deques_[victim].empty()) {
+          task = std::move(deques_[victim].front());
+          deques_[victim].pop_front();
+        }
+      }
+    }
+    if (task) {
+      lock.unlock();
+      task();
+      lock.lock();
+      continue;
+    }
+    if (stop_) return;
+    cv_.wait(lock);
+  }
+}
+
+void ThreadPool::RunChunks(const std::shared_ptr<ForState>& state) {
+  while (true) {
+    size_t chunk_begin, chunk_end;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->next >= state->end) return;
+      chunk_begin = state->next;
+      chunk_end = std::min(state->end, chunk_begin + state->grain);
+      state->next = chunk_end;
+    }
+    state->fn(chunk_begin, chunk_end);
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->completed += chunk_end - chunk_begin;
+      if (state->completed == state->end - state->begin) {
+        state->done_cv.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  grain = std::max<size_t>(grain, 1);
+  size_t n = end - begin;
+  if (n <= grain) {
+    fn(begin, end);
+    return;
+  }
+  auto state = std::make_shared<ForState>();
+  state->next = begin;
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->fn = fn;
+
+  size_t chunks = (n + grain - 1) / grain;
+  size_t helpers = std::min(chunks - 1, workers_.size());
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([state] { RunChunks(state); });
+  }
+  // The caller claims chunks too: even if every helper is busy elsewhere
+  // (or queued behind this very call, in the nested case), the loop below
+  // finishes the whole range by itself.
+  RunChunks(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->completed == n; });
+}
+
+Status ThreadPool::ParallelForStatus(size_t begin, size_t end,
+                                     const std::function<Status(size_t)>& fn) {
+  if (end <= begin) return Status::OK();
+  std::vector<Status> statuses(end - begin, Status::OK());
+  ParallelFor(begin, end, 1, [&](size_t chunk_begin, size_t chunk_end) {
+    for (size_t i = chunk_begin; i < chunk_end; ++i) {
+      statuses[i - begin] = fn(i);
+    }
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;  // lowest index: deterministic
+  }
+  return Status::OK();
+}
+
+}  // namespace maybms

@@ -1,0 +1,93 @@
+// A small work-stealing thread pool for intra-query parallelism.
+//
+// Workers keep per-thread deques: a worker pops its own deque LIFO (cache
+// locality for nested submissions) and steals FIFO from its siblings when
+// its own deque runs dry. ParallelFor() is the primitive everything in the
+// engine builds on: the caller participates in chunk execution, so nested
+// ParallelFor calls from inside a worker task always make progress (the
+// waiter drains its own chunk counter before blocking) — the pool cannot
+// deadlock on recursive parallelism.
+//
+// Determinism contract: ParallelFor chunk boundaries depend only on
+// (begin, end, grain), never on the number of threads or on scheduling.
+// Callers that write results into per-chunk slots and fold them in index
+// order therefore produce bit-identical output at any thread count — the
+// property the parallel engine's parity and determinism tests pin down.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace maybms {
+
+class ThreadPool {
+ public:
+  /// A pool of `num_threads` total compute threads (clamped to >= 1):
+  /// since the caller of ParallelFor always participates, only
+  /// num_threads - 1 workers are spawned. The pool is usable from any
+  /// thread, including from inside its own worker tasks.
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the participating caller).
+  unsigned num_threads() const { return parallelism_; }
+
+  /// Runs fn(chunk_begin, chunk_end) over [begin, end) split into chunks
+  /// of at most `grain` items (grain clamped to >= 1). Blocks until every
+  /// chunk has finished. The calling thread executes chunks itself while
+  /// idle workers steal the rest; fn must be thread-safe. Chunk boundaries
+  /// are a pure function of (begin, end, grain).
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// ParallelFor over single indexes with Status-returning work: per-index
+  /// statuses land in slots and the FIRST failure in index order is
+  /// returned — the deterministic error-propagation contract every
+  /// parallel operator shares.
+  Status ParallelForStatus(size_t begin, size_t end,
+                           const std::function<Status(size_t)>& fn);
+
+  /// std::thread::hardware_concurrency(), clamped to >= 1.
+  static unsigned DefaultThreads();
+
+ private:
+  // Shared state of one ParallelFor: helpers hold a shared_ptr so a helper
+  // task that only starts after the caller returned finds the chunk
+  // counter exhausted instead of dangling stack state.
+  struct ForState {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t next = 0;       // next unclaimed item index (guarded by mu)
+    size_t completed = 0;  // items finished (guarded by mu)
+    size_t begin = 0;
+    size_t end = 0;
+    size_t grain = 1;
+    std::function<void(size_t, size_t)> fn;
+  };
+
+  static void RunChunks(const std::shared_ptr<ForState>& state);
+
+  void Submit(std::function<void()> task);
+  void WorkerLoop(size_t index);
+
+  std::mutex mu_;                // guards deques_ and stop_
+  std::condition_variable cv_;   // wakes idle workers
+  std::vector<std::deque<std::function<void()>>> deques_;
+  size_t next_deque_ = 0;        // round-robin target for external submits
+  bool stop_ = false;
+  unsigned parallelism_ = 1;     // workers_.size() + 1 (the caller)
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace maybms

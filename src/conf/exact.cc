@@ -1,9 +1,12 @@
 #include "src/conf/exact.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <unordered_map>
+
+#include "src/common/thread_pool.h"
 
 namespace maybms {
 
@@ -56,7 +59,7 @@ class ExactSolver {
     asg_epoch_.assign(dnf_.NumVars() == 0 ? 0 : TotalProbSlots(), 0);
   }
 
-  Result<double> SolveRoot() {
+  Result<double> SolveRoot(ThreadPool* pool) {
     // An empty clause (a valid DNF) can only occur in the root set:
     // AssignVar short-circuits instead of interning empty reductions, and
     // every other derived set is a subset of its parent. Checking here
@@ -65,11 +68,83 @@ class ExactSolver {
     for (ClauseId id : root) {
       if (dnf_.ClauseSize(id) == 0) {
         if (stats_) ++stats_->steps;
-        ++steps_;
+        BumpSteps();
         return 1.0;
       }
     }
-    return Solve(std::move(root), 0);
+    if (pool == nullptr) return Solve(std::move(root), 0);
+    return SolveRootParallel(std::move(root), pool);
+  }
+
+  // Component-parallel root: probe the (subsumption-reduced) root set for
+  // variable-disjoint components; when there is more than one, solve each
+  // with a private solver over its own copy of the clause store. The
+  // serial recursion computes exactly the same per-component probabilities
+  // (components never share clause ids, so the shared memo contributes no
+  // cross-component values) and folds them with the identical
+  // `none *= 1 - p_i` product in component order — the parallel result is
+  // bit-for-bit the serial one at any thread count.
+  Result<double> SolveRootParallel(std::vector<ClauseId> root, ThreadPool* pool) {
+    if (root.empty()) return Solve(std::move(root), 0);
+    ClauseSet set = std::move(root);
+    if (options_.remove_subsumed) RemoveSubsumed(&set);
+    std::vector<ClauseSet> components =
+        set.size() > 1 ? Components(set) : std::vector<ClauseSet>{};
+    // Non-decomposable root: hand the already-reduced set to the serial
+    // recursion (its own subsumption pass is idempotent — same result,
+    // one less scan).
+    if (components.size() <= 1) return Solve(std::move(set), 0);
+    if (stats_) {
+      ++stats_->steps;
+      ++stats_->decompositions;
+    }
+    // One cross-shard step budget, seeded with the root node itself.
+    std::atomic<uint64_t> shared_steps{steps_};
+    shared_steps_ = &shared_steps;
+    BumpSteps();
+    const size_t n = components.size();
+    // Shard components into at most kRootShards contiguous ranges: each
+    // shard copies the clause store once and solves its components with one
+    // private solver. The shard count is FIXED (not thread-derived) so the
+    // per-solver max_steps budget — and with it success/failure — cannot
+    // depend on the thread count.
+    constexpr size_t kRootShards = 16;
+    const size_t grain = std::max<size_t>(1, (n + kRootShards - 1) / kRootShards);
+    const size_t num_shards = (n + grain - 1) / grain;
+    std::vector<double> probs(n, 0.0);
+    std::vector<Status> statuses(n, Status::OK());
+    std::vector<ExactStats> shard_stats(stats_ != nullptr ? num_shards : 0);
+    pool->ParallelFor(0, n, grain, [&](size_t chunk_begin, size_t chunk_end) {
+      CompiledDnf copy = dnf_;
+      ExactSolver sub(std::move(copy), options_,
+                      stats_ != nullptr ? &shard_stats[chunk_begin / grain] : nullptr);
+      sub.shared_steps_ = &shared_steps;
+      for (size_t i = chunk_begin; i < chunk_end; ++i) {
+        Result<double> r = sub.Solve(std::move(components[i]), 1);
+        if (r.ok()) {
+          probs[i] = *r;
+        } else {
+          statuses[i] = r.status();
+        }
+      }
+    });
+    shared_steps_ = nullptr;
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;  // first failed component in order
+    }
+    if (stats_) {
+      for (const ExactStats& cs : shard_stats) {
+        stats_->steps += cs.steps;
+        stats_->decompositions += cs.decompositions;
+        stats_->shannon_expansions += cs.shannon_expansions;
+        stats_->max_depth = std::max(stats_->max_depth, cs.max_depth);
+        stats_->cache_hits += cs.cache_hits;
+        stats_->cache_entries += cs.cache_entries;
+      }
+    }
+    double none = 1.0;
+    for (double p : probs) none *= (1.0 - p);
+    return 1.0 - none;
   }
 
  private:
@@ -82,13 +157,27 @@ class ExactSolver {
     return static_cast<size_t>(dnf_.VarProbs(v) - dnf_.VarProbs(0)) + a;
   }
 
+  // Counts one visited recursion node; returns the value to compare
+  // against max_steps. In component-parallel mode the budget is the SHARED
+  // cross-shard total (matching the serial cumulative semantics): whether
+  // the total ever crosses max_steps depends only on the amount of work,
+  // not on scheduling, so success/failure stays deterministic at any
+  // thread count.
+  uint64_t BumpSteps() {
+    ++steps_;
+    if (shared_steps_ != nullptr) {
+      return shared_steps_->fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+    return steps_;
+  }
+
   Result<double> Solve(ClauseSet set, uint64_t depth) {
     if (stats_) {
       ++stats_->steps;
       stats_->max_depth = std::max(stats_->max_depth, depth);
     }
-    ++steps_;
-    if (options_.max_steps != 0 && steps_ > options_.max_steps) {
+    uint64_t visited = BumpSteps();
+    if (options_.max_steps != 0 && visited > options_.max_steps) {
       return Status::OutOfRange("exact confidence computation exceeded max_steps");
     }
 
@@ -171,7 +260,7 @@ class ExactSolver {
         // The branch is decided, but it still counts as one visited node so
         // step accounting stays comparable across representations.
         if (stats_) ++stats_->steps;
-        ++steps_;
+        BumpSteps();
       } else {
         MAYBMS_ASSIGN_OR_RETURN(sub, Solve(std::move(assigned), depth + 1));
       }
@@ -377,6 +466,9 @@ class ExactSolver {
   const ExactOptions& options_;
   ExactStats* stats_;
   uint64_t steps_ = 0;
+  // Component-parallel mode: the cross-shard step total the max_steps
+  // budget applies to (null in serial mode, where steps_ is the budget).
+  std::atomic<uint64_t>* shared_steps_ = nullptr;
   uint64_t cache_hits_ = 0;
   std::unordered_map<MemoKey, double, MemoKeyHash> memo_;
 
@@ -397,17 +489,19 @@ class ExactSolver {
 }  // namespace
 
 Result<double> ExactConfidence(CompiledDnf dnf, const WorldTable& wt,
-                               const ExactOptions& options, ExactStats* stats) {
+                               const ExactOptions& options, ExactStats* stats,
+                               ThreadPool* pool) {
   (void)wt;  // probabilities were copied into the compiled form
   ExactSolver solver(std::move(dnf), options, stats);
-  MAYBMS_ASSIGN_OR_RETURN(double p, solver.SolveRoot());
+  MAYBMS_ASSIGN_OR_RETURN(double p, solver.SolveRoot(pool));
   // Clamp tiny floating-point drift.
   return std::min(1.0, std::max(0.0, p));
 }
 
 Result<double> ExactConfidence(const Dnf& dnf, const WorldTable& wt,
-                               const ExactOptions& options, ExactStats* stats) {
-  return ExactConfidence(CompiledDnf(dnf, wt), wt, options, stats);
+                               const ExactOptions& options, ExactStats* stats,
+                               ThreadPool* pool) {
+  return ExactConfidence(CompiledDnf(dnf, wt), wt, options, stats, pool);
 }
 
 }  // namespace maybms

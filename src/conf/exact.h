@@ -21,6 +21,8 @@
 
 namespace maybms {
 
+class ThreadPool;
+
 /// Which variable the elimination step picks inside a component.
 enum class EliminationHeuristic {
   /// Variable occurring in the most clauses — maximizes immediate
@@ -63,15 +65,30 @@ struct ExactStats {
 };
 
 /// Computes P(dnf) exactly. Returns OutOfRange if `max_steps` is hit.
+///
+/// With a non-null `pool`, the root-level DECOMPOSITION step fans its
+/// variable-connected components out across threads: each component gets a
+/// private solver (own memo, own scratch, own copy of the clause store)
+/// and the component probabilities fold as P = 1 − Π(1 − P_i) in component
+/// order — the same arithmetic, in the same order, as the serial recursion,
+/// so the returned probability is bit-identical at any thread count
+/// (including pool == nullptr). `max_steps` keeps its cumulative meaning:
+/// the parallel shards share one step budget, so the budget outcome is
+/// deterministic at any pool size. (Near the exact budget boundary the
+/// parallel mode may count slightly differently from serial — per-shard
+/// private memos cross the cache-fill caps at different points than the
+/// serial shared memo — but for a fixed mode the outcome never varies.)
 Result<double> ExactConfidence(const Dnf& dnf, const WorldTable& wt,
                                const ExactOptions& options = {},
-                               ExactStats* stats = nullptr);
+                               ExactStats* stats = nullptr,
+                               ThreadPool* pool = nullptr);
 
 /// Same, over pre-compiled lineage (the batch engine builds CompiledDnf
 /// straight from condition-column spans; `wt` is unused — probabilities
 /// were captured at compile time).
 Result<double> ExactConfidence(CompiledDnf dnf, const WorldTable& wt,
                                const ExactOptions& options = {},
-                               ExactStats* stats = nullptr);
+                               ExactStats* stats = nullptr,
+                               ThreadPool* pool = nullptr);
 
 }  // namespace maybms

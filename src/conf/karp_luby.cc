@@ -37,16 +37,17 @@ void KarpLubyEstimator::Init() {
   // Size the world arrays before any early return: Trial() on a trivial
   // estimator is a contract violation, but it must not scribble past an
   // empty vector (the old map-based sampling was memory-safe there too).
-  world_val_.assign(dnf_.NumVars(), 0);
-  world_epoch_.assign(dnf_.NumVars(), 0);
+  scratch_.world_val.assign(dnf_.NumVars(), 0);
+  scratch_.world_epoch.assign(dnf_.NumVars(), 0);
   if (total_weight_ <= 0) {
     trivial_ = true;
     trivial_probability_ = 0;
   }
 }
 
-AsgId KarpLubyEstimator::AssignmentOf(LocalVar var, Rng* rng) const {
-  if (world_epoch_[var] == epoch_) return world_val_[var];
+AsgId KarpLubyEstimator::AssignmentOf(LocalVar var, Rng* rng,
+                                      KarpLubyScratch* scratch) const {
+  if (scratch->world_epoch[var] == scratch->epoch) return scratch->world_val[var];
   // Inverse-CDF sample from the variable's prior (same scheme as
   // WorldTable::SampleAssignment).
   const double* probs = dnf_.VarProbs(var);
@@ -61,12 +62,19 @@ AsgId KarpLubyEstimator::AssignmentOf(LocalVar var, Rng* rng) const {
       break;
     }
   }
-  world_epoch_[var] = epoch_;
-  world_val_[var] = a;
+  scratch->world_epoch[var] = scratch->epoch;
+  scratch->world_val[var] = a;
   return a;
 }
 
-bool KarpLubyEstimator::Trial(Rng* rng) const {
+bool KarpLubyEstimator::Trial(Rng* rng) const { return Trial(rng, &scratch_); }
+
+bool KarpLubyEstimator::Trial(Rng* rng, KarpLubyScratch* scratch) const {
+  if (scratch->world_epoch.size() != dnf_.NumVars()) {
+    scratch->world_val.assign(dnf_.NumVars(), 0);
+    scratch->world_epoch.assign(dnf_.NumVars(), 0);
+    scratch->epoch = 0;
+  }
   // Sample clause index i proportional to its marginal probability.
   double u = rng->NextDouble() * total_weight_;
   size_t i = static_cast<size_t>(
@@ -76,11 +84,11 @@ bool KarpLubyEstimator::Trial(Rng* rng) const {
 
   // Sample a world conditioned on clause i: its atoms are fixed; all other
   // variables follow their prior, sampled lazily on demand.
-  ++epoch_;
+  ++scratch->epoch;
   const std::vector<ClauseId>& clauses = dnf_.original_clauses();
   for (const Atom& a : dnf_.Clause(clauses[i])) {
-    world_epoch_[a.var] = epoch_;
-    world_val_[a.var] = a.asg;
+    scratch->world_epoch[a.var] = scratch->epoch;
+    scratch->world_val[a.var] = a.asg;
   }
 
   // Z = 1 iff no earlier clause is satisfied by the sampled world (clause i
@@ -89,7 +97,7 @@ bool KarpLubyEstimator::Trial(Rng* rng) const {
   for (size_t j = 0; j < i; ++j) {
     bool satisfied = true;
     for (const Atom& a : dnf_.Clause(clauses[j])) {
-      if (AssignmentOf(a.var, rng) != a.asg) {
+      if (AssignmentOf(a.var, rng, scratch) != a.asg) {
         satisfied = false;
         break;
       }

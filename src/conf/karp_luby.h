@@ -24,6 +24,15 @@
 
 namespace maybms {
 
+/// Per-thread trial state: the lazily-sampled world, epoch-stamped per
+/// trial. One scratch per concurrent sampling thread lets many threads run
+/// Trial() against the same (read-only) estimator.
+struct KarpLubyScratch {
+  std::vector<AsgId> world_val;
+  std::vector<uint64_t> world_epoch;
+  uint64_t epoch = 0;
+};
+
 /// Reusable trial generator over a fixed DNF.
 class KarpLubyEstimator {
  public:
@@ -44,12 +53,18 @@ class KarpLubyEstimator {
   /// The trivial probability when Trivial() is true.
   double TrivialProbability() const { return trivial_probability_; }
 
-  /// One Bernoulli trial Z with E[Z] = P(dnf)/TotalWeight().
+  /// One Bernoulli trial Z with E[Z] = P(dnf)/TotalWeight(), using the
+  /// estimator's internal scratch (single-threaded use only).
   bool Trial(Rng* rng) const;
+
+  /// Same trial over caller-owned scratch. Thread-safe with respect to
+  /// *this: concurrent callers with distinct scratches (and distinct RNGs)
+  /// never touch shared mutable state.
+  bool Trial(Rng* rng, KarpLubyScratch* scratch) const;
 
  private:
   void Init();
-  AsgId AssignmentOf(LocalVar var, Rng* rng) const;
+  AsgId AssignmentOf(LocalVar var, Rng* rng, KarpLubyScratch* scratch) const;
 
   CompiledDnf dnf_;
   std::vector<double> cumulative_;  // cumulative clause weights
@@ -57,10 +72,7 @@ class KarpLubyEstimator {
   bool trivial_ = false;
   double trivial_probability_ = 0;
 
-  // Lazily-sampled world, epoch-stamped per trial (single-threaded).
-  mutable std::vector<AsgId> world_val_;
-  mutable std::vector<uint64_t> world_epoch_;
-  mutable uint64_t epoch_ = 0;
+  mutable KarpLubyScratch scratch_;  // backs the single-threaded Trial()
 };
 
 }  // namespace maybms

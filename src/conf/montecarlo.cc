@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <vector>
 
 #include "src/common/str_util.h"
+#include "src/common/thread_pool.h"
 #include "src/conf/karp_luby.h"
 
 namespace maybms {
@@ -161,6 +164,231 @@ Result<MonteCarloResult> ApproxConfidence(CompiledDnf dnf, double epsilon,
   KarpLubyEstimator estimator(std::move(dnf));
   return ApproxWithEstimator(estimator, num_clauses, single_prob, epsilon, delta,
                              rng, options);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded (deterministic, parallel-capable) estimation
+// ---------------------------------------------------------------------------
+
+uint64_t SubstreamSeed(uint64_t base_seed, uint64_t batch_index) {
+  // SplitMix64 finalizer over base + (k+1)·φ⁻¹: adjacent counters land in
+  // statistically unrelated PCG seeds, and the map is pure — batch k's
+  // stream never depends on which thread draws it or on other batches.
+  uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (batch_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+// Fills `out` with the trial values of batches [first_batch,
+// first_batch + count) of the phase's deterministic stream. Each batch
+// gets a fresh trial instance and its own substream RNG; with a pool the
+// batches compute concurrently, but the values are identical either way.
+void MaterializeBatches(const TrialFactory& make_trial, uint64_t phase_seed,
+                        uint64_t first_batch, uint64_t count, uint64_t batch_size,
+                        ThreadPool* pool, std::vector<std::vector<double>>* out) {
+  out->assign(count, {});
+  auto fill = [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      TrialFn trial = make_trial();
+      Rng rng(SubstreamSeed(phase_seed, first_batch + i));
+      std::vector<double>& vals = (*out)[i];
+      vals.resize(batch_size);
+      for (uint64_t t = 0; t < batch_size; ++t) vals[t] = trial(&rng);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, count, 1, fill);
+  } else {
+    fill(0, count);
+  }
+}
+
+// Stopping Rule Algorithm over the deterministic batched stream: whole
+// waves of batches materialize (in parallel), then the stopping rule folds
+// trial values strictly in stream order — so the stop index, the estimate,
+// and even budget errors are thread-count independent. The trial stream is
+// a pure function of (phase_seed, sample_batch_size); the wave size is
+// only a SCHEDULING knob (it bounds speculation, never shifts values), so
+// waves grow geometrically — one batch first, doubling up to
+// batches_per_wave — and cheap stopping-rule runs don't eagerly burn a
+// full wave of trials. Trials past the stopping point inside the final
+// wave are wasted (bounded by that wave).
+Result<MonteCarloResult> StoppingRuleSeeded(const TrialFactory& make_trial,
+                                            double epsilon, double delta,
+                                            uint64_t phase_seed,
+                                            const MonteCarloOptions& options,
+                                            ThreadPool* pool) {
+  MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
+  const double upsilon1 = 1 + (1 + epsilon) * Upsilon(epsilon, delta);
+  const uint64_t batch_size = std::max<uint64_t>(options.sample_batch_size, 1);
+  const uint64_t max_wave = std::max<uint64_t>(options.batches_per_wave, 1);
+  uint64_t wave = 1;
+  double sum = 0;
+  uint64_t n = 0;
+  uint64_t next_batch = 0;
+  std::vector<std::vector<double>> values;
+  while (sum < upsilon1) {
+    MaterializeBatches(make_trial, phase_seed, next_batch, wave, batch_size, pool,
+                       &values);
+    next_batch += wave;
+    wave = std::min(max_wave, wave * 2);
+    for (const std::vector<double>& batch : values) {
+      for (double v : batch) {
+        if (sum >= upsilon1) break;
+        if (options.max_samples != 0 && n >= options.max_samples) {
+          return Status::OutOfRange(StringFormat(
+              "stopping-rule estimation exceeded %llu samples (mean too small "
+              "for requested ε=%g, δ=%g)",
+              static_cast<unsigned long long>(options.max_samples), epsilon,
+              delta));
+        }
+        sum += v;
+        ++n;
+      }
+    }
+  }
+  MonteCarloResult result;
+  result.estimate = upsilon1 / static_cast<double>(n);
+  result.samples = n;
+  return result;
+}
+
+// Feeds the first `total` trial values of a phase stream to `consume`,
+// strictly in stream order, streaming wave by wave to bound memory.
+void SumSeededTrials(const TrialFactory& make_trial, uint64_t phase_seed,
+                     uint64_t total, const MonteCarloOptions& options,
+                     ThreadPool* pool,
+                     const std::function<void(double)>& consume) {
+  const uint64_t batch_size = std::max<uint64_t>(options.sample_batch_size, 1);
+  const uint64_t wave = std::max<uint64_t>(options.batches_per_wave, 1);
+  uint64_t consumed = 0;
+  uint64_t next_batch = 0;
+  std::vector<std::vector<double>> values;
+  while (consumed < total) {
+    uint64_t batches_left = (total - consumed + batch_size - 1) / batch_size;
+    uint64_t count = std::min(wave, batches_left);
+    MaterializeBatches(make_trial, phase_seed, next_batch, count, batch_size, pool,
+                       &values);
+    next_batch += count;
+    for (const std::vector<double>& batch : values) {
+      for (double v : batch) {
+        if (consumed >= total) break;
+        consume(v);
+        ++consumed;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<MonteCarloResult> OptimalEstimateSeeded(const TrialFactory& make_trial,
+                                               double epsilon, double delta,
+                                               uint64_t base_seed,
+                                               const MonteCarloOptions& options,
+                                               ThreadPool* pool) {
+  MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
+  const double sqrt_eps = std::sqrt(epsilon);
+  const double upsilon = Upsilon(epsilon, delta);
+  const double upsilon2 = 2 * (1 + sqrt_eps) * (1 + 2 * sqrt_eps) *
+                          (1 + std::log(1.5) / std::log(2.0 / delta)) * upsilon;
+
+  // Each phase runs on its own substream family so phase boundaries never
+  // shift trial values between phases.
+  const uint64_t p1_seed = SubstreamSeed(base_seed, 0xA1);
+  const uint64_t p2_seed = SubstreamSeed(base_seed, 0xA2);
+  const uint64_t p3_seed = SubstreamSeed(base_seed, 0xA3);
+
+  // Phase 1: rough estimate with relaxed accuracy min(1/2, √ε), δ/3.
+  const double eps1 = std::min(0.5, sqrt_eps);
+  MAYBMS_ASSIGN_OR_RETURN(
+      MonteCarloResult phase1,
+      StoppingRuleSeeded(make_trial, eps1, delta / 3, p1_seed, options, pool));
+  const double mu_hat = phase1.estimate;
+  uint64_t used = phase1.samples;
+
+  auto budget_left = [&]() -> uint64_t {
+    if (options.max_samples == 0) return UINT64_MAX;
+    return options.max_samples > used ? options.max_samples - used : 0;
+  };
+
+  // Phase 2: variance estimate from squared differences of trial pairs
+  // (consecutive stream values pair up).
+  uint64_t n2 = static_cast<uint64_t>(std::ceil(upsilon2 * epsilon / mu_hat));
+  n2 = std::max<uint64_t>(n2, 1);
+  if (n2 > budget_left() / 2) {
+    return Status::OutOfRange("optimal estimation phase 2 exceeded sample budget");
+  }
+  double s = 0;
+  double pending = 0;
+  bool have_pending = false;
+  SumSeededTrials(make_trial, p2_seed, 2 * n2, options, pool, [&](double v) {
+    if (have_pending) {
+      s += (pending - v) * (pending - v) / 2;
+      have_pending = false;
+    } else {
+      pending = v;
+      have_pending = true;
+    }
+  });
+  used += 2 * n2;
+  const double rho_hat = std::max(s / static_cast<double>(n2), epsilon * mu_hat);
+
+  // Phase 3: the sequentially-determined definitive run.
+  uint64_t n3 = static_cast<uint64_t>(std::ceil(upsilon2 * rho_hat / (mu_hat * mu_hat)));
+  n3 = std::max<uint64_t>(n3, 1);
+  if (n3 > budget_left()) {
+    return Status::OutOfRange("optimal estimation phase 3 exceeded sample budget");
+  }
+  double sum = 0;
+  SumSeededTrials(make_trial, p3_seed, n3, options, pool,
+                  [&](double v) { sum += v; });
+  used += n3;
+
+  MonteCarloResult result;
+  result.estimate = sum / static_cast<double>(n3);
+  result.samples = used;
+  return result;
+}
+
+Result<MonteCarloResult> ApproxConfidenceSeeded(CompiledDnf dnf, double epsilon,
+                                                double delta, uint64_t base_seed,
+                                                const MonteCarloOptions& options,
+                                                ThreadPool* pool) {
+  MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
+  size_t num_clauses = dnf.original_clauses().size();
+  double single_prob =
+      num_clauses == 1 ? dnf.ClauseProb(dnf.original_clauses()[0]) : 0;
+  KarpLubyEstimator estimator(std::move(dnf));
+  if (estimator.Trivial()) {
+    MonteCarloResult result;
+    result.estimate = estimator.TrivialProbability();
+    result.samples = 0;
+    return result;
+  }
+  if (num_clauses == 1) {
+    MonteCarloResult result;
+    result.estimate = single_prob;
+    result.samples = 0;
+    return result;
+  }
+  // One independent Karp-Luby sampler per batch task: the estimator itself
+  // is read-only during trials, all mutable world state lives in the
+  // per-task scratch.
+  TrialFactory factory = [&estimator]() -> TrialFn {
+    auto scratch = std::make_shared<KarpLubyScratch>();
+    return [&estimator, scratch](Rng* rng) -> double {
+      return estimator.Trial(rng, scratch.get()) ? 1.0 : 0.0;
+    };
+  };
+  MAYBMS_ASSIGN_OR_RETURN(
+      MonteCarloResult mc,
+      OptimalEstimateSeeded(factory, epsilon, delta, base_seed, options, pool));
+  mc.estimate = std::min(1.0, mc.estimate * estimator.TotalWeight());
+  return mc;
 }
 
 }  // namespace maybms

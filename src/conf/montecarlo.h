@@ -22,8 +22,14 @@
 
 namespace maybms {
 
+class ThreadPool;
+
 /// A randomized experiment producing values in [0, 1].
 using TrialFn = std::function<double(Rng*)>;
+
+/// Produces independent TrialFn instances: each returned trial owns its
+/// own scratch state, so distinct instances may run on distinct threads.
+using TrialFactory = std::function<TrialFn()>;
 
 /// Outcome of a sequential estimation run.
 struct MonteCarloResult {
@@ -35,7 +41,25 @@ struct MonteCarloResult {
 struct MonteCarloOptions {
   /// Hard cap on total trials (guards #P-hard worst cases); 0 = unlimited.
   uint64_t max_samples = 200'000'000;
+  /// Batched (parallel-capable) sampling: trials per RNG substream batch.
+  /// Batch k of a seeded run draws from Rng(SubstreamSeed(phase_seed, k)),
+  /// so the trial-value sequence depends only on the seed — never on the
+  /// thread count.
+  uint64_t sample_batch_size = 2048;
+  /// Max batches materialized per scheduling wave in the seeded
+  /// stopping-rule phases (waves start at one batch and double up to this
+  /// cap). A pure scheduling knob: the trial stream and the stop index
+  /// depend only on the seed and sample_batch_size, so changing the wave
+  /// cap (or the thread count) never changes the estimate — larger waves
+  /// just parallelize better while wasting more trials past the stopping
+  /// point.
+  uint64_t batches_per_wave = 8;
 };
+
+/// Counter-based substream seeding (SplitMix64 finalizer over
+/// base + k·golden-ratio): maps a (base seed, batch index) pair to the
+/// seed of that batch's private RNG. Exposed so tests can pin the scheme.
+uint64_t SubstreamSeed(uint64_t base_seed, uint64_t batch_index);
 
 /// DKLR Stopping Rule Algorithm: runs trials until the running sum reaches
 /// Υ₁ = 1 + (1+ε)·4(e−2)·ln(2/δ)/ε²; the output μ̂ = Υ₁/N satisfies
@@ -63,5 +87,34 @@ Result<MonteCarloResult> ApproxConfidence(const Dnf& dnf, const WorldTable& wt,
 Result<MonteCarloResult> ApproxConfidence(CompiledDnf dnf, double epsilon,
                                           double delta, Rng* rng,
                                           const MonteCarloOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Seeded (deterministic, parallel-capable) estimation
+// ---------------------------------------------------------------------------
+//
+// The sequential DKLR algorithms above consume one shared RNG stream, so
+// their results depend on every preceding draw — fine for a single-threaded
+// session, unusable for parallel sampling. The *seeded* variants instead
+// draw trials in fixed-size batches on counter-based RNG substreams
+// (SubstreamSeed): the trial-value sequence, the stopping decisions, and
+// the final estimate are a pure function of (base_seed, epsilon, delta,
+// options) — bit-identical whether computed serially (pool == nullptr) or
+// on a pool of any size. The engines switch aconf() to this path whenever
+// ExecOptions::num_threads > 1, drawing base_seed from the session RNG.
+
+/// DKLR AA over a deterministic batched trial stream. `make_trial` is
+/// invoked once per batch task; each returned TrialFn must be independent
+/// (own scratch). `pool` only changes wall-clock time, never the result.
+Result<MonteCarloResult> OptimalEstimateSeeded(const TrialFactory& make_trial,
+                                               double epsilon, double delta,
+                                               uint64_t base_seed,
+                                               const MonteCarloOptions& options = {},
+                                               ThreadPool* pool = nullptr);
+
+/// aconf(ε,δ) on compiled lineage via Karp-Luby trials on substreams.
+Result<MonteCarloResult> ApproxConfidenceSeeded(CompiledDnf dnf, double epsilon,
+                                                double delta, uint64_t base_seed,
+                                                const MonteCarloOptions& options = {},
+                                                ThreadPool* pool = nullptr);
 
 }  // namespace maybms

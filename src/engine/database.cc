@@ -1,5 +1,6 @@
 #include "src/engine/database.h"
 
+#include "src/common/thread_pool.h"
 #include "src/plan/planner.h"
 #include "src/sql/parser.h"
 
@@ -7,6 +8,10 @@ namespace maybms {
 
 Database::Database(DatabaseOptions options)
     : options_(std::move(options)), rng_(options_.seed) {}
+
+Database::~Database() = default;
+Database::Database(Database&&) noexcept = default;
+Database& Database::operator=(Database&&) noexcept = default;
 
 void Database::Reseed(uint64_t seed) { rng_ = Rng(seed); }
 
@@ -16,6 +21,19 @@ Result<QueryResult> Database::RunStatement(const Statement& stmt) {
   ctx.catalog = &catalog_;
   ctx.rng = &rng_;
   ctx.options = &options_.exec;
+  // num_threads == 1 runs fully serial (no pool, legacy bit-for-bit
+  // behavior); anything else gets a pool of the effective size, recreated
+  // if the caller changed options() between statements.
+  unsigned want = options_.exec.num_threads != 0 ? options_.exec.num_threads
+                                                 : ThreadPool::DefaultThreads();
+  if (want > 1) {
+    if (pool_ == nullptr || pool_->num_threads() != want) {
+      pool_ = std::make_unique<ThreadPool>(want);
+    }
+    ctx.pool = pool_.get();
+  } else {
+    pool_.reset();  // dropped back to serial: release the idle workers
+  }
   MAYBMS_ASSIGN_OR_RETURN(StatementResult result, ExecuteStatement(bound, &ctx));
   if (result.has_data) {
     return QueryResult(std::move(result.data), std::move(result.message));

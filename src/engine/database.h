@@ -8,6 +8,13 @@
 //   db.Execute("insert into coin values ('heads'), ('tails')");
 //   auto r = db.Query(
 //       "select face, conf() as p from (repair key face in coin) c group by face");
+//
+// Queries run morsel-parallel on a work-stealing pool sized by
+// DatabaseOptions::exec.num_threads (default: hardware_concurrency; 1 runs
+// fully serial). Deterministic queries — including conf() — return
+// identical results at every thread count; aconf() estimates are identical
+// across all thread counts >= 2, while 1 keeps the legacy sequential
+// sampling stream (a different, equally valid (ε,δ) sample).
 #pragma once
 
 #include <memory>
@@ -28,10 +35,15 @@ struct DatabaseOptions {
   ExecOptions exec;
 };
 
+class ThreadPool;
+
 /// An embedded MayBMS instance: catalog + world table + query pipeline.
 class Database {
  public:
   explicit Database(DatabaseOptions options = {});
+  ~Database();
+  Database(Database&&) noexcept;
+  Database& operator=(Database&&) noexcept;
 
   /// Runs a single statement and returns its result (rows for selects,
   /// affected counts/messages for DDL and DML).
@@ -63,6 +75,7 @@ class Database {
   DatabaseOptions options_;
   Catalog catalog_;
   Rng rng_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily sized per exec.num_threads
 };
 
 }  // namespace maybms

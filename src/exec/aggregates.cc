@@ -99,8 +99,21 @@ Result<std::vector<std::vector<Value>>> ComputeGroupAggregates(
         for (const Row* row : group_rows) dnf.AddClause(row->condition);
         if (agg.kind == AggKind::kConf) {
           MAYBMS_ASSIGN_OR_RETURN(
-              double p, ExactConfidence(dnf, wt, ctx->options->exact, nullptr));
+              double p,
+              ExactConfidence(dnf, wt, ctx->options->exact, nullptr, ctx->pool));
           values[a] = Value::Double(p);
+        } else if (ctx->pool != nullptr) {
+          // Parallel sampling: draw ONE base seed from the session stream
+          // (keeping it advancing deterministically, and in the same order
+          // the batch engine draws it), then sample on counter-based
+          // substreams — identical estimates at any thread count >= 2.
+          uint64_t base_seed = ctx->rng->Next();
+          MAYBMS_ASSIGN_OR_RETURN(
+              MonteCarloResult mc,
+              ApproxConfidenceSeeded(CompiledDnf(dnf, wt), agg.epsilon, agg.delta,
+                                     base_seed, ctx->options->montecarlo,
+                                     ctx->pool));
+          values[a] = Value::Double(mc.estimate);
         } else {
           MAYBMS_ASSIGN_OR_RETURN(
               MonteCarloResult mc,

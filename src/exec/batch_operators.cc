@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <limits>
 #include <memory>
 
 #include "src/common/row_index.h"
 #include "src/common/str_util.h"
+#include "src/common/thread_pool.h"
 #include "src/conf/karp_luby.h"
 #include "src/exec/vector_expression.h"
 #include "src/lineage/compiled_dnf.h"
@@ -58,6 +61,36 @@ Result<Batch> FilterBatch(const BoundExpr& pred, Batch in) {
     if (TruthyCell(*mask, k)) sel.push_back(static_cast<uint32_t>(k));
   }
   if (sel.size() == in.num_rows) return in;
+  return GatherBatch(in, sel);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel execution helpers (morsel-driven)
+//
+// With ExecContext::pool set (ExecOptions::num_threads > 1), operators
+// split their input into row morsels and fan pure per-morsel work out on
+// the pool. Three invariants keep the parallel engine bit-for-bit equal to
+// the serial one at every thread count:
+//   1. children are always DRAINED serially (side effects — repair-key /
+//      pick-tuples variable registration — keep their order);
+//   2. morsel boundaries depend only on the input and morsel_size, never
+//      on the thread count;
+//   3. per-morsel results land in indexed slots and fold in morsel order.
+// ---------------------------------------------------------------------------
+
+size_t MorselRows(const ExecContext* ctx) {
+  size_t m = ctx->options->morsel_size;
+  return m == 0 ? std::numeric_limits<size_t>::max() : m;
+}
+
+/// Gathers rows [begin, end) of a batch into a fresh one. Only reached for
+/// strict sub-ranges (DrainMorsels moves whole batches through untouched),
+/// i.e. when morsel_size undercuts the scan chunk size — a testing/tuning
+/// knob that pays a copy.
+Batch SliceBatch(const Batch& in, size_t begin, size_t end) {
+  std::vector<uint32_t> sel;
+  sel.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) sel.push_back(static_cast<uint32_t>(i));
   return GatherBatch(in, sel);
 }
 
@@ -136,15 +169,44 @@ Result<Drained> DrainAll(BatchOperator* child, bool concat_conds = true) {
   return d;
 }
 
-/// Evaluates an expression over every drained batch.
-Result<std::vector<ColumnVectorPtr>> EvalPerBatch(const BoundExpr& expr,
-                                                  const Drained& d) {
-  std::vector<ColumnVectorPtr> out;
-  out.reserve(d.batches.size());
-  for (const Batch& b : d.batches) {
-    MAYBMS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(expr, b));
-    out.push_back(std::move(col));
+/// Drains the child (serially — side-effect order) and splits its batches
+/// into morsels of at most `morsel_rows` rows, preserving row order.
+Result<std::vector<Batch>> DrainMorsels(BatchOperator* child, size_t morsel_rows) {
+  std::vector<Batch> morsels;
+  Batch b;
+  while (true) {
+    MAYBMS_ASSIGN_OR_RETURN(bool more, child->Next(&b));
+    if (!more) break;
+    if (b.num_rows <= morsel_rows) {
+      morsels.push_back(std::move(b));
+    } else {
+      for (size_t begin = 0; begin < b.num_rows; begin += morsel_rows) {
+        morsels.push_back(
+            SliceBatch(b, begin, std::min(b.num_rows, begin + morsel_rows)));
+      }
+    }
+    b = Batch();
   }
+  return morsels;
+}
+
+/// Evaluates an expression over every drained batch; with a pool the
+/// batches evaluate concurrently (expression evaluation is pure), results
+/// land in per-batch slots either way.
+Result<std::vector<ColumnVectorPtr>> EvalPerBatch(const BoundExpr& expr,
+                                                  const Drained& d,
+                                                  ThreadPool* pool = nullptr) {
+  std::vector<ColumnVectorPtr> out(d.batches.size());
+  if (pool == nullptr) {
+    for (size_t i = 0; i < d.batches.size(); ++i) {
+      MAYBMS_ASSIGN_OR_RETURN(out[i], EvalVector(expr, d.batches[i]));
+    }
+    return out;
+  }
+  MAYBMS_RETURN_NOT_OK(pool->ParallelForStatus(0, d.batches.size(), [&](size_t i) {
+    MAYBMS_ASSIGN_OR_RETURN(out[i], EvalVector(expr, d.batches[i]));
+    return Status::OK();
+  }));
   return out;
 }
 
@@ -204,9 +266,95 @@ class FilterOp : public BatchOperator {
 };
 
 // ---------------------------------------------------------------------------
+// Morsel-driven parallel map: the parallel engine's Filter and Project.
+// Drains the child, splits into morsels, applies the (pure, thread-safe)
+// transform per morsel on the pool, and emits the surviving results in
+// morsel order — bit-for-bit the serial operators' output order. Trades
+// streaming for parallelism: the morsels (and their transforms) are
+// resident at once, like the engine's other pipeline breakers.
+// ---------------------------------------------------------------------------
+
+class MorselMapOp : public MaterializedOperator {
+ public:
+  MorselMapOp(BatchOperatorPtr child, ExecContext* ctx)
+      : child_(std::move(child)), ctx_(ctx) {}
+
+ protected:
+  // Morsels are single-use: taken by value so transforms move instead of
+  // copying the condition column.
+  virtual Result<Batch> Transform(Batch morsel) const = 0;
+
+  Status Compute() override {
+    MAYBMS_ASSIGN_OR_RETURN(std::vector<Batch> morsels,
+                            DrainMorsels(child_.get(), MorselRows(ctx_)));
+    size_t n = morsels.size();
+    std::vector<Batch> outs(n);
+    MAYBMS_RETURN_NOT_OK(ctx_->pool->ParallelForStatus(0, n, [&](size_t i) {
+      MAYBMS_ASSIGN_OR_RETURN(outs[i], Transform(std::move(morsels[i])));
+      return Status::OK();
+    }));
+    for (Batch& out : outs) {
+      if (out.num_rows > 0) ready_.push_back(std::move(out));
+    }
+    return Status::OK();
+  }
+
+  BatchOperatorPtr child_;
+  ExecContext* ctx_;
+};
+
+class ParallelFilterOp final : public MorselMapOp {
+ public:
+  ParallelFilterOp(BatchOperatorPtr child, const BoundExpr* pred, ExecContext* ctx)
+      : MorselMapOp(std::move(child), ctx), pred_(pred) {}
+
+ protected:
+  Result<Batch> Transform(Batch morsel) const override {
+    return FilterBatch(*pred_, std::move(morsel));
+  }
+
+ private:
+  const BoundExpr* pred_;
+};
+
+// ---------------------------------------------------------------------------
 // Project (including tconf(): per-row marginal probability from the
 // condition column, output t-certain)
 // ---------------------------------------------------------------------------
+
+// One batch through a projection: shared by the serial (streaming) and
+// parallel (morsel-map) operators. Reads the world table only through
+// const lookups, so it is safe to run concurrently on distinct batches.
+Result<Batch> ProjectBatch(const ProjectNode& node, const WorldTable& wt,
+                           Batch in) {
+  Batch out;
+  out.columns.reserve(node.exprs.size());
+  for (const BoundExprPtr& e : node.exprs) {
+    if (e->kind == BoundExprKind::kTconf) {
+      // tconf(): the marginal probability of this tuple in isolation —
+      // the product of its condition's atom probabilities (§2.2),
+      // computed straight off the packed condition spans.
+      auto col = std::make_shared<ColumnVector>(TypeId::kDouble);
+      col->Reserve(in.num_rows);
+      for (size_t k = 0; k < in.num_rows; ++k) {
+        AtomSpan span = in.conditions.Span(k);
+        col->AppendDouble(wt.ConditionProb(span.data, span.size));
+      }
+      out.columns.push_back(std::move(col));
+    } else {
+      MAYBMS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*e, in));
+      out.columns.push_back(std::move(col));
+    }
+  }
+  out.num_rows = in.num_rows;
+  if (node.has_tconf) {
+    // tconf() maps uncertain to t-certain: conditions are consumed.
+    for (size_t k = 0; k < in.num_rows; ++k) out.conditions.AppendTrue();
+  } else {
+    out.conditions = std::move(in.conditions);
+  }
+  return out;
+}
 
 class ProjectOp : public BatchOperator {
  public:
@@ -217,34 +365,7 @@ class ProjectOp : public BatchOperator {
     Batch in;
     MAYBMS_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
     if (!more) return false;
-    out->columns.clear();
-    out->columns.reserve(node_.exprs.size());
-    const WorldTable& wt = ctx_->worlds();
-    for (const BoundExprPtr& e : node_.exprs) {
-      if (e->kind == BoundExprKind::kTconf) {
-        // tconf(): the marginal probability of this tuple in isolation —
-        // the product of its condition's atom probabilities (§2.2),
-        // computed straight off the packed condition spans.
-        auto col = std::make_shared<ColumnVector>(TypeId::kDouble);
-        col->Reserve(in.num_rows);
-        for (size_t k = 0; k < in.num_rows; ++k) {
-          AtomSpan span = in.conditions.Span(k);
-          col->AppendDouble(wt.ConditionProb(span.data, span.size));
-        }
-        out->columns.push_back(std::move(col));
-      } else {
-        MAYBMS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*e, in));
-        out->columns.push_back(std::move(col));
-      }
-    }
-    out->num_rows = in.num_rows;
-    out->conditions = ConditionColumn();
-    if (node_.has_tconf) {
-      // tconf() maps uncertain to t-certain: conditions are consumed.
-      for (size_t k = 0; k < in.num_rows; ++k) out->conditions.AppendTrue();
-    } else {
-      out->conditions = std::move(in.conditions);
-    }
+    MAYBMS_ASSIGN_OR_RETURN(*out, ProjectBatch(node_, ctx_->worlds(), std::move(in)));
     return true;
   }
 
@@ -254,6 +375,21 @@ class ProjectOp : public BatchOperator {
   ExecContext* ctx_;
 };
 
+class ParallelProjectOp final : public MorselMapOp {
+ public:
+  ParallelProjectOp(BatchOperatorPtr child, const ProjectNode& node,
+                    ExecContext* ctx)
+      : MorselMapOp(std::move(child), ctx), node_(node) {}
+
+ protected:
+  Result<Batch> Transform(Batch morsel) const override {
+    return ProjectBatch(node_, ctx_->worlds(), std::move(morsel));
+  }
+
+ private:
+  const ProjectNode& node_;
+};
+
 // ---------------------------------------------------------------------------
 // Join: hash join (equi-keys) or cross product, with the parsimonious
 // condition merge and an optional residual predicate.
@@ -261,8 +397,9 @@ class ProjectOp : public BatchOperator {
 
 class JoinOp : public BatchOperator {
  public:
-  JoinOp(BatchOperatorPtr left, BatchOperatorPtr right, const JoinNode& node)
-      : left_(std::move(left)), right_(std::move(right)), node_(node) {}
+  JoinOp(BatchOperatorPtr left, BatchOperatorPtr right, const JoinNode& node,
+         ExecContext* ctx)
+      : left_(std::move(left)), right_(std::move(right)), node_(node), ctx_(ctx) {}
 
   Result<bool> Next(Batch* out) override {
     if (!built_) {
@@ -271,29 +408,43 @@ class JoinOp : public BatchOperator {
     }
     Batch in;
     while (true) {
+      // Parallel probes yield one output batch per left-row morsel; hand
+      // them out in morsel order (batch boundaries are semantically
+      // invisible — row order is what parity pins down).
+      if (!pending_.empty()) {
+        *out = std::move(pending_.front());
+        pending_.pop_front();
+        return true;
+      }
       MAYBMS_ASSIGN_OR_RETURN(bool more, left_->Next(&in));
       if (!more) return false;
-      MAYBMS_ASSIGN_OR_RETURN(Batch joined, JoinLeftBatch(in));
-      if (node_.residual != nullptr && joined.num_rows > 0) {
-        MAYBMS_ASSIGN_OR_RETURN(joined,
-                                FilterBatch(*node_.residual, std::move(joined)));
+      MAYBMS_ASSIGN_OR_RETURN(std::vector<Batch> joined, JoinLeftBatch(in));
+      for (Batch& b : joined) {
+        if (node_.residual != nullptr && b.num_rows > 0) {
+          MAYBMS_ASSIGN_OR_RETURN(b, FilterBatch(*node_.residual, std::move(b)));
+        }
+        if (b.num_rows > 0) pending_.push_back(std::move(b));
       }
-      if (joined.num_rows == 0) {
-        in = Batch();
-        continue;
-      }
-      *out = std::move(joined);
-      return true;
+      in = Batch();
     }
   }
 
  private:
+  // Hash partitioning (parallel build): partition by the hash's HIGH bits
+  // — HashRowIndex buckets by the low bits, so the two stay independent.
+  // The partition count is fixed; a row's partition never depends on the
+  // thread count.
+  static constexpr size_t kPartitionBits = 6;
+  static constexpr size_t kPartitions = size_t{1} << kPartitionBits;
+  static size_t PartitionOf(uint64_t h) { return h >> (64 - kPartitionBits); }
+
   Status Build() {
     // EmitPair reads conditions from the per-batch columns; skip the
     // concatenated copy.
     MAYBMS_ASSIGN_OR_RETURN(right_data_,
                             DrainAll(right_.get(), /*concat_conds=*/false));
     if (node_.left_keys.empty()) return Status::OK();  // cross product
+    if (ctx_->pool != nullptr) return BuildParallel();
     right_key_cols_.reserve(right_data_.batches.size());
     for (const Batch& b : right_data_.batches) {
       std::vector<ColumnVectorPtr> keys;
@@ -321,6 +472,83 @@ class JoinOp : public BatchOperator {
     return Status::OK();
   }
 
+  // Partitioned parallel build: key columns evaluate per batch on the
+  // pool, rows radix-partition by hash, and each partition's index builds
+  // independently — inserting in global row order, so every partition
+  // reproduces the serial index's per-key candidate order.
+  Status BuildParallel() {
+    ThreadPool* pool = ctx_->pool;
+    size_t num_batches = right_data_.batches.size();
+    right_key_cols_.assign(num_batches, {});
+    MAYBMS_RETURN_NOT_OK(pool->ParallelForStatus(0, num_batches, [&](size_t i) {
+      std::vector<ColumnVectorPtr> keys;
+      keys.reserve(node_.right_keys.size());
+      for (const BoundExprPtr& e : node_.right_keys) {
+        MAYBMS_ASSIGN_OR_RETURN(ColumnVectorPtr col,
+                                EvalVector(*e, right_data_.batches[i]));
+        keys.push_back(std::move(col));
+      }
+      right_key_cols_[i] = std::move(keys);
+      return Status::OK();
+    }));
+
+    // Hash every right row (null keys never join).
+    size_t num_rows = right_data_.num_rows;
+    right_hash_.assign(num_rows, 0);
+    right_skip_.assign(num_rows, 0);
+    size_t morsel = std::min(MorselRows(ctx_), std::max<size_t>(num_rows, 1));
+    pool->ParallelFor(0, num_rows, morsel, [&](size_t begin, size_t end) {
+      std::vector<Value> key(node_.right_keys.size());
+      for (size_t row = begin; row < end; ++row) {
+        uint32_t b = right_data_.row_batch[row];
+        uint32_t i = right_data_.row_idx[row];
+        bool has_null = false;
+        for (size_t k = 0; k < key.size(); ++k) {
+          key[k] = right_key_cols_[b][k]->GetValue(i);
+          has_null |= key[k].is_null();
+        }
+        if (has_null) {
+          right_skip_[row] = 1;
+          continue;
+        }
+        right_hash_[row] = HashValueSpan(key.data(), key.size());
+      }
+    });
+
+    // Radix partition: per-morsel buckets (parallel), then one index per
+    // partition built from the morsel buckets in morsel order (parallel
+    // across partitions — the "partitioned parallel hash-join build").
+    size_t num_morsels = (num_rows + morsel - 1) / morsel;
+    std::vector<std::vector<std::vector<uint32_t>>> buckets(num_morsels);
+    pool->ParallelFor(0, num_morsels, 1, [&](size_t begin, size_t end) {
+      for (size_t m = begin; m < end; ++m) {
+        std::vector<std::vector<uint32_t>>& local = buckets[m];
+        local.resize(kPartitions);
+        size_t row_begin = m * morsel;
+        size_t row_end = std::min(num_rows, row_begin + morsel);
+        for (size_t row = row_begin; row < row_end; ++row) {
+          if (right_skip_[row]) continue;
+          local[PartitionOf(right_hash_[row])].push_back(
+              static_cast<uint32_t>(row));
+        }
+      }
+    });
+    part_index_.assign(kPartitions, HashRowIndex());
+    pool->ParallelFor(0, kPartitions, 1, [&](size_t begin, size_t end) {
+      for (size_t p = begin; p < end; ++p) {
+        size_t total = 0;
+        for (const auto& local : buckets) total += local[p].size();
+        HashRowIndex index(total);
+        for (const auto& local : buckets) {
+          for (uint32_t row : local[p]) index.Insert(right_hash_[row], row);
+        }
+        part_index_[p] = std::move(index);
+      }
+    });
+    partitioned_ = true;
+    return Status::OK();
+  }
+
   // Appends left row `li` of `lb` joined with global right row `row`,
   // unless their conditions are inconsistent.
   void EmitPair(const Batch& lb, size_t li, size_t row, Batch* out) {
@@ -343,38 +571,31 @@ class JoinOp : public BatchOperator {
     ++out->num_rows;
   }
 
-  Result<Batch> JoinLeftBatch(const Batch& lb) {
+  // Probes left rows [begin, end): thread-safe (only touches *out and
+  // read-only build state). Candidates sort into build-insertion (= right
+  // input) order, like the row engine's per-key bucket vectors — and like
+  // the serial single index, since every partition inserts in global row
+  // order.
+  Result<Batch> ProbeRange(const Batch& lb,
+                           const std::vector<ColumnVectorPtr>& left_keys,
+                           size_t begin, size_t end) {
     Batch out = AllocateOutput(node_.output_schema);
-    if (node_.left_keys.empty()) {
-      for (size_t li = 0; li < lb.num_rows; ++li) {
-        for (size_t row = 0; row < right_data_.num_rows; ++row) {
-          EmitPair(lb, li, row, &out);
-        }
-      }
-      return out;
-    }
-    std::vector<ColumnVectorPtr> left_keys;
-    left_keys.reserve(node_.left_keys.size());
-    for (const BoundExprPtr& e : node_.left_keys) {
-      MAYBMS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*e, lb));
-      left_keys.push_back(std::move(col));
-    }
     std::vector<Value> key(left_keys.size());
     std::vector<uint32_t> candidates;
-    for (size_t li = 0; li < lb.num_rows; ++li) {
+    for (size_t li = begin; li < end; ++li) {
       bool has_null = false;
       for (size_t k = 0; k < left_keys.size(); ++k) {
         key[k] = left_keys[k]->GetValue(li);
         has_null |= key[k].is_null();
       }
       if (has_null) continue;
+      uint64_t h = HashValueSpan(key.data(), key.size());
+      const HashRowIndex& index = partitioned_ ? part_index_[PartitionOf(h)] : index_;
       candidates.clear();
-      index_.ForEach(HashValueSpan(key.data(), key.size()), [&](uint32_t row) {
+      index.ForEach(h, [&](uint32_t row) {
         candidates.push_back(row);
         return true;
       });
-      // Build-insertion (= right input) order, like the row engine's
-      // per-key bucket vectors.
       std::sort(candidates.begin(), candidates.end());
       for (uint32_t row : candidates) {
         uint32_t b = right_data_.row_batch[row];
@@ -392,13 +613,87 @@ class JoinOp : public BatchOperator {
     return out;
   }
 
+  Batch CrossRange(const Batch& lb, size_t begin, size_t end) {
+    Batch out = AllocateOutput(node_.output_schema);
+    for (size_t li = begin; li < end; ++li) {
+      for (size_t row = 0; row < right_data_.num_rows; ++row) {
+        EmitPair(lb, li, row, &out);
+      }
+    }
+    return out;
+  }
+
+  // Probes one left batch across left-row morsels on the pool. Each
+  // morsel's output stays its own batch, returned in morsel order — the
+  // serial row order, with no second copy to merge them. A left batch is
+  // at most one scan chunk (<= the default morsel_size), so probe morsels
+  // split each batch kProbeSplit ways — a FIXED fan-out, independent of
+  // the thread count, or probes would never parallelize at defaults.
+  template <typename RangeFn>
+  Result<std::vector<Batch>> ParallelOverLeftRows(const Batch& lb,
+                                                  RangeFn&& range_fn) {
+    constexpr size_t kProbeSplit = 8;
+    size_t morsel = std::max<size_t>(
+        1, std::min(MorselRows(ctx_),
+                    (lb.num_rows + kProbeSplit - 1) / kProbeSplit));
+    size_t num_morsels = (lb.num_rows + morsel - 1) / morsel;
+    std::vector<Batch> outs(num_morsels);
+    std::vector<Status> statuses(num_morsels, Status::OK());
+    ctx_->pool->ParallelFor(0, lb.num_rows, morsel, [&](size_t begin, size_t end) {
+      size_t m = begin / morsel;
+      Result<Batch> r = range_fn(begin, end);
+      if (r.ok()) {
+        outs[m] = std::move(*r);
+      } else {
+        statuses[m] = r.status();
+      }
+    });
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+    return outs;
+  }
+
+  Result<std::vector<Batch>> JoinLeftBatch(const Batch& lb) {
+    std::vector<Batch> out;
+    if (node_.left_keys.empty()) {
+      if (ctx_->pool == nullptr) {
+        out.push_back(CrossRange(lb, 0, lb.num_rows));
+        return out;
+      }
+      return ParallelOverLeftRows(lb, [&](size_t begin, size_t end) {
+        return Result<Batch>(CrossRange(lb, begin, end));
+      });
+    }
+    std::vector<ColumnVectorPtr> left_keys;
+    left_keys.reserve(node_.left_keys.size());
+    for (const BoundExprPtr& e : node_.left_keys) {
+      MAYBMS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*e, lb));
+      left_keys.push_back(std::move(col));
+    }
+    if (ctx_->pool == nullptr) {
+      MAYBMS_ASSIGN_OR_RETURN(Batch joined, ProbeRange(lb, left_keys, 0, lb.num_rows));
+      out.push_back(std::move(joined));
+      return out;
+    }
+    return ParallelOverLeftRows(lb, [&](size_t begin, size_t end) {
+      return ProbeRange(lb, left_keys, begin, end);
+    });
+  }
+
   BatchOperatorPtr left_;
   BatchOperatorPtr right_;
   const JoinNode& node_;
+  ExecContext* ctx_;
   bool built_ = false;
+  std::deque<Batch> pending_;  // parallel probe outputs awaiting hand-out
   Drained right_data_;
   std::vector<std::vector<ColumnVectorPtr>> right_key_cols_;  // per batch
-  HashRowIndex index_;
+  HashRowIndex index_;                     // serial build
+  bool partitioned_ = false;               // parallel build used part_index_
+  std::vector<HashRowIndex> part_index_;   // kPartitions indexes
+  std::vector<uint64_t> right_hash_;       // per global right row
+  std::vector<uint8_t> right_skip_;        // 1 = null key, never joins
 };
 
 // ---------------------------------------------------------------------------
@@ -644,16 +939,37 @@ class PossibleOp : public MaterializedOperator {
   Status Compute() override {
     DedupAccumulator acc(node_.output_schema);
     const WorldTable& wt = ctx_->worlds();
-    Batch in;
-    while (true) {
-      MAYBMS_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
-      if (!more) break;
-      for (size_t i = 0; i < in.num_rows; ++i) {
-        AtomSpan span = in.conditions.Span(i);
-        if (wt.ConditionProb(span.data, span.size) <= 0) continue;
-        acc.Add(in, i);
+    if (ctx_->pool != nullptr) {
+      // The per-row probability check is pure — run it over morsels; the
+      // order-sensitive dedup then folds the keep-mask serially.
+      MAYBMS_ASSIGN_OR_RETURN(Drained in, DrainAll(child_.get()));
+      std::vector<uint8_t> keep(in.num_rows, 0);
+      if (in.num_rows > 0) {
+        ctx_->pool->ParallelFor(
+            0, in.num_rows, std::min(MorselRows(ctx_), in.num_rows),
+            [&](size_t begin, size_t end) {
+              for (size_t row = begin; row < end; ++row) {
+                AtomSpan span = in.conds.Span(row);
+                keep[row] = wt.ConditionProb(span.data, span.size) > 0 ? 1 : 0;
+              }
+            });
       }
-      in = Batch();
+      for (size_t row = 0; row < in.num_rows; ++row) {
+        if (!keep[row]) continue;
+        acc.Add(in.batches[in.row_batch[row]], in.row_idx[row]);
+      }
+    } else {
+      Batch in;
+      while (true) {
+        MAYBMS_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+        if (!more) break;
+        for (size_t i = 0; i < in.num_rows; ++i) {
+          AtomSpan span = in.conditions.Span(i);
+          if (wt.ConditionProb(span.data, span.size) <= 0) continue;
+          acc.Add(in, i);
+        }
+        in = Batch();
+      }
     }
     Batch& b = acc.batch();
     for (size_t i = 0; i < b.num_rows; ++i) b.conditions.AppendTrue();
@@ -673,18 +989,19 @@ class PossibleOp : public MaterializedOperator {
 
 class SortOp : public MaterializedOperator {
  public:
-  SortOp(BatchOperatorPtr child, const SortNode& node)
-      : child_(std::move(child)), node_(node) {}
+  SortOp(BatchOperatorPtr child, const SortNode& node, ExecContext* ctx)
+      : child_(std::move(child)), node_(node), ctx_(ctx) {}
 
  protected:
   Status Compute() override {
     MAYBMS_ASSIGN_OR_RETURN(Drained in, DrainAll(child_.get()));
-    // Precompute sort keys, column-at-a-time per batch.
+    // Precompute sort keys, column-at-a-time per batch (parallel across
+    // batches; the stable sort itself stays serial — a barrier).
     std::vector<std::vector<ColumnVectorPtr>> key_cols;  // [key][batch]
     key_cols.reserve(node_.keys.size());
     for (const SortNode::Key& k : node_.keys) {
       MAYBMS_ASSIGN_OR_RETURN(std::vector<ColumnVectorPtr> cols,
-                              EvalPerBatch(*k.expr, in));
+                              EvalPerBatch(*k.expr, in, ctx_->pool));
       key_cols.push_back(std::move(cols));
     }
     std::vector<uint32_t> order(in.num_rows);
@@ -715,6 +1032,7 @@ class SortOp : public MaterializedOperator {
  private:
   BatchOperatorPtr child_;
   const SortNode& node_;
+  ExecContext* ctx_;
 };
 
 class LimitOp : public BatchOperator {
@@ -797,9 +1115,12 @@ class RepairKeyOp : public MaterializedOperator {
     }
 
     // Evaluate weights column-at-a-time (default weight 1: uniform).
+    // Grouping and variable registration stay serial: NewVariable order is
+    // engine-observable state.
     std::vector<ColumnVectorPtr> weight_cols;
     if (node_.weight != nullptr) {
-      MAYBMS_ASSIGN_OR_RETURN(weight_cols, EvalPerBatch(*node_.weight, in));
+      MAYBMS_ASSIGN_OR_RETURN(weight_cols,
+                              EvalPerBatch(*node_.weight, in, ctx_->pool));
     }
     auto weight_of = [&](uint32_t row) -> Result<double> {
       if (node_.weight == nullptr) return 1.0;
@@ -928,25 +1249,28 @@ class AggregateOp : public MaterializedOperator {
  protected:
   Status Compute() override {
     MAYBMS_ASSIGN_OR_RETURN(Drained in, DrainAll(child_.get()));
+    ThreadPool* pool = ctx_->pool;
 
     // Group rows, first-seen order.
     std::vector<std::vector<ColumnVectorPtr>> group_cols;  // [expr][batch]
     group_cols.reserve(node_.group_exprs.size());
     for (const BoundExprPtr& e : node_.group_exprs) {
       MAYBMS_ASSIGN_OR_RETURN(std::vector<ColumnVectorPtr> cols,
-                              EvalPerBatch(*e, in));
+                              EvalPerBatch(*e, in, pool));
       group_cols.push_back(std::move(cols));
     }
     HashRowIndex group_index;
     std::vector<std::vector<uint32_t>> groups;
     std::vector<Value> group_keys;  // flattened, arity = #group_exprs
     size_t arity = node_.group_exprs.size();
-    std::vector<Value> key(arity);
-    for (size_t row = 0; row < in.num_rows; ++row) {
+    auto load_key = [&](size_t row, std::vector<Value>* key) {
       for (size_t k = 0; k < arity; ++k) {
-        key[k] = group_cols[k][in.row_batch[row]]->GetValue(in.row_idx[row]);
+        (*key)[k] = group_cols[k][in.row_batch[row]]->GetValue(in.row_idx[row]);
       }
-      uint64_t h = HashValueSpan(key.data(), arity);
+    };
+    // Appends rows to the group of `key` (creating it), serially. Returns
+    // the group id.
+    auto find_or_create = [&](const std::vector<Value>& key, uint64_t h) {
       uint32_t found = HashRowIndex::kNoRow;
       group_index.ForEach(h, [&](uint32_t g) {
         const Value* stored = group_keys.data() + static_cast<size_t>(g) * arity;
@@ -956,12 +1280,68 @@ class AggregateOp : public MaterializedOperator {
         found = g;
         return false;
       });
-      if (found != HashRowIndex::kNoRow) {
-        groups[found].push_back(static_cast<uint32_t>(row));
-      } else {
-        group_index.Insert(h, static_cast<uint32_t>(groups.size()));
-        groups.push_back({static_cast<uint32_t>(row)});
+      if (found == HashRowIndex::kNoRow) {
+        found = static_cast<uint32_t>(groups.size());
+        group_index.Insert(h, found);
+        groups.emplace_back();
         group_keys.insert(group_keys.end(), key.begin(), key.end());
+      }
+      return found;
+    };
+    if (pool == nullptr) {
+      std::vector<Value> key(arity);
+      for (size_t row = 0; row < in.num_rows; ++row) {
+        load_key(row, &key);
+        uint32_t g = find_or_create(key, HashValueSpan(key.data(), arity));
+        groups[g].push_back(static_cast<uint32_t>(row));
+      }
+    } else if (in.num_rows > 0) {
+      // Per-thread partial grouping: each morsel groups its rows locally
+      // (first-seen inside the morsel, members in row order); the partials
+      // then merge at the barrier in morsel order. First occurrences meet
+      // the global table in ascending row order, so group ids, key values,
+      // and member lists come out exactly as in the serial loop.
+      size_t morsel = std::min(MorselRows(ctx_), in.num_rows);
+      size_t num_morsels = (in.num_rows + morsel - 1) / morsel;
+      struct LocalGroups {
+        std::vector<std::vector<uint32_t>> groups;  // local first-seen order
+        std::vector<uint64_t> hashes;               // per local group
+      };
+      std::vector<LocalGroups> partials(num_morsels);
+      pool->ParallelFor(0, in.num_rows, morsel, [&](size_t begin, size_t end) {
+        LocalGroups& local = partials[begin / morsel];
+        HashRowIndex local_index;
+        std::vector<Value> key(arity);
+        std::vector<Value> other(arity);
+        for (size_t row = begin; row < end; ++row) {
+          load_key(row, &key);
+          uint64_t h = HashValueSpan(key.data(), arity);
+          uint32_t found = HashRowIndex::kNoRow;
+          local_index.ForEach(h, [&](uint32_t g) {
+            load_key(local.groups[g][0], &other);
+            for (size_t k = 0; k < arity; ++k) {
+              if (!other[k].Equals(key[k])) return true;
+            }
+            found = g;
+            return false;
+          });
+          if (found == HashRowIndex::kNoRow) {
+            found = static_cast<uint32_t>(local.groups.size());
+            local_index.Insert(h, found);
+            local.groups.emplace_back();
+            local.hashes.push_back(h);
+          }
+          local.groups[found].push_back(static_cast<uint32_t>(row));
+        }
+      });
+      std::vector<Value> key(arity);
+      for (const LocalGroups& local : partials) {
+        for (size_t lg = 0; lg < local.groups.size(); ++lg) {
+          load_key(local.groups[lg][0], &key);
+          uint32_t g = find_or_create(key, local.hashes[lg]);
+          groups[g].insert(groups[g].end(), local.groups[lg].begin(),
+                           local.groups[lg].end());
+        }
       }
     }
     // Global aggregate over an empty input still yields one (empty) group.
@@ -973,11 +1353,11 @@ class AggregateOp : public MaterializedOperator {
     for (size_t a = 0; a < node_.aggregates.size(); ++a) {
       if (node_.aggregates[a].arg != nullptr) {
         MAYBMS_ASSIGN_OR_RETURN(arg_cols[a],
-                                EvalPerBatch(*node_.aggregates[a].arg, in));
+                                EvalPerBatch(*node_.aggregates[a].arg, in, pool));
       }
       if (node_.aggregates[a].arg2 != nullptr) {
         MAYBMS_ASSIGN_OR_RETURN(arg2_cols[a],
-                                EvalPerBatch(*node_.aggregates[a].arg2, in));
+                                EvalPerBatch(*node_.aggregates[a].arg2, in, pool));
       }
     }
     auto arg_value = [&](size_t a, uint32_t row) {
@@ -996,19 +1376,63 @@ class AggregateOp : public MaterializedOperator {
     }
     const WorldTable& wt = ctx_->worlds();
     if (need_probs) {
-      cond_probs.reserve(in.num_rows);
-      for (size_t row = 0; row < in.num_rows; ++row) {
-        AtomSpan span = in.conds.Span(row);
-        cond_probs.push_back(wt.ConditionProb(span.data, span.size));
+      cond_probs.assign(in.num_rows, 0.0);
+      auto fill = [&](size_t begin, size_t end) {
+        for (size_t row = begin; row < end; ++row) {
+          AtomSpan span = in.conds.Span(row);
+          cond_probs[row] = wt.ConditionProb(span.data, span.size);
+        }
+      };
+      if (pool != nullptr && in.num_rows > 0) {
+        pool->ParallelFor(0, in.num_rows, std::min(MorselRows(ctx_), in.num_rows),
+                          fill);
+      } else {
+        fill(0, in.num_rows);
       }
+    }
+
+    // aconf() in the parallel engine samples on counter-based substreams:
+    // one base seed per (group, aconf aggregate), drawn from the session
+    // RNG here — in the exact order the serial engine would consume it —
+    // before the groups fan out.
+    size_t aconf_per_group = 0;
+    for (const BoundAggregate& agg : node_.aggregates) {
+      if (agg.kind == AggKind::kAconf) ++aconf_per_group;
+    }
+    std::vector<uint64_t> aconf_seeds;
+    if (pool != nullptr && aconf_per_group > 0) {
+      aconf_seeds.reserve(groups.size() * aconf_per_group);
+      for (size_t g = 0; g < groups.size(); ++g) {
+        for (size_t s = 0; s < aconf_per_group; ++s) {
+          aconf_seeds.push_back(ctx_->rng->Next());
+        }
+      }
+    }
+
+    // Per-group aggregate computation: the conf()/aconf() solvers dominate
+    // here, and groups are independent — fan them out.
+    std::vector<std::vector<std::vector<Value>>> group_rows(groups.size());
+    if (pool == nullptr) {
+      for (size_t g = 0; g < groups.size(); ++g) {
+        MAYBMS_ASSIGN_OR_RETURN(
+            group_rows[g], GroupAggregates(in, groups[g], arg_value, arg2_value,
+                                           cond_probs, nullptr));
+      }
+    } else {
+      MAYBMS_RETURN_NOT_OK(pool->ParallelForStatus(0, groups.size(), [&](size_t g) {
+        const uint64_t* seeds = aconf_per_group > 0
+                                    ? aconf_seeds.data() + g * aconf_per_group
+                                    : nullptr;
+        MAYBMS_ASSIGN_OR_RETURN(
+            group_rows[g], GroupAggregates(in, groups[g], arg_value, arg2_value,
+                                           cond_probs, seeds));
+        return Status::OK();
+      }));
     }
 
     Batch out = AllocateOutput(node_.output_schema);
     for (size_t g = 0; g < groups.size(); ++g) {
-      MAYBMS_ASSIGN_OR_RETURN(
-          std::vector<std::vector<Value>> agg_rows,
-          GroupAggregates(in, groups[g], arg_value, arg2_value, cond_probs));
-      for (std::vector<Value>& agg_vals : agg_rows) {
+      for (std::vector<Value>& agg_vals : group_rows[g]) {
         for (size_t k = 0; k < arity; ++k) {
           out.columns[k]->Append(group_keys[g * arity + k]);
         }
@@ -1052,12 +1476,18 @@ class AggregateOp : public MaterializedOperator {
     }
   };
 
+  // `aconf_seeds` selects the sampling mode: nullptr = serial legacy
+  // (consume the session RNG in place); non-null = one pre-drawn base seed
+  // per aconf aggregate, sampled on substreams (thread-safe, thread-count
+  // independent). Must be non-null whenever this runs off the main thread.
   template <typename ArgFn, typename Arg2Fn>
   Result<std::vector<std::vector<Value>>> GroupAggregates(
       const Drained& in, const std::vector<uint32_t>& members, ArgFn&& arg_value,
-      Arg2Fn&& arg2_value, const std::vector<double>& cond_probs) {
+      Arg2Fn&& arg2_value, const std::vector<double>& cond_probs,
+      const uint64_t* aconf_seeds) {
     const std::vector<BoundAggregate>& aggs = node_.aggregates;
     const WorldTable& wt = ctx_->worlds();
+    size_t aconf_slot = 0;
 
     std::vector<Value> values(aggs.size(), Value::Null());
     int argmax_index = -1;
@@ -1115,8 +1545,16 @@ class AggregateOp : public MaterializedOperator {
           if (agg.kind == AggKind::kConf) {
             MAYBMS_ASSIGN_OR_RETURN(
                 double p, ExactConfidence(std::move(lineage), wt,
-                                          ctx_->options->exact, nullptr));
+                                          ctx_->options->exact, nullptr,
+                                          ctx_->pool));
             values[a] = Value::Double(p);
+          } else if (aconf_seeds != nullptr) {
+            MAYBMS_ASSIGN_OR_RETURN(
+                MonteCarloResult mc,
+                ApproxConfidenceSeeded(std::move(lineage), agg.epsilon,
+                                       agg.delta, aconf_seeds[aconf_slot++],
+                                       ctx_->options->montecarlo, ctx_->pool));
+            values[a] = Value::Double(mc.estimate);
           } else {
             MAYBMS_ASSIGN_OR_RETURN(
                 MonteCarloResult mc,
@@ -1211,12 +1649,20 @@ Result<BatchOperatorPtr> BuildOperator(const PlanNode& plan, ExecContext* ctx) {
       const auto& node = static_cast<const FilterNode&>(plan);
       MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr child,
                               BuildOperator(*node.children[0], ctx));
+      if (ctx->pool != nullptr) {
+        return BatchOperatorPtr(
+            new ParallelFilterOp(std::move(child), node.predicate.get(), ctx));
+      }
       return BatchOperatorPtr(new FilterOp(std::move(child), node.predicate.get()));
     }
     case PlanKind::kProject: {
       const auto& node = static_cast<const ProjectNode&>(plan);
       MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr child,
                               BuildOperator(*node.children[0], ctx));
+      if (ctx->pool != nullptr) {
+        return BatchOperatorPtr(
+            new ParallelProjectOp(std::move(child), node, ctx));
+      }
       return BatchOperatorPtr(new ProjectOp(std::move(child), node, ctx));
     }
     case PlanKind::kJoin: {
@@ -1225,7 +1671,8 @@ Result<BatchOperatorPtr> BuildOperator(const PlanNode& plan, ExecContext* ctx) {
                               BuildOperator(*node.children[0], ctx));
       MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr right,
                               BuildOperator(*node.children[1], ctx));
-      return BatchOperatorPtr(new JoinOp(std::move(left), std::move(right), node));
+      return BatchOperatorPtr(
+          new JoinOp(std::move(left), std::move(right), node, ctx));
     }
     case PlanKind::kAggregate: {
       const auto& node = static_cast<const AggregateNode&>(plan);
@@ -1278,7 +1725,7 @@ Result<BatchOperatorPtr> BuildOperator(const PlanNode& plan, ExecContext* ctx) {
       const auto& node = static_cast<const SortNode&>(plan);
       MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr child,
                               BuildOperator(*node.children[0], ctx));
-      return BatchOperatorPtr(new SortOp(std::move(child), node));
+      return BatchOperatorPtr(new SortOp(std::move(child), node, ctx));
     }
     case PlanKind::kLimit: {
       const auto& node = static_cast<const LimitNode&>(plan);

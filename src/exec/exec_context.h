@@ -19,11 +19,24 @@ enum class ExecEngine : uint8_t {
   kBatch,  ///< vectorized pull-based operator tree over columnar batches
 };
 
+class ThreadPool;
+
 /// Engine-level execution options (confidence computation knobs).
 struct ExecOptions {
   ExactOptions exact;            ///< conf() exact-algorithm tuning
   MonteCarloOptions montecarlo;  ///< aconf() sample caps
   ExecEngine engine = ExecEngine::kBatch;
+  /// Worker threads for morsel-driven batch execution and parallel
+  /// confidence computation. 0 = hardware_concurrency. 1 = fully serial —
+  /// bit-for-bit the pre-parallel engine (including aconf's legacy
+  /// session-RNG stream). Any value >= 2 enables the parallel paths, whose
+  /// results are identical at every thread count (deterministic morsel
+  /// order + counter-based RNG substreams for aconf).
+  unsigned num_threads = 0;
+  /// Max rows per parallel work unit (morsel). Small values force many
+  /// task boundaries (the stress tests use this); 0 = one morsel per
+  /// batch. Only read when num_threads != 1.
+  size_t morsel_size = 1024;
 };
 
 /// Everything operators need: the catalog (DML / create-table-as), the
@@ -33,6 +46,9 @@ struct ExecContext {
   Catalog* catalog = nullptr;
   Rng* rng = nullptr;
   const ExecOptions* options = nullptr;
+  /// Non-null iff the effective num_threads > 1; owned by the Database (or
+  /// whichever embedder built the context).
+  ThreadPool* pool = nullptr;
 
   WorldTable& worlds() { return catalog->world_table(); }
   const WorldTable& worlds() const { return catalog->world_table(); }

@@ -1,0 +1,375 @@
+// Cross-engine, cross-thread-count parity: every query in the workload
+// corpus runs on both engines (row + batch) at num_threads ∈ {1, 2, 8} —
+// six identically-seeded databases executing identical statement
+// sequences. Values must match bit-for-bit (including output order),
+// condition columns atom for atom, and probabilities within 1e-12, all
+// against the serial row engine as the reference. The threaded configs use
+// a deliberately tiny morsel_size so even the small corpus tables split
+// into many parallel work units.
+//
+// aconf() is the one aggregate whose value legitimately differs between
+// num_threads == 1 (the legacy sequential session-RNG stream) and
+// num_threads >= 2 (counter-based substream sampling); it gets a dedicated
+// test asserting bit-equality across all threaded configs and (ε,δ)-level
+// agreement with the serial stream.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/str_util.h"
+#include "src/engine/database.h"
+
+namespace maybms {
+namespace {
+
+constexpr double kProbTol = 1e-12;
+
+struct EngineConfig {
+  ExecEngine engine;
+  unsigned num_threads;
+  const char* name;
+};
+
+const EngineConfig kConfigs[] = {
+    {ExecEngine::kRow, 1, "row/1"},     {ExecEngine::kBatch, 1, "batch/1"},
+    {ExecEngine::kRow, 2, "row/2"},     {ExecEngine::kBatch, 2, "batch/2"},
+    {ExecEngine::kRow, 8, "row/8"},     {ExecEngine::kBatch, 8, "batch/8"},
+};
+
+DatabaseOptions ConfigOptions(const EngineConfig& config) {
+  DatabaseOptions options;
+  options.exec.engine = config.engine;
+  options.exec.num_threads = config.num_threads;
+  if (config.num_threads > 1) options.exec.morsel_size = 3;
+  return options;
+}
+
+class ParallelParityTest : public ::testing::Test {
+ protected:
+  ParallelParityTest() {
+    for (const EngineConfig& config : kConfigs) {
+      dbs_.emplace_back(ConfigOptions(config));
+    }
+  }
+
+  void Exec(const std::string& sql) {
+    for (size_t i = 0; i < dbs_.size(); ++i) {
+      Status s = dbs_[i].Execute(sql);
+      ASSERT_TRUE(s.ok()) << kConfigs[i].name << ": " << s.ToString() << "\n  "
+                          << sql;
+    }
+  }
+
+  // Runs the query everywhere and asserts bit-for-bit agreement with the
+  // serial row engine (config 0).
+  void Check(const std::string& sql) {
+    auto reference = dbs_[0].Query(sql);
+    ASSERT_TRUE(reference.ok()) << kConfigs[0].name << ": "
+                                << reference.status().ToString() << "\n  " << sql;
+    for (size_t i = 1; i < dbs_.size(); ++i) {
+      auto got = dbs_[i].Query(sql);
+      ASSERT_TRUE(got.ok()) << kConfigs[i].name << ": "
+                            << got.status().ToString() << "\n  " << sql;
+      CompareResults(*reference, *got, sql, kConfigs[i].name);
+    }
+  }
+
+  void CheckError(const std::string& sql) {
+    for (size_t i = 0; i < dbs_.size(); ++i) {
+      EXPECT_FALSE(dbs_[i].Query(sql).ok()) << kConfigs[i].name << ": " << sql;
+    }
+  }
+
+  void CompareResults(const QueryResult& ref, const QueryResult& got,
+                      const std::string& sql, const char* config) {
+    ASSERT_EQ(ref.NumColumns(), got.NumColumns()) << config << ": " << sql;
+    ASSERT_EQ(ref.NumRows(), got.NumRows()) << config << ": " << sql;
+    EXPECT_EQ(ref.uncertain(), got.uncertain()) << config << ": " << sql;
+    for (size_t c = 0; c < ref.NumColumns(); ++c) {
+      EXPECT_EQ(ref.schema().column(c).name, got.schema().column(c).name)
+          << config << ": " << sql;
+    }
+    for (size_t i = 0; i < ref.NumRows(); ++i) {
+      for (size_t c = 0; c < ref.NumColumns(); ++c) {
+        const Value& rv = ref.At(i, c);
+        const Value& gv = got.At(i, c);
+        ASSERT_EQ(rv.type(), gv.type())
+            << config << ": " << sql << "\n  row " << i << " col " << c << ": "
+            << rv.ToString() << " vs " << gv.ToString();
+        if (rv.type() == TypeId::kDouble) {
+          // Probabilities and other floats: 1e-12 (identical arithmetic
+          // normally makes them bit-equal).
+          EXPECT_NEAR(rv.AsDouble(), gv.AsDouble(), kProbTol)
+              << config << ": " << sql << "\n  row " << i << " col " << c;
+        } else {
+          EXPECT_TRUE(rv.Equals(gv))
+              << config << ": " << sql << "\n  row " << i << " col " << c << ": "
+              << rv.ToString() << " vs " << gv.ToString();
+        }
+      }
+      // Condition columns of uncertain results must match atom for atom.
+      EXPECT_EQ(ref.rows()[i].condition, got.rows()[i].condition)
+          << config << ": " << sql << "\n  row " << i << ": "
+          << ref.rows()[i].condition.ToString() << " vs "
+          << got.rows()[i].condition.ToString();
+    }
+  }
+
+  std::vector<Database> dbs_;
+};
+
+// ---------------------------------------------------------------------------
+// Deterministic relational workloads (the parity corpus)
+// ---------------------------------------------------------------------------
+
+class ParallelRelationalParityTest : public ParallelParityTest {
+ protected:
+  void SetUp() override {
+    Exec("create table emp (id int, name text, dept text, salary double)");
+    Exec("insert into emp values "
+         "(1,'ann','eng',100.0), (2,'bob','eng',90.0), (3,'cat','ops',80.0), "
+         "(4,'dan','ops',85.0), (5,'eve','hr',70.0), (6,'fay','hr',null)");
+    Exec("create table dept (dept text, city text)");
+    Exec("insert into dept values ('eng','NYC'), ('ops','SF')");
+  }
+};
+
+TEST_F(ParallelRelationalParityTest, ScansFiltersProjections) {
+  Check("select * from emp");
+  Check("select name, salary * 2 as double_pay from emp order by id");
+  Check("select name from emp where salary >= 85 and dept <> 'hr'");
+  Check("select name from emp where salary % 20 = 0 or length(name) = 3");
+  Check("select name from emp where salary is null");
+  Check("select name from emp where salary is not null order by salary desc");
+  Check("select upper(name), abs(-salary), least(salary, 85.0) from emp order by id");
+  Check("select name from emp where -salary < -80 order by name");
+}
+
+TEST_F(ParallelRelationalParityTest, JoinsUnionsDistinct) {
+  Check("select e.name, d.city from emp e, dept d where e.dept = d.dept "
+        "order by e.id");
+  Check("select e.id from emp e, dept d");
+  Check("select e1.name from emp e1, emp e2 where e1.salary = e2.salary + 10");
+  Check("select distinct dept from emp order by dept");
+  Check("select dept from emp union select dept from dept");
+  Check("select name from emp where dept in (select dept from dept)");
+  Check("select name from emp where dept not in (select dept from dept) "
+        "order by name");
+  Check("select name from emp order by salary desc limit 3");
+  Check("select name from emp limit 0");
+}
+
+TEST_F(ParallelRelationalParityTest, AggregatesAndGroups) {
+  Check("select dept, count(*), sum(salary), avg(salary), min(name), max(salary) "
+        "from emp group by dept order by dept");
+  Check("select count(salary) from emp");
+  Check("select sum(salary) from emp where dept = 'none'");
+  Check("select argmax(name, salary) from emp");
+}
+
+TEST_F(ParallelRelationalParityTest, DmlParity) {
+  Exec("update emp set salary = salary + 1 where dept = 'eng'");
+  Exec("delete from emp where salary < 75");
+  Check("select * from emp order by id");
+  Exec("create table emp2 as select name, salary from emp where salary > 80");
+  Check("select * from emp2 order by name");
+}
+
+TEST_F(ParallelRelationalParityTest, ErrorParity) {
+  CheckError("select * from missing_table");
+  CheckError("select name from emp where 1 / (length(name) - 3) > 0 "
+             "and name = 'ann'");
+}
+
+// ---------------------------------------------------------------------------
+// Probabilistic workloads (repair-key, pick-tuples, conf, tconf, possible)
+// ---------------------------------------------------------------------------
+
+class ParallelProbabilisticParityTest : public ParallelParityTest {
+ protected:
+  void SetUp() override {
+    Exec("create table PlayerStatus (player text, status text, p double)");
+    Exec("insert into PlayerStatus values "
+         "('kobe','fit',0.7), ('kobe','injured',0.3), "
+         "('shaq','fit',0.5), ('shaq','injured',0.5), "
+         "('ray','fit',0.9), ('ray','injured',0.1)");
+    Exec("create table Skills (player text, skill text)");
+    Exec("insert into Skills values "
+         "('kobe','shooting'), ('kobe','passing'), "
+         "('shaq','defense'), ('shaq','shooting'), ('ray','three_point')");
+    Exec("create table Status as select * from "
+         "(repair key player in PlayerStatus weight by p) r");
+  }
+};
+
+TEST_F(ParallelProbabilisticParityTest, RepairKeyStateAndTconf) {
+  Check("select player, status, tconf() as p from Status order by player, status");
+}
+
+TEST_F(ParallelProbabilisticParityTest, GroupedConfOverJoin) {
+  Check("select s.skill, conf() as p from Status t, Skills s "
+        "where t.player = s.player and t.status = 'fit' "
+        "group by s.skill order by s.skill");
+}
+
+TEST_F(ParallelProbabilisticParityTest, PossibleAndEsum) {
+  Check("select possible player from Status t where t.status = 'injured'");
+  Check("select esum(p) as expected, ecount() as n from "
+        "(select t.p as p from Status s2, PlayerStatus t "
+        " where s2.player = t.player and s2.status = t.status) u");
+}
+
+TEST_F(ParallelProbabilisticParityTest, PickTuplesParity) {
+  Exec("create table Sensor (sid int, temp double, prob double)");
+  Exec("insert into Sensor values (1, 20.0, 0.9), (2, 22.5, 0.8), "
+       "(3, 19.0, 1.0), (4, 30.5, 0.25)");
+  Exec("create table USensor as select * from "
+       "(pick tuples from Sensor independently with probability prob) r");
+  Check("select sid, temp, tconf() as p from USensor order by sid");
+  Check("select conf() as any_hot from (select 1 as one from USensor "
+        "where temp > 21) h group by one");
+}
+
+TEST_F(ParallelProbabilisticParityTest, LimitOverUncertainConstructParity) {
+  // More rows than one batch so the limit's full-materialization semantics
+  // (world-table variable registration for EVERY row) are exercised under
+  // morsel splitting too.
+  std::string insert = "insert into big values ";
+  for (int i = 0; i < 1500; ++i) {
+    insert += StringFormat("%s(%d, 0.5)", i == 0 ? "" : ", ", i);
+  }
+  Exec("create table big (id int, p double)");
+  Exec(insert);
+  Check("select id from (pick tuples from big independently with probability p) "
+        "r limit 2");
+  Exec("create table After as select * from "
+       "(repair key player in PlayerStatus weight by p) r2");
+  Check("select player, status from After order by player, status");
+  Check("select player, status, tconf() as p from After order by player, status");
+  Exec("create table withzero (id int, d double)");
+  Exec("insert into withzero select id, 2.0 from big");
+  Exec("update withzero set d = 0 where id = 1400");
+  CheckError("select 10 / d from withzero limit 5");
+}
+
+// aconf(): num_threads >= 2 samples on counter-based substreams, so every
+// threaded config (both engines, any thread count) must produce the SAME
+// estimate bit for bit; the serial legacy stream only agrees to (ε,δ).
+TEST_F(ParallelProbabilisticParityTest, AconfBitEqualAcrossThreadedConfigs) {
+  const std::string sql =
+      "select s.skill, aconf(0.05, 0.05) as p from Status t, Skills s "
+      "where t.player = s.player and t.status = 'fit' "
+      "group by s.skill order by s.skill";
+  auto serial_row = dbs_[0].Query(sql);
+  ASSERT_TRUE(serial_row.ok()) << serial_row.status().ToString();
+  // Configs 2..5 are the threaded ones (row/2, batch/2, row/8, batch/8).
+  auto reference = dbs_[2].Query(sql);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (size_t i = 3; i < dbs_.size(); ++i) {
+    auto got = dbs_[i].Query(sql);
+    ASSERT_TRUE(got.ok()) << kConfigs[i].name << ": " << got.status().ToString();
+    ASSERT_EQ(reference->NumRows(), got->NumRows()) << kConfigs[i].name;
+    for (size_t r = 0; r < reference->NumRows(); ++r) {
+      EXPECT_TRUE(reference->At(r, 0).Equals(got->At(r, 0))) << kConfigs[i].name;
+      EXPECT_EQ(reference->At(r, 1).AsDouble(), got->At(r, 1).AsDouble())
+          << kConfigs[i].name << " row " << r;
+    }
+  }
+  // The legacy serial stream is a different (equally valid) sample: the
+  // (ε,δ)=(0.05,0.05) guarantee bounds the disagreement.
+  ASSERT_EQ(serial_row->NumRows(), reference->NumRows());
+  for (size_t r = 0; r < serial_row->NumRows(); ++r) {
+    EXPECT_NEAR(serial_row->At(r, 1).AsDouble(), reference->At(r, 1).AsDouble(),
+                0.15)
+        << " row " << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized parity sweep over uncertain pipelines
+// ---------------------------------------------------------------------------
+
+class ParallelRandomParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelRandomParityTest, RandomPipelines) {
+  std::vector<Database> dbs;
+  for (const EngineConfig& config : kConfigs) {
+    dbs.emplace_back(ConfigOptions(config));
+  }
+  Rng rng(static_cast<uint64_t>(GetParam()) * 90017);
+
+  std::vector<std::string> setup = {
+      "create table t1 (k int, v int, w double)",
+      "create table t2 (k int, v int, w double)",
+  };
+  for (int k = 0; k < 4; ++k) {
+    int options = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int o = 0; o < options; ++o) {
+      setup.push_back(StringFormat("insert into t1 values (%d, %d, %g)", k,
+                                   static_cast<int>(rng.NextBounded(3)),
+                                   0.25 + rng.NextDouble()));
+    }
+  }
+  for (int i = 0; i < 6; ++i) {
+    setup.push_back(StringFormat("insert into t2 values (%d, %d, %g)",
+                                 static_cast<int>(rng.NextBounded(4)),
+                                 static_cast<int>(rng.NextBounded(3)),
+                                 0.2 + 0.6 * rng.NextDouble()));
+  }
+  setup.push_back("create table u1 as select * from "
+                  "(repair key k in t1 weight by w) r");
+  setup.push_back("create table u2 as select * from "
+                  "(pick tuples from t2 independently with probability w) r");
+  for (const std::string& sql : setup) {
+    for (size_t i = 0; i < dbs.size(); ++i) {
+      ASSERT_TRUE(dbs[i].Execute(sql).ok()) << kConfigs[i].name << ": " << sql;
+    }
+  }
+
+  std::vector<std::string> queries = {
+      "select v, conf() as p from u1 group by v order by v",
+      "select a.v, conf() as p from u1 a, u2 b where a.k = b.k "
+      "group by a.v order by a.v",
+      "select possible v from u1 where v >= 1",
+      "select k, v, tconf() as p from u1 order by k, v",
+      "select esum(v) as ev, ecount() as ec from u2",
+      "select v, count(*) as n from t1 group by v order by v",
+      "select a.k from u1 a, u2 b where a.k = b.k and a.v <= b.v order by a.k",
+  };
+  for (const std::string& sql : queries) {
+    auto reference = dbs[0].Query(sql);
+    ASSERT_TRUE(reference.ok()) << sql << ": " << reference.status().ToString();
+    for (size_t i = 1; i < dbs.size(); ++i) {
+      auto got = dbs[i].Query(sql);
+      ASSERT_TRUE(got.ok()) << kConfigs[i].name << ": " << sql << ": "
+                            << got.status().ToString();
+      ASSERT_EQ(reference->NumRows(), got->NumRows()) << kConfigs[i].name << ": "
+                                                      << sql;
+      ASSERT_EQ(reference->NumColumns(), got->NumColumns()) << sql;
+      for (size_t r = 0; r < reference->NumRows(); ++r) {
+        for (size_t c = 0; c < reference->NumColumns(); ++c) {
+          const Value& rv = reference->At(r, c);
+          const Value& gv = got->At(r, c);
+          ASSERT_EQ(rv.type(), gv.type()) << kConfigs[i].name << ": " << sql;
+          if (rv.type() == TypeId::kDouble) {
+            EXPECT_NEAR(rv.AsDouble(), gv.AsDouble(), kProbTol)
+                << kConfigs[i].name << ": " << sql << " row " << r;
+          } else {
+            EXPECT_TRUE(rv.Equals(gv))
+                << kConfigs[i].name << ": " << sql << " row " << r << " col " << c;
+          }
+        }
+        EXPECT_EQ(reference->rows()[r].condition, got->rows()[r].condition)
+            << kConfigs[i].name << ": " << sql;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelRandomParityTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace maybms
