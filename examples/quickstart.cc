@@ -105,6 +105,19 @@ int main() {
   auto bad = db.Query("select sum(temp) from maybe_readings");
   std::printf("(expected) %s\n\n", bad.status().ToString().c_str());
 
+  // 11. Conditioning (Koch & Olteanu VLDB'08): observe evidence, then
+  //     query — ASSERT conjoins the event "the query has an answer" into
+  //     the constraint store, prunes worlds that violate it, and every
+  //     later conf()/aconf()/tconf() answer is the posterior.
+  Show(&db,
+       "assert select * from tomorrow a, tomorrow b where a.city = 'Oxford' "
+       "and b.city = 'Ithaca' and a.forecast = b.forecast");
+  Show(&db, "show evidence");
+  Show(&db,
+       "select forecast, conf() as posterior from tomorrow group by forecast "
+       "order by posterior desc");
+  Show(&db, "clear evidence");
+
   std::printf("Done. See examples/nba_whatif.cc for the paper's §3 demo.\n");
   return 0;
 }

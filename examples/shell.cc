@@ -3,9 +3,16 @@
 //   build/examples/shell            # interactive
 //   build/examples/shell file.sql   # run a script, then exit
 //
-// Meta-commands: \d (list tables), \d <table> (describe), \explain <query>,
-// \seed <n> (reseed aconf RNG), \save <file> / \load <file> (dump and
-// restore the whole database, conditions and world table included), \q.
+// Meta-commands: \d (list tables + world table + evidence), \d <table>
+// (describe), \explain <query>, \seed <n> (reseed aconf RNG), \save <file>
+// / \load <file> (dump and restore the whole database — conditions, world
+// table, and asserted evidence included), \q.
+//
+// Conditioning statements (see DESIGN.md):
+//   ASSERT <query>;                  -- condition on "query has an answer"
+//   CONDITION ON <query>;            -- synonym
+//   ASSERT CONFIDENCE >= p <query>;  -- check posterior confidence only
+//   SHOW EVIDENCE;  CLEAR EVIDENCE;
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -29,6 +36,16 @@ void ListTables(const Database& db) {
     if (!table.ok()) continue;
     std::printf("%-24s %-10s %8zu\n", name.c_str(),
                 (*table)->uncertain() ? "uncertain" : "t-certain", (*table)->NumRows());
+  }
+  std::printf("world table: %zu variable(s)\n",
+              db.catalog().world_table().NumVariables());
+  const maybms::ConstraintStore& cs = db.constraints();
+  if (cs.active()) {
+    std::printf("evidence: %zu clause(s), P(C)=%.6g — conf()/aconf()/tconf() "
+                "answers are posteriors (SHOW EVIDENCE; for details)\n",
+                cs.NumClauses(), cs.probability());
+  } else {
+    std::printf("evidence: none\n");
   }
 }
 
@@ -131,7 +148,11 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("maybms shell — type SQL terminated by ';', or \\q to quit\n");
+  std::printf("maybms shell — type SQL terminated by ';', or \\q to quit\n"
+              "uncertainty: repair key / pick tuples, conf(), aconf(ε,δ), "
+              "tconf(), possible\n"
+              "conditioning: ASSERT <query>; CONDITION ON <query>; "
+              "SHOW EVIDENCE; CLEAR EVIDENCE\n");
   std::string buffer;
   std::string line;
   std::printf("maybms> ");

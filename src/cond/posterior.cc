@@ -1,0 +1,214 @@
+#include "src/cond/posterior.h"
+
+#include <algorithm>
+
+namespace maybms {
+
+namespace {
+
+/// Flattened-product budget: beyond |Q|·|C| merges of this many surviving
+/// clauses, exact posterior switches to the inclusion-exclusion identity.
+constexpr size_t kMaxProductClauses = 1u << 16;
+
+double Clamp01(double p) { return std::min(1.0, std::max(0.0, p)); }
+
+/// Q ∧ C distributed into a DNF of pairwise merges (inconsistent pairs
+/// drop). Returns false when the product would exceed `budget` clauses.
+bool ProductDnf(const Dnf& query, const std::vector<Condition>& constraint,
+                size_t budget, Dnf* out) {
+  size_t emitted = 0;
+  for (const Condition& q : query.clauses()) {
+    for (const Condition& c : constraint) {
+      std::optional<Condition> merged = Condition::Merge(q, c);
+      if (!merged) continue;
+      if (++emitted > budget) return false;
+      out->AddClause(std::move(*merged));
+    }
+  }
+  return true;
+}
+
+/// True iff P(query ∧ C) > 0: some (query clause, constraint clause) pair
+/// merges consistently with all-positive atom probabilities. Guards the
+/// samplers against a zero-mean trial stream that would never terminate.
+bool ConjunctionPositive(const Dnf& query, const ConstraintStore& store,
+                         const WorldTable& wt) {
+  for (const Condition& q : query.clauses()) {
+    if (store.CompatiblePositive(q, wt)) return true;
+  }
+  return false;
+}
+
+bool SharesVariables(const Dnf& query, const ConstraintStore& store) {
+  for (const Condition& q : query.clauses()) {
+    for (const Atom& a : q.atoms()) {
+      if (store.MentionsVar(a.var)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<double> PosteriorExactConfidence(const Dnf& query,
+                                        const ConstraintStore& store,
+                                        const WorldTable& wt,
+                                        const ExactOptions& options,
+                                        ThreadPool* pool) {
+  if (!store.active()) return ExactConfidence(query, wt, options, nullptr, pool);
+  if (query.IsEmpty()) return 0.0;
+  if (query.HasEmptyClause()) return 1.0;  // P(C|C) = 1
+  // Independent lineage: P(Q ∧ C) = P(Q)·P(C), posterior is the prior.
+  if (!SharesVariables(query, store)) {
+    return ExactConfidence(query, wt, options, nullptr, pool);
+  }
+  double p_and;
+  Dnf product;
+  if (ProductDnf(query, store.clauses(), kMaxProductClauses, &product)) {
+    if (product.IsEmpty()) return 0.0;
+    MAYBMS_ASSIGN_OR_RETURN(p_and,
+                            ExactConfidence(product, wt, options, nullptr, pool));
+  } else {
+    // Product too large: P(Q ∧ C) = P(Q) + P(C) − P(Q ∨ C). The choice
+    // depends only on clause counts, so it is identical across engines and
+    // thread counts. Caveat: the subtraction carries an absolute error
+    // floor of ~1e-16, so when the true conjunction probability is many
+    // orders below P(Q)/P(C) this path loses relative precision (down to
+    // reporting 0 for a tiny positive posterior) — the cancellation-free
+    // product path is primary for exactly this reason, and only lineages
+    // past the 2^16-merged-clause budget ever land here.
+    MAYBMS_ASSIGN_OR_RETURN(double p_q,
+                            ExactConfidence(query, wt, options, nullptr, pool));
+    Dnf either = query;
+    for (const Condition& c : store.clauses()) either.AddClause(c);
+    MAYBMS_ASSIGN_OR_RETURN(double p_or,
+                            ExactConfidence(either, wt, options, nullptr, pool));
+    p_and = p_q + store.probability() - p_or;
+  }
+  return Clamp01(p_and / store.probability());
+}
+
+Result<double> PosteriorConditionProb(const Atom* atoms, size_t n,
+                                      const ConstraintStore& store,
+                                      const WorldTable& wt,
+                                      const ExactOptions& options) {
+  if (!store.active()) return wt.ConditionProb(atoms, n);
+  bool overlap = false;
+  for (size_t i = 0; i < n && !overlap; ++i) overlap = store.MentionsVar(atoms[i].var);
+  // Independent of the evidence: posterior equals the prior product,
+  // bit-for-bit the unconditioned computation.
+  if (!overlap) return wt.ConditionProb(atoms, n);
+  std::vector<Atom> copy(atoms, atoms + n);
+  std::optional<Condition> cond = Condition::FromAtoms(std::move(copy));
+  if (!cond) return 0.0;  // defensive: condition columns are consistent
+  Dnf product;
+  for (const Condition& c : store.clauses()) {
+    std::optional<Condition> merged = Condition::Merge(*cond, c);
+    if (merged) product.AddClause(std::move(*merged));
+  }
+  if (product.IsEmpty()) return 0.0;
+  // Per-row marginals stay serial (pool = nullptr): callers already run
+  // them inside morsel- or group-parallel regions, and ExactConfidence is
+  // bit-identical with or without a pool.
+  MAYBMS_ASSIGN_OR_RETURN(double p_and,
+                          ExactConfidence(product, wt, options, nullptr, nullptr));
+  return Clamp01(p_and / store.probability());
+}
+
+Result<double> PosteriorConditionProb(const Condition& cond,
+                                      const ConstraintStore& store,
+                                      const WorldTable& wt,
+                                      const ExactOptions& options) {
+  return PosteriorConditionProb(cond.atoms().data(), cond.atoms().size(), store,
+                                wt, options);
+}
+
+namespace {
+
+/// Shared special-case front end of the two aconf posterior paths. Returns
+/// true (with *out filled) when no sampling is needed; `exact` carries the
+/// solver options for the deterministic fallbacks.
+Result<bool> PosteriorApproxShortcut(const Dnf& query,
+                                     const ConstraintStore& store,
+                                     const WorldTable& wt,
+                                     const ExactOptions& exact,
+                                     MonteCarloResult* out) {
+  out->samples = 0;
+  if (query.IsEmpty()) {
+    out->estimate = 0;
+    return true;
+  }
+  if (query.HasEmptyClause()) {
+    out->estimate = 1;
+    return true;
+  }
+  if (!ConjunctionPositive(query, store, wt)) {
+    out->estimate = 0;  // Q ∧ C unsatisfiable: a zero-mean trial stream
+    return true;
+  }
+  // Single-clause queries are solved exactly (mirrors the unconditioned
+  // single-clause product fast path, which a posterior cannot reuse since
+  // P(q | C) is no longer a plain product).
+  if (query.NumClauses() == 1) {
+    MAYBMS_ASSIGN_OR_RETURN(
+        double p,
+        PosteriorConditionProb(query.clauses().front(), store, wt, exact));
+    out->estimate = p;
+    return true;
+  }
+  return false;
+}
+
+/// Q's clauses followed by C's — the combined lineage whose compiled form
+/// the conditioned Karp-Luby sampler runs on.
+Dnf CombinedLineage(const Dnf& query, const ConstraintStore& store) {
+  Dnf combined = query;
+  for (const Condition& c : store.clauses()) combined.AddClause(c);
+  return combined;
+}
+
+}  // namespace
+
+Result<MonteCarloResult> PosteriorApproxConfidence(
+    const Dnf& query, const ConstraintStore& store, const WorldTable& wt,
+    double epsilon, double delta, Rng* rng, const MonteCarloOptions& options,
+    const ExactOptions& exact) {
+  if (!store.active() || !SharesVariables(query, store)) {
+    return ApproxConfidence(query, wt, epsilon, delta, rng, options);
+  }
+  MonteCarloResult result;
+  MAYBMS_ASSIGN_OR_RETURN(
+      bool done, PosteriorApproxShortcut(query, store, wt, exact, &result));
+  if (done) return result;
+  MAYBMS_ASSIGN_OR_RETURN(
+      MonteCarloResult mc,
+      ApproxConjunctionConfidence(CompiledDnf(CombinedLineage(query, store), wt),
+                                  query.NumClauses(), epsilon, delta, rng,
+                                  options));
+  mc.estimate = Clamp01(mc.estimate / store.probability());
+  return mc;
+}
+
+Result<MonteCarloResult> PosteriorApproxConfidenceSeeded(
+    const Dnf& query, const ConstraintStore& store, const WorldTable& wt,
+    double epsilon, double delta, uint64_t base_seed,
+    const MonteCarloOptions& options, const ExactOptions& exact,
+    ThreadPool* pool) {
+  if (!store.active() || !SharesVariables(query, store)) {
+    return ApproxConfidenceSeeded(CompiledDnf(query, wt), epsilon, delta,
+                                  base_seed, options, pool);
+  }
+  MonteCarloResult result;
+  MAYBMS_ASSIGN_OR_RETURN(
+      bool done, PosteriorApproxShortcut(query, store, wt, exact, &result));
+  if (done) return result;
+  MAYBMS_ASSIGN_OR_RETURN(
+      MonteCarloResult mc,
+      ApproxConjunctionConfidenceSeeded(
+          CompiledDnf(CombinedLineage(query, store), wt), query.NumClauses(),
+          epsilon, delta, base_seed, options, pool));
+  mc.estimate = Clamp01(mc.estimate / store.probability());
+  return mc;
+}
+
+}  // namespace maybms

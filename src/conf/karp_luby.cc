@@ -5,32 +5,45 @@
 namespace maybms {
 
 KarpLubyEstimator::KarpLubyEstimator(const Dnf& dnf, const WorldTable& wt)
-    : dnf_(dnf, wt) {
+    : dnf_(dnf, wt), num_coverage_(dnf_.original_clauses().size()) {
   Init();
 }
 
-KarpLubyEstimator::KarpLubyEstimator(CompiledDnf dnf) : dnf_(std::move(dnf)) {
+KarpLubyEstimator::KarpLubyEstimator(CompiledDnf dnf)
+    : dnf_(std::move(dnf)), num_coverage_(dnf_.original_clauses().size()) {
+  Init();
+}
+
+KarpLubyEstimator::KarpLubyEstimator(CompiledDnf dnf, size_t num_query_clauses)
+    : dnf_(std::move(dnf)),
+      num_coverage_(std::min(num_query_clauses, dnf_.original_clauses().size())) {
   Init();
 }
 
 void KarpLubyEstimator::Init() {
   const std::vector<ClauseId>& clauses = dnf_.original_clauses();
-  if (clauses.empty()) {
+  const bool constrained = num_coverage_ < clauses.size();
+  if (num_coverage_ == 0) {
     trivial_ = true;
     trivial_probability_ = 0;
     return;
   }
-  for (ClauseId id : clauses) {
-    if (dnf_.ClauseSize(id) == 0) {
-      trivial_ = true;
-      trivial_probability_ = 1;
-      return;
+  if (!constrained) {
+    // An empty clause makes the (unconditioned) DNF valid. Conditioned
+    // estimators skip this shortcut: an always-true query clause still
+    // requires the sampled world to satisfy the constraint.
+    for (ClauseId id : clauses) {
+      if (dnf_.ClauseSize(id) == 0) {
+        trivial_ = true;
+        trivial_probability_ = 1;
+        return;
+      }
     }
   }
-  cumulative_.reserve(clauses.size());
+  cumulative_.reserve(num_coverage_);
   double acc = 0;
-  for (ClauseId id : clauses) {
-    acc += dnf_.ClauseProb(id);
+  for (size_t i = 0; i < num_coverage_; ++i) {
+    acc += dnf_.ClauseProb(clauses[i]);
     cumulative_.push_back(acc);
   }
   total_weight_ = acc;
@@ -104,7 +117,21 @@ bool KarpLubyEstimator::Trial(Rng* rng, KarpLubyScratch* scratch) const {
     }
     if (satisfied) return false;
   }
-  return true;
+  if (num_coverage_ == clauses.size()) return true;
+  // Conditioned trial: the world (still lazily extended from the prior for
+  // variables no clause has touched yet) must also satisfy the constraint
+  // disjunction, else the trial is rejected (Z = 0).
+  for (size_t j = num_coverage_; j < clauses.size(); ++j) {
+    bool satisfied = true;
+    for (const Atom& a : dnf_.Clause(clauses[j])) {
+      if (AssignmentOf(a.var, rng, scratch) != a.asg) {
+        satisfied = false;
+        break;
+      }
+    }
+    if (satisfied) return true;
+  }
+  return false;
 }
 
 }  // namespace maybms

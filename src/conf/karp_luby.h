@@ -43,6 +43,16 @@ class KarpLubyEstimator {
   /// Over pre-compiled lineage (batch-engine aconf path).
   explicit KarpLubyEstimator(CompiledDnf dnf);
 
+  /// Conditioned sampler (posterior aconf, see src/cond/posterior.h): the
+  /// compiled DNF's original clauses split into a QUERY prefix
+  /// [0, num_query_clauses) and a CONSTRAINT suffix. Coverage trials draw
+  /// from the query prefix as usual, but Z = 1 additionally requires the
+  /// sampled world to satisfy at least one constraint clause — so
+  /// E[Z] = P(query ∧ constraint) / TotalWeight(). Worlds violating the
+  /// constraint are rejected by zeroing the trial, keeping the estimator
+  /// unbiased; the caller divides by the exactly-known P(constraint).
+  KarpLubyEstimator(CompiledDnf dnf, size_t num_query_clauses);
+
   /// Σ_i P(C_i): the normalization constant (upper bound on the
   /// confidence by the union bound).
   double TotalWeight() const { return total_weight_; }
@@ -67,6 +77,9 @@ class KarpLubyEstimator {
   AsgId AssignmentOf(LocalVar var, Rng* rng, KarpLubyScratch* scratch) const;
 
   CompiledDnf dnf_;
+  /// Clauses [0, num_coverage_) of original_clauses() are the coverage
+  /// (query) clauses; the rest are the conditioning constraint disjunction.
+  size_t num_coverage_ = 0;
   std::vector<double> cumulative_;  // cumulative clause weights
   double total_weight_ = 0;
   bool trivial_ = false;

@@ -166,6 +166,29 @@ Result<MonteCarloResult> ApproxConfidence(CompiledDnf dnf, double epsilon,
                              rng, options);
 }
 
+Result<MonteCarloResult> ApproxConjunctionConfidence(
+    CompiledDnf dnf, size_t num_query_clauses, double epsilon, double delta,
+    Rng* rng, const MonteCarloOptions& options) {
+  MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
+  KarpLubyEstimator estimator(std::move(dnf), num_query_clauses);
+  if (estimator.Trivial()) {
+    MonteCarloResult result;
+    result.estimate = estimator.TrivialProbability();
+    result.samples = 0;
+    return result;
+  }
+  // No single-clause shortcut: P(q1 ∧ C) is not a plain product. The
+  // posterior layer handles single-clause queries exactly before reaching
+  // the sampler.
+  TrialFn trial = [&estimator](Rng* r) -> double {
+    return estimator.Trial(r) ? 1.0 : 0.0;
+  };
+  MAYBMS_ASSIGN_OR_RETURN(MonteCarloResult mc,
+                          OptimalEstimate(trial, epsilon, delta, rng, options));
+  mc.estimate = std::min(1.0, mc.estimate * estimator.TotalWeight());
+  return mc;
+}
+
 // ---------------------------------------------------------------------------
 // Seeded (deterministic, parallel-capable) estimation
 // ---------------------------------------------------------------------------
@@ -378,6 +401,30 @@ Result<MonteCarloResult> ApproxConfidenceSeeded(CompiledDnf dnf, double epsilon,
   // One independent Karp-Luby sampler per batch task: the estimator itself
   // is read-only during trials, all mutable world state lives in the
   // per-task scratch.
+  TrialFactory factory = [&estimator]() -> TrialFn {
+    auto scratch = std::make_shared<KarpLubyScratch>();
+    return [&estimator, scratch](Rng* rng) -> double {
+      return estimator.Trial(rng, scratch.get()) ? 1.0 : 0.0;
+    };
+  };
+  MAYBMS_ASSIGN_OR_RETURN(
+      MonteCarloResult mc,
+      OptimalEstimateSeeded(factory, epsilon, delta, base_seed, options, pool));
+  mc.estimate = std::min(1.0, mc.estimate * estimator.TotalWeight());
+  return mc;
+}
+
+Result<MonteCarloResult> ApproxConjunctionConfidenceSeeded(
+    CompiledDnf dnf, size_t num_query_clauses, double epsilon, double delta,
+    uint64_t base_seed, const MonteCarloOptions& options, ThreadPool* pool) {
+  MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
+  KarpLubyEstimator estimator(std::move(dnf), num_query_clauses);
+  if (estimator.Trivial()) {
+    MonteCarloResult result;
+    result.estimate = estimator.TrivialProbability();
+    result.samples = 0;
+    return result;
+  }
   TrialFactory factory = [&estimator]() -> TrialFn {
     auto scratch = std::make_shared<KarpLubyScratch>();
     return [&estimator, scratch](Rng* rng) -> double {

@@ -88,6 +88,18 @@ Result<MonteCarloResult> ApproxConfidence(CompiledDnf dnf, double epsilon,
                                           double delta, Rng* rng,
                                           const MonteCarloOptions& options = {});
 
+/// (ε,δ)-estimate of P(Q ∧ C) over combined lineage whose original clauses
+/// split into a query prefix [0, num_query_clauses) and a constraint
+/// suffix: Karp-Luby coverage trials draw from the prefix and count only
+/// when the sampled world also satisfies the constraint disjunction (the
+/// conditioning subsystem's rejecting sampler — src/cond/posterior.h
+/// divides the result by the exact P(C)). The caller must rule out the
+/// zero-probability conjunction (the trial mean would be 0 and the
+/// stopping rule would only terminate at the sample cap).
+Result<MonteCarloResult> ApproxConjunctionConfidence(
+    CompiledDnf dnf, size_t num_query_clauses, double epsilon, double delta,
+    Rng* rng, const MonteCarloOptions& options = {});
+
 // ---------------------------------------------------------------------------
 // Seeded (deterministic, parallel-capable) estimation
 // ---------------------------------------------------------------------------
@@ -116,5 +128,13 @@ Result<MonteCarloResult> ApproxConfidenceSeeded(CompiledDnf dnf, double epsilon,
                                                 double delta, uint64_t base_seed,
                                                 const MonteCarloOptions& options = {},
                                                 ThreadPool* pool = nullptr);
+
+/// ApproxConjunctionConfidence on deterministic substreams: the estimate of
+/// P(Q ∧ C) is a pure function of (lineage, base_seed) — identical at any
+/// thread count and across engines.
+Result<MonteCarloResult> ApproxConjunctionConfidenceSeeded(
+    CompiledDnf dnf, size_t num_query_clauses, double epsilon, double delta,
+    uint64_t base_seed, const MonteCarloOptions& options = {},
+    ThreadPool* pool = nullptr);
 
 }  // namespace maybms

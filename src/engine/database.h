@@ -63,6 +63,9 @@ class Database {
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
   WorldTable& world_table() { return catalog_.world_table(); }
+  /// The evidence asserted so far (ASSERT / CONDITION ON statements); all
+  /// conf()/aconf()/tconf() answers are posteriors given this constraint.
+  const ConstraintStore& constraints() const { return catalog_.constraints(); }
 
   DatabaseOptions& options() { return options_; }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/str_util.h"
+#include "src/cond/posterior.h"
 #include "src/lineage/dnf.h"
 
 namespace maybms {
@@ -94,13 +95,22 @@ Result<std::vector<std::vector<Value>>> ComputeGroupAggregates(
       case AggKind::kConf:
       case AggKind::kAconf: {
         // The group's lineage: disjunction of the duplicate tuples'
-        // conjunctive conditions (paper §2.3).
+        // conjunctive conditions (paper §2.3). Under asserted evidence the
+        // answer is the posterior P(lineage | C) (src/cond/posterior.h).
+        const ConstraintStore& cs = ctx->constraints();
         Dnf dnf;
         for (const Row* row : group_rows) dnf.AddClause(row->condition);
         if (agg.kind == AggKind::kConf) {
-          MAYBMS_ASSIGN_OR_RETURN(
-              double p,
-              ExactConfidence(dnf, wt, ctx->options->exact, nullptr, ctx->pool));
+          double p;
+          if (cs.active()) {
+            MAYBMS_ASSIGN_OR_RETURN(
+                p, PosteriorExactConfidence(dnf, cs, wt, ctx->options->exact,
+                                            ctx->pool));
+          } else {
+            MAYBMS_ASSIGN_OR_RETURN(
+                p, ExactConfidence(dnf, wt, ctx->options->exact, nullptr,
+                                   ctx->pool));
+          }
           values[a] = Value::Double(p);
         } else if (ctx->pool != nullptr) {
           // Parallel sampling: draw ONE base seed from the session stream
@@ -108,17 +118,34 @@ Result<std::vector<std::vector<Value>>> ComputeGroupAggregates(
           // the batch engine draws it), then sample on counter-based
           // substreams — identical estimates at any thread count >= 2.
           uint64_t base_seed = ctx->rng->Next();
-          MAYBMS_ASSIGN_OR_RETURN(
-              MonteCarloResult mc,
-              ApproxConfidenceSeeded(CompiledDnf(dnf, wt), agg.epsilon, agg.delta,
-                                     base_seed, ctx->options->montecarlo,
-                                     ctx->pool));
+          MonteCarloResult mc;
+          if (cs.active()) {
+            MAYBMS_ASSIGN_OR_RETURN(
+                mc, PosteriorApproxConfidenceSeeded(dnf, cs, wt, agg.epsilon,
+                                                    agg.delta, base_seed,
+                                                    ctx->options->montecarlo,
+                                                    ctx->options->exact,
+                                                    ctx->pool));
+          } else {
+            MAYBMS_ASSIGN_OR_RETURN(
+                mc, ApproxConfidenceSeeded(CompiledDnf(dnf, wt), agg.epsilon,
+                                           agg.delta, base_seed,
+                                           ctx->options->montecarlo, ctx->pool));
+          }
           values[a] = Value::Double(mc.estimate);
         } else {
-          MAYBMS_ASSIGN_OR_RETURN(
-              MonteCarloResult mc,
-              ApproxConfidence(dnf, wt, agg.epsilon, agg.delta, ctx->rng,
-                               ctx->options->montecarlo));
+          MonteCarloResult mc;
+          if (cs.active()) {
+            MAYBMS_ASSIGN_OR_RETURN(
+                mc, PosteriorApproxConfidence(dnf, cs, wt, agg.epsilon,
+                                              agg.delta, ctx->rng,
+                                              ctx->options->montecarlo,
+                                              ctx->options->exact));
+          } else {
+            MAYBMS_ASSIGN_OR_RETURN(
+                mc, ApproxConfidence(dnf, wt, agg.epsilon, agg.delta, ctx->rng,
+                                     ctx->options->montecarlo));
+          }
           values[a] = Value::Double(mc.estimate);
         }
         break;
@@ -126,24 +153,33 @@ Result<std::vector<std::vector<Value>>> ComputeGroupAggregates(
       case AggKind::kEsum: {
         // Expected sum by linearity of expectation: Σ value·P(condition) —
         // linear time, no #P confidence computation (paper §2.2 item 4).
+        // Under evidence the per-row marginal is the posterior.
+        const ConstraintStore& cs = ctx->constraints();
         double total = 0;
         for (const Row* row : group_rows) {
           MAYBMS_ASSIGN_OR_RETURN(Value v, agg.arg->Eval(row->values));
           if (v.is_null()) continue;
           MAYBMS_ASSIGN_OR_RETURN(double d, v.ToDouble());
-          total += d * wt.ConditionProb(row->condition);
+          MAYBMS_ASSIGN_OR_RETURN(
+              double p, PosteriorConditionProb(row->condition, cs, wt,
+                                               ctx->options->exact));
+          total += d * p;
         }
         values[a] = Value::Double(total);
         break;
       }
       case AggKind::kEcount: {
+        const ConstraintStore& cs = ctx->constraints();
         double total = 0;
         for (const Row* row : group_rows) {
           if (agg.arg) {
             MAYBMS_ASSIGN_OR_RETURN(Value v, agg.arg->Eval(row->values));
             if (v.is_null()) continue;
           }
-          total += wt.ConditionProb(row->condition);
+          MAYBMS_ASSIGN_OR_RETURN(
+              double p, PosteriorConditionProb(row->condition, cs, wt,
+                                               ctx->options->exact));
+          total += p;
         }
         values[a] = Value::Double(total);
         break;

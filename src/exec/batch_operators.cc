@@ -9,6 +9,7 @@
 #include "src/common/row_index.h"
 #include "src/common/str_util.h"
 #include "src/common/thread_pool.h"
+#include "src/cond/posterior.h"
 #include "src/conf/karp_luby.h"
 #include "src/exec/vector_expression.h"
 #include "src/lineage/compiled_dnf.h"
@@ -323,22 +324,29 @@ class ParallelFilterOp final : public MorselMapOp {
 // ---------------------------------------------------------------------------
 
 // One batch through a projection: shared by the serial (streaming) and
-// parallel (morsel-map) operators. Reads the world table only through
-// const lookups, so it is safe to run concurrently on distinct batches.
-Result<Batch> ProjectBatch(const ProjectNode& node, const WorldTable& wt,
+// parallel (morsel-map) operators. Reads the world table and constraint
+// store only through const lookups, so it is safe to run concurrently on
+// distinct batches.
+Result<Batch> ProjectBatch(const ProjectNode& node, const ExecContext& ctx,
                            Batch in) {
+  const WorldTable& wt = ctx.worlds();
+  const ConstraintStore& cs = ctx.constraints();
   Batch out;
   out.columns.reserve(node.exprs.size());
   for (const BoundExprPtr& e : node.exprs) {
     if (e->kind == BoundExprKind::kTconf) {
       // tconf(): the marginal probability of this tuple in isolation —
       // the product of its condition's atom probabilities (§2.2),
-      // computed straight off the packed condition spans.
+      // computed straight off the packed condition spans. Under asserted
+      // evidence this becomes the posterior marginal P(cond | C).
       auto col = std::make_shared<ColumnVector>(TypeId::kDouble);
       col->Reserve(in.num_rows);
       for (size_t k = 0; k < in.num_rows; ++k) {
         AtomSpan span = in.conditions.Span(k);
-        col->AppendDouble(wt.ConditionProb(span.data, span.size));
+        MAYBMS_ASSIGN_OR_RETURN(
+            double p, PosteriorConditionProb(span.data, span.size, cs, wt,
+                                             ctx.options->exact));
+        col->AppendDouble(p);
       }
       out.columns.push_back(std::move(col));
     } else {
@@ -365,7 +373,7 @@ class ProjectOp : public BatchOperator {
     Batch in;
     MAYBMS_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
     if (!more) return false;
-    MAYBMS_ASSIGN_OR_RETURN(*out, ProjectBatch(node_, ctx_->worlds(), std::move(in)));
+    MAYBMS_ASSIGN_OR_RETURN(*out, ProjectBatch(node_, *ctx_, std::move(in)));
     return true;
   }
 
@@ -383,7 +391,7 @@ class ParallelProjectOp final : public MorselMapOp {
 
  protected:
   Result<Batch> Transform(Batch morsel) const override {
-    return ProjectBatch(node_, ctx_->worlds(), std::move(morsel));
+    return ProjectBatch(node_, *ctx_, std::move(morsel));
   }
 
  private:
@@ -939,6 +947,9 @@ class PossibleOp : public MaterializedOperator {
   Status Compute() override {
     DedupAccumulator acc(node_.output_schema);
     const WorldTable& wt = ctx_->worlds();
+    // Under evidence a tuple is possible iff P(cond ∧ C) > 0; with no
+    // evidence CompatiblePositive is exactly the P(cond) > 0 check.
+    const ConstraintStore& cs = ctx_->constraints();
     if (ctx_->pool != nullptr) {
       // The per-row probability check is pure — run it over morsels; the
       // order-sensitive dedup then folds the keep-mask serially.
@@ -950,7 +961,7 @@ class PossibleOp : public MaterializedOperator {
             [&](size_t begin, size_t end) {
               for (size_t row = begin; row < end; ++row) {
                 AtomSpan span = in.conds.Span(row);
-                keep[row] = wt.ConditionProb(span.data, span.size) > 0 ? 1 : 0;
+                keep[row] = cs.CompatiblePositive(span.data, span.size, wt) ? 1 : 0;
               }
             });
       }
@@ -965,7 +976,7 @@ class PossibleOp : public MaterializedOperator {
         if (!more) break;
         for (size_t i = 0; i < in.num_rows; ++i) {
           AtomSpan span = in.conditions.Span(i);
-          if (wt.ConditionProb(span.data, span.size) <= 0) continue;
+          if (!cs.CompatiblePositive(span.data, span.size, wt)) continue;
           acc.Add(in, i);
         }
         in = Batch();
@@ -1376,18 +1387,29 @@ class AggregateOp : public MaterializedOperator {
     }
     const WorldTable& wt = ctx_->worlds();
     if (need_probs) {
+      // Under asserted evidence the per-row marginal is the posterior
+      // P(cond | C); PosteriorConditionProb is the prior product when the
+      // store is inactive or the row's variables are untouched by it.
+      const ConstraintStore& cs = ctx_->constraints();
       cond_probs.assign(in.num_rows, 0.0);
-      auto fill = [&](size_t begin, size_t end) {
+      auto fill = [&](size_t begin, size_t end) -> Status {
         for (size_t row = begin; row < end; ++row) {
           AtomSpan span = in.conds.Span(row);
-          cond_probs[row] = wt.ConditionProb(span.data, span.size);
+          MAYBMS_ASSIGN_OR_RETURN(
+              cond_probs[row],
+              PosteriorConditionProb(span.data, span.size, cs, wt,
+                                     ctx_->options->exact));
         }
+        return Status::OK();
       };
       if (pool != nullptr && in.num_rows > 0) {
-        pool->ParallelFor(0, in.num_rows, std::min(MorselRows(ctx_), in.num_rows),
-                          fill);
+        size_t morsel = std::min(MorselRows(ctx_), in.num_rows);
+        size_t num_morsels = (in.num_rows + morsel - 1) / morsel;
+        MAYBMS_RETURN_NOT_OK(pool->ParallelForStatus(0, num_morsels, [&](size_t m) {
+          return fill(m * morsel, std::min(in.num_rows, (m + 1) * morsel));
+        }));
       } else {
-        fill(0, in.num_rows);
+        MAYBMS_RETURN_NOT_OK(fill(0, in.num_rows));
       }
     }
 
@@ -1537,6 +1559,39 @@ class AggregateOp : public MaterializedOperator {
         }
         case AggKind::kConf:
         case AggKind::kAconf: {
+          const ConstraintStore& cs = ctx_->constraints();
+          if (cs.active()) {
+            // Conditioned path: posterior P(lineage | C). The clause list
+            // materializes as heap Conditions so both engines feed the
+            // posterior solver identical inputs (bit-identical answers);
+            // the unconditioned span-compiled fast path below is untouched.
+            Dnf dnf;
+            for (uint32_t row : members) dnf.AddClause(in.conds.ToCondition(row));
+            if (agg.kind == AggKind::kConf) {
+              MAYBMS_ASSIGN_OR_RETURN(
+                  double p, PosteriorExactConfidence(dnf, cs, wt,
+                                                     ctx_->options->exact,
+                                                     ctx_->pool));
+              values[a] = Value::Double(p);
+            } else if (aconf_seeds != nullptr) {
+              MAYBMS_ASSIGN_OR_RETURN(
+                  MonteCarloResult mc,
+                  PosteriorApproxConfidenceSeeded(
+                      dnf, cs, wt, agg.epsilon, agg.delta,
+                      aconf_seeds[aconf_slot++], ctx_->options->montecarlo,
+                      ctx_->options->exact, ctx_->pool));
+              values[a] = Value::Double(mc.estimate);
+            } else {
+              MAYBMS_ASSIGN_OR_RETURN(
+                  MonteCarloResult mc,
+                  PosteriorApproxConfidence(dnf, cs, wt, agg.epsilon, agg.delta,
+                                            ctx_->rng,
+                                            ctx_->options->montecarlo,
+                                            ctx_->options->exact));
+              values[a] = Value::Double(mc.estimate);
+            }
+            break;
+          }
           // The group's lineage — the disjunction of the duplicate tuples'
           // conjunctive conditions (paper §2.3) — compiles directly from
           // the packed condition-column spans: no Condition objects, no

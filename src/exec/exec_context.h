@@ -52,6 +52,8 @@ struct ExecContext {
 
   WorldTable& worlds() { return catalog->world_table(); }
   const WorldTable& worlds() const { return catalog->world_table(); }
+  /// The active evidence: posterior confidence and `possible` consult it.
+  const ConstraintStore& constraints() const { return catalog->constraints(); }
 };
 
 /// A materialized operator result.

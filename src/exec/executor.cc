@@ -1,6 +1,8 @@
 #include "src/exec/executor.h"
 
 #include "src/common/str_util.h"
+#include "src/cond/posterior.h"
+#include "src/cond/prune.h"
 
 namespace maybms {
 
@@ -112,6 +114,100 @@ Result<StatementResult> ExecuteDelete(const BoundStatement& stmt, ExecContext* c
   return result;
 }
 
+// ASSERT <query> / CONDITION ON <query>: conditions the database on the
+// event "the query has at least one answer". ASSERT CONFIDENCE >= p only
+// checks the event's posterior confidence.
+Result<StatementResult> ExecuteAssert(const BoundStatement& stmt, ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TableData data, ExecutePlan(*stmt.plan, ctx));
+  // The event's lineage: the disjunction of the result tuples' conditions.
+  // A t-certain tuple (or any tuple of a t-certain result) makes the event
+  // certainly true.
+  Dnf evidence;
+  bool certain = false;
+  for (Row& row : data.rows) {
+    if (!data.uncertain || row.condition.IsTrue()) {
+      certain = true;
+      break;
+    }
+    evidence.AddClause(std::move(row.condition));
+  }
+
+  ConstraintStore& store = ctx->catalog->constraints();
+  const ExactOptions& exact = ctx->options->exact;
+  StatementResult result;
+
+  if (stmt.assert_min_confidence) {
+    double p = 1.0;
+    if (!certain) {
+      MAYBMS_ASSIGN_OR_RETURN(
+          p, PosteriorExactConfidence(evidence, store, ctx->worlds(), exact,
+                                      ctx->pool));
+    }
+    if (p + 1e-12 < *stmt.assert_min_confidence) {
+      return Status::ExecutionError(StringFormat(
+          "ASSERT CONFIDENCE failed: posterior confidence %.12g < %.12g",
+          p, *stmt.assert_min_confidence));
+    }
+    result.message = StringFormat("ASSERT CONFIDENCE %.6g >= %.6g", p,
+                                  *stmt.assert_min_confidence);
+    return result;
+  }
+
+  if (certain) {
+    // Conditioning on a certain event is a no-op: C ∧ true = C.
+    result.message = "ASSERT (evidence already certain)";
+    return result;
+  }
+  // An empty evidence DNF (the query has no possible answers) is rejected
+  // by Conjoin with a clean InvalidArgument, store untouched.
+  MAYBMS_RETURN_NOT_OK(store.Conjoin(evidence, ctx->worlds(), exact, ctx->pool));
+  double joint = store.probability();
+  size_t clauses = store.NumClauses();
+  // Prune: worlds violating the evidence leave the stored representation;
+  // fully-determined variables substitute away and renormalize.
+  MAYBMS_ASSIGN_OR_RETURN(PruneStats pruned,
+                          PruneConditionedWorlds(ctx->catalog, exact, ctx->pool));
+  result.affected_rows = pruned.rows_dropped;
+  result.message = StringFormat(
+      "ASSERT P(evidence)=%.6g, %zu clause(s); pruned %zu row(s), "
+      "%zu atom(s), collapsed %zu variable(s)",
+      joint, clauses, pruned.rows_dropped, pruned.atoms_removed,
+      pruned.vars_collapsed);
+  return result;
+}
+
+// SHOW EVIDENCE: one row per constraint clause with its prior marginal
+// probability; the message summarizes P(C).
+Result<StatementResult> ExecuteShowEvidence(ExecContext* ctx) {
+  const ConstraintStore& store = ctx->catalog->constraints();
+  StatementResult result;
+  result.has_data = true;
+  result.data.schema.AddColumn(Column{"clause", TypeId::kString});
+  result.data.schema.AddColumn(Column{"prob", TypeId::kDouble});
+  const WorldTable& wt = ctx->worlds();
+  for (const Condition& c : store.clauses()) {
+    Row row;
+    row.values.push_back(Value::String(c.ToString()));
+    row.values.push_back(Value::Double(wt.ConditionProb(c)));
+    result.data.rows.push_back(std::move(row));
+  }
+  if (store.active()) {
+    result.message = StringFormat(
+        "EVIDENCE %zu clause(s) over %zu variable(s), P(C)=%.12g",
+        store.NumClauses(), store.variables().size(), store.probability());
+  } else {
+    result.message = "EVIDENCE none";
+  }
+  return result;
+}
+
+Result<StatementResult> ExecuteClearEvidence(ExecContext* ctx) {
+  ctx->catalog->constraints().Clear();
+  StatementResult result;
+  result.message = "CLEAR EVIDENCE";
+  return result;
+}
+
 Result<StatementResult> ExecuteDrop(const BoundStatement& stmt, ExecContext* ctx) {
   Status st = ctx->catalog->DropTable(stmt.table_name);
   if (!st.ok() && !(stmt.drop_if_exists && st.code() == StatusCode::kNotFound)) {
@@ -140,6 +236,12 @@ Result<StatementResult> ExecuteStatement(const BoundStatement& stmt, ExecContext
       return ExecuteDelete(stmt, ctx);
     case StatementKind::kDropTable:
       return ExecuteDrop(stmt, ctx);
+    case StatementKind::kAssert:
+      return ExecuteAssert(stmt, ctx);
+    case StatementKind::kShowEvidence:
+      return ExecuteShowEvidence(ctx);
+    case StatementKind::kClearEvidence:
+      return ExecuteClearEvidence(ctx);
   }
   return Status::Internal("unhandled bound statement kind");
 }

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "src/common/str_util.h"
+#include "src/cond/posterior.h"
 #include "src/exec/aggregates.h"
 #include "src/exec/batch_operators.h"
 
@@ -70,14 +71,19 @@ Result<TableData> ExecuteProject(const ProjectNode& node, ExecContext* ctx) {
   out.uncertain = node.uncertain;
   out.rows.reserve(in.rows.size());
   const WorldTable& wt = ctx->worlds();
+  const ConstraintStore& cs = ctx->constraints();
   for (Row& row : in.rows) {
     Row result;
     result.values.reserve(node.exprs.size());
     for (const BoundExprPtr& e : node.exprs) {
       if (e->kind == BoundExprKind::kTconf) {
         // tconf(): the marginal probability of this tuple in isolation —
-        // the product of its condition's atom probabilities (§2.2).
-        result.values.push_back(Value::Double(wt.ConditionProb(row.condition)));
+        // the product of its condition's atom probabilities (§2.2), or the
+        // posterior marginal P(cond | C) under asserted evidence.
+        MAYBMS_ASSIGN_OR_RETURN(
+            double p, PosteriorConditionProb(row.condition, cs, wt,
+                                             ctx->options->exact));
+        result.values.push_back(Value::Double(p));
       } else {
         MAYBMS_ASSIGN_OR_RETURN(Value v, e->Eval(row.values));
         result.values.push_back(std::move(v));
@@ -295,10 +301,12 @@ Result<TableData> ExecutePossible(const PossibleNode& node, ExecContext* ctx) {
   out.uncertain = false;
   const WorldTable& wt = ctx->worlds();
 
+  const ConstraintStore& cs = ctx->constraints();
   std::unordered_map<size_t, std::vector<size_t>> buckets;  // hash -> out rows
   for (Row& row : in.rows) {
     // Filter tuples with probability zero, eliminate duplicates (§2.2).
-    if (wt.ConditionProb(row.condition) <= 0) continue;
+    // Under evidence a tuple is possible iff P(cond ∧ C) > 0.
+    if (!cs.CompatiblePositive(row.condition, wt)) continue;
     size_t h = HashValues(row.values);
     std::vector<size_t>& bucket = buckets[h];
     bool duplicate = false;

@@ -20,6 +20,18 @@ bool IsAggregateName(const std::string& lower_name) {
   return kAggs.count(lower_name) > 0;
 }
 
+// " at line:col" when the parser stamped a source position on the node
+// (empty otherwise) — appended to name-resolution errors so shells and
+// tests can point at the offending token.
+std::string AtPos(const Expr& expr) {
+  if (expr.line == 0) return "";
+  return StringFormat(" at %u:%u", expr.line, expr.col);
+}
+std::string AtPos(const TableRef& ref) {
+  if (ref.line == 0) return "";
+  return StringFormat(" at %u:%u", ref.line, ref.col);
+}
+
 // Recursively checks whether an AST expression contains an aggregate (or
 // tconf) call.
 void ScanForCalls(const Expr& expr, bool* has_agg, bool* has_tconf) {
@@ -97,16 +109,17 @@ Result<BoundExprPtr> Binder::BindColumnRef(const ColumnRefExpr& col,
       if (scope.name == want) {
         auto idx = scope.schema->FindColumn(col.column);
         if (!idx) {
-          return Status::BindError(StringFormat("column '%s' does not exist in '%s'",
-                                                col.column.c_str(), col.table.c_str()));
+          return Status::BindError(StringFormat(
+              "column '%s' does not exist in '%s'%s", col.column.c_str(),
+              col.table.c_str(), AtPos(col).c_str()));
         }
         size_t abs = scope.offset + *idx;
         return BoundExprPtr(std::make_unique<BoundColumnRef>(
             abs, scope.schema->column(*idx).type, col.ToString()));
       }
     }
-    return Status::BindError(
-        StringFormat("unknown table or alias '%s'", col.table.c_str()));
+    return Status::BindError(StringFormat("unknown table or alias '%s'%s",
+                                          col.table.c_str(), AtPos(col).c_str()));
   }
   // Unqualified: search all scopes; ambiguity is an error.
   std::optional<size_t> found;
@@ -115,16 +128,16 @@ Result<BoundExprPtr> Binder::BindColumnRef(const ColumnRefExpr& col,
     auto idx = scope.schema->FindColumn(col.column);
     if (idx) {
       if (found) {
-        return Status::BindError(
-            StringFormat("column reference '%s' is ambiguous", col.column.c_str()));
+        return Status::BindError(StringFormat("column reference '%s' is ambiguous%s",
+                                              col.column.c_str(), AtPos(col).c_str()));
       }
       found = scope.offset + *idx;
       found_type = scope.schema->column(*idx).type;
     }
   }
   if (!found) {
-    return Status::BindError(
-        StringFormat("column '%s' does not exist", col.column.c_str()));
+    return Status::BindError(StringFormat("column '%s' does not exist%s",
+                                          col.column.c_str(), AtPos(col).c_str()));
   }
   return BoundExprPtr(std::make_unique<BoundColumnRef>(*found, found_type, col.column));
 }
@@ -184,12 +197,14 @@ Result<BoundExprPtr> Binder::BindExpr(const Expr& expr, const BindContext& ctx) 
             "uncertain relation");
       }
       if (IsAggregateName(call.name)) {
-        return Status::BindError(StringFormat(
-            "aggregate '%s' is not allowed in this context", call.name.c_str()));
+        return Status::BindError(
+            StringFormat("aggregate '%s' is not allowed in this context%s",
+                         call.name.c_str(), AtPos(call).c_str()));
       }
       if (!IsScalarFunction(call.name)) {
-        return Status::BindError(
-            StringFormat("unknown function '%s'", call.name.c_str()));
+        return Status::BindError(StringFormat("unknown function '%s'%s",
+                                              call.name.c_str(),
+                                              AtPos(call).c_str()));
       }
       std::vector<BoundExprPtr> args;
       std::vector<TypeId> arg_types;
@@ -260,7 +275,14 @@ Result<Binder::FromItem> Binder::BindTableRef(const TableRef& ref) {
       if (catalog_ == nullptr) {
         return Status::BindError("no catalog available for table lookup");
       }
-      MAYBMS_ASSIGN_OR_RETURN(TablePtr table, catalog_->GetTable(base.name));
+      Result<TablePtr> lookup = catalog_->GetTable(base.name);
+      if (!lookup.ok()) {
+        // Preserve the NotFound category, adding the source position.
+        return Status::NotFound(StringFormat("table '%s' does not exist%s",
+                                             base.name.c_str(),
+                                             AtPos(ref).c_str()));
+      }
+      TablePtr table = std::move(*lookup);
       item.plan = std::make_unique<ScanNode>(std::move(table));
       item.name = ToLower(ref.alias.empty() ? base.name : ref.alias);
       return item;

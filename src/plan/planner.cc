@@ -150,6 +150,21 @@ Result<BoundStatement> BindStatement(const Catalog& catalog, const Statement& st
       out.drop_if_exists = drop.if_exists;
       return out;
     }
+    case StatementKind::kAssert: {
+      const auto& assert_stmt = static_cast<const AssertStmt&>(stmt);
+      Binder binder(&catalog);
+      BoundStatement out;
+      out.kind = StatementKind::kAssert;
+      out.assert_min_confidence = assert_stmt.min_confidence;
+      MAYBMS_ASSIGN_OR_RETURN(out.plan, binder.BindSelect(*assert_stmt.select));
+      return out;
+    }
+    case StatementKind::kShowEvidence:
+    case StatementKind::kClearEvidence: {
+      BoundStatement out;
+      out.kind = stmt.kind;
+      return out;
+    }
   }
   return Status::Internal("unhandled statement kind");
 }

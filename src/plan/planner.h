@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,10 @@ struct BoundStatement {
   BoundExprPtr dml_where;
 
   bool drop_if_exists = false;
+
+  /// ASSERT CONFIDENCE >= p threshold: set = check-only assertion (no
+  /// conditioning); unset on a plain ASSERT / CONDITION ON.
+  std::optional<double> assert_min_confidence;
 };
 
 /// Binds any parsed statement against the catalog.

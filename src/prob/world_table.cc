@@ -1,5 +1,6 @@
 #include "src/prob/world_table.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +35,21 @@ Result<VarId> WorldTable::NewBooleanVariable(double p, std::string label) {
     return Status::InvalidArgument(StringFormat("probability %g outside [0,1]", p));
   }
   return NewVariable({1.0 - p, p}, std::move(label));
+}
+
+Status WorldTable::CollapseVariable(VarId var, AsgId asg) {
+  if (var >= variables_.size()) {
+    return Status::InvalidArgument(
+        StringFormat("cannot collapse unregistered variable x%u", var));
+  }
+  std::vector<double>& probs = variables_[var].probs;
+  if (asg >= probs.size()) {
+    return Status::InvalidArgument(StringFormat(
+        "cannot collapse x%u to out-of-domain assignment %u", var, asg));
+  }
+  std::fill(probs.begin(), probs.end(), 0.0);
+  probs[asg] = 1.0;
+  return Status::OK();
 }
 
 double WorldTable::ConditionProb(const Condition& cond) const {

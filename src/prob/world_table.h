@@ -26,6 +26,12 @@ class WorldTable {
   /// Assignment 0 = "absent", 1 = "present".
   Result<VarId> NewBooleanVariable(double p, std::string label = "");
 
+  /// Conditioning support: replaces the distribution of `var` with the
+  /// one-hot posterior on `asg` — the variable has been fully determined
+  /// by asserted evidence and its surviving assignment now has probability
+  /// 1 (world pruning, see src/cond/prune.h).
+  Status CollapseVariable(VarId var, AsgId asg);
+
   size_t NumVariables() const { return variables_.size(); }
   size_t DomainSize(VarId var) const { return Var(var).probs.size(); }
   const std::string& Label(VarId var) const { return Var(var).label; }

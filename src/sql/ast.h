@@ -37,6 +37,10 @@ struct Expr {
   virtual std::string ToString() const = 0;
 
   const ExprKind kind;
+  /// 1-based source position of the expression's first token (0 = unknown);
+  /// binder errors cite it so the shell can point at the offending token.
+  uint32_t line = 0;
+  uint32_t col = 0;
 };
 
 using ExprPtr = std::unique_ptr<Expr>;
@@ -142,6 +146,9 @@ struct TableRef {
 
   const TableRefKind kind;
   std::string alias;  ///< empty if none
+  /// 1-based source position of the reference's first token (0 = unknown).
+  uint32_t line = 0;
+  uint32_t col = 0;
 };
 
 using TableRefPtr = std::unique_ptr<TableRef>;
@@ -195,6 +202,9 @@ enum class StatementKind : uint8_t {
   kUpdate,
   kDelete,
   kDropTable,
+  kAssert,        ///< ASSERT <query> / ASSERT CONFIDENCE >= p <query>
+  kShowEvidence,  ///< SHOW EVIDENCE: constraint-store introspection
+  kClearEvidence, ///< CLEAR EVIDENCE: drop all asserted constraints
 };
 
 struct Statement {
@@ -284,6 +294,28 @@ struct DropTableStmt : Statement {
 
   std::string name;
   bool if_exists = false;
+};
+
+/// `ASSERT <query>` / `CONDITION ON <query>`: conditions the database on
+/// the event "the query has at least one answer" — the query result's
+/// lineage is conjoined into the constraint store, worlds violating it are
+/// pruned, and all later confidence answers become posteriors (Koch &
+/// Olteanu, VLDB'08). `ASSERT CONFIDENCE >= p [FOR] <query>` instead
+/// *checks* that the event's posterior confidence reaches `p`, changing
+/// nothing (a guarded sanity assertion).
+struct AssertStmt : Statement {
+  AssertStmt() : Statement(StatementKind::kAssert) {}
+
+  std::unique_ptr<SelectStmt> select;
+  std::optional<double> min_confidence;  ///< set = check-only mode
+};
+
+struct ShowEvidenceStmt : Statement {
+  ShowEvidenceStmt() : Statement(StatementKind::kShowEvidence) {}
+};
+
+struct ClearEvidenceStmt : Statement {
+  ClearEvidenceStmt() : Statement(StatementKind::kClearEvidence) {}
 };
 
 }  // namespace maybms

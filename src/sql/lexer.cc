@@ -26,6 +26,33 @@ bool IsIdentChar(char c) {
 
 }  // namespace
 
+LineIndex::LineIndex(std::string_view sql) {
+  line_starts_.push_back(0);
+  for (size_t i = 0; i < sql.size(); ++i) {
+    if (sql[i] == '\n') line_starts_.push_back(i + 1);
+  }
+}
+
+void LineIndex::Lookup(size_t offset, uint32_t* line, uint32_t* col) const {
+  size_t lo = 0, hi = line_starts_.size();
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    (line_starts_[mid] <= offset ? lo : hi) = mid;
+  }
+  *line = static_cast<uint32_t>(lo + 1);
+  *col = static_cast<uint32_t>(offset - line_starts_[lo] + 1);
+}
+
+std::string LineIndex::Format(size_t offset) const {
+  uint32_t line = 1, col = 1;
+  Lookup(offset, &line, &col);
+  return StringFormat("%u:%u", line, col);
+}
+
+std::string OffsetLineCol(std::string_view sql, size_t offset) {
+  return LineIndex(sql).Format(offset);
+}
+
 Result<std::vector<Token>> Tokenize(std::string_view sql) {
   std::vector<Token> tokens;
   size_t i = 0;
@@ -102,7 +129,8 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
       }
       if (!closed) {
         return Status::ParseError(
-            StringFormat("unterminated string literal at offset %zu", tok.offset));
+            StringFormat("unterminated string literal at %s",
+                         OffsetLineCol(sql, tok.offset).c_str()));
       }
       tok.type = TokenType::kString;
       tok.text = std::move(value);
@@ -133,8 +161,8 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
       tokens.push_back(std::move(tok));
       continue;
     }
-    return Status::ParseError(
-        StringFormat("unexpected character '%c' at offset %zu", c, i));
+    return Status::ParseError(StringFormat("unexpected character '%c' at %s", c,
+                                           OffsetLineCol(sql, i).c_str()));
   }
   Token eof;
   eof.type = TokenType::kEof;

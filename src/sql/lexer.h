@@ -34,7 +34,27 @@ struct Token {
 };
 
 /// Tokenizes `sql`. Comments ("-- ..." to end of line) are skipped.
-/// Returns ParseError with offset context for malformed input.
+/// Returns ParseError with line:col context for malformed input.
 Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+/// Byte-offset → 1-based (line, col) mapping over one SQL text — the
+/// single source of the position rule every sql-layer error shares (lexer
+/// and parser errors, and the positions the parser stamps onto AST nodes
+/// for binder errors). Construction indexes the newlines once; Lookup is
+/// a binary search, so stamping many AST nodes stays O(log lines) each.
+class LineIndex {
+ public:
+  explicit LineIndex(std::string_view sql);
+
+  void Lookup(size_t offset, uint32_t* line, uint32_t* col) const;
+  /// Lookup rendered as "line:col".
+  std::string Format(size_t offset) const;
+
+ private:
+  std::vector<size_t> line_starts_;  // byte offset of each line start
+};
+
+/// One-shot convenience for error paths that position a single offset.
+std::string OffsetLineCol(std::string_view sql, size_t offset);
 
 }  // namespace maybms

@@ -29,7 +29,8 @@ bool IsReserved(const std::string& word) {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, std::string_view sql)
+      : tokens_(std::move(tokens)), lines_(sql) {}
 
   Result<StatementPtr> ParseSingleStatement() {
     MAYBMS_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement());
@@ -59,6 +60,16 @@ class Parser {
   const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
   bool AtEof() const { return Peek().type == TokenType::kEof; }
 
+  /// 1-based "line:col" of a byte offset (the lexer's shared LineIndex) —
+  /// the source position carried by parse errors and stamped onto AST
+  /// nodes for binder errors.
+  std::string Pos(size_t offset) const { return lines_.Format(offset); }
+  /// Stamps an AST node (Expr or TableRef) with a token's position.
+  template <typename Node>
+  void Tag(Node* node, const Token& tok) const {
+    lines_.Lookup(tok.offset, &node->line, &node->col);
+  }
+
   bool AcceptWord(std::string_view w) {
     if (Peek().IsWord(w)) {
       Advance();
@@ -75,24 +86,26 @@ class Parser {
   }
   Status ExpectWord(std::string_view w) {
     if (!AcceptWord(w)) {
-      return Status::ParseError(StringFormat("expected '%.*s' near offset %zu (got '%s')",
+      return Status::ParseError(StringFormat("expected '%.*s' at %s (got '%s')",
                                              static_cast<int>(w.size()), w.data(),
-                                             Peek().offset, Peek().text.c_str()));
+                                             Pos(Peek().offset).c_str(),
+                                             Peek().text.c_str()));
     }
     return Status::OK();
   }
   Status ExpectSymbol(std::string_view s) {
     if (!AcceptSymbol(s)) {
-      return Status::ParseError(StringFormat("expected '%.*s' near offset %zu (got '%s')",
+      return Status::ParseError(StringFormat("expected '%.*s' at %s (got '%s')",
                                              static_cast<int>(s.size()), s.data(),
-                                             Peek().offset, Peek().text.c_str()));
+                                             Pos(Peek().offset).c_str(),
+                                             Peek().text.c_str()));
     }
     return Status::OK();
   }
   Status Unexpected(std::string_view what) {
-    return Status::ParseError(StringFormat("expected %.*s near offset %zu (got '%s')",
+    return Status::ParseError(StringFormat("expected %.*s at %s (got '%s')",
                                            static_cast<int>(what.size()), what.data(),
-                                           Peek().offset,
+                                           Pos(Peek().offset).c_str(),
                                            Peek().type == TokenType::kEof
                                                ? "end of input"
                                                : Peek().text.c_str()));
@@ -117,8 +130,72 @@ class Parser {
     if (Peek().IsWord("update")) return ParseUpdate();
     if (Peek().IsWord("delete")) return ParseDelete();
     if (Peek().IsWord("drop")) return ParseDrop();
+    if (Peek().IsWord("assert")) return ParseAssert();
+    if (Peek().IsWord("condition")) return ParseConditionOn();
+    if (Peek().IsWord("show")) return ParseShowEvidence();
+    if (Peek().IsWord("clear")) return ParseClearEvidence();
+    // An identifier in statement position is an unsupported statement —
+    // name it, instead of the generic "expected a statement" failure.
+    if (Peek().type == TokenType::kIdentifier) {
+      return Status::ParseError(StringFormat(
+          "unsupported statement '%s' at %s (supported: SELECT, CREATE, "
+          "INSERT, UPDATE, DELETE, DROP, ASSERT, CONDITION ON, SHOW "
+          "EVIDENCE, CLEAR EVIDENCE)",
+          Peek().text.c_str(), Pos(Peek().offset).c_str()));
+    }
     MAYBMS_RETURN_NOT_OK(Unexpected("a statement"));
     return Status::Internal("unreachable");
+  }
+
+  /// `ASSERT <select>` (conditioning) or
+  /// `ASSERT CONFIDENCE >= <p> [FOR] <select>` (posterior check).
+  Result<StatementPtr> ParseAssert() {
+    MAYBMS_RETURN_NOT_OK(ExpectWord("assert"));
+    auto stmt = std::make_unique<AssertStmt>();
+    if (AcceptWord("confidence")) {
+      MAYBMS_RETURN_NOT_OK(ExpectSymbol(">="));
+      const Token& tok = Peek();
+      double p;
+      if (tok.type == TokenType::kFloat) {
+        p = tok.float_value;
+      } else if (tok.type == TokenType::kInteger) {
+        p = static_cast<double>(tok.int_value);
+      } else {
+        MAYBMS_RETURN_NOT_OK(Unexpected("a confidence threshold"));
+        return Status::Internal("unreachable");
+      }
+      if (p < 0 || p > 1) {
+        return Status::ParseError(StringFormat(
+            "confidence threshold %g at %s outside [0,1]", p,
+            Pos(tok.offset).c_str()));
+      }
+      Advance();
+      stmt->min_confidence = p;
+      AcceptWord("for");
+    }
+    MAYBMS_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
+    return StatementPtr(std::move(stmt));
+  }
+
+  /// `CONDITION ON <select>` — synonym of the conditioning ASSERT.
+  Result<StatementPtr> ParseConditionOn() {
+    MAYBMS_RETURN_NOT_OK(ExpectWord("condition"));
+    MAYBMS_RETURN_NOT_OK(ExpectWord("on"));
+    auto stmt = std::make_unique<AssertStmt>();
+    MAYBMS_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
+    return StatementPtr(std::move(stmt));
+  }
+
+  Result<StatementPtr> ParseShowEvidence() {
+    MAYBMS_RETURN_NOT_OK(ExpectWord("show"));
+    MAYBMS_RETURN_NOT_OK(ExpectWord("evidence"));
+    return StatementPtr(std::make_unique<ShowEvidenceStmt>());
+  }
+
+  Result<StatementPtr> ParseClearEvidence() {
+    MAYBMS_RETURN_NOT_OK(ExpectWord("clear"));
+    MAYBMS_RETURN_NOT_OK(ExpectWord("evidence"));
+    return StatementPtr(std::make_unique<ClearEvidenceStmt>());
   }
 
   Result<StatementPtr> ParseCreate() {
@@ -355,6 +432,7 @@ class Parser {
 
   Result<TableRefPtr> ParseTableRef() {
     TableRefPtr ref;
+    const Token& first = Peek();
     if (Peek().IsWord("repair") || Peek().IsWord("pick")) {
       MAYBMS_ASSIGN_OR_RETURN(ref, ParseRepairOrPick());
     } else if (Peek().IsSymbol("(")) {
@@ -371,6 +449,7 @@ class Parser {
       MAYBMS_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("table name"));
       ref = std::make_unique<BaseTableRef>(std::move(name));
     }
+    Tag(ref.get(), first);
     if (AcceptWord("as")) {
       MAYBMS_ASSIGN_OR_RETURN(ref->alias, ExpectIdentifier("table alias"));
     } else if (Peek().type == TokenType::kIdentifier && !IsReserved(Peek().text)) {
@@ -422,12 +501,17 @@ class Parser {
   }
 
   Result<ColumnRefExpr> ParseQualifiedColumn() {
+    const Token& first_tok = Peek();
     MAYBMS_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier("column name"));
     if (AcceptSymbol(".")) {
       MAYBMS_ASSIGN_OR_RETURN(std::string second, ExpectIdentifier("column name"));
-      return ColumnRefExpr(std::move(first), std::move(second));
+      ColumnRefExpr col(std::move(first), std::move(second));
+      Tag(&col, first_tok);
+      return col;
     }
-    return ColumnRefExpr("", std::move(first));
+    ColumnRefExpr col("", std::move(first));
+    Tag(&col, first_tok);
+    return col;
   }
 
   // --- expressions (precedence climbing) -----------------------------------
@@ -642,6 +726,7 @@ class Parser {
         }
         // Function call?
         if (Peek(1).IsSymbol("(")) {
+          const Token name_tok = Peek();
           std::string name = ToLower(Advance().text);
           Advance();  // '('
           std::vector<ExprPtr> args;
@@ -657,8 +742,10 @@ class Parser {
             } while (AcceptSymbol(","));
           }
           MAYBMS_RETURN_NOT_OK(ExpectSymbol(")"));
-          return ExprPtr(
-              std::make_unique<FunctionCallExpr>(std::move(name), std::move(args)));
+          auto call =
+              std::make_unique<FunctionCallExpr>(std::move(name), std::move(args));
+          Tag(call.get(), name_tok);
+          return ExprPtr(std::move(call));
         }
         // Column reference. Reserved words cannot be bare column names —
         // this catches malformed statements like "select from t" early.
@@ -674,6 +761,7 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
+  LineIndex lines_;  // error/AST positions over the original text
   size_t pos_ = 0;
 };
 
@@ -681,13 +769,13 @@ class Parser {
 
 Result<StatementPtr> ParseStatement(std::string_view sql) {
   MAYBMS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
-  Parser parser(std::move(tokens));
+  Parser parser(std::move(tokens), sql);
   return parser.ParseSingleStatement();
 }
 
 Result<std::vector<StatementPtr>> ParseScript(std::string_view sql) {
   MAYBMS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
-  Parser parser(std::move(tokens));
+  Parser parser(std::move(tokens), sql);
   return parser.ParseAll();
 }
 

@@ -9,13 +9,15 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/cond/constraint_store.h"
 #include "src/prob/world_table.h"
 #include "src/storage/table.h"
 
 namespace maybms {
 
 /// Name → table registry (case-insensitive names) plus the shared
-/// WorldTable holding every random variable of the database.
+/// WorldTable holding every random variable of the database and the
+/// ConstraintStore holding asserted evidence (conditioning subsystem).
 class Catalog {
  public:
   /// Creates a table; errors if the (case-insensitive) name exists.
@@ -34,9 +36,14 @@ class Catalog {
   WorldTable& world_table() { return world_table_; }
   const WorldTable& world_table() const { return world_table_; }
 
+  /// Evidence asserted against this database (ASSERT / CONDITION ON).
+  ConstraintStore& constraints() { return constraints_; }
+  const ConstraintStore& constraints() const { return constraints_; }
+
  private:
   std::map<std::string, TablePtr> tables_;  // key: lower-cased name
   WorldTable world_table_;
+  ConstraintStore constraints_;
 };
 
 }  // namespace maybms

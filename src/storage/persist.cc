@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/common/str_util.h"
+#include "src/conf/exact.h"
 
 namespace maybms {
 
@@ -136,6 +137,20 @@ std::string DumpDatabase(const Catalog& catalog) {
       out += "\n";
     }
   }
+  // Asserted evidence (conditioning subsystem): one clause per line, same
+  // atom encoding as row conditions. Absent when no evidence is active
+  // (dumps from older versions restore fine either way).
+  const ConstraintStore& cs = catalog.constraints();
+  if (cs.active()) {
+    out += StringFormat("EVIDENCE %zu\n", cs.NumClauses());
+    for (const Condition& clause : cs.clauses()) {
+      out += "E";
+      for (const Atom& a : clause.atoms()) {
+        out += StringFormat("\t%u:%u", a.var, a.asg);
+      }
+      out += "\n";
+    }
+  }
   out += "END\n";
   return out;
 }
@@ -189,6 +204,43 @@ Status RestoreDatabase(const std::string& dump, Catalog* catalog) {
     std::string_view trimmed = Trim(line);
     if (trimmed.empty()) continue;
     if (trimmed == "END") return Status::OK();
+    size_t num_clauses = 0;
+    if (std::sscanf(line.c_str(), "EVIDENCE %zu", &num_clauses) == 1) {
+      std::vector<Condition> clauses;
+      clauses.reserve(num_clauses);
+      for (size_t c = 0; c < num_clauses; ++c) {
+        if (!std::getline(in, line)) {
+          return Status::ParseError("truncated evidence section");
+        }
+        std::vector<std::string> fields = Split(line, '\t');
+        if (fields.empty() || fields[0] != "E") {
+          return Status::ParseError("malformed evidence record");
+        }
+        Condition clause;
+        for (size_t i = 1; i < fields.size(); ++i) {
+          unsigned var = 0, asg = 0;
+          if (std::sscanf(fields[i].c_str(), "%u:%u", &var, &asg) != 2) {
+            return Status::ParseError("malformed evidence atom");
+          }
+          if (var >= catalog->world_table().NumVariables() ||
+              asg >= catalog->world_table().DomainSize(var)) {
+            return Status::ParseError("evidence atom references unknown variable");
+          }
+          if (!clause.AddAtom(Atom{var, asg})) {
+            return Status::ParseError("inconsistent evidence clause in dump");
+          }
+        }
+        if (clause.IsTrue()) {
+          return Status::ParseError("empty evidence clause in dump");
+        }
+        clauses.push_back(std::move(clause));
+      }
+      // Recompute P(C) against the restored world table; a probability-0
+      // constraint means the dump is corrupt.
+      MAYBMS_RETURN_NOT_OK(catalog->constraints().Load(
+          std::move(clauses), catalog->world_table(), ExactOptions{}, nullptr));
+      continue;
+    }
     std::vector<std::string> header = Split(line, '\t');
     if (header.size() != 5 || header[0] != "TABLE") {
       return Status::ParseError(

@@ -39,6 +39,18 @@ TEST_F(BinderTest, UnknownTableAndColumn) {
   ExpectBindError("select x.a from t", "unknown table or alias");
 }
 
+TEST_F(BinderTest, ErrorsCarrySourcePositions) {
+  // "nope" starts at 1:8 in the select list; the position must surface
+  // through Database::Query so shells can point at the offending token.
+  ExpectBindError("select nope from t", "at 1:8");
+  ExpectBindError("select a,\n  nope from t", "at 2:3");
+  ExpectBindError("select unknown_fn(a) from t", "at 1:8");
+  Result<QueryResult> missing = db_.Query("select * from\n   nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("at 2:4"), std::string::npos)
+      << missing.status().ToString();
+}
+
 TEST_F(BinderTest, AmbiguousColumnRejected) {
   ExpectBindError("select a from t, u", "ambiguous");
 }

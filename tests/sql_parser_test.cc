@@ -293,7 +293,48 @@ TEST(ParserTest, ErrorsCarryOffsets) {
   Result<StatementPtr> r = ParseStatement("select from t");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kParseError);
-  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+  // "from" starts at line 1, column 8.
+  EXPECT_NE(r.status().message().find("1:8"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(ParserTest, ErrorPositionsCountLines) {
+  Result<StatementPtr> r = ParseStatement("select 1\n  order from");
+  ASSERT_FALSE(r.ok());
+  // "from" after ORDER (expecting BY) sits on line 2, column 9.
+  EXPECT_NE(r.status().message().find("2:9"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(ParserTest, UnsupportedStatementsAreNamed) {
+  Result<StatementPtr> r = ParseStatement("vacuum full");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("unsupported statement 'vacuum'"),
+            std::string::npos)
+      << r.status().message();
+}
+
+TEST(ParserTest, ParsesAssertStatements) {
+  auto plain = ParseStatement("assert select x from t where x = 1");
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_EQ((*plain)->kind, StatementKind::kAssert);
+  EXPECT_FALSE(static_cast<AssertStmt&>(**plain).min_confidence.has_value());
+
+  auto check = ParseStatement("assert confidence >= 0.9 for select x from t");
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  auto& check_stmt = static_cast<AssertStmt&>(**check);
+  ASSERT_TRUE(check_stmt.min_confidence.has_value());
+  EXPECT_DOUBLE_EQ(*check_stmt.min_confidence, 0.9);
+
+  auto cond = ParseStatement("condition on select x from t");
+  ASSERT_TRUE(cond.ok()) << cond.status().ToString();
+  EXPECT_EQ((*cond)->kind, StatementKind::kAssert);
+
+  EXPECT_TRUE(ParseStatement("show evidence").ok());
+  EXPECT_TRUE(ParseStatement("clear evidence").ok());
+  EXPECT_FALSE(ParseStatement("assert confidence >= 1.5 select 1").ok());
+  EXPECT_FALSE(ParseStatement("show tables").ok());
 }
 
 TEST(ParserTest, TrailingGarbageRejected) {
