@@ -12,6 +12,7 @@
 #include "src/common/str_util.h"
 #include "src/common/thread_pool.h"
 #include "src/engine/database.h"
+#include "src/engine/query_result.h"
 #include "src/storage/columnar.h"
 
 using namespace maybms;
@@ -122,6 +123,65 @@ int main() {
     json.Report(StringFormat("aconf_posterior_t%u", threads), aconf_ms)
         .Threads(threads)
         .Param("groups", kGroups);
+
+    // Self-check (t1): the packed Karp-Luby kernels and the d-tree solver
+    // must reproduce the pre-kernel engine EXACTLY — same posterior conf()
+    // bits, same aconf() estimates on the same session stream. Two fresh
+    // databases with identical histories and seeds, one forced onto the
+    // reference kernel + legacy recursive solver.
+    if (threads == 1) {
+      auto fast_db = BuildSpace(kGroups, 1);
+      auto ref_db = BuildSpace(kGroups, 1);
+      if (fast_db == nullptr || ref_db == nullptr) return 1;
+      ref_db->options().exec.montecarlo.use_reference_kernel = true;
+      ref_db->options().exec.exact.use_legacy_solver = true;
+      const char* assert_sql =
+          "assert select * from u u1, u u2 "
+          "where u1.k = 0 and u2.k = 1 and u1.v = u2.v and u1.v <= 1";
+      if (!fast_db->Execute(assert_sql).ok() || !ref_db->Execute(assert_sql).ok()) {
+        std::printf("  ERROR: self-check ASSERT failed\n");
+        return 1;
+      }
+      double reference_aconf_ms = 0;
+      for (const char* sql :
+           {"select v, conf() as p from u group by v order by v",
+            "select v, aconf(0.1, 0.1) as p from u group by v order by v"}) {
+        auto fast = fast_db->Query(sql);
+        QueryResult ref;
+        bool ref_ok = false;
+        double ms = TimeMs([&] {
+          auto r = ref_db->Query(sql);
+          if (r.ok()) {
+            ref = std::move(*r);
+            ref_ok = true;
+          }
+        });
+        if (std::string(sql).find("aconf") != std::string::npos) {
+          reference_aconf_ms = ms;
+        }
+        if (!fast.ok() || !ref_ok || fast->NumRows() != ref.NumRows()) {
+          std::printf("  ERROR: self-check query failed: %s\n", sql);
+          return 1;
+        }
+        for (size_t r = 0; r < fast->NumRows(); ++r) {
+          double a = fast->At(r, 1).AsDouble();
+          double b = ref.At(r, 1).AsDouble();
+          if (a != b) {
+            std::printf("  SELF-CHECK FAILED (%s): row %zu %0.17g != %0.17g\n",
+                        sql, r, a, b);
+            return 1;
+          }
+        }
+      }
+      std::printf("  self-check: packed kernels == reference engine "
+                  "(conf bit-identical, aconf stream-identical; reference "
+                  "aconf %.2f ms, %.2fx)\n",
+                  reference_aconf_ms, reference_aconf_ms / aconf_ms);
+      json.Report("aconf_posterior_reference_t1", reference_aconf_ms)
+          .Threads(1)
+          .Param("groups", kGroups)
+          .Metric("kernel_speedup", reference_aconf_ms / aconf_ms);
+    }
   }
 
   PrintHeader("world pruning shrinks condition columns");

@@ -72,10 +72,12 @@ int main() {
               "aconf(ms)", "exact p", "winner");
 
   int exact_wins_low = 0, approx_wins_mid = 0, exact_wins_high = 0;
+  int selfcheck_failures = 0;
   for (int vars : {4, 8, 16, 24, 40, 64, 96, 160, 320, 640, 1280, 2560}) {
     double ratio = static_cast<double>(vars) / kClauses;
     Instance inst = RandomDnf(vars, kClauses, kWidth, 42 + vars);
 
+    // "exact" = the default d-tree knowledge compiler.
     double exact_p = -1;
     bool exact_ok = true;
     double exact_ms = TimeMs([&] {
@@ -88,6 +90,32 @@ int main() {
         exact_ok = false;
       }
     });
+
+    // Self-check + speedup record: the legacy recursive solver must agree
+    // BIT-FOR-BIT with the d-tree value (the compilation contract).
+    double legacy_p = -2;
+    bool legacy_ok = true;
+    double legacy_ms = TimeMs([&] {
+      ExactOptions options;
+      options.max_steps = kExactStepCap;
+      options.use_legacy_solver = true;
+      Result<double> r = ExactConfidence(inst.dnf, inst.wt, options);
+      if (r.ok()) {
+        legacy_p = *r;
+      } else {
+        legacy_ok = false;
+      }
+    });
+    if (exact_ok != legacy_ok || (exact_ok && exact_p != legacy_p)) {
+      std::printf("  ERROR: dtree/legacy mismatch at %d vars: %.17g vs %.17g\n",
+                  vars, exact_p, legacy_p);
+      ++selfcheck_failures;
+    }
+    json.Report("exact_legacy", legacy_ok ? legacy_ms : -1.0)
+        .Param("vars", vars)
+        .Threads(1)
+        .Metric("p", legacy_p)
+        .Metric("dtree_speedup", exact_ms > 0 ? legacy_ms / exact_ms : 0);
 
     double approx_p = -1;
     double approx_ms = TimeMs([&] {
@@ -182,6 +210,11 @@ int main() {
     configs.push_back({"max-occurrence (default)", base});
     {
       ExactOptions o = base;
+      o.use_legacy_solver = true;
+      configs.push_back({"legacy recursive solver", o});
+    }
+    {
+      ExactOptions o = base;
       o.heuristic = EliminationHeuristic::kMinCostEstimate;
       configs.push_back({"min-cost-estimate", o});
     }
@@ -229,5 +262,10 @@ int main() {
   std::printf("\nExpected shape per the paper: exact is faster at both ends of "
               "the ratio axis;\nthe approximation only pays off in the narrow "
               "hard band in between.\n");
+  if (selfcheck_failures > 0) {
+    std::printf("\nSELF-CHECK FAILED: %d dtree/legacy probability "
+                "mismatches\n", selfcheck_failures);
+    return 1;
+  }
   return 0;
 }

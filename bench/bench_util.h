@@ -44,11 +44,34 @@ inline void PrintHeader(const char* title) {
 /// now that the engine is parallel.
 class JsonReporter {
  public:
-  explicit JsonReporter(std::string bench_name) : name_(std::move(bench_name)) {}
+  explicit JsonReporter(std::string bench_name) : name_(std::move(bench_name)) {
+    // Provenance stamps so BENCH_*.json trajectories are attributable:
+    // which commit produced the numbers, under which build type. CMake
+    // passes both as compile definitions; local ad-hoc builds fall back to
+    // "unknown".
+#ifdef MAYBMS_GIT_SHA
+    EnvStr("git_sha", MAYBMS_GIT_SHA);
+#else
+    EnvStr("git_sha", "unknown");
+#endif
+#ifdef MAYBMS_BUILD_TYPE
+    EnvStr("build_type", MAYBMS_BUILD_TYPE);
+#else
+    EnvStr("build_type", "unknown");
+#endif
+  }
   ~JsonReporter() { Flush(); }
 
   /// Top-level environment metadata (written once into an "env" object).
   void Env(const char* key, double v) { Record::Add(&env_, key, v); }
+
+  /// String-valued environment metadata (git_sha, build_type, ...).
+  void EnvStr(const char* key, const char* v) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":\"%s\"", env_.empty() ? "" : ",",
+                  key, v);
+    env_ += buf;
+  }
 
   class Record {
    public:

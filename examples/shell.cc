@@ -120,6 +120,10 @@ bool Dispatch(Database* db, const std::string& line) {
   }
   if (result->NumColumns() > 0) {
     std::printf("%s", result->ToString().c_str());
+    // e.g. the conf() budget-fallback warning rides along with row output.
+    if (!result->message().empty()) {
+      std::printf("%s\n", result->message().c_str());
+    }
   } else {
     std::printf("%s\n", result->message().c_str());
   }
@@ -129,7 +133,14 @@ bool Dispatch(Database* db, const std::string& line) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Database db;
+  // Interactive sessions prefer a degraded answer over a failed query:
+  // conf() groups whose d-tree compilation exceeds the node budget fall
+  // back to seeded aconf estimates with a warning (SET conf_fallback = off
+  // restores hard errors; SET dtree_node_budget = <n> bounds the work).
+  maybms::DatabaseOptions options;
+  options.exec.conf_fallback = true;
+  options.exec.exact.max_steps = 50'000'000;
+  Database db(options);
 
   if (argc > 1) {
     std::ifstream in(argv[1]);
@@ -145,14 +156,23 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (result->NumColumns() > 0) std::printf("%s", result->ToString().c_str());
+    if (!result->message().empty()) std::printf("%s\n", result->message().c_str());
     return 0;
   }
 
-  std::printf("maybms shell — type SQL terminated by ';', or \\q to quit\n"
-              "uncertainty: repair key / pick tuples, conf(), aconf(ε,δ), "
-              "tconf(), possible\n"
-              "conditioning: ASSERT <query>; CONDITION ON <query>; "
-              "SHOW EVIDENCE; CLEAR EVIDENCE\n");
+  std::printf(
+      "maybms shell — type SQL terminated by ';', or \\q to quit\n"
+      "uncertainty: repair key / pick tuples, conf(), aconf(ε,δ), "
+      "tconf(), possible\n"
+      "conditioning: ASSERT <query>; CONDITION ON <query>; "
+      "SHOW EVIDENCE; CLEAR EVIDENCE\n"
+      "settings: SET dtree_node_budget = <n> (exact conf() node budget; "
+      "0 = unlimited, default 50000000),\n"
+      "          SET conf_fallback = on|off (over-budget conf() answers "
+      "as seeded aconf with a warning; default on),\n"
+      "          SET fallback_epsilon|fallback_delta = <p>, "
+      "SET exact_solver = dtree|legacy,\n"
+      "          SET engine = batch|row, SET num_threads = <n>\n");
   std::string buffer;
   std::string line;
   std::printf("maybms> ");

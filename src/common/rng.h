@@ -1,6 +1,9 @@
 // Deterministic pseudo-random number generation (PCG64). All randomized
 // engine components (Monte Carlo confidence, world sampling, workload
 // generators) take an explicit Rng so runs are reproducible.
+//
+// Fully inline: the Karp-Luby trial kernel draws tens of millions of
+// uniforms per aconf() call, so the generator must compile into its loop.
 #pragma once
 
 #include <cstdint>
@@ -12,19 +15,51 @@ namespace maybms {
 /// cheaper than std::mt19937_64 to seed and copy.
 class Rng {
  public:
-  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) {
+    state_ = 0;
+    Next();
+    state_ += (static_cast<__uint128_t>(seed) << 64) | (seed * 0x9e3779b97f4a7c15ULL);
+    Next();
+  }
 
   /// Next uniform 64-bit value.
-  uint64_t Next();
+  uint64_t Next() {
+    state_ = state_ * kMultiplier + kIncrement;
+    // XSL-RR output function: xor-fold the 128-bit state, then rotate by the
+    // top 6 bits.
+    uint64_t xored =
+        static_cast<uint64_t>(state_ >> 64) ^ static_cast<uint64_t>(state_);
+    unsigned rot = static_cast<unsigned>(state_ >> 122);
+    return (xored >> rot) | (xored << ((-rot) & 63));
+  }
 
   /// Uniform double in [0, 1).
-  double NextDouble();
+  double NextDouble() {
+    // 53 random bits scaled into [0, 1).
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
 
   /// Uniform integer in [0, bound) using Lemire rejection; bound > 0.
-  uint64_t NextBounded(uint64_t bound);
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's nearly-divisionless method with rejection for exact uniformity.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
 
   /// Bernoulli trial with success probability p (clamped to [0,1]).
-  bool NextBernoulli(double p);
+  bool NextBernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
 
  private:
   __uint128_t state_;

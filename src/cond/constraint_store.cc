@@ -38,6 +38,11 @@ bool ConstraintStore::MentionsVar(VarId var) const {
 }
 
 std::vector<VarRestriction> ConstraintStore::Restrictions() const {
+  if (compiled_ != nullptr) return compiled_->restrictions;
+  return ComputeRestrictions();
+}
+
+std::vector<VarRestriction> ConstraintStore::ComputeRestrictions() const {
   std::vector<VarRestriction> out;
   if (clauses_.empty()) return out;
   // Candidates: the first clause's variables; survivors must be bound in
@@ -63,11 +68,40 @@ std::vector<VarRestriction> ConstraintStore::Restrictions() const {
 }
 
 std::vector<Atom> ConstraintStore::DeterminedAtoms() const {
+  if (compiled_ != nullptr) return compiled_->determined;
   std::vector<Atom> out;
   for (const VarRestriction& r : Restrictions()) {
     if (r.allowed.size() == 1) out.push_back(Atom{r.var, r.allowed.front()});
   }
   return out;
+}
+
+// Compiles the candidate clause list into the evidence cache WITHOUT
+// touching the store: the d-tree doubles as the P(C) computation (its
+// root value, by the bit-identity contract, is exactly what the solver
+// returns), so CommitClauses builds the cache first, validates the
+// probability, and only then installs both. The caller's ExactOptions
+// govern the compile — the node budget still bounds pathological
+// evidence (legacy-solver mode solves separately; parity/ablation only).
+Result<std::shared_ptr<CompiledEvidence>> BuildCompiledEvidence(
+    const std::vector<Condition>& clauses, const WorldTable& wt,
+    const ExactOptions& exact) {
+  auto compiled = std::make_shared<CompiledEvidence>();
+  compiled->offsets.reserve(clauses.size() + 1);
+  compiled->offsets.push_back(0);
+  for (const Condition& c : clauses) {
+    compiled->atoms.insert(compiled->atoms.end(), c.atoms().begin(),
+                           c.atoms().end());
+    compiled->offsets.push_back(static_cast<uint32_t>(compiled->atoms.size()));
+  }
+  ExactOptions tree_options = exact;
+  tree_options.use_legacy_solver = false;
+  DTreeCompiler compiler(CompiledDnf(compiled->atoms.data(),
+                                     compiled->offsets.data(), clauses.size(),
+                                     wt),
+                         tree_options);
+  MAYBMS_ASSIGN_OR_RETURN(compiled->tree, compiler.Compile());
+  return compiled;
 }
 
 void ConstraintStore::Simplify(std::vector<Condition>* clauses) {
@@ -140,8 +174,17 @@ Status ConstraintStore::CommitClauses(std::vector<Condition> clauses,
         "inconsistent evidence: %s has probability 0 (every clause contains "
         "a zero-probability atom); evidence unchanged", what));
   }
-  MAYBMS_ASSIGN_OR_RETURN(double p,
-                          ExactConfidence(Dnf(clauses), wt, exact, nullptr, pool));
+  // Compile the evidence d-tree; its root value IS the exact P(C) (clamped
+  // like ExactConfidence clamps), so the cache build and the probability
+  // computation are one pass. Legacy-solver mode keeps the recursive solve
+  // as the P(C) of record (bit-identical by contract) for parity tests.
+  MAYBMS_ASSIGN_OR_RETURN(std::shared_ptr<CompiledEvidence> compiled,
+                          BuildCompiledEvidence(clauses, wt, exact));
+  double p = std::min(1.0, std::max(0.0, compiled->tree.root_value()));
+  if (exact.use_legacy_solver) {
+    MAYBMS_ASSIGN_OR_RETURN(
+        p, ExactConfidence(Dnf(clauses), wt, exact, nullptr, pool));
+  }
   if (p <= 0) {
     return Status::InvalidArgument(StringFormat(
         "inconsistent evidence: %s has probability 0; evidence unchanged", what));
@@ -149,6 +192,13 @@ Status ConstraintStore::CommitClauses(std::vector<Condition> clauses,
   clauses_ = std::move(clauses);
   prob_ = p;
   RebuildVariables();
+  compiled->restrictions = ComputeRestrictions();
+  for (const VarRestriction& r : compiled->restrictions) {
+    if (r.allowed.size() == 1) {
+      compiled->determined.push_back(Atom{r.var, r.allowed.front()});
+    }
+  }
+  compiled_ = std::move(compiled);
   return Status::OK();
 }
 
@@ -213,6 +263,7 @@ Status ConstraintStore::Substitute(const std::vector<Atom>& determined,
 void ConstraintStore::Clear() {
   clauses_.clear();
   vars_.clear();
+  compiled_.reset();
   prob_ = 1.0;
 }
 

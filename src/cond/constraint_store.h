@@ -14,16 +14,17 @@
 // (src/cond/prune.h).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/lineage/dnf.h"
+#include "src/lineage/dtree.h"
 #include "src/prob/world_table.h"
 
 namespace maybms {
 
-struct ExactOptions;
 class ThreadPool;
 
 /// The restriction the evidence places on one random variable: `var` takes
@@ -33,6 +34,32 @@ class ThreadPool;
 struct VarRestriction {
   VarId var = 0;
   std::vector<AsgId> allowed;  ///< sorted, distinct; singleton = determined
+};
+
+/// The compiled form of the evidence, cached on the store and rebuilt only
+/// when the evidence itself changes (ASSERT / CONDITION ON / CLEAR
+/// EVIDENCE / pruning substitution). Posterior conf()/aconf()/tconf()
+/// calls read these instead of re-flattening and re-compiling C per call:
+///   - `atoms`/`offsets`: the flattened clauses as one CSR atom array over
+///     GLOBAL variable ids — the Q ∧ C product and Q+C combined lineage
+///     merge directly against these spans, skipping the per-call
+///     Condition/Dnf heap churn;
+///   - `tree`: the evidence d-tree — compiling it IS how the store
+///     computes P(C) (the cached root value), so the cache costs no extra
+///     solve;
+///   - `restrictions`/`determined`: the per-variable restriction map and
+///     its singleton (fully-determined) atoms, precomputed once for the
+///     pruning pass and the marginal fast paths.
+struct CompiledEvidence {
+  std::vector<Atom> atoms;
+  std::vector<uint32_t> offsets;  ///< size NumClauses()+1
+  DTree tree;
+  std::vector<VarRestriction> restrictions;
+  std::vector<Atom> determined;
+
+  size_t NumClauses() const { return offsets.size() - 1; }
+  const Atom* ClauseAtoms(size_t c) const { return atoms.data() + offsets[c]; }
+  size_t ClauseSize(size_t c) const { return offsets[c + 1] - offsets[c]; }
 };
 
 /// Accumulated evidence C as interned, flattened DNF lineage. Inactive
@@ -55,12 +82,18 @@ class ConstraintStore {
   bool MentionsVar(VarId var) const;
 
   /// Per-variable restriction map: variables bound in every clause, with
-  /// the assignments the evidence still allows.
+  /// the assignments the evidence still allows. Served from the compiled
+  /// cache when available.
   std::vector<VarRestriction> Restrictions() const;
 
   /// Atoms fixed by the evidence: restrictions whose allowed set is a
   /// singleton. These are the substitution candidates for world pruning.
   std::vector<Atom> DeterminedAtoms() const;
+
+  /// The compiled evidence (CSR clause atoms, d-tree, restriction maps);
+  /// null iff the store is inactive. Invalidated and rebuilt on every
+  /// successful mutation (Conjoin / Substitute / Load / Clear).
+  const CompiledEvidence* compiled() const { return compiled_.get(); }
 
   /// Conjoins one more evidence event (a DNF — the lineage of an ASSERT
   /// query's result) into the store: C := C ∧ evidence, flattened by
@@ -105,9 +138,11 @@ class ConstraintStore {
                        const ExactOptions& exact, ThreadPool* pool,
                        const char* what);
   void RebuildVariables();
+  std::vector<VarRestriction> ComputeRestrictions() const;
 
   std::vector<Condition> clauses_;
   std::vector<VarId> vars_;  // sorted distinct
+  std::shared_ptr<const CompiledEvidence> compiled_;  // null iff inactive
   double prob_ = 1.0;
   /// Flattened-DNF growth budget: Conjoin refuses (leaving the store
   /// unchanged) rather than let pathological evidence blow up the product.

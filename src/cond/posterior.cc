@@ -12,20 +12,71 @@ constexpr size_t kMaxProductClauses = 1u << 16;
 
 double Clamp01(double p) { return std::min(1.0, std::max(0.0, p)); }
 
-/// Q ∧ C distributed into a DNF of pairwise merges (inconsistent pairs
-/// drop). Returns false when the product would exceed `budget` clauses.
-bool ProductDnf(const Dnf& query, const std::vector<Condition>& constraint,
-                size_t budget, Dnf* out) {
-  size_t emitted = 0;
+/// Appends the merge of two sorted atom lists to `atoms` as one clause of
+/// the CSR under construction. Returns false (rolling the emit back) on a
+/// conflict — the clause pair is inconsistent and drops out.
+bool EmitMerge(const Atom* a, size_t na, const Atom* b, size_t nb,
+               std::vector<Atom>* atoms, std::vector<uint32_t>* offsets) {
+  size_t start = atoms->size();
+  size_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    if (a[i].var < b[j].var) {
+      atoms->push_back(a[i++]);
+    } else if (b[j].var < a[i].var) {
+      atoms->push_back(b[j++]);
+    } else {
+      if (a[i].asg != b[j].asg) {
+        atoms->resize(start);
+        return false;
+      }
+      atoms->push_back(a[i++]);
+      ++j;
+    }
+  }
+  atoms->insert(atoms->end(), a + i, a + na);
+  atoms->insert(atoms->end(), b + j, b + nb);
+  offsets->push_back(static_cast<uint32_t>(atoms->size()));
+  return true;
+}
+
+/// Q ∧ C distributed into a CSR clause list of pairwise merges against the
+/// store's cached compiled evidence (no intermediate Condition/Dnf heaps —
+/// the same clause multiset ProductDnf used to build, so the compiled
+/// product is bit-identical). Returns false when the product would exceed
+/// `budget` clauses.
+bool ProductCsr(const Dnf& query, const CompiledEvidence& ev, size_t budget,
+                std::vector<Atom>* atoms, std::vector<uint32_t>* offsets) {
+  offsets->push_back(0);
   for (const Condition& q : query.clauses()) {
-    for (const Condition& c : constraint) {
-      std::optional<Condition> merged = Condition::Merge(q, c);
-      if (!merged) continue;
-      if (++emitted > budget) return false;
-      out->AddClause(std::move(*merged));
+    for (size_t c = 0; c < ev.NumClauses(); ++c) {
+      if (EmitMerge(q.atoms().data(), q.atoms().size(), ev.ClauseAtoms(c),
+                    ev.ClauseSize(c), atoms, offsets)) {
+        if (offsets->size() - 1 > budget) return false;
+      }
     }
   }
   return true;
+}
+
+/// Q's clauses followed by C's as one CSR list — the combined lineage whose
+/// compiled form the conditioned Karp-Luby sampler runs on. Identical
+/// clause order to the old CombinedLineage Dnf, so the compiled form (and
+/// with it the sampling stream) is unchanged.
+CompiledDnf CombinedCompiled(const Dnf& query, const CompiledEvidence& ev,
+                             const WorldTable& wt) {
+  std::vector<Atom> atoms;
+  std::vector<uint32_t> offsets;
+  offsets.push_back(0);
+  for (const Condition& q : query.clauses()) {
+    atoms.insert(atoms.end(), q.atoms().begin(), q.atoms().end());
+    offsets.push_back(static_cast<uint32_t>(atoms.size()));
+  }
+  atoms.insert(atoms.end(), ev.atoms.begin(), ev.atoms.end());
+  for (size_t c = 1; c <= ev.NumClauses(); ++c) {
+    offsets.push_back(static_cast<uint32_t>(atoms.size()) -
+                      static_cast<uint32_t>(ev.atoms.size()) + ev.offsets[c]);
+  }
+  return CompiledDnf(atoms.data(), offsets.data(), offsets.size() - 1, wt);
 }
 
 /// True iff P(query ∧ C) > 0: some (query clause, constraint clause) pair
@@ -62,12 +113,17 @@ Result<double> PosteriorExactConfidence(const Dnf& query,
   if (!SharesVariables(query, store)) {
     return ExactConfidence(query, wt, options, nullptr, pool);
   }
+  const CompiledEvidence& ev = *store.compiled();
   double p_and;
-  Dnf product;
-  if (ProductDnf(query, store.clauses(), kMaxProductClauses, &product)) {
-    if (product.IsEmpty()) return 0.0;
-    MAYBMS_ASSIGN_OR_RETURN(p_and,
-                            ExactConfidence(product, wt, options, nullptr, pool));
+  std::vector<Atom> atoms;
+  std::vector<uint32_t> offsets;
+  if (ProductCsr(query, ev, kMaxProductClauses, &atoms, &offsets)) {
+    if (offsets.size() == 1) return 0.0;  // every pairwise merge conflicted
+    MAYBMS_ASSIGN_OR_RETURN(
+        p_and,
+        ExactConfidence(CompiledDnf(atoms.data(), offsets.data(),
+                                    offsets.size() - 1, wt),
+                        wt, options, nullptr, pool));
   } else {
     // Product too large: P(Q ∧ C) = P(Q) + P(C) − P(Q ∨ C). The choice
     // depends only on clause counts, so it is identical across engines and
@@ -98,20 +154,24 @@ Result<double> PosteriorConditionProb(const Atom* atoms, size_t n,
   // Independent of the evidence: posterior equals the prior product,
   // bit-for-bit the unconditioned computation.
   if (!overlap) return wt.ConditionProb(atoms, n);
-  std::vector<Atom> copy(atoms, atoms + n);
-  std::optional<Condition> cond = Condition::FromAtoms(std::move(copy));
-  if (!cond) return 0.0;  // defensive: condition columns are consistent
-  Dnf product;
-  for (const Condition& c : store.clauses()) {
-    std::optional<Condition> merged = Condition::Merge(*cond, c);
-    if (merged) product.AddClause(std::move(*merged));
+  // cond ∧ C merged straight against the cached evidence spans.
+  const CompiledEvidence& ev = *store.compiled();
+  std::vector<Atom> product_atoms;
+  std::vector<uint32_t> product_offsets;
+  product_offsets.push_back(0);
+  for (size_t c = 0; c < ev.NumClauses(); ++c) {
+    EmitMerge(atoms, n, ev.ClauseAtoms(c), ev.ClauseSize(c), &product_atoms,
+              &product_offsets);
   }
-  if (product.IsEmpty()) return 0.0;
+  if (product_offsets.size() == 1) return 0.0;
   // Per-row marginals stay serial (pool = nullptr): callers already run
   // them inside morsel- or group-parallel regions, and ExactConfidence is
   // bit-identical with or without a pool.
-  MAYBMS_ASSIGN_OR_RETURN(double p_and,
-                          ExactConfidence(product, wt, options, nullptr, nullptr));
+  MAYBMS_ASSIGN_OR_RETURN(
+      double p_and,
+      ExactConfidence(CompiledDnf(product_atoms.data(), product_offsets.data(),
+                                  product_offsets.size() - 1, wt),
+                      wt, options, nullptr, nullptr));
   return Clamp01(p_and / store.probability());
 }
 
@@ -159,14 +219,6 @@ Result<bool> PosteriorApproxShortcut(const Dnf& query,
   return false;
 }
 
-/// Q's clauses followed by C's — the combined lineage whose compiled form
-/// the conditioned Karp-Luby sampler runs on.
-Dnf CombinedLineage(const Dnf& query, const ConstraintStore& store) {
-  Dnf combined = query;
-  for (const Condition& c : store.clauses()) combined.AddClause(c);
-  return combined;
-}
-
 }  // namespace
 
 Result<MonteCarloResult> PosteriorApproxConfidence(
@@ -182,7 +234,7 @@ Result<MonteCarloResult> PosteriorApproxConfidence(
   if (done) return result;
   MAYBMS_ASSIGN_OR_RETURN(
       MonteCarloResult mc,
-      ApproxConjunctionConfidence(CompiledDnf(CombinedLineage(query, store), wt),
+      ApproxConjunctionConfidence(CombinedCompiled(query, *store.compiled(), wt),
                                   query.NumClauses(), epsilon, delta, rng,
                                   options));
   mc.estimate = Clamp01(mc.estimate / store.probability());
@@ -205,7 +257,7 @@ Result<MonteCarloResult> PosteriorApproxConfidenceSeeded(
   MAYBMS_ASSIGN_OR_RETURN(
       MonteCarloResult mc,
       ApproxConjunctionConfidenceSeeded(
-          CompiledDnf(CombinedLineage(query, store), wt), query.NumClauses(),
+          CombinedCompiled(query, *store.compiled(), wt), query.NumClauses(),
           epsilon, delta, base_seed, options, pool));
   mc.estimate = Clamp01(mc.estimate / store.probability());
   return mc;

@@ -7,6 +7,12 @@
 #include <unordered_map>
 
 #include "src/common/thread_pool.h"
+#include "src/lineage/dtree.h"
+
+// The LEGACY recursive solver (ExactOptions::use_legacy_solver). The
+// default path compiles a d-tree instead (src/lineage/dtree.cc) and is
+// substantially faster; this recursion is the reference its bit-identity
+// contract is defined against, kept for parity tests and ablations.
 
 namespace maybms {
 
@@ -492,8 +498,14 @@ Result<double> ExactConfidence(CompiledDnf dnf, const WorldTable& wt,
                                const ExactOptions& options, ExactStats* stats,
                                ThreadPool* pool) {
   (void)wt;  // probabilities were copied into the compiled form
-  ExactSolver solver(std::move(dnf), options, stats);
-  MAYBMS_ASSIGN_OR_RETURN(double p, solver.SolveRoot(pool));
+  double p;
+  if (options.use_legacy_solver) {
+    ExactSolver solver(std::move(dnf), options, stats);
+    MAYBMS_ASSIGN_OR_RETURN(p, solver.SolveRoot(pool));
+  } else {
+    DTreeCompiler compiler(std::move(dnf), options, stats);
+    MAYBMS_ASSIGN_OR_RETURN(p, compiler.CompileValue(pool));
+  }
   // Clamp tiny floating-point drift.
   return std::min(1.0, std::max(0.0, p));
 }

@@ -1,14 +1,29 @@
 // Exact confidence computation (paper §2.3, citing Koch & Olteanu,
 // "Conditioning Probabilistic Databases", VLDB 2008).
 //
-// Given a DNF whose clauses are conjunctive local conditions, the algorithm
-// recursively applies
+// Given a DNF whose clauses are conjunctive local conditions, the
+// probability is computed by recursively applying
 //   (1) DECOMPOSITION of the DNF into independent subsets of clauses
 //       (subsets that do not share variables): the probabilities combine as
 //       P = 1 - Π(1 - P_i); and
 //   (2) VARIABLE ELIMINATION (Shannon expansion over the assignments of one
 //       variable): P = Σ_a P(x=a)·P(DNF | x:=a) + P(other)·P(DNF \ x),
 // with cost-estimation heuristics for choosing which variable to eliminate.
+//
+// Two implementations share this entry point:
+//   - the d-tree KNOWLEDGE COMPILER (src/lineage/dtree.h, the default):
+//     compiles the rule applications into a hash-consed decomposition tree
+//     whose bottom-up evaluation is the probability — with word-wide mask
+//     prefilters, arena clause sets and closed 1-OF nodes making the same
+//     decisions far cheaper; and
+//   - the LEGACY RECURSIVE SOLVER (this file, ExactOptions::
+//     use_legacy_solver): the direct recursion the compiler's decisions
+//     are defined against.
+// Both return bit-identical probabilities on every input (pinned by
+// tests/dtree_property_test.cc); only step/budget counts differ.
+//
+// ExactOptions / ExactStats / EliminationHeuristic live in
+// src/lineage/dtree.h (the compilation layer) and are re-exported here.
 #pragma once
 
 #include <cstdint>
@@ -17,67 +32,28 @@
 #include "src/common/result.h"
 #include "src/lineage/compiled_dnf.h"
 #include "src/lineage/dnf.h"
+#include "src/lineage/dtree.h"
 #include "src/prob/world_table.h"
 
 namespace maybms {
 
 class ThreadPool;
 
-/// Which variable the elimination step picks inside a component.
-enum class EliminationHeuristic {
-  /// Variable occurring in the most clauses — maximizes immediate
-  /// simplification and the chance of disconnecting the component (the
-  /// paper's cost-estimation-driven default behaves like this on most
-  /// inputs).
-  kMaxOccurrence,
-  /// Variable minimizing (branching factor) / (clauses touched): a direct
-  /// cost estimate of the expansion.
-  kMinCostEstimate,
-  /// First variable in id order (baseline for ablation benchmarks).
-  kFirstVariable,
-};
-
-/// Tuning knobs for the exact algorithm.
-struct ExactOptions {
-  EliminationHeuristic heuristic = EliminationHeuristic::kMaxOccurrence;
-  /// Remove subsumed clauses before recursion (absorption).
-  bool remove_subsumed = true;
-  /// Memoize sub-DNF probabilities (the ws-tree sharing of [Koch &
-  /// Olteanu '08]): Shannon branches frequently reconverge to the same
-  /// residual formula.
-  bool use_cache = true;
-  /// Cap on memo entries (0 disables the cap).
-  size_t max_cache_entries = 1u << 20;
-  /// Abort once this many recursion nodes have been expanded (0 = no
-  /// limit). Exact confidence is #P-hard; callers that prefer fallback to
-  /// approximation can bound the work.
-  uint64_t max_steps = 0;
-};
-
-/// Counters describing the shape of the decomposition tree that was built.
-struct ExactStats {
-  uint64_t steps = 0;             ///< recursion nodes expanded
-  uint64_t decompositions = 0;    ///< independent-partition applications
-  uint64_t shannon_expansions = 0;///< variable eliminations
-  uint64_t max_depth = 0;
-  uint64_t cache_hits = 0;
-  uint64_t cache_entries = 0;
-};
-
-/// Computes P(dnf) exactly. Returns OutOfRange if `max_steps` is hit.
+/// Computes P(dnf) exactly. Returns OutOfRange if the `max_steps` node
+/// budget is hit.
 ///
 /// With a non-null `pool`, the root-level DECOMPOSITION step fans its
 /// variable-connected components out across threads: each component gets a
-/// private solver (own memo, own scratch, own copy of the clause store)
-/// and the component probabilities fold as P = 1 − Π(1 − P_i) in component
-/// order — the same arithmetic, in the same order, as the serial recursion,
-/// so the returned probability is bit-identical at any thread count
-/// (including pool == nullptr). `max_steps` keeps its cumulative meaning:
-/// the parallel shards share one step budget, so the budget outcome is
-/// deterministic at any pool size. (Near the exact budget boundary the
-/// parallel mode may count slightly differently from serial — per-shard
-/// private memos cross the cache-fill caps at different points than the
-/// serial shared memo — but for a fixed mode the outcome never varies.)
+/// private compiler/solver (own hash-cons table, own scratch, own copy of
+/// the clause store) and the component probabilities fold as
+/// P = 1 − Π(1 − P_i) in component order — the same arithmetic, in the
+/// same order, as the serial pass, so the returned probability is
+/// bit-identical at any thread count (including pool == nullptr).
+/// `max_steps` keeps its cumulative meaning: the parallel shards share one
+/// step budget, so the budget outcome is deterministic at any pool size.
+/// (Near the exact budget boundary the parallel mode may count slightly
+/// differently from serial — per-shard private caches cross fill caps at
+/// different points — but for a fixed mode the outcome never varies.)
 Result<double> ExactConfidence(const Dnf& dnf, const WorldTable& wt,
                                const ExactOptions& options = {},
                                ExactStats* stats = nullptr,

@@ -8,10 +8,28 @@
 // Z = 1 iff i is the *first* clause the world satisfies; E[Z] = P(⋃C_i)/U,
 // so U·Z̄ is an unbiased estimate of the confidence.
 //
-// Trials run over compiled lineage (CompiledDnf): clause scans walk one
-// packed atom array and the partially-sampled world lives in flat
-// epoch-stamped arrays indexed by dense variable ids — no hashing in the
-// sampling loop.
+// Trials run on PACKED KERNELS built once per estimator from the compiled
+// lineage:
+//   - clause atoms are flattened into per-position arrays (no clause-id
+//     indirection in the scanning loop), with a dedicated branchless layout
+//     when every coverage clause is a single atom — the dominant
+//     tuple-level-uncertainty shape;
+//   - per-variable cumulative distribution tables replace the inner
+//     running-sum inverse-CDF loop (the partial sums are precomputed with
+//     the identical left-to-right additions, so every draw maps to the
+//     identical assignment);
+//   - clause selection runs on a bucket-indexed lower bound over the
+//     cumulative weights with an exactness correction, replacing the
+//     branchy binary search;
+//   - the conditioned rejection check reads the constraint suffix from the
+//     same flattened atom arrays (the compiled evidence), not the clause
+//     store.
+// The kernels consume the SAME RNG draws in the SAME order as the
+// reference implementation (TrialReference — the pre-kernel trial loop,
+// kept for parity): for any Rng state, Trial and TrialReference return the
+// same outcome and leave the generator in the same state. Seeded aconf
+// streams are therefore bit-identical to the pre-kernel engine
+// (MonteCarloOptions::use_reference_kernel and the parity tests pin this).
 #pragma once
 
 #include <vector>
@@ -26,11 +44,13 @@ namespace maybms {
 
 /// Per-thread trial state: the lazily-sampled world, epoch-stamped per
 /// trial. One scratch per concurrent sampling thread lets many threads run
-/// Trial() against the same (read-only) estimator.
+/// Trial() against the same (read-only) estimator. Each entry packs
+/// (trial epoch << 32 | assignment) so the hot loop answers "sampled this
+/// trial?" and "to what?" with a single load. Epochs start at 1; on the
+/// (2^32-trial) wraparound the world resets.
 struct KarpLubyScratch {
-  std::vector<AsgId> world_val;
-  std::vector<uint64_t> world_epoch;
-  uint64_t epoch = 0;
+  std::vector<uint64_t> world;
+  uint32_t epoch = 0;
 };
 
 /// Reusable trial generator over a fixed DNF.
@@ -72,9 +92,20 @@ class KarpLubyEstimator {
   /// never touch shared mutable state.
   bool Trial(Rng* rng, KarpLubyScratch* scratch) const;
 
+  /// The pre-kernel reference trial loop: identical outcomes and identical
+  /// RNG consumption to Trial() on every input. Kept for parity tests and
+  /// the bench self-check (MonteCarloOptions::use_reference_kernel).
+  bool TrialReference(Rng* rng, KarpLubyScratch* scratch) const;
+
  private:
   void Init();
-  AsgId AssignmentOf(LocalVar var, Rng* rng, KarpLubyScratch* scratch) const;
+  void BuildKernels();
+  AsgId AssignmentOf(LocalVar var, uint64_t tag, Rng* rng,
+                     KarpLubyScratch* scratch) const;
+  AsgId SampleVar(LocalVar var, uint64_t tag, Rng* rng,
+                  KarpLubyScratch* scratch) const;
+  static uint64_t BeginTrial(size_t num_vars, KarpLubyScratch* scratch);
+  size_t SelectClause(double u) const;
 
   CompiledDnf dnf_;
   /// Clauses [0, num_coverage_) of original_clauses() are the coverage
@@ -84,6 +115,26 @@ class KarpLubyEstimator {
   double total_weight_ = 0;
   bool trivial_ = false;
   double trivial_probability_ = 0;
+
+  // -- packed kernels (built once by BuildKernels) --------------------------
+
+  /// Clause atoms flattened by POSITION in original_clauses() order:
+  /// positions [pos_off_[j], pos_off_[j+1]) of pos_atoms_. Coverage prefix
+  /// and constraint suffix share the arrays.
+  std::vector<Atom> pos_atoms_;
+  std::vector<uint32_t> pos_off_;
+  /// All coverage clauses are single atoms: the scan reads one packed
+  /// (asg << 32 | var) word per clause instead of spans.
+  bool coverage_width1_ = false;
+  std::vector<uint64_t> w1_atoms_;
+  /// Per-variable cumulative distributions (partial sums in domain order),
+  /// indexed by the compiled DNF's variable offsets.
+  std::vector<double> var_cum_;
+  std::vector<uint32_t> var_cum_off_;
+  /// Clause-selection bucket index: start position of the lower-bound scan
+  /// for u in bucket floor(u · sel_scale_).
+  std::vector<uint32_t> sel_start_;
+  double sel_scale_ = 0;
 
   mutable KarpLubyScratch scratch_;  // backs the single-threaded Trial()
 };

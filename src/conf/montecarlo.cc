@@ -34,9 +34,15 @@ double Upsilon(double epsilon, double delta) {
 
 }  // namespace
 
-Result<MonteCarloResult> StoppingRuleEstimate(const TrialFn& trial, double epsilon,
-                                              double delta, Rng* rng,
-                                              const MonteCarloOptions& options) {
+namespace {
+
+// The DKLR drivers are templated on the trial callable so the Karp-Luby
+// kernels inline into the sampling loops (the public TrialFn entry points
+// instantiate them with the type-erased std::function).
+template <class TrialF>
+Result<MonteCarloResult> StoppingRuleT(TrialF&& trial, double epsilon,
+                                       double delta, Rng* rng,
+                                       const MonteCarloOptions& options) {
   MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
   const double upsilon1 = 1 + (1 + epsilon) * Upsilon(epsilon, delta);
   double sum = 0;
@@ -57,9 +63,10 @@ Result<MonteCarloResult> StoppingRuleEstimate(const TrialFn& trial, double epsil
   return result;
 }
 
-Result<MonteCarloResult> OptimalEstimate(const TrialFn& trial, double epsilon,
-                                         double delta, Rng* rng,
-                                         const MonteCarloOptions& options) {
+template <class TrialF>
+Result<MonteCarloResult> OptimalEstimateT(TrialF&& trial, double epsilon,
+                                          double delta, Rng* rng,
+                                          const MonteCarloOptions& options) {
   MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
   const double sqrt_eps = std::sqrt(epsilon);
   const double upsilon = Upsilon(epsilon, delta);
@@ -70,7 +77,7 @@ Result<MonteCarloResult> OptimalEstimate(const TrialFn& trial, double epsilon,
   const double eps1 = std::min(0.5, sqrt_eps);
   MAYBMS_ASSIGN_OR_RETURN(
       MonteCarloResult phase1,
-      StoppingRuleEstimate(trial, eps1, delta / 3, rng, options));
+      StoppingRuleT(trial, eps1, delta / 3, rng, options));
   const double mu_hat = phase1.estimate;
   uint64_t used = phase1.samples;
 
@@ -110,7 +117,19 @@ Result<MonteCarloResult> OptimalEstimate(const TrialFn& trial, double epsilon,
   return result;
 }
 
-namespace {
+/// One Karp-Luby Bernoulli trial over caller-owned scratch; the kernel
+/// choice (packed vs reference) is fixed per estimation run.
+struct KlTrial {
+  const KarpLubyEstimator* estimator;
+  KarpLubyScratch* scratch;
+  bool reference;
+
+  double operator()(Rng* rng) const {
+    bool z = reference ? estimator->TrialReference(rng, scratch)
+                       : estimator->Trial(rng, scratch);
+    return z ? 1.0 : 0.0;
+  }
+};
 
 Result<MonteCarloResult> ApproxWithEstimator(const KarpLubyEstimator& estimator,
                                              size_t num_clauses, double single_prob,
@@ -129,19 +148,30 @@ Result<MonteCarloResult> ApproxWithEstimator(const KarpLubyEstimator& estimator,
     result.samples = 0;
     return result;
   }
-  TrialFn trial = [&estimator](Rng* r) -> double {
-    return estimator.Trial(r) ? 1.0 : 0.0;
-  };
+  KarpLubyScratch scratch;
+  KlTrial trial{&estimator, &scratch, options.use_reference_kernel};
   // Z̄ estimates p/U with relative error ε, hence U·Z̄ estimates p with
   // relative error ε: the mean μ = p/U ≥ 1/m (m clauses) keeps the DKLR
   // sample bound polynomial — the Karp-Luby property.
   MAYBMS_ASSIGN_OR_RETURN(MonteCarloResult mc,
-                          OptimalEstimate(trial, epsilon, delta, rng, options));
+                          OptimalEstimateT(trial, epsilon, delta, rng, options));
   mc.estimate = std::min(1.0, mc.estimate * estimator.TotalWeight());
   return mc;
 }
 
 }  // namespace
+
+Result<MonteCarloResult> StoppingRuleEstimate(const TrialFn& trial, double epsilon,
+                                              double delta, Rng* rng,
+                                              const MonteCarloOptions& options) {
+  return StoppingRuleT(trial, epsilon, delta, rng, options);
+}
+
+Result<MonteCarloResult> OptimalEstimate(const TrialFn& trial, double epsilon,
+                                         double delta, Rng* rng,
+                                         const MonteCarloOptions& options) {
+  return OptimalEstimateT(trial, epsilon, delta, rng, options);
+}
 
 Result<MonteCarloResult> ApproxConfidence(const Dnf& dnf, const WorldTable& wt,
                                           double epsilon, double delta, Rng* rng,
@@ -180,11 +210,10 @@ Result<MonteCarloResult> ApproxConjunctionConfidence(
   // No single-clause shortcut: P(q1 ∧ C) is not a plain product. The
   // posterior layer handles single-clause queries exactly before reaching
   // the sampler.
-  TrialFn trial = [&estimator](Rng* r) -> double {
-    return estimator.Trial(r) ? 1.0 : 0.0;
-  };
+  KarpLubyScratch scratch;
+  KlTrial trial{&estimator, &scratch, options.use_reference_kernel};
   MAYBMS_ASSIGN_OR_RETURN(MonteCarloResult mc,
-                          OptimalEstimate(trial, epsilon, delta, rng, options));
+                          OptimalEstimateT(trial, epsilon, delta, rng, options));
   mc.estimate = std::min(1.0, mc.estimate * estimator.TotalWeight());
   return mc;
 }
@@ -209,13 +238,16 @@ namespace {
 // first_batch + count) of the phase's deterministic stream. Each batch
 // gets a fresh trial instance and its own substream RNG; with a pool the
 // batches compute concurrently, but the values are identical either way.
-void MaterializeBatches(const TrialFactory& make_trial, uint64_t phase_seed,
+// Templated on the factory so concrete trial functors (the Karp-Luby
+// kernels) inline into the fill loop.
+template <class MakeTrial>
+void MaterializeBatches(const MakeTrial& make_trial, uint64_t phase_seed,
                         uint64_t first_batch, uint64_t count, uint64_t batch_size,
                         ThreadPool* pool, std::vector<std::vector<double>>* out) {
   out->assign(count, {});
   auto fill = [&](size_t b, size_t e) {
     for (size_t i = b; i < e; ++i) {
-      TrialFn trial = make_trial();
+      auto trial = make_trial();
       Rng rng(SubstreamSeed(phase_seed, first_batch + i));
       std::vector<double>& vals = (*out)[i];
       vals.resize(batch_size);
@@ -239,7 +271,8 @@ void MaterializeBatches(const TrialFactory& make_trial, uint64_t phase_seed,
 // batches_per_wave — and cheap stopping-rule runs don't eagerly burn a
 // full wave of trials. Trials past the stopping point inside the final
 // wave are wasted (bounded by that wave).
-Result<MonteCarloResult> StoppingRuleSeeded(const TrialFactory& make_trial,
+template <class MakeTrial>
+Result<MonteCarloResult> StoppingRuleSeeded(const MakeTrial& make_trial,
                                             double epsilon, double delta,
                                             uint64_t phase_seed,
                                             const MonteCarloOptions& options,
@@ -281,10 +314,10 @@ Result<MonteCarloResult> StoppingRuleSeeded(const TrialFactory& make_trial,
 
 // Feeds the first `total` trial values of a phase stream to `consume`,
 // strictly in stream order, streaming wave by wave to bound memory.
-void SumSeededTrials(const TrialFactory& make_trial, uint64_t phase_seed,
+template <class MakeTrial, class Consume>
+void SumSeededTrials(const MakeTrial& make_trial, uint64_t phase_seed,
                      uint64_t total, const MonteCarloOptions& options,
-                     ThreadPool* pool,
-                     const std::function<void(double)>& consume) {
+                     ThreadPool* pool, const Consume& consume) {
   const uint64_t batch_size = std::max<uint64_t>(options.sample_batch_size, 1);
   const uint64_t wave = std::max<uint64_t>(options.batches_per_wave, 1);
   uint64_t consumed = 0;
@@ -306,13 +339,12 @@ void SumSeededTrials(const TrialFactory& make_trial, uint64_t phase_seed,
   }
 }
 
-}  // namespace
-
-Result<MonteCarloResult> OptimalEstimateSeeded(const TrialFactory& make_trial,
-                                               double epsilon, double delta,
-                                               uint64_t base_seed,
-                                               const MonteCarloOptions& options,
-                                               ThreadPool* pool) {
+template <class MakeTrial>
+Result<MonteCarloResult> OptimalEstimateSeededT(const MakeTrial& make_trial,
+                                                double epsilon, double delta,
+                                                uint64_t base_seed,
+                                                const MonteCarloOptions& options,
+                                                ThreadPool* pool) {
   MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
   const double sqrt_eps = std::sqrt(epsilon);
   const double upsilon = Upsilon(epsilon, delta);
@@ -377,6 +409,40 @@ Result<MonteCarloResult> OptimalEstimateSeeded(const TrialFactory& make_trial,
   return result;
 }
 
+/// Per-batch Karp-Luby trial: owns its scratch, so each batch task samples
+/// independently (the estimator itself is read-only during trials).
+struct KlBatchTrial {
+  const KarpLubyEstimator* estimator;
+  bool reference;
+  KarpLubyScratch scratch;
+
+  double operator()(Rng* rng) {
+    bool z = reference ? estimator->TrialReference(rng, &scratch)
+                       : estimator->Trial(rng, &scratch);
+    return z ? 1.0 : 0.0;
+  }
+};
+
+struct KlTrialFactory {
+  const KarpLubyEstimator* estimator;
+  bool reference;
+
+  KlBatchTrial operator()() const {
+    return KlBatchTrial{estimator, reference, {}};
+  }
+};
+
+}  // namespace
+
+Result<MonteCarloResult> OptimalEstimateSeeded(const TrialFactory& make_trial,
+                                               double epsilon, double delta,
+                                               uint64_t base_seed,
+                                               const MonteCarloOptions& options,
+                                               ThreadPool* pool) {
+  return OptimalEstimateSeededT(make_trial, epsilon, delta, base_seed, options,
+                                pool);
+}
+
 Result<MonteCarloResult> ApproxConfidenceSeeded(CompiledDnf dnf, double epsilon,
                                                 double delta, uint64_t base_seed,
                                                 const MonteCarloOptions& options,
@@ -398,18 +464,10 @@ Result<MonteCarloResult> ApproxConfidenceSeeded(CompiledDnf dnf, double epsilon,
     result.samples = 0;
     return result;
   }
-  // One independent Karp-Luby sampler per batch task: the estimator itself
-  // is read-only during trials, all mutable world state lives in the
-  // per-task scratch.
-  TrialFactory factory = [&estimator]() -> TrialFn {
-    auto scratch = std::make_shared<KarpLubyScratch>();
-    return [&estimator, scratch](Rng* rng) -> double {
-      return estimator.Trial(rng, scratch.get()) ? 1.0 : 0.0;
-    };
-  };
+  KlTrialFactory factory{&estimator, options.use_reference_kernel};
   MAYBMS_ASSIGN_OR_RETURN(
       MonteCarloResult mc,
-      OptimalEstimateSeeded(factory, epsilon, delta, base_seed, options, pool));
+      OptimalEstimateSeededT(factory, epsilon, delta, base_seed, options, pool));
   mc.estimate = std::min(1.0, mc.estimate * estimator.TotalWeight());
   return mc;
 }
@@ -425,15 +483,10 @@ Result<MonteCarloResult> ApproxConjunctionConfidenceSeeded(
     result.samples = 0;
     return result;
   }
-  TrialFactory factory = [&estimator]() -> TrialFn {
-    auto scratch = std::make_shared<KarpLubyScratch>();
-    return [&estimator, scratch](Rng* rng) -> double {
-      return estimator.Trial(rng, scratch.get()) ? 1.0 : 0.0;
-    };
-  };
+  KlTrialFactory factory{&estimator, options.use_reference_kernel};
   MAYBMS_ASSIGN_OR_RETURN(
       MonteCarloResult mc,
-      OptimalEstimateSeeded(factory, epsilon, delta, base_seed, options, pool));
+      OptimalEstimateSeededT(factory, epsilon, delta, base_seed, options, pool));
   mc.estimate = std::min(1.0, mc.estimate * estimator.TotalWeight());
   return mc;
 }

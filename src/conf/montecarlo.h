@@ -54,6 +54,12 @@ struct MonteCarloOptions {
   /// just parallelize better while wasting more trials past the stopping
   /// point.
   uint64_t batches_per_wave = 8;
+  /// Run Karp-Luby trials on the pre-kernel reference loop
+  /// (KarpLubyEstimator::TrialReference) instead of the packed kernels.
+  /// The two consume identical RNG draws and return identical outcomes on
+  /// every input — this knob only exists so parity tests and the bench
+  /// self-check can pin that equivalence (and measure the kernel speedup).
+  bool use_reference_kernel = false;
 };
 
 /// Counter-based substream seeding (SplitMix64 finalizer over

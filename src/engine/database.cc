@@ -1,5 +1,8 @@
 #include "src/engine/database.h"
 
+#include <atomic>
+
+#include "src/common/str_util.h"
 #include "src/common/thread_pool.h"
 #include "src/plan/planner.h"
 #include "src/sql/parser.h"
@@ -15,12 +18,94 @@ Database& Database::operator=(Database&&) noexcept = default;
 
 void Database::Reseed(uint64_t seed) { rng_ = Rng(seed); }
 
+namespace {
+
+Result<bool> SetBool(const SetStmt& set) {
+  if (set.value_text == "on" || set.value_text == "true" ||
+      (set.value_num && *set.value_num == 1)) {
+    return true;
+  }
+  if (set.value_text == "off" || set.value_text == "false" ||
+      (set.value_num && *set.value_num == 0)) {
+    return false;
+  }
+  return Status::InvalidArgument(StringFormat(
+      "SET %s expects on/off, got '%s'", set.name.c_str(),
+      set.value_text.c_str()));
+}
+
+Result<double> SetFraction(const SetStmt& set) {
+  if (!set.value_num || !(*set.value_num > 0) || *set.value_num >= 1) {
+    return Status::InvalidArgument(StringFormat(
+        "SET %s expects a number in (0,1), got '%s'", set.name.c_str(),
+        set.value_text.c_str()));
+  }
+  return *set.value_num;
+}
+
+}  // namespace
+
+Result<QueryResult> Database::RunSet(const SetStmt& set) {
+  ExecOptions& exec = options_.exec;
+  if (set.name == "dtree_node_budget" || set.name == "max_steps") {
+    if (!set.value_num || *set.value_num < 0) {
+      return Status::InvalidArgument(StringFormat(
+          "SET %s expects a non-negative node count (0 = unlimited)",
+          set.name.c_str()));
+    }
+    exec.exact.max_steps = static_cast<uint64_t>(*set.value_num);
+  } else if (set.name == "conf_fallback") {
+    MAYBMS_ASSIGN_OR_RETURN(exec.conf_fallback, SetBool(set));
+  } else if (set.name == "fallback_epsilon") {
+    MAYBMS_ASSIGN_OR_RETURN(exec.fallback_epsilon, SetFraction(set));
+  } else if (set.name == "fallback_delta") {
+    MAYBMS_ASSIGN_OR_RETURN(exec.fallback_delta, SetFraction(set));
+  } else if (set.name == "exact_solver") {
+    if (set.value_text == "dtree") {
+      exec.exact.use_legacy_solver = false;
+    } else if (set.value_text == "legacy") {
+      exec.exact.use_legacy_solver = true;
+    } else {
+      return Status::InvalidArgument(
+          "SET exact_solver expects 'dtree' or 'legacy'");
+    }
+  } else if (set.name == "engine") {
+    if (set.value_text == "row") {
+      exec.engine = ExecEngine::kRow;
+    } else if (set.value_text == "batch") {
+      exec.engine = ExecEngine::kBatch;
+    } else {
+      return Status::InvalidArgument("SET engine expects 'row' or 'batch'");
+    }
+  } else if (set.name == "num_threads") {
+    if (!set.value_num || *set.value_num < 0) {
+      return Status::InvalidArgument(
+          "SET num_threads expects a non-negative thread count (0 = hardware)");
+    }
+    exec.num_threads = static_cast<unsigned>(*set.value_num);
+  } else {
+    return Status::InvalidArgument(StringFormat(
+        "unknown setting '%s' (supported: dtree_node_budget, conf_fallback, "
+        "fallback_epsilon, fallback_delta, exact_solver, engine, "
+        "num_threads)", set.name.c_str()));
+  }
+  return QueryResult(TableData{},
+                     StringFormat("SET %s = %s", set.name.c_str(),
+                                  set.value_text.c_str()));
+}
+
 Result<QueryResult> Database::RunStatement(const Statement& stmt) {
+  // Session settings mutate DatabaseOptions directly — no binding/planning.
+  if (stmt.kind == StatementKind::kSet) {
+    return RunSet(static_cast<const SetStmt&>(stmt));
+  }
   MAYBMS_ASSIGN_OR_RETURN(BoundStatement bound, BindStatement(catalog_, stmt));
   ExecContext ctx;
   ctx.catalog = &catalog_;
   ctx.rng = &rng_;
   ctx.options = &options_.exec;
+  std::atomic<uint64_t> conf_fallbacks{0};
+  ctx.conf_fallbacks = &conf_fallbacks;
   // num_threads == 1 runs fully serial (no pool, legacy bit-for-bit
   // behavior); anything else gets a pool of the effective size, recreated
   // if the caller changed options() between statements.
@@ -35,6 +120,16 @@ Result<QueryResult> Database::RunStatement(const Statement& stmt) {
     pool_.reset();  // dropped back to serial: release the idle workers
   }
   MAYBMS_ASSIGN_OR_RETURN(StatementResult result, ExecuteStatement(bound, &ctx));
+  if (uint64_t n = conf_fallbacks.load(std::memory_order_relaxed); n > 0) {
+    if (!result.message.empty()) result.message += "\n";
+    result.message += StringFormat(
+        "warning: conf() exceeded the exact node budget (dtree_node_budget="
+        "%llu) on %llu group(s); returned seeded aconf(%g, %g) fallback "
+        "estimates",
+        static_cast<unsigned long long>(options_.exec.exact.max_steps),
+        static_cast<unsigned long long>(n), options_.exec.fallback_epsilon,
+        options_.exec.fallback_delta);
+  }
   if (result.has_data) {
     return QueryResult(std::move(result.data), std::move(result.message));
   }

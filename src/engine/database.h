@@ -74,6 +74,7 @@ class Database {
 
  private:
   Result<QueryResult> RunStatement(const Statement& stmt);
+  Result<QueryResult> RunSet(const SetStmt& stmt);
 
   DatabaseOptions options_;
   Catalog catalog_;

@@ -4,6 +4,7 @@
 
 #include "src/common/str_util.h"
 #include "src/cond/posterior.h"
+#include "src/exec/conf_fallback.h"
 #include "src/lineage/dnf.h"
 
 namespace maybms {
@@ -101,16 +102,7 @@ Result<std::vector<std::vector<Value>>> ComputeGroupAggregates(
         Dnf dnf;
         for (const Row* row : group_rows) dnf.AddClause(row->condition);
         if (agg.kind == AggKind::kConf) {
-          double p;
-          if (cs.active()) {
-            MAYBMS_ASSIGN_OR_RETURN(
-                p, PosteriorExactConfidence(dnf, cs, wt, ctx->options->exact,
-                                            ctx->pool));
-          } else {
-            MAYBMS_ASSIGN_OR_RETURN(
-                p, ExactConfidence(dnf, wt, ctx->options->exact, nullptr,
-                                   ctx->pool));
-          }
+          MAYBMS_ASSIGN_OR_RETURN(double p, GroupConfidence(dnf, ctx));
           values[a] = Value::Double(p);
         } else if (ctx->pool != nullptr) {
           // Parallel sampling: draw ONE base seed from the session stream

@@ -1,5 +1,7 @@
 #include "src/exec/batch_operators.h"
 
+#include "src/exec/conf_fallback.h"
+
 #include <algorithm>
 #include <cmath>
 #include <deque>
@@ -1568,10 +1570,7 @@ class AggregateOp : public MaterializedOperator {
             Dnf dnf;
             for (uint32_t row : members) dnf.AddClause(in.conds.ToCondition(row));
             if (agg.kind == AggKind::kConf) {
-              MAYBMS_ASSIGN_OR_RETURN(
-                  double p, PosteriorExactConfidence(dnf, cs, wt,
-                                                     ctx_->options->exact,
-                                                     ctx_->pool));
+              MAYBMS_ASSIGN_OR_RETURN(double p, GroupConfidence(dnf, ctx_));
               values[a] = Value::Double(p);
             } else if (aconf_seeds != nullptr) {
               MAYBMS_ASSIGN_OR_RETURN(
@@ -1596,14 +1595,15 @@ class AggregateOp : public MaterializedOperator {
           // conjunctive conditions (paper §2.3) — compiles directly from
           // the packed condition-column spans: no Condition objects, no
           // per-row re-parsing.
-          CompiledDnf lineage(in.conds, members.data(), members.size(), wt);
           if (agg.kind == AggKind::kConf) {
             MAYBMS_ASSIGN_OR_RETURN(
-                double p, ExactConfidence(std::move(lineage), wt,
-                                          ctx_->options->exact, nullptr,
-                                          ctx_->pool));
+                double p, GroupConfidence(in.conds, members.data(),
+                                          members.size(), ctx_));
             values[a] = Value::Double(p);
-          } else if (aconf_seeds != nullptr) {
+            break;
+          }
+          CompiledDnf lineage(in.conds, members.data(), members.size(), wt);
+          if (aconf_seeds != nullptr) {
             MAYBMS_ASSIGN_OR_RETURN(
                 MonteCarloResult mc,
                 ApproxConfidenceSeeded(std::move(lineage), agg.epsilon,

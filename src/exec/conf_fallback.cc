@@ -1,0 +1,101 @@
+#include "src/exec/conf_fallback.h"
+
+#include <atomic>
+
+#include "src/common/row_index.h"
+#include "src/cond/posterior.h"
+#include "src/conf/exact.h"
+#include "src/conf/montecarlo.h"
+
+namespace maybms {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+constexpr uint64_t kClauseSep = 0x9e3779b97f4a7c15ULL;
+
+uint64_t AccumAtom(uint64_t h, const Atom& a) {
+  h ^= (static_cast<uint64_t>(a.var) << 32) | a.asg;
+  return h * kFnvPrime;
+}
+
+uint64_t AccumClauseEnd(uint64_t h) { return (h ^ kClauseSep) * kFnvPrime; }
+
+/// Content hash of the group lineage over GLOBAL variable ids. Both
+/// engines feed identical clause lists for the same group (pinned by the
+/// parity suites), so the fallback seed — and with it the estimate — is
+/// engine-independent.
+uint64_t LineageSeed(const Dnf& dnf) {
+  uint64_t h = kFnvOffset;
+  for (const Condition& c : dnf.clauses()) {
+    for (const Atom& a : c.atoms()) h = AccumAtom(h, a);
+    h = AccumClauseEnd(h);
+  }
+  return Mix64(h);
+}
+
+uint64_t LineageSeed(const ConditionColumn& conds, const uint32_t* rows,
+                     size_t n) {
+  uint64_t h = kFnvOffset;
+  for (size_t i = 0; i < n; ++i) {
+    for (const Atom& a : conds.Span(rows[i])) h = AccumAtom(h, a);
+    h = AccumClauseEnd(h);
+  }
+  return Mix64(h);
+}
+
+bool WantsFallback(const Result<double>& exact, const ExecContext* ctx) {
+  return !exact.ok() && ctx->options->conf_fallback &&
+         exact.status().code() == StatusCode::kOutOfRange;
+}
+
+Result<double> Fallback(Result<MonteCarloResult> mc, const Status& exact_error,
+                        ExecContext* ctx) {
+  if (!mc.ok()) return exact_error;  // surface the original budget error
+  if (ctx->conf_fallbacks != nullptr) {
+    ctx->conf_fallbacks->fetch_add(1, std::memory_order_relaxed);
+  }
+  return mc->estimate;
+}
+
+}  // namespace
+
+Result<double> GroupConfidence(const Dnf& dnf, ExecContext* ctx) {
+  const ConstraintStore& cs = ctx->constraints();
+  const WorldTable& wt = ctx->worlds();
+  const ExecOptions& options = *ctx->options;
+  Result<double> exact =
+      cs.active()
+          ? PosteriorExactConfidence(dnf, cs, wt, options.exact, ctx->pool)
+          : ExactConfidence(dnf, wt, options.exact, nullptr, ctx->pool);
+  if (!WantsFallback(exact, ctx)) return exact;
+  uint64_t seed = LineageSeed(dnf);
+  Result<MonteCarloResult> mc =
+      cs.active()
+          ? PosteriorApproxConfidenceSeeded(
+                dnf, cs, wt, options.fallback_epsilon, options.fallback_delta,
+                seed, options.montecarlo, options.exact, ctx->pool)
+          : ApproxConfidenceSeeded(CompiledDnf(dnf, wt),
+                                   options.fallback_epsilon,
+                                   options.fallback_delta, seed,
+                                   options.montecarlo, ctx->pool);
+  return Fallback(std::move(mc), exact.status(), ctx);
+}
+
+Result<double> GroupConfidence(const ConditionColumn& conds,
+                               const uint32_t* rows, size_t n,
+                               ExecContext* ctx) {
+  const WorldTable& wt = ctx->worlds();
+  const ExecOptions& options = *ctx->options;
+  Result<double> exact = ExactConfidence(CompiledDnf(conds, rows, n, wt), wt,
+                                         options.exact, nullptr, ctx->pool);
+  if (!WantsFallback(exact, ctx)) return exact;
+  Result<MonteCarloResult> mc = ApproxConfidenceSeeded(
+      CompiledDnf(conds, rows, n, wt), options.fallback_epsilon,
+      options.fallback_delta, LineageSeed(conds, rows, n), options.montecarlo,
+      ctx->pool);
+  return Fallback(std::move(mc), exact.status(), ctx);
+}
+
+}  // namespace maybms

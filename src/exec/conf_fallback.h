@@ -1,0 +1,35 @@
+// conf() with the hybrid exact→approximate fallback.
+//
+// Exact confidence is #P-hard: the d-tree compiler can blow past any node
+// budget (ExactOptions::max_steps) on adversarial lineage. With
+// ExecOptions::conf_fallback enabled, a conf() group whose compilation
+// exceeds the budget falls back to a SEEDED aconf(fallback_epsilon,
+// fallback_delta) estimate instead of failing the query; the fallback is
+// counted on ExecContext::conf_fallbacks so the engine can attach a
+// warning to the result.
+//
+// Determinism: the fallback seed is a pure function of the group's lineage
+// content (a hash over its global-variable atoms), NOT a session-RNG draw
+// — so enabling the fallback never shifts the session stream consumed by
+// explicit aconf() calls, and the fallback estimate is identical across
+// engines, thread counts, and sessions.
+#pragma once
+
+#include "src/common/result.h"
+#include "src/exec/exec_context.h"
+#include "src/lineage/dnf.h"
+#include "src/types/condition_column.h"
+
+namespace maybms {
+
+/// Exact (posterior-aware) group confidence with the optional fallback —
+/// the row engine's and the batch engine's conditioned conf() kernel.
+Result<double> GroupConfidence(const Dnf& dnf, ExecContext* ctx);
+
+/// Same over packed condition-column spans (the batch engine's
+/// unconditioned conf() kernel; compiles straight from the spans).
+Result<double> GroupConfidence(const ConditionColumn& conds,
+                               const uint32_t* rows, size_t n,
+                               ExecContext* ctx);
+
+}  // namespace maybms

@@ -1,6 +1,7 @@
 // Shared execution context and materialized intermediate results.
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,17 @@ struct ExecOptions {
   /// task boundaries (the stress tests use this); 0 = one morsel per
   /// batch. Only read when num_threads != 1.
   size_t morsel_size = 1024;
+  /// Hybrid conf() fallback: when d-tree compilation exceeds the
+  /// exact.max_steps node budget, answer with a seeded
+  /// aconf(fallback_epsilon, fallback_delta) estimate (plus a result
+  /// warning) instead of failing the query. The fallback seed is a pure
+  /// function of the group's lineage, so enabling this never perturbs the
+  /// session RNG stream and the estimates are identical across engines and
+  /// thread counts. Off by default: the library surface keeps the hard
+  /// budget error; the shell turns it on (`SET conf_fallback = on`).
+  bool conf_fallback = false;
+  double fallback_epsilon = 0.05;
+  double fallback_delta = 0.01;
 };
 
 /// Everything operators need: the catalog (DML / create-table-as), the
@@ -49,6 +61,10 @@ struct ExecContext {
   /// Non-null iff the effective num_threads > 1; owned by the Database (or
   /// whichever embedder built the context).
   ThreadPool* pool = nullptr;
+  /// Counts conf() groups answered by the aconf fallback this statement
+  /// (see src/exec/conf_fallback.h); the engine attaches a warning when
+  /// non-zero. Atomic: groups aggregate in parallel.
+  std::atomic<uint64_t>* conf_fallbacks = nullptr;
 
   WorldTable& worlds() { return catalog->world_table(); }
   const WorldTable& worlds() const { return catalog->world_table(); }

@@ -242,6 +242,8 @@ Result<StatementResult> ExecuteStatement(const BoundStatement& stmt, ExecContext
       return ExecuteShowEvidence(ctx);
     case StatementKind::kClearEvidence:
       return ExecuteClearEvidence(ctx);
+    case StatementKind::kSet:
+      break;  // handled by the engine facade; never reaches execution
   }
   return Status::Internal("unhandled bound statement kind");
 }

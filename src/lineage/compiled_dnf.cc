@@ -113,9 +113,25 @@ ClauseId CompiledDnf::Intern(const Atom* atoms, size_t n) {
     slot = (slot + 1) & mask;
   }
   ClauseId id = static_cast<ClauseId>(NumStoredClauses());
+  ClauseMeta meta;
+  meta.begin = static_cast<uint32_t>(clause_atoms_.size());
+  meta.size = static_cast<uint32_t>(n);
+  meta.prob = -1;
+  meta.mask_lo = 0;
+  meta.mask_hi = 0;
   clause_atoms_.insert(clause_atoms_.end(), atoms, atoms + n);
-  clause_offsets_.push_back(static_cast<uint32_t>(clause_atoms_.size()));
-  clause_prob_.push_back(-1);
+  for (size_t i = 0; i < n; ++i) {
+    LocalVar v = atoms[i].var;
+    if (v < 64) {
+      meta.mask_lo |= 1ull << v;
+    } else if (v < 128) {
+      meta.mask_hi |= 1ull << (v - 64);
+    } else {  // Bloom degradation past 128 dense variables
+      meta.mask_lo |= 1ull << (v & 63u);
+      meta.mask_hi |= 1ull << ((v >> 6) & 63u);
+    }
+  }
+  clause_meta_.push_back(meta);
   intern_hash_[slot] = h;
   intern_id_[slot] = id;
   ++intern_count_;
@@ -141,7 +157,6 @@ void CompiledDnf::BuildVariableTable(const WorldTable& wt) {
 }
 
 CompiledDnf::CompiledDnf(const Dnf& dnf, const WorldTable& wt) {
-  clause_offsets_.push_back(0);
   size_t total_atoms = 0;
   for (const Condition& c : dnf.clauses()) {
     for (const Atom& a : c.atoms()) local_to_global_.push_back(a.var);
@@ -160,7 +175,6 @@ CompiledDnf::CompiledDnf(const Dnf& dnf, const WorldTable& wt) {
 
 CompiledDnf::CompiledDnf(const ConditionColumn& conds, const uint32_t* rows,
                          size_t n, const WorldTable& wt) {
-  clause_offsets_.push_back(0);
   size_t total_atoms = 0;
   for (size_t i = 0; i < n; ++i) {
     AtomSpan span = conds.Span(rows[i]);
@@ -178,6 +192,24 @@ CompiledDnf::CompiledDnf(const ConditionColumn& conds, const uint32_t* rows,
   }
 }
 
+CompiledDnf::CompiledDnf(const Atom* atoms, const uint32_t* offsets,
+                         size_t num_clauses, const WorldTable& wt) {
+  size_t total_atoms = offsets[num_clauses];
+  for (size_t i = 0; i < total_atoms; ++i) {
+    local_to_global_.push_back(atoms[i].var);
+  }
+  BuildVariableTable(wt);
+  Remap remap = MakeRemap(total_atoms);
+  ReserveClauses(num_clauses);
+  std::vector<Atom> scratch;
+  original_.reserve(num_clauses);
+  for (size_t i = 0; i < num_clauses; ++i) {
+    original_.push_back(InternGlobal(atoms + offsets[i],
+                                     offsets[i + 1] - offsets[i], remap,
+                                     &scratch));
+  }
+}
+
 std::vector<ClauseId> CompiledDnf::RootSet() const {
   std::vector<ClauseId> set = original_;
   std::sort(set.begin(), set.end());
@@ -186,11 +218,11 @@ std::vector<ClauseId> CompiledDnf::RootSet() const {
 }
 
 double CompiledDnf::ClauseProb(ClauseId id) {
-  double cached = clause_prob_[id];
-  if (cached >= 0) return cached;
+  ClauseMeta& m = clause_meta_[id];
+  if (m.prob >= 0) return m.prob;
   double p = 1.0;
   for (const Atom& a : Clause(id)) p *= AtomProbLocal(a.var, a.asg);
-  clause_prob_[id] = p;
+  m.prob = p;
   return p;
 }
 

@@ -47,6 +47,14 @@ class CompiledDnf {
   CompiledDnf(const ConditionColumn& conds, const uint32_t* rows, size_t n,
               const WorldTable& wt);
 
+  /// Compiles a CSR clause list over GLOBAL variable ids (each clause's
+  /// atoms sorted by variable, consistent). This is the zero-copy entry for
+  /// callers that assemble lineage from pre-merged atom spans — the
+  /// posterior layer builds Q ∧ C products and Q+C combined lineage here
+  /// without materializing intermediate Dnf/Condition heaps.
+  CompiledDnf(const Atom* atoms, const uint32_t* offsets, size_t num_clauses,
+              const WorldTable& wt);
+
   // -- clause store ---------------------------------------------------------
 
   /// The input clauses, in input order, duplicates preserved (Karp-Luby's
@@ -57,20 +65,30 @@ class CompiledDnf {
   /// clause set).
   std::vector<ClauseId> RootSet() const;
 
-  size_t NumStoredClauses() const { return clause_offsets_.size() - 1; }
+  size_t NumStoredClauses() const { return clause_meta_.size(); }
 
   /// Atoms of a clause, over LOCAL variable ids, sorted by variable.
   AtomSpan Clause(ClauseId id) const {
-    uint32_t begin = clause_offsets_[id];
-    return AtomSpan{clause_atoms_.data() + begin, clause_offsets_[id + 1] - begin};
+    const ClauseMeta& m = clause_meta_[id];
+    return AtomSpan{clause_atoms_.data() + m.begin, m.size};
   }
-  size_t ClauseSize(ClauseId id) const {
-    return clause_offsets_[id + 1] - clause_offsets_[id];
-  }
+  size_t ClauseSize(ClauseId id) const { return clause_meta_[id].size; }
 
   /// Marginal probability of a clause (product of its atom probabilities;
   /// cached per stored clause).
   double ClauseProb(ClauseId id);
+
+  /// Variable-occurrence masks of a clause — the word-wide kernels the
+  /// d-tree compiler's subsumption and independence probes run on. With
+  /// MasksExact() (dense local ids 0..V-1, V <= 128) the pair
+  /// (lo, hi) has exactly bit v set for every atom variable v (lo covers
+  /// v < 64, hi the rest), so mask intersection ⟺ shared variable and
+  /// mask subset ⟺ variable-set subset. Beyond 128 variables the masks
+  /// degrade to a Bloom filter: intersections may be false positives, but
+  /// (mask(a) & ~mask(b)) != 0 still proves non-subset.
+  uint64_t ClauseVarMask(ClauseId id) const { return clause_meta_[id].mask_lo; }
+  uint64_t ClauseVarMaskHi(ClauseId id) const { return clause_meta_[id].mask_hi; }
+  bool MasksExact() const { return NumVars() <= 128; }
 
   /// Interns a clause given by local-var atoms (sorted by var, unique
   /// vars). Returns the existing id when an identical clause is stored.
@@ -104,10 +122,19 @@ class CompiledDnf {
 
   void GrowInternTable();
 
-  // CSR clause store (local var ids).
+  // Clause store: one packed atom array plus a 32-byte metadata record per
+  // clause, so the compiler's scanning loops (size, masks, atom offset,
+  // cached probability) touch ONE cache line per clause id instead of four
+  // scattered arrays.
+  struct ClauseMeta {
+    uint32_t begin;    // into clause_atoms_
+    uint32_t size;
+    uint64_t mask_lo;  // variable mask, vars < 64 (see MasksExact)
+    uint64_t mask_hi;  // vars 64..127
+    double prob;       // cache; -1 = not computed
+  };
   std::vector<Atom> clause_atoms_;
-  std::vector<uint32_t> clause_offsets_;  // size NumStoredClauses()+1
-  std::vector<double> clause_prob_;       // cache; -1 = not computed
+  std::vector<ClauseMeta> clause_meta_;
   // Intern table: open-addressed (hash, id) slots — the solver interns a
   // reduced clause on every Shannon branch, so probes must not allocate.
   std::vector<uint64_t> intern_hash_;

@@ -165,6 +165,9 @@ Result<BoundStatement> BindStatement(const Catalog& catalog, const Statement& st
       out.kind = stmt.kind;
       return out;
     }
+    case StatementKind::kSet:
+      // Session settings are applied by the Database facade before binding.
+      return Status::Internal("SET statements are handled by the engine facade");
   }
   return Status::Internal("unhandled statement kind");
 }

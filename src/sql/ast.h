@@ -205,6 +205,7 @@ enum class StatementKind : uint8_t {
   kAssert,        ///< ASSERT <query> / ASSERT CONFIDENCE >= p <query>
   kShowEvidence,  ///< SHOW EVIDENCE: constraint-store introspection
   kClearEvidence, ///< CLEAR EVIDENCE: drop all asserted constraints
+  kSet,           ///< SET <knob> = <value>: session execution settings
 };
 
 struct Statement {
@@ -316,6 +317,18 @@ struct ShowEvidenceStmt : Statement {
 
 struct ClearEvidenceStmt : Statement {
   ClearEvidenceStmt() : Statement(StatementKind::kClearEvidence) {}
+};
+
+/// `SET <knob> = <value>`: adjusts a session execution setting (e.g.
+/// `SET dtree_node_budget = 4000000`, `SET conf_fallback = on`). Handled
+/// by the engine facade (Database), not the planner — the knobs live in
+/// DatabaseOptions. See DESIGN.md for the knob list.
+struct SetStmt : Statement {
+  SetStmt() : Statement(StatementKind::kSet) {}
+
+  std::string name;        ///< knob name, lowercased
+  std::string value_text;  ///< raw value spelling (word literals)
+  std::optional<double> value_num;  ///< set for numeric values
 };
 
 }  // namespace maybms

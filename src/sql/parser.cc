@@ -134,17 +134,45 @@ class Parser {
     if (Peek().IsWord("condition")) return ParseConditionOn();
     if (Peek().IsWord("show")) return ParseShowEvidence();
     if (Peek().IsWord("clear")) return ParseClearEvidence();
+    if (Peek().IsWord("set")) return ParseSet();
     // An identifier in statement position is an unsupported statement —
     // name it, instead of the generic "expected a statement" failure.
     if (Peek().type == TokenType::kIdentifier) {
       return Status::ParseError(StringFormat(
           "unsupported statement '%s' at %s (supported: SELECT, CREATE, "
           "INSERT, UPDATE, DELETE, DROP, ASSERT, CONDITION ON, SHOW "
-          "EVIDENCE, CLEAR EVIDENCE)",
+          "EVIDENCE, CLEAR EVIDENCE, SET)",
           Peek().text.c_str(), Pos(Peek().offset).c_str()));
     }
     MAYBMS_RETURN_NOT_OK(Unexpected("a statement"));
     return Status::Internal("unreachable");
+  }
+
+  /// `SET <knob> = <value>`: value is a number or a bare word
+  /// (on/off/true/false/dtree/legacy/row/batch/...).
+  Result<StatementPtr> ParseSet() {
+    MAYBMS_RETURN_NOT_OK(ExpectWord("set"));
+    auto stmt = std::make_unique<SetStmt>();
+    if (Peek().type != TokenType::kIdentifier) {
+      MAYBMS_RETURN_NOT_OK(Unexpected("a setting name"));
+    }
+    stmt->name = ToLower(Advance().text);
+    MAYBMS_RETURN_NOT_OK(ExpectSymbol("="));
+    const Token& tok = Peek();
+    if (tok.type == TokenType::kFloat) {
+      stmt->value_num = tok.float_value;
+      stmt->value_text = tok.text;
+    } else if (tok.type == TokenType::kInteger) {
+      stmt->value_num = static_cast<double>(tok.int_value);
+      stmt->value_text = tok.text;
+    } else if (tok.type == TokenType::kIdentifier ||
+               tok.type == TokenType::kString) {
+      stmt->value_text = ToLower(tok.text);
+    } else {
+      MAYBMS_RETURN_NOT_OK(Unexpected("a setting value"));
+    }
+    Advance();
+    return StatementPtr(std::move(stmt));
   }
 
   /// `ASSERT <select>` (conditioning) or

@@ -1,0 +1,564 @@
+// Randomized equivalence suite for the d-tree knowledge-compilation layer
+// (src/lineage/dtree.h) and the packed Karp-Luby kernels:
+//
+//   - d-tree exact confidence is BIT-IDENTICAL to the legacy recursive
+//     solver and matches brute-force world enumeration, on random DNFs,
+//     serial and component-parallel (threads {1, 2, 8});
+//   - DTree::Evaluate()'s linear bottom-up pass reproduces the compile-time
+//     value bit-for-bit, and 1-OF mutual-exclusion detection fires on
+//     world-table alternative sets;
+//   - posterior conf() under ASSERT evidence — including pruned-store
+//     states — is bit-identical between solvers and matches the oracle on
+//     row/batch engines × threads {1, 2, 8};
+//   - the compiled-evidence cache on ConstraintStore stays consistent
+//     through ASSERT / CONDITION ON / CLEAR EVIDENCE / pruning;
+//   - packed Karp-Luby trials consume the same RNG draws and return the
+//     same outcomes as the reference kernel, so seeded aconf estimates are
+//     identical under MonteCarloOptions::use_reference_kernel;
+//   - the conf() budget fallback produces deterministic, engine- and
+//     thread-independent estimates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/common/str_util.h"
+#include "src/common/thread_pool.h"
+#include "src/cond/posterior.h"
+#include "src/conf/exact.h"
+#include "src/conf/karp_luby.h"
+#include "src/conf/montecarlo.h"
+#include "src/engine/database.h"
+#include "src/lineage/dtree.h"
+#include "src/prob/world_enum.h"
+
+namespace maybms {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+struct Instance {
+  WorldTable wt;
+  Dnf dnf;
+};
+
+// Random DNF over multi-valued variables; occasionally zero-probability
+// atoms and duplicate clauses.
+// Capped so the brute-force oracle stays enumerable (domain <= 4 → at
+// most 4^10 worlds).
+Instance RandomInstance(Rng* rng, int max_vars = 10, int max_clauses = 12) {
+  Instance inst;
+  std::vector<VarId> ids;
+  int nv = 2 + static_cast<int>(rng->NextBounded(max_vars - 1));
+  for (int i = 0; i < nv; ++i) {
+    int dom = 2 + static_cast<int>(rng->NextBounded(3));
+    std::vector<double> probs;
+    double rest = 1.0;
+    for (int d = 0; d + 1 < dom; ++d) {
+      double p = rng->NextBounded(8) == 0 ? 0.0 : rest * rng->NextDouble();
+      probs.push_back(p);
+      rest -= p;
+    }
+    probs.push_back(rest);
+    ids.push_back(*inst.wt.NewVariable(probs));
+  }
+  int nc = 1 + static_cast<int>(rng->NextBounded(max_clauses));
+  for (int c = 0; c < nc; ++c) {
+    std::vector<Atom> atoms;
+    int width = 1 + static_cast<int>(rng->NextBounded(3));
+    for (int a = 0; a < width; ++a) {
+      VarId v = ids[rng->NextBounded(ids.size())];
+      atoms.push_back(
+          {v, static_cast<AsgId>(rng->NextBounded(inst.wt.DomainSize(v)))});
+    }
+    auto cond = Condition::FromAtoms(std::move(atoms));
+    if (cond) inst.dnf.AddClause(std::move(*cond));
+  }
+  return inst;
+}
+
+double BruteForce(const Instance& inst) {
+  std::vector<VarId> vars;
+  for (VarId v = 0; v < inst.wt.NumVariables(); ++v) vars.push_back(v);
+  double p = 0;
+  Status st = EnumerateWorlds(inst.wt, vars, 1u << 21, [&](const World& w) {
+    for (const Condition& c : inst.dnf.clauses()) {
+      if (w.Satisfies(c)) {
+        p += w.probability;
+        return;
+      }
+    }
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return p;
+}
+
+TEST(DTreePropertyTest, MatchesLegacyAndBruteForceOnRandomDnfs) {
+  Rng rng(20260728);
+  ThreadPool pool2(2), pool8(8);
+  for (int iter = 0; iter < 120; ++iter) {
+    SCOPED_TRACE(StringFormat("iteration %d", iter));
+    Instance inst = RandomInstance(&rng);
+
+    ExactOptions legacy;
+    legacy.use_legacy_solver = true;
+    Result<double> p_legacy = ExactConfidence(inst.dnf, inst.wt, legacy);
+    Result<double> p_dtree = ExactConfidence(inst.dnf, inst.wt, {});
+    ASSERT_TRUE(p_legacy.ok());
+    ASSERT_TRUE(p_dtree.ok());
+    // Bit-identical, not merely close: the compiler replays the legacy
+    // solver's floating-point operations exactly.
+    EXPECT_EQ(*p_legacy, *p_dtree);
+    EXPECT_NEAR(*p_dtree, BruteForce(inst), kTol);
+
+    // Component-parallel root at 2 and 8 threads: same bits.
+    for (ThreadPool* pool : {&pool2, &pool8}) {
+      Result<double> p_par =
+          ExactConfidence(inst.dnf, inst.wt, {}, nullptr, pool);
+      ASSERT_TRUE(p_par.ok());
+      EXPECT_EQ(*p_dtree, *p_par);
+    }
+
+    // The recorded tree's linear bottom-up pass reproduces the value.
+    Result<DTree> tree = CompileDTree(CompiledDnf(inst.dnf, inst.wt));
+    ASSERT_TRUE(tree.ok());
+    double eval = tree->Evaluate();
+    EXPECT_EQ(eval, tree->root_value());
+    EXPECT_EQ(std::min(1.0, std::max(0.0, eval)), *p_dtree);
+  }
+}
+
+TEST(DTreePropertyTest, AblationOptionsPreserveBitIdentity) {
+  Rng rng(77);
+  for (int iter = 0; iter < 40; ++iter) {
+    SCOPED_TRACE(StringFormat("iteration %d", iter));
+    Instance inst = RandomInstance(&rng);
+    for (EliminationHeuristic h :
+         {EliminationHeuristic::kMaxOccurrence,
+          EliminationHeuristic::kMinCostEstimate,
+          EliminationHeuristic::kFirstVariable}) {
+      for (bool subsume : {true, false}) {
+        for (bool cache : {true, false}) {
+          ExactOptions options;
+          options.heuristic = h;
+          options.remove_subsumed = subsume;
+          options.use_cache = cache;
+          ExactOptions legacy = options;
+          legacy.use_legacy_solver = true;
+          Result<double> a = ExactConfidence(inst.dnf, inst.wt, options);
+          Result<double> b = ExactConfidence(inst.dnf, inst.wt, legacy);
+          ASSERT_TRUE(a.ok() && b.ok());
+          EXPECT_EQ(*a, *b);
+        }
+      }
+    }
+  }
+}
+
+TEST(DTreePropertyTest, OneOfDetectionOnWorldTableAlternatives) {
+  WorldTable wt;
+  VarId x = *wt.NewVariable({0.2, 0.3, 0.5});
+  Dnf dnf;
+  dnf.AddClause(*Condition::FromAtoms({{x, 0}}));
+  dnf.AddClause(*Condition::FromAtoms({{x, 2}}));
+  Result<DTree> tree = CompileDTree(CompiledDnf(dnf, wt));
+  ASSERT_TRUE(tree.ok());
+  const DTree::Node& root = tree->node(tree->root());
+  EXPECT_EQ(root.kind, DTree::Kind::kShannon);
+  EXPECT_TRUE(root.exclusive);  // closed 1-OF: mutually exclusive branches
+  EXPECT_EQ(tree->root_value(), 0.2 + 0.5);
+  EXPECT_NE(tree->Summary().find("1-of=1"), std::string::npos);
+}
+
+TEST(DTreePropertyTest, HashConsingSharesReconvergingBranches) {
+  // x ∧ chain ∨ y ∧ chain: the Shannon branches over x/y reconverge to the
+  // same residual chain, which must be built once (DAG edge), not twice.
+  WorldTable wt;
+  VarId x = *wt.NewBooleanVariable(0.5);
+  VarId y = *wt.NewBooleanVariable(0.5);
+  std::vector<VarId> chain;
+  for (int i = 0; i < 6; ++i) chain.push_back(*wt.NewBooleanVariable(0.3));
+  Dnf dnf;
+  for (int i = 0; i + 1 < 6; ++i) {
+    dnf.AddClause(*Condition::FromAtoms({{x, 1}, {chain[i], 1}, {chain[i + 1], 1}}));
+    dnf.AddClause(*Condition::FromAtoms({{y, 1}, {chain[i], 1}, {chain[i + 1], 1}}));
+  }
+  ExactStats stats;
+  Result<DTree> tree = CompileDTree(CompiledDnf(dnf, wt), {}, &stats);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_EQ(tree->Evaluate(), tree->root_value());
+}
+
+TEST(DTreePropertyTest, NodeBudgetAbortsBothSolvers) {
+  Rng rng(11);
+  Instance inst = RandomInstance(&rng, 10, 12);
+  ExactOptions tight;
+  tight.max_steps = 1;
+  ExactOptions tight_legacy = tight;
+  tight_legacy.use_legacy_solver = true;
+  Result<double> a = ExactConfidence(inst.dnf, inst.wt, tight);
+  Result<double> b = ExactConfidence(inst.dnf, inst.wt, tight_legacy);
+  // Multi-clause random instances cannot resolve in one node.
+  ASSERT_GE(inst.dnf.NumClauses(), 1u);
+  if (inst.dnf.NumClauses() > 1) {
+    EXPECT_FALSE(a.ok());
+    EXPECT_EQ(a.status().code(), StatusCode::kOutOfRange);
+    EXPECT_FALSE(b.ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Posterior states (evidence, pruning) across engines and thread counts
+// ---------------------------------------------------------------------------
+
+struct EngineConfig {
+  ExecEngine engine;
+  unsigned num_threads;
+  const char* name;
+};
+
+const EngineConfig kConfigs[] = {
+    {ExecEngine::kRow, 1, "row/1"},    {ExecEngine::kBatch, 1, "batch/1"},
+    {ExecEngine::kRow, 2, "row/2"},    {ExecEngine::kBatch, 2, "batch/2"},
+    {ExecEngine::kRow, 8, "row/8"},    {ExecEngine::kBatch, 8, "batch/8"},
+};
+
+DatabaseOptions ConfigOptions(const EngineConfig& config, bool legacy_solver) {
+  DatabaseOptions options;
+  options.exec.engine = config.engine;
+  options.exec.num_threads = config.num_threads;
+  if (config.num_threads > 1) options.exec.morsel_size = 3;
+  options.exec.exact.use_legacy_solver = legacy_solver;
+  return options;
+}
+
+std::vector<std::string> BuildScript(Rng* rng) {
+  std::vector<std::string> script;
+  script.push_back("create table base (id int, k int, v int, w double)");
+  int id = 0;
+  int groups = 2 + static_cast<int>(rng->NextBounded(3));
+  for (int k = 0; k < groups; ++k) {
+    int alts = 2 + static_cast<int>(rng->NextBounded(2));
+    for (int a = 0; a < alts; ++a) {
+      script.push_back(StringFormat("insert into base values (%d, %d, %d, %g)",
+                                    id++, k, static_cast<int>(rng->NextBounded(3)),
+                                    0.25 + 0.75 * rng->NextDouble()));
+    }
+  }
+  script.push_back("create table u as repair key k in base weight by w");
+  return script;
+}
+
+// Brute-force posterior P(∃ u row: v = x | evidence) over the pre-assert
+// world table.
+double OraclePosterior(const WorldTable& wt,
+                       const std::vector<std::pair<int64_t, Condition>>& u_rows,
+                       const std::vector<Condition>& evidence, int64_t x) {
+  std::vector<VarId> vars;
+  for (VarId v = 0; v < wt.NumVariables(); ++v) vars.push_back(v);
+  double p_c = 0, p_and = 0;
+  Status st = EnumerateWorlds(wt, vars, 1u << 20, [&](const World& w) {
+    bool sat = evidence.empty();
+    for (const Condition& c : evidence) {
+      if (w.Satisfies(c)) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return;
+    p_c += w.probability;
+    for (const auto& [v, cond] : u_rows) {
+      if (v == x && w.Satisfies(cond)) {
+        p_and += w.probability;
+        return;
+      }
+    }
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return p_c > 0 ? p_and / p_c : 0;
+}
+
+TEST(DTreePropertyTest, PosteriorAndPrunedStatesAcrossEnginesAndThreads) {
+  Rng rng(424242);
+  int conditioned = 0;
+  for (int iter = 0; iter < 6; ++iter) {
+    SCOPED_TRACE(StringFormat("iteration %d", iter));
+    std::vector<std::string> script = BuildScript(&rng);
+    int x = static_cast<int>(rng.NextBounded(3));
+    // Disjunctive (non-determining) evidence first, then a determining
+    // assert that triggers pruning.
+    std::string evidence_sql = StringFormat("select * from u where v = %d", x);
+    std::string determine_sql = "select * from u where k = 0 and v = ";
+
+    // Reference answers per phase, captured from config 0 / d-tree.
+    std::vector<std::vector<double>> reference;  // phase -> per-v conf
+    bool reference_set = false;
+
+    for (bool legacy_solver : {false, true}) {
+      for (const EngineConfig& config : kConfigs) {
+        SCOPED_TRACE(StringFormat("%s solver=%s", config.name,
+                                  legacy_solver ? "legacy" : "dtree"));
+        Database db(ConfigOptions(config, legacy_solver));
+        for (const std::string& sql : script) {
+          ASSERT_TRUE(db.Execute(sql).ok()) << sql;
+        }
+        // Oracle state before any evidence (config-independent).
+        WorldTable wt_before = db.catalog().world_table();
+        std::vector<std::pair<int64_t, Condition>> u_rows;
+        auto t = db.catalog().GetTable("u");
+        ASSERT_TRUE(t.ok());
+        for (const Row& row : (*t)->rows()) {
+          u_rows.emplace_back(row.values[2].AsInt(), row.condition);
+        }
+        auto ev = db.Query(evidence_sql);
+        ASSERT_TRUE(ev.ok());
+        std::vector<Condition> evidence;
+        bool certain = !ev->uncertain();
+        for (const Row& row : ev->rows()) {
+          if (row.condition.IsTrue()) certain = true;
+          evidence.push_back(row.condition);
+        }
+
+        std::vector<std::vector<double>> phases;
+        auto confs = [&]() {
+          std::vector<double> out;
+          auto r = db.Query("select v, conf() as p from u group by v order by v");
+          EXPECT_TRUE(r.ok()) << r.status().ToString();
+          if (r.ok()) {
+            for (const Row& row : r->rows()) out.push_back(row.values[1].AsDouble());
+          }
+          return out;
+        };
+        // Phase 0: prior.
+        phases.push_back(confs());
+        // Phase 1: posterior under disjunctive evidence (if assertable).
+        bool asserted = false;
+        if (!certain && !evidence.empty()) {
+          Status st = db.Execute("assert " + evidence_sql);
+          if (st.ok()) {
+            asserted = true;
+            phases.push_back(confs());
+            // Check against the brute-force oracle (d-tree config only; the
+            // bit-identity sweep covers the rest).
+            if (!legacy_solver && config.num_threads == 1) {
+              auto r = db.Query(
+                  "select v, conf() as p from u group by v order by v");
+              ASSERT_TRUE(r.ok());
+              for (const Row& row : r->rows()) {
+                double oracle = OraclePosterior(wt_before, u_rows, evidence,
+                                                row.values[0].AsInt());
+                EXPECT_NEAR(row.values[1].AsDouble(), oracle, kTol);
+              }
+            }
+          }
+        }
+        // Phase 2: determining evidence → pruned store.
+        Status det = db.Execute(StringFormat("assert %s%d", determine_sql.c_str(),
+                                             x));
+        if (det.ok()) phases.push_back(confs());
+        // Phase 3: clear evidence. NOT a revert to phase 0: pruning is
+        // physical (determined variables collapsed, contradicting rows
+        // deleted stay deleted) — but every config must land on the same
+        // post-clear state bit-for-bit, which the cross-config sweep below
+        // checks.
+        ASSERT_TRUE(db.Execute("clear evidence").ok());
+        EXPECT_FALSE(db.constraints().active());
+        phases.push_back(confs());
+
+        if (!reference_set) {
+          reference = phases;
+          reference_set = true;
+          if (asserted) ++conditioned;
+        } else {
+          ASSERT_EQ(phases.size(), reference.size());
+          for (size_t ph = 0; ph < phases.size(); ++ph) {
+            ASSERT_EQ(phases[ph].size(), reference[ph].size());
+            for (size_t g = 0; g < phases[ph].size(); ++g) {
+              // Bit-identical across engines, thread counts, and solvers.
+              EXPECT_EQ(phases[ph][g], reference[ph][g])
+                  << "phase " << ph << " group " << g;
+            }
+          }
+        }
+      }
+      reference_set = reference_set && true;
+    }
+  }
+  EXPECT_GT(conditioned, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Compiled-evidence cache consistency
+// ---------------------------------------------------------------------------
+
+TEST(DTreePropertyTest, CompiledEvidenceCacheTracksStoreMutations) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table t (k int, v int)").ok());
+  for (int k = 0; k < 4; ++k) {
+    for (int v = 0; v < 2; ++v) {
+      ASSERT_TRUE(
+          db.Execute(StringFormat("insert into t values (%d, %d)", k, v)).ok());
+    }
+  }
+  ASSERT_TRUE(db.Execute("create table u as repair key k in t").ok());
+  const ConstraintStore& cs = db.constraints();
+  EXPECT_EQ(cs.compiled(), nullptr);  // inactive: no compiled evidence
+
+  // ASSERT: cache materializes; its d-tree value is exactly P(C) and its
+  // CSR clauses mirror the flattened store.
+  ASSERT_TRUE(db.Execute("assert select * from u where v = 0").ok());
+  ASSERT_NE(cs.compiled(), nullptr);
+  const CompiledEvidence* ev1 = cs.compiled();
+  EXPECT_EQ(ev1->NumClauses(), cs.NumClauses());
+  EXPECT_EQ(std::min(1.0, std::max(0.0, ev1->tree.root_value())),
+            cs.probability());
+  for (size_t c = 0; c < ev1->NumClauses(); ++c) {
+    const Condition& cond = cs.clauses()[c];
+    ASSERT_EQ(ev1->ClauseSize(c), cond.NumAtoms());
+    for (size_t i = 0; i < cond.NumAtoms(); ++i) {
+      EXPECT_EQ(ev1->ClauseAtoms(c)[i], cond.atoms()[i]);
+    }
+  }
+  std::vector<VarRestriction> fresh = cs.Restrictions();
+  ASSERT_EQ(fresh.size(), ev1->restrictions.size());
+
+  // CONDITION ON (conjoins more evidence): cache rebuilt in place — or
+  // dropped along with the store if pruning absorbed the evidence into the
+  // database entirely (the cache must track either way).
+  ASSERT_TRUE(db.Execute("condition on select * from u where k = 1 and v = 0")
+                  .ok());
+  if (cs.active()) {
+    ASSERT_NE(cs.compiled(), nullptr);
+    EXPECT_EQ(cs.compiled()->NumClauses(), cs.NumClauses());
+    EXPECT_EQ(std::min(1.0, std::max(0.0, cs.compiled()->tree.root_value())),
+              cs.probability());
+  } else {
+    EXPECT_EQ(cs.compiled(), nullptr);
+  }
+
+  // Determining assert prunes; the store divides determined variables out
+  // and the cache follows (possibly deactivating entirely).
+  ASSERT_TRUE(db.Execute("assert select * from u where k = 2 and v = 1").ok());
+  if (cs.active()) {
+    ASSERT_NE(cs.compiled(), nullptr);
+    EXPECT_EQ(cs.compiled()->NumClauses(), cs.NumClauses());
+  } else {
+    EXPECT_EQ(cs.compiled(), nullptr);
+  }
+
+  // CLEAR EVIDENCE: cache dropped.
+  ASSERT_TRUE(db.Execute("clear evidence").ok());
+  EXPECT_EQ(cs.compiled(), nullptr);
+  EXPECT_EQ(cs.probability(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Packed Karp-Luby kernels
+// ---------------------------------------------------------------------------
+
+TEST(DTreePropertyTest, PackedKarpLubyKernelMatchesReferenceTrialForTrial) {
+  Rng rng(555);
+  for (int iter = 0; iter < 60; ++iter) {
+    SCOPED_TRACE(StringFormat("iteration %d", iter));
+    Instance inst = RandomInstance(&rng, 10, 14);
+    // Half the iterations: constrained estimator (suffix = last clause).
+    size_t num_query = inst.dnf.NumClauses();
+    if (iter % 2 == 1 && num_query > 1) --num_query;
+    KarpLubyEstimator est(CompiledDnf(inst.dnf, inst.wt), num_query);
+    if (est.Trivial()) continue;
+    Rng packed_rng(iter), reference_rng(iter);
+    KarpLubyScratch packed_scratch, reference_scratch;
+    for (int t = 0; t < 500; ++t) {
+      bool a = est.Trial(&packed_rng, &packed_scratch);
+      bool b = est.TrialReference(&reference_rng, &reference_scratch);
+      ASSERT_EQ(a, b) << "trial " << t;
+      // Identical RNG consumption, not just identical outcomes.
+      ASSERT_EQ(packed_rng.Next(), reference_rng.Next()) << "trial " << t;
+    }
+  }
+}
+
+TEST(DTreePropertyTest, SeededAconfIdenticalUnderReferenceKernelAndThreads) {
+  Rng rng(808);
+  ThreadPool pool2(2), pool8(8);
+  for (int iter = 0; iter < 8; ++iter) {
+    SCOPED_TRACE(StringFormat("iteration %d", iter));
+    Instance inst = RandomInstance(&rng, 10, 12);
+    if (inst.dnf.NumClauses() < 2) continue;
+    MonteCarloOptions packed, reference;
+    reference.use_reference_kernel = true;
+    uint64_t seed = 1000 + iter;
+    auto a = ApproxConfidenceSeeded(CompiledDnf(inst.dnf, inst.wt), 0.2, 0.2,
+                                    seed, packed);
+    auto b = ApproxConfidenceSeeded(CompiledDnf(inst.dnf, inst.wt), 0.2, 0.2,
+                                    seed, reference);
+    if (!a.ok()) {
+      EXPECT_FALSE(b.ok());
+      continue;
+    }
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->estimate, b->estimate);
+    EXPECT_EQ(a->samples, b->samples);
+    for (ThreadPool* pool : {&pool2, &pool8}) {
+      auto c = ApproxConfidenceSeeded(CompiledDnf(inst.dnf, inst.wt), 0.2, 0.2,
+                                      seed, packed, pool);
+      ASSERT_TRUE(c.ok());
+      EXPECT_EQ(a->estimate, c->estimate);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// conf() budget fallback
+// ---------------------------------------------------------------------------
+
+TEST(DTreePropertyTest, ConfFallbackIsDeterministicAcrossEnginesAndThreads) {
+  std::vector<std::string> script = {
+      "create table t (k int, v int)",
+  };
+  for (int k = 0; k < 8; ++k) {
+    for (int v = 0; v < 2; ++v) {
+      script.push_back(StringFormat("insert into t values (%d, %d)", k, v));
+    }
+  }
+  script.push_back("create table u as repair key k in t");
+
+  std::vector<double> reference;
+  for (const EngineConfig& config : kConfigs) {
+    SCOPED_TRACE(config.name);
+    DatabaseOptions options = ConfigOptions(config, /*legacy_solver=*/false);
+    options.exec.exact.max_steps = 1;  // force the budget to trip
+    options.exec.conf_fallback = true;
+    Database db(options);
+    for (const std::string& sql : script) ASSERT_TRUE(db.Execute(sql).ok());
+    auto r = db.Query(
+        "select a.v, conf() as p from u a, u b where a.v = b.v "
+        "group by a.v order by a.v");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_NE(r->message().find("warning: conf() exceeded"), std::string::npos);
+    std::vector<double> got;
+    for (const Row& row : r->rows()) got.push_back(row.values[1].AsDouble());
+    ASSERT_EQ(got.size(), 2u);
+    // Fallback estimates are (ε,δ)-close to truth and identical across
+    // engines and thread counts (content-seeded, session RNG untouched).
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      EXPECT_EQ(got, reference);
+    }
+  }
+
+  // Fallback off: the budget error surfaces.
+  DatabaseOptions options;
+  options.exec.exact.max_steps = 1;
+  Database db(options);
+  for (const std::string& sql : script) ASSERT_TRUE(db.Execute(sql).ok());
+  auto r = db.Query("select a.v, conf() from u a, u b where a.v = b.v group by a.v");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace maybms

@@ -88,6 +88,54 @@ TEST(DatabaseTest, OptionsControlExactSolver) {
   EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
 }
 
+TEST(DatabaseTest, SetStatementAdjustsSessionKnobs) {
+  Database db;
+  ASSERT_TRUE(db.Execute("create table t (k int, v int)").ok());
+  for (int k = 0; k < 6; ++k) {
+    for (int v = 0; v < 2; ++v) {
+      ASSERT_TRUE(db.Execute(StringFormat("insert into t values (%d,%d)", k, v)).ok());
+    }
+  }
+  ASSERT_TRUE(db.Execute("create table u as select * from (repair key k in t) r").ok());
+  const std::string conf_sql =
+      "select a.v, conf() as p from u a, u b where a.v = b.v group by a.v "
+      "order by a.v";
+
+  // Tighten the node budget via SQL: the same query now overruns it.
+  ASSERT_TRUE(db.Execute("SET dtree_node_budget = 1").ok());
+  EXPECT_EQ(db.options().exec.exact.max_steps, 1u);
+  Result<QueryResult> over = db.Query(conf_sql);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+
+  // Enable the hybrid fallback: the query answers with seeded aconf
+  // estimates and carries a warning.
+  ASSERT_TRUE(db.Execute("SET conf_fallback = on").ok());
+  Result<QueryResult> fallback = db.Query(conf_sql);
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_NE(fallback->message().find("warning: conf() exceeded"),
+            std::string::npos);
+
+  // Restore the budget: exact answers again (no warning), and the legacy
+  // solver knob returns bit-identical probabilities.
+  ASSERT_TRUE(db.Execute("SET dtree_node_budget = 0").ok());
+  Result<QueryResult> dtree = db.Query(conf_sql);
+  ASSERT_TRUE(dtree.ok());
+  EXPECT_EQ(dtree->message().find("warning"), std::string::npos);
+  ASSERT_TRUE(db.Execute("SET exact_solver = legacy").ok());
+  Result<QueryResult> legacy = db.Query(conf_sql);
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_EQ(dtree->NumRows(), legacy->NumRows());
+  for (size_t i = 0; i < dtree->NumRows(); ++i) {
+    EXPECT_EQ(dtree->At(i, 1).AsDouble(), legacy->At(i, 1).AsDouble());
+  }
+
+  // Unknown knobs and malformed values are clean errors.
+  EXPECT_EQ(db.Execute("SET bogus = 1").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.Execute("SET fallback_epsilon = 7").code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(QueryResultTest, ScalarValueAccessor) {
   Database db;
   auto one = db.Query("select 41 + 1");

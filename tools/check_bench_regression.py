@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Bench regression guard: fail when named BENCH_*.json cases regress.
+
+Compares freshly emitted bench JSON (--current directory, written by the
+Release bench lane) against the committed baselines (--baseline directory,
+the repository root). For every guarded case group the script matches
+records by (case name, params) and computes the per-record ms ratio
+current/baseline; the group's MEDIAN ratio must stay under the allowed
+factor (default 1.25, i.e. >25% regression fails). Using the group median
+damps single-point noise while still catching real slowdowns.
+
+Baselines are recorded on one machine but CI runs on another, so raw
+ratios would encode hardware speed, not regressions. The guard therefore
+normalizes by a MACHINE FACTOR — the median ratio across *all*
+comparable records of all benches: if the whole suite is uniformly 2x
+slower on this runner, every group's normalized ratio stays ~1.0, while
+a single case that regressed 30% relative to the rest still exceeds the
+factor and fails the lane. (A regression across the entire guarded
+surface at once would shift the machine factor itself — the committed
+per-commit baselines and the uploaded BENCH_*.json artifacts remain the
+trail for catching that.)
+
+Usage (CI wires this into the Release lane after the bench smoke-run):
+
+    python3 tools/check_bench_regression.py --baseline . --current build
+
+Environment:
+    MAYBMS_BENCH_GUARD_SKIP=1     skip entirely (emergency valve)
+    MAYBMS_BENCH_GUARD_FACTOR=x   override the allowed factor
+
+Exit status: 0 OK / missing data (a case absent from either side is
+reported but never fails the lane — renames should not brick CI), 1 on a
+genuine regression.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+# The guarded perf surface: (bench file stem, case name). These are the
+# cases the ISSUE/ROADMAP acceptance criteria track; add a line when a new
+# bench earns a guarded budget.
+GUARDED_CASES = [
+    ("exact_vs_approx", "exact"),
+    ("exact_vs_approx", "aconf"),
+    ("conditioning", "conf_prior_t1"),
+    ("conditioning", "conf_posterior_t1"),
+    ("conditioning", "aconf_posterior_t1"),
+    ("conditioning", "prune_determined"),
+    ("sprout", "lazy"),
+    ("sprout", "eager"),
+    ("sprout", "exact_dnf"),
+]
+
+
+def load_results(path):
+    """bench json -> {(case, frozen params): ms}."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for record in doc.get("results", []):
+        params = tuple(sorted(record.get("params", {}).items()))
+        out[(record["case"], params)] = record["ms"]
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="directory holding committed BENCH_*.json")
+    parser.add_argument("--current", required=True,
+                        help="directory holding freshly emitted BENCH_*.json")
+    parser.add_argument("--factor", type=float,
+                        default=float(os.environ.get(
+                            "MAYBMS_BENCH_GUARD_FACTOR", "1.25")),
+                        help="allowed median slowdown factor per case group")
+    args = parser.parse_args()
+
+    if os.environ.get("MAYBMS_BENCH_GUARD_SKIP") == "1":
+        print("bench guard: skipped (MAYBMS_BENCH_GUARD_SKIP=1)")
+        return 0
+
+    by_bench = {}
+    for bench, case in GUARDED_CASES:
+        by_bench.setdefault(bench, []).append(case)
+
+    # Pass 1: collect per-group ratio lists and the overall machine factor.
+    groups = []  # (bench, case, [ratios])
+    all_ratios = []
+    for bench, cases in by_bench.items():
+        name = f"BENCH_{bench}.json"
+        base_path = os.path.join(args.baseline, name)
+        cur_path = os.path.join(args.current, name)
+        if not os.path.exists(base_path):
+            print(f"bench guard: no committed baseline {name}; skipping")
+            continue
+        if not os.path.exists(cur_path):
+            print(f"bench guard: {name} was not emitted this run; skipping")
+            continue
+        base = load_results(base_path)
+        cur = load_results(cur_path)
+        for case in cases:
+            ratios = []
+            for key, base_ms in base.items():
+                if key[0] != case or base_ms <= 0:
+                    continue
+                cur_ms = cur.get(key)
+                if cur_ms is None or cur_ms <= 0:
+                    continue
+                ratios.append(cur_ms / base_ms)
+            if not ratios:
+                print(f"bench guard: {bench}/{case}: no comparable records")
+                continue
+            groups.append((bench, case, ratios))
+            all_ratios.extend(ratios)
+
+    if not all_ratios:
+        print("bench guard: nothing comparable; passing vacuously")
+        return 0
+    machine = statistics.median(all_ratios)
+    print(f"bench guard: machine factor {machine:.3f} "
+          f"(median over {len(all_ratios)} records; ratios normalized by it)")
+
+    # Pass 2: judge each group's normalized median.
+    failures = []
+    checked = 0
+    for bench, case, ratios in groups:
+        checked += 1
+        median = statistics.median(ratios) / machine
+        verdict = "OK" if median <= args.factor else "REGRESSION"
+        print(f"bench guard: {bench}/{case}: normalized median ratio "
+              f"{median:.3f} over {len(ratios)} record(s) [{verdict}]")
+        if median > args.factor:
+            failures.append((bench, case, median))
+
+    if failures:
+        print(f"\nbench guard FAILED (allowed factor {args.factor:.2f}):")
+        for bench, case, median in failures:
+            print(f"  {bench}/{case}: {median:.3f}x of committed baseline")
+        return 1
+    print(f"\nbench guard passed: {checked} case group(s) within "
+          f"{args.factor:.2f}x of the committed baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
