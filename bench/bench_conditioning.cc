@@ -28,6 +28,11 @@ namespace {
 std::unique_ptr<Database> BuildSpace(int groups, unsigned num_threads) {
   DatabaseOptions options;
   options.exec.num_threads = num_threads;
+  // This bench measures PER-CALL solver work (posterior vs prior overhead,
+  // pruning cost). The cross-statement compilation cache would collapse
+  // the repeated median-of-3 statements into sub-ms cache probes and the
+  // guard would be comparing noise — bench_dtree_cache measures that win.
+  options.exec.dtree_cache = false;
   auto db = std::make_unique<Database>(options);
   if (!db->Execute("create table base (id int, k int, v int, w double)").ok()) {
     return nullptr;

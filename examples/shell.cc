@@ -47,6 +47,25 @@ void ListTables(const Database& db) {
   } else {
     std::printf("evidence: none\n");
   }
+  const maybms::DTreeCache::Stats dc = db.catalog().dtree_cache().stats();
+  const uint64_t probes = dc.hits + dc.misses;
+  std::printf("d-tree cache: %zu entr%s (%.1f KiB), %llu hit(s) / %llu "
+              "miss(es)",
+              dc.entries, dc.entries == 1 ? "y" : "ies",
+              static_cast<double>(dc.bytes) / 1024.0,
+              static_cast<unsigned long long>(dc.hits),
+              static_cast<unsigned long long>(dc.misses));
+  if (probes > 0) {
+    std::printf(" — %.1f%% hit rate",
+                100.0 * static_cast<double>(dc.hits) /
+                    static_cast<double>(probes));
+  }
+  if (dc.evictions + dc.stale_purged > 0) {
+    std::printf(", %llu evicted / %llu stale-purged",
+                static_cast<unsigned long long>(dc.evictions),
+                static_cast<unsigned long long>(dc.stale_purged));
+  }
+  std::printf("\n");
 }
 
 void DescribeTable(const Database& db, const std::string& name) {
@@ -172,7 +191,11 @@ int main(int argc, char** argv) {
       "as seeded aconf with a warning; default on),\n"
       "          SET fallback_epsilon|fallback_delta = <p>, "
       "SET exact_solver = dtree|legacy,\n"
-      "          SET engine = batch|row, SET num_threads = <n>\n");
+      "          SET engine = batch|row, SET num_threads = <n>,\n"
+      "          SET dtree_cache = on|off (reuse compiled lineage across "
+      "statements; default on, stats under \\d),\n"
+      "          SET dtree_cache_budget = <bytes> (cache LRU budget; "
+      "0 = unlimited, default 64 MiB)\n");
   std::string buffer;
   std::string line;
   std::printf("maybms> ");

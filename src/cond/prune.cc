@@ -55,6 +55,11 @@ Result<PruneStats> PruneConditionedWorlds(Catalog* catalog,
     if (!affected) continue;
 
     ++stats.tables_touched;
+    // mutable_rows() bumps the table's snapshot version: the rewritten
+    // rows rebuild the columnar condition columns, so post-prune lineage
+    // reaches the d-tree compilation cache as new content (and the
+    // world-version bump in CollapseVariable below invalidates entries
+    // whose atoms survived the rewrite unchanged).
     std::vector<Row>& rows = table->mutable_rows();
     std::vector<Row> kept;
     kept.reserve(rows.size());

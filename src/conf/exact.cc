@@ -8,6 +8,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/lineage/dtree.h"
+#include "src/lineage/dtree_cache.h"
 
 // The LEGACY recursive solver (ExactOptions::use_legacy_solver). The
 // default path compiles a d-tree instead (src/lineage/dtree.cc) and is
@@ -497,17 +498,37 @@ class ExactSolver {
 Result<double> ExactConfidence(CompiledDnf dnf, const WorldTable& wt,
                                const ExactOptions& options, ExactStats* stats,
                                ThreadPool* pool) {
-  (void)wt;  // probabilities were copied into the compiled form
   double p;
   if (options.use_legacy_solver) {
+    // The legacy recursion is the reference the d-tree (and with it the
+    // compilation cache's) bit-identity contract is defined against: it
+    // always recomputes, never consults or fills the cache.
     ExactSolver solver(std::move(dnf), options, stats);
     MAYBMS_ASSIGN_OR_RETURN(p, solver.SolveRoot(pool));
-  } else {
-    DTreeCompiler compiler(std::move(dnf), options, stats);
-    MAYBMS_ASSIGN_OR_RETURN(p, compiler.CompileValue(pool));
+    return std::min(1.0, std::max(0.0, p));
   }
+  // Cross-statement compilation cache (src/lineage/dtree_cache.h), keyed
+  // by canonical lineage content + the world table's distribution version
+  // + an options fingerprint (budget included — a value compiled under a
+  // looser budget never answers for a tighter one). Skipped for trivial
+  // lineages (compilation is already in the key-probe noise floor) and
+  // when the caller wants ExactStats (a hit has no step counts to report).
+  DTreeCache* cache = options.cache;
+  const bool use_cache =
+      cache != nullptr && stats == nullptr &&
+      dnf.original_clauses().size() >= DTreeCache::kMinCachedClauses;
+  LineageKey key;
+  if (use_cache) {
+    key = BuildLineageKey(dnf, wt.version(), options);
+    if (cache->Lookup(key, &p)) return p;  // stored values are clamped
+  }
+  DTreeCompiler compiler(std::move(dnf), options, stats);
+  MAYBMS_ASSIGN_OR_RETURN(p, compiler.CompileValue(pool));
   // Clamp tiny floating-point drift.
-  return std::min(1.0, std::max(0.0, p));
+  p = std::min(1.0, std::max(0.0, p));
+  // Budget failures returned above; only completed compilations persist.
+  if (use_cache) cache->Insert(key, p);
+  return p;
 }
 
 Result<double> ExactConfidence(const Dnf& dnf, const WorldTable& wt,

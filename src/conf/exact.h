@@ -60,8 +60,10 @@ Result<double> ExactConfidence(const Dnf& dnf, const WorldTable& wt,
                                ThreadPool* pool = nullptr);
 
 /// Same, over pre-compiled lineage (the batch engine builds CompiledDnf
-/// straight from condition-column spans; `wt` is unused — probabilities
-/// were captured at compile time).
+/// straight from condition-column spans; probabilities were captured at
+/// compile time). `wt` MUST be the world table `dnf` was compiled against:
+/// its version() is the probability axis of the compilation-cache key
+/// (ExactOptions::cache; see src/lineage/dtree_cache.h).
 Result<double> ExactConfidence(CompiledDnf dnf, const WorldTable& wt,
                                const ExactOptions& options = {},
                                ExactStats* stats = nullptr,

@@ -1,9 +1,13 @@
 #include "src/engine/database.h"
 
 #include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 
 #include "src/common/str_util.h"
 #include "src/common/thread_pool.h"
+#include "src/lineage/dtree_cache.h"
 #include "src/plan/planner.h"
 #include "src/sql/parser.h"
 
@@ -20,27 +24,72 @@ void Database::Reseed(uint64_t seed) { rng_ = Rng(seed); }
 
 namespace {
 
+/// " at l:c" suffix matching the parser's position-stamped errors; empty
+/// for programmatically-built SetStmts that carry no source position.
+std::string KnobPos(const SetStmt& set) {
+  if (set.value_line == 0) return std::string();
+  return StringFormat(" at %u:%u", set.value_line, set.value_col);
+}
+
+Status KnobError(const SetStmt& set, const char* expects) {
+  return Status::InvalidArgument(StringFormat(
+      "SET %s expects %s, got '%s'%s", set.name.c_str(), expects,
+      set.value_text.c_str(), KnobPos(set).c_str()));
+}
+
 Result<bool> SetBool(const SetStmt& set) {
   if (set.value_text == "on" || set.value_text == "true" ||
-      (set.value_num && *set.value_num == 1)) {
+      set.value_text == "1") {
     return true;
   }
   if (set.value_text == "off" || set.value_text == "false" ||
-      (set.value_num && *set.value_num == 0)) {
+      set.value_text == "0") {
     return false;
   }
-  return Status::InvalidArgument(StringFormat(
-      "SET %s expects on/off, got '%s'", set.name.c_str(),
-      set.value_text.c_str()));
+  return KnobError(set, "on/off");
+}
+
+// Numeric knobs re-parse value_text — the raw token spelling — strictly:
+// the WHOLE token must convert (no '0.5' for an integer knob, no
+// exponent/suffix leftovers) and the value must be finite and in range.
+// The lexer's own conversion is a partial parse (strtod/strtoll stop at
+// the first bad character and saturate on overflow, e.g. '1e999' → inf),
+// which is fine for expression literals that the grammar already bounds,
+// but silently truncates for knobs; casting such a value to an integer
+// type is undefined behavior before it is even a wrong setting.
+
+Result<uint64_t> SetUint(const SetStmt& set, const char* expects,
+                         uint64_t max_value) {
+  // Word values ('on', 'legacy', ...) carry no value_num: not a number.
+  if (!set.value_num || set.value_text.empty()) return KnobError(set, expects);
+  const char* text = set.value_text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return KnobError(set, expects);
+  if (errno == ERANGE || v > max_value) {
+    return Status::InvalidArgument(StringFormat(
+        "SET %s: value '%s' out of range (max %llu)%s", set.name.c_str(),
+        set.value_text.c_str(), static_cast<unsigned long long>(max_value),
+        KnobPos(set).c_str()));
+  }
+  return static_cast<uint64_t>(v);
 }
 
 Result<double> SetFraction(const SetStmt& set) {
-  if (!set.value_num || !(*set.value_num > 0) || *set.value_num >= 1) {
-    return Status::InvalidArgument(StringFormat(
-        "SET %s expects a number in (0,1), got '%s'", set.name.c_str(),
-        set.value_text.c_str()));
+  const char* expects = "a number in (0,1)";
+  if (!set.value_num || set.value_text.empty()) return KnobError(set, expects);
+  const char* text = set.value_text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') return KnobError(set, expects);
+  // ERANGE covers overflow to ±inf ('1e999') and underflow to denormals;
+  // the open-interval check rejects both legitimately.
+  if (errno == ERANGE || !std::isfinite(v) || !(v > 0) || v >= 1) {
+    return KnobError(set, expects);
   }
-  return *set.value_num;
+  return v;
 }
 
 }  // namespace
@@ -48,12 +97,17 @@ Result<double> SetFraction(const SetStmt& set) {
 Result<QueryResult> Database::RunSet(const SetStmt& set) {
   ExecOptions& exec = options_.exec;
   if (set.name == "dtree_node_budget" || set.name == "max_steps") {
-    if (!set.value_num || *set.value_num < 0) {
-      return Status::InvalidArgument(StringFormat(
-          "SET %s expects a non-negative node count (0 = unlimited)",
-          set.name.c_str()));
-    }
-    exec.exact.max_steps = static_cast<uint64_t>(*set.value_num);
+    MAYBMS_ASSIGN_OR_RETURN(
+        exec.exact.max_steps,
+        SetUint(set, "a non-negative node count (0 = unlimited)",
+                ~0ull / 2));
+  } else if (set.name == "dtree_cache") {
+    MAYBMS_ASSIGN_OR_RETURN(exec.dtree_cache, SetBool(set));
+  } else if (set.name == "dtree_cache_budget") {
+    MAYBMS_ASSIGN_OR_RETURN(
+        uint64_t budget,
+        SetUint(set, "a byte budget (0 = unlimited)", ~0ull / 2));
+    exec.dtree_cache_budget = static_cast<size_t>(budget);
   } else if (set.name == "conf_fallback") {
     MAYBMS_ASSIGN_OR_RETURN(exec.conf_fallback, SetBool(set));
   } else if (set.name == "fallback_epsilon") {
@@ -78,16 +132,16 @@ Result<QueryResult> Database::RunSet(const SetStmt& set) {
       return Status::InvalidArgument("SET engine expects 'row' or 'batch'");
     }
   } else if (set.name == "num_threads") {
-    if (!set.value_num || *set.value_num < 0) {
-      return Status::InvalidArgument(
-          "SET num_threads expects a non-negative thread count (0 = hardware)");
-    }
-    exec.num_threads = static_cast<unsigned>(*set.value_num);
+    MAYBMS_ASSIGN_OR_RETURN(
+        uint64_t threads,
+        SetUint(set, "a non-negative thread count (0 = hardware)", 4096));
+    exec.num_threads = static_cast<unsigned>(threads);
   } else {
     return Status::InvalidArgument(StringFormat(
-        "unknown setting '%s' (supported: dtree_node_budget, conf_fallback, "
-        "fallback_epsilon, fallback_delta, exact_solver, engine, "
-        "num_threads)", set.name.c_str()));
+        "unknown setting '%s' (supported: dtree_node_budget, dtree_cache, "
+        "dtree_cache_budget, conf_fallback, fallback_epsilon, "
+        "fallback_delta, exact_solver, engine, num_threads)",
+        set.name.c_str()));
   }
   return QueryResult(TableData{},
                      StringFormat("SET %s = %s", set.name.c_str(),
@@ -100,6 +154,15 @@ Result<QueryResult> Database::RunStatement(const Statement& stmt) {
     return RunSet(static_cast<const SetStmt&>(stmt));
   }
   MAYBMS_ASSIGN_OR_RETURN(BoundStatement bound, BindStatement(catalog_, stmt));
+  // Wire the catalog's cross-statement compilation cache into the solver
+  // options (re-pointed every statement: the knob may have toggled, and a
+  // moved Database must not keep a pointer into its moved-from catalog).
+  // The budget applies even while the cache is toggled off, so a shrunken
+  // dtree_cache_budget reclaims resident entries immediately — disabling
+  // only bypasses probes, it does not orphan the memory.
+  catalog_.dtree_cache().SetBudgetBytes(options_.exec.dtree_cache_budget);
+  options_.exec.exact.cache =
+      options_.exec.dtree_cache ? &catalog_.dtree_cache() : nullptr;
   ExecContext ctx;
   ctx.catalog = &catalog_;
   ctx.rng = &rng_;

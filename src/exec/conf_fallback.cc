@@ -35,11 +35,21 @@ uint64_t LineageSeed(const Dnf& dnf) {
   return Mix64(h);
 }
 
-uint64_t LineageSeed(const ConditionColumn& conds, const uint32_t* rows,
-                     size_t n) {
+/// Same content hash over compiled lineage: the original clause list in
+/// input order with local atoms mapped back to their GLOBAL ids — exactly
+/// the byte sequence the Dnf/span overloads hash (clause order, atom order
+/// within a clause, and duplicate clauses are all preserved by
+/// CompiledDnf). This is the SAME canonical form the d-tree compilation
+/// cache keys on (src/lineage/dtree_cache.h), and it is computed from the
+/// CompiledDnf BEFORE the exact attempt — so the fallback seed (and with
+/// it the aconf estimate) is identical whether the exact path compiled
+/// fresh, hit the cache, or was answered with the cache disabled.
+uint64_t LineageSeed(const CompiledDnf& dnf) {
   uint64_t h = kFnvOffset;
-  for (size_t i = 0; i < n; ++i) {
-    for (const Atom& a : conds.Span(rows[i])) h = AccumAtom(h, a);
+  for (ClauseId id : dnf.original_clauses()) {
+    for (const Atom& a : dnf.Clause(id)) {
+      h = AccumAtom(h, Atom{dnf.GlobalVar(a.var), a.asg});
+    }
     h = AccumClauseEnd(h);
   }
   return Mix64(h);
@@ -88,13 +98,30 @@ Result<double> GroupConfidence(const ConditionColumn& conds,
                                ExecContext* ctx) {
   const WorldTable& wt = ctx->worlds();
   const ExecOptions& options = *ctx->options;
-  Result<double> exact = ExactConfidence(CompiledDnf(conds, rows, n, wt), wt,
-                                         options.exact, nullptr, ctx->pool);
+  // ONE compilation of the group's lineage feeds everything downstream:
+  // the seed, the exact attempt, and the Karp-Luby fallback. Deriving the
+  // seed from the same canonical object the cache key and the sampler
+  // consume — BEFORE the exact attempt — pins the fallback estimate
+  // against any drift between re-compilations. With the fallback disabled
+  // (the library default) neither seed nor retained copy is ever needed,
+  // so the compiled form moves straight into the solver.
+  CompiledDnf compiled(conds, rows, n, wt);
+  if (!options.conf_fallback) {
+    return ExactConfidence(std::move(compiled), wt, options.exact, nullptr,
+                           ctx->pool);
+  }
+  const uint64_t seed = LineageSeed(compiled);
+  Result<double> exact =
+      ExactConfidence(std::move(compiled), wt, options.exact, nullptr,
+                      ctx->pool);
   if (!WantsFallback(exact, ctx)) return exact;
+  // Rare branch: rebuild the compiled form for the sampler. Construction
+  // is pure, so this is the identical canonical lineage the seed above
+  // was hashed from — cheaper than deep-copying it on every non-fallback
+  // group just to keep it alive for this path.
   Result<MonteCarloResult> mc = ApproxConfidenceSeeded(
       CompiledDnf(conds, rows, n, wt), options.fallback_epsilon,
-      options.fallback_delta, LineageSeed(conds, rows, n), options.montecarlo,
-      ctx->pool);
+      options.fallback_delta, seed, options.montecarlo, ctx->pool);
   return Fallback(std::move(mc), exact.status(), ctx);
 }
 

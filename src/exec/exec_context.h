@@ -49,6 +49,20 @@ struct ExecOptions {
   bool conf_fallback = false;
   double fallback_epsilon = 0.05;
   double fallback_delta = 0.01;
+  /// Cross-statement d-tree compilation cache (src/lineage/dtree_cache.h):
+  /// repeated conf()/tconf()/posterior queries over unchanged tables skip
+  /// compilation entirely. The cached values are bit-identical to fresh
+  /// compilation at every thread count on both engines (the key pins the
+  /// canonical lineage content, the world-table version, and the solver
+  /// options including the node budget), so this is on by default; `SET
+  /// dtree_cache = off` disables it per session. Only honored by
+  /// embedders that own a Catalog (the Database wires the catalog's cache
+  /// into exact.cache per statement); a hand-built ExecContext with
+  /// exact.cache == nullptr always compiles fresh.
+  bool dtree_cache = true;
+  /// Resident-byte budget for that cache (LRU eviction past it;
+  /// 0 = unlimited). `SET dtree_cache_budget = <bytes>`.
+  size_t dtree_cache_budget = 64ull << 20;
 };
 
 /// Everything operators need: the catalog (DML / create-table-as), the

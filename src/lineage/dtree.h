@@ -51,6 +51,7 @@
 
 namespace maybms {
 
+class DTreeCache;
 class ThreadPool;
 
 /// Which variable the elimination step picks inside a component.
@@ -89,6 +90,14 @@ struct ExactOptions {
   /// compilation. Kept for parity tests and ablation benchmarks; both
   /// paths return bit-identical probabilities.
   bool use_legacy_solver = false;
+  /// Cross-statement compilation cache (src/lineage/dtree_cache.h), or
+  /// null to compile fresh every call. Non-owning: the Database wires the
+  /// catalog's cache in per statement when ExecOptions::dtree_cache is on.
+  /// Consulted only by the d-tree path (the legacy solver is the
+  /// bit-identity reference and always recomputes) and only when no
+  /// ExactStats sink is attached (cached answers have no step counts, and
+  /// ablation measurements must stay honest).
+  DTreeCache* cache = nullptr;
 };
 
 /// Counters describing the shape of the decomposition tree that was built.

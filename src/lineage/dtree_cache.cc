@@ -1,0 +1,180 @@
+#include "src/lineage/dtree_cache.h"
+
+#include <algorithm>
+
+#include "src/common/row_index.h"
+#include "src/lineage/compiled_dnf.h"
+#include "src/lineage/dtree.h"
+
+namespace maybms {
+
+namespace {
+
+/// Entry overhead beyond the key words: list node, index slot, value.
+constexpr size_t kEntryOverheadBytes = 96;
+
+uint64_t HashWords(const std::vector<uint64_t>& words) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (uint64_t w : words) {
+    h ^= Mix64(w + 0x9e3779b97f4a7c15ULL);
+    h = Mix64(h);
+  }
+  return h;
+}
+
+/// Everything that changes which decisions the compiler makes, or whether
+/// it is allowed to finish: a different fingerprint is a different key, so
+/// a value compiled under one budget/heuristic can never answer for
+/// another (the "tightened budget" leak of ISSUE 5's satellite list).
+/// use_legacy_solver is deliberately absent — the legacy path bypasses the
+/// cache entirely (see ExactConfidence).
+uint64_t OptionsFingerprint(const ExactOptions& options) {
+  uint64_t h = static_cast<uint64_t>(options.heuristic);
+  h |= static_cast<uint64_t>(options.remove_subsumed) << 8;
+  h |= static_cast<uint64_t>(options.use_cache) << 9;
+  h = Mix64(h);
+  h = Mix64(h ^ static_cast<uint64_t>(options.max_cache_entries));
+  h = Mix64(h ^ options.max_steps);
+  return h;
+}
+
+}  // namespace
+
+size_t LineageKey::ResidentBytes() const {
+  return words.size() * sizeof(uint64_t) + kEntryOverheadBytes;
+}
+
+LineageKey BuildLineageKey(const CompiledDnf& dnf, uint64_t world_version,
+                           const ExactOptions& options) {
+  LineageKey key;
+  const std::vector<ClauseId>& original = dnf.original_clauses();
+  size_t total_atoms = 0;
+  for (ClauseId id : original) total_atoms += dnf.ClauseSize(id);
+  key.words.reserve(3 + original.size() + total_atoms);
+  key.words.push_back(OptionsFingerprint(options));
+  key.words.push_back(world_version);
+  key.words.push_back(original.size());
+  // Length-prefixed clauses make the flat vector self-delimiting — no
+  // separator value can collide with an atom word. Atoms are emitted over
+  // GLOBAL variable ids: local ids are a per-CompiledDnf dense remap, so
+  // two different groups could share local shapes while meaning different
+  // variables (with different distributions).
+  for (ClauseId id : original) {
+    AtomSpan span = dnf.Clause(id);
+    key.words.push_back(span.size);
+    for (const Atom& a : span) {
+      key.words.push_back(
+          (static_cast<uint64_t>(dnf.GlobalVar(a.var)) << 32) | a.asg);
+    }
+  }
+  key.hash = HashWords(key.words);
+  return key;
+}
+
+bool DTreeCache::Lookup(const LineageKey& key, double* value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // key.words[1] is the world version the caller observed. The counter is
+  // monotonic, so once a newer version appears, entries keyed to older
+  // versions are dead weight — drop them eagerly instead of waiting for
+  // LRU pressure.
+  PurgeStaleLocked(key.words[1]);
+  auto bucket = index_.find(key.hash);
+  if (bucket != index_.end()) {
+    for (EntryList::iterator it : bucket->second) {
+      if (it->key == key) {
+        *value = it->value;
+        lru_.splice(lru_.begin(), lru_, it);
+        ++stats_.hits;
+        return true;
+      }
+    }
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void DTreeCache::Insert(const LineageKey& key, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PurgeStaleLocked(key.words[1]);
+  size_t bytes = key.ResidentBytes();
+  if (budget_bytes_ != 0 && bytes > budget_bytes_ / 4) return;
+  auto bucket = index_.find(key.hash);
+  if (bucket != index_.end()) {
+    for (EntryList::iterator it : bucket->second) {
+      if (it->key == key) {  // racing insert of the same lineage: refresh
+        it->value = value;
+        lru_.splice(lru_.begin(), lru_, it);
+        return;
+      }
+    }
+  }
+  lru_.push_front(Entry{key, value});
+  index_[key.hash].push_back(lru_.begin());
+  bytes_ += bytes;
+  ++stats_.insertions;
+  EvictToBudgetLocked();
+}
+
+void DTreeCache::SetBudgetBytes(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_bytes_ = bytes;
+  EvictToBudgetLocked();
+}
+
+size_t DTreeCache::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_bytes_;
+}
+
+void DTreeCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+DTreeCache::Stats DTreeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+void DTreeCache::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats{};
+}
+
+void DTreeCache::EraseLocked(EntryList::iterator it, uint64_t* counter) {
+  auto bucket = index_.find(it->key.hash);
+  if (bucket != index_.end()) {
+    std::vector<EntryList::iterator>& chain = bucket->second;
+    chain.erase(std::remove(chain.begin(), chain.end(), it), chain.end());
+    if (chain.empty()) index_.erase(bucket);
+  }
+  bytes_ -= std::min(bytes_, it->key.ResidentBytes());
+  lru_.erase(it);
+  ++*counter;
+}
+
+void DTreeCache::EvictToBudgetLocked() {
+  if (budget_bytes_ == 0) return;
+  while (bytes_ > budget_bytes_ && !lru_.empty()) {
+    EraseLocked(std::prev(lru_.end()), &stats_.evictions);
+  }
+}
+
+void DTreeCache::PurgeStaleLocked(uint64_t world_version) {
+  if (world_version <= latest_world_version_) return;
+  latest_world_version_ = world_version;
+  for (EntryList::iterator it = lru_.begin(); it != lru_.end();) {
+    EntryList::iterator next = std::next(it);
+    if (it->key.words[1] < world_version) {
+      EraseLocked(it, &stats_.stale_purged);
+    }
+    it = next;
+  }
+}
+
+}  // namespace maybms

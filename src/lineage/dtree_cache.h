@@ -1,0 +1,168 @@
+// Version-keyed d-tree compilation cache: persists compiled-lineage
+// results ACROSS statements.
+//
+// PR 4 made a single conf() call fast by compiling its lineage into a
+// d-tree, but every statement still recompiled from scratch. The paper's
+// dashboard workload — repeated confidence queries over slowly-changing
+// U-relations ("Conditioning Probabilistic Databases", Koch & Olteanu,
+// VLDB'08, motivates the same reuse for evidence) — recompiles the SAME
+// lineage over and over. This cache maps the canonical content of a
+// CompiledDnf plus the versions of everything its probability depends on
+// to the CompileValue() result, so a repeated conf()/tconf()/posterior
+// query over unchanged tables skips compilation entirely.
+//
+// KEY = one flat word vector:
+//   [ options fingerprint | world-table version | clause/atom content ]
+//
+//   - CONTENT: the original clause list in input order, each clause as its
+//     sorted (GLOBAL variable id, assignment) atoms. CompileValue() is a
+//     pure function of exactly this list plus the variable distributions,
+//     and the compiler's decisions (subsumption order, partition order,
+//     elimination choice, branch order) depend on clause input order — so
+//     the key preserves it, and a hit is provably bit-identical to a fresh
+//     compile. Content keying makes row-storage invalidation AUTOMATIC and
+//     PRECISE: every DML/prune mutation bumps the owning table's
+//     columnar-snapshot version counter (src/storage/table.h), the snapshot
+//     (and its condition columns) rebuilds, and changed lineage simply
+//     hashes to a different key — while mutations that do not touch the
+//     lineage (an UPDATE of a data column) keep hitting.
+//   - WORLD VERSION: probabilities are NOT part of the key; they are baked
+//     into the CompiledDnf from the world table, which now carries its own
+//     version counter (same scheme as the columnar-snapshot counters),
+//     bumped whenever a distribution changes — WorldTable::CollapseVariable,
+//     i.e. world pruning after ASSERT/CONDITION ON. Same atoms + same world
+//     version ⟹ same baked probabilities. Entries keyed to an older world
+//     version can never hit again and are purged when a newer version is
+//     first seen.
+//   - OPTIONS FINGERPRINT: heuristic, subsumption/caching toggles, cache
+//     caps, and the max_steps node budget. A tree compiled under a large
+//     budget must not leak past a later-tightened budget (the lookup
+//     misses and the fresh compile re-raises OutOfRange); conversely a
+//     budget-failed compile is never inserted. The legacy recursive solver
+//     bypasses the cache entirely (it is the reference the bit-identity
+//     contract is defined against).
+//
+// Evidence (ASSERT / CONDITION ON / CLEAR EVIDENCE) needs no axis of its
+// own: posterior queries reach the solver as explicit Q∧C / Q∨C product
+// lineage, so evidence changes change the content; physical pruning flows
+// through the table version counters (row rewrites) and the world version
+// (variable collapse).
+//
+// Entries are verified by FULL key comparison (never by hash alone — a
+// 64-bit collision would silently break the bit-identity contract) and
+// evicted LRU-first under a byte budget (ExecOptions::dtree_cache_budget).
+// All methods are thread-safe: group-parallel conf() aggregates and
+// morsel-parallel tconf() projections probe one shared cache.
+//
+// ONE CACHE PER CATALOG: global variable ids and version counters are
+// only meaningful against the world table they were read from, so a
+// cache must never be shared across databases. The Database facade
+// enforces this by re-pointing ExactOptions::cache at its own catalog's
+// cache on every statement (a copied DatabaseOptions cannot smuggle a
+// foreign cache in).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace maybms {
+
+class CompiledDnf;
+struct ExactOptions;
+
+/// The cache key: a flat, self-delimiting word vector (see file comment
+/// for the layout). Equality is whole-vector equality; `hash` is a
+/// precomputed mix over the words.
+struct LineageKey {
+  std::vector<uint64_t> words;
+  uint64_t hash = 0;
+
+  bool operator==(const LineageKey& other) const {
+    return hash == other.hash && words == other.words;
+  }
+  /// Resident cost estimate of an entry built from this key.
+  size_t ResidentBytes() const;
+};
+
+/// Builds the key for `dnf` as compiled under `options` against a world
+/// table currently at `world_version`. O(atoms); the caller compares this
+/// cost against a full compilation, which it replaces on a hit.
+LineageKey BuildLineageKey(const CompiledDnf& dnf, uint64_t world_version,
+                           const ExactOptions& options);
+
+/// Thread-safe LRU cache of CompileValue() results, keyed by LineageKey.
+/// Owned by the Catalog (one per database); ExecOptions::dtree_cache
+/// decides per statement whether the solver consults it.
+class DTreeCache {
+ public:
+  /// Default byte budget (ExecOptions::dtree_cache_budget overrides;
+  /// 0 = unlimited).
+  static constexpr size_t kDefaultBudgetBytes = 64ull << 20;
+  /// Lineages below this many clauses compile in the noise floor of a key
+  /// probe — callers skip the cache for them so per-row marginal products
+  /// do not pollute it.
+  static constexpr size_t kMinCachedClauses = 4;
+
+  explicit DTreeCache(size_t budget_bytes = kDefaultBudgetBytes)
+      : budget_bytes_(budget_bytes) {}
+
+  /// Counter snapshot for shell `\d`, benches, and the invalidation tests'
+  /// hit/miss assertions.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;      ///< budget-evicted (LRU)
+    uint64_t stale_purged = 0;   ///< dropped on a world-version advance
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+
+  /// True (and fills *value) iff an entry matches the full key. A hit
+  /// refreshes the entry's LRU position. Seeing a newer world version in
+  /// `key` first purges entries of older versions (they can never match
+  /// again — the counter is monotonic).
+  bool Lookup(const LineageKey& key, double* value);
+
+  /// Inserts (or refreshes) key → value and evicts LRU entries past the
+  /// byte budget. Oversized entries (> budget/4) are not inserted, so one
+  /// adversarial lineage cannot flush the whole working set.
+  void Insert(const LineageKey& key, double value);
+
+  /// Sets the byte budget (0 = unlimited), evicting down immediately.
+  void SetBudgetBytes(size_t bytes);
+  size_t budget_bytes() const;
+
+  /// Drops every entry (counters survive; see ResetCounters).
+  void Clear();
+
+  Stats stats() const;
+  /// Zeroes hit/miss/insert/evict counters (entries stay). Test hook.
+  void ResetCounters();
+
+ private:
+  struct Entry {
+    LineageKey key;
+    double value = 0;
+  };
+  using EntryList = std::list<Entry>;  // front = most recently used
+
+  // All Locked() helpers require mu_ held.
+  void EvictToBudgetLocked();
+  void PurgeStaleLocked(uint64_t world_version);
+  void EraseLocked(EntryList::iterator it, uint64_t* counter);
+
+  mutable std::mutex mu_;
+  EntryList lru_;
+  /// hash → entries with that hash (collisions chain; full-key compare).
+  std::unordered_map<uint64_t, std::vector<EntryList::iterator>> index_;
+  size_t bytes_ = 0;
+  size_t budget_bytes_;
+  uint64_t latest_world_version_ = 0;
+  Stats stats_;
+};
+
+}  // namespace maybms

@@ -49,6 +49,10 @@ Status WorldTable::CollapseVariable(VarId var, AsgId asg) {
   }
   std::fill(probs.begin(), probs.end(), 0.0);
   probs[asg] = 1.0;
+  // Invalidation seam for the d-tree compilation cache: entries bake the
+  // pre-collapse probabilities, so the version must advance even though
+  // the atoms of any cached lineage are unchanged.
+  ++version_;
   return Status::OK();
 }
 

@@ -29,8 +29,17 @@ class WorldTable {
   /// Conditioning support: replaces the distribution of `var` with the
   /// one-hot posterior on `asg` — the variable has been fully determined
   /// by asserted evidence and its surviving assignment now has probability
-  /// 1 (world pruning, see src/cond/prune.h).
+  /// 1 (world pruning, see src/cond/prune.h). Bumps version().
   Status CollapseVariable(VarId var, AsgId asg);
+
+  /// Version counter over the registered DISTRIBUTIONS — the same scheme
+  /// as the columnar-snapshot counter in src/storage/table.h, and the
+  /// probability axis of the d-tree compilation-cache key
+  /// (src/lineage/dtree_cache.h): any mutation of an existing variable's
+  /// distribution bumps it. Registering a NEW variable does not — fresh
+  /// ids cannot appear in previously-compiled lineage, so existing cache
+  /// entries stay precise. Monotonic for the table's lifetime.
+  uint64_t version() const { return version_; }
 
   size_t NumVariables() const { return variables_.size(); }
   size_t DomainSize(VarId var) const { return Var(var).probs.size(); }
@@ -81,6 +90,7 @@ class WorldTable {
                                          uint64_t bound, VarId var);
 
   std::vector<Variable> variables_;
+  uint64_t version_ = 0;  // bumped on every distribution mutation
 };
 
 }  // namespace maybms

@@ -329,6 +329,13 @@ struct SetStmt : Statement {
   std::string name;        ///< knob name, lowercased
   std::string value_text;  ///< raw value spelling (word literals)
   std::optional<double> value_num;  ///< set for numeric values
+  /// Source position of the value token (1-based; 0 = statement built
+  /// programmatically). The engine's knob validation stamps its
+  /// InvalidArgument errors with this, matching the parser's "at l:c"
+  /// style — numeric knobs re-parse value_text strictly (whole token,
+  /// range-checked) instead of trusting the lexer's partial conversion.
+  uint32_t value_line = 0;
+  uint32_t value_col = 0;
 };
 
 }  // namespace maybms

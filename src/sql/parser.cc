@@ -159,6 +159,7 @@ class Parser {
     stmt->name = ToLower(Advance().text);
     MAYBMS_RETURN_NOT_OK(ExpectSymbol("="));
     const Token& tok = Peek();
+    lines_.Lookup(tok.offset, &stmt->value_line, &stmt->value_col);
     if (tok.type == TokenType::kFloat) {
       stmt->value_num = tok.float_value;
       stmt->value_text = tok.text;
@@ -172,6 +173,17 @@ class Parser {
       MAYBMS_RETURN_NOT_OK(Unexpected("a setting value"));
     }
     Advance();
+    // Reject trailing garbage HERE, not at the generic statement-boundary
+    // check, so `SET fallback_epsilon = 0.5abc` (which lexes as the float
+    // `0.5` followed by the identifier `abc`) names the SET statement in
+    // its position-stamped error instead of silently depending on the
+    // caller's end-of-statement handling.
+    if (!AtEof() && !Peek().IsSymbol(";")) {
+      return Status::ParseError(StringFormat(
+          "SET %s: unexpected '%s' after value '%s' at %s", stmt->name.c_str(),
+          Peek().text.c_str(), stmt->value_text.c_str(),
+          Pos(Peek().offset).c_str()));
+    }
     return StatementPtr(std::move(stmt));
   }
 

@@ -10,6 +10,7 @@
 
 #include "src/common/result.h"
 #include "src/cond/constraint_store.h"
+#include "src/lineage/dtree_cache.h"
 #include "src/prob/world_table.h"
 #include "src/storage/table.h"
 
@@ -40,10 +41,20 @@ class Catalog {
   ConstraintStore& constraints() { return constraints_; }
   const ConstraintStore& constraints() const { return constraints_; }
 
+  /// The cross-statement d-tree compilation cache. Owned here — next to
+  /// the world table and tables whose version counters key it — so its
+  /// lifetime matches the lineage it caches; the Database facade wires it
+  /// into ExactOptions per statement (ExecOptions::dtree_cache). Behind a
+  /// unique_ptr (the cache holds a mutex) so the Catalog stays movable and
+  /// the cache's address survives a Database move.
+  DTreeCache& dtree_cache() { return *dtree_cache_; }
+  const DTreeCache& dtree_cache() const { return *dtree_cache_; }
+
  private:
   std::map<std::string, TablePtr> tables_;  // key: lower-cased name
   WorldTable world_table_;
   ConstraintStore constraints_;
+  std::unique_ptr<DTreeCache> dtree_cache_ = std::make_unique<DTreeCache>();
 };
 
 }  // namespace maybms

@@ -62,6 +62,15 @@ class Table {
   /// triggers a rebuild next time.
   std::shared_ptr<const ColumnarTable> Columnar() const;
 
+  /// The snapshot version counter: bumped on every (potential) row
+  /// mutation — DML through mutable_rows()/Append, world pruning's row
+  /// rewrites. Monotonic for the table's lifetime. Besides gating the
+  /// columnar snapshot above, this is the storage half of the d-tree
+  /// compilation cache's invalidation lattice (src/lineage/dtree_cache.h):
+  /// a bump rebuilds the snapshot's condition columns, so changed lineage
+  /// reaches the cache as changed content.
+  uint64_t version() const { return version_; }
+
  private:
   std::string name_;
   Schema schema_;

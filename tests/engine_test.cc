@@ -136,6 +136,51 @@ TEST(DatabaseTest, SetStatementAdjustsSessionKnobs) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(DatabaseTest, SetKnobsRejectMalformedNumbersWithPositions) {
+  Database db;
+  // Trailing garbage after a numeric value: rejected by the SET parser
+  // with a position-stamped error naming the statement, never silently
+  // truncated to the leading float.
+  Status trailing = db.Execute("SET fallback_epsilon = 0.5abc");
+  EXPECT_EQ(trailing.code(), StatusCode::kParseError);
+  EXPECT_NE(trailing.ToString().find("SET fallback_epsilon"), std::string::npos)
+      << trailing.ToString();
+  EXPECT_NE(trailing.ToString().find("at 1:27"), std::string::npos)
+      << trailing.ToString();
+
+  // Out-of-range and non-finite values: the knob re-parses the raw token
+  // strictly instead of casting the lexer's saturated double (1e999 →
+  // inf → undefined behavior when cast to an integer).
+  for (const char* bad :
+       {"SET dtree_node_budget = 1e999", "SET dtree_node_budget = 2.5",
+        "SET dtree_node_budget = 99999999999999999999999",
+        "SET num_threads = 1e999", "SET num_threads = 3.7",
+        "SET num_threads = 99999", "SET fallback_epsilon = 1e999",
+        "SET fallback_delta = 1e-999", "SET dtree_cache_budget = 0.5",
+        "SET fallback_epsilon = on", "SET dtree_node_budget = legacy"}) {
+    Status st = db.Execute(bad);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << bad;
+  }
+  // The stamped position survives into the knob errors.
+  Status ranged = db.Execute("SET dtree_node_budget = 1e999");
+  EXPECT_NE(ranged.ToString().find("at 1:25"), std::string::npos)
+      << ranged.ToString();
+
+  // Budgets and flags the strict parser must still accept.
+  EXPECT_TRUE(db.Execute("SET dtree_node_budget = 4000000").ok());
+  EXPECT_EQ(db.options().exec.exact.max_steps, 4000000u);
+  EXPECT_TRUE(db.Execute("SET dtree_cache = off").ok());
+  EXPECT_FALSE(db.options().exec.dtree_cache);
+  EXPECT_TRUE(db.Execute("SET dtree_cache = on").ok());
+  EXPECT_TRUE(db.options().exec.dtree_cache);
+  EXPECT_TRUE(db.Execute("SET dtree_cache_budget = 4096").ok());
+  EXPECT_EQ(db.options().exec.dtree_cache_budget, 4096u);
+  EXPECT_TRUE(db.Execute("SET dtree_cache_budget = 0").ok());
+  EXPECT_TRUE(db.Execute("SET fallback_epsilon = 0.25").ok());
+  EXPECT_TRUE(db.Execute("SET num_threads = 2").ok());
+  EXPECT_TRUE(db.Execute("SET num_threads = 0").ok());
+}
+
 TEST(QueryResultTest, ScalarValueAccessor) {
   Database db;
   auto one = db.Query("select 41 + 1");
