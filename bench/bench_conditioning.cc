@@ -63,8 +63,8 @@ void CountAtoms(const Database& db, const std::string& table, size_t* rows,
   for (const Row& row : t->rows()) *row_atoms += row.condition.NumAtoms();
   *columnar_atoms = 0;
   auto columnar = t->Columnar();
-  for (const Batch& chunk : columnar->chunks) {
-    *columnar_atoms += chunk.conditions.NumAtoms();
+  for (const auto& chunk : columnar->chunks) {
+    *columnar_atoms += chunk->conditions.NumAtoms();
   }
 }
 

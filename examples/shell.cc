@@ -30,12 +30,18 @@ using maybms::Trim;
 namespace {
 
 void ListTables(const Database& db) {
-  std::printf("%-24s %-10s %8s\n", "table", "kind", "rows");
+  std::printf("%-24s %-10s %8s %8s %8s %18s\n", "table", "kind", "rows",
+              "chunks", "dirty", "snapshot reuse");
   for (const std::string& name : db.catalog().TableNames()) {
     auto table = db.catalog().GetTable(name);
     if (!table.ok()) continue;
-    std::printf("%-24s %-10s %8zu\n", name.c_str(),
-                (*table)->uncertain() ? "uncertain" : "t-certain", (*table)->NumRows());
+    const maybms::Table::SnapshotStats ss = (*table)->snapshot_stats();
+    std::printf("%-24s %-10s %8zu %8zu %8zu %8llu/%llu\n", name.c_str(),
+                (*table)->uncertain() ? "uncertain" : "t-certain",
+                (*table)->NumRows(), ss.chunks, ss.dirty_chunks,
+                static_cast<unsigned long long>(ss.chunks_reused),
+                static_cast<unsigned long long>(ss.chunks_reused +
+                                                ss.chunks_rebuilt));
   }
   std::printf("world table: %zu variable(s)\n",
               db.catalog().world_table().NumVariables());
@@ -66,6 +72,16 @@ void ListTables(const Database& db) {
                 static_cast<unsigned long long>(dc.stale_purged));
   }
   std::printf("\n");
+  if (dc.component_hits + dc.component_misses + dc.estimate_hits +
+          dc.estimate_misses >
+      0) {
+    std::printf("  components: %llu hit(s) / %llu miss(es); aconf "
+                "estimates: %llu hit(s) / %llu miss(es)\n",
+                static_cast<unsigned long long>(dc.component_hits),
+                static_cast<unsigned long long>(dc.component_misses),
+                static_cast<unsigned long long>(dc.estimate_hits),
+                static_cast<unsigned long long>(dc.estimate_misses));
+  }
 }
 
 void DescribeTable(const Database& db, const std::string& name) {
@@ -195,7 +211,11 @@ int main(int argc, char** argv) {
       "          SET dtree_cache = on|off (reuse compiled lineage across "
       "statements; default on, stats under \\d),\n"
       "          SET dtree_cache_budget = <bytes> (cache LRU budget; "
-      "0 = unlimited, default 64 MiB)\n");
+      "0 = unlimited, default 64 MiB),\n"
+      "          SET dtree_component_cache = on|off (recompile only "
+      "delta-touched lineage components; default on),\n"
+      "          SET snapshot_chunk_rows = <n> (columnar snapshot chunk "
+      "size; default 1024)\n");
   std::string buffer;
   std::string line;
   std::printf("maybms> ");

@@ -8,6 +8,7 @@
 #include "src/common/str_util.h"
 #include "src/common/thread_pool.h"
 #include "src/conf/karp_luby.h"
+#include "src/lineage/dtree_cache.h"
 
 namespace maybms {
 
@@ -449,6 +450,21 @@ Result<MonteCarloResult> ApproxConfidenceSeeded(CompiledDnf dnf, double epsilon,
                                                 ThreadPool* pool) {
   MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
   size_t num_clauses = dnf.original_clauses().size();
+  // The seeded estimate is a pure function of (content, world version,
+  // seed, ε, δ, sampling knobs), so a cached result IS the value a rerun
+  // would sample. The key must capture the lineage before it is moved into
+  // the estimator below.
+  LineageKey key;
+  const bool use_cache = options.cache != nullptr &&
+                         num_clauses >= DTreeCache::kMinCachedClauses;
+  if (use_cache) {
+    key = BuildEstimateKey(dnf, options.world_version, base_seed, epsilon,
+                           delta, ~0ull, options);
+    MonteCarloResult cached;
+    if (options.cache->LookupEstimate(key, &cached.estimate, &cached.samples)) {
+      return cached;
+    }
+  }
   double single_prob =
       num_clauses == 1 ? dnf.ClauseProb(dnf.original_clauses()[0]) : 0;
   KarpLubyEstimator estimator(std::move(dnf));
@@ -456,6 +472,7 @@ Result<MonteCarloResult> ApproxConfidenceSeeded(CompiledDnf dnf, double epsilon,
     MonteCarloResult result;
     result.estimate = estimator.TrivialProbability();
     result.samples = 0;
+    if (use_cache) options.cache->InsertEstimate(key, result.estimate, 0);
     return result;
   }
   if (num_clauses == 1) {
@@ -469,6 +486,7 @@ Result<MonteCarloResult> ApproxConfidenceSeeded(CompiledDnf dnf, double epsilon,
       MonteCarloResult mc,
       OptimalEstimateSeededT(factory, epsilon, delta, base_seed, options, pool));
   mc.estimate = std::min(1.0, mc.estimate * estimator.TotalWeight());
+  if (use_cache) options.cache->InsertEstimate(key, mc.estimate, mc.samples);
   return mc;
 }
 
@@ -476,11 +494,24 @@ Result<MonteCarloResult> ApproxConjunctionConfidenceSeeded(
     CompiledDnf dnf, size_t num_query_clauses, double epsilon, double delta,
     uint64_t base_seed, const MonteCarloOptions& options, ThreadPool* pool) {
   MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
+  LineageKey key;
+  const bool use_cache =
+      options.cache != nullptr &&
+      dnf.original_clauses().size() >= DTreeCache::kMinCachedClauses;
+  if (use_cache) {
+    key = BuildEstimateKey(dnf, options.world_version, base_seed, epsilon,
+                           delta, num_query_clauses, options);
+    MonteCarloResult cached;
+    if (options.cache->LookupEstimate(key, &cached.estimate, &cached.samples)) {
+      return cached;
+    }
+  }
   KarpLubyEstimator estimator(std::move(dnf), num_query_clauses);
   if (estimator.Trivial()) {
     MonteCarloResult result;
     result.estimate = estimator.TrivialProbability();
     result.samples = 0;
+    if (use_cache) options.cache->InsertEstimate(key, result.estimate, 0);
     return result;
   }
   KlTrialFactory factory{&estimator, options.use_reference_kernel};
@@ -488,6 +519,7 @@ Result<MonteCarloResult> ApproxConjunctionConfidenceSeeded(
       MonteCarloResult mc,
       OptimalEstimateSeededT(factory, epsilon, delta, base_seed, options, pool));
   mc.estimate = std::min(1.0, mc.estimate * estimator.TotalWeight());
+  if (use_cache) options.cache->InsertEstimate(key, mc.estimate, mc.samples);
   return mc;
 }
 

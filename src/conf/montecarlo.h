@@ -22,6 +22,7 @@
 
 namespace maybms {
 
+class DTreeCache;
 class ThreadPool;
 
 /// A randomized experiment producing values in [0, 1].
@@ -60,6 +61,17 @@ struct MonteCarloOptions {
   /// every input — this knob only exists so parity tests and the bench
   /// self-check can pin that equivalence (and measure the kernel speedup).
   bool use_reference_kernel = false;
+  /// Cross-statement estimate cache (src/lineage/dtree_cache.h kind-2
+  /// entries), or null to sample fresh every call. Non-owning: the
+  /// Database wires the catalog's cache in per statement alongside
+  /// ExactOptions::cache. Consulted only by the SEEDED entry points below
+  /// — their result is a pure function of (lineage content, world version,
+  /// base seed, ε, δ, sampling knobs), so a hit returns exactly the value
+  /// a rerun would sample. The legacy session-RNG paths are never cached.
+  DTreeCache* cache = nullptr;
+  /// World-table version the lineage's probabilities were baked from (the
+  /// probability axis of the estimate key; see dtree_cache.h).
+  uint64_t world_version = 0;
 };
 
 /// Counter-based substream seeding (SplitMix64 finalizer over
@@ -118,7 +130,10 @@ Result<MonteCarloResult> ApproxConjunctionConfidence(
 // the final estimate are a pure function of (base_seed, epsilon, delta,
 // options) — bit-identical whether computed serially (pool == nullptr) or
 // on a pool of any size. The engines switch aconf() to this path whenever
-// ExecOptions::num_threads > 1, drawing base_seed from the session RNG.
+// ExecOptions::num_threads > 1, deriving base_seed from the lineage
+// content (LineageSeed in src/exec/conf_fallback.h) so repeated aconf
+// statements over unchanged lineage are repeatable — and cacheable
+// (MonteCarloOptions::cache).
 
 /// DKLR AA over a deterministic batched trial stream. `make_trial` is
 /// invoked once per batch task; each returned TrialFn must be independent

@@ -136,11 +136,19 @@ Result<QueryResult> Database::RunSet(const SetStmt& set) {
         uint64_t threads,
         SetUint(set, "a non-negative thread count (0 = hardware)", 4096));
     exec.num_threads = static_cast<unsigned>(threads);
+  } else if (set.name == "dtree_component_cache") {
+    MAYBMS_ASSIGN_OR_RETURN(exec.exact.component_cache, SetBool(set));
+  } else if (set.name == "snapshot_chunk_rows") {
+    MAYBMS_ASSIGN_OR_RETURN(
+        uint64_t rows, SetUint(set, "a positive row count", ~0ull / 2));
+    if (rows == 0) return KnobError(set, "a positive row count");
+    exec.snapshot_chunk_rows = static_cast<size_t>(rows);
   } else {
     return Status::InvalidArgument(StringFormat(
         "unknown setting '%s' (supported: dtree_node_budget, dtree_cache, "
-        "dtree_cache_budget, conf_fallback, fallback_epsilon, "
-        "fallback_delta, exact_solver, engine, num_threads)",
+        "dtree_cache_budget, dtree_component_cache, snapshot_chunk_rows, "
+        "conf_fallback, fallback_epsilon, fallback_delta, exact_solver, "
+        "engine, num_threads)",
         set.name.c_str()));
   }
   return QueryResult(TableData{},
@@ -163,6 +171,12 @@ Result<QueryResult> Database::RunStatement(const Statement& stmt) {
   catalog_.dtree_cache().SetBudgetBytes(options_.exec.dtree_cache_budget);
   options_.exec.exact.cache =
       options_.exec.dtree_cache ? &catalog_.dtree_cache() : nullptr;
+  // The seeded aconf estimate cache shares the same store and toggle; its
+  // keys carry the world version the statement observes.
+  options_.exec.montecarlo.cache = options_.exec.exact.cache;
+  options_.exec.montecarlo.world_version = catalog_.world_table().version();
+  // Chunked-snapshot layout knob: applied to existing and future tables.
+  catalog_.SetSnapshotChunkRows(options_.exec.snapshot_chunk_rows);
   ExecContext ctx;
   ctx.catalog = &catalog_;
   ctx.rng = &rng_;

@@ -105,11 +105,13 @@ Result<std::vector<std::vector<Value>>> ComputeGroupAggregates(
           MAYBMS_ASSIGN_OR_RETURN(double p, GroupConfidence(dnf, ctx));
           values[a] = Value::Double(p);
         } else if (ctx->pool != nullptr) {
-          // Parallel sampling: draw ONE base seed from the session stream
-          // (keeping it advancing deterministically, and in the same order
-          // the batch engine draws it), then sample on counter-based
-          // substreams — identical estimates at any thread count >= 2.
-          uint64_t base_seed = ctx->rng->Next();
+          // Parallel sampling: derive the base seed from the group's
+          // lineage content (same scheme as the conf() fallback and the
+          // batch engine), then sample on counter-based substreams —
+          // identical estimates at any thread count >= 2, across engines,
+          // and across repeated statements over unchanged lineage (which
+          // is what makes the estimate cacheable).
+          uint64_t base_seed = LineageSeed(dnf);
           MonteCarloResult mc;
           if (cs.active()) {
             MAYBMS_ASSIGN_OR_RETURN(

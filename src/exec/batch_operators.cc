@@ -227,7 +227,7 @@ class ScanOp : public BatchOperator {
 
   Result<bool> Next(Batch* out) override {
     if (chunk_ >= columnar_->chunks.size()) return false;
-    const Batch& src = columnar_->chunks[chunk_++];
+    const Batch& src = *columnar_->chunks[chunk_++];
     out->columns = src.columns;  // shared; downstream operators never mutate
     out->conditions = src.conditions;
     out->num_rows = src.num_rows;
@@ -1415,41 +1415,22 @@ class AggregateOp : public MaterializedOperator {
       }
     }
 
-    // aconf() in the parallel engine samples on counter-based substreams:
-    // one base seed per (group, aconf aggregate), drawn from the session
-    // RNG here — in the exact order the serial engine would consume it —
-    // before the groups fan out.
-    size_t aconf_per_group = 0;
-    for (const BoundAggregate& agg : node_.aggregates) {
-      if (agg.kind == AggKind::kAconf) ++aconf_per_group;
-    }
-    std::vector<uint64_t> aconf_seeds;
-    if (pool != nullptr && aconf_per_group > 0) {
-      aconf_seeds.reserve(groups.size() * aconf_per_group);
-      for (size_t g = 0; g < groups.size(); ++g) {
-        for (size_t s = 0; s < aconf_per_group; ++s) {
-          aconf_seeds.push_back(ctx_->rng->Next());
-        }
-      }
-    }
-
     // Per-group aggregate computation: the conf()/aconf() solvers dominate
-    // here, and groups are independent — fan them out.
+    // here, and groups are independent — fan them out. Parallel aconf()
+    // derives each group's base seed from its lineage content (no session
+    // RNG involvement), so groups need no pre-drawn seed order.
     std::vector<std::vector<std::vector<Value>>> group_rows(groups.size());
     if (pool == nullptr) {
       for (size_t g = 0; g < groups.size(); ++g) {
         MAYBMS_ASSIGN_OR_RETURN(
             group_rows[g], GroupAggregates(in, groups[g], arg_value, arg2_value,
-                                           cond_probs, nullptr));
+                                           cond_probs, /*seeded_aconf=*/false));
       }
     } else {
       MAYBMS_RETURN_NOT_OK(pool->ParallelForStatus(0, groups.size(), [&](size_t g) {
-        const uint64_t* seeds = aconf_per_group > 0
-                                    ? aconf_seeds.data() + g * aconf_per_group
-                                    : nullptr;
         MAYBMS_ASSIGN_OR_RETURN(
             group_rows[g], GroupAggregates(in, groups[g], arg_value, arg2_value,
-                                           cond_probs, seeds));
+                                           cond_probs, /*seeded_aconf=*/true));
         return Status::OK();
       }));
     }
@@ -1500,18 +1481,18 @@ class AggregateOp : public MaterializedOperator {
     }
   };
 
-  // `aconf_seeds` selects the sampling mode: nullptr = serial legacy
-  // (consume the session RNG in place); non-null = one pre-drawn base seed
-  // per aconf aggregate, sampled on substreams (thread-safe, thread-count
-  // independent). Must be non-null whenever this runs off the main thread.
+  // `seeded_aconf` selects the sampling mode: false = serial legacy
+  // (consume the session RNG in place); true = base seed derived from the
+  // group's lineage content (LineageSeed), sampled on substreams
+  // (thread-safe, thread-count independent, estimate-cacheable). Must be
+  // true whenever this runs off the main thread.
   template <typename ArgFn, typename Arg2Fn>
   Result<std::vector<std::vector<Value>>> GroupAggregates(
       const Drained& in, const std::vector<uint32_t>& members, ArgFn&& arg_value,
       Arg2Fn&& arg2_value, const std::vector<double>& cond_probs,
-      const uint64_t* aconf_seeds) {
+      bool seeded_aconf) {
     const std::vector<BoundAggregate>& aggs = node_.aggregates;
     const WorldTable& wt = ctx_->worlds();
-    size_t aconf_slot = 0;
 
     std::vector<Value> values(aggs.size(), Value::Null());
     int argmax_index = -1;
@@ -1572,12 +1553,12 @@ class AggregateOp : public MaterializedOperator {
             if (agg.kind == AggKind::kConf) {
               MAYBMS_ASSIGN_OR_RETURN(double p, GroupConfidence(dnf, ctx_));
               values[a] = Value::Double(p);
-            } else if (aconf_seeds != nullptr) {
+            } else if (seeded_aconf) {
               MAYBMS_ASSIGN_OR_RETURN(
                   MonteCarloResult mc,
                   PosteriorApproxConfidenceSeeded(
                       dnf, cs, wt, agg.epsilon, agg.delta,
-                      aconf_seeds[aconf_slot++], ctx_->options->montecarlo,
+                      LineageSeed(dnf), ctx_->options->montecarlo,
                       ctx_->options->exact, ctx_->pool));
               values[a] = Value::Double(mc.estimate);
             } else {
@@ -1603,11 +1584,12 @@ class AggregateOp : public MaterializedOperator {
             break;
           }
           CompiledDnf lineage(in.conds, members.data(), members.size(), wt);
-          if (aconf_seeds != nullptr) {
+          if (seeded_aconf) {
+            const uint64_t base_seed = LineageSeed(lineage);
             MAYBMS_ASSIGN_OR_RETURN(
                 MonteCarloResult mc,
                 ApproxConfidenceSeeded(std::move(lineage), agg.epsilon,
-                                       agg.delta, aconf_seeds[aconf_slot++],
+                                       agg.delta, base_seed,
                                        ctx_->options->montecarlo, ctx_->pool));
             values[a] = Value::Double(mc.estimate);
           } else {

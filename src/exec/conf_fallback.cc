@@ -22,9 +22,25 @@ uint64_t AccumAtom(uint64_t h, const Atom& a) {
 
 uint64_t AccumClauseEnd(uint64_t h) { return (h ^ kClauseSep) * kFnvPrime; }
 
+bool WantsFallback(const Result<double>& exact, const ExecContext* ctx) {
+  return !exact.ok() && ctx->options->conf_fallback &&
+         exact.status().code() == StatusCode::kOutOfRange;
+}
+
+Result<double> Fallback(Result<MonteCarloResult> mc, const Status& exact_error,
+                        ExecContext* ctx) {
+  if (!mc.ok()) return exact_error;  // surface the original budget error
+  if (ctx->conf_fallbacks != nullptr) {
+    ctx->conf_fallbacks->fetch_add(1, std::memory_order_relaxed);
+  }
+  return mc->estimate;
+}
+
+}  // namespace
+
 /// Content hash of the group lineage over GLOBAL variable ids. Both
 /// engines feed identical clause lists for the same group (pinned by the
-/// parity suites), so the fallback seed — and with it the estimate — is
+/// parity suites), so the seed — and with it the estimate — is
 /// engine-independent.
 uint64_t LineageSeed(const Dnf& dnf) {
   uint64_t h = kFnvOffset;
@@ -54,22 +70,6 @@ uint64_t LineageSeed(const CompiledDnf& dnf) {
   }
   return Mix64(h);
 }
-
-bool WantsFallback(const Result<double>& exact, const ExecContext* ctx) {
-  return !exact.ok() && ctx->options->conf_fallback &&
-         exact.status().code() == StatusCode::kOutOfRange;
-}
-
-Result<double> Fallback(Result<MonteCarloResult> mc, const Status& exact_error,
-                        ExecContext* ctx) {
-  if (!mc.ok()) return exact_error;  // surface the original budget error
-  if (ctx->conf_fallbacks != nullptr) {
-    ctx->conf_fallbacks->fetch_add(1, std::memory_order_relaxed);
-  }
-  return mc->estimate;
-}
-
-}  // namespace
 
 Result<double> GroupConfidence(const Dnf& dnf, ExecContext* ctx) {
   const ConstraintStore& cs = ctx->constraints();

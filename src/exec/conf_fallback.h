@@ -22,6 +22,21 @@
 
 namespace maybms {
 
+class CompiledDnf;
+
+/// Content-derived seed for seeded aconf/fallback estimation: an FNV hash
+/// over the lineage's clauses (global-variable atoms, clause-end
+/// separators), Mix64-finalized. Both engines feed identical clause lists
+/// for the same group (pinned by the parity suites), so the seed — and
+/// with it the estimate — is engine-, thread-count-, and
+/// session-independent, and repeated statements over unchanged lineage
+/// reuse their cached estimates (MonteCarloOptions::cache).
+uint64_t LineageSeed(const Dnf& dnf);
+/// Same hash over compiled lineage: the original clause list in input
+/// order with local atoms mapped back to their GLOBAL ids — exactly the
+/// byte sequence the Dnf overload hashes.
+uint64_t LineageSeed(const CompiledDnf& dnf);
+
 /// Exact (posterior-aware) group confidence with the optional fallback —
 /// the row engine's and the batch engine's conditioned conf() kernel.
 Result<double> GroupConfidence(const Dnf& dnf, ExecContext* ctx);

@@ -63,6 +63,12 @@ struct ExecOptions {
   /// Resident-byte budget for that cache (LRU eviction past it;
   /// 0 = unlimited). `SET dtree_cache_budget = <bytes>`.
   size_t dtree_cache_budget = 64ull << 20;
+  /// Rows per columnar-snapshot chunk (src/storage/table.h): INSERT
+  /// rebuilds only the tail chunk, UPDATE/DELETE only touched chunks.
+  /// Applied to every table (existing and future) per statement by the
+  /// Database; `SET snapshot_chunk_rows = <rows>` (min 1). Changing it
+  /// forces a one-time full relayout of each table's next snapshot.
+  size_t snapshot_chunk_rows = 1024;
 };
 
 /// Everything operators need: the catalog (DML / create-table-as), the

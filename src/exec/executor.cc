@@ -72,18 +72,23 @@ Result<StatementResult> ExecuteUpdate(const BoundStatement& stmt, ExecContext* c
   StatementResult result;
   // "Updates are just modifications of these tables that can be expressed
   // using the standard SQL update operations" (paper §2.3): data columns
-  // change, conditions are untouched.
-  for (Row& row : table->mutable_rows()) {
+  // change, conditions are untouched. Matching goes through the const row
+  // view and only matched rows are acquired mutably, so an UPDATE touching
+  // zero rows leaves the table version — and every cache keyed on it —
+  // intact, and a real UPDATE dirties only the chunks it lands in.
+  const std::vector<Row>& rows = table->rows();
+  for (size_t i = 0; i < rows.size(); ++i) {
     if (stmt.dml_where) {
-      MAYBMS_ASSIGN_OR_RETURN(Value v, stmt.dml_where->Eval(row.values));
+      MAYBMS_ASSIGN_OR_RETURN(Value v, stmt.dml_where->Eval(rows[i].values));
       if (!IsTruthy(v)) continue;
     }
     // Evaluate all assignments against the pre-update row.
     std::vector<std::pair<size_t, Value>> new_values;
     for (const auto& [idx, expr] : stmt.update_sets) {
-      MAYBMS_ASSIGN_OR_RETURN(Value v, expr->Eval(row.values));
+      MAYBMS_ASSIGN_OR_RETURN(Value v, expr->Eval(rows[i].values));
       new_values.emplace_back(idx, std::move(v));
     }
+    Row& row = table->MutableRow(i);
     for (auto& [idx, v] : new_values) row.values[idx] = std::move(v);
     ++result.affected_rows;
   }
@@ -94,22 +99,20 @@ Result<StatementResult> ExecuteUpdate(const BoundStatement& stmt, ExecContext* c
 Result<StatementResult> ExecuteDelete(const BoundStatement& stmt, ExecContext* ctx) {
   MAYBMS_ASSIGN_OR_RETURN(TablePtr table, ctx->catalog->GetTable(stmt.table_name));
   StatementResult result;
-  std::vector<Row>& rows = table->mutable_rows();
-  std::vector<Row> kept;
-  kept.reserve(rows.size());
-  for (Row& row : rows) {
-    bool remove = true;
-    if (stmt.dml_where) {
-      MAYBMS_ASSIGN_OR_RETURN(Value v, stmt.dml_where->Eval(row.values));
-      remove = IsTruthy(v);
-    }
-    if (remove) {
-      ++result.affected_rows;
-    } else {
-      kept.push_back(std::move(row));
+  // Two-phase: evaluate the predicate over the const row view, then let
+  // the table compact in place. A DELETE matching nothing never acquires
+  // mutable access, so the table version (and the caches keyed on it)
+  // survive; a real DELETE dirties only the chunks from the first erased
+  // row onward.
+  const std::vector<Row>& rows = table->rows();
+  std::vector<uint8_t> remove(rows.size(), stmt.dml_where ? 0 : 1);
+  if (stmt.dml_where) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      MAYBMS_ASSIGN_OR_RETURN(Value v, stmt.dml_where->Eval(rows[i].values));
+      remove[i] = IsTruthy(v) ? 1 : 0;
     }
   }
-  rows = std::move(kept);
+  result.affected_rows = table->EraseMarked(remove);
   result.message = StringFormat("DELETE %zu", result.affected_rows);
   return result;
 }

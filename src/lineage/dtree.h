@@ -98,6 +98,14 @@ struct ExactOptions {
   /// ExactStats sink is attached (cached answers have no step counts, and
   /// ablation measurements must stay honest).
   DTreeCache* cache = nullptr;
+  /// Component-level reuse (SET dtree_component_cache): on a
+  /// whole-statement cache miss, partition the root set into connected
+  /// components, answer untouched components from their cached kind-1
+  /// entries, and compile only new/changed components. The per-component
+  /// values (and their fold) are provably bit-identical to a cold whole
+  /// compile, so this flag never changes results — only which work is
+  /// skipped. Ignored unless `cache` is wired.
+  bool component_cache = true;
 };
 
 /// Counters describing the shape of the decomposition tree that was built.

@@ -11,6 +11,7 @@ Result<TablePtr> Catalog::CreateTable(const std::string& name, Schema schema,
     return Status::AlreadyExists(StringFormat("table '%s' already exists", name.c_str()));
   }
   auto table = std::make_shared<Table>(name, std::move(schema), uncertain);
+  table->SetChunkRows(snapshot_chunk_rows_);
   tables_[key] = table;
   return table;
 }
@@ -21,6 +22,7 @@ Status Catalog::RegisterTable(TablePtr table) {
     return Status::AlreadyExists(
         StringFormat("table '%s' already exists", table->name().c_str()));
   }
+  table->SetChunkRows(snapshot_chunk_rows_);
   tables_[key] = std::move(table);
   return Status::OK();
 }
@@ -44,6 +46,13 @@ Status Catalog::DropTable(const std::string& name) {
   }
   tables_.erase(it);
   return Status::OK();
+}
+
+void Catalog::SetSnapshotChunkRows(size_t rows) {
+  snapshot_chunk_rows_ = rows == 0 ? Batch::kDefaultCapacity : rows;
+  for (const auto& [key, table] : tables_) {
+    table->SetChunkRows(snapshot_chunk_rows_);
+  }
 }
 
 std::vector<std::string> Catalog::TableNames() const {

@@ -34,6 +34,13 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  /// Applies the snapshot chunk layout (SET snapshot_chunk_rows) to every
+  /// registered table and remembers it for tables created/registered
+  /// later. No-op per table when the layout is unchanged (Table::
+  /// SetChunkRows), so calling this every statement is free.
+  void SetSnapshotChunkRows(size_t rows);
+  size_t snapshot_chunk_rows() const { return snapshot_chunk_rows_; }
+
   WorldTable& world_table() { return world_table_; }
   const WorldTable& world_table() const { return world_table_; }
 
@@ -52,6 +59,7 @@ class Catalog {
 
  private:
   std::map<std::string, TablePtr> tables_;  // key: lower-cased name
+  size_t snapshot_chunk_rows_ = Batch::kDefaultCapacity;
   WorldTable world_table_;
   ConstraintStore constraints_;
   std::unique_ptr<DTreeCache> dtree_cache_ = std::make_unique<DTreeCache>();

@@ -5,17 +5,26 @@
 namespace maybms {
 
 std::shared_ptr<const ColumnarTable> ColumnarTable::Build(
-    const Schema& schema, const std::vector<Row>& rows) {
+    const Schema& schema, const std::vector<Row>& rows, size_t chunk_rows) {
+  if (chunk_rows == 0) chunk_rows = Batch::kDefaultCapacity;
   auto out = std::make_shared<ColumnarTable>();
   out->num_rows = rows.size();
-  size_t chunk_count =
-      (rows.size() + Batch::kDefaultCapacity - 1) / Batch::kDefaultCapacity;
+  out->chunk_rows = chunk_rows;
+  size_t chunk_count = (rows.size() + chunk_rows - 1) / chunk_rows;
   out->chunks.reserve(chunk_count);
-  for (size_t begin = 0; begin < rows.size(); begin += Batch::kDefaultCapacity) {
-    size_t n = std::min(Batch::kDefaultCapacity, rows.size() - begin);
-    out->chunks.push_back(Batch::FromRows(schema, rows.data() + begin, n));
+  for (size_t chunk = 0; chunk < chunk_count; ++chunk) {
+    out->chunks.push_back(BuildChunk(schema, rows, chunk, chunk_rows));
   }
   return out;
+}
+
+std::shared_ptr<const Batch> ColumnarTable::BuildChunk(
+    const Schema& schema, const std::vector<Row>& rows, size_t chunk,
+    size_t chunk_rows) {
+  size_t begin = chunk * chunk_rows;
+  size_t n = std::min(chunk_rows, rows.size() - begin);
+  return std::make_shared<const Batch>(
+      Batch::FromRows(schema, rows.data() + begin, n));
 }
 
 }  // namespace maybms

@@ -3,7 +3,10 @@
 // shares their column vectors downstream instead of copying Row objects.
 //
 // The snapshot is immutable; Table caches one per version and rebuilds it
-// lazily after mutations (see Table::Columnar).
+// lazily after mutations (see Table::Columnar). Chunks are held behind
+// shared_ptr so an incremental rebuild can adopt every chunk the mutation
+// did not touch from the previous snapshot in O(1) — only dirty chunks go
+// through Batch::FromRows again.
 #pragma once
 
 #include <memory>
@@ -16,11 +19,20 @@
 namespace maybms {
 
 struct ColumnarTable {
-  std::vector<Batch> chunks;  // each at most Batch::kDefaultCapacity rows
+  /// Chunk i covers rows [i*chunk_rows, min((i+1)*chunk_rows, num_rows)).
+  std::vector<std::shared_ptr<const Batch>> chunks;
   size_t num_rows = 0;
+  size_t chunk_rows = Batch::kDefaultCapacity;
 
-  static std::shared_ptr<const ColumnarTable> Build(const Schema& schema,
-                                                    const std::vector<Row>& rows);
+  static std::shared_ptr<const ColumnarTable> Build(
+      const Schema& schema, const std::vector<Row>& rows,
+      size_t chunk_rows = Batch::kDefaultCapacity);
+
+  /// Columnarizes one chunk's row slice (incremental rebuild helper).
+  static std::shared_ptr<const Batch> BuildChunk(const Schema& schema,
+                                                 const std::vector<Row>& rows,
+                                                 size_t chunk,
+                                                 size_t chunk_rows);
 };
 
 }  // namespace maybms

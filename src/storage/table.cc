@@ -1,9 +1,17 @@
 #include "src/storage/table.h"
 
+#include <algorithm>
+
 #include "src/common/str_util.h"
 #include "src/storage/columnar.h"
 
 namespace maybms {
+
+namespace {
+/// Bound on the (version, row count) history: enough for any realistic
+/// delta window while keeping per-append bookkeeping O(1) amortized.
+constexpr size_t kSizeLogCap = 128;
+}  // namespace
 
 Status Table::Append(Row row) {
   if (row.values.size() != schema_.NumColumns()) {
@@ -34,17 +42,176 @@ Status Table::Append(Row row) {
     return Status::InvalidArgument(StringFormat(
         "conditioned row appended to t-certain table '%s'", name_.c_str()));
   }
-  ++version_;
-  rows_.push_back(std::move(row));
+  AppendUnchecked(std::move(row));
   return Status::OK();
 }
 
-std::shared_ptr<const ColumnarTable> Table::Columnar() const {
-  if (columnar_ == nullptr || columnar_version_ != version_) {
-    columnar_ = ColumnarTable::Build(schema_, rows_);
-    columnar_version_ = version_;
+Row& Table::MutableRow(size_t i) {
+  Reconcile();
+  ++version_;
+  TouchChunk(i / chunk_rows_);
+  return rows_[i];
+}
+
+size_t Table::EraseMarked(const std::vector<uint8_t>& remove) {
+  Reconcile();
+  size_t n = rows_.size();
+  size_t first = n;
+  size_t bound = std::min(n, remove.size());
+  for (size_t i = 0; i < bound; ++i) {
+    if (remove[i]) {
+      first = i;
+      break;
+    }
   }
+  if (first == n) return 0;  // no match: leave the table (and version) alone
+  ++version_;
+  size_t w = first;
+  for (size_t r = first; r < n; ++r) {
+    if (r < remove.size() && remove[r]) continue;
+    rows_[w++] = std::move(rows_[r]);
+  }
+  rows_.resize(w);
+  size_t new_chunks = NumChunks();
+  chunk_versions_.resize(new_chunks, version_);
+  for (size_t c = first / chunk_rows_; c < new_chunks; ++c) {
+    chunk_versions_[c] = version_;
+  }
+  LogSize();
+  return n - w;
+}
+
+void Table::SetChunkRows(size_t rows) {
+  size_t cr = rows == 0 ? Batch::kDefaultCapacity : rows;
+  if (cr == chunk_rows_) return;
+  Reconcile();
+  chunk_rows_ = cr;
+  chunk_versions_.assign(NumChunks(), version_);
+  columnar_version_ = ~0ull;  // force a full rebuild under the new layout
+}
+
+TableDelta Table::DeltaSince(uint64_t since) const {
+  Reconcile();
+  TableDelta d;
+  d.since_version = since;
+  d.version = version_;
+  if (since >= version_) {
+    d.precise = true;
+    d.appended_begin = d.appended_end = rows_.size();
+    return d;
+  }
+  size_t nchunks = NumChunks();
+  for (size_t c = 0; c < nchunks && c < chunk_versions_.size(); ++c) {
+    if (chunk_versions_[c] > since) d.dirty_chunks.push_back(static_cast<uint32_t>(c));
+  }
+  // Row count at `since`: the last size-log point at or before it. The
+  // implicit base is (version 0, 0 rows) — valid only while the log has
+  // never been trimmed.
+  bool have = !size_log_trimmed_;
+  size_t rows_at = 0;
+  auto it = std::upper_bound(
+      size_log_.begin(), size_log_.end(), since,
+      [](uint64_t v, const std::pair<uint64_t, uint64_t>& e) { return v < e.first; });
+  if (it != size_log_.begin()) {
+    have = true;
+    rows_at = std::prev(it)->second;
+  }
+  if (!have) {
+    // Delta window aged out: degrade to "everything may have changed".
+    d.precise = false;
+    d.appended_begin = d.appended_end = rows_.size();
+    d.dirty_chunks.clear();
+    for (size_t c = 0; c < nchunks; ++c) {
+      d.dirty_chunks.push_back(static_cast<uint32_t>(c));
+    }
+    return d;
+  }
+  d.precise = true;
+  d.appended_begin = std::min(rows_at, rows_.size());
+  d.appended_end = rows_.size();
+  return d;
+}
+
+std::shared_ptr<const ColumnarTable> Table::Columnar() const {
+  Reconcile();
+  if (columnar_ != nullptr && columnar_version_ == version_) return columnar_;
+  auto out = std::make_shared<ColumnarTable>();
+  out->num_rows = rows_.size();
+  out->chunk_rows = chunk_rows_;
+  size_t nchunks = NumChunks();
+  out->chunks.reserve(nchunks);
+  // A chunk may be adopted from the previous snapshot iff it was built
+  // under the same layout from the same per-chunk version: unchanged
+  // version means no mutation touched its row range (appends land in the
+  // tail chunk and bump it; shifts from erase dirty every chunk behind the
+  // erase point), so both content and extent are identical.
+  const bool reuse_ok = columnar_ != nullptr && columnar_chunk_rows_ == chunk_rows_;
+  for (size_t c = 0; c < nchunks; ++c) {
+    if (reuse_ok && c < columnar_->chunks.size() &&
+        c < columnar_chunk_versions_.size() && c < chunk_versions_.size() &&
+        columnar_chunk_versions_[c] == chunk_versions_[c]) {
+      out->chunks.push_back(columnar_->chunks[c]);
+      ++chunks_reused_;
+    } else {
+      out->chunks.push_back(ColumnarTable::BuildChunk(schema_, rows_, c, chunk_rows_));
+      ++chunks_rebuilt_;
+    }
+  }
+  ++snapshot_rebuilds_;
+  columnar_chunk_rows_ = chunk_rows_;
+  columnar_chunk_versions_ = chunk_versions_;
+  columnar_version_ = version_;
+  columnar_ = out;
   return columnar_;
+}
+
+Table::SnapshotStats Table::snapshot_stats() const {
+  Reconcile();
+  SnapshotStats s;
+  s.chunks = NumChunks();
+  s.rebuilds = snapshot_rebuilds_;
+  s.chunks_rebuilt = chunks_rebuilt_;
+  s.chunks_reused = chunks_reused_;
+  if (columnar_ != nullptr && columnar_version_ == version_) return s;
+  if (columnar_ != nullptr && columnar_chunk_rows_ == chunk_rows_) {
+    for (size_t c = 0; c < s.chunks; ++c) {
+      if (c >= columnar_chunk_versions_.size() || c >= chunk_versions_.size() ||
+          columnar_chunk_versions_[c] != chunk_versions_[c]) {
+        ++s.dirty_chunks;
+      }
+    }
+  } else {
+    s.dirty_chunks = s.chunks;
+  }
+  return s;
+}
+
+void Table::Reconcile() const {
+  if (pending_full_) {
+    // A mutable_rows() grant may have resized or rewritten anything; fold
+    // it in now that the final row count is known.
+    chunk_versions_.assign(NumChunks(), version_);
+    pending_full_ = false;
+    LogSize();
+  } else if (chunk_versions_.size() != NumChunks()) {
+    chunk_versions_.resize(NumChunks(), version_);
+  }
+}
+
+void Table::TouchChunk(size_t chunk) {
+  if (chunk >= chunk_versions_.size()) chunk_versions_.resize(chunk + 1, version_);
+  chunk_versions_[chunk] = version_;
+}
+
+void Table::LogSize() const {
+  size_t current = rows_.size();
+  if (size_log_.empty() ? current == 0 : size_log_.back().second == current) return;
+  size_log_.emplace_back(version_, current);
+  if (size_log_.size() > kSizeLogCap) {
+    size_log_.erase(size_log_.begin(),
+                    size_log_.begin() + (size_log_.size() - kSizeLogCap));
+    size_log_trimmed_ = true;
+  }
 }
 
 }  // namespace maybms

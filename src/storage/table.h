@@ -1,14 +1,22 @@
 // In-memory heap tables. Plays the role of PostgreSQL's storage layer in
 // the original system: U-relations are stored as ordinary relations whose
 // rows additionally carry condition columns (paper §2.1, §2.4).
+//
+// Mutation tracking is chunk-granular: rows are snapshotted in fixed-size
+// columnar chunks (src/storage/columnar.h) and every mutation records
+// which chunks it touched, so Columnar() rebuilds only dirty chunks and
+// DeltaSince() can describe a mutation window as "these rows were
+// appended, these chunks were dirtied" for incremental consumers.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/types/batch.h"
 #include "src/types/row.h"
 #include "src/types/schema.h"
 
@@ -17,6 +25,24 @@ struct ColumnarTable;
 }
 
 namespace maybms {
+
+/// What changed in a table since some earlier version: the appended row
+/// range plus the set of chunks whose contents were touched by any
+/// non-append mutation (or by appends extending a partial tail chunk).
+/// Produced by Table::DeltaSince.
+struct TableDelta {
+  uint64_t since_version = 0;  ///< the version the delta is relative to
+  uint64_t version = 0;        ///< the table version the delta leads to
+  /// True when the appended row range is exact. The table keeps a bounded
+  /// log of (version, row count) points; once the `since` version ages out
+  /// of the log the delta degrades to "everything may have changed"
+  /// (appended range empty, every chunk dirty).
+  bool precise = false;
+  size_t appended_begin = 0;  ///< first appended row index (if precise)
+  size_t appended_end = 0;    ///< one past the last appended row index
+  /// Chunks whose version advanced past `since` (ascending order).
+  std::vector<uint32_t> dirty_chunks;
+};
 
 /// A named, schema-ful collection of rows. `uncertain()` mirrors the
 /// MayBMS system-catalog flag distinguishing U-relations from standard
@@ -33,14 +59,30 @@ class Table {
 
   size_t NumRows() const { return rows_.size(); }
   const std::vector<Row>& rows() const { return rows_; }
-  /// Mutable row access invalidates the columnar snapshot at ACQUISITION
-  /// time. Contract: do not mutate through the returned reference after a
-  /// later Columnar() call — re-acquire mutable_rows() instead — or the
-  /// cached snapshot goes stale.
+
+  /// Whole-vector mutable access: invalidates the columnar snapshot at
+  /// ACQUISITION time and marks every chunk dirty (the caller may resize
+  /// or rewrite arbitrarily — bulk loads, world pruning's row rewrites).
+  /// Contract: do not mutate through the returned reference after a later
+  /// Columnar() call — re-acquire mutable_rows() instead — or the cached
+  /// snapshot goes stale. Prefer MutableRow/EraseMarked for targeted DML:
+  /// they dirty only the touched chunks.
   std::vector<Row>& mutable_rows() {
     ++version_;
+    pending_full_ = true;
     return rows_;
   }
+
+  /// Mutable access to one row: bumps the version and dirties only the
+  /// chunk containing it (in-place UPDATE).
+  Row& MutableRow(size_t i);
+
+  /// Removes every row whose mask entry is non-zero (mask is parallel to
+  /// rows()). Returns the number of rows erased; when it is 0 the table —
+  /// including its version — is left completely untouched, so a DELETE
+  /// matching nothing keeps snapshots and lineage caches warm. Dirties
+  /// chunks from the first erased row onward (everything after it shifts).
+  size_t EraseMarked(const std::vector<uint8_t>& remove);
 
   /// Appends a row after checking arity and value/declared-type agreement
   /// (nulls are allowed in any column; ints widen to double columns).
@@ -48,23 +90,59 @@ class Table {
 
   /// Appends without checks (bulk paths that validated already).
   void AppendUnchecked(Row row) {
+    Reconcile();
     ++version_;
+    TouchChunk(rows_.size() / chunk_rows_);
     rows_.push_back(std::move(row));
+    LogSize();
   }
 
   void Clear() {
+    Reconcile();
+    if (rows_.empty()) return;  // nothing to clear: keep caches warm
     ++version_;
     rows_.clear();
+    chunk_versions_.clear();
+    LogSize();
   }
 
+  /// Rows per snapshot chunk (SET snapshot_chunk_rows). Relayouting does
+  /// not bump version() — contents are unchanged — but the next Columnar()
+  /// call rebuilds every chunk under the new layout.
+  size_t chunk_rows() const { return chunk_rows_; }
+  void SetChunkRows(size_t rows);
+
+  size_t NumChunks() const {
+    return (rows_.size() + chunk_rows_ - 1) / chunk_rows_;
+  }
+
+  /// Describes the mutations between `since` (a value version() returned
+  /// earlier) and the current version. See TableDelta.
+  TableDelta DeltaSince(uint64_t since) const;
+
   /// Columnar snapshot of the current rows, cached per table version. The
-  /// batch executor scans these chunks; a mutation after the call simply
-  /// triggers a rebuild next time.
+  /// batch executor scans these chunks; a mutation after the call triggers
+  /// an incremental rebuild next time — chunks whose per-chunk version is
+  /// unchanged are adopted from the previous snapshot instead of being
+  /// re-columnarized.
   std::shared_ptr<const ColumnarTable> Columnar() const;
 
-  /// The snapshot version counter: bumped on every (potential) row
-  /// mutation — DML through mutable_rows()/Append, world pruning's row
-  /// rewrites. Monotonic for the table's lifetime. Besides gating the
+  /// Observability for shell \d: chunk layout plus lifetime rebuild/reuse
+  /// counters of the incremental snapshot path.
+  struct SnapshotStats {
+    size_t chunks = 0;        ///< chunk count at the current layout
+    size_t dirty_chunks = 0;  ///< chunks stale w.r.t. the cached snapshot
+    uint64_t rebuilds = 0;        ///< snapshot (re)builds performed
+    uint64_t chunks_rebuilt = 0;  ///< chunks re-columnarized across rebuilds
+    uint64_t chunks_reused = 0;   ///< chunks adopted from a prior snapshot
+  };
+  SnapshotStats snapshot_stats() const;
+
+  /// The snapshot version counter: bumped on every mutation that may
+  /// change rows — DML through mutable_rows()/MutableRow/EraseMarked/
+  /// Append, world pruning's row rewrites — and deliberately NOT bumped
+  /// when a statement turns out to change nothing (UPDATE/DELETE matching
+  /// zero rows). Monotonic for the table's lifetime. Besides gating the
   /// columnar snapshot above, this is the storage half of the d-tree
   /// compilation cache's invalidation lattice (src/lineage/dtree_cache.h):
   /// a bump rebuilds the snapshot's condition columns, so changed lineage
@@ -72,14 +150,50 @@ class Table {
   uint64_t version() const { return version_; }
 
  private:
+  /// Folds a pending mutable_rows() grant into the chunk bookkeeping:
+  /// the caller may have resized/rewritten anything, so every chunk gets
+  /// the current version and the size log catches up. Called before any
+  /// fine-grained marking and before reads of the chunk state.
+  void Reconcile() const;
+  /// Marks chunk `chunk` changed at the current version, growing the
+  /// per-chunk version vector if the chunk is new.
+  void TouchChunk(size_t chunk);
+  /// Records (version, row count) after a size-changing mutation.
+  void LogSize() const;
+
   std::string name_;
   Schema schema_;
   bool uncertain_;
   std::vector<Row> rows_;
 
-  uint64_t version_ = 0;  // bumped on every (potential) mutation
+  uint64_t version_ = 0;  // bumped on every actual mutation
+  size_t chunk_rows_ = Batch::kDefaultCapacity;
+
+  /// chunk_versions_[i] = version() of the last mutation that touched
+  /// chunk i (content change, append into it, or row shift through it).
+  mutable std::vector<uint64_t> chunk_versions_;
+  /// Set by mutable_rows(); folded lazily by Reconcile() once the extent
+  /// of the caller's edits (in particular the final row count) is known.
+  mutable bool pending_full_ = false;
+  /// Bounded history of (version, row count after that version)'s
+  /// size-changing mutations; DeltaSince resolves "row count at version v"
+  /// against it. Oldest entries fall off — deltas older than the log
+  /// degrade to precise = false.
+  mutable std::vector<std::pair<uint64_t, uint64_t>> size_log_;
+  /// True once the size log dropped its oldest entries: the implicit
+  /// "0 rows at version 0" base is then no longer trustworthy.
+  mutable bool size_log_trimmed_ = false;
+
   mutable uint64_t columnar_version_ = ~0ull;
   mutable std::shared_ptr<const ColumnarTable> columnar_;
+  /// Layout + per-chunk versions the cached snapshot was built from (the
+  /// reuse test for the incremental rebuild).
+  mutable size_t columnar_chunk_rows_ = 0;
+  mutable std::vector<uint64_t> columnar_chunk_versions_;
+
+  mutable uint64_t snapshot_rebuilds_ = 0;
+  mutable uint64_t chunks_rebuilt_ = 0;
+  mutable uint64_t chunks_reused_ = 0;
 };
 
 using TablePtr = std::shared_ptr<Table>;

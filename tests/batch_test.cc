@@ -157,9 +157,9 @@ TEST(TableColumnarTest, ChunksRespectCapacity) {
   }
   auto snap = table.Columnar();
   ASSERT_EQ(snap->chunks.size(), 3u);
-  EXPECT_EQ(snap->chunks[0].num_rows, Batch::kDefaultCapacity);
-  EXPECT_EQ(snap->chunks[2].num_rows, 2500u - 2 * Batch::kDefaultCapacity);
-  EXPECT_EQ(snap->chunks[2].columns[0]->GetValue(0),
+  EXPECT_EQ(snap->chunks[0]->num_rows, Batch::kDefaultCapacity);
+  EXPECT_EQ(snap->chunks[2]->num_rows, 2500u - 2 * Batch::kDefaultCapacity);
+  EXPECT_EQ(snap->chunks[2]->columns[0]->GetValue(0),
             Value::Int(static_cast<int64_t>(2 * Batch::kDefaultCapacity)));
 }
 

@@ -13,9 +13,11 @@
 // batches in index order, so the sampled trial sequence — and therefore
 // the estimate — is bit-identical no matter how many threads compute the
 // batches, or whether a pool is used at all. Inside the engine,
-// num_threads >= 2 switches aconf() to this path with base seeds drawn
-// from the session RNG (one draw per aconf call, in group order);
-// num_threads == 1 keeps the legacy sequential stream bit-for-bit.
+// num_threads >= 2 switches aconf() to this path with each group's base
+// seed derived from its lineage content (LineageSeed — no session-RNG
+// draw), so repeated statements over unchanged lineage reproduce their
+// estimates; num_threads == 1 keeps the legacy sequential stream
+// bit-for-bit.
 //
 // conf() (the exact solver) is deterministic by construction: root
 // components solve independently and fold in component order, so parallel
@@ -200,8 +202,9 @@ TEST(ParallelDeterminismTest, EngineAconfBitEqualAcrossParallelThreadCounts) {
           << threads << " threads, row " << i;
     }
   }
-  // Re-running the same query advances the session RNG — a fresh database
-  // at the same seed reproduces the original estimates exactly.
+  // Parallel aconf seeds are content-derived, so a fresh database (or a
+  // rerun over unchanged lineage) reproduces the original estimates
+  // exactly.
   Database again_db = MakeWorkloadDb(2, 77);
   auto again = again_db.Query(sql);
   ASSERT_TRUE(again.ok());

@@ -64,6 +64,13 @@ GUARDED_CASES = [
     ("fig1_random_walk", "walk3_single"),
     ("fig1_random_walk", "walk2"),
     ("fig1_random_walk", "walk3"),
+    # Streaming ingest (ISSUE 6): warm = repeated statements between writes
+    # (whole-statement hits), after_append = append-one-component-then-query
+    # refresh steps (component-incremental recompilation; the binary fails
+    # the lane itself if the incremental speedup drops below the 5x
+    # acceptance floor or any answer drifts from the cache-off truth).
+    ("streaming_ingest", "dashboard_warm"),
+    ("streaming_ingest", "dashboard_after_append"),
 ]
 
 
