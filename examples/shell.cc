@@ -1,12 +1,22 @@
 // maybms shell: an interactive psql-style REPL over the embedded engine.
 //
-//   build/examples/shell            # interactive
-//   build/examples/shell file.sql   # run a script, then exit
+//   build/examples/shell                    # interactive, embedded
+//   build/examples/shell file.sql           # run a script, then exit
+//   build/examples/shell --serve /tmp/db.sock    # embedded + serve clients
+//   build/examples/shell --connect /tmp/db.sock  # client of a served db
 //
-// Meta-commands: \d (list tables + world table + evidence), \d <table>
-// (describe), \explain <query>, \seed <n> (reseed aconf RNG), \save <file>
-// / \load <file> (dump and restore the whole database — conditions, world
-// table, and asserted evidence included), \q.
+// --serve starts the multi-session server (src/server/server.h) on a
+// local socket while keeping this shell interactive as the root session;
+// every --connect shell gets its OWN session over the same catalog — its
+// own SET knobs, aconf RNG stream, and asserted evidence — while data and
+// the world table are shared under statement-level snapshot isolation
+// (src/engine/session.h).
+//
+// Meta-commands: \d (list tables + world table + sessions + evidence),
+// \d <table> (describe), \explain <query>, \seed <n> (reseed aconf RNG),
+// \save <file> / \load <file> (dump and restore the whole database —
+// conditions, world table, and this session's asserted evidence included;
+// embedded mode only), \q.
 //
 // Conditioning statements (see DESIGN.md):
 //   ASSERT <query>;                  -- condition on "query has an answer"
@@ -14,6 +24,7 @@
 //   ASSERT CONFIDENCE >= p <query>;  -- check posterior confidence only
 //   SHOW EVIDENCE;  CLEAR EVIDENCE;
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -21,97 +32,32 @@
 
 #include "src/common/str_util.h"
 #include "src/engine/database.h"
+#include "src/server/server.h"
 #include "src/storage/persist.h"
 
 using maybms::Database;
-using maybms::EqualsIgnoreCase;
 using maybms::Trim;
 
 namespace {
 
-void ListTables(const Database& db) {
-  std::printf("%-24s %-10s %8s %8s %8s %18s\n", "table", "kind", "rows",
-              "chunks", "dirty", "snapshot reuse");
-  for (const std::string& name : db.catalog().TableNames()) {
-    auto table = db.catalog().GetTable(name);
-    if (!table.ok()) continue;
-    const maybms::Table::SnapshotStats ss = (*table)->snapshot_stats();
-    std::printf("%-24s %-10s %8zu %8zu %8zu %8llu/%llu\n", name.c_str(),
-                (*table)->uncertain() ? "uncertain" : "t-certain",
-                (*table)->NumRows(), ss.chunks, ss.dirty_chunks,
-                static_cast<unsigned long long>(ss.chunks_reused),
-                static_cast<unsigned long long>(ss.chunks_reused +
-                                                ss.chunks_rebuilt));
-  }
-  std::printf("world table: %zu variable(s)\n",
-              db.catalog().world_table().NumVariables());
-  const maybms::ConstraintStore& cs = db.constraints();
-  if (cs.active()) {
-    std::printf("evidence: %zu clause(s), P(C)=%.6g — conf()/aconf()/tconf() "
-                "answers are posteriors (SHOW EVIDENCE; for details)\n",
-                cs.NumClauses(), cs.probability());
-  } else {
-    std::printf("evidence: none\n");
-  }
-  const maybms::DTreeCache::Stats dc = db.catalog().dtree_cache().stats();
-  const uint64_t probes = dc.hits + dc.misses;
-  std::printf("d-tree cache: %zu entr%s (%.1f KiB), %llu hit(s) / %llu "
-              "miss(es)",
-              dc.entries, dc.entries == 1 ? "y" : "ies",
-              static_cast<double>(dc.bytes) / 1024.0,
-              static_cast<unsigned long long>(dc.hits),
-              static_cast<unsigned long long>(dc.misses));
-  if (probes > 0) {
-    std::printf(" — %.1f%% hit rate",
-                100.0 * static_cast<double>(dc.hits) /
-                    static_cast<double>(probes));
-  }
-  if (dc.evictions + dc.stale_purged > 0) {
-    std::printf(", %llu evicted / %llu stale-purged",
-                static_cast<unsigned long long>(dc.evictions),
-                static_cast<unsigned long long>(dc.stale_purged));
-  }
-  std::printf("\n");
-  if (dc.component_hits + dc.component_misses + dc.estimate_hits +
-          dc.estimate_misses >
-      0) {
-    std::printf("  components: %llu hit(s) / %llu miss(es); aconf "
-                "estimates: %llu hit(s) / %llu miss(es)\n",
-                static_cast<unsigned long long>(dc.component_hits),
-                static_cast<unsigned long long>(dc.component_misses),
-                static_cast<unsigned long long>(dc.estimate_hits),
-                static_cast<unsigned long long>(dc.estimate_misses));
-  }
-}
-
-void DescribeTable(const Database& db, const std::string& name) {
-  auto table = db.catalog().GetTable(name);
-  if (!table.ok()) {
-    std::printf("%s\n", table.status().ToString().c_str());
-    return;
-  }
-  std::printf("%s (%s, %zu rows)\n", (*table)->name().c_str(),
-              (*table)->uncertain() ? "U-relation" : "t-certain table",
-              (*table)->NumRows());
-  for (const maybms::Column& col : (*table)->schema().columns()) {
-    std::printf("  %-20s %s\n", col.name.c_str(),
-                std::string(maybms::TypeIdToString(col.type)).c_str());
-  }
-}
-
 // Executes one complete statement or meta-command; returns false on \q.
-bool Dispatch(Database* db, const std::string& line) {
+// `serving` disables \save/\load: a dump while remote sessions write
+// could tear, and \load swaps out the very catalog they are attached to.
+bool Dispatch(Database* db, const std::string& line, bool serving) {
   std::string_view trimmed = Trim(line);
   if (trimmed.empty()) return true;
   if (trimmed[0] == '\\') {
     std::string cmd(trimmed);
     if (cmd == "\\q") return false;
     if (cmd == "\\d") {
-      ListTables(*db);
+      std::printf("%s",
+                  db->session_manager().Describe(&db->constraints()).c_str());
       return true;
     }
     if (cmd.rfind("\\d ", 0) == 0) {
-      DescribeTable(*db, std::string(Trim(cmd.substr(3))));
+      std::printf("%s", db->session_manager()
+                            .DescribeTable(std::string(Trim(cmd.substr(3))))
+                            .c_str());
       return true;
     }
     if (cmd.rfind("\\explain ", 0) == 0) {
@@ -125,9 +71,16 @@ bool Dispatch(Database* db, const std::string& line) {
       std::printf("RNG reseeded\n");
       return true;
     }
+    if (serving &&
+        (cmd.rfind("\\save ", 0) == 0 || cmd.rfind("\\load ", 0) == 0)) {
+      std::printf("\\save/\\load are unavailable while serving: remote "
+                  "sessions hold the live catalog\n");
+      return true;
+    }
     if (cmd.rfind("\\save ", 0) == 0) {
       auto st = maybms::SaveDatabaseToFile(db->catalog(),
-                                           std::string(Trim(cmd.substr(6))));
+                                           std::string(Trim(cmd.substr(6))),
+                                           &db->constraints());
       std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
       return true;
     }
@@ -135,7 +88,8 @@ bool Dispatch(Database* db, const std::string& line) {
       // Restore replaces the session database (restores need a fresh one).
       auto fresh = std::make_unique<Database>();
       auto st = maybms::LoadDatabaseFromFile(std::string(Trim(cmd.substr(6))),
-                                             &fresh->catalog());
+                                             &fresh->catalog(),
+                                             &fresh->constraints());
       if (st.ok()) {
         *db = std::move(*fresh);
         std::printf("loaded\n");
@@ -165,36 +119,26 @@ bool Dispatch(Database* db, const std::string& line) {
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  // Interactive sessions prefer a degraded answer over a failed query:
-  // conf() groups whose d-tree compilation exceeds the node budget fall
-  // back to seeded aconf estimates with a warning (SET conf_fallback = off
-  // restores hard errors; SET dtree_node_budget = <n> bounds the work).
-  maybms::DatabaseOptions options;
-  options.exec.conf_fallback = true;
-  options.exec.exact.max_steps = 50'000'000;
-  Database db(options);
-
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
-      return 1;
-    }
-    std::stringstream buf;
-    buf << in.rdbuf();
-    auto result = db.ExecuteScript(buf.str());
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-      return 1;
-    }
-    if (result->NumColumns() > 0) std::printf("%s", result->ToString().c_str());
-    if (!result->message().empty()) std::printf("%s\n", result->message().c_str());
-    return 0;
+// Client mode: every complete input (meta-command or statement) becomes
+// one protocol request; the server renders everything.
+bool DispatchRemote(maybms::Client* client, const std::string& line) {
+  std::string_view trimmed = Trim(line);
+  if (trimmed.empty()) return true;
+  auto reply = client->Request(trimmed);
+  if (!reply.ok()) {
+    std::printf("%s\n", reply.status().ToString().c_str());
+    return false;  // connection gone: leave the REPL
   }
+  for (const std::string& payload : reply->lines) {
+    std::printf("%s\n", payload.c_str());
+  }
+  if (!reply->message.empty()) {
+    std::printf("%s%s\n", reply->ok ? "" : "error: ", reply->message.c_str());
+  }
+  return trimmed != "\\q";
+}
 
+void PrintBanner(bool serving, bool remote, const char* socket_path) {
   std::printf(
       "maybms shell — type SQL terminated by ';', or \\q to quit\n"
       "uncertainty: repair key / pick tuples, conf(), aconf(ε,δ), "
@@ -210,12 +154,107 @@ int main(int argc, char** argv) {
       "          SET engine = batch|row, SET num_threads = <n>,\n"
       "          SET dtree_cache = on|off (reuse compiled lineage across "
       "statements; default on, stats under \\d),\n"
-      "          SET dtree_cache_budget = <bytes> (cache LRU budget; "
+      "          SET dtree_cache_budget = <bytes> (shared cache LRU budget; "
       "0 = unlimited, default 64 MiB),\n"
       "          SET dtree_component_cache = on|off (recompile only "
       "delta-touched lineage components; default on),\n"
       "          SET snapshot_chunk_rows = <n> (columnar snapshot chunk "
-      "size; default 1024)\n");
+      "size; default 1024)\n"
+      "sessions: SET knobs, \\seed, and asserted evidence are PER SESSION; "
+      "tables and the world table are shared\n");
+  if (serving) {
+    std::printf("serving sessions at %s — connect with: shell --connect %s\n",
+                socket_path, socket_path);
+  } else if (remote) {
+    std::printf("connected to %s (this shell is one session of the served "
+                "database; \\save/\\load are unavailable remotely)\n",
+                socket_path);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* serve_path = nullptr;
+  const char* connect_path = nullptr;
+  const char* script_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect_path = argv[++i];
+    } else {
+      script_path = argv[i];
+    }
+  }
+
+  if (connect_path != nullptr) {
+    maybms::Client client;
+    auto st = client.Connect(connect_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    PrintBanner(false, true, connect_path);
+    std::string buffer;
+    std::string line;
+    std::printf("maybms> ");
+    while (std::getline(std::cin, line)) {
+      std::string_view trimmed = Trim(line);
+      if (buffer.empty() && !trimmed.empty() && trimmed[0] == '\\') {
+        if (!DispatchRemote(&client, line)) return 0;
+        std::printf("maybms> ");
+        continue;
+      }
+      buffer += line;
+      buffer += "\n";
+      if (trimmed.ends_with(";")) {
+        std::string stmt = buffer;
+        buffer.clear();
+        if (!DispatchRemote(&client, stmt)) return 0;
+      }
+      std::printf(buffer.empty() ? "maybms> " : "   ...> ");
+    }
+    return 0;
+  }
+
+  // Interactive sessions prefer a degraded answer over a failed query:
+  // conf() groups whose d-tree compilation exceeds the node budget fall
+  // back to seeded aconf estimates with a warning (SET conf_fallback = off
+  // restores hard errors; SET dtree_node_budget = <n> bounds the work).
+  maybms::DatabaseOptions options;
+  options.exec.conf_fallback = true;
+  options.exec.exact.max_steps = 50'000'000;
+  Database db(options);
+
+  if (script_path != nullptr) {
+    std::ifstream in(script_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", script_path);
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto result = db.ExecuteScript(buf.str());
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    if (result->NumColumns() > 0) std::printf("%s", result->ToString().c_str());
+    if (!result->message().empty()) std::printf("%s\n", result->message().c_str());
+    return 0;
+  }
+
+  maybms::Server server(&db.session_manager(), options);
+  if (serve_path != nullptr) {
+    auto st = server.Start(serve_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  PrintBanner(serve_path != nullptr, false, serve_path);
   std::string buffer;
   std::string line;
   std::printf("maybms> ");
@@ -223,7 +262,7 @@ int main(int argc, char** argv) {
     std::string_view trimmed = Trim(line);
     // Meta-commands act immediately; SQL accumulates until ';'.
     if (buffer.empty() && !trimmed.empty() && trimmed[0] == '\\') {
-      if (!Dispatch(&db, line)) return 0;
+      if (!Dispatch(&db, line, serve_path != nullptr)) return 0;
       std::printf("maybms> ");
       continue;
     }
@@ -232,7 +271,7 @@ int main(int argc, char** argv) {
     if (trimmed.ends_with(";")) {
       std::string stmt = buffer;
       buffer.clear();
-      if (!Dispatch(&db, stmt)) return 0;
+      if (!Dispatch(&db, stmt, serve_path != nullptr)) return 0;
     }
     std::printf(buffer.empty() ? "maybms> " : "   ...> ");
   }

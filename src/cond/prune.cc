@@ -21,10 +21,11 @@ const Atom* FindDetermined(const std::vector<Atom>& determined, VarId var) {
 }  // namespace
 
 Result<PruneStats> PruneConditionedWorlds(Catalog* catalog,
+                                          ConstraintStore* store_ptr,
                                           const ExactOptions& exact,
                                           ThreadPool* pool) {
   PruneStats stats;
-  ConstraintStore& store = catalog->constraints();
+  ConstraintStore& store = *store_ptr;
   if (!store.active()) return stats;
   // Only DETERMINED variables may be pruned physically: their world-table
   // collapse keeps the stored representation self-consistent even after a

@@ -39,6 +39,7 @@
 namespace maybms {
 
 class Catalog;
+class ConstraintStore;
 struct ExactOptions;
 class ThreadPool;
 
@@ -50,10 +51,15 @@ struct PruneStats {
   size_t tables_touched = 0;  ///< uncertain tables rewritten
 };
 
-/// Prunes every U-relation in `catalog` against its constraint store and
-/// substitutes determined variables (world table + residual constraint).
-/// No-op when the store is inactive or nothing is restricted.
+/// Prunes every U-relation in `catalog` against `store` (the asserting
+/// session's evidence) and substitutes determined variables (world table +
+/// residual constraint). No-op when the store is inactive or nothing is
+/// restricted. Callers must hold the database exclusively: pruning
+/// rewrites shared tables and the world table, which is only sound while
+/// the asserting session is the catalog's sole session (ExecContext::
+/// allow_prune).
 Result<PruneStats> PruneConditionedWorlds(Catalog* catalog,
+                                          ConstraintStore* store,
                                           const ExactOptions& exact,
                                           ThreadPool* pool);
 

@@ -1,243 +1,29 @@
 #include "src/engine/database.h"
 
-#include <atomic>
-#include <cerrno>
-#include <cmath>
-#include <cstdlib>
-
-#include "src/common/str_util.h"
-#include "src/common/thread_pool.h"
-#include "src/lineage/dtree_cache.h"
-#include "src/plan/planner.h"
-#include "src/sql/parser.h"
-
 namespace maybms {
 
 Database::Database(DatabaseOptions options)
-    : options_(std::move(options)), rng_(options_.seed) {}
+    : manager_(std::make_unique<SessionManager>()),
+      session_(manager_->CreateSession(std::move(options))) {}
 
 Database::~Database() = default;
 Database::Database(Database&&) noexcept = default;
 Database& Database::operator=(Database&&) noexcept = default;
 
-void Database::Reseed(uint64_t seed) { rng_ = Rng(seed); }
-
-namespace {
-
-/// " at l:c" suffix matching the parser's position-stamped errors; empty
-/// for programmatically-built SetStmts that carry no source position.
-std::string KnobPos(const SetStmt& set) {
-  if (set.value_line == 0) return std::string();
-  return StringFormat(" at %u:%u", set.value_line, set.value_col);
-}
-
-Status KnobError(const SetStmt& set, const char* expects) {
-  return Status::InvalidArgument(StringFormat(
-      "SET %s expects %s, got '%s'%s", set.name.c_str(), expects,
-      set.value_text.c_str(), KnobPos(set).c_str()));
-}
-
-Result<bool> SetBool(const SetStmt& set) {
-  if (set.value_text == "on" || set.value_text == "true" ||
-      set.value_text == "1") {
-    return true;
-  }
-  if (set.value_text == "off" || set.value_text == "false" ||
-      set.value_text == "0") {
-    return false;
-  }
-  return KnobError(set, "on/off");
-}
-
-// Numeric knobs re-parse value_text — the raw token spelling — strictly:
-// the WHOLE token must convert (no '0.5' for an integer knob, no
-// exponent/suffix leftovers) and the value must be finite and in range.
-// The lexer's own conversion is a partial parse (strtod/strtoll stop at
-// the first bad character and saturate on overflow, e.g. '1e999' → inf),
-// which is fine for expression literals that the grammar already bounds,
-// but silently truncates for knobs; casting such a value to an integer
-// type is undefined behavior before it is even a wrong setting.
-
-Result<uint64_t> SetUint(const SetStmt& set, const char* expects,
-                         uint64_t max_value) {
-  // Word values ('on', 'legacy', ...) carry no value_num: not a number.
-  if (!set.value_num || set.value_text.empty()) return KnobError(set, expects);
-  const char* text = set.value_text.c_str();
-  char* end = nullptr;
-  errno = 0;
-  unsigned long long v = std::strtoull(text, &end, 10);
-  if (end == text || *end != '\0') return KnobError(set, expects);
-  if (errno == ERANGE || v > max_value) {
-    return Status::InvalidArgument(StringFormat(
-        "SET %s: value '%s' out of range (max %llu)%s", set.name.c_str(),
-        set.value_text.c_str(), static_cast<unsigned long long>(max_value),
-        KnobPos(set).c_str()));
-  }
-  return static_cast<uint64_t>(v);
-}
-
-Result<double> SetFraction(const SetStmt& set) {
-  const char* expects = "a number in (0,1)";
-  if (!set.value_num || set.value_text.empty()) return KnobError(set, expects);
-  const char* text = set.value_text.c_str();
-  char* end = nullptr;
-  errno = 0;
-  double v = std::strtod(text, &end);
-  if (end == text || *end != '\0') return KnobError(set, expects);
-  // ERANGE covers overflow to ±inf ('1e999') and underflow to denormals;
-  // the open-interval check rejects both legitimately.
-  if (errno == ERANGE || !std::isfinite(v) || !(v > 0) || v >= 1) {
-    return KnobError(set, expects);
-  }
-  return v;
-}
-
-}  // namespace
-
-Result<QueryResult> Database::RunSet(const SetStmt& set) {
-  ExecOptions& exec = options_.exec;
-  if (set.name == "dtree_node_budget" || set.name == "max_steps") {
-    MAYBMS_ASSIGN_OR_RETURN(
-        exec.exact.max_steps,
-        SetUint(set, "a non-negative node count (0 = unlimited)",
-                ~0ull / 2));
-  } else if (set.name == "dtree_cache") {
-    MAYBMS_ASSIGN_OR_RETURN(exec.dtree_cache, SetBool(set));
-  } else if (set.name == "dtree_cache_budget") {
-    MAYBMS_ASSIGN_OR_RETURN(
-        uint64_t budget,
-        SetUint(set, "a byte budget (0 = unlimited)", ~0ull / 2));
-    exec.dtree_cache_budget = static_cast<size_t>(budget);
-  } else if (set.name == "conf_fallback") {
-    MAYBMS_ASSIGN_OR_RETURN(exec.conf_fallback, SetBool(set));
-  } else if (set.name == "fallback_epsilon") {
-    MAYBMS_ASSIGN_OR_RETURN(exec.fallback_epsilon, SetFraction(set));
-  } else if (set.name == "fallback_delta") {
-    MAYBMS_ASSIGN_OR_RETURN(exec.fallback_delta, SetFraction(set));
-  } else if (set.name == "exact_solver") {
-    if (set.value_text == "dtree") {
-      exec.exact.use_legacy_solver = false;
-    } else if (set.value_text == "legacy") {
-      exec.exact.use_legacy_solver = true;
-    } else {
-      return Status::InvalidArgument(
-          "SET exact_solver expects 'dtree' or 'legacy'");
-    }
-  } else if (set.name == "engine") {
-    if (set.value_text == "row") {
-      exec.engine = ExecEngine::kRow;
-    } else if (set.value_text == "batch") {
-      exec.engine = ExecEngine::kBatch;
-    } else {
-      return Status::InvalidArgument("SET engine expects 'row' or 'batch'");
-    }
-  } else if (set.name == "num_threads") {
-    MAYBMS_ASSIGN_OR_RETURN(
-        uint64_t threads,
-        SetUint(set, "a non-negative thread count (0 = hardware)", 4096));
-    exec.num_threads = static_cast<unsigned>(threads);
-  } else if (set.name == "dtree_component_cache") {
-    MAYBMS_ASSIGN_OR_RETURN(exec.exact.component_cache, SetBool(set));
-  } else if (set.name == "snapshot_chunk_rows") {
-    MAYBMS_ASSIGN_OR_RETURN(
-        uint64_t rows, SetUint(set, "a positive row count", ~0ull / 2));
-    if (rows == 0) return KnobError(set, "a positive row count");
-    exec.snapshot_chunk_rows = static_cast<size_t>(rows);
-  } else {
-    return Status::InvalidArgument(StringFormat(
-        "unknown setting '%s' (supported: dtree_node_budget, dtree_cache, "
-        "dtree_cache_budget, dtree_component_cache, snapshot_chunk_rows, "
-        "conf_fallback, fallback_epsilon, fallback_delta, exact_solver, "
-        "engine, num_threads)",
-        set.name.c_str()));
-  }
-  return QueryResult(TableData{},
-                     StringFormat("SET %s = %s", set.name.c_str(),
-                                  set.value_text.c_str()));
-}
-
-Result<QueryResult> Database::RunStatement(const Statement& stmt) {
-  // Session settings mutate DatabaseOptions directly — no binding/planning.
-  if (stmt.kind == StatementKind::kSet) {
-    return RunSet(static_cast<const SetStmt&>(stmt));
-  }
-  MAYBMS_ASSIGN_OR_RETURN(BoundStatement bound, BindStatement(catalog_, stmt));
-  // Wire the catalog's cross-statement compilation cache into the solver
-  // options (re-pointed every statement: the knob may have toggled, and a
-  // moved Database must not keep a pointer into its moved-from catalog).
-  // The budget applies even while the cache is toggled off, so a shrunken
-  // dtree_cache_budget reclaims resident entries immediately — disabling
-  // only bypasses probes, it does not orphan the memory.
-  catalog_.dtree_cache().SetBudgetBytes(options_.exec.dtree_cache_budget);
-  options_.exec.exact.cache =
-      options_.exec.dtree_cache ? &catalog_.dtree_cache() : nullptr;
-  // The seeded aconf estimate cache shares the same store and toggle; its
-  // keys carry the world version the statement observes.
-  options_.exec.montecarlo.cache = options_.exec.exact.cache;
-  options_.exec.montecarlo.world_version = catalog_.world_table().version();
-  // Chunked-snapshot layout knob: applied to existing and future tables.
-  catalog_.SetSnapshotChunkRows(options_.exec.snapshot_chunk_rows);
-  ExecContext ctx;
-  ctx.catalog = &catalog_;
-  ctx.rng = &rng_;
-  ctx.options = &options_.exec;
-  std::atomic<uint64_t> conf_fallbacks{0};
-  ctx.conf_fallbacks = &conf_fallbacks;
-  // num_threads == 1 runs fully serial (no pool, legacy bit-for-bit
-  // behavior); anything else gets a pool of the effective size, recreated
-  // if the caller changed options() between statements.
-  unsigned want = options_.exec.num_threads != 0 ? options_.exec.num_threads
-                                                 : ThreadPool::DefaultThreads();
-  if (want > 1) {
-    if (pool_ == nullptr || pool_->num_threads() != want) {
-      pool_ = std::make_unique<ThreadPool>(want);
-    }
-    ctx.pool = pool_.get();
-  } else {
-    pool_.reset();  // dropped back to serial: release the idle workers
-  }
-  MAYBMS_ASSIGN_OR_RETURN(StatementResult result, ExecuteStatement(bound, &ctx));
-  if (uint64_t n = conf_fallbacks.load(std::memory_order_relaxed); n > 0) {
-    if (!result.message.empty()) result.message += "\n";
-    result.message += StringFormat(
-        "warning: conf() exceeded the exact node budget (dtree_node_budget="
-        "%llu) on %llu group(s); returned seeded aconf(%g, %g) fallback "
-        "estimates",
-        static_cast<unsigned long long>(options_.exec.exact.max_steps),
-        static_cast<unsigned long long>(n), options_.exec.fallback_epsilon,
-        options_.exec.fallback_delta);
-  }
-  if (result.has_data) {
-    return QueryResult(std::move(result.data), std::move(result.message));
-  }
-  return QueryResult(TableData{}, std::move(result.message));
-}
-
 Result<QueryResult> Database::Query(std::string_view sql) {
-  MAYBMS_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
-  return RunStatement(*stmt);
+  return session_->Query(sql);
 }
 
-Status Database::Execute(std::string_view sql) {
-  Result<QueryResult> result = Query(sql);
-  return result.ok() ? Status::OK() : result.status();
-}
+Status Database::Execute(std::string_view sql) { return session_->Execute(sql); }
 
 Result<QueryResult> Database::ExecuteScript(std::string_view sql) {
-  MAYBMS_ASSIGN_OR_RETURN(std::vector<StatementPtr> stmts, ParseScript(sql));
-  if (stmts.empty()) return Status::InvalidArgument("empty script");
-  QueryResult last;
-  for (const StatementPtr& stmt : stmts) {
-    MAYBMS_ASSIGN_OR_RETURN(last, RunStatement(*stmt));
-  }
-  return last;
+  return session_->ExecuteScript(sql);
 }
 
 Result<std::string> Database::Explain(std::string_view sql) {
-  MAYBMS_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
-  MAYBMS_ASSIGN_OR_RETURN(BoundStatement bound, BindStatement(catalog_, *stmt));
-  if (!bound.plan) return std::string("(no plan: DDL/DML statement)\n");
-  return ExplainPlan(*bound.plan);
+  return session_->Explain(sql);
 }
+
+void Database::Reseed(uint64_t seed) { session_->Reseed(seed); }
 
 }  // namespace maybms

@@ -9,6 +9,13 @@
 //   auto r = db.Query(
 //       "select face, conf() as p from (repair key face in coin) c group by face");
 //
+// A Database is a SessionManager plus one root Session over it — the
+// embedded single-connection shape. Additional concurrent sessions over
+// the SAME catalog (each with its own knobs, RNG stream, and asserted
+// evidence) come from session_manager().CreateSession(); see
+// src/engine/session.h for the isolation model and src/server/server.h
+// for the line-protocol front end built on it.
+//
 // Queries run morsel-parallel on a work-stealing pool sized by
 // DatabaseOptions::exec.num_threads (default: hardware_concurrency; 1 runs
 // fully serial). Deterministic queries — including conf() — return
@@ -23,19 +30,14 @@
 
 #include "src/common/result.h"
 #include "src/engine/query_result.h"
-#include "src/exec/executor.h"
+#include "src/engine/session.h"
 #include "src/storage/catalog.h"
 
 namespace maybms {
 
-/// Session-level settings.
-struct DatabaseOptions {
-  /// RNG seed for aconf() Monte Carlo estimation (runs are reproducible).
-  uint64_t seed = 42;
-  ExecOptions exec;
-};
-
-class ThreadPool;
+/// Session-level settings (the historical name; a Database's options ARE
+/// its root session's options).
+using DatabaseOptions = SessionOptions;
 
 /// An embedded MayBMS instance: catalog + world table + query pipeline.
 class Database {
@@ -60,26 +62,35 @@ class Database {
   Result<std::string> Explain(std::string_view sql);
 
   /// Direct access for embedding: the catalog and world table.
-  Catalog& catalog() { return catalog_; }
-  const Catalog& catalog() const { return catalog_; }
-  WorldTable& world_table() { return catalog_.world_table(); }
-  /// The evidence asserted so far (ASSERT / CONDITION ON statements); all
-  /// conf()/aconf()/tconf() answers are posteriors given this constraint.
-  const ConstraintStore& constraints() const { return catalog_.constraints(); }
+  Catalog& catalog() { return manager_->catalog(); }
+  const Catalog& catalog() const { return manager_->catalog(); }
+  WorldTable& world_table() { return manager_->catalog().world_table(); }
+  /// The evidence asserted so far (ASSERT / CONDITION ON statements) in
+  /// the root session; its conf()/aconf()/tconf() answers are posteriors
+  /// given this constraint. The mutable overload exists for persistence
+  /// (RestoreDatabase loads a dump's EVIDENCE section into it).
+  const ConstraintStore& constraints() const { return session_->constraints(); }
+  ConstraintStore& constraints() { return session_->constraints(); }
 
-  DatabaseOptions& options() { return options_; }
+  /// The root session's knobs. Mutations through this reference are
+  /// validated at the next statement (see Session::options()).
+  DatabaseOptions& options() { return session_->options(); }
 
   /// Reseeds the session RNG (aconf reproducibility).
   void Reseed(uint64_t seed);
 
- private:
-  Result<QueryResult> RunStatement(const Statement& stmt);
-  Result<QueryResult> RunSet(const SetStmt& stmt);
+  /// The root session (the one this facade's Query/Execute run on).
+  Session& session() { return *session_; }
+  /// The manager owning the shared catalog: CreateSession() here opens
+  /// additional concurrent sessions over this database.
+  SessionManager& session_manager() { return *manager_; }
 
-  DatabaseOptions options_;
-  Catalog catalog_;
-  Rng rng_;
-  std::unique_ptr<ThreadPool> pool_;  // lazily sized per exec.num_threads
+ private:
+  // Order matters: the root session must die before the manager. Both
+  // live behind unique_ptrs so a Database stays movable (sessions hold a
+  // stable pointer to their manager).
+  std::unique_ptr<SessionManager> manager_;
+  std::unique_ptr<Session> session_;
 };
 
 }  // namespace maybms

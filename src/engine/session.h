@@ -1,0 +1,232 @@
+// Multi-session execution over one shared catalog.
+//
+// Paper §2.3 ("Updates, concurrency control, and recovery"): "As a
+// consequence of our choice of a purely relational representation system,
+// these issues cause surprisingly little difficulty" — U-relations are
+// ordinary relations, so concurrency control is ordinary relational
+// concurrency control. This file is that claim made concrete:
+//
+//   SessionManager — owns the Catalog (tables + world table + d-tree
+//     compilation cache) and the locks that serialize access to it, plus
+//     one shared worker pool for intra-query parallelism.
+//   Session — everything that is PER CONNECTION in the original
+//     PostgreSQL-based system: execution knobs (SET ...), the RNG stream
+//     feeding aconf(), and the asserted-evidence ConstraintStore, so each
+//     session's confidence answers are posteriors under ITS OWN evidence
+//     (Koch & Olteanu VLDB'08 conditioning) while all sessions share one
+//     set of possible worlds.
+//
+// Isolation model: statement-level snapshot consistency. Before running,
+// a statement is classified by a pre-bind AST walk into the locks it
+// needs, acquired in one fixed order (catalog → world table → tables in
+// sorted-name order — deadlock-free by construction):
+//
+//   - catalog EXCLUSIVE: DDL (CREATE/DROP/CREATE AS), database-level SET
+//     knobs, sole-session ASSERT (physical world pruning rewrites every
+//     U-relation). Nothing else runs concurrently.
+//   - world-table EXCLUSIVE: any statement containing repair-key /
+//     pick-tuples anywhere (they mint new world variables), held together
+//     with catalog SHARED.
+//   - per-table statement locks: the write target of INSERT/UPDATE/DELETE
+//     exclusively, every other referenced base table shared. Writers to
+//     DIFFERENT tables therefore proceed in parallel; readers of a table
+//     being written wait and then observe a whole statement's effect —
+//     never a half-applied one (each read is a consistent cut at one
+//     Table::version()).
+//
+// Shared caches stay shared safely: the DTreeCache is internally mutex-
+// guarded and its keys pin lineage content + world version + options
+// fingerprint, and evidence needs no key axis of its own (posterior
+// queries reach the solver as explicit Q∧C product lineage), so sessions
+// with different evidence can never alias each other's entries. Answers
+// are bit-identical to single-session execution: the same morsel
+// boundaries, fold orders, and seeded substreams apply regardless of how
+// many sessions share the pool.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/cond/constraint_store.h"
+#include "src/engine/query_result.h"
+#include "src/exec/executor.h"
+#include "src/storage/catalog.h"
+
+namespace maybms {
+
+class SessionManager;
+class ThreadPool;
+
+/// Per-session settings: the RNG seed feeding aconf() plus the execution
+/// knobs. Two of the ExecOptions fields (dtree_cache_budget,
+/// snapshot_chunk_rows) configure DATABASE-level state shared by every
+/// session; the session keeps them as its view and routes changes through
+/// the serialized write path (see Session).
+struct SessionOptions {
+  /// RNG seed for aconf() Monte Carlo estimation (runs are reproducible).
+  uint64_t seed = 42;
+  ExecOptions exec;
+};
+
+/// One connection's worth of state over a shared catalog. Created by
+/// SessionManager::CreateSession; statements on ONE session are serialized
+/// (a session is a single logical connection), statements on different
+/// sessions run concurrently under the statement locks described above.
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Runs a single statement and returns its result (rows for selects,
+  /// affected counts/messages for DDL and DML).
+  Result<QueryResult> Query(std::string_view sql);
+
+  /// Runs a statement for its side effects; errors if it fails.
+  Status Execute(std::string_view sql);
+
+  /// Runs a ';'-separated script, stopping at the first error. Returns
+  /// the result of the last statement. Each statement is its own
+  /// consistent cut; the script as a whole is not atomic.
+  Result<QueryResult> ExecuteScript(std::string_view sql);
+
+  /// EXPLAIN: the bound logical plan for a query.
+  Result<std::string> Explain(std::string_view sql);
+
+  /// Reseeds the session RNG (aconf reproducibility).
+  void Reseed(uint64_t seed);
+
+  /// The session's knobs. Mutating through this reference is supported
+  /// for embedders, but values are VALIDATED at the point of use: the
+  /// next statement rejects out-of-range settings (e.g. a fallback
+  /// epsilon outside (0,1)) with the same errors SET would have raised,
+  /// instead of feeding them to the solvers.
+  SessionOptions& options() { return options_; }
+  const SessionOptions& options() const { return options_; }
+
+  /// The evidence asserted so far in THIS session (ASSERT / CONDITION ON
+  /// statements); this session's conf()/aconf()/tconf() answers are
+  /// posteriors given this constraint. Other sessions are unaffected.
+  const ConstraintStore& constraints() const { return constraints_; }
+  /// Mutable access for persistence (RestoreDatabase loads a dump's
+  /// EVIDENCE section into the restoring session's store).
+  ConstraintStore& constraints() { return constraints_; }
+
+  SessionManager& manager() { return *manager_; }
+
+ private:
+  friend class SessionManager;
+  Session(SessionManager* manager, SessionOptions options);
+
+  Result<QueryResult> RunStatement(const Statement& stmt);
+  Result<QueryResult> RunSet(const SetStmt& stmt);
+
+  SessionManager* manager_;  // non-owning; outlives every session
+  SessionOptions options_;
+  Rng rng_;
+  ConstraintStore constraints_;
+  /// Values of the database-level knobs this session last applied (or
+  /// adopted at creation). A statement re-applies a knob only when the
+  /// session's OWN option drifted from this mirror — never merely because
+  /// another session (or a restored dump) changed the shared state, which
+  /// is exactly the bug the mirror exists to fix: blindly re-applying
+  /// per-session defaults every statement silently rewrote every other
+  /// session's snapshot layout.
+  size_t applied_chunk_rows_;
+  size_t applied_cache_budget_;
+  /// Serializes statements WITHIN this session (one logical connection).
+  std::mutex statement_mu_;
+};
+
+/// Owns one shared database — catalog, world table, d-tree cache, worker
+/// pool — and hands out Sessions over it. Create/destroy sessions from a
+/// single controlling thread (the server's accept loop; a test's main
+/// thread); statements on live sessions may then run from any thread.
+class SessionManager {
+ public:
+  SessionManager();
+  ~SessionManager();
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Creates a new session over the shared catalog. The session must not
+  /// outlive the manager.
+  std::unique_ptr<Session> CreateSession(SessionOptions options = {});
+
+  /// Sessions currently alive.
+  size_t num_sessions() const {
+    return live_sessions_.load(std::memory_order_acquire);
+  }
+
+  /// Direct catalog access for embedding (bulk setup, persistence).
+  /// UNSYNCHRONIZED: use it only while no concurrent session statement
+  /// can run — before sessions are created, or from a test's single
+  /// thread between statements.
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Rendered database summary (the shell's \d): per-table snapshot
+  /// stats, world-table size, the CALLING session's evidence, and d-tree
+  /// cache counters. Taken under the catalog/world/table locks, so it is
+  /// safe while other sessions run statements.
+  std::string Describe(const ConstraintStore* session_evidence);
+
+  /// Rendered description of one table (the shell's \d <name>): kind,
+  /// row count, columns. Lock-safe like Describe().
+  std::string DescribeTable(const std::string& name);
+
+  /// The lock footprint of one statement, computed by a pre-bind AST walk
+  /// (session.cc's classifier). Public only so the classifier can build
+  /// it; acquisition stays private to Session's statement loop.
+  struct LockPlan {
+    bool catalog_exclusive = false;
+    bool world_exclusive = false;
+    std::vector<std::string> read_tables;   // lower-cased base-table names
+    std::vector<std::string> write_tables;  // lower-cased DML targets
+  };
+
+ private:
+  friend class Session;
+
+  /// RAII acquisition of one LockPlan, held for the statement's duration.
+  /// Locks are taken in the fixed catalog → world → sorted table-name
+  /// order.
+  struct StatementLocks {
+    std::shared_lock<std::shared_mutex> catalog_shared;
+    std::unique_lock<std::shared_mutex> catalog_unique;
+    std::shared_lock<std::shared_mutex> world_shared;
+    std::unique_lock<std::shared_mutex> world_unique;
+    std::vector<TablePtr> pinned;  // keeps locked tables alive past DROP
+    std::vector<std::shared_lock<std::shared_mutex>> table_shared;
+    std::vector<std::unique_lock<std::shared_mutex>> table_unique;
+  };
+  StatementLocks Acquire(const LockPlan& plan);
+
+  /// The shared worker pool, created on first demand and sized once
+  /// (max of the first requester's wish and the hardware default); never
+  /// resized, because other sessions may be inside ParallelFor. Sound
+  /// because results are bit-identical at every thread count >= 2 — pool
+  /// size is a throughput knob, not a semantic one. Returns nullptr for
+  /// want <= 1 (the fully serial legacy path).
+  ThreadPool* SharedPool(unsigned want);
+
+  Catalog catalog_;
+  /// Catalog structure (the name → table map + everything at once for
+  /// exclusive statements). Every statement holds it at least shared.
+  std::shared_mutex catalog_mu_;
+  /// World-table lock: shared to read distributions (all confidence
+  /// computation), exclusive to mint variables (repair-key/pick-tuples).
+  std::shared_mutex world_mu_;
+  std::mutex pool_mu_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<size_t> live_sessions_{0};
+};
+
+}  // namespace maybms

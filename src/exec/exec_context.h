@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/cond/constraint_store.h"
 #include "src/conf/exact.h"
 #include "src/conf/montecarlo.h"
 #include "src/storage/catalog.h"
@@ -61,13 +62,20 @@ struct ExecOptions {
   /// exact.cache == nullptr always compiles fresh.
   bool dtree_cache = true;
   /// Resident-byte budget for that cache (LRU eviction past it;
-  /// 0 = unlimited). `SET dtree_cache_budget = <bytes>`.
+  /// 0 = unlimited). `SET dtree_cache_budget = <bytes>`. DATABASE-level
+  /// knob: the cache is shared by every session over one catalog, so this
+  /// field is only the session's view — a change is routed through the
+  /// serialized write path and affects all sessions (see
+  /// src/engine/session.h for the session/database knob split).
   size_t dtree_cache_budget = 64ull << 20;
   /// Rows per columnar-snapshot chunk (src/storage/table.h): INSERT
   /// rebuilds only the tail chunk, UPDATE/DELETE only touched chunks.
-  /// Applied to every table (existing and future) per statement by the
-  /// Database; `SET snapshot_chunk_rows = <rows>` (min 1). Changing it
-  /// forces a one-time full relayout of each table's next snapshot.
+  /// `SET snapshot_chunk_rows = <rows>` (min 1). Changing it forces a
+  /// one-time full relayout of each table's next snapshot. DATABASE-level
+  /// knob like dtree_cache_budget: it relays out every table's snapshots,
+  /// so a change goes through the serialized write path rather than being
+  /// re-applied from per-session options each statement (which would let
+  /// one session's SET silently rewrite every other session's snapshots).
   size_t snapshot_chunk_rows = 1024;
 };
 
@@ -85,11 +93,23 @@ struct ExecContext {
   /// (see src/exec/conf_fallback.h); the engine attaches a warning when
   /// non-zero. Atomic: groups aggregate in parallel.
   std::atomic<uint64_t>* conf_fallbacks = nullptr;
+  /// The session's evidence store (ASSERT / CONDITION ON state). Owned by
+  /// the Session, NOT the shared catalog: each session's evidence is its
+  /// own posterior (Koch & Olteanu's conditioning model), so concurrent
+  /// sessions condition independently over one database. Set by whichever
+  /// facade built the context; never null while statements execute.
+  ConstraintStore* session_constraints = nullptr;
+  /// True only while the executing session is the catalog's SOLE session
+  /// (the embedded Database facade): ASSERT then physically prunes worlds
+  /// the evidence determines (src/cond/prune.h). Multi-session execution
+  /// keeps evidence purely algebraic — pruning would rewrite shared tables
+  /// and the world table from one session's private posterior.
+  bool allow_prune = false;
 
   WorldTable& worlds() { return catalog->world_table(); }
   const WorldTable& worlds() const { return catalog->world_table(); }
   /// The active evidence: posterior confidence and `possible` consult it.
-  const ConstraintStore& constraints() const { return catalog->constraints(); }
+  const ConstraintStore& constraints() const { return *session_constraints; }
 };
 
 /// A materialized operator result.

@@ -135,7 +135,7 @@ Result<StatementResult> ExecuteAssert(const BoundStatement& stmt, ExecContext* c
     evidence.AddClause(std::move(row.condition));
   }
 
-  ConstraintStore& store = ctx->catalog->constraints();
+  ConstraintStore& store = *ctx->session_constraints;
   const ExactOptions& exact = ctx->options->exact;
   StatementResult result;
 
@@ -166,10 +166,21 @@ Result<StatementResult> ExecuteAssert(const BoundStatement& stmt, ExecContext* c
   MAYBMS_RETURN_NOT_OK(store.Conjoin(evidence, ctx->worlds(), exact, ctx->pool));
   double joint = store.probability();
   size_t clauses = store.NumClauses();
+  if (!ctx->allow_prune) {
+    // Multi-session: the evidence is this session's private posterior, so
+    // the shared tables and world table stay untouched — restricted rows
+    // report posterior 0 through the algebra instead of being deleted.
+    result.message = StringFormat(
+        "ASSERT P(evidence)=%.6g, %zu clause(s); evidence is session-local "
+        "(no physical pruning)",
+        joint, clauses);
+    return result;
+  }
   // Prune: worlds violating the evidence leave the stored representation;
   // fully-determined variables substitute away and renormalize.
-  MAYBMS_ASSIGN_OR_RETURN(PruneStats pruned,
-                          PruneConditionedWorlds(ctx->catalog, exact, ctx->pool));
+  MAYBMS_ASSIGN_OR_RETURN(
+      PruneStats pruned,
+      PruneConditionedWorlds(ctx->catalog, &store, exact, ctx->pool));
   result.affected_rows = pruned.rows_dropped;
   result.message = StringFormat(
       "ASSERT P(evidence)=%.6g, %zu clause(s); pruned %zu row(s), "
@@ -182,7 +193,7 @@ Result<StatementResult> ExecuteAssert(const BoundStatement& stmt, ExecContext* c
 // SHOW EVIDENCE: one row per constraint clause with its prior marginal
 // probability; the message summarizes P(C).
 Result<StatementResult> ExecuteShowEvidence(ExecContext* ctx) {
-  const ConstraintStore& store = ctx->catalog->constraints();
+  const ConstraintStore& store = *ctx->session_constraints;
   StatementResult result;
   result.has_data = true;
   result.data.schema.AddColumn(Column{"clause", TypeId::kString});
@@ -205,7 +216,7 @@ Result<StatementResult> ExecuteShowEvidence(ExecContext* ctx) {
 }
 
 Result<StatementResult> ExecuteClearEvidence(ExecContext* ctx) {
-  ctx->catalog->constraints().Clear();
+  ctx->session_constraints->Clear();
   StatementResult result;
   result.message = "CLEAR EVIDENCE";
   return result;

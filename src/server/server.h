@@ -1,0 +1,116 @@
+// A thin multi-session server front end over one SessionManager: a line
+// protocol on a local (AF_UNIX) stream socket, one Session per
+// connection. This is the repo's stand-in for the original system's
+// PostgreSQL server process (paper §2.3-§2.4: MayBMS is "a complete DBMS"
+// — concurrent clients over one probabilistic database); all isolation
+// semantics live in src/engine/session.h, the server only moves bytes.
+//
+// Protocol (text, newline-framed, one request per line):
+//
+//   request  := one line; embedded newlines in the SQL must be flattened
+//               by the client (Client::Request does).
+//               Either a SQL statement, or a meta-command:
+//                 \seed <n>       reseed this session's aconf RNG
+//                 \d              database summary (server-rendered)
+//                 \d <table>      describe one table
+//                 \explain <sql>  bound logical plan
+//                 \q              close this connection
+//   response := zero or more payload lines, each "D <escaped text>",
+//               terminated by exactly one "OK <escaped message>" or
+//               "ERR <escaped message>" line. Escaping: backslash,
+//               newline, CR, tab as \\ \n \r \t (the dump format's
+//               field escaping).
+//
+// Sessions die with their connection; their evidence and knobs die with
+// them. The shared catalog lives as long as the SessionManager.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/engine/session.h"
+
+namespace maybms {
+
+class Server {
+ public:
+  /// Serves sessions of `manager` (non-owning; must outlive the server).
+  /// Every connection's session starts from `session_defaults` — the
+  /// server analogue of the shell's interactive defaults.
+  explicit Server(SessionManager* manager, SessionOptions session_defaults = {});
+  ~Server();  // calls Stop()
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens on `socket_path` (an AF_UNIX path; an existing
+  /// stale socket file is replaced) and starts the accept loop.
+  Status Start(const std::string& socket_path);
+
+  /// Shuts the listener and every live connection down, joins all
+  /// threads, and removes the socket file. Idempotent.
+  void Stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+  /// Connections accepted over the server's lifetime.
+  uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void Serve(Connection* conn);
+
+  SessionManager* manager_;
+  SessionOptions session_defaults_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> accepted_{0};
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+};
+
+/// One parsed server response.
+struct ServerReply {
+  bool ok = false;
+  std::string message;              ///< the OK/ERR line's payload
+  std::vector<std::string> lines;   ///< the D lines, unescaped
+};
+
+/// A blocking client for the line protocol above. Not thread-safe; use
+/// one Client (= one session) per thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client();  // closes
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& socket_path);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request (embedded newlines are flattened to spaces) and
+  /// reads the reply. A protocol or socket error closes the connection.
+  Result<ServerReply> Request(std::string_view request);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received past the last parsed line
+};
+
+}  // namespace maybms

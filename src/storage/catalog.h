@@ -9,7 +9,6 @@
 #include <vector>
 
 #include "src/common/result.h"
-#include "src/cond/constraint_store.h"
 #include "src/lineage/dtree_cache.h"
 #include "src/prob/world_table.h"
 #include "src/storage/table.h"
@@ -17,8 +16,13 @@
 namespace maybms {
 
 /// Name → table registry (case-insensitive names) plus the shared
-/// WorldTable holding every random variable of the database and the
-/// ConstraintStore holding asserted evidence (conditioning subsystem).
+/// WorldTable holding every random variable of the database. Asserted
+/// evidence (the conditioning subsystem's ConstraintStore) deliberately
+/// does NOT live here: each Session owns its own store, so concurrent
+/// sessions over one catalog condition independently (src/engine/
+/// session.h). The catalog itself is unsynchronized — multi-session
+/// access goes through SessionManager, which serializes structure changes
+/// behind its catalog lock and row writes behind per-table locks.
 class Catalog {
  public:
   /// Creates a table; errors if the (case-insensitive) name exists.
@@ -44,10 +48,6 @@ class Catalog {
   WorldTable& world_table() { return world_table_; }
   const WorldTable& world_table() const { return world_table_; }
 
-  /// Evidence asserted against this database (ASSERT / CONDITION ON).
-  ConstraintStore& constraints() { return constraints_; }
-  const ConstraintStore& constraints() const { return constraints_; }
-
   /// The cross-statement d-tree compilation cache. Owned here — next to
   /// the world table and tables whose version counters key it — so its
   /// lifetime matches the lineage it caches; the Database facade wires it
@@ -61,7 +61,6 @@ class Catalog {
   std::map<std::string, TablePtr> tables_;  // key: lower-cased name
   size_t snapshot_chunk_rows_ = Batch::kDefaultCapacity;
   WorldTable world_table_;
-  ConstraintStore constraints_;
   std::unique_ptr<DTreeCache> dtree_cache_ = std::make_unique<DTreeCache>();
 };
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/common/str_util.h"
+#include "src/cond/constraint_store.h"
 #include "src/conf/exact.h"
 
 namespace maybms {
@@ -99,9 +100,15 @@ Result<Value> DeserializeValue(const std::string& field, TypeId type) {
 
 }  // namespace
 
-std::string DumpDatabase(const Catalog& catalog) {
+std::string DumpDatabase(const Catalog& catalog, const ConstraintStore* evidence) {
   std::string out = kMagic;
   out += "\n";
+  // Snapshot chunk layout: a tuning knob, but one that changes which
+  // chunks the incremental columnar rebuild can reuse — restoring it keeps
+  // a reloaded database's snapshot behavior identical to the dumped one.
+  // Older dumps lack the line; restore keeps the catalog default then.
+  out += StringFormat("LAYOUT snapshot_chunk_rows %zu\n",
+                      catalog.snapshot_chunk_rows());
 
   // World table: one line per variable: label, then the distribution.
   const WorldTable& wt = catalog.world_table();
@@ -140,8 +147,8 @@ std::string DumpDatabase(const Catalog& catalog) {
   // Asserted evidence (conditioning subsystem): one clause per line, same
   // atom encoding as row conditions. Absent when no evidence is active
   // (dumps from older versions restore fine either way).
-  const ConstraintStore& cs = catalog.constraints();
-  if (cs.active()) {
+  if (evidence != nullptr && evidence->active()) {
+    const ConstraintStore& cs = *evidence;
     out += StringFormat("EVIDENCE %zu\n", cs.NumClauses());
     for (const Condition& clause : cs.clauses()) {
       out += "E";
@@ -155,15 +162,17 @@ std::string DumpDatabase(const Catalog& catalog) {
   return out;
 }
 
-Status SaveDatabaseToFile(const Catalog& catalog, const std::string& path) {
+Status SaveDatabaseToFile(const Catalog& catalog, const std::string& path,
+                          const ConstraintStore* evidence) {
   std::ofstream out(path);
   if (!out) return Status::IoError(StringFormat("cannot open '%s'", path.c_str()));
-  out << DumpDatabase(catalog);
+  out << DumpDatabase(catalog, evidence);
   if (!out.good()) return Status::IoError(StringFormat("write to '%s' failed", path.c_str()));
   return Status::OK();
 }
 
-Status RestoreDatabase(const std::string& dump, Catalog* catalog) {
+Status RestoreDatabase(const std::string& dump, Catalog* catalog,
+                       ConstraintStore* evidence) {
   if (!catalog->TableNames().empty() || catalog->world_table().NumVariables() != 0) {
     return Status::InvalidArgument(
         "RestoreDatabase requires a fresh catalog (variable ids are dense)");
@@ -175,6 +184,16 @@ Status RestoreDatabase(const std::string& dump, Catalog* catalog) {
   }
 
   if (!std::getline(in, line)) return Status::ParseError("truncated dump");
+  // Optional LAYOUT line (dumps before it carried none: those restore
+  // under the catalog's current default layout).
+  size_t chunk_rows = 0;
+  if (std::sscanf(line.c_str(), "LAYOUT snapshot_chunk_rows %zu", &chunk_rows) == 1) {
+    if (chunk_rows == 0) {
+      return Status::ParseError("LAYOUT snapshot_chunk_rows must be positive");
+    }
+    catalog->SetSnapshotChunkRows(chunk_rows);
+    if (!std::getline(in, line)) return Status::ParseError("truncated dump");
+  }
   size_t num_vars = 0;
   if (std::sscanf(line.c_str(), "WORLDTABLE %zu", &num_vars) != 1) {
     return Status::ParseError("missing WORLDTABLE section");
@@ -206,6 +225,11 @@ Status RestoreDatabase(const std::string& dump, Catalog* catalog) {
     if (trimmed == "END") return Status::OK();
     size_t num_clauses = 0;
     if (std::sscanf(line.c_str(), "EVIDENCE %zu", &num_clauses) == 1) {
+      if (evidence == nullptr) {
+        return Status::ParseError(
+            "dump carries asserted evidence but no session store was given "
+            "to restore it into");
+      }
       std::vector<Condition> clauses;
       clauses.reserve(num_clauses);
       for (size_t c = 0; c < num_clauses; ++c) {
@@ -237,7 +261,7 @@ Status RestoreDatabase(const std::string& dump, Catalog* catalog) {
       }
       // Recompute P(C) against the restored world table; a probability-0
       // constraint means the dump is corrupt.
-      MAYBMS_RETURN_NOT_OK(catalog->constraints().Load(
+      MAYBMS_RETURN_NOT_OK(evidence->Load(
           std::move(clauses), catalog->world_table(), ExactOptions{}, nullptr));
       continue;
     }
@@ -321,12 +345,13 @@ Status RestoreDatabase(const std::string& dump, Catalog* catalog) {
   return Status::ParseError("dump is missing the END marker");
 }
 
-Status LoadDatabaseFromFile(const std::string& path, Catalog* catalog) {
+Status LoadDatabaseFromFile(const std::string& path, Catalog* catalog,
+                            ConstraintStore* evidence) {
   std::ifstream in(path);
   if (!in) return Status::IoError(StringFormat("cannot open '%s'", path.c_str()));
   std::stringstream buf;
   buf << in.rdbuf();
-  return RestoreDatabase(buf.str(), catalog);
+  return RestoreDatabase(buf.str(), catalog, evidence);
 }
 
 }  // namespace maybms

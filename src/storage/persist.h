@@ -17,19 +17,30 @@
 
 namespace maybms {
 
-/// Serializes the catalog (all tables + the world table) into a single
-/// self-contained text dump.
-std::string DumpDatabase(const Catalog& catalog);
+class ConstraintStore;
+
+/// Serializes the catalog (all tables + the world table + the snapshot
+/// chunk layout) into a single self-contained text dump. Evidence lives
+/// per session, not in the catalog (src/engine/session.h), so the caller
+/// passes the store to persist — typically the dumping session's own;
+/// nullptr (or an inactive store) omits the EVIDENCE section.
+std::string DumpDatabase(const Catalog& catalog,
+                         const ConstraintStore* evidence = nullptr);
 
 /// Writes DumpDatabase() to a file.
-Status SaveDatabaseToFile(const Catalog& catalog, const std::string& path);
+Status SaveDatabaseToFile(const Catalog& catalog, const std::string& path,
+                          const ConstraintStore* evidence = nullptr);
 
 /// Restores a dump into `catalog`. The catalog must be fresh: no tables
 /// and an empty world table (variable ids in conditions are dense indexes
-/// into the dumped world table).
-Status RestoreDatabase(const std::string& dump, Catalog* catalog);
+/// into the dumped world table). A dump with an EVIDENCE section loads it
+/// into `evidence` (the restoring session's store); passing nullptr for a
+/// dump that carries evidence is a ParseError rather than a silent drop.
+Status RestoreDatabase(const std::string& dump, Catalog* catalog,
+                       ConstraintStore* evidence = nullptr);
 
 /// Reads a dump file and restores it.
-Status LoadDatabaseFromFile(const std::string& path, Catalog* catalog);
+Status LoadDatabaseFromFile(const std::string& path, Catalog* catalog,
+                            ConstraintStore* evidence = nullptr);
 
 }  // namespace maybms

@@ -91,6 +91,7 @@ void Table::SetChunkRows(size_t rows) {
 }
 
 TableDelta Table::DeltaSince(uint64_t since) const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
   Reconcile();
   TableDelta d;
   d.since_version = since;
@@ -133,6 +134,10 @@ TableDelta Table::DeltaSince(uint64_t since) const {
 }
 
 std::shared_ptr<const ColumnarTable> Table::Columnar() const {
+  // Serializes the lazy rebuild between sessions that hold this table's
+  // statement_lock() only SHARED; the chunks themselves are immutable
+  // once built, so returning the shared_ptr out of the lock is safe.
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
   Reconcile();
   if (columnar_ != nullptr && columnar_version_ == version_) return columnar_;
   auto out = std::make_shared<ColumnarTable>();
@@ -166,6 +171,7 @@ std::shared_ptr<const ColumnarTable> Table::Columnar() const {
 }
 
 Table::SnapshotStats Table::snapshot_stats() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
   Reconcile();
   SnapshotStats s;
   s.chunks = NumChunks();

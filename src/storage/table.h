@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -149,6 +151,16 @@ class Table {
   /// reaches the cache as changed content.
   uint64_t version() const { return version_; }
 
+  /// The per-table statement lock (multi-session write serialization,
+  /// src/engine/session.h): sessions reading this table's rows hold it
+  /// shared for the whole statement, sessions mutating them hold it
+  /// unique — so every read is a snapshot-consistent cut at one version()
+  /// and concurrent writers to DIFFERENT tables still proceed in
+  /// parallel. The Table itself does not take this lock (single-session
+  /// embedders and unit tests stay lock-free); SessionManager acquires it
+  /// in its fixed catalog → world → tables-by-name order.
+  std::shared_mutex& statement_lock() const { return statement_mu_; }
+
  private:
   /// Folds a pending mutable_rows() grant into the chunk bookkeeping:
   /// the caller may have resized/rewritten anything, so every chunk gets
@@ -194,6 +206,15 @@ class Table {
   mutable uint64_t snapshot_rebuilds_ = 0;
   mutable uint64_t chunks_rebuilt_ = 0;
   mutable uint64_t chunks_reused_ = 0;
+
+  /// Guards the mutable snapshot/bookkeeping state above against
+  /// CONCURRENT CONST READERS: Columnar(), DeltaSince(), and
+  /// snapshot_stats() all reconcile and rebuild lazily, so two sessions
+  /// holding statement_lock() shared would otherwise race on the cache.
+  /// Mutators don't take it — they run under an exclusive statement_lock()
+  /// (or single-threaded), so no reader is concurrent with them.
+  mutable std::mutex snapshot_mu_;
+  mutable std::shared_mutex statement_mu_;
 };
 
 using TablePtr = std::shared_ptr<Table>;

@@ -460,11 +460,14 @@ TEST_F(ConditioningSqlTest, EvidenceSurvivesPersistRoundTrip) {
   ASSERT_TRUE(db_->Execute(
       "assert select * from toss t1, toss t2 "
       "where t1.id = 1 and t2.id = 2 and t1.face = t2.face").ok());
-  std::string dump = DumpDatabase(db_->catalog());
+  // Evidence lives in the session, not the catalog: the dumping session
+  // passes its store, and the restoring session receives the clauses.
+  std::string dump = DumpDatabase(db_->catalog(), &db_->constraints());
   EXPECT_NE(dump.find("EVIDENCE 2"), std::string::npos);
 
   Database restored;
-  ASSERT_TRUE(RestoreDatabase(dump, &restored.catalog()).ok());
+  ASSERT_TRUE(
+      RestoreDatabase(dump, &restored.catalog(), &restored.constraints()).ok());
   ASSERT_TRUE(restored.constraints().active());
   EXPECT_EQ(restored.constraints().NumClauses(), 2u);
   EXPECT_NEAR(restored.constraints().probability(), 0.5, kTol);

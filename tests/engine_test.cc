@@ -181,6 +181,44 @@ TEST(DatabaseTest, SetKnobsRejectMalformedNumbersWithPositions) {
   EXPECT_TRUE(db.Execute("SET num_threads = 0").ok());
 }
 
+TEST(DatabaseTest, DirectOptionsMutationsAreValidatedAtNextStatement) {
+  // options() hands out a mutable reference, so embedding code can bypass
+  // the SET parser entirely. Out-of-range values must be caught at the
+  // next statement with an error naming the knob — historically a
+  // fallback_epsilon of 0.0 sailed through and hit undefined behavior in
+  // the Karp-Luby sample-size computation.
+  Database db;
+  ASSERT_TRUE(db.Execute("create table t (x int)").ok());
+  ASSERT_TRUE(db.Execute("insert into t values (1)").ok());
+
+  db.options().exec.fallback_epsilon = 0.0;
+  Status st = db.Execute("select x from t");
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("fallback_epsilon"), std::string::npos)
+      << st.ToString();
+
+  // SET still works while options are invalid — it is the repair path.
+  ASSERT_TRUE(db.Execute("SET fallback_epsilon = 0.25").ok());
+  EXPECT_TRUE(db.Query("select x from t").ok());
+
+  db.options().exec.fallback_delta = 1.5;
+  EXPECT_EQ(db.Execute("select x from t").code(),
+            StatusCode::kInvalidArgument);
+  db.options().exec.fallback_delta = 0.05;
+
+  db.options().exec.snapshot_chunk_rows = 0;
+  st = db.Execute("select x from t");
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("snapshot_chunk_rows"), std::string::npos);
+  db.options().exec.snapshot_chunk_rows = ExecOptions().snapshot_chunk_rows;
+
+  db.options().exec.num_threads = 1u << 20;
+  EXPECT_EQ(db.Execute("select x from t").code(),
+            StatusCode::kInvalidArgument);
+  db.options().exec.num_threads = 0;
+  EXPECT_TRUE(db.Query("select x from t").ok());
+}
+
 TEST(QueryResultTest, ScalarValueAccessor) {
   Database db;
   auto one = db.Query("select 41 + 1");

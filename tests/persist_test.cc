@@ -125,5 +125,52 @@ TEST(PersistTest, UpdatesSurviveDumpRestoreCycle) {
   EXPECT_NEAR(p->AsDouble(), 0.25, kTol);
 }
 
+TEST(PersistTest, SnapshotChunkRowsRoundTrips) {
+  // The snapshot layout is part of the database, not the session: a dump
+  // taken after SET snapshot_chunk_rows must restore to the same chunking
+  // (historically the knob was silently dropped and restored databases
+  // reverted to the compiled-in default).
+  Database db;
+  BuildSample(&db);
+  ASSERT_TRUE(db.Execute("SET snapshot_chunk_rows = 2").ok());
+  std::string dump = DumpDatabase(db.catalog());
+  EXPECT_NE(dump.find("LAYOUT snapshot_chunk_rows 2\n"), std::string::npos);
+
+  Database db2;
+  ASSERT_TRUE(RestoreDatabase(dump, &db2.catalog()).ok());
+  EXPECT_EQ(db2.catalog().snapshot_chunk_rows(), 2u);
+  auto src = db2.catalog().GetTable("src");
+  ASSERT_TRUE(src.ok());
+  EXPECT_EQ((*src)->chunk_rows(), 2u);
+  // 4 rows at 2 rows/chunk: the restored layout really chunks, and the
+  // restoring session ADOPTS it rather than clobbering it back to default
+  // at its next statement.
+  auto r = db2.Query("select count(*) from src");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(db2.catalog().snapshot_chunk_rows(), 2u);
+  EXPECT_EQ((*src)->snapshot_stats().chunks, 2u);
+}
+
+TEST(PersistTest, DumpsWithoutLayoutLineRestoreUnderDefault) {
+  // Back-compat: pre-LAYOUT dumps restore under the compiled-in default.
+  Database db;
+  BuildSample(&db);
+  std::string dump = DumpDatabase(db.catalog());
+  size_t layout = dump.find("LAYOUT ");
+  ASSERT_NE(layout, std::string::npos);
+  size_t eol = dump.find('\n', layout);
+  dump.erase(layout, eol - layout + 1);
+
+  Database db2;
+  ASSERT_TRUE(RestoreDatabase(dump, &db2.catalog()).ok());
+  EXPECT_EQ(db2.catalog().snapshot_chunk_rows(), ExecOptions().snapshot_chunk_rows);
+  // A zero chunk size is corrupt, not merely odd.
+  Catalog fresh;
+  EXPECT_EQ(RestoreDatabase("MAYBMS DUMP v1\nLAYOUT snapshot_chunk_rows 0\n"
+                            "WORLDTABLE 0\nEND\n",
+                            &fresh).code(),
+            StatusCode::kParseError);
+}
+
 }  // namespace
 }  // namespace maybms

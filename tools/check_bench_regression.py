@@ -71,6 +71,13 @@ GUARDED_CASES = [
     # acceptance floor or any answer drifts from the cache-off truth).
     ("streaming_ingest", "dashboard_warm"),
     ("streaming_ingest", "dashboard_after_append"),
+    # Multi-session server (ISSUE 7): serial = all session scripts
+    # back-to-back on one session, concurrent = one thread per session over
+    # one shared catalog (params: sessions). The binary self-checks every
+    # concurrent session bit-identical to a solo replay and exits non-zero
+    # on divergence; this guard watches statement-lock overhead.
+    ("server", "dashboard_serial"),
+    ("server", "dashboard_concurrent"),
 ]
 
 
