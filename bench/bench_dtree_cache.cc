@@ -13,7 +13,9 @@
 //                  cache), with the hit rate and the per-statement speedup,
 // for both engines at threads {1, 4}, and SELF-CHECKS that cached answers
 // are bit-identical to a cache-disabled database (exits non-zero on any
-// mismatch — the guard CI runs this).
+// mismatch — the guard CI runs this). A final section gates the metrics
+// registry's overhead: SET metrics = on vs off on the warm dashboard must
+// stay within 3% (or sub-1.5us/statement — the 1-CPU jitter floor).
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -138,10 +140,14 @@ int main() {
       });
 
       // Warm: the dashboard re-issued kRepeats times, all groups cached.
+      // The registry snapshot delta across the timed region rides into the
+      // JSON metrics object (the regression guard reads hit rates off it).
       cache.ResetCounters();
+      auto stats_before = db->session_manager().StatsSnapshot();
       double warm_total_ms = TimeMs3([&] {
         for (int i = 0; i < kRepeats; ++i) (void)db->Query(kDashboardSql);
       });
+      auto stats_after = db->session_manager().StatsSnapshot();
       double warm_ms = warm_total_ms / kRepeats;
       DTreeCache::Stats stats = cache.stats();
       double probes = static_cast<double>(stats.hits + stats.misses);
@@ -187,14 +193,17 @@ int main() {
           .Param("engine_batch", engine_batch)
           .Param("groups", kGroups)
           .Metric("uncached_ms", uncached_ms);
-      json.Report("conf_cached", warm_total_ms)
-          .Threads(threads)
-          .Param("engine_batch", engine_batch)
-          .Param("groups", kGroups)
-          .Param("repeats", kRepeats)
-          .Metric("per_statement_ms", warm_ms)
-          .Metric("hit_rate", hit_rate)
-          .Metric("speedup_vs_cold", speedup);
+      JsonReporter::Record& warm_record =
+          json.Report("conf_cached", warm_total_ms)
+              .Threads(threads)
+              .Param("engine_batch", engine_batch)
+              .Param("groups", kGroups)
+              .Param("repeats", kRepeats)
+              .Metric("per_statement_ms", warm_ms)
+              .Metric("hit_rate", hit_rate)
+              .Metric("speedup_vs_cold", speedup);
+      maybms_bench::MetricsDelta(&warm_record, stats_before, stats_after,
+                                 {"dtree_cache.", "conf.", "stmt.select"});
 
       if (hit_rate <= 0) {
         std::printf("  ERROR: warm dashboard reported no cache hits\n");
@@ -203,11 +212,48 @@ int main() {
     }
   }
 
+  // Metrics-overhead self-check (acceptance gate): the registry must cost
+  // <= 3% on the warm dashboard — the workload where per-statement fixed
+  // costs are most visible. Interleaved medians; statements whose absolute
+  // delta is under ~1.5us each are inside 1-CPU scheduler jitter.
+  {
+    PrintHeader("metrics overhead self-check (warm dashboard, batch, 1 thread)");
+    auto db = BuildDashboard(1, ExecEngine::kBatch, /*cache_on=*/true);
+    if (db == nullptr) return 1;
+    (void)db->Query(kDashboardSql);  // fill the cache once
+    auto repeat = [&] {
+      for (int i = 0; i < kRepeats; ++i) (void)db->Query(kDashboardSql);
+    };
+    maybms_bench::OverheadCheck check = maybms_bench::MeasureOverhead(
+        [&] {
+          (void)db->Query("set metrics = on");
+          repeat();
+        },
+        [&] {
+          (void)db->Query("set metrics = off");
+          repeat();
+        },
+        /*pairs=*/9, /*units=*/kRepeats, /*rel_budget=*/0.03,
+        /*abs_floor_ms=*/0.0015);
+    std::printf("  metrics on:  %8.2f ms / %d statements\n", check.on_ms, kRepeats);
+    std::printf("  metrics off: %8.2f ms / %d statements\n", check.off_ms, kRepeats);
+    std::printf("  overhead:    %+8.2f%%  (%+.3f us/statement)%s\n",
+                100 * check.rel, 1000 * check.per_unit_ms,
+                check.ok ? "" : "  ERROR: exceeds the 3% budget");
+    if (!check.ok) ++failures;
+    json.Report("metrics_overhead", check.on_ms)
+        .Threads(1)
+        .Param("repeats", kRepeats)
+        .Metric("off_ms", check.off_ms)
+        .Metric("rel_overhead", check.rel)
+        .Metric("per_statement_us", 1000 * check.per_unit_ms);
+  }
+
   if (failures > 0) {
     std::printf("\n%d self-check failure(s)\n", failures);
     return 1;
   }
   std::printf("\nall probabilities bit-identical: cache on/off x row/batch x "
-              "threads {1,4}\n");
+              "threads {1,4}; metrics overhead within budget\n");
   return 0;
 }

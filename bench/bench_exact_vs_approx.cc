@@ -18,6 +18,7 @@
 #include "src/common/thread_pool.h"
 #include "src/conf/exact.h"
 #include "src/conf/montecarlo.h"
+#include "src/obs/metrics.h"
 
 using namespace maybms;
 using maybms_bench::JsonReporter;
@@ -250,6 +251,34 @@ int main() {
           .Metric("steps", static_cast<double>(stats.steps))
           .Metric("cache_hits", static_cast<double>(stats.cache_hits));
     }
+  }
+
+  // Metrics-overhead self-check (acceptance gate): wiring a per-statement
+  // ConfPhaseCounters sink into the solver — exactly what the Session does
+  // when SET metrics = on — must cost <= 3% on a hard-region instance
+  // (the ablation's: the solver path where the counters actually tick).
+  {
+    PrintHeader("metrics overhead self-check (exact solver, counters wired)");
+    Instance inst = RandomDnf(28, 40, 3, 4242);
+    ConfPhaseCounters counters;
+    ExactOptions wired;
+    wired.max_steps = 50'000'000;
+    wired.counters = &counters;
+    ExactOptions bare = wired;
+    bare.counters = nullptr;
+    maybms_bench::OverheadCheck check = maybms_bench::MeasureOverhead(
+        [&] { (void)ExactConfidence(inst.dnf, inst.wt, wired); },
+        [&] { (void)ExactConfidence(inst.dnf, inst.wt, bare); },
+        /*pairs=*/9, /*units=*/1, /*rel_budget=*/0.03, /*abs_floor_ms=*/0.0015);
+    std::printf("  counters wired: %8.2f ms\n", check.on_ms);
+    std::printf("  counters off:   %8.2f ms\n", check.off_ms);
+    std::printf("  overhead:       %+8.2f%%%s\n", 100 * check.rel,
+                check.ok ? "" : "  ERROR: exceeds the 3% budget");
+    if (!check.ok) ++selfcheck_failures;
+    json.Report("metrics_overhead", check.on_ms)
+        .Threads(1)
+        .Metric("off_ms", check.off_ms)
+        .Metric("rel_overhead", check.rel);
   }
 
   PrintHeader("shape summary");

@@ -1,11 +1,14 @@
 // Shared helpers for the figure-reproduction benchmark binaries.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <deque>
 #include <functional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace maybms_bench {
@@ -29,6 +32,61 @@ inline double TimeMs3(const std::function<void()>& fn) {
 
 inline void PrintHeader(const char* title) {
   std::printf("\n=== %s ===\n", title);
+}
+
+inline double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0 : v[v.size() / 2];
+}
+
+/// Paired A/B comparison for the metrics-overhead acceptance gate. On the
+/// 1-CPU CI box the machine's speed drifts by far more than the effect
+/// being measured, so neither medians of independent samples nor min-of-N
+/// are trustworthy; instead each pair runs both arms back-to-back (drift
+/// is shared within a pair), the order alternates pair to pair (warm-up
+/// bias cancels), and the statistic is the MEDIAN OF PAIRED DELTAS.
+/// Passes when the median slowdown is within `rel_budget` (e.g. 0.03 =
+/// 3%) OR the absolute per-unit delta is below `abs_floor_ms` —
+/// sub-microsecond per-statement deltas are scheduler jitter, not
+/// overhead, even when a tiny baseline makes them look like a large
+/// percentage.
+struct OverheadCheck {
+  double on_ms = 0;        ///< median of the on-arm samples
+  double off_ms = 0;       ///< median of the off-arm samples
+  double delta_ms = 0;     ///< median of (on - off) paired deltas
+  double rel = 0;          ///< delta_ms / off_ms
+  double per_unit_ms = 0;  ///< delta_ms / units
+  bool ok = false;
+};
+
+inline OverheadCheck MeasureOverhead(const std::function<void()>& on,
+                                     const std::function<void()>& off,
+                                     int pairs, double units,
+                                     double rel_budget, double abs_floor_ms) {
+  on();  // warm both paths (caches, allocator) before sampling
+  off();
+  std::vector<double> on_samples, off_samples, deltas;
+  for (int i = 0; i < pairs; ++i) {
+    double on_ms, off_ms;
+    if (i % 2 == 0) {
+      on_ms = TimeMs(on);
+      off_ms = TimeMs(off);
+    } else {
+      off_ms = TimeMs(off);
+      on_ms = TimeMs(on);
+    }
+    on_samples.push_back(on_ms);
+    off_samples.push_back(off_ms);
+    deltas.push_back(on_ms - off_ms);
+  }
+  OverheadCheck check;
+  check.on_ms = Median(std::move(on_samples));
+  check.off_ms = Median(std::move(off_samples));
+  check.delta_ms = Median(std::move(deltas));
+  check.rel = check.off_ms > 0 ? check.delta_ms / check.off_ms : 0;
+  check.per_unit_ms = units > 0 ? check.delta_ms / units : check.delta_ms;
+  check.ok = check.rel <= rel_budget || check.per_unit_ms <= abs_floor_ms;
+  return check;
 }
 
 /// Machine-readable benchmark output: each record is one measured case.
@@ -144,5 +202,41 @@ class JsonReporter {
   std::deque<Record> records_;
   bool flushed_ = false;
 };
+
+/// Attaches the delta of two metrics snapshots (sorted name→value pairs,
+/// e.g. SessionManager::StatsSnapshot() taken before and after the timed
+/// region) to a record's "metrics" object. Only names starting with one
+/// of `prefixes` (empty list = all) and with a nonzero delta are kept,
+/// and histogram-derived series (.p50_ms/.p99_ms/.max_ms) are dropped —
+/// a delta of two percentiles means nothing.
+inline void MetricsDelta(
+    JsonReporter::Record* rec,
+    const std::vector<std::pair<std::string, double>>& before,
+    const std::vector<std::pair<std::string, double>>& after,
+    const std::vector<std::string>& prefixes = {}) {
+  auto wanted = [&](const std::string& name) {
+    if (name.size() > 7) {
+      std::string_view tail(name.data() + name.size() - 7, 7);
+      if (tail == ".p50_ms" || tail == ".p99_ms" || tail == ".max_ms") {
+        return false;
+      }
+    }
+    if (prefixes.empty()) return true;
+    for (const std::string& p : prefixes) {
+      if (name.compare(0, p.size(), p) == 0) return true;
+    }
+    return false;
+  };
+  // Both snapshots are name-sorted; walk them in lockstep. A name only in
+  // `after` (a metric born inside the region) deltas from zero.
+  size_t i = 0;
+  for (const auto& [name, value] : after) {
+    while (i < before.size() && before[i].first < name) ++i;
+    const double base =
+        (i < before.size() && before[i].first == name) ? before[i].second : 0;
+    const double delta = value - base;
+    if (delta != 0 && wanted(name)) rec->Metric(name.c_str(), delta);
+  }
+}
 
 }  // namespace maybms_bench

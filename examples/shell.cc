@@ -13,10 +13,12 @@
 // (src/engine/session.h).
 //
 // Meta-commands: \d (list tables + world table + sessions + evidence),
-// \d <table> (describe), \explain <query>, \seed <n> (reseed aconf RNG),
-// \save <file> / \load <file> (dump and restore the whole database —
-// conditions, world table, and this session's asserted evidence included;
-// embedded mode only), \q.
+// \d <table> (describe), \explain <query>, \stats [pattern] (metrics
+// registry snapshot, LIKE-filterable — same data as SHOW STATS),
+// \trace <file> (recent statement traces as chrome://tracing JSON),
+// \seed <n> (reseed aconf RNG), \save <file> / \load <file> (dump and
+// restore the whole database — conditions, world table, and this
+// session's asserted evidence included; embedded mode only), \q.
 //
 // Conditioning statements (see DESIGN.md):
 //   ASSERT <query>;                  -- condition on "query has an answer"
@@ -71,6 +73,28 @@ bool Dispatch(Database* db, const std::string& line, bool serving) {
       std::printf("RNG reseeded\n");
       return true;
     }
+    if (cmd == "\\stats" || cmd.rfind("\\stats ", 0) == 0) {
+      const std::string pattern =
+          cmd.size() > 7 ? std::string(Trim(cmd.substr(7))) : std::string();
+      for (const auto& [name, value] :
+           db->session_manager().StatsSnapshot()) {
+        if (!pattern.empty() && !maybms::MetricNameLike(pattern, name)) {
+          continue;
+        }
+        std::printf("%-44s %.6g\n", name.c_str(), value);
+      }
+      return true;
+    }
+    if (cmd.rfind("\\trace ", 0) == 0) {
+      const std::string path(Trim(cmd.substr(7)));
+      const std::string json = db->session_manager().ExportTraceJson();
+      std::ofstream out(path, std::ios::binary);
+      out << json;
+      std::printf(out.good() ? "wrote traces to %s\n"
+                             : "cannot write traces to %s\n",
+                  path.c_str());
+      return true;
+    }
     if (serving &&
         (cmd.rfind("\\save ", 0) == 0 || cmd.rfind("\\load ", 0) == 0)) {
       std::printf("\\save/\\load are unavailable while serving: remote "
@@ -98,8 +122,9 @@ bool Dispatch(Database* db, const std::string& line, bool serving) {
       }
       return true;
     }
-    std::printf("unknown meta-command; try \\d, \\explain <q>, \\seed <n>, "
-                "\\save <f>, \\load <f>, \\q\n");
+    std::printf("unknown meta-command; try \\d [table], \\explain <q>, "
+                "\\stats [pattern], \\trace <f>, \\seed <n>, \\save <f>, "
+                "\\load <f>, \\q\n");
     return true;
   }
   auto result = db->Query(trimmed);
@@ -159,7 +184,13 @@ void PrintBanner(bool serving, bool remote, const char* socket_path) {
       "          SET dtree_component_cache = on|off (recompile only "
       "delta-touched lineage components; default on),\n"
       "          SET snapshot_chunk_rows = <n> (columnar snapshot chunk "
-      "size; default 1024)\n"
+      "size; default 1024),\n"
+      "          SET metrics = on|off (engine metrics + statement traces; "
+      "default on)\n"
+      "observability: EXPLAIN [ANALYZE] <query>; SHOW STATS [LIKE 'pat']; "
+      "\\stats [pattern]; \\trace <file>\n"
+      "meta-commands: \\d [table], \\explain <q>, \\stats [pattern], "
+      "\\trace <f>, \\seed <n>, \\save <f>, \\load <f>, \\q\n"
       "sessions: SET knobs, \\seed, and asserted evidence are PER SESSION; "
       "tables and the world table are shared\n");
   if (serving) {

@@ -78,10 +78,12 @@ void ThreadPool::WorkerLoop(size_t index) {
         if (!deques_[victim].empty()) {
           task = std::move(deques_[victim].front());
           deques_[victim].pop_front();
+          tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
         }
       }
     }
     if (task) {
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       lock.unlock();
       task();
       lock.lock();

@@ -15,8 +15,10 @@
 // property the parallel engine's parity and determinism tests pin down.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -61,6 +63,16 @@ class ThreadPool {
   /// std::thread::hardware_concurrency(), clamped to >= 1.
   static unsigned DefaultThreads();
 
+  /// Observability: tasks executed by workers and how many of those were
+  /// stolen from a sibling's deque (relaxed counters; the metrics
+  /// registry snapshots them, see src/obs/metrics.h).
+  uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+  uint64_t tasks_stolen() const {
+    return tasks_stolen_.load(std::memory_order_relaxed);
+  }
+
  private:
   // Shared state of one ParallelFor: helpers hold a shared_ptr so a helper
   // task that only starts after the caller returned finds the chunk
@@ -87,6 +99,8 @@ class ThreadPool {
   size_t next_deque_ = 0;        // round-robin target for external submits
   bool stop_ = false;
   unsigned parallelism_ = 1;     // workers_.size() + 1 (the caller)
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> tasks_stolen_{0};
   std::vector<std::thread> workers_;
 };
 

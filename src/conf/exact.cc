@@ -9,6 +9,7 @@
 #include "src/common/thread_pool.h"
 #include "src/lineage/dtree.h"
 #include "src/lineage/dtree_cache.h"
+#include "src/obs/metrics.h"
 
 // The LEGACY recursive solver (ExactOptions::use_legacy_solver). The
 // default path compiles a d-tree instead (src/lineage/dtree.cc) and is
@@ -611,6 +612,10 @@ bool ComponentConfidence(const CompiledDnf& dnf, const WorldTable& wt,
       ckey = BuildComponentKey(dnf, comp.data(), comp.size(), world_version,
                                options);
       if (cache->LookupComponent(ckey, &cp)) {
+        if (options.counters != nullptr) {
+          options.counters->component_hits.fetch_add(
+              1, std::memory_order_relaxed);
+        }
         none *= (1.0 - cp);
         continue;
       }
@@ -635,18 +640,23 @@ bool ComponentConfidence(const CompiledDnf& dnf, const WorldTable& wt,
       }
       sub_options.max_steps = budget - used;
     }
-    // Step sink feeding the running budget; attaching stats never changes
-    // compiler decisions (counters only).
-    ExactStats sub_stats;
+    // The running budget and the compile_nodes counter both read the
+    // compiler's own step count — no ExactStats sink, so the recursion
+    // carries no per-node stats increments.
     DTreeCompiler compiler(
-        CompiledDnf(atoms.data(), offsets.data(), comp.size(), wt), sub_options,
-        &sub_stats);
+        CompiledDnf(atoms.data(), offsets.data(), comp.size(), wt),
+        sub_options);
     Result<DTree> tree = compiler.Compile(nullptr);
     if (!tree.ok()) {
       *out = tree.status();
       return true;
     }
-    used += sub_stats.steps;
+    used += compiler.StepsUsed();
+    if (options.counters != nullptr) {
+      options.counters->compiles.fetch_add(1, std::memory_order_relaxed);
+      options.counters->compile_nodes.fetch_add(compiler.StepsUsed(),
+                                                std::memory_order_relaxed);
+    }
     cp = tree->root_value();
     if (cacheable) {
       cache->InsertComponent(ckey, cp,
@@ -660,14 +670,19 @@ bool ComponentConfidence(const CompiledDnf& dnf, const WorldTable& wt,
 
 }  // namespace
 
-Result<double> ExactConfidence(CompiledDnf dnf, const WorldTable& wt,
-                               const ExactOptions& options, ExactStats* stats,
-                               ThreadPool* pool) {
+namespace {
+
+Result<double> ExactConfidenceImpl(CompiledDnf dnf, const WorldTable& wt,
+                                   const ExactOptions& options,
+                                   ExactStats* stats, ThreadPool* pool) {
   double p;
+  ConfPhaseCounters* obs = options.counters;
   if (options.use_legacy_solver) {
     // The legacy recursion is the reference the d-tree (and with it the
     // compilation cache's) bit-identity contract is defined against: it
     // always recomputes, never consults or fills the cache.
+    if (obs != nullptr) obs->compiles.fetch_add(1, std::memory_order_relaxed);
+    ScopedNsTimer timer(obs != nullptr ? &obs->exact_ns : nullptr);
     ExactSolver solver(std::move(dnf), options, stats);
     MAYBMS_ASSIGN_OR_RETURN(p, solver.SolveRoot(pool));
     return std::min(1.0, std::max(0.0, p));
@@ -685,29 +700,66 @@ Result<double> ExactConfidence(CompiledDnf dnf, const WorldTable& wt,
   LineageKey key;
   if (use_cache) {
     key = BuildLineageKey(dnf, wt.version(), options);
-    if (cache->Lookup(key, &p)) return p;  // stored values are clamped
-    if (options.component_cache) {
-      // Whole-statement miss: try answering component-by-component, reusing
-      // kind-1 entries for untouched components and compiling only the
-      // delta. Bit-identical to the whole compile below (see the helper's
-      // comment), so the kind-0 entry it fills is indistinguishable from
-      // one the whole compile would have produced.
-      Result<double> component_result = 0.0;
-      if (ComponentConfidence(dnf, wt, options, cache, &component_result)) {
-        MAYBMS_ASSIGN_OR_RETURN(p, component_result);
-        p = std::min(1.0, std::max(0.0, p));
-        cache->Insert(key, p);
-        return p;
+    if (cache->Lookup(key, &p)) {  // stored values are clamped
+      if (obs != nullptr) {
+        obs->cache_hits.fetch_add(1, std::memory_order_relaxed);
       }
+      // Deliberately clock-free: the hit path is the warm-statement hot
+      // path and its sub-microsecond duration is probe noise, not solver
+      // time. exact_ns times real solver work (the miss tail) only.
+      return p;
     }
   }
+  // Miss (or uncacheable) tail: everything from here is real solver work
+  // and lands in the conf-phase exact_ns total.
+  ScopedNsTimer miss_timer(obs != nullptr ? &obs->exact_ns : nullptr);
+  if (use_cache && options.component_cache) {
+    // Whole-statement miss: try answering component-by-component, reusing
+    // kind-1 entries for untouched components and compiling only the
+    // delta. Bit-identical to the whole compile below (see the helper's
+    // comment), so the kind-0 entry it fills is indistinguishable from
+    // one the whole compile would have produced.
+    Result<double> component_result = 0.0;
+    if (ComponentConfidence(dnf, wt, options, cache, &component_result)) {
+      MAYBMS_ASSIGN_OR_RETURN(p, component_result);
+      p = std::min(1.0, std::max(0.0, p));
+      cache->Insert(key, p);
+      return p;
+    }
+  }
+  // Node-count observability rides on the compiler's own budget counter
+  // (StepsUsed()), so wiring obs counters attaches NO ExactStats sink and
+  // the compile recursion runs the identical instruction stream with
+  // metrics on or off.
   DTreeCompiler compiler(std::move(dnf), options, stats);
-  MAYBMS_ASSIGN_OR_RETURN(p, compiler.CompileValue(pool));
+  const uint64_t c0 = obs != nullptr ? MonotonicNs() : 0;
+  Result<double> compiled = compiler.CompileValue(pool);
+  if (obs != nullptr) {
+    obs->compiles.fetch_add(1, std::memory_order_relaxed);
+    obs->compile_ns.fetch_add(MonotonicNs() - c0, std::memory_order_relaxed);
+    obs->compile_nodes.fetch_add(compiler.StepsUsed(),
+                                 std::memory_order_relaxed);
+  }
+  MAYBMS_ASSIGN_OR_RETURN(p, compiled);
   // Clamp tiny floating-point drift.
   p = std::min(1.0, std::max(0.0, p));
   // Budget failures returned above; only completed compilations persist.
   if (use_cache) cache->Insert(key, p);
   return p;
+}
+
+}  // namespace
+
+Result<double> ExactConfidence(CompiledDnf dnf, const WorldTable& wt,
+                               const ExactOptions& options, ExactStats* stats,
+                               ThreadPool* pool) {
+  // Count-only here: exact_ns is accumulated inside the impl around the
+  // cache-miss tail, so warm cache hits stay clock-free (the registry's
+  // overhead budget is set by exactly that path).
+  if (ConfPhaseCounters* obs = options.counters; obs != nullptr) {
+    obs->exact_calls.fetch_add(1, std::memory_order_relaxed);
+  }
+  return ExactConfidenceImpl(std::move(dnf), wt, options, stats, pool);
 }
 
 Result<double> ExactConfidence(const Dnf& dnf, const WorldTable& wt,

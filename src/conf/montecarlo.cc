@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -9,12 +10,43 @@
 #include "src/common/thread_pool.h"
 #include "src/conf/karp_luby.h"
 #include "src/lineage/dtree_cache.h"
+#include "src/obs/metrics.h"
 
 namespace maybms {
 
 namespace {
 
 constexpr double kEMinus2 = 0.7182818284590452;  // e − 2
+
+// Observability scope for one sampled aconf entry point: counts the call,
+// records the guarantee parameter ε of the run (the "epsilon achieved" in
+// the (ε,δ)-approximation sense — the DKLR stopping rule delivers exactly
+// the requested bound when it completes), and times the call. No clock
+// calls at all when counters are absent (metrics off).
+class AconfScope {
+ public:
+  AconfScope(ConfPhaseCounters* obs, double epsilon) : obs_(obs) {
+    if (obs_ == nullptr) return;
+    obs_->aconf_calls.fetch_add(1, std::memory_order_relaxed);
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(epsilon), "bit width");
+    std::memcpy(&bits, &epsilon, sizeof(bits));
+    obs_->epsilon_bits.store(bits, std::memory_order_relaxed);
+    t0_ = MonotonicNs();
+  }
+  ~AconfScope() {
+    if (obs_ != nullptr) {
+      obs_->aconf_ns.fetch_add(MonotonicNs() - t0_,
+                               std::memory_order_relaxed);
+    }
+  }
+  AconfScope(const AconfScope&) = delete;
+  AconfScope& operator=(const AconfScope&) = delete;
+
+ private:
+  ConfPhaseCounters* obs_;
+  uint64_t t0_ = 0;
+};
 
 Status ValidateParams(double epsilon, double delta) {
   if (!(epsilon > 0) || epsilon >= 1) {
@@ -120,14 +152,34 @@ Result<MonteCarloResult> OptimalEstimateT(TrialF&& trial, double epsilon,
 
 /// One Karp-Luby Bernoulli trial over caller-owned scratch; the kernel
 /// choice (packed vs reference) is fixed per estimation run.
+///
+/// Trial/rejection observability uses functor-LOCAL plain counters
+/// flushed into the shared atomics once, on destruction — the hot trial
+/// loop never touches an atomic. The functor is created exactly once per
+/// run and passed by reference (never copied), so the flush fires once.
 struct KlTrial {
   const KarpLubyEstimator* estimator;
   KarpLubyScratch* scratch;
   bool reference;
+  ConfPhaseCounters* counters = nullptr;
+  mutable uint64_t local_trials = 0;
+  mutable uint64_t local_rejections = 0;
+
+  ~KlTrial() {
+    if (counters != nullptr && local_trials != 0) {
+      counters->kl_trials.fetch_add(local_trials, std::memory_order_relaxed);
+      counters->kl_rejections.fetch_add(local_rejections,
+                                        std::memory_order_relaxed);
+    }
+  }
 
   double operator()(Rng* rng) const {
     bool z = reference ? estimator->TrialReference(rng, scratch)
                        : estimator->Trial(rng, scratch);
+    if (counters != nullptr) {
+      ++local_trials;
+      if (!z) ++local_rejections;
+    }
     return z ? 1.0 : 0.0;
   }
 };
@@ -150,7 +202,8 @@ Result<MonteCarloResult> ApproxWithEstimator(const KarpLubyEstimator& estimator,
     return result;
   }
   KarpLubyScratch scratch;
-  KlTrial trial{&estimator, &scratch, options.use_reference_kernel};
+  KlTrial trial{&estimator, &scratch, options.use_reference_kernel,
+                options.counters};
   // Z̄ estimates p/U with relative error ε, hence U·Z̄ estimates p with
   // relative error ε: the mean μ = p/U ≥ 1/m (m clauses) keeps the DKLR
   // sample bound polynomial — the Karp-Luby property.
@@ -178,6 +231,7 @@ Result<MonteCarloResult> ApproxConfidence(const Dnf& dnf, const WorldTable& wt,
                                           double epsilon, double delta, Rng* rng,
                                           const MonteCarloOptions& options) {
   MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
+  AconfScope obs_scope(options.counters, epsilon);
   KarpLubyEstimator estimator(dnf, wt);
   double single_prob =
       dnf.NumClauses() == 1 ? wt.ConditionProb(dnf.clauses()[0]) : 0;
@@ -189,6 +243,7 @@ Result<MonteCarloResult> ApproxConfidence(CompiledDnf dnf, double epsilon,
                                           double delta, Rng* rng,
                                           const MonteCarloOptions& options) {
   MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
+  AconfScope obs_scope(options.counters, epsilon);
   size_t num_clauses = dnf.original_clauses().size();
   double single_prob =
       num_clauses == 1 ? dnf.ClauseProb(dnf.original_clauses()[0]) : 0;
@@ -201,6 +256,7 @@ Result<MonteCarloResult> ApproxConjunctionConfidence(
     CompiledDnf dnf, size_t num_query_clauses, double epsilon, double delta,
     Rng* rng, const MonteCarloOptions& options) {
   MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
+  AconfScope obs_scope(options.counters, epsilon);
   KarpLubyEstimator estimator(std::move(dnf), num_query_clauses);
   if (estimator.Trivial()) {
     MonteCarloResult result;
@@ -212,7 +268,8 @@ Result<MonteCarloResult> ApproxConjunctionConfidence(
   // posterior layer handles single-clause queries exactly before reaching
   // the sampler.
   KarpLubyScratch scratch;
-  KlTrial trial{&estimator, &scratch, options.use_reference_kernel};
+  KlTrial trial{&estimator, &scratch, options.use_reference_kernel,
+                options.counters};
   MAYBMS_ASSIGN_OR_RETURN(MonteCarloResult mc,
                           OptimalEstimateT(trial, epsilon, delta, rng, options));
   mc.estimate = std::min(1.0, mc.estimate * estimator.TotalWeight());
@@ -412,14 +469,35 @@ Result<MonteCarloResult> OptimalEstimateSeededT(const MakeTrial& make_trial,
 
 /// Per-batch Karp-Luby trial: owns its scratch, so each batch task samples
 /// independently (the estimator itself is read-only during trials).
+///
+/// Like KlTrial, trial/rejection counts accumulate in plain locals and
+/// flush into the shared atomics on destruction — one atomic add pair per
+/// ~batch_size trials. The factory returns a prvalue, so each instance is
+/// constructed in place in MaterializeBatches (guaranteed elision) and
+/// destroyed exactly once at the end of its batch.
 struct KlBatchTrial {
   const KarpLubyEstimator* estimator;
   bool reference;
+  ConfPhaseCounters* counters;
   KarpLubyScratch scratch;
+  uint64_t local_trials = 0;
+  uint64_t local_rejections = 0;
+
+  ~KlBatchTrial() {
+    if (counters != nullptr && local_trials != 0) {
+      counters->kl_trials.fetch_add(local_trials, std::memory_order_relaxed);
+      counters->kl_rejections.fetch_add(local_rejections,
+                                        std::memory_order_relaxed);
+    }
+  }
 
   double operator()(Rng* rng) {
     bool z = reference ? estimator->TrialReference(rng, &scratch)
                        : estimator->Trial(rng, &scratch);
+    if (counters != nullptr) {
+      ++local_trials;
+      if (!z) ++local_rejections;
+    }
     return z ? 1.0 : 0.0;
   }
 };
@@ -427,9 +505,10 @@ struct KlBatchTrial {
 struct KlTrialFactory {
   const KarpLubyEstimator* estimator;
   bool reference;
+  ConfPhaseCounters* counters;
 
   KlBatchTrial operator()() const {
-    return KlBatchTrial{estimator, reference, {}};
+    return KlBatchTrial{estimator, reference, counters, {}};
   }
 };
 
@@ -449,6 +528,7 @@ Result<MonteCarloResult> ApproxConfidenceSeeded(CompiledDnf dnf, double epsilon,
                                                 const MonteCarloOptions& options,
                                                 ThreadPool* pool) {
   MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
+  AconfScope obs_scope(options.counters, epsilon);
   size_t num_clauses = dnf.original_clauses().size();
   // The seeded estimate is a pure function of (content, world version,
   // seed, ε, δ, sampling knobs), so a cached result IS the value a rerun
@@ -462,6 +542,10 @@ Result<MonteCarloResult> ApproxConfidenceSeeded(CompiledDnf dnf, double epsilon,
                            delta, ~0ull, options);
     MonteCarloResult cached;
     if (options.cache->LookupEstimate(key, &cached.estimate, &cached.samples)) {
+      if (options.counters != nullptr) {
+        options.counters->estimate_hits.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      }
       return cached;
     }
   }
@@ -481,7 +565,8 @@ Result<MonteCarloResult> ApproxConfidenceSeeded(CompiledDnf dnf, double epsilon,
     result.samples = 0;
     return result;
   }
-  KlTrialFactory factory{&estimator, options.use_reference_kernel};
+  KlTrialFactory factory{&estimator, options.use_reference_kernel,
+                         options.counters};
   MAYBMS_ASSIGN_OR_RETURN(
       MonteCarloResult mc,
       OptimalEstimateSeededT(factory, epsilon, delta, base_seed, options, pool));
@@ -494,6 +579,7 @@ Result<MonteCarloResult> ApproxConjunctionConfidenceSeeded(
     CompiledDnf dnf, size_t num_query_clauses, double epsilon, double delta,
     uint64_t base_seed, const MonteCarloOptions& options, ThreadPool* pool) {
   MAYBMS_RETURN_NOT_OK(ValidateParams(epsilon, delta));
+  AconfScope obs_scope(options.counters, epsilon);
   LineageKey key;
   const bool use_cache =
       options.cache != nullptr &&
@@ -503,6 +589,10 @@ Result<MonteCarloResult> ApproxConjunctionConfidenceSeeded(
                            delta, num_query_clauses, options);
     MonteCarloResult cached;
     if (options.cache->LookupEstimate(key, &cached.estimate, &cached.samples)) {
+      if (options.counters != nullptr) {
+        options.counters->estimate_hits.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      }
       return cached;
     }
   }
@@ -514,7 +604,8 @@ Result<MonteCarloResult> ApproxConjunctionConfidenceSeeded(
     if (use_cache) options.cache->InsertEstimate(key, result.estimate, 0);
     return result;
   }
-  KlTrialFactory factory{&estimator, options.use_reference_kernel};
+  KlTrialFactory factory{&estimator, options.use_reference_kernel,
+                         options.counters};
   MAYBMS_ASSIGN_OR_RETURN(
       MonteCarloResult mc,
       OptimalEstimateSeededT(factory, epsilon, delta, base_seed, options, pool));

@@ -24,6 +24,7 @@ namespace maybms {
 
 class DTreeCache;
 class ThreadPool;
+struct ConfPhaseCounters;  // src/obs/metrics.h
 
 /// A randomized experiment producing values in [0, 1].
 using TrialFn = std::function<double(Rng*)>;
@@ -72,6 +73,12 @@ struct MonteCarloOptions {
   /// World-table version the lineage's probabilities were baked from (the
   /// probability axis of the estimate key; see dtree_cache.h).
   uint64_t world_version = 0;
+  /// Observability sink (src/obs/metrics.h), or null when metrics are
+  /// off. Counters only (trials, rejections, estimate-cache hits, call
+  /// timing); never consulted for any sampling decision, and OUTSIDE the
+  /// estimate cache key (BuildEstimateKey hashes named sampling knobs
+  /// only), so attaching it cannot perturb cached estimates. Non-owning.
+  ConfPhaseCounters* counters = nullptr;
 };
 
 /// Counter-based substream seeding (SplitMix64 finalizer over

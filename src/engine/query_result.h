@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/result.h"
@@ -24,6 +25,13 @@ class QueryResult {
   size_t NumColumns() const { return data_.schema.NumColumns(); }
   bool uncertain() const { return data_.uncertain; }
   const std::string& message() const { return message_; }
+
+  /// Appends a paragraph to the message (EXPLAIN ANALYZE attaches the
+  /// rendered trace to the executed statement's result this way).
+  void AppendMessage(std::string_view text) {
+    if (!message_.empty()) message_ += "\n";
+    message_.append(text);
+  }
 
   /// Cell accessor (row-major).
   const Value& At(size_t row, size_t col) const { return data_.rows[row].values[col]; }

@@ -5,6 +5,8 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <functional>
+#include <thread>
 #include <utility>
 
 #include "src/common/str_util.h"
@@ -251,10 +253,36 @@ SessionManager::LockPlan ClassifyStatement(const Statement& stmt,
     case StatementKind::kClearEvidence:
       break;  // session-local store; world shared (labels) via Acquire
     case StatementKind::kSet:
-      break;  // handled before classification (RunSet)
+    case StatementKind::kExplain:
+    case StatementKind::kShowStats:
+      break;  // handled by the session before classification
   }
   return plan;
 }
+
+/// StatementKind -> dense metrics index (kStatementKindNames order in
+/// metrics.cc mirrors the enum exactly).
+size_t StatementKindIndex(StatementKind kind) {
+  static_assert(static_cast<size_t>(StatementKind::kShowStats) + 1 ==
+                    kNumStatementKinds,
+                "kNumStatementKinds must track StatementKind");
+  return static_cast<size_t>(kind);
+}
+
+uint64_t CurrentThreadHash() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+/// Unwires the per-statement ConfPhaseCounters from the session's solver
+/// options on every exit path (the options outlive the counters).
+struct ConfWireGuard {
+  explicit ConfWireGuard(ExecOptions* exec) : exec_(exec) {}
+  ~ConfWireGuard() {
+    exec_->exact.counters = nullptr;
+    exec_->montecarlo.counters = nullptr;
+  }
+  ExecOptions* exec_;
+};
 
 }  // namespace
 
@@ -270,19 +298,34 @@ std::unique_ptr<Session> SessionManager::CreateSession(SessionOptions options) {
   return std::unique_ptr<Session>(new Session(this, std::move(options)));
 }
 
-SessionManager::StatementLocks SessionManager::Acquire(const LockPlan& plan) {
+SessionManager::StatementLocks SessionManager::Acquire(const LockPlan& plan,
+                                                       LockWaitTimes* waits) {
+  // Lock-wait visibility: time each acquisition only when a sink is
+  // passed (metrics on), so the untimed path stays clock-free.
   StatementLocks held;
+  uint64_t t0 = waits != nullptr ? MonotonicNs() : 0;
   if (plan.catalog_exclusive) {
     // Exclusive catalog access subsumes the world and table locks: every
     // other statement holds the catalog lock at least shared.
     held.catalog_unique = std::unique_lock<std::shared_mutex>(catalog_mu_);
+    if (waits != nullptr) waits->catalog_ns = MonotonicNs() - t0;
     return held;
   }
   held.catalog_shared = std::shared_lock<std::shared_mutex>(catalog_mu_);
+  if (waits != nullptr) {
+    const uint64_t t1 = MonotonicNs();
+    waits->catalog_ns = t1 - t0;
+    t0 = t1;
+  }
   if (plan.world_exclusive) {
     held.world_unique = std::unique_lock<std::shared_mutex>(world_mu_);
   } else {
     held.world_shared = std::shared_lock<std::shared_mutex>(world_mu_);
+  }
+  if (waits != nullptr) {
+    const uint64_t t1 = MonotonicNs();
+    waits->world_ns = t1 - t0;
+    t0 = t1;
   }
   // Per-table statement locks in sorted-name order (the fixed global
   // order that makes the scheme deadlock-free). A name in both sets is
@@ -312,7 +355,47 @@ SessionManager::StatementLocks SessionManager::Acquire(const LockPlan& plan) {
     }
     i = j;
   }
+  if (waits != nullptr) waits->table_ns = MonotonicNs() - t0;
   return held;
+}
+
+std::vector<std::pair<std::string, double>> SessionManager::StatsSnapshot() {
+  std::vector<std::pair<std::string, double>> out = metrics_.Snapshot();
+  // Point-in-time gauges live with their owning components (all
+  // internally synchronized) and are folded in here rather than mirrored
+  // into the registry — one source of truth per number.
+  const DTreeCache::Stats dc = catalog_.dtree_cache().stats();
+  out.emplace_back("dtree_cache.entries", static_cast<double>(dc.entries));
+  out.emplace_back("dtree_cache.bytes", static_cast<double>(dc.bytes));
+  out.emplace_back("dtree_cache.hits", static_cast<double>(dc.hits));
+  out.emplace_back("dtree_cache.misses", static_cast<double>(dc.misses));
+  out.emplace_back("dtree_cache.evictions", static_cast<double>(dc.evictions));
+  out.emplace_back("dtree_cache.stale_purged",
+                   static_cast<double>(dc.stale_purged));
+  out.emplace_back("dtree_cache.component.hits",
+                   static_cast<double>(dc.component_hits));
+  out.emplace_back("dtree_cache.component.misses",
+                   static_cast<double>(dc.component_misses));
+  out.emplace_back("dtree_cache.estimate.hits",
+                   static_cast<double>(dc.estimate_hits));
+  out.emplace_back("dtree_cache.estimate.misses",
+                   static_cast<double>(dc.estimate_misses));
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (pool_ != nullptr) {
+      out.emplace_back("pool.tasks_executed",
+                       static_cast<double>(pool_->tasks_executed()));
+      out.emplace_back("pool.tasks_stolen",
+                       static_cast<double>(pool_->tasks_stolen()));
+    }
+  }
+  out.emplace_back("sessions.live", static_cast<double>(num_sessions()));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string SessionManager::ExportTraceJson() {
+  return ExportChromeTrace(traces_.Recent());
 }
 
 std::string SessionManager::Describe(const ConstraintStore* session_evidence) {
@@ -413,7 +496,10 @@ ThreadPool* SessionManager::SharedPool(unsigned want) {
 // --------------------------------------------------------------------------
 
 Session::Session(SessionManager* manager, SessionOptions options)
-    : manager_(manager), options_(std::move(options)), rng_(options_.seed) {
+    : manager_(manager),
+      id_(manager->next_session_id_.fetch_add(1, std::memory_order_relaxed)),
+      options_(std::move(options)),
+      rng_(options_.seed) {
   // Reconcile the session's view of the DATABASE-level knobs with the
   // shared state, under the catalog lock (sessions may be created while
   // others run statements). An option differing from the compiled-in
@@ -496,6 +582,8 @@ Result<QueryResult> Session::RunSet(const SetStmt& set) {
     exec.num_threads = static_cast<unsigned>(threads);
   } else if (set.name == "dtree_component_cache") {
     MAYBMS_ASSIGN_OR_RETURN(exec.exact.component_cache, SetBool(set));
+  } else if (set.name == "metrics") {
+    MAYBMS_ASSIGN_OR_RETURN(exec.metrics, SetBool(set));
   } else if (set.name == "snapshot_chunk_rows") {
     MAYBMS_ASSIGN_OR_RETURN(
         uint64_t rows, SetUint(set, "a positive row count", ~0ull / 2));
@@ -516,7 +604,7 @@ Result<QueryResult> Session::RunSet(const SetStmt& set) {
         "unknown setting '%s' (supported: dtree_node_budget, dtree_cache, "
         "dtree_cache_budget, dtree_component_cache, snapshot_chunk_rows, "
         "conf_fallback, fallback_epsilon, fallback_delta, exact_solver, "
-        "engine, num_threads)",
+        "engine, num_threads, metrics)",
         set.name.c_str()));
   }
   return QueryResult(TableData{},
@@ -524,7 +612,91 @@ Result<QueryResult> Session::RunSet(const SetStmt& set) {
                                   set.value_text.c_str()));
 }
 
-Result<QueryResult> Session::RunStatement(const Statement& stmt) {
+Result<QueryResult> Session::RunStatement(const Statement& stmt,
+                                          std::string_view sql_text,
+                                          uint64_t parse_ns,
+                                          uint64_t start_ns) {
+  const bool obs = options_.exec.metrics;
+  MetricsRegistry* reg = obs ? &manager_->metrics_ : nullptr;
+  const auto* explain = stmt.kind == StatementKind::kExplain
+                            ? static_cast<const ExplainStmt*>(&stmt)
+                            : nullptr;
+  if (explain != nullptr && !explain->analyze) {
+    // Plain EXPLAIN never executes, so it skips the trace machinery too.
+    Result<QueryResult> result = RunExplainPlan(*explain);
+    if (reg != nullptr) {
+      reg->AddStatement(StatementKindIndex(stmt.kind), !result.ok());
+      ++statements_run_;
+      if (!result.ok()) ++statements_failed_;
+    }
+    return result;
+  }
+  const bool analyze = explain != nullptr;
+  const Statement& effective = analyze ? *explain->inner : stmt;
+  if (!obs && !analyze) {
+    // Fast path with metrics off: no clocks, no trace, no counters.
+    return DispatchStatement(effective, nullptr, nullptr, false);
+  }
+  // EXPLAIN ANALYZE traces even with metrics off — it is an explicit
+  // request — but registry counters stay untouched in that case.
+  StatementTrace trace;
+  trace.session_id = id_;
+  trace.thread_hash = CurrentThreadHash();
+  trace.statement = std::string(sql_text.substr(0, 256));
+  trace.parse_ns = parse_ns;
+  const uint64_t t0 = MonotonicNs();
+  trace.start_ns = start_ns != 0 ? start_ns : t0;
+  Result<QueryResult> result =
+      DispatchStatement(effective, &trace, reg, analyze);
+  trace.total_ns = parse_ns + (MonotonicNs() - t0);
+  trace.failed = !result.ok();
+  if (reg != nullptr) {
+    // The outer kind is counted — EXPLAIN ANALYZE is one kExplain
+    // statement, never a double-count of its inner statement.
+    reg->AddStatement(StatementKindIndex(stmt.kind), trace.failed);
+    reg->RecordNs(Hist::kStmtTotal, trace.total_ns);
+    if (trace.parse_ns != 0) reg->RecordNs(Hist::kStmtParse, trace.parse_ns);
+    if (trace.bind_ns != 0) reg->RecordNs(Hist::kStmtBind, trace.bind_ns);
+    if (trace.lock_wait_ns != 0) {
+      reg->RecordNs(Hist::kStmtLockWait, trace.lock_wait_ns);
+    }
+    if (trace.execute_ns != 0) {
+      reg->RecordNs(Hist::kStmtExecute, trace.execute_ns);
+    }
+    if (trace.lock_catalog_ns != 0) {
+      reg->RecordNs(Hist::kLockCatalog, trace.lock_catalog_ns);
+    }
+    if (trace.lock_world_ns != 0) {
+      reg->RecordNs(Hist::kLockWorld, trace.lock_world_ns);
+    }
+    if (trace.lock_table_ns != 0) {
+      reg->RecordNs(Hist::kLockTable, trace.lock_table_ns);
+    }
+    // Confidence-phase durations (RunOrdinary folded the counters into
+    // trace.conf). exact_ns times cache-miss solver work only, so warm
+    // cache-hit statements record nothing here.
+    if (trace.conf.exact_ns != 0) {
+      reg->RecordNs(Hist::kConfExact, trace.conf.exact_ns);
+    }
+    if (trace.conf.aconf_ns != 0) {
+      reg->RecordNs(Hist::kConfAconf, trace.conf.aconf_ns);
+    }
+    reg->Add(Counter::kTracesRecorded);
+    ++statements_run_;
+    if (trace.failed) ++statements_failed_;
+  }
+  auto rec = std::make_shared<const StatementTrace>(std::move(trace));
+  if (analyze && result.ok()) {
+    result->AppendMessage(rec->Render());
+  }
+  manager_->traces_.Record(std::move(rec));
+  return result;
+}
+
+Result<QueryResult> Session::DispatchStatement(const Statement& stmt,
+                                               StatementTrace* trace,
+                                               MetricsRegistry* reg,
+                                               bool analyze) {
   // Session settings mutate SessionOptions directly — no binding/planning.
   // Validation happens inside each knob's SET handler, never against the
   // current options (a SET must be able to FIX an invalid options()
@@ -532,6 +704,48 @@ Result<QueryResult> Session::RunStatement(const Statement& stmt) {
   if (stmt.kind == StatementKind::kSet) {
     return RunSet(static_cast<const SetStmt&>(stmt));
   }
+  if (stmt.kind == StatementKind::kShowStats) {
+    return RunShowStats(static_cast<const ShowStatsStmt&>(stmt));
+  }
+  return RunOrdinary(stmt, trace, reg, analyze);
+}
+
+Result<QueryResult> Session::RunShowStats(const ShowStatsStmt& stmt) {
+  // No statement locks: every source is internally synchronized, and a
+  // stats read must never queue behind a long-running writer.
+  TableData data;
+  data.schema.AddColumn(Column{"metric", TypeId::kString});
+  data.schema.AddColumn(Column{"value", TypeId::kDouble});
+  for (auto& [name, value] : manager_->StatsSnapshot()) {
+    if (!stmt.pattern.empty() && !MetricNameLike(stmt.pattern, name)) continue;
+    Row row;
+    row.values.push_back(Value::String(std::move(name)));
+    row.values.push_back(Value::Double(value));
+    data.rows.push_back(std::move(row));
+  }
+  const size_t n = data.rows.size();
+  return QueryResult(std::move(data), StringFormat("STATS %zu metric(s)", n));
+}
+
+Result<QueryResult> Session::RunExplainPlan(const ExplainStmt& stmt) {
+  const StatementKind inner = stmt.inner->kind;
+  if (inner == StatementKind::kSet || inner == StatementKind::kShowStats) {
+    return QueryResult(TableData{}, "EXPLAIN: (no plan: session statement)");
+  }
+  // Binding reads table schemas only: catalog + world shared suffice.
+  SessionManager::StatementLocks locks =
+      manager_->Acquire(SessionManager::LockPlan{});
+  MAYBMS_ASSIGN_OR_RETURN(BoundStatement bound,
+                          BindStatement(manager_->catalog_, *stmt.inner));
+  if (!bound.plan) {
+    return QueryResult(TableData{}, "EXPLAIN: (no plan: DDL/DML statement)");
+  }
+  return QueryResult(TableData{}, "EXPLAIN\n" + ExplainPlan(*bound.plan));
+}
+
+Result<QueryResult> Session::RunOrdinary(const Statement& stmt,
+                                         StatementTrace* trace,
+                                         MetricsRegistry* reg, bool analyze) {
   MAYBMS_RETURN_NOT_OK(ValidateExecOptions(options_.exec));
   const bool sole_session = manager_->num_sessions() == 1;
   SessionManager::LockPlan plan = ClassifyStatement(stmt, sole_session);
@@ -544,7 +758,15 @@ Result<QueryResult> Session::RunStatement(const Statement& stmt) {
   const bool budget_drift =
       options_.exec.dtree_cache_budget != applied_cache_budget_;
   if (layout_drift) plan.catalog_exclusive = true;
-  SessionManager::StatementLocks locks = manager_->Acquire(plan);
+  SessionManager::LockWaitTimes waits;
+  SessionManager::StatementLocks locks =
+      manager_->Acquire(plan, trace != nullptr ? &waits : nullptr);
+  if (trace != nullptr) {
+    trace->lock_catalog_ns = waits.catalog_ns;
+    trace->lock_world_ns = waits.world_ns;
+    trace->lock_table_ns = waits.table_ns;
+    trace->lock_wait_ns = waits.catalog_ns + waits.world_ns + waits.table_ns;
+  }
   Catalog& catalog = manager_->catalog_;
   if (layout_drift) {
     catalog.SetSnapshotChunkRows(options_.exec.snapshot_chunk_rows);
@@ -554,7 +776,9 @@ Result<QueryResult> Session::RunStatement(const Statement& stmt) {
     catalog.dtree_cache().SetBudgetBytes(options_.exec.dtree_cache_budget);
     applied_cache_budget_ = options_.exec.dtree_cache_budget;
   }
+  const uint64_t bind0 = trace != nullptr ? MonotonicNs() : 0;
   MAYBMS_ASSIGN_OR_RETURN(BoundStatement bound, BindStatement(catalog, stmt));
+  if (trace != nullptr) trace->bind_ns = MonotonicNs() - bind0;
   // Wire the catalog's cross-statement compilation cache into the solver
   // options (re-pointed every statement: the knob may have toggled, and a
   // moved Database must not keep a pointer into its moved-from catalog).
@@ -566,6 +790,17 @@ Result<QueryResult> Session::RunStatement(const Statement& stmt) {
   // keys carry the world version the statement observes.
   options_.exec.montecarlo.cache = options_.exec.exact.cache;
   options_.exec.montecarlo.world_version = catalog.world_table().version();
+  // Per-statement confidence-phase counters, wired through the solver
+  // options so every conf path (both engines, fallbacks, posteriors)
+  // reports to them. OUTSIDE the cache-key fingerprints — attaching them
+  // cannot perturb cached results. Unwired on every exit path: options_
+  // outlives the counters.
+  ConfPhaseCounters conf_counters;
+  ConfWireGuard unwire(&options_.exec);
+  if (trace != nullptr) {
+    options_.exec.exact.counters = &conf_counters;
+    options_.exec.montecarlo.counters = &conf_counters;
+  }
   ExecContext ctx;
   ctx.catalog = &catalog;
   ctx.rng = &rng_;
@@ -574,6 +809,12 @@ Result<QueryResult> Session::RunStatement(const Statement& stmt) {
   ctx.conf_fallbacks = &conf_fallbacks;
   ctx.session_constraints = &constraints_;
   ctx.allow_prune = sole_session;
+  ctx.metrics = reg;
+  // The operator tree is collected only under EXPLAIN ANALYZE: routine
+  // statements keep the phase-level trace (near-zero cost), never the
+  // per-operator clock reads.
+  ctx.trace = analyze ? trace : nullptr;
+  ctx.trace_parent = nullptr;
   // num_threads == 1 runs fully serial (no pool, legacy bit-for-bit
   // behavior); anything else shares the manager's pool. Morsel boundaries
   // and fold orders are thread-count-invariant, so the shared pool's size
@@ -581,7 +822,24 @@ Result<QueryResult> Session::RunStatement(const Statement& stmt) {
   unsigned want = options_.exec.num_threads != 0 ? options_.exec.num_threads
                                                  : ThreadPool::DefaultThreads();
   ctx.pool = want > 1 ? manager_->SharedPool(want) : nullptr;
-  MAYBMS_ASSIGN_OR_RETURN(StatementResult result, ExecuteStatement(bound, &ctx));
+  const uint64_t exec0 = trace != nullptr ? MonotonicNs() : 0;
+  Result<StatementResult> executed = ExecuteStatement(bound, &ctx);
+  if (trace != nullptr || reg != nullptr) {
+    // One atomic sweep of the statement's conf counters feeds both sinks.
+    const ConfPhaseSample sample = conf_counters.Sample();
+    if (trace != nullptr) {
+      trace->execute_ns = MonotonicNs() - exec0;
+      trace->conf = sample;
+    }
+    if (reg != nullptr) {
+      reg->FoldConfPhases(sample);
+      if (uint64_t n = conf_fallbacks.load(std::memory_order_relaxed); n > 0) {
+        reg->Add(Counter::kConfFallbacks, n);
+      }
+    }
+  }
+  MAYBMS_RETURN_NOT_OK(executed.status());
+  StatementResult result = std::move(*executed);
   if (uint64_t n = conf_fallbacks.load(std::memory_order_relaxed); n > 0) {
     if (!result.message.empty()) result.message += "\n";
     result.message += StringFormat(
@@ -599,9 +857,15 @@ Result<QueryResult> Session::RunStatement(const Statement& stmt) {
 }
 
 Result<QueryResult> Session::Query(std::string_view sql) {
-  MAYBMS_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
+  // Parsing happens inside the statement lock so the metrics knob (which
+  // decides whether to time it, and is mutable via SET on this same
+  // logical connection) is read race-free; parsing is pure and fast.
   std::lock_guard<std::mutex> lock(statement_mu_);
-  return RunStatement(*stmt);
+  const bool obs = options_.exec.metrics;
+  const uint64_t t0 = obs ? MonotonicNs() : 0;
+  MAYBMS_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
+  const uint64_t parse_ns = obs ? MonotonicNs() - t0 : 0;
+  return RunStatement(*stmt, sql, parse_ns, t0);
 }
 
 Status Session::Execute(std::string_view sql) {
@@ -615,7 +879,9 @@ Result<QueryResult> Session::ExecuteScript(std::string_view sql) {
   std::lock_guard<std::mutex> lock(statement_mu_);
   QueryResult last;
   for (const StatementPtr& stmt : stmts) {
-    MAYBMS_ASSIGN_OR_RETURN(last, RunStatement(*stmt));
+    // Script statements share one upfront parse; their traces carry the
+    // whole script text and no per-statement parse time.
+    MAYBMS_ASSIGN_OR_RETURN(last, RunStatement(*stmt, sql, 0, 0));
   }
   return last;
 }

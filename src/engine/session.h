@@ -57,6 +57,8 @@
 #include "src/cond/constraint_store.h"
 #include "src/engine/query_result.h"
 #include "src/exec/executor.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/storage/catalog.h"
 
 namespace maybms {
@@ -121,17 +123,45 @@ class Session {
 
   SessionManager& manager() { return *manager_; }
 
+  /// Stable id of this session (1-based, per manager); trace events carry
+  /// it as their pid so multi-session timelines separate cleanly.
+  uint64_t id() const { return id_; }
+
+  /// Statements this session ran / failed (counted only while metrics are
+  /// on). Read from the owning connection thread — plain, not atomic.
+  uint64_t statements_run() const { return statements_run_; }
+  uint64_t statements_failed() const { return statements_failed_; }
+
  private:
   friend class SessionManager;
   Session(SessionManager* manager, SessionOptions options);
 
-  Result<QueryResult> RunStatement(const Statement& stmt);
+  /// `sql_text` labels the statement's trace; `parse_ns` / `start_ns` are
+  /// the caller-measured parse duration and statement start (0 when
+  /// untimed — scripts, or metrics off at parse time).
+  Result<QueryResult> RunStatement(const Statement& stmt,
+                                   std::string_view sql_text,
+                                   uint64_t parse_ns, uint64_t start_ns);
+  /// Kind dispatch: SET / SHOW STATS are session-level, everything else
+  /// goes through the bind/lock/execute path. `analyze` attaches the
+  /// operator tree to `trace` (EXPLAIN ANALYZE).
+  Result<QueryResult> DispatchStatement(const Statement& stmt,
+                                        StatementTrace* trace,
+                                        MetricsRegistry* reg, bool analyze);
+  Result<QueryResult> RunOrdinary(const Statement& stmt, StatementTrace* trace,
+                                  MetricsRegistry* reg, bool analyze);
   Result<QueryResult> RunSet(const SetStmt& stmt);
+  Result<QueryResult> RunShowStats(const ShowStatsStmt& stmt);
+  /// Plain EXPLAIN: bind only, render the plan, execute nothing.
+  Result<QueryResult> RunExplainPlan(const ExplainStmt& stmt);
 
   SessionManager* manager_;  // non-owning; outlives every session
+  uint64_t id_;
   SessionOptions options_;
   Rng rng_;
   ConstraintStore constraints_;
+  uint64_t statements_run_ = 0;
+  uint64_t statements_failed_ = 0;
   /// Values of the database-level knobs this session last applied (or
   /// adopted at creation). A statement re-applies a knob only when the
   /// session's OWN option drifted from this mirror — never merely because
@@ -182,6 +212,24 @@ class SessionManager {
   /// row count, columns. Lock-safe like Describe().
   std::string DescribeTable(const std::string& name);
 
+  /// The shared metrics registry (SHOW STATS / server \stats / benches).
+  /// Counters accumulate across every session over this manager; snapshot
+  /// via StatsSnapshot() to also fold in cache / pool / session gauges.
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Ring of recently completed statement traces (server \trace).
+  TraceBuffer& traces() { return traces_; }
+
+  /// One merged (name, value) listing: every registry counter and
+  /// histogram aggregate, plus point-in-time gauges sourced from their
+  /// owning components at snapshot time (d-tree cache stats, thread-pool
+  /// task/steal counts, live sessions) — sourced, not double-counted: the
+  /// registry itself never mirrors them. Sorted by name.
+  std::vector<std::pair<std::string, double>> StatsSnapshot();
+
+  /// The trace ring as chrome://tracing JSON (the \trace meta-command).
+  std::string ExportTraceJson();
+
   /// The lock footprint of one statement, computed by a pre-bind AST walk
   /// (session.cc's classifier). Public only so the classifier can build
   /// it; acquisition stays private to Session's statement loop.
@@ -207,7 +255,14 @@ class SessionManager {
     std::vector<std::shared_lock<std::shared_mutex>> table_shared;
     std::vector<std::unique_lock<std::shared_mutex>> table_unique;
   };
-  StatementLocks Acquire(const LockPlan& plan);
+  /// Per-lock-class acquisition times for one statement (lock-wait
+  /// visibility). Filled by Acquire when a sink is passed.
+  struct LockWaitTimes {
+    uint64_t catalog_ns = 0;
+    uint64_t world_ns = 0;
+    uint64_t table_ns = 0;  // summed over every table lock taken
+  };
+  StatementLocks Acquire(const LockPlan& plan, LockWaitTimes* waits = nullptr);
 
   /// The shared worker pool, created on first demand and sized once
   /// (max of the first requester's wish and the hardware default); never
@@ -227,6 +282,9 @@ class SessionManager {
   std::mutex pool_mu_;
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<size_t> live_sessions_{0};
+  std::atomic<uint64_t> next_session_id_{1};
+  MetricsRegistry metrics_;
+  TraceBuffer traces_;
 };
 
 }  // namespace maybms

@@ -15,6 +15,8 @@
 #include "src/conf/karp_luby.h"
 #include "src/exec/vector_expression.h"
 #include "src/lineage/compiled_dnf.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/storage/columnar.h"
 
 namespace maybms {
@@ -279,8 +281,11 @@ class FilterOp : public BatchOperator {
 
 class MorselMapOp : public MaterializedOperator {
  public:
+  // trace_node_ is captured at build time: ctx->trace_parent points at THIS
+  // operator's trace node while its plan node is being built, but the field
+  // is rewound as the build recursion unwinds — Compute() runs much later.
   MorselMapOp(BatchOperatorPtr child, ExecContext* ctx)
-      : child_(std::move(child)), ctx_(ctx) {}
+      : child_(std::move(child)), ctx_(ctx), trace_node_(ctx->trace_parent) {}
 
  protected:
   // Morsels are single-use: taken by value so transforms move instead of
@@ -291,6 +296,10 @@ class MorselMapOp : public MaterializedOperator {
     MAYBMS_ASSIGN_OR_RETURN(std::vector<Batch> morsels,
                             DrainMorsels(child_.get(), MorselRows(ctx_)));
     size_t n = morsels.size();
+    if (ctx_->metrics != nullptr) {
+      ctx_->metrics->Add(Counter::kBatchMorsels, n);
+    }
+    if (trace_node_ != nullptr) trace_node_->morsels += n;
     std::vector<Batch> outs(n);
     MAYBMS_RETURN_NOT_OK(ctx_->pool->ParallelForStatus(0, n, [&](size_t i) {
       MAYBMS_ASSIGN_OR_RETURN(outs[i], Transform(std::move(morsels[i])));
@@ -304,6 +313,7 @@ class MorselMapOp : public MaterializedOperator {
 
   BatchOperatorPtr child_;
   ExecContext* ctx_;
+  TraceNode* trace_node_;
 };
 
 class ParallelFilterOp final : public MorselMapOp {
@@ -1678,7 +1688,11 @@ class AggregateOp : public MaterializedOperator {
 // Plan -> operator tree
 // ---------------------------------------------------------------------------
 
-Result<BatchOperatorPtr> BuildOperator(const PlanNode& plan, ExecContext* ctx) {
+// The public builder below wraps every node for observability; the Impl's
+// recursive child builds go through it so interior nodes are traced too.
+Result<BatchOperatorPtr> BuildOperator(const PlanNode& plan, ExecContext* ctx);
+
+Result<BatchOperatorPtr> BuildOperatorImpl(const PlanNode& plan, ExecContext* ctx) {
   switch (plan.kind) {
     case PlanKind::kScan:
       return BatchOperatorPtr(new ScanOp(static_cast<const ScanNode&>(plan)));
@@ -1774,6 +1788,54 @@ Result<BatchOperatorPtr> BuildOperator(const PlanNode& plan, ExecContext* ctx) {
   return Status::Internal("unhandled plan kind");
 }
 
+// EXPLAIN ANALYZE decorator: times every Next() pull into the node's
+// inclusive span and folds the statement-wide confidence-counter deltas
+// observed during the pull into the node (so conf work done by an
+// aggregate — including its parallel morsels, which report through the
+// same atomics — lands on the operator that triggered it). Pulls are
+// single-threaded (one root drain; pipeline breakers drain children from
+// the pulling thread), so the plain TraceNode fields need no locking.
+class TraceOp final : public BatchOperator {
+ public:
+  TraceOp(BatchOperatorPtr inner, TraceNode* node, const ConfPhaseCounters* conf)
+      : inner_(std::move(inner)), node_(node), conf_(conf) {}
+
+  Result<bool> Next(Batch* out) override {
+    const ConfPhaseSample before =
+        conf_ != nullptr ? conf_->Sample() : ConfPhaseSample{};
+    const uint64_t t0 = MonotonicNs();
+    Result<bool> more = inner_->Next(out);
+    node_->inclusive_ns += MonotonicNs() - t0;
+    ++node_->calls;
+    if (conf_ != nullptr) node_->conf.Accumulate(conf_->Sample() - before);
+    if (more.ok() && *more) {
+      ++node_->batches_out;
+      node_->rows_out += out->num_rows;
+    }
+    return more;
+  }
+
+ private:
+  BatchOperatorPtr inner_;
+  TraceNode* node_;
+  const ConfPhaseCounters* conf_;
+};
+
+Result<BatchOperatorPtr> BuildOperator(const PlanNode& plan, ExecContext* ctx) {
+  if (ctx->metrics != nullptr) ctx->metrics->Add(Counter::kBatchOperators);
+  if (ctx->trace == nullptr) return BuildOperatorImpl(plan, ctx);
+  // Create the node BEFORE building so morsel-driven operators can capture
+  // it from trace_parent at construction time; rewind afterwards.
+  TraceNode* node = ctx->trace->NewNode(ctx->trace_parent, plan.Describe());
+  TraceNode* saved = ctx->trace_parent;
+  ctx->trace_parent = node;
+  Result<BatchOperatorPtr> built = BuildOperatorImpl(plan, ctx);
+  ctx->trace_parent = saved;
+  MAYBMS_RETURN_NOT_OK(built.status());
+  return BatchOperatorPtr(
+      new TraceOp(std::move(*built), node, ctx->options->exact.counters));
+}
+
 // The uncertain flag of the materialized result, mirroring the row
 // engine's per-operator propagation.
 bool RuntimeUncertain(const PlanNode& plan) {
@@ -1811,11 +1873,17 @@ Result<TableData> ExecutePlanBatch(const PlanNode& plan, ExecContext* ctx) {
   out.schema = plan.output_schema;
   out.uncertain = RuntimeUncertain(plan);
   Batch batch;
+  uint64_t batches = 0;
   while (true) {
     MAYBMS_ASSIGN_OR_RETURN(bool more, root->Next(&batch));
     if (!more) break;
+    ++batches;
     batch.AppendTo(&out.rows);
     batch = Batch();
+  }
+  if (ctx->metrics != nullptr) {
+    ctx->metrics->Add(Counter::kBatchBatches, batches);
+    ctx->metrics->Add(Counter::kBatchRows, out.rows.size());
   }
   return out;
 }

@@ -22,6 +22,9 @@ enum class ExecEngine : uint8_t {
 };
 
 class ThreadPool;
+class MetricsRegistry;   // src/obs/metrics.h
+struct StatementTrace;   // src/obs/trace.h
+struct TraceNode;        // src/obs/trace.h
 
 /// Engine-level execution options (confidence computation knobs).
 struct ExecOptions {
@@ -77,6 +80,14 @@ struct ExecOptions {
   /// re-applied from per-session options each statement (which would let
   /// one session's SET silently rewrite every other session's snapshots).
   size_t snapshot_chunk_rows = 1024;
+  /// Observability (`SET metrics = on|off`, src/obs/): when on (the
+  /// default) the Session wires the manager's MetricsRegistry and a
+  /// per-statement ConfPhaseCounters into the context/solver options and
+  /// records statement phase timings + a trace-ring entry per statement.
+  /// When off, every obs pointer stays null and the engines skip ALL
+  /// instrumentation (no clock reads, no atomic adds) — answers are
+  /// identical either way; only visibility changes.
+  bool metrics = true;
 };
 
 /// Everything operators need: the catalog (DML / create-table-as), the
@@ -105,6 +116,17 @@ struct ExecContext {
   /// keeps evidence purely algebraic — pruning would rewrite shared tables
   /// and the world table from one session's private posterior.
   bool allow_prune = false;
+  /// Shared metrics registry (src/obs/metrics.h), or null when metrics
+  /// are off (or the embedder has none). Counters only: execution never
+  /// reads it. Members (not out-of-band state) because ExecutePlanBatch
+  /// copies the context locally — the pointers must travel with the copy.
+  MetricsRegistry* metrics = nullptr;
+  /// EXPLAIN ANALYZE trace collector for the current statement, or null
+  /// for untraced execution (the overwhelmingly common case).
+  StatementTrace* trace = nullptr;
+  /// Current parent while the trace's operator tree is being built /
+  /// recursed (batch plan build and row recursion are single-threaded).
+  TraceNode* trace_parent = nullptr;
 
   WorldTable& worlds() { return catalog->world_table(); }
   const WorldTable& worlds() const { return catalog->world_table(); }

@@ -3,6 +3,7 @@
 #include "src/common/str_util.h"
 #include "src/cond/posterior.h"
 #include "src/cond/prune.h"
+#include "src/obs/metrics.h"
 
 namespace maybms {
 
@@ -181,6 +182,11 @@ Result<StatementResult> ExecuteAssert(const BoundStatement& stmt, ExecContext* c
   MAYBMS_ASSIGN_OR_RETURN(
       PruneStats pruned,
       PruneConditionedWorlds(ctx->catalog, &store, exact, ctx->pool));
+  if (ctx->metrics != nullptr) {
+    ctx->metrics->Add(Counter::kConstraintPrunes);
+    ctx->metrics->Add(Counter::kConstraintPrunedRows, pruned.rows_dropped);
+    ctx->metrics->Add(Counter::kConstraintPrunedVars, pruned.vars_collapsed);
+  }
   result.affected_rows = pruned.rows_dropped;
   result.message = StringFormat(
       "ASSERT P(evidence)=%.6g, %zu clause(s); pruned %zu row(s), "
@@ -257,6 +263,8 @@ Result<StatementResult> ExecuteStatement(const BoundStatement& stmt, ExecContext
     case StatementKind::kClearEvidence:
       return ExecuteClearEvidence(ctx);
     case StatementKind::kSet:
+    case StatementKind::kExplain:
+    case StatementKind::kShowStats:
       break;  // handled by the engine facade; never reaches execution
   }
   return Status::Internal("unhandled bound statement kind");

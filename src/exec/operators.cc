@@ -9,6 +9,8 @@
 #include "src/cond/posterior.h"
 #include "src/exec/aggregates.h"
 #include "src/exec/batch_operators.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace maybms {
 
@@ -509,6 +511,39 @@ Result<TableData> ExecutePlanRow(const PlanNode& plan, ExecContext* ctx) {
 Result<TableData> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
   if (ctx->options == nullptr || ctx->options->engine == ExecEngine::kBatch) {
     return ExecutePlanBatch(plan, ctx);
+  }
+  if (ctx->trace != nullptr) {
+    // EXPLAIN ANALYZE over the row engine: every node's recursion passes
+    // through this dispatch, so shadow the plan with a TraceNode per
+    // node. The recursion is single-threaded, so swapping trace_parent
+    // in place is safe; the timing wraps the child recursion too, giving
+    // inclusive spans (self time = inclusive − Σ children at render).
+    TraceNode* node = ctx->trace->NewNode(ctx->trace_parent, plan.Describe());
+    TraceNode* saved = ctx->trace_parent;
+    ctx->trace_parent = node;
+    const ConfPhaseCounters* conf = ctx->options->exact.counters;
+    const ConfPhaseSample before =
+        conf != nullptr ? conf->Sample() : ConfPhaseSample{};
+    const uint64_t t0 = MonotonicNs();
+    Result<TableData> result = ExecutePlanRow(plan, ctx);
+    node->inclusive_ns = MonotonicNs() - t0;
+    node->calls = 1;
+    if (conf != nullptr) node->conf.Accumulate(conf->Sample() - before);
+    if (result.ok()) node->rows_out = result->rows.size();
+    ctx->trace_parent = saved;
+    if (ctx->metrics != nullptr) {
+      ctx->metrics->Add(Counter::kRowOperators);
+      ctx->metrics->Add(Counter::kRowRows, node->rows_out);
+    }
+    return result;
+  }
+  if (ctx->metrics != nullptr) {
+    Result<TableData> result = ExecutePlanRow(plan, ctx);
+    ctx->metrics->Add(Counter::kRowOperators);
+    if (result.ok()) {
+      ctx->metrics->Add(Counter::kRowRows, result->rows.size());
+    }
+    return result;
   }
   return ExecutePlanRow(plan, ctx);
 }

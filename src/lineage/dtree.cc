@@ -967,6 +967,10 @@ struct DTreeCompiler::Impl {
       }
     });
     shared_steps = nullptr;
+    // Fold the cross-shard total back into the serial counter so
+    // StepsUsed() reports the same number the budget saw. Compilation is
+    // single-use and done bumping at this point, so overwriting is safe.
+    steps = shared.load(std::memory_order_relaxed);
     for (const Status& s : statuses) {
       if (!s.ok()) return s;  // first failed component in order
     }
@@ -1009,6 +1013,8 @@ Result<double> DTreeCompiler::CompileValue(ThreadPool* pool) {
   MAYBMS_ASSIGN_OR_RETURN(uint32_t root, impl_->CompileRoot(pool));
   return impl_->values[root];
 }
+
+uint64_t DTreeCompiler::StepsUsed() const { return impl_->steps; }
 
 Result<DTree> CompileDTree(CompiledDnf dnf, const ExactOptions& options,
                            ExactStats* stats) {

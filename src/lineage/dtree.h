@@ -53,6 +53,7 @@ namespace maybms {
 
 class DTreeCache;
 class ThreadPool;
+struct ConfPhaseCounters;  // src/obs/metrics.h
 
 /// Which variable the elimination step picks inside a component.
 enum class EliminationHeuristic {
@@ -106,6 +107,13 @@ struct ExactOptions {
   /// compile, so this flag never changes results — only which work is
   /// skipped. Ignored unless `cache` is wired.
   bool component_cache = true;
+  /// Observability sink (src/obs/metrics.h), or null when metrics are
+  /// off. Counters only — never consulted for any solver decision — and
+  /// deliberately OUTSIDE the cache-key fingerprint (OptionsFingerprint
+  /// in dtree_cache.cc hashes named fields only), so attaching it cannot
+  /// perturb cached results. Non-owning; the Session wires a
+  /// per-statement instance in.
+  ConfPhaseCounters* counters = nullptr;
 };
 
 /// Counters describing the shape of the decomposition tree that was built.
@@ -197,6 +205,12 @@ class DTreeCompiler {
   /// path. Identical decisions and arithmetic to Compile(): the returned
   /// value is bit-for-bit Compile()'s root_value(). Single use.
   Result<double> CompileValue(ThreadPool* pool = nullptr);
+
+  /// Nodes visited by the completed compile — the same count the
+  /// max_steps budget is charged against, maintained unconditionally, so
+  /// callers that only need a node count never pay for an ExactStats
+  /// sink's per-node increments inside the recursion.
+  uint64_t StepsUsed() const;
 
  private:
   struct Impl;

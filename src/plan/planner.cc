@@ -168,6 +168,12 @@ Result<BoundStatement> BindStatement(const Catalog& catalog, const Statement& st
     case StatementKind::kSet:
       // Session settings are applied by the Database facade before binding.
       return Status::Internal("SET statements are handled by the engine facade");
+    case StatementKind::kExplain:
+    case StatementKind::kShowStats:
+      // Introspection statements never reach the binder: the Session
+      // unwraps EXPLAIN and answers SHOW STATS from the metrics registry.
+      return Status::Internal(
+          "EXPLAIN/SHOW STATS statements are handled by the session");
   }
   return Status::Internal("unhandled statement kind");
 }

@@ -5,10 +5,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "src/common/str_util.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace maybms {
 
@@ -208,11 +211,16 @@ void Server::AcceptLoop() {
 
 void Server::Serve(Connection* conn) {
   std::unique_ptr<Session> session = manager_->CreateSession(session_defaults_);
+  MetricsRegistry& metrics = manager_->metrics();
+  metrics.Add(Counter::kServerConnections);
   std::string buffer, line;
   while (RecvLine(conn->fd, &buffer, &line)) {
+    metrics.Add(Counter::kServerRequests);
+    metrics.Add(Counter::kServerBytesIn, line.size() + 1);
     std::string_view req = Trim(line);
     std::string reply;
     if (req == "\\q") {
+      metrics.Add(Counter::kServerBytesOut, 7);  // "OK bye\n"
       SendAll(conn->fd, "OK bye\n");
       break;
     } else if (req == "\\d") {
@@ -234,9 +242,51 @@ void Server::Serve(Connection* conn) {
       session->Reseed(std::strtoull(std::string(req.substr(6)).c_str(),
                                     nullptr, 10));
       reply += "OK RNG reseeded\n";
+    } else if (req == "\\stats" || req.rfind("\\stats ", 0) == 0) {
+      // Shared registry snapshot (optionally LIKE-filtered), then this
+      // session's own statement counts.
+      const std::string pattern =
+          req.size() > 7 ? std::string(Trim(req.substr(7))) : std::string();
+      std::string text;
+      for (const auto& [name, value] : manager_->StatsSnapshot()) {
+        if (!pattern.empty() && !MetricNameLike(pattern, name)) continue;
+        text += StringFormat("%-44s %.6g\n", name.c_str(), value);
+      }
+      text += StringFormat(
+          "session: id=%llu statements=%llu failed=%llu\n",
+          static_cast<unsigned long long>(session->id()),
+          static_cast<unsigned long long>(session->statements_run()),
+          static_cast<unsigned long long>(session->statements_failed()));
+      AppendPayload(text, &reply);
+      reply += "OK \n";
+    } else if (req.rfind("\\trace ", 0) == 0) {
+      const std::string path(Trim(req.substr(7)));
+      const auto traces = manager_->traces().Recent();
+      const std::string json = ExportChromeTrace(traces);
+      FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        reply += "ERR " +
+                 Escape(StringFormat("\\trace: cannot open '%s': %s",
+                                     path.c_str(), std::strerror(errno))) +
+                 "\n";
+      } else {
+        const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        if (written != json.size()) {
+          reply += "ERR " +
+                   Escape(StringFormat("\\trace: short write to '%s'",
+                                       path.c_str())) +
+                   "\n";
+        } else {
+          reply += "OK " +
+                   Escape(StringFormat("wrote %zu trace(s) to %s",
+                                       traces.size(), path.c_str())) +
+                   "\n";
+        }
+      }
     } else if (!req.empty() && req[0] == '\\') {
-      reply += "ERR unknown meta-command; try \\d, \\explain <q>, \\seed <n>, "
-               "\\q\n";
+      reply += "ERR unknown meta-command; try \\d [table], \\explain <q>, "
+               "\\stats [pattern], \\trace <file>, \\seed <n>, \\q\n";
     } else if (req.empty()) {
       reply += "OK \n";
     } else {
@@ -248,6 +298,7 @@ void Server::Serve(Connection* conn) {
         reply += "OK " + Escape(result->message()) + "\n";
       }
     }
+    metrics.Add(Counter::kServerBytesOut, reply.size());
     if (!SendAll(conn->fd, reply)) break;
   }
   // The session (its knobs, RNG stream, and evidence) dies with the

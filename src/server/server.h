@@ -9,11 +9,20 @@
 //
 //   request  := one line; embedded newlines in the SQL must be flattened
 //               by the client (Client::Request does).
-//               Either a SQL statement, or a meta-command:
+//               Either a SQL statement (EXPLAIN [ANALYZE] and SHOW STATS
+//               included — they are ordinary statements), or a
+//               meta-command:
 //                 \seed <n>       reseed this session's aconf RNG
 //                 \d              database summary (server-rendered)
 //                 \d <table>      describe one table
-//                 \explain <sql>  bound logical plan
+//                 \explain <sql>  bound logical plan (without executing;
+//                                 same as the EXPLAIN statement)
+//                 \stats [pat]    shared metrics snapshot (optionally
+//                                 LIKE-filtered by pat) plus this
+//                                 session's statement counts
+//                 \trace <file>   write the recent statement traces as
+//                                 chrome://tracing JSON to <file>
+//                                 (server-side path)
 //                 \q              close this connection
 //   response := zero or more payload lines, each "D <escaped text>",
 //               terminated by exactly one "OK <escaped message>" or
@@ -23,6 +32,11 @@
 //
 // Sessions die with their connection; their evidence and knobs die with
 // them. The shared catalog lives as long as the SessionManager.
+//
+// Observability: the server counts connections, requests, and payload
+// bytes into the manager's MetricsRegistry (server.* metrics). These are
+// front-end counters owned by the server, always on — the per-session
+// `SET metrics` knob governs engine-side instrumentation only.
 #pragma once
 
 #include <atomic>

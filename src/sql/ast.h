@@ -206,6 +206,8 @@ enum class StatementKind : uint8_t {
   kShowEvidence,  ///< SHOW EVIDENCE: constraint-store introspection
   kClearEvidence, ///< CLEAR EVIDENCE: drop all asserted constraints
   kSet,           ///< SET <knob> = <value>: session execution settings
+  kExplain,       ///< EXPLAIN [ANALYZE] <stmt>: plan / execution trace
+  kShowStats,     ///< SHOW STATS [LIKE 'pat']: metrics-registry snapshot
 };
 
 struct Statement {
@@ -336,6 +338,29 @@ struct SetStmt : Statement {
   /// range-checked) instead of trusting the lexer's partial conversion.
   uint32_t value_line = 0;
   uint32_t value_col = 0;
+};
+
+/// `EXPLAIN <stmt>` renders the bound plan without executing; `EXPLAIN
+/// ANALYZE <stmt>` executes the inner statement normally (answers are
+/// bit-identical to the untraced run) while collecting a per-operator
+/// execution trace (src/obs/trace.h) rendered into the result message.
+/// Handled by the Session, not the executor: tracing hooks into the
+/// statement lifecycle (parse/bind/lock/execute phases) that only the
+/// session sees end to end.
+struct ExplainStmt : Statement {
+  ExplainStmt() : Statement(StatementKind::kExplain) {}
+
+  bool analyze = false;
+  StatementPtr inner;  ///< never null; never itself an EXPLAIN
+};
+
+/// `SHOW STATS [LIKE '<pattern>']`: one (metric, value) row per counter /
+/// histogram aggregate in the engine's metrics registry (src/obs/),
+/// optionally filtered by a SQL LIKE pattern over the metric name.
+struct ShowStatsStmt : Statement {
+  ShowStatsStmt() : Statement(StatementKind::kShowStats) {}
+
+  std::string pattern;  ///< empty = all metrics
 };
 
 }  // namespace maybms

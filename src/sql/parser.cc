@@ -132,16 +132,17 @@ class Parser {
     if (Peek().IsWord("drop")) return ParseDrop();
     if (Peek().IsWord("assert")) return ParseAssert();
     if (Peek().IsWord("condition")) return ParseConditionOn();
-    if (Peek().IsWord("show")) return ParseShowEvidence();
+    if (Peek().IsWord("show")) return ParseShow();
     if (Peek().IsWord("clear")) return ParseClearEvidence();
     if (Peek().IsWord("set")) return ParseSet();
+    if (Peek().IsWord("explain")) return ParseExplain();
     // An identifier in statement position is an unsupported statement —
     // name it, instead of the generic "expected a statement" failure.
     if (Peek().type == TokenType::kIdentifier) {
       return Status::ParseError(StringFormat(
           "unsupported statement '%s' at %s (supported: SELECT, CREATE, "
           "INSERT, UPDATE, DELETE, DROP, ASSERT, CONDITION ON, SHOW "
-          "EVIDENCE, CLEAR EVIDENCE, SET)",
+          "EVIDENCE, SHOW STATS, CLEAR EVIDENCE, SET, EXPLAIN)",
           Peek().text.c_str(), Pos(Peek().offset).c_str()));
     }
     MAYBMS_RETURN_NOT_OK(Unexpected("a statement"));
@@ -226,10 +227,38 @@ class Parser {
     return StatementPtr(std::move(stmt));
   }
 
-  Result<StatementPtr> ParseShowEvidence() {
+  /// `SHOW EVIDENCE` or `SHOW STATS [LIKE '<pattern>']`.
+  Result<StatementPtr> ParseShow() {
     MAYBMS_RETURN_NOT_OK(ExpectWord("show"));
-    MAYBMS_RETURN_NOT_OK(ExpectWord("evidence"));
-    return StatementPtr(std::make_unique<ShowEvidenceStmt>());
+    if (AcceptWord("evidence")) {
+      return StatementPtr(std::make_unique<ShowEvidenceStmt>());
+    }
+    if (AcceptWord("stats")) {
+      auto stmt = std::make_unique<ShowStatsStmt>();
+      if (AcceptWord("like")) {
+        if (Peek().type != TokenType::kString) {
+          MAYBMS_RETURN_NOT_OK(Unexpected("a quoted LIKE pattern"));
+        }
+        stmt->pattern = Advance().text;
+      }
+      return StatementPtr(std::move(stmt));
+    }
+    MAYBMS_RETURN_NOT_OK(Unexpected("EVIDENCE or STATS after SHOW"));
+    return Status::Internal("unreachable");
+  }
+
+  /// `EXPLAIN [ANALYZE] <statement>`. The inner statement may be anything
+  /// except another EXPLAIN (nested introspection has no meaning here).
+  Result<StatementPtr> ParseExplain() {
+    MAYBMS_RETURN_NOT_OK(ExpectWord("explain"));
+    auto stmt = std::make_unique<ExplainStmt>();
+    stmt->analyze = AcceptWord("analyze");
+    if (Peek().IsWord("explain")) {
+      return Status::ParseError(StringFormat(
+          "EXPLAIN cannot be nested at %s", Pos(Peek().offset).c_str()));
+    }
+    MAYBMS_ASSIGN_OR_RETURN(stmt->inner, ParseStatement());
+    return StatementPtr(std::move(stmt));
   }
 
   Result<StatementPtr> ParseClearEvidence() {

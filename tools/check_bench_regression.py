@@ -80,6 +80,19 @@ GUARDED_CASES = [
     ("server", "dashboard_concurrent"),
 ]
 
+# Effectiveness guard (ISSUE 8): cache hit rates from the benches' embedded
+# registry snapshots must not silently collapse — a timing guard alone
+# would miss a cache that stopped hitting but stayed fast on a small
+# workload. Each entry is (bench stem, case, metrics key, minimum value),
+# judged against the CURRENT run's record["metrics"]. Records without the
+# key (older binaries, metrics disabled) are reported and skipped: only a
+# present-but-low value fails the lane.
+EXPECTED_HIT_RATES = [
+    ("dtree_cache", "conf_cached", "hit_rate", 0.99),
+    ("streaming_ingest", "dashboard_warm", "hit_rate", 0.99),
+    ("streaming_ingest", "dashboard_after_append", "component_hit_rate", 0.80),
+]
+
 
 def load_results(path):
     """bench json -> {(case, frozen params): ms}."""
@@ -90,6 +103,40 @@ def load_results(path):
         params = tuple(sorted(record.get("params", {}).items()))
         out[(record["case"], params)] = record["ms"]
     return out
+
+
+def check_hit_rates(current_dir):
+    """Returns a list of failure strings; prints one line per check."""
+    failures = []
+    for bench, case, key, floor in EXPECTED_HIT_RATES:
+        name = f"BENCH_{bench}.json"
+        path = os.path.join(current_dir, name)
+        if not os.path.exists(path):
+            print(f"bench guard: {name} was not emitted this run; "
+                  f"skipping hit-rate check")
+            continue
+        with open(path) as f:
+            doc = json.load(f)
+        values = []
+        for record in doc.get("results", []):
+            if record.get("case") != case:
+                continue
+            metrics = record.get("metrics")
+            if not isinstance(metrics, dict) or key not in metrics:
+                continue
+            values.append(float(metrics[key]))
+        if not values:
+            print(f"bench guard: {bench}/{case}: no '{key}' metric in the "
+                  f"current run; skipping (old binary or metrics off?)")
+            continue
+        worst = min(values)
+        verdict = "OK" if worst >= floor else "LOW"
+        print(f"bench guard: {bench}/{case}: {key} min {worst:.3f} over "
+              f"{len(values)} record(s), floor {floor:.2f} [{verdict}]")
+        if worst < floor:
+            failures.append(
+                f"{bench}/{case}: {key} {worst:.3f} < floor {floor:.2f}")
+    return failures
 
 
 def main():
@@ -142,7 +189,14 @@ def main():
             groups.append((bench, case, ratios))
             all_ratios.extend(ratios)
 
+    hit_rate_failures = check_hit_rates(args.current)
+
     if not all_ratios:
+        if hit_rate_failures:
+            print("\nbench guard FAILED (hit rates):")
+            for f in hit_rate_failures:
+                print(f"  {f}")
+            return 1
         print("bench guard: nothing comparable; passing vacuously")
         return 0
     machine = statistics.median(all_ratios)
@@ -161,13 +215,16 @@ def main():
         if median > args.factor:
             failures.append((bench, case, median))
 
-    if failures:
+    if failures or hit_rate_failures:
         print(f"\nbench guard FAILED (allowed factor {args.factor:.2f}):")
         for bench, case, median in failures:
             print(f"  {bench}/{case}: {median:.3f}x of committed baseline")
+        for f in hit_rate_failures:
+            print(f"  {f}")
         return 1
     print(f"\nbench guard passed: {checked} case group(s) within "
-          f"{args.factor:.2f}x of the committed baselines")
+          f"{args.factor:.2f}x of the committed baselines; hit rates at "
+          f"or above their floors")
     return 0
 
 
