@@ -74,8 +74,15 @@ bool Dispatch(Database* db, const std::string& line, bool serving) {
       return true;
     }
     if (cmd == "\\stats" || cmd.rfind("\\stats ", 0) == 0) {
-      const std::string pattern =
+      std::string pattern =
           cmd.size() > 7 ? std::string(Trim(cmd.substr(7))) : std::string();
+      if (pattern == "--prom") {
+        // Prometheus text exposition of the registry counters/histograms
+        // (same names as \stats, "maybms_"-prefixed and sanitized).
+        std::printf("%s",
+                    db->session_manager().metrics().PrometheusText().c_str());
+        return true;
+      }
       for (const auto& [name, value] :
            db->session_manager().StatsSnapshot()) {
         if (!pattern.empty() && !maybms::MetricNameLike(pattern, name)) {
@@ -186,9 +193,13 @@ void PrintBanner(bool serving, bool remote, const char* socket_path) {
       "          SET snapshot_chunk_rows = <n> (columnar snapshot chunk "
       "size; default 1024),\n"
       "          SET metrics = on|off (engine metrics + statement traces; "
-      "default on)\n"
+      "default on),\n"
+      "          SET optimizer = on|off (cost-based join reordering + "
+      "stats; off = the binder's syntactic plans; default on),\n"
+      "          SET optimizer_semijoin = on|off (annotated semijoin "
+      "reduction of join inputs; default on)\n"
       "observability: EXPLAIN [ANALYZE] <query>; SHOW STATS [LIKE 'pat']; "
-      "\\stats [pattern]; \\trace <file>\n"
+      "\\stats [pattern|--prom]; \\trace <file>\n"
       "meta-commands: \\d [table], \\explain <q>, \\stats [pattern], "
       "\\trace <f>, \\seed <n>, \\save <f>, \\load <f>, \\q\n"
       "sessions: SET knobs, \\seed, and asserted evidence are PER SESSION; "

@@ -12,6 +12,7 @@
 #include "src/common/str_util.h"
 #include "src/common/thread_pool.h"
 #include "src/lineage/dtree_cache.h"
+#include "src/opt/optimizer.h"
 #include "src/plan/planner.h"
 #include "src/sql/parser.h"
 
@@ -584,6 +585,10 @@ Result<QueryResult> Session::RunSet(const SetStmt& set) {
     MAYBMS_ASSIGN_OR_RETURN(exec.exact.component_cache, SetBool(set));
   } else if (set.name == "metrics") {
     MAYBMS_ASSIGN_OR_RETURN(exec.metrics, SetBool(set));
+  } else if (set.name == "optimizer") {
+    MAYBMS_ASSIGN_OR_RETURN(exec.optimizer, SetBool(set));
+  } else if (set.name == "optimizer_semijoin") {
+    MAYBMS_ASSIGN_OR_RETURN(exec.optimizer_semijoin, SetBool(set));
   } else if (set.name == "snapshot_chunk_rows") {
     MAYBMS_ASSIGN_OR_RETURN(
         uint64_t rows, SetUint(set, "a positive row count", ~0ull / 2));
@@ -604,7 +609,7 @@ Result<QueryResult> Session::RunSet(const SetStmt& set) {
         "unknown setting '%s' (supported: dtree_node_budget, dtree_cache, "
         "dtree_cache_budget, dtree_component_cache, snapshot_chunk_rows, "
         "conf_fallback, fallback_epsilon, fallback_delta, exact_solver, "
-        "engine, num_threads, metrics)",
+        "engine, num_threads, metrics, optimizer, optimizer_semijoin)",
         set.name.c_str()));
   }
   return QueryResult(TableData{},
@@ -740,6 +745,10 @@ Result<QueryResult> Session::RunExplainPlan(const ExplainStmt& stmt) {
   if (!bound.plan) {
     return QueryResult(TableData{}, "EXPLAIN: (no plan: DDL/DML statement)");
   }
+  // EXPLAIN shows the plan that WOULD run: the optimized one (with its
+  // cardinality estimates) under the current knobs.
+  MAYBMS_RETURN_NOT_OK(
+      OptimizePlan(&bound.plan, &manager_->stats_, options_.exec, nullptr));
   return QueryResult(TableData{}, "EXPLAIN\n" + ExplainPlan(*bound.plan));
 }
 
@@ -778,6 +787,25 @@ Result<QueryResult> Session::RunOrdinary(const Statement& stmt,
   }
   const uint64_t bind0 = trace != nullptr ? MonotonicNs() : 0;
   MAYBMS_ASSIGN_OR_RETURN(BoundStatement bound, BindStatement(catalog, stmt));
+  // Cost-based optimization is part of planning (counted in bind_ns).
+  // OptimizePlan is a no-op when the knob is off; the stats cache is
+  // shared across sessions and version-invalidated, so reading it here
+  // under the statement locks observes the same consistent cut the
+  // executor will.
+  if (bound.plan != nullptr) {
+    OptimizerCounters opt;
+    MAYBMS_RETURN_NOT_OK(
+        OptimizePlan(&bound.plan, &manager_->stats_, options_.exec, &opt));
+    if (reg != nullptr) {
+      auto add = [reg](Counter c, uint64_t v) {
+        if (v != 0) reg->Add(c, v);
+      };
+      add(Counter::kOptPlansConsidered, opt.plans_considered);
+      add(Counter::kOptReorders, opt.reorders_applied);
+      add(Counter::kOptSemijoinsInserted, opt.semijoins_inserted);
+      add(Counter::kOptSemijoinsSkipped, opt.semijoins_skipped);
+    }
+  }
   if (trace != nullptr) trace->bind_ns = MonotonicNs() - bind0;
   // Wire the catalog's cross-statement compilation cache into the solver
   // options (re-pointed every statement: the knob may have toggled, and a
@@ -895,6 +923,8 @@ Result<std::string> Session::Explain(std::string_view sql) {
   MAYBMS_ASSIGN_OR_RETURN(BoundStatement bound,
                           BindStatement(manager_->catalog_, *stmt));
   if (!bound.plan) return std::string("(no plan: DDL/DML statement)\n");
+  MAYBMS_RETURN_NOT_OK(
+      OptimizePlan(&bound.plan, &manager_->stats_, options_.exec, nullptr));
   return ExplainPlan(*bound.plan);
 }
 

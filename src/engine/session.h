@@ -59,6 +59,7 @@
 #include "src/exec/executor.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/opt/stats.h"
 #include "src/storage/catalog.h"
 
 namespace maybms {
@@ -220,6 +221,11 @@ class SessionManager {
   /// Ring of recently completed statement traces (server \trace).
   TraceBuffer& traces() { return traces_; }
 
+  /// Shared optimizer statistics cache (src/opt/stats.h). Like the
+  /// columnar snapshots the stats derive from, it is one per database:
+  /// internally synchronized, version-invalidated, chunk-incremental.
+  StatsCache& stats() { return stats_; }
+
   /// One merged (name, value) listing: every registry counter and
   /// histogram aggregate, plus point-in-time gauges sourced from their
   /// owning components at snapshot time (d-tree cache stats, thread-pool
@@ -285,6 +291,7 @@ class SessionManager {
   std::atomic<uint64_t> next_session_id_{1};
   MetricsRegistry metrics_;
   TraceBuffer traces_;
+  StatsCache stats_;
 };
 
 }  // namespace maybms

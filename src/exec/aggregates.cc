@@ -1,5 +1,6 @@
 #include "src/exec/aggregates.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/str_util.h"
@@ -98,19 +99,30 @@ Result<std::vector<std::vector<Value>>> ComputeGroupAggregates(
         // The group's lineage: disjunction of the duplicate tuples'
         // conjunctive conditions (paper §2.3). Under asserted evidence the
         // answer is the posterior P(lineage | C) (src/cond/posterior.h).
+        //
+        // Clause order is canonicalized (conditions compare lexicographically
+        // over their sorted atom lists) so the lineage handed to the solvers
+        // is a pure function of the group's condition CONTENT: the optimizer
+        // may reorder joins, which permutes duplicate arrival order but can
+        // never change what the merged conditions contain.
         const ConstraintStore& cs = ctx->constraints();
+        std::vector<const Row*> ordered(group_rows);
+        std::stable_sort(ordered.begin(), ordered.end(),
+                         [](const Row* x, const Row* y) {
+                           return x->condition < y->condition;
+                         });
         Dnf dnf;
-        for (const Row* row : group_rows) dnf.AddClause(row->condition);
+        for (const Row* row : ordered) dnf.AddClause(row->condition);
         if (agg.kind == AggKind::kConf) {
           MAYBMS_ASSIGN_OR_RETURN(double p, GroupConfidence(dnf, ctx));
           values[a] = Value::Double(p);
-        } else if (ctx->pool != nullptr) {
-          // Parallel sampling: derive the base seed from the group's
-          // lineage content (same scheme as the conf() fallback and the
-          // batch engine), then sample on counter-based substreams —
-          // identical estimates at any thread count >= 2, across engines,
-          // and across repeated statements over unchanged lineage (which
-          // is what makes the estimate cacheable).
+        } else {
+          // Sampling seeds derive from the group's lineage content (same
+          // scheme as the conf() fallback and the batch engine), sampling
+          // on counter-based substreams — identical estimates at every
+          // thread count (a null pool runs the substreams serially), across
+          // engines, across join orders, and across repeated statements
+          // over unchanged lineage (which makes the estimate cacheable).
           uint64_t base_seed = LineageSeed(dnf);
           MonteCarloResult mc;
           if (cs.active()) {
@@ -125,20 +137,6 @@ Result<std::vector<std::vector<Value>>> ComputeGroupAggregates(
                 mc, ApproxConfidenceSeeded(CompiledDnf(dnf, wt), agg.epsilon,
                                            agg.delta, base_seed,
                                            ctx->options->montecarlo, ctx->pool));
-          }
-          values[a] = Value::Double(mc.estimate);
-        } else {
-          MonteCarloResult mc;
-          if (cs.active()) {
-            MAYBMS_ASSIGN_OR_RETURN(
-                mc, PosteriorApproxConfidence(dnf, cs, wt, agg.epsilon,
-                                              agg.delta, ctx->rng,
-                                              ctx->options->montecarlo,
-                                              ctx->options->exact));
-          } else {
-            MAYBMS_ASSIGN_OR_RETURN(
-                mc, ApproxConfidence(dnf, wt, agg.epsilon, agg.delta, ctx->rng,
-                                     ctx->options->montecarlo));
           }
           values[a] = Value::Double(mc.estimate);
         }

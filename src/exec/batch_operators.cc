@@ -837,6 +837,151 @@ class SemiJoinInOp : public BatchOperator {
 };
 
 // ---------------------------------------------------------------------------
+// SemiJoinReduce: optimizer-inserted annotated semijoin reducer (src/opt/).
+// Drains the key source (child 1), indexes its key tuples with the
+// conditions they appear under, then streams the source (child 0) through,
+// keeping exactly the rows some key tuple matches under a consistent
+// condition merge. Survivors keep their ORIGINAL values, conditions, and
+// relative order, so the later full hash join's output is unchanged.
+// ---------------------------------------------------------------------------
+
+class SemiJoinReduceOp : public BatchOperator {
+ public:
+  SemiJoinReduceOp(BatchOperatorPtr source, BatchOperatorPtr key_source,
+                   const SemiJoinReduceNode& node)
+      : source_(std::move(source)), keys_in_(std::move(key_source)), node_(node) {}
+
+  Result<bool> Next(Batch* out) override {
+    if (!built_) {
+      MAYBMS_RETURN_NOT_OK(Build());
+      built_ = true;
+    }
+    Batch in;
+    while (true) {
+      MAYBMS_ASSIGN_OR_RETURN(bool more, source_->Next(&in));
+      if (!more) return false;
+      MAYBMS_ASSIGN_OR_RETURN(Batch result, ReduceBatch(in));
+      if (result.num_rows == 0) {
+        in = Batch();
+        continue;
+      }
+      *out = std::move(result);
+      return true;
+    }
+  }
+
+ private:
+  Status Build() {
+    // Key tuple -> the conditions under which it appears in the key source;
+    // identical conditions deduplicate, a true condition subsumes all (the
+    // SemiJoinIn idiom, generalized to multi-column keys).
+    MAYBMS_ASSIGN_OR_RETURN(Drained keys, DrainAll(keys_in_.get()));
+    const size_t nk = node_.keys.size();
+    std::vector<Value> key(nk);
+    for (size_t row = 0; row < keys.num_rows; ++row) {
+      bool has_null = false;
+      for (size_t k = 0; k < nk; ++k) {
+        key[k] = keys.GetValue(k, row);
+        has_null |= key[k].is_null();
+      }
+      if (has_null) continue;  // SQL equality: null joins nothing
+      uint64_t h = HashValueSpan(key.data(), nk);
+      uint32_t entry = FindEntry(h, key);
+      if (entry == HashRowIndex::kNoRow) {
+        entry = static_cast<uint32_t>(conds_.size());
+        for (size_t k = 0; k < nk; ++k) keys_.push_back(key[k]);
+        conds_.emplace_back();
+        index_.Insert(h, entry);
+      }
+      std::vector<Condition>& conds = conds_[entry];
+      if (!conds.empty() && conds.front().IsTrue()) continue;
+      Condition cond = keys.conds.ToCondition(row);
+      if (cond.IsTrue()) {
+        conds.clear();
+        conds.push_back(Condition());
+        continue;
+      }
+      if (std::find(conds.begin(), conds.end(), cond) == conds.end()) {
+        conds.push_back(std::move(cond));
+      }
+    }
+    return Status::OK();
+  }
+
+  uint32_t FindEntry(uint64_t h, const std::vector<Value>& key) const {
+    const size_t nk = key.size();
+    uint32_t entry = HashRowIndex::kNoRow;
+    index_.ForEach(h, [&](uint32_t e) {
+      for (size_t k = 0; k < nk; ++k) {
+        if (!keys_[e * nk + k].Equals(key[k])) return true;
+      }
+      entry = e;
+      return false;
+    });
+    return entry;
+  }
+
+  /// Would merging the span with the condition be consistent? Both atom
+  /// lists are sorted by variable with at most one atom per variable.
+  static bool MergeConsistent(AtomSpan a, const Condition& cond) {
+    const std::vector<Atom>& b = cond.atoms();
+    size_t bi = 0;
+    for (size_t ai = 0; ai < a.size; ++ai) {
+      while (bi < b.size() && b[bi].var < a[ai].var) ++bi;
+      if (bi < b.size() && b[bi].var == a[ai].var && b[bi].asg != a[ai].asg) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Result<Batch> ReduceBatch(const Batch& in) {
+    Batch out = AllocateOutput(node_.output_schema);
+    const size_t nk = node_.keys.size();
+    std::vector<ColumnVectorPtr> key_cols;
+    key_cols.reserve(nk);
+    for (const BoundExprPtr& e : node_.keys) {
+      MAYBMS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*e, in));
+      key_cols.push_back(std::move(col));
+    }
+    std::vector<Value> key(nk);
+    for (size_t i = 0; i < in.num_rows; ++i) {
+      bool has_null = false;
+      for (size_t k = 0; k < nk; ++k) {
+        key[k] = key_cols[k]->GetValue(i);
+        has_null |= key[k].is_null();
+      }
+      if (has_null) continue;
+      uint32_t entry = FindEntry(HashValueSpan(key.data(), nk), key);
+      if (entry == HashRowIndex::kNoRow) continue;
+      AtomSpan span = in.conditions.Span(i);
+      bool consistent = false;
+      for (const Condition& cond : conds_[entry]) {
+        if (MergeConsistent(span, cond)) {
+          consistent = true;
+          break;
+        }
+      }
+      if (!consistent) continue;
+      out.conditions.AppendAtoms(span);
+      for (size_t c = 0; c < in.columns.size(); ++c) {
+        out.columns[c]->Append(in.columns[c]->GetValue(i));
+      }
+      ++out.num_rows;
+    }
+    return out;
+  }
+
+  BatchOperatorPtr source_;
+  BatchOperatorPtr keys_in_;
+  const SemiJoinReduceNode& node_;
+  bool built_ = false;
+  HashRowIndex index_;
+  std::vector<Value> keys_;  // nk values per entry, flattened
+  std::vector<std::vector<Condition>> conds_;
+};
+
+// ---------------------------------------------------------------------------
 // Duplicate elimination (Distinct / deduplicating Union / Possible): an
 // accumulated value-row set over an open-addressed index.
 // ---------------------------------------------------------------------------
@@ -1433,14 +1578,14 @@ class AggregateOp : public MaterializedOperator {
     if (pool == nullptr) {
       for (size_t g = 0; g < groups.size(); ++g) {
         MAYBMS_ASSIGN_OR_RETURN(
-            group_rows[g], GroupAggregates(in, groups[g], arg_value, arg2_value,
-                                           cond_probs, /*seeded_aconf=*/false));
+            group_rows[g],
+            GroupAggregates(in, groups[g], arg_value, arg2_value, cond_probs));
       }
     } else {
       MAYBMS_RETURN_NOT_OK(pool->ParallelForStatus(0, groups.size(), [&](size_t g) {
         MAYBMS_ASSIGN_OR_RETURN(
-            group_rows[g], GroupAggregates(in, groups[g], arg_value, arg2_value,
-                                           cond_probs, /*seeded_aconf=*/true));
+            group_rows[g],
+            GroupAggregates(in, groups[g], arg_value, arg2_value, cond_probs));
         return Status::OK();
       }));
     }
@@ -1491,16 +1636,16 @@ class AggregateOp : public MaterializedOperator {
     }
   };
 
-  // `seeded_aconf` selects the sampling mode: false = serial legacy
-  // (consume the session RNG in place); true = base seed derived from the
-  // group's lineage content (LineageSeed), sampled on substreams
-  // (thread-safe, thread-count independent, estimate-cacheable). Must be
-  // true whenever this runs off the main thread.
+  // aconf() sampling always derives the group's base seed from its lineage
+  // content (LineageSeed) and samples on counter-based substreams: the
+  // estimate is a pure function of the lineage, so it is identical at every
+  // thread count (a null pool runs the substreams serially), across
+  // engines, across optimizer join orders, and across repeated statements
+  // over unchanged lineage (which makes it cacheable).
   template <typename ArgFn, typename Arg2Fn>
   Result<std::vector<std::vector<Value>>> GroupAggregates(
       const Drained& in, const std::vector<uint32_t>& members, ArgFn&& arg_value,
-      Arg2Fn&& arg2_value, const std::vector<double>& cond_probs,
-      bool seeded_aconf) {
+      Arg2Fn&& arg2_value, const std::vector<double>& cond_probs) {
     const std::vector<BoundAggregate>& aggs = node_.aggregates;
     const WorldTable& wt = ctx_->worlds();
 
@@ -1553,31 +1698,38 @@ class AggregateOp : public MaterializedOperator {
         case AggKind::kConf:
         case AggKind::kAconf: {
           const ConstraintStore& cs = ctx_->constraints();
+          // Canonical clause order: sort a COPY of the member list by
+          // condition content (a joined row's condition content is
+          // merge-order invariant; only the duplicates' arrival order can
+          // differ between join orders). The lineage handed to every solver
+          // below is then a pure function of the group's condition set, so
+          // optimizer-on, optimizer-off, both engines, and every join order
+          // produce bit-identical conf()/aconf() values.
+          std::vector<uint32_t> ordered(members.begin(), members.end());
+          std::stable_sort(ordered.begin(), ordered.end(),
+                           [&in](uint32_t x, uint32_t y) {
+                             AtomSpan sx = in.conds.Span(x);
+                             AtomSpan sy = in.conds.Span(y);
+                             return std::lexicographical_compare(
+                                 sx.begin(), sx.end(), sy.begin(), sy.end());
+                           });
           if (cs.active()) {
             // Conditioned path: posterior P(lineage | C). The clause list
             // materializes as heap Conditions so both engines feed the
             // posterior solver identical inputs (bit-identical answers);
             // the unconditioned span-compiled fast path below is untouched.
             Dnf dnf;
-            for (uint32_t row : members) dnf.AddClause(in.conds.ToCondition(row));
+            for (uint32_t row : ordered) dnf.AddClause(in.conds.ToCondition(row));
             if (agg.kind == AggKind::kConf) {
               MAYBMS_ASSIGN_OR_RETURN(double p, GroupConfidence(dnf, ctx_));
               values[a] = Value::Double(p);
-            } else if (seeded_aconf) {
+            } else {
               MAYBMS_ASSIGN_OR_RETURN(
                   MonteCarloResult mc,
                   PosteriorApproxConfidenceSeeded(
                       dnf, cs, wt, agg.epsilon, agg.delta,
                       LineageSeed(dnf), ctx_->options->montecarlo,
                       ctx_->options->exact, ctx_->pool));
-              values[a] = Value::Double(mc.estimate);
-            } else {
-              MAYBMS_ASSIGN_OR_RETURN(
-                  MonteCarloResult mc,
-                  PosteriorApproxConfidence(dnf, cs, wt, agg.epsilon, agg.delta,
-                                            ctx_->rng,
-                                            ctx_->options->montecarlo,
-                                            ctx_->options->exact));
               values[a] = Value::Double(mc.estimate);
             }
             break;
@@ -1588,27 +1740,19 @@ class AggregateOp : public MaterializedOperator {
           // per-row re-parsing.
           if (agg.kind == AggKind::kConf) {
             MAYBMS_ASSIGN_OR_RETURN(
-                double p, GroupConfidence(in.conds, members.data(),
-                                          members.size(), ctx_));
+                double p, GroupConfidence(in.conds, ordered.data(),
+                                          ordered.size(), ctx_));
             values[a] = Value::Double(p);
             break;
           }
-          CompiledDnf lineage(in.conds, members.data(), members.size(), wt);
-          if (seeded_aconf) {
-            const uint64_t base_seed = LineageSeed(lineage);
-            MAYBMS_ASSIGN_OR_RETURN(
-                MonteCarloResult mc,
-                ApproxConfidenceSeeded(std::move(lineage), agg.epsilon,
-                                       agg.delta, base_seed,
-                                       ctx_->options->montecarlo, ctx_->pool));
-            values[a] = Value::Double(mc.estimate);
-          } else {
-            MAYBMS_ASSIGN_OR_RETURN(
-                MonteCarloResult mc,
-                ApproxConfidence(std::move(lineage), agg.epsilon, agg.delta,
-                                 ctx_->rng, ctx_->options->montecarlo));
-            values[a] = Value::Double(mc.estimate);
-          }
+          CompiledDnf lineage(in.conds, ordered.data(), ordered.size(), wt);
+          const uint64_t base_seed = LineageSeed(lineage);
+          MAYBMS_ASSIGN_OR_RETURN(
+              MonteCarloResult mc,
+              ApproxConfidenceSeeded(std::move(lineage), agg.epsilon,
+                                     agg.delta, base_seed,
+                                     ctx_->options->montecarlo, ctx_->pool));
+          values[a] = Value::Double(mc.estimate);
           break;
         }
         case AggKind::kEsum: {
@@ -1784,6 +1928,15 @@ Result<BatchOperatorPtr> BuildOperatorImpl(const PlanNode& plan, ExecContext* ct
                               BuildOperator(*node.children[0], ctx));
       return BatchOperatorPtr(new LimitOp(std::move(child), node));
     }
+    case PlanKind::kSemiJoinReduce: {
+      const auto& node = static_cast<const SemiJoinReduceNode&>(plan);
+      MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr source,
+                              BuildOperator(*node.children[0], ctx));
+      MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr key_source,
+                              BuildOperator(*node.children[1], ctx));
+      return BatchOperatorPtr(
+          new SemiJoinReduceOp(std::move(source), std::move(key_source), node));
+    }
   }
   return Status::Internal("unhandled plan kind");
 }
@@ -1827,6 +1980,7 @@ Result<BatchOperatorPtr> BuildOperator(const PlanNode& plan, ExecContext* ctx) {
   // Create the node BEFORE building so morsel-driven operators can capture
   // it from trace_parent at construction time; rewind afterwards.
   TraceNode* node = ctx->trace->NewNode(ctx->trace_parent, plan.Describe());
+  node->est_rows = plan.est_rows;
   TraceNode* saved = ctx->trace_parent;
   ctx->trace_parent = node;
   Result<BatchOperatorPtr> built = BuildOperatorImpl(plan, ctx);
@@ -1846,6 +2000,7 @@ bool RuntimeUncertain(const PlanNode& plan) {
     case PlanKind::kDistinct:
     case PlanKind::kSort:
     case PlanKind::kLimit:
+    case PlanKind::kSemiJoinReduce:
       return RuntimeUncertain(*plan.children[0]);
     case PlanKind::kAggregate:
     case PlanKind::kPossible:

@@ -32,11 +32,11 @@ struct ExecOptions {
   MonteCarloOptions montecarlo;  ///< aconf() sample caps
   ExecEngine engine = ExecEngine::kBatch;
   /// Worker threads for morsel-driven batch execution and parallel
-  /// confidence computation. 0 = hardware_concurrency. 1 = fully serial —
-  /// bit-for-bit the pre-parallel engine (including aconf's legacy
-  /// session-RNG stream). Any value >= 2 enables the parallel paths, whose
-  /// results are identical at every thread count (deterministic morsel
-  /// order + counter-based RNG substreams for aconf).
+  /// confidence computation. 0 = hardware_concurrency. 1 = fully serial
+  /// (no pool). Results are identical at EVERY thread count: deterministic
+  /// morsel order, and aconf always samples content-seeded counter-based
+  /// substreams (run serially when no pool exists), so 1-thread and
+  /// N-thread estimates agree bit for bit.
   unsigned num_threads = 0;
   /// Max rows per parallel work unit (morsel). Small values force many
   /// task boundaries (the stress tests use this); 0 = one morsel per
@@ -80,6 +80,20 @@ struct ExecOptions {
   /// re-applied from per-session options each statement (which would let
   /// one session's SET silently rewrite every other session's snapshots).
   size_t snapshot_chunk_rows = 1024;
+  /// Cost-based optimizer (`SET optimizer = on|off`, src/opt/): join-order
+  /// enumeration with snapshot-derived statistics, predicate pushdown, and
+  /// cardinality annotations between bind and execute. The optimized plan
+  /// produces the same answer multiset with bit-identical confidence
+  /// values as the translated plan (the conf/aconf funnels canonicalize
+  /// per-group clause order, so join order cannot leak into lineage
+  /// results); off restores the binder's syntactic plans exactly.
+  bool optimizer = true;
+  /// Annotated semijoin reduction (`SET optimizer_semijoin = on|off`):
+  /// lets the optimizer insert SemiJoinReduce operators that shrink join
+  /// inputs — and with them the condition columns every confidence solver
+  /// downstream sees — when estimated selectivity justifies it. Only read
+  /// when `optimizer` is on.
+  bool optimizer_semijoin = true;
   /// Observability (`SET metrics = on|off`, src/obs/): when on (the
   /// default) the Session wires the manager's MetricsRegistry and a
   /// per-statement ConfPhaseCounters into the context/solver options and

@@ -463,6 +463,63 @@ Result<TableData> ExecuteSort(const SortNode& node, ExecContext* ctx) {
   return out;
 }
 
+Result<TableData> ExecuteSemiJoinReduce(const SemiJoinReduceNode& node,
+                                        ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TableData source, ExecutePlan(*node.children[0], ctx));
+  MAYBMS_ASSIGN_OR_RETURN(TableData keys, ExecutePlan(*node.children[1], ctx));
+  TableData out;
+  out.schema = std::move(source.schema);
+  out.uncertain = source.uncertain;
+
+  // Key value → the conditions under which it appears in the key source
+  // (deduplicated; a true condition subsumes all) — the SemiJoinIn idiom.
+  std::unordered_map<ValueKey, std::vector<Condition>, ValueKeyHash> matches;
+  const size_t nk = node.keys.size();
+  for (Row& row : keys.rows) {
+    ValueKey key;
+    key.values.reserve(nk);
+    bool has_null = false;
+    for (size_t k = 0; k < nk; ++k) {
+      has_null |= row.values[k].is_null();
+      key.values.push_back(row.values[k]);
+    }
+    if (has_null) continue;  // SQL equality: null joins nothing
+    key.hash = HashValues(key.values);
+    std::vector<Condition>& conds = matches[key];
+    if (!conds.empty() && conds.front().IsTrue()) continue;
+    if (row.condition.IsTrue()) {
+      conds.clear();
+      conds.push_back(Condition());
+      continue;
+    }
+    if (std::find(conds.begin(), conds.end(), row.condition) == conds.end()) {
+      conds.push_back(std::move(row.condition));
+    }
+  }
+
+  // A source row survives iff some key-source row matches its keys under a
+  // consistent condition merge — a necessary condition for the later full
+  // join to emit anything for it. Survivors keep their ORIGINAL values and
+  // conditions, in their original order, so the join's output is unchanged.
+  for (Row& row : source.rows) {
+    MAYBMS_ASSIGN_OR_RETURN(ValueKey key, EvalKey(node.keys, row.values));
+    bool has_null = false;
+    for (const Value& v : key.values) has_null |= v.is_null();
+    if (has_null) continue;
+    auto it = matches.find(key);
+    if (it == matches.end()) continue;
+    bool consistent = false;
+    for (const Condition& cond : it->second) {
+      if (Condition::Merge(row.condition, cond).has_value()) {
+        consistent = true;
+        break;
+      }
+    }
+    if (consistent) out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
 Result<TableData> ExecuteLimit(const LimitNode& node, ExecContext* ctx) {
   MAYBMS_ASSIGN_OR_RETURN(TableData in, ExecutePlan(*node.children[0], ctx));
   if (node.limit >= 0 && static_cast<size_t>(node.limit) < in.rows.size()) {
@@ -502,6 +559,8 @@ Result<TableData> ExecutePlanRow(const PlanNode& plan, ExecContext* ctx) {
       return ExecuteSort(static_cast<const SortNode&>(plan), ctx);
     case PlanKind::kLimit:
       return ExecuteLimit(static_cast<const LimitNode&>(plan), ctx);
+    case PlanKind::kSemiJoinReduce:
+      return ExecuteSemiJoinReduce(static_cast<const SemiJoinReduceNode&>(plan), ctx);
   }
   return Status::Internal("unhandled plan kind");
 }
@@ -519,6 +578,7 @@ Result<TableData> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
     // in place is safe; the timing wraps the child recursion too, giving
     // inclusive spans (self time = inclusive − Σ children at render).
     TraceNode* node = ctx->trace->NewNode(ctx->trace_parent, plan.Describe());
+    node->est_rows = plan.est_rows;
     TraceNode* saved = ctx->trace_parent;
     ctx->trace_parent = node;
     const ConfPhaseCounters* conf = ctx->options->exact.counters;

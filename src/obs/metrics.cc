@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 namespace maybms {
 
@@ -44,6 +45,10 @@ constexpr const char* kScalarNames[] = {
     "server.bytes_in",
     "server.bytes_out",
     "trace.statements",
+    "opt.plans_considered",
+    "opt.reorders",
+    "opt.semijoin.inserted",
+    "opt.semijoin.skipped",
 };
 static_assert(sizeof(kScalarNames) / sizeof(kScalarNames[0]) ==
                   static_cast<size_t>(Counter::kNumCounters) -
@@ -236,6 +241,23 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::Snapshot() const {
     out.emplace_back(base + ".p99_ms", p99);
   }
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::string out;
+  for (const auto& [name, value] : Snapshot()) {
+    std::string prom = "maybms_";
+    for (char ch : name) {
+      const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                      (ch >= '0' && ch <= '9') || ch == '_';
+      prom.push_back(ok ? ch : '_');
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out.append("# TYPE ").append(prom).append(" gauge\n");
+    out.append(prom).append(" ").append(buf).append("\n");
+  }
   return out;
 }
 

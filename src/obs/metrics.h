@@ -85,6 +85,12 @@ enum class Counter : uint16_t {
 
   kTracesRecorded,  // statement traces pushed into the ring buffer
 
+  // Cost-based optimizer (src/opt/).
+  kOptPlansConsidered,    // join orders costed by the enumerator
+  kOptReorders,           // join regions where a non-syntactic order won
+  kOptSemijoinsInserted,  // semijoin reducers placed in plans
+  kOptSemijoinsSkipped,   // reducer sites rejected by the benefit gate
+
   kNumCounters,
 };
 
@@ -193,6 +199,12 @@ class MetricsRegistry {
   // Percentiles are log2-bucket approximations (geometric bucket
   // midpoint); exact enough for operator dashboards, documented as such.
   std::vector<std::pair<std::string, double>> Snapshot() const;
+
+  // Snapshot() rendered in the Prometheus text exposition format
+  // (version 0.0.4): one gauge per metric, names prefixed "maybms_" with
+  // non-[a-zA-Z0-9_] characters mapped to '_'. Served by `\stats --prom`
+  // on both the shell and the server.
+  std::string PrometheusText() const;
 
   // Folds a statement's confidence-phase counters into the scalar
   // counters (called once per statement by the Session).

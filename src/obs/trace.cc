@@ -65,6 +65,10 @@ void RenderNode(const TraceNode& node, int depth, std::string* out) {
                 static_cast<unsigned long long>(node.rows_out),
                 static_cast<unsigned long long>(node.batches_out));
   out->append(buf);
+  if (node.est_rows >= 0) {
+    std::snprintf(buf, sizeof(buf), " est=%.6g", node.est_rows);
+    out->append(buf);
+  }
   if (node.morsels != 0) {
     std::snprintf(buf, sizeof(buf), " morsels=%llu",
                   static_cast<unsigned long long>(node.morsels));

@@ -41,6 +41,10 @@ struct TraceNode {
   std::string label;  // PlanNode::Describe() at build time
   uint64_t inclusive_ns = 0;
   uint64_t calls = 0;  // Next() calls (batch) / 1 (row)
+  /// Optimizer cardinality estimate copied from PlanNode::est_rows at
+  /// build time (-1 = not estimated). Rendered next to actual rows so
+  /// EXPLAIN ANALYZE exposes estimation error per operator.
+  double est_rows = -1;
   uint64_t rows_out = 0;
   uint64_t batches_out = 0;
   uint64_t morsels = 0;

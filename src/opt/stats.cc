@@ -1,0 +1,126 @@
+#include "src/opt/stats.h"
+
+#include <algorithm>
+
+#include "src/storage/columnar.h"
+#include "src/types/batch.h"
+
+namespace maybms {
+
+// The shared SplitMix64 finalizer (src/common/row_index.h) decorrelates
+// Value::Hash, which is equality-consistent but not uniform enough for
+// order statistics.
+void KmvSketch::Add(const Value& v) { AddHash(Mix64(v.Hash() | 1)); }
+
+void KmvSketch::AddHash(uint64_t h) {
+  auto it = std::lower_bound(hashes_.begin(), hashes_.end(), h);
+  if (it != hashes_.end() && *it == h) return;  // already counted
+  if (hashes_.size() < k_) {
+    hashes_.insert(it, h);
+    return;
+  }
+  if (h >= hashes_.back()) return;  // not among the k smallest
+  hashes_.insert(it, h);
+  hashes_.pop_back();
+}
+
+void KmvSketch::Merge(const KmvSketch& other) {
+  for (uint64_t h : other.hashes_) AddHash(h);
+}
+
+double KmvSketch::Estimate() const {
+  size_t m = hashes_.size();
+  if (m < k_) return static_cast<double>(m);  // exact below saturation
+  // R = k-th smallest hash mapped to (0, 1]; NDV ~ (k-1)/R.
+  double r = (static_cast<double>(hashes_.back()) + 1.0) / 18446744073709551616.0;
+  if (r <= 0) return static_cast<double>(m);
+  return static_cast<double>(k_ - 1) / r;
+}
+
+void ColumnStats::Merge(const ColumnStats& other) {
+  null_count += other.null_count;
+  if (!other.min_v.is_null() &&
+      (min_v.is_null() || other.min_v.Compare(min_v) < 0)) {
+    min_v = other.min_v;
+  }
+  if (!other.max_v.is_null() &&
+      (max_v.is_null() || other.max_v.Compare(max_v) > 0)) {
+    max_v = other.max_v;
+  }
+  sketch.Merge(other.sketch);
+}
+
+StatsCache::ChunkStats StatsCache::ComputeChunk(const Batch& chunk) {
+  ChunkStats out;
+  out.rows = chunk.num_rows;
+  out.condition_atoms = chunk.conditions.NumAtoms();
+  out.columns.resize(chunk.columns.size());
+  for (size_t c = 0; c < chunk.columns.size(); ++c) {
+    const ColumnVector& col = *chunk.columns[c];
+    ColumnStats& stats = out.columns[c];
+    for (size_t i = 0; i < col.size(); ++i) {
+      if (col.IsNull(i)) {
+        ++stats.null_count;
+        continue;
+      }
+      Value v = col.GetValue(i);
+      if (stats.min_v.is_null() || v.Compare(stats.min_v) < 0) stats.min_v = v;
+      if (stats.max_v.is_null() || v.Compare(stats.max_v) > 0) stats.max_v = v;
+      stats.sketch.Add(v);
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<const TableStats> StatsCache::Get(const Table& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CachedTable& cached = tables_[table.name()];
+  if (cached.table == &table && cached.version == table.version() &&
+      cached.merged != nullptr) {
+    return cached.merged;  // version fast-path: nothing changed
+  }
+  if (cached.table != &table) cached.chunks.clear();  // dropped + recreated
+
+  std::shared_ptr<const ColumnarTable> columnar = table.Columnar();
+
+  auto merged = std::make_shared<TableStats>();
+  merged->version = table.version();
+  merged->columns.resize(table.schema().NumColumns());
+  uint64_t total_atoms = 0;
+  std::unordered_map<const Batch*, std::shared_ptr<const ChunkStats>> fresh;
+  fresh.reserve(columnar->chunks.size());
+  for (const std::shared_ptr<const Batch>& chunk : columnar->chunks) {
+    std::shared_ptr<const ChunkStats> stats;
+    auto it = cached.chunks.find(chunk.get());
+    if (it != cached.chunks.end()) {
+      stats = it->second;  // clean chunk: snapshot adopted it, so do we
+    } else {
+      stats = std::make_shared<const ChunkStats>(ComputeChunk(*chunk));
+      ++chunk_computations_;
+    }
+    fresh.emplace(chunk.get(), stats);
+    merged->num_rows += stats->rows;
+    total_atoms += stats->condition_atoms;
+    for (size_t c = 0; c < merged->columns.size() && c < stats->columns.size();
+         ++c) {
+      merged->columns[c].Merge(stats->columns[c]);
+    }
+  }
+  if (merged->num_rows > 0) {
+    merged->avg_condition_atoms =
+        static_cast<double>(total_atoms) / static_cast<double>(merged->num_rows);
+  }
+
+  cached.table = &table;
+  cached.version = merged->version;
+  cached.merged = merged;
+  cached.chunks = std::move(fresh);  // stale chunk entries drop out here
+  return merged;
+}
+
+uint64_t StatsCache::chunk_computations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chunk_computations_;
+}
+
+}  // namespace maybms

@@ -1,0 +1,123 @@
+// Table/column statistics for the cost-based optimizer (src/opt/optimizer.h).
+//
+// Statistics derive from the chunked columnar snapshots (src/storage/
+// columnar.h) and refresh incrementally exactly like the snapshots do:
+// per-chunk statistics are keyed by the chunk Batch's identity, and since
+// an incremental snapshot rebuild ADOPTS every clean chunk's shared_ptr
+// unchanged (only dirty chunks re-columnarize), a DML statement invalidates
+// precisely the per-chunk stats of the chunks it dirtied. A version
+// fast-path skips even the merge when the table has not changed at all.
+//
+// Per column: row/null counts, min/max (total Value order), and a KMV
+// (k-minimum-values) distinct sketch — small, mergeable across chunks, and
+// exact below k distinct values. Per table: the average condition-column
+// width (atoms per row), the optimizer's lineage-cost signal — uncertain
+// relations' intermediates cost more because every extra row grows the DNF
+// the confidence solvers chew through downstream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/table.h"
+#include "src/types/value.h"
+
+namespace maybms {
+
+struct Batch;
+
+/// KMV distinct-count sketch: keeps the k smallest distinct 64-bit hashes.
+/// With m < k distinct hashes seen the estimate is exact (= m); at
+/// saturation it is the classic (k-1)/R estimator where R is the k-th
+/// smallest hash normalized to (0, 1]. Mergeable: the union of two sketches
+/// is the k smallest of their combined hash sets.
+class KmvSketch {
+ public:
+  static constexpr size_t kDefaultK = 256;
+
+  explicit KmvSketch(size_t k = kDefaultK) : k_(k == 0 ? 1 : k) {}
+
+  void Add(const Value& v);
+  void AddHash(uint64_t h);
+  void Merge(const KmvSketch& other);
+
+  /// Estimated number of distinct values added.
+  double Estimate() const;
+
+  size_t k() const { return k_; }
+
+ private:
+  size_t k_;
+  std::vector<uint64_t> hashes_;  // sorted ascending, distinct, size <= k_
+};
+
+/// Statistics of one column (of a chunk, or merged across chunks).
+struct ColumnStats {
+  uint64_t null_count = 0;
+  /// Min/max over non-null cells (Value total order); null when the column
+  /// has no non-null cell.
+  Value min_v;
+  Value max_v;
+  KmvSketch sketch;
+
+  double Ndv() const { return sketch.Estimate(); }
+
+  /// Folds `other` into this (chunk merge).
+  void Merge(const ColumnStats& other);
+};
+
+/// Merged statistics of a whole table at one snapshot version.
+struct TableStats {
+  uint64_t num_rows = 0;
+  uint64_t version = 0;  ///< Table::version() the stats were derived at
+  /// Average condition-column atoms per row — the lineage width the
+  /// optimizer charges for moving this table's tuples through a join.
+  double avg_condition_atoms = 0;
+  std::vector<ColumnStats> columns;  // parallel to the table schema
+
+  double ColumnNdv(size_t col) const {
+    return col < columns.size() ? columns[col].Ndv() : 0;
+  }
+};
+
+/// Thread-safe, chunk-incremental statistics cache. One per SessionManager
+/// (shared across sessions like the columnar snapshots themselves).
+class StatsCache {
+ public:
+  /// Statistics for the table's current version. Cheap when nothing
+  /// changed (version fast-path); otherwise recomputes only chunks whose
+  /// snapshot Batch is new and merges. Never fails: statistics are
+  /// advisory.
+  std::shared_ptr<const TableStats> Get(const Table& table);
+
+  /// Lifetime count of per-chunk stat computations (tests pin the
+  /// incremental-refresh behaviour with it).
+  uint64_t chunk_computations() const;
+
+ private:
+  struct ChunkStats {
+    uint64_t rows = 0;
+    uint64_t condition_atoms = 0;
+    std::vector<ColumnStats> columns;
+  };
+  struct CachedTable {
+    const Table* table = nullptr;  // identity check (name reuse after drop)
+    uint64_t version = ~0ull;
+    std::shared_ptr<const TableStats> merged;
+    /// Per-chunk stats keyed by the snapshot chunk's identity: clean
+    /// chunks keep their Batch pointer across incremental rebuilds.
+    std::unordered_map<const Batch*, std::shared_ptr<const ChunkStats>> chunks;
+  };
+
+  static ChunkStats ComputeChunk(const Batch& chunk);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, CachedTable> tables_;
+  uint64_t chunk_computations_ = 0;
+};
+
+}  // namespace maybms

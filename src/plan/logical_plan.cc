@@ -37,6 +37,9 @@ namespace {
 void ExplainInto(const PlanNode& node, int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   out->append(node.Describe());
+  if (node.est_rows >= 0) {
+    out->append(StringFormat("  [est=%.6g rows]", node.est_rows));
+  }
   if (node.uncertain) out->append("  [uncertain]");
   out->push_back('\n');
   for (const PlanNodePtr& child : node.children) {
@@ -138,6 +141,15 @@ std::string SortNode::Describe() const {
 
 std::string LimitNode::Describe() const {
   return StringFormat("Limit %lld", static_cast<long long>(limit));
+}
+
+std::string SemiJoinReduceNode::Describe() const {
+  std::string out = "SemiJoinReduce on ";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += keys[i]->ToString();
+  }
+  return out;
 }
 
 }  // namespace maybms

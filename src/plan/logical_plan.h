@@ -29,6 +29,11 @@ enum class PlanKind : uint8_t {
   kDistinct,
   kSort,
   kLimit,
+  /// Annotated semijoin reducer (optimizer-inserted, src/opt/): keeps the
+  /// source rows whose join key matches child 1 under a CONSISTENT
+  /// condition merge, carrying their original conditions through — the
+  /// exact row set that survives the later full join.
+  kSemiJoinReduce,
 };
 
 /// Aggregate functions (paper §2.2): the uncertainty-aware constructs plus
@@ -74,6 +79,9 @@ struct PlanNode {
   /// Whether the operator's output is an uncertain relation (has condition
   /// columns) or a t-certain table — the binder's uncertainty typing.
   bool uncertain;
+  /// Optimizer cardinality estimate (rows out), or -1 when not estimated.
+  /// EXPLAIN renders it; EXPLAIN ANALYZE pairs it with actual rows.
+  double est_rows = -1;
   std::vector<PlanNodePtr> children;
 };
 
@@ -232,6 +240,29 @@ struct LimitNode : PlanNode {
   std::string Describe() const override;
 
   int64_t limit;
+};
+
+/// Semijoin reducer for annotated relations (optimizer-inserted; Kolaitis,
+/// "Semijoins of Annotated Relations"). Child 0 is the source; child 1
+/// produces the opposing join-key columns (a side-effect-free clone of the
+/// other join input, projected to its keys, conditions preserved). A source
+/// row survives iff some child-1 row has equal keys AND a consistent
+/// condition merge — a necessary condition for the later full hash join to
+/// emit any pair for it, so only never-joining rows drop. Surviving rows
+/// keep their ORIGINAL values, conditions, and relative order, so
+/// inserting the reducer never changes the join's output.
+struct SemiJoinReduceNode : PlanNode {
+  SemiJoinReduceNode(PlanNodePtr source, PlanNodePtr key_source)
+      : PlanNode(PlanKind::kSemiJoinReduce, source->output_schema,
+                 source->uncertain) {
+    children.push_back(std::move(source));
+    children.push_back(std::move(key_source));
+  }
+  std::string Describe() const override;
+
+  /// Key expressions over the source (child 0) schema; child 1's output
+  /// columns 0..keys.size()-1 are the opposing key values, in order.
+  std::vector<BoundExprPtr> keys;
 };
 
 }  // namespace maybms

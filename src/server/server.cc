@@ -247,18 +247,24 @@ void Server::Serve(Connection* conn) {
       // session's own statement counts.
       const std::string pattern =
           req.size() > 7 ? std::string(Trim(req.substr(7))) : std::string();
-      std::string text;
-      for (const auto& [name, value] : manager_->StatsSnapshot()) {
-        if (!pattern.empty() && !MetricNameLike(pattern, name)) continue;
-        text += StringFormat("%-44s %.6g\n", name.c_str(), value);
+      if (pattern == "--prom") {
+        // Prometheus text exposition (scrape-ready payload).
+        AppendPayload(manager_->metrics().PrometheusText(), &reply);
+        reply += "OK \n";
+      } else {
+        std::string text;
+        for (const auto& [name, value] : manager_->StatsSnapshot()) {
+          if (!pattern.empty() && !MetricNameLike(pattern, name)) continue;
+          text += StringFormat("%-44s %.6g\n", name.c_str(), value);
+        }
+        text += StringFormat(
+            "session: id=%llu statements=%llu failed=%llu\n",
+            static_cast<unsigned long long>(session->id()),
+            static_cast<unsigned long long>(session->statements_run()),
+            static_cast<unsigned long long>(session->statements_failed()));
+        AppendPayload(text, &reply);
+        reply += "OK \n";
       }
-      text += StringFormat(
-          "session: id=%llu statements=%llu failed=%llu\n",
-          static_cast<unsigned long long>(session->id()),
-          static_cast<unsigned long long>(session->statements_run()),
-          static_cast<unsigned long long>(session->statements_failed()));
-      AppendPayload(text, &reply);
-      reply += "OK \n";
     } else if (req.rfind("\\trace ", 0) == 0) {
       const std::string path(Trim(req.substr(7)));
       const auto traces = manager_->traces().Recent();

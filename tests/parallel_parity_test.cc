@@ -7,11 +7,10 @@
 // a deliberately tiny morsel_size so even the small corpus tables split
 // into many parallel work units.
 //
-// aconf() is the one aggregate whose value legitimately differs between
-// num_threads == 1 (the legacy sequential session-RNG stream) and
-// num_threads >= 2 (counter-based substream sampling); it gets a dedicated
-// test asserting bit-equality across all threaded configs and (ε,δ)-level
-// agreement with the serial stream.
+// aconf() samples on lineage-content-seeded counter-based substreams at
+// EVERY thread count (a null pool runs the substreams serially), so its
+// estimates are bit-equal across engines, thread counts, and join orders;
+// a dedicated test pins that equality including the serial configs.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -255,9 +254,10 @@ TEST_F(ParallelProbabilisticParityTest, LimitOverUncertainConstructParity) {
   CheckError("select 10 / d from withzero limit 5");
 }
 
-// aconf(): num_threads >= 2 samples on counter-based substreams, so every
-// threaded config (both engines, any thread count) must produce the SAME
-// estimate bit for bit; the serial legacy stream only agrees to (ε,δ).
+// aconf(): every config samples lineage-content-seeded counter-based
+// substreams (serial configs run the substreams inline), so every config —
+// both engines, any thread count — must produce the SAME estimate bit for
+// bit.
 TEST_F(ParallelProbabilisticParityTest, AconfBitEqualAcrossThreadedConfigs) {
   const std::string sql =
       "select s.skill, aconf(0.05, 0.05) as p from Status t, Skills s "
@@ -278,12 +278,11 @@ TEST_F(ParallelProbabilisticParityTest, AconfBitEqualAcrossThreadedConfigs) {
           << kConfigs[i].name << " row " << r;
     }
   }
-  // The legacy serial stream is a different (equally valid) sample: the
-  // (ε,δ)=(0.05,0.05) guarantee bounds the disagreement.
+  // The serial configs draw the very same content-seeded substreams, just
+  // without a pool — bit-equal, not merely (ε,δ)-close.
   ASSERT_EQ(serial_row->NumRows(), reference->NumRows());
   for (size_t r = 0; r < serial_row->NumRows(); ++r) {
-    EXPECT_NEAR(serial_row->At(r, 1).AsDouble(), reference->At(r, 1).AsDouble(),
-                0.15)
+    EXPECT_EQ(serial_row->At(r, 1).AsDouble(), reference->At(r, 1).AsDouble())
         << " row " << r;
   }
 }

@@ -78,6 +78,14 @@ GUARDED_CASES = [
     # on divergence; this guard watches statement-lock overhead.
     ("server", "dashboard_serial"),
     ("server", "dashboard_concurrent"),
+    # Cost-based optimizer (ISSUE 9): *_optimized = worst-syntactic-order
+    # star/chain joins with `set optimizer = on`. The binary itself
+    # self-checks on/off answers bit-identical across both engines and
+    # enforces the >= 3x star speedup floor, exiting non-zero on either;
+    # this guard watches the optimized-path latency (planning + stats
+    # overhead included).
+    ("optimizer", "star_optimized"),
+    ("optimizer", "chain_optimized"),
 ]
 
 # Effectiveness guard (ISSUE 8): cache hit rates from the benches' embedded
