@@ -197,7 +197,13 @@ void PrintBanner(bool serving, bool remote, const char* socket_path) {
       "          SET optimizer = on|off (cost-based join reordering + "
       "stats; off = the binder's syntactic plans; default on),\n"
       "          SET optimizer_semijoin = on|off (annotated semijoin "
-      "reduction of join inputs; default on)\n"
+      "reduction of join inputs; default on),\n"
+      "          SET use_indexes = on|off (optimizer may rewrite filtered "
+      "scans to secondary-index scans; default on),\n"
+      "          SET trace_sample = <n> (record a full operator trace every "
+      "nth statement; 0 = off, default 0)\n"
+      "indexes: CREATE INDEX <name> ON <table> (<column>); DROP INDEX "
+      "[IF EXISTS] <name>; SHOW INDEXES\n"
       "observability: EXPLAIN [ANALYZE] <query>; SHOW STATS [LIKE 'pat']; "
       "\\stats [pattern|--prom]; \\trace <file>\n"
       "meta-commands: \\d [table], \\explain <q>, \\stats [pattern], "
@@ -220,11 +226,14 @@ int main(int argc, char** argv) {
   const char* serve_path = nullptr;
   const char* connect_path = nullptr;
   const char* script_path = nullptr;
+  size_t num_workers = 0;  // 0 = Server::kDefaultWorkers
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
       serve_path = argv[++i];
     } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       connect_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      num_workers = std::strtoull(argv[++i], nullptr, 10);
     } else {
       script_path = argv[i];
     }
@@ -287,13 +296,15 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  maybms::Server server(&db.session_manager(), options);
+  maybms::Server server(&db.session_manager(), options, num_workers);
   if (serve_path != nullptr) {
     auto st = server.Start(serve_path);
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
+    std::printf("worker pool: %zu thread(s) (--workers <n> to change)\n",
+                server.num_workers());
   }
 
   PrintBanner(serve_path != nullptr, false, serve_path);

@@ -214,8 +214,12 @@ SessionManager::LockPlan ClassifyStatement(const Statement& stmt,
     case StatementKind::kCreateTable:
     case StatementKind::kCreateTableAs:
     case StatementKind::kDropTable:
+    case StatementKind::kCreateIndex:
+    case StatementKind::kDropIndex:
       plan.catalog_exclusive = true;  // structure change: run alone
       break;
+    case StatementKind::kShowIndexes:
+      break;  // registry reads are internally synchronized; catalog shared
     case StatementKind::kInsert: {
       const auto& ins = static_cast<const InsertStmt&>(stmt);
       plan.write_tables.push_back(ToLower(ins.table));
@@ -264,7 +268,7 @@ SessionManager::LockPlan ClassifyStatement(const Statement& stmt,
 /// StatementKind -> dense metrics index (kStatementKindNames order in
 /// metrics.cc mirrors the enum exactly).
 size_t StatementKindIndex(StatementKind kind) {
-  static_assert(static_cast<size_t>(StatementKind::kShowStats) + 1 ==
+  static_assert(static_cast<size_t>(StatementKind::kShowIndexes) + 1 ==
                     kNumStatementKinds,
                 "kNumStatementKinds must track StatementKind");
   return static_cast<size_t>(kind);
@@ -589,6 +593,12 @@ Result<QueryResult> Session::RunSet(const SetStmt& set) {
     MAYBMS_ASSIGN_OR_RETURN(exec.optimizer, SetBool(set));
   } else if (set.name == "optimizer_semijoin") {
     MAYBMS_ASSIGN_OR_RETURN(exec.optimizer_semijoin, SetBool(set));
+  } else if (set.name == "use_indexes") {
+    MAYBMS_ASSIGN_OR_RETURN(exec.use_indexes, SetBool(set));
+  } else if (set.name == "trace_sample") {
+    MAYBMS_ASSIGN_OR_RETURN(
+        exec.trace_sample,
+        SetUint(set, "a statement interval (0 = off)", ~0ull / 2));
   } else if (set.name == "snapshot_chunk_rows") {
     MAYBMS_ASSIGN_OR_RETURN(
         uint64_t rows, SetUint(set, "a positive row count", ~0ull / 2));
@@ -609,7 +619,8 @@ Result<QueryResult> Session::RunSet(const SetStmt& set) {
         "unknown setting '%s' (supported: dtree_node_budget, dtree_cache, "
         "dtree_cache_budget, dtree_component_cache, snapshot_chunk_rows, "
         "conf_fallback, fallback_epsilon, fallback_delta, exact_solver, "
-        "engine, num_threads, metrics, optimizer, optimizer_semijoin)",
+        "engine, num_threads, metrics, optimizer, optimizer_semijoin, "
+        "use_indexes, trace_sample)",
         set.name.c_str()));
   }
   return QueryResult(TableData{},
@@ -638,7 +649,16 @@ Result<QueryResult> Session::RunStatement(const Statement& stmt,
   }
   const bool analyze = explain != nullptr;
   const Statement& effective = analyze ? *explain->inner : stmt;
-  if (!obs && !analyze) {
+  // SET trace_sample = N collects a full EXPLAIN-ANALYZE-style operator
+  // trace on every Nth statement of this session (counted here, under the
+  // statement lock) into the shared trace buffer, without touching the
+  // statement's own result. Like EXPLAIN ANALYZE, sampling is an explicit
+  // request and works with metrics off; registry counters still honor the
+  // metrics knob.
+  const uint64_t sample_every = options_.exec.trace_sample;
+  const bool sampled =
+      sample_every > 0 && (++trace_sample_seq_ % sample_every == 0);
+  if (!obs && !analyze && !sampled) {
     // Fast path with metrics off: no clocks, no trace, no counters.
     return DispatchStatement(effective, nullptr, nullptr, false);
   }
@@ -652,7 +672,7 @@ Result<QueryResult> Session::RunStatement(const Statement& stmt,
   const uint64_t t0 = MonotonicNs();
   trace.start_ns = start_ns != 0 ? start_ns : t0;
   Result<QueryResult> result =
-      DispatchStatement(effective, &trace, reg, analyze);
+      DispatchStatement(effective, &trace, reg, analyze || sampled);
   trace.total_ns = parse_ns + (MonotonicNs() - t0);
   trace.failed = !result.ok();
   if (reg != nullptr) {
@@ -748,7 +768,8 @@ Result<QueryResult> Session::RunExplainPlan(const ExplainStmt& stmt) {
   // EXPLAIN shows the plan that WOULD run: the optimized one (with its
   // cardinality estimates) under the current knobs.
   MAYBMS_RETURN_NOT_OK(
-      OptimizePlan(&bound.plan, &manager_->stats_, options_.exec, nullptr));
+      OptimizePlan(&bound.plan, &manager_->stats_, options_.exec, nullptr,
+                   &manager_->catalog_.index_manager()));
   return QueryResult(TableData{}, "EXPLAIN\n" + ExplainPlan(*bound.plan));
 }
 
@@ -795,7 +816,8 @@ Result<QueryResult> Session::RunOrdinary(const Statement& stmt,
   if (bound.plan != nullptr) {
     OptimizerCounters opt;
     MAYBMS_RETURN_NOT_OK(
-        OptimizePlan(&bound.plan, &manager_->stats_, options_.exec, &opt));
+        OptimizePlan(&bound.plan, &manager_->stats_, options_.exec, &opt,
+                     &catalog.index_manager()));
     if (reg != nullptr) {
       auto add = [reg](Counter c, uint64_t v) {
         if (v != 0) reg->Add(c, v);
@@ -804,6 +826,7 @@ Result<QueryResult> Session::RunOrdinary(const Statement& stmt,
       add(Counter::kOptReorders, opt.reorders_applied);
       add(Counter::kOptSemijoinsInserted, opt.semijoins_inserted);
       add(Counter::kOptSemijoinsSkipped, opt.semijoins_skipped);
+      add(Counter::kOptIndexScans, opt.index_scans);
     }
   }
   if (trace != nullptr) trace->bind_ns = MonotonicNs() - bind0;
@@ -924,7 +947,8 @@ Result<std::string> Session::Explain(std::string_view sql) {
                           BindStatement(manager_->catalog_, *stmt));
   if (!bound.plan) return std::string("(no plan: DDL/DML statement)\n");
   MAYBMS_RETURN_NOT_OK(
-      OptimizePlan(&bound.plan, &manager_->stats_, options_.exec, nullptr));
+      OptimizePlan(&bound.plan, &manager_->stats_, options_.exec, nullptr,
+                   &manager_->catalog_.index_manager()));
   return ExplainPlan(*bound.plan);
 }
 

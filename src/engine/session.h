@@ -163,6 +163,10 @@ class Session {
   ConstraintStore constraints_;
   uint64_t statements_run_ = 0;
   uint64_t statements_failed_ = 0;
+  /// Position in this session's statement stream for SET trace_sample = N
+  /// (every Nth statement records a full operator trace). Guarded by
+  /// statement_mu_ like the statement counters above.
+  uint64_t trace_sample_seq_ = 0;
   /// Values of the database-level knobs this session last applied (or
   /// adopted at creation). A statement re-applies a knob only when the
   /// session's OWN option drifted from this mirror — never merely because

@@ -242,6 +242,55 @@ class ScanOp : public BatchOperator {
 };
 
 // ---------------------------------------------------------------------------
+// IndexScan: pulls the candidate row ids from the B+ tree (ascending, so
+// emission order matches ScanOp's) and gathers the rows into fresh batches.
+// The parent Filter re-checks its full predicate over these candidates,
+// which is what keeps Filter(IndexScan) bit-identical to Filter(Scan).
+// ---------------------------------------------------------------------------
+
+class IndexScanOp : public BatchOperator {
+ public:
+  IndexScanOp(const IndexScanNode& node, ExecContext* ctx)
+      : node_(node), ctx_(ctx) {}
+
+  Result<bool> Next(Batch* out) override {
+    if (!initialized_) {
+      initialized_ = true;
+      SecondaryIndexPtr index =
+          ctx_->catalog->index_manager().Find(node_.index_name);
+      if (index != nullptr) {
+        MAYBMS_RETURN_NOT_OK(
+            index->Lookup(*node_.table, node_.lo, node_.hi, &ids_, ctx_->metrics));
+      } else {
+        // Index dropped between planning and execution: degrade to a full
+        // scan's candidate set (the filter still produces exact answers).
+        ids_.resize(node_.table->NumRows());
+        for (size_t i = 0; i < ids_.size(); ++i) ids_[i] = i;
+      }
+    }
+    const std::vector<Row>& rows = node_.table->rows();
+    if (pos_ >= ids_.size()) return false;
+    const size_t n = std::min(Batch::kDefaultCapacity, ids_.size() - pos_);
+    Batch b = Batch::Allocate(node_.table->schema(), n);
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t id = ids_[pos_ + i];
+      if (id < rows.size()) b.AppendRow(rows[static_cast<size_t>(id)]);
+    }
+    pos_ += n;
+    if (b.num_rows == 0) return Next(out);  // all ids stale; try next slice
+    *out = std::move(b);
+    return true;
+  }
+
+ private:
+  const IndexScanNode& node_;
+  ExecContext* ctx_;
+  bool initialized_ = false;
+  std::vector<uint64_t> ids_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
 // Filter
 // ---------------------------------------------------------------------------
 
@@ -1840,6 +1889,9 @@ Result<BatchOperatorPtr> BuildOperatorImpl(const PlanNode& plan, ExecContext* ct
   switch (plan.kind) {
     case PlanKind::kScan:
       return BatchOperatorPtr(new ScanOp(static_cast<const ScanNode&>(plan)));
+    case PlanKind::kIndexScan:
+      return BatchOperatorPtr(
+          new IndexScanOp(static_cast<const IndexScanNode&>(plan), ctx));
     case PlanKind::kFilter: {
       const auto& node = static_cast<const FilterNode&>(plan);
       MAYBMS_ASSIGN_OR_RETURN(BatchOperatorPtr child,
@@ -1996,6 +2048,8 @@ bool RuntimeUncertain(const PlanNode& plan) {
   switch (plan.kind) {
     case PlanKind::kScan:
       return static_cast<const ScanNode&>(plan).table->uncertain();
+    case PlanKind::kIndexScan:
+      return static_cast<const IndexScanNode&>(plan).table->uncertain();
     case PlanKind::kFilter:
     case PlanKind::kDistinct:
     case PlanKind::kSort:

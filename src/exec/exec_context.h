@@ -94,6 +94,21 @@ struct ExecOptions {
   /// downstream sees — when estimated selectivity justifies it. Only read
   /// when `optimizer` is on.
   bool optimizer_semijoin = true;
+  /// Index-aware access-path selection (`SET use_indexes = on|off`): lets
+  /// the optimizer replace a Filter's base-table Scan with an IndexScan
+  /// over a matching B+ tree secondary index (src/index/) when the cost
+  /// model favors it. The parent Filter keeps its full predicate and
+  /// re-checks every candidate row, and IndexScan emits candidates in
+  /// table order, so answers are bit-identical with indexes on or off.
+  /// Only read when `optimizer` is on (access paths are an optimizer pass).
+  bool use_indexes = true;
+  /// Trace sampling (`SET trace_sample = <n>`): when n > 0 the session
+  /// records a full EXPLAIN ANALYZE execution trace for every n-th
+  /// statement it runs (1 = every statement) into the trace ring, without
+  /// the client asking for EXPLAIN ANALYZE. 0 (default) = off. Sampled
+  /// traces are observation-only: results are byte-identical to untraced
+  /// runs.
+  uint64_t trace_sample = 0;
   /// Observability (`SET metrics = on|off`, src/obs/): when on (the
   /// default) the Session wires the manager's MetricsRegistry and a
   /// per-statement ConfPhaseCounters into the context/solver options and

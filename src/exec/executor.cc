@@ -47,6 +47,11 @@ Result<StatementResult> ExecuteCreateTableAs(const BoundStatement& stmt,
 Result<StatementResult> ExecuteInsert(const BoundStatement& stmt, ExecContext* ctx) {
   MAYBMS_ASSIGN_OR_RETURN(TablePtr table, ctx->catalog->GetTable(stmt.table_name));
   StatementResult result;
+  // Capture the pre-statement state for eager index maintenance: an index
+  // that was current at pre_version absorbs exactly the appended suffix
+  // [first_row, NumRows) instead of rebuilding (src/index/index_manager.h).
+  const uint64_t pre_version = table->version();
+  const size_t first_row = table->NumRows();
   if (stmt.plan) {
     MAYBMS_ASSIGN_OR_RETURN(TableData data, ExecutePlan(*stmt.plan, ctx));
     if (data.uncertain && !table->uncertain()) {
@@ -62,6 +67,13 @@ Result<StatementResult> ExecuteInsert(const BoundStatement& stmt, ExecContext* c
     for (const std::vector<Value>& values : stmt.insert_rows) {
       MAYBMS_RETURN_NOT_OK(table->Append(Row(values)));
       ++result.affected_rows;
+    }
+  }
+  if (result.affected_rows > 0) {
+    for (const SecondaryIndexPtr& index :
+         ctx->catalog->index_manager().IndexesOn(table->name())) {
+      MAYBMS_RETURN_NOT_OK(
+          index->NotifyAppend(*table, first_row, pre_version, ctx->metrics));
     }
   }
   result.message = StringFormat("INSERT %zu", result.affected_rows);
@@ -238,6 +250,54 @@ Result<StatementResult> ExecuteDrop(const BoundStatement& stmt, ExecContext* ctx
   return result;
 }
 
+Result<StatementResult> ExecuteCreateIndex(const BoundStatement& stmt,
+                                           ExecContext* ctx) {
+  MAYBMS_ASSIGN_OR_RETURN(TablePtr table, ctx->catalog->GetTable(stmt.table_name));
+  MAYBMS_ASSIGN_OR_RETURN(
+      SecondaryIndexPtr index,
+      ctx->catalog->index_manager().CreateIndex(stmt.index_name, table,
+                                                stmt.index_column,
+                                                /*build_now=*/true, ctx->metrics));
+  StatementResult result;
+  result.affected_rows = index->stats().entries;
+  result.message = StringFormat("CREATE INDEX (%zu entries)",
+                                static_cast<size_t>(index->stats().entries));
+  return result;
+}
+
+Result<StatementResult> ExecuteDropIndex(const BoundStatement& stmt,
+                                         ExecContext* ctx) {
+  MAYBMS_RETURN_NOT_OK(ctx->catalog->index_manager().DropIndex(
+      stmt.index_name, stmt.drop_if_exists));
+  StatementResult result;
+  result.message = "DROP INDEX";
+  return result;
+}
+
+Result<StatementResult> ExecuteShowIndexes(ExecContext* ctx) {
+  StatementResult result;
+  result.has_data = true;
+  result.data.schema.AddColumn(Column{"index_name", TypeId::kString});
+  result.data.schema.AddColumn(Column{"table_name", TypeId::kString});
+  result.data.schema.AddColumn(Column{"column_name", TypeId::kString});
+  result.data.schema.AddColumn(Column{"entries", TypeId::kInt});
+  result.data.schema.AddColumn(Column{"height", TypeId::kInt});
+  for (const IndexDef& def : ctx->catalog->index_manager().ListDefs()) {
+    SecondaryIndexPtr index = ctx->catalog->index_manager().Find(def.name);
+    if (index == nullptr) continue;  // racing DROP INDEX
+    const SecondaryIndex::Stats stats = index->stats();
+    Row row;
+    row.values.push_back(Value::String(def.name));
+    row.values.push_back(Value::String(def.table));
+    row.values.push_back(Value::String(def.column));
+    row.values.push_back(Value::Int(static_cast<int64_t>(stats.entries)));
+    row.values.push_back(Value::Int(static_cast<int64_t>(stats.height)));
+    result.data.rows.push_back(std::move(row));
+  }
+  result.message = StringFormat("INDEXES %zu", result.data.rows.size());
+  return result;
+}
+
 }  // namespace
 
 Result<StatementResult> ExecuteStatement(const BoundStatement& stmt, ExecContext* ctx) {
@@ -262,6 +322,12 @@ Result<StatementResult> ExecuteStatement(const BoundStatement& stmt, ExecContext
       return ExecuteShowEvidence(ctx);
     case StatementKind::kClearEvidence:
       return ExecuteClearEvidence(ctx);
+    case StatementKind::kCreateIndex:
+      return ExecuteCreateIndex(stmt, ctx);
+    case StatementKind::kDropIndex:
+      return ExecuteDropIndex(stmt, ctx);
+    case StatementKind::kShowIndexes:
+      return ExecuteShowIndexes(ctx);
     case StatementKind::kSet:
     case StatementKind::kExplain:
     case StatementKind::kShowStats:

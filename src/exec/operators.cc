@@ -54,6 +54,33 @@ Result<TableData> ExecuteScan(const ScanNode& node) {
   return out;
 }
 
+Result<TableData> ExecuteIndexScan(const IndexScanNode& node, ExecContext* ctx) {
+  SecondaryIndexPtr index =
+      ctx->catalog->index_manager().Find(node.index_name);
+  if (index == nullptr) {
+    // The index vanished between planning and execution (DROP INDEX from
+    // another session): fall back to the scan the optimizer replaced.
+    TableData out;
+    out.schema = node.table->schema();
+    out.uncertain = node.table->uncertain();
+    out.rows = node.table->rows();
+    return out;
+  }
+  std::vector<uint64_t> ids;
+  MAYBMS_RETURN_NOT_OK(
+      index->Lookup(*node.table, node.lo, node.hi, &ids, ctx->metrics));
+  TableData out;
+  out.schema = node.table->schema();
+  out.uncertain = node.table->uncertain();
+  out.rows.reserve(ids.size());
+  const std::vector<Row>& rows = node.table->rows();
+  // ids are ascending (Lookup sorts), so output order == scan order.
+  for (uint64_t id : ids) {
+    if (id < rows.size()) out.rows.push_back(rows[static_cast<size_t>(id)]);
+  }
+  return out;
+}
+
 Result<TableData> ExecuteFilter(const FilterNode& node, ExecContext* ctx) {
   MAYBMS_ASSIGN_OR_RETURN(TableData in, ExecutePlan(*node.children[0], ctx));
   TableData out;
@@ -535,6 +562,8 @@ Result<TableData> ExecutePlanRow(const PlanNode& plan, ExecContext* ctx) {
   switch (plan.kind) {
     case PlanKind::kScan:
       return ExecuteScan(static_cast<const ScanNode&>(plan));
+    case PlanKind::kIndexScan:
+      return ExecuteIndexScan(static_cast<const IndexScanNode&>(plan), ctx);
     case PlanKind::kFilter:
       return ExecuteFilter(static_cast<const FilterNode&>(plan), ctx);
     case PlanKind::kProject:

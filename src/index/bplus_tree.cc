@@ -1,0 +1,335 @@
+#include "src/index/bplus_tree.h"
+
+#include <cstring>
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+namespace {
+
+// Node page layout on top of Page's 12-byte user area:
+//   user[0]      1 = leaf, 0 = internal
+//   user[4..8)   leaf: next-leaf page id (kInvalidPageId at the end)
+//   user[8..12)  internal: leftmost child page id
+// Leaf records:     encoded key + 8-byte row id (LE)
+// Internal records: encoded key + 4-byte child page id (LE)
+
+bool IsLeaf(const Page& p) { return p.user()[0] == 1; }
+void SetLeaf(Page* p, bool leaf) { p->user()[0] = leaf ? 1 : 0; }
+
+PageId NextLeaf(const Page& p) {
+  PageId id;
+  std::memcpy(&id, p.user() + 4, 4);
+  return id;
+}
+void SetNextLeaf(Page* p, PageId id) { std::memcpy(p->user() + 4, &id, 4); }
+
+PageId LeftmostChild(const Page& p) {
+  PageId id;
+  std::memcpy(&id, p.user() + 8, 4);
+  return id;
+}
+void SetLeftmostChild(Page* p, PageId id) {
+  std::memcpy(p->user() + 8, &id, 4);
+}
+
+std::string_view LeafKey(std::string_view record) {
+  return record.substr(0, record.size() - 8);
+}
+uint64_t LeafRowId(std::string_view record) {
+  uint64_t id;
+  std::memcpy(&id, record.data() + record.size() - 8, 8);
+  return id;
+}
+std::string_view InternalKey(std::string_view record) {
+  return record.substr(0, record.size() - 4);
+}
+PageId InternalChild(std::string_view record) {
+  PageId id;
+  std::memcpy(&id, record.data() + record.size() - 4, 4);
+  return id;
+}
+
+int CompareEncoded(std::string_view a, std::string_view b) {
+  return BPlusTree::DecodeKey(a).Compare(BPlusTree::DecodeKey(b));
+}
+
+/// First slot whose key compares >= `key` (lower bound) or > `key` (upper
+/// bound) under the node's key extractor.
+template <typename KeyFn>
+uint16_t LowerBound(const Page& p, std::string_view key, KeyFn key_of) {
+  uint16_t lo = 0, hi = p.NumSlots();
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    if (CompareEncoded(key_of(p.Record(mid)), key) < 0) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+template <typename KeyFn>
+uint16_t UpperBound(const Page& p, std::string_view key, KeyFn key_of) {
+  uint16_t lo = 0, hi = p.NumSlots();
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    if (CompareEncoded(key_of(p.Record(mid)), key) <= 0) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Child to descend into for `key`: the child of the last entry whose key
+/// satisfies the comparison (`strict` = keys < key, for scans seeking the
+/// FIRST occurrence; non-strict = keys <= key, for inserts appending after
+/// duplicates), or the leftmost child when no entry qualifies.
+PageId ChildFor(const Page& p, std::string_view key, bool strict) {
+  const uint16_t idx = strict ? LowerBound(p, key, InternalKey)
+                              : UpperBound(p, key, InternalKey);
+  if (idx == 0) return LeftmostChild(p);
+  return InternalChild(p.Record(static_cast<uint16_t>(idx - 1)));
+}
+
+}  // namespace
+
+std::string BPlusTree::EncodeKey(const Value& key) {
+  std::string out;
+  out.push_back(static_cast<char>(key.type()));
+  switch (key.type()) {
+    case TypeId::kNull:
+      break;  // callers never index nulls; encoded defensively as tag-only
+    case TypeId::kBool: {
+      out.push_back(key.AsBool() ? 1 : 0);
+      break;
+    }
+    case TypeId::kInt: {
+      int64_t v = key.AsInt();
+      out.append(reinterpret_cast<const char*>(&v), 8);
+      break;
+    }
+    case TypeId::kDouble: {
+      double v = key.AsDouble();
+      out.append(reinterpret_cast<const char*>(&v), 8);
+      break;
+    }
+    case TypeId::kString: {
+      const std::string& s = key.AsString();
+      out.append(s, 0, kMaxKeyBytes - 1);  // monotone truncation
+      break;
+    }
+  }
+  return out;
+}
+
+Value BPlusTree::DecodeKey(std::string_view bytes) {
+  const TypeId tag = static_cast<TypeId>(bytes[0]);
+  switch (tag) {
+    case TypeId::kNull:
+      return Value::Null();
+    case TypeId::kBool:
+      return Value::Bool(bytes[1] != 0);
+    case TypeId::kInt: {
+      int64_t v;
+      std::memcpy(&v, bytes.data() + 1, 8);
+      return Value::Int(v);
+    }
+    case TypeId::kDouble: {
+      double v;
+      std::memcpy(&v, bytes.data() + 1, 8);
+      return Value::Double(v);
+    }
+    case TypeId::kString:
+      return Value::String(std::string(bytes.substr(1)));
+  }
+  return Value::Null();
+}
+
+Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
+  MAYBMS_ASSIGN_OR_RETURN(PageRef root, pool->New());
+  root.page()->Init();
+  SetLeaf(root.page(), true);
+  SetNextLeaf(root.page(), kInvalidPageId);
+  root.MarkDirty();
+  return BPlusTree(pool, root.id(), /*height=*/1, /*entries=*/0);
+}
+
+Result<BPlusTree> BPlusTree::Open(BufferPool* pool, PageId root) {
+  // Height from the leftmost descent; entry count is unknown for reopened
+  // trees (counting would scan every leaf, defeating cold-lookup tests).
+  size_t height = 1;
+  PageId node = root;
+  for (;;) {
+    MAYBMS_ASSIGN_OR_RETURN(PageRef ref, pool->Fetch(node));
+    if (IsLeaf(*ref.page())) break;
+    node = LeftmostChild(*ref.page());
+    ++height;
+  }
+  return BPlusTree(pool, root, height, /*entries=*/0);
+}
+
+Status BPlusTree::Insert(const Value& key, uint64_t row_id) {
+  if (key.is_null()) {
+    return Status::InvalidArgument("B+ tree keys must be non-null");
+  }
+  const std::string encoded = EncodeKey(key);
+  MAYBMS_ASSIGN_OR_RETURN(std::optional<Split> split,
+                          InsertInto(root_, encoded, row_id));
+  if (split.has_value()) {
+    // Root split: the tree grows a level.
+    MAYBMS_ASSIGN_OR_RETURN(PageRef new_root, pool_->New());
+    new_root.page()->Init();
+    SetLeaf(new_root.page(), false);
+    SetLeftmostChild(new_root.page(), root_);
+    std::string rec = split->key;
+    rec.append(reinterpret_cast<const char*>(&split->right), 4);
+    if (!new_root.page()->AppendRecord(rec)) {
+      return Status::Internal("B+ tree root record does not fit a fresh page");
+    }
+    new_root.MarkDirty();
+    root_ = new_root.id();
+    ++height_;
+  }
+  ++entries_;
+  return Status::OK();
+}
+
+Result<std::optional<BPlusTree::Split>> BPlusTree::InsertInto(
+    PageId node, const std::string& key, uint64_t row_id) {
+  MAYBMS_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(node));
+  Page* p = ref.page();
+
+  if (!IsLeaf(*p)) {
+    const PageId child = ChildFor(*p, key, /*strict=*/false);
+    // Recurse with the parent still pinned: pins per insert are bounded by
+    // the tree height, well under any pool capacity used here.
+    MAYBMS_ASSIGN_OR_RETURN(std::optional<Split> child_split,
+                            InsertInto(child, key, row_id));
+    if (!child_split.has_value()) return std::optional<Split>();
+
+    std::string rec = child_split->key;
+    rec.append(reinterpret_cast<const char*>(&child_split->right), 4);
+    const uint16_t pos = UpperBound(*p, child_split->key, InternalKey);
+    if (p->InsertRecordAt(pos, rec)) {
+      ref.MarkDirty();
+      return std::optional<Split>();
+    }
+
+    // Internal split: the middle entry's key moves up, its child becomes
+    // the right node's leftmost.
+    std::vector<std::string> entries;
+    entries.reserve(p->NumSlots() + 1);
+    for (uint16_t i = 0; i < p->NumSlots(); ++i) {
+      entries.emplace_back(p->Record(i));
+    }
+    entries.insert(entries.begin() + pos, rec);
+    const size_t mid = entries.size() / 2;
+
+    MAYBMS_ASSIGN_OR_RETURN(PageRef right, pool_->New());
+    right.page()->Init();
+    SetLeaf(right.page(), false);
+    SetLeftmostChild(right.page(), InternalChild(entries[mid]));
+    for (size_t i = mid + 1; i < entries.size(); ++i) {
+      if (!right.page()->AppendRecord(entries[i])) {
+        return Status::Internal("B+ tree internal split overflowed");
+      }
+    }
+    right.MarkDirty();
+
+    const PageId leftmost = LeftmostChild(*p);
+    p->Init();
+    SetLeaf(p, false);
+    SetLeftmostChild(p, leftmost);
+    for (size_t i = 0; i < mid; ++i) {
+      if (!p->AppendRecord(entries[i])) {
+        return Status::Internal("B+ tree internal split overflowed");
+      }
+    }
+    ref.MarkDirty();
+    return std::optional<Split>(
+        Split{std::string(InternalKey(entries[mid])), right.id()});
+  }
+
+  // Leaf: insert after any duplicates of the key.
+  std::string rec = key;
+  rec.append(reinterpret_cast<const char*>(&row_id), 8);
+  const uint16_t pos = UpperBound(*p, key, LeafKey);
+  if (p->InsertRecordAt(pos, rec)) {
+    ref.MarkDirty();
+    return std::optional<Split>();
+  }
+
+  // Leaf split: upper half moves to a new right sibling.
+  std::vector<std::string> records;
+  records.reserve(p->NumSlots() + 1);
+  for (uint16_t i = 0; i < p->NumSlots(); ++i) {
+    records.emplace_back(p->Record(i));
+  }
+  records.insert(records.begin() + pos, rec);
+  const size_t mid = records.size() / 2;
+
+  MAYBMS_ASSIGN_OR_RETURN(PageRef right, pool_->New());
+  right.page()->Init();
+  SetLeaf(right.page(), true);
+  SetNextLeaf(right.page(), NextLeaf(*p));
+  for (size_t i = mid; i < records.size(); ++i) {
+    if (!right.page()->AppendRecord(records[i])) {
+      return Status::Internal("B+ tree leaf split overflowed");
+    }
+  }
+  right.MarkDirty();
+
+  p->Init();
+  SetLeaf(p, true);
+  SetNextLeaf(p, right.id());
+  for (size_t i = 0; i < mid; ++i) {
+    if (!p->AppendRecord(records[i])) {
+      return Status::Internal("B+ tree leaf split overflowed");
+    }
+  }
+  ref.MarkDirty();
+  return std::optional<Split>(
+      Split{std::string(LeafKey(records[mid])), right.id()});
+}
+
+Status BPlusTree::Scan(const std::optional<Value>& lo, bool lo_inclusive,
+                       const std::optional<Value>& hi, bool hi_inclusive,
+                       std::vector<uint64_t>* out) const {
+  // The tree collects the CLOSED interval [lo, hi] regardless of the
+  // inclusivity flags: boundary rows are a superset the caller's filter
+  // predicate re-checks (and with truncated string keys, excluding an
+  // "equal" boundary could drop a true strict match).
+  (void)lo_inclusive;
+  (void)hi_inclusive;
+  const std::string lo_enc = lo.has_value() ? EncodeKey(*lo) : std::string();
+  const std::string hi_enc = hi.has_value() ? EncodeKey(*hi) : std::string();
+
+  PageId node = root_;
+  for (;;) {
+    MAYBMS_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(node));
+    if (IsLeaf(*ref.page())) break;
+    node = lo.has_value() ? ChildFor(*ref.page(), lo_enc, /*strict=*/true)
+                          : LeftmostChild(*ref.page());
+  }
+
+  while (node != kInvalidPageId) {
+    MAYBMS_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(node));
+    const Page& p = *ref.page();
+    for (uint16_t i = 0; i < p.NumSlots(); ++i) {
+      const std::string_view rec = p.Record(i);
+      const std::string_view key = LeafKey(rec);
+      if (lo.has_value() && CompareEncoded(key, lo_enc) < 0) continue;
+      if (hi.has_value() && CompareEncoded(key, hi_enc) > 0) return Status::OK();
+      out->push_back(LeafRowId(rec));
+    }
+    node = NextLeaf(p);
+  }
+  return Status::OK();
+}
+
+}  // namespace maybms

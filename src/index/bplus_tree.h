@@ -1,0 +1,92 @@
+// A B+ tree over buffer-pool pages: the secondary-index structure mapping
+// column values to row ids.
+//
+// MayBMS runs inside PostgreSQL and indexes U-relations with ordinary
+// B-trees (paper §2.3-§2.4: "U-relations are represented relationally",
+// so "standard indexes apply"). Here the tree's nodes are slotted pages
+// (src/storage/page.h) fetched through a BufferPool, so the same structure
+// serves live in-memory indexes (MemPageStore) and file-backed trees that
+// exceed the pool (FilePageStore) — the latter is what bench_paged_storage
+// measures: a cold point lookup touches height()+1 pages instead of the
+// whole heap.
+//
+// Keys are single column Values in a tagged binary encoding; duplicates
+// are allowed (secondary index: many rows share a key). String keys are
+// TRUNCATED to kMaxKeyBytes — truncation is monotone, so range scans over
+// truncated keys return a SUPERSET of the true matches, which is exactly
+// the contract the IndexScan operator needs (the original filter predicate
+// re-checks every candidate row; see src/opt/optimizer.cc).
+//
+// Not thread-safe: callers serialize per tree (SecondaryIndex holds a
+// mutex; the bench and persistence are single-threaded).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/storage/page.h"
+#include "src/types/value.h"
+
+namespace maybms {
+
+class BPlusTree {
+ public:
+  /// Longest encoded key stored in a node (tag byte included); longer
+  /// string keys are truncated (see the superset contract above).
+  static constexpr size_t kMaxKeyBytes = 256;
+
+  /// Creates an empty tree: allocates a root leaf in `pool`'s store.
+  static Result<BPlusTree> Create(BufferPool* pool);
+
+  /// Opens an existing tree rooted at `root` (e.g. after reopening a
+  /// file-backed store); derives height by descending the leftmost path.
+  static Result<BPlusTree> Open(BufferPool* pool, PageId root);
+
+  /// Inserts one (key, row id) entry. Null keys are the caller's problem:
+  /// secondary indexes skip null column values entirely (SQL comparisons
+  /// never select them), so inserting a null key here is an error.
+  Status Insert(const Value& key, uint64_t row_id);
+
+  /// Appends every row id whose key lies within the given bounds to *out
+  /// (an unset bound is unbounded on that side). Ids arrive in key order,
+  /// NOT row order — callers that need row order sort afterwards. May
+  /// return a superset for truncated string keys; never misses a match.
+  Status Scan(const std::optional<Value>& lo, bool lo_inclusive,
+              const std::optional<Value>& hi, bool hi_inclusive,
+              std::vector<uint64_t>* out) const;
+
+  PageId root() const { return root_; }
+  /// Levels from root to leaf inclusive (1 = the root is a leaf). This is
+  /// the page-fetch cost of a point lookup, which is what the optimizer's
+  /// access-path cost model charges.
+  size_t height() const { return height_; }
+  size_t num_entries() const { return entries_; }
+
+  /// Encodes a key for node storage (exposed for tests).
+  static std::string EncodeKey(const Value& key);
+  /// Decodes an encoded key back to a Value (string keys possibly
+  /// truncated).
+  static Value DecodeKey(std::string_view bytes);
+
+ private:
+  BPlusTree(BufferPool* pool, PageId root, size_t height, size_t entries)
+      : pool_(pool), root_(root), height_(height), entries_(entries) {}
+
+  struct Split {
+    std::string key;  ///< separator key to push into the parent
+    PageId right = kInvalidPageId;
+  };
+
+  /// Inserts into the subtree at `node`; on node overflow returns the
+  /// split the caller must record in the parent.
+  Result<std::optional<Split>> InsertInto(PageId node, const std::string& key,
+                                          uint64_t row_id);
+
+  BufferPool* pool_;
+  PageId root_;
+  size_t height_;
+  size_t entries_;
+};
+
+}  // namespace maybms

@@ -1,0 +1,221 @@
+#include "src/index/index_manager.h"
+
+#include <algorithm>
+
+#include "src/common/str_util.h"
+#include "src/obs/metrics.h"
+
+namespace maybms {
+
+namespace {
+
+/// Frames per live-index buffer pool: 8 MiB of 8 KiB pages. Live indexes
+/// sit entirely in memory either way (MemPageStore); the pool in front
+/// keeps the access path identical to the file-backed trees.
+constexpr size_t kLiveIndexPoolFrames = 1024;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SecondaryIndex
+// ---------------------------------------------------------------------------
+
+void SecondaryIndex::FoldPoolDelta(const BufferPoolStats& before,
+                                   MetricsRegistry* metrics) {
+  if (metrics == nullptr || pool_ == nullptr) return;
+  const BufferPoolStats now = pool_->stats();
+  metrics->Add(Counter::kBufferPoolHits, now.hits - before.hits);
+  metrics->Add(Counter::kBufferPoolMisses, now.misses - before.misses);
+  metrics->Add(Counter::kBufferPoolEvictions, now.evictions - before.evictions);
+  metrics->Add(Counter::kBufferPoolWritebacks,
+               now.writebacks - before.writebacks);
+}
+
+Status SecondaryIndex::BuildLocked(const Table& table) {
+  store_ = std::make_unique<MemPageStore>();
+  pool_ = std::make_unique<BufferPool>(store_.get(), kLiveIndexPoolFrames);
+  MAYBMS_ASSIGN_OR_RETURN(BPlusTree tree, BPlusTree::Create(pool_.get()));
+  tree_.emplace(std::move(tree));
+  const std::vector<Row>& rows = table.rows();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Value& key = rows[i].values[def_.column_idx];
+    if (key.is_null()) continue;
+    MAYBMS_RETURN_NOT_OK(tree_->Insert(key, i));
+  }
+  built_ = true;
+  built_version_ = table.version();
+  ++rebuilds_;
+  return Status::OK();
+}
+
+Status SecondaryIndex::RefreshLocked(const Table& table,
+                                     MetricsRegistry* metrics) {
+  if (built_ && built_version_ == table.version()) return Status::OK();
+  const BufferPoolStats before =
+      pool_ != nullptr ? pool_->stats() : BufferPoolStats{};
+  MAYBMS_RETURN_NOT_OK(BuildLocked(table));
+  if (metrics != nullptr) metrics->Add(Counter::kIndexRebuilds);
+  FoldPoolDelta(before, metrics);
+  return Status::OK();
+}
+
+Status SecondaryIndex::Lookup(const Table& table, const std::optional<Value>& lo,
+                              const std::optional<Value>& hi,
+                              std::vector<uint64_t>* out,
+                              MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MAYBMS_RETURN_NOT_OK(RefreshLocked(table, metrics));
+  const BufferPoolStats before = pool_->stats();
+  MAYBMS_RETURN_NOT_OK(tree_->Scan(lo, /*lo_inclusive=*/true, hi,
+                                   /*hi_inclusive=*/true, out));
+  // The tree yields key order; IndexScan must emit TABLE order so its
+  // output is bit-identical to the SeqScan the optimizer replaced.
+  std::sort(out->begin(), out->end());
+  ++lookups_;
+  if (metrics != nullptr) {
+    metrics->Add(Counter::kIndexLookups);
+    metrics->Add(Counter::kIndexScanRows, out->size());
+  }
+  FoldPoolDelta(before, metrics);
+  return Status::OK();
+}
+
+Status SecondaryIndex::NotifyAppend(const Table& table, size_t first_row,
+                                    uint64_t pre_version,
+                                    MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Only an index that was current going into the statement can absorb
+  // the appends; a stale one stays stale (lazily rebuilt on next lookup).
+  if (!built_ || built_version_ != pre_version) return Status::OK();
+  const BufferPoolStats before = pool_->stats();
+  const std::vector<Row>& rows = table.rows();
+  for (size_t i = first_row; i < rows.size(); ++i) {
+    const Value& key = rows[i].values[def_.column_idx];
+    if (key.is_null()) continue;
+    MAYBMS_RETURN_NOT_OK(tree_->Insert(key, i));
+  }
+  built_version_ = table.version();
+  appended_rows_ += rows.size() - first_row;
+  if (metrics != nullptr) {
+    metrics->Add(Counter::kIndexAppendedRows, rows.size() - first_row);
+  }
+  FoldPoolDelta(before, metrics);
+  return Status::OK();
+}
+
+Status SecondaryIndex::EnsureBuilt(const Table& table,
+                                   MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RefreshLocked(table, metrics);
+}
+
+SecondaryIndex::Stats SecondaryIndex::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.built = built_;
+  s.entries = tree_.has_value() ? tree_->num_entries() : 0;
+  s.height = tree_.has_value() ? tree_->height() : 0;
+  s.lookups = lookups_;
+  s.rebuilds = rebuilds_;
+  s.appended_rows = appended_rows_;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// IndexManager
+// ---------------------------------------------------------------------------
+
+Result<SecondaryIndexPtr> IndexManager::CreateIndex(const std::string& name,
+                                                    const TablePtr& table,
+                                                    const std::string& column,
+                                                    bool build_now,
+                                                    MetricsRegistry* metrics) {
+  MAYBMS_ASSIGN_OR_RETURN(size_t col_idx, table->schema().GetColumnIndex(column));
+  const std::string key = ToLower(name);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (indexes_.count(key)) {
+    return Status::AlreadyExists(
+        StringFormat("index '%s' already exists", name.c_str()));
+  }
+  IndexDef def;
+  def.name = name;
+  def.table = table->name();
+  def.column = table->schema().column(col_idx).name;
+  def.column_idx = col_idx;
+  auto index = std::make_shared<SecondaryIndex>(std::move(def));
+  indexes_[key] = index;
+  lock.unlock();
+  if (build_now) {
+    MAYBMS_RETURN_NOT_OK(index->EnsureBuilt(*table, metrics));
+  }
+  return index;
+}
+
+Status IndexManager::DropIndex(const std::string& name, bool if_exists) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = indexes_.find(ToLower(name));
+  if (it == indexes_.end()) {
+    if (if_exists) return Status::OK();
+    return Status::NotFound(
+        StringFormat("index '%s' does not exist", name.c_str()));
+  }
+  indexes_.erase(it);
+  return Status::OK();
+}
+
+void IndexManager::DropTableIndexes(const std::string& table_name) {
+  const std::string table_key = ToLower(table_name);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = indexes_.begin(); it != indexes_.end();) {
+    if (ToLower(it->second->def().table) == table_key) {
+      it = indexes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+SecondaryIndexPtr IndexManager::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = indexes_.find(ToLower(name));
+  return it == indexes_.end() ? nullptr : it->second;
+}
+
+SecondaryIndexPtr IndexManager::FindOn(const std::string& table_name,
+                                       size_t column_idx) const {
+  const std::string table_key = ToLower(table_name);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, index] : indexes_) {
+    if (index->def().column_idx == column_idx &&
+        ToLower(index->def().table) == table_key) {
+      return index;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<SecondaryIndexPtr> IndexManager::IndexesOn(
+    const std::string& table_name) const {
+  const std::string table_key = ToLower(table_name);
+  std::vector<SecondaryIndexPtr> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, index] : indexes_) {
+    if (ToLower(index->def().table) == table_key) out.push_back(index);
+  }
+  return out;
+}
+
+std::vector<IndexDef> IndexManager::ListDefs() const {
+  std::vector<IndexDef> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(indexes_.size());
+  for (const auto& [key, index] : indexes_) out.push_back(index->def());
+  return out;
+}
+
+size_t IndexManager::NumIndexes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return indexes_.size();
+}
+
+}  // namespace maybms

@@ -1,0 +1,152 @@
+// Secondary-index registry and maintenance: named single-column B+ tree
+// indexes over catalog tables.
+//
+// Maintenance model (honest about what is incremental):
+//   - CREATE INDEX builds eagerly (the creating statement holds the
+//     catalog lock).
+//   - INSERT maintains incrementally: the executor calls NotifyAppend
+//     after appending rows, and an index that was current before the
+//     statement absorbs just the appended keys (streaming ingest never
+//     rebuilds).
+//   - UPDATE / DELETE / world pruning / bulk rewrites simply advance the
+//     table's version; the index notices the mismatch on its next lookup
+//     and rebuilds from scratch. Chunk versions cannot distinguish "append
+//     extended the tail chunk" from "UPDATE rewrote a row in it", so a
+//     partial re-index on that signal could silently miss updates — the
+//     rebuild is the correct (and still lazy) answer.
+// Every lookup therefore sees exactly the rows of the table version the
+// running statement locked: answers are bit-identical with indexes on or
+// off.
+//
+// Trees live in pages of a MemPageStore behind a per-index BufferPool
+// (src/storage/page.h), so the same node/split/scan code serves the
+// file-backed trees of bench_paged_storage.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/index/bplus_tree.h"
+#include "src/storage/table.h"
+
+namespace maybms {
+
+class MetricsRegistry;  // src/obs/metrics.h
+
+/// Definition of one secondary index (also what binary persistence saves).
+struct IndexDef {
+  std::string name;
+  std::string table;     ///< table name as registered in the catalog
+  std::string column;    ///< indexed column name
+  size_t column_idx = 0; ///< resolved position in the table schema
+};
+
+/// One single-column B+ tree index. Null column values are not indexed
+/// (SQL comparisons never select them; the IndexScan contract is a
+/// candidate superset of the rows matching a non-null-literal predicate).
+/// Thread-safe: a mutex serializes lookups and maintenance per index —
+/// concurrent readers of one table may race to refresh the same index.
+class SecondaryIndex {
+ public:
+  explicit SecondaryIndex(IndexDef def) : def_(std::move(def)) {}
+
+  const IndexDef& def() const { return def_; }
+
+  /// Ensures the index matches `table`'s current version (building or
+  /// rebuilding if not), then collects the row ids whose key lies in
+  /// [lo, hi] (unset = unbounded; boundary inclusivity is resolved by the
+  /// caller's re-check, see BPlusTree::Scan). Ids are returned ASCENDING —
+  /// table order — so an IndexScan emits rows in SeqScan order.
+  /// `metrics` (nullable) receives index.* and bufpool.* counter deltas.
+  Status Lookup(const Table& table, const std::optional<Value>& lo,
+                const std::optional<Value>& hi, std::vector<uint64_t>* out,
+                MetricsRegistry* metrics = nullptr);
+
+  /// Eager append maintenance: the executor calls this after appending
+  /// rows [first_row, table.NumRows()) under the table's exclusive lock.
+  /// `pre_version` is table.version() before the appends; an index that
+  /// was current at that version absorbs the new keys, anything else stays
+  /// stale for the next lookup's rebuild.
+  Status NotifyAppend(const Table& table, size_t first_row,
+                      uint64_t pre_version, MetricsRegistry* metrics = nullptr);
+
+  /// Builds now if stale (CREATE INDEX eager build).
+  Status EnsureBuilt(const Table& table, MetricsRegistry* metrics = nullptr);
+
+  /// Observability snapshot (SHOW INDEXES, \d).
+  struct Stats {
+    bool built = false;
+    size_t entries = 0;
+    size_t height = 0;
+    uint64_t lookups = 0;
+    uint64_t rebuilds = 0;
+    uint64_t appended_rows = 0;
+  };
+  Stats stats() const;
+
+ private:
+  /// Rebuild / incremental checks with mu_ held.
+  Status RefreshLocked(const Table& table, MetricsRegistry* metrics);
+  Status BuildLocked(const Table& table);
+  void FoldPoolDelta(const BufferPoolStats& before, MetricsRegistry* metrics);
+
+  const IndexDef def_;
+  mutable std::mutex mu_;
+  std::unique_ptr<MemPageStore> store_;
+  std::unique_ptr<BufferPool> pool_;
+  std::optional<BPlusTree> tree_;
+  bool built_ = false;
+  uint64_t built_version_ = 0;
+  uint64_t lookups_ = 0;
+  uint64_t rebuilds_ = 0;
+  uint64_t appended_rows_ = 0;
+};
+
+using SecondaryIndexPtr = std::shared_ptr<SecondaryIndex>;
+
+/// Name → index registry, owned by the Catalog. Structure changes (CREATE
+/// / DROP INDEX, DROP TABLE) run under the catalog-exclusive statement
+/// lock; the internal mutex additionally makes concurrent readers safe.
+/// Index names are case-insensitive like table names.
+class IndexManager {
+ public:
+  /// Validates the column, registers the index, and (when `build_now`)
+  /// builds it eagerly. Errors if the name exists.
+  Result<SecondaryIndexPtr> CreateIndex(const std::string& name,
+                                        const TablePtr& table,
+                                        const std::string& column,
+                                        bool build_now = true,
+                                        MetricsRegistry* metrics = nullptr);
+
+  /// Drops by name; with `if_exists` a missing index is OK.
+  Status DropIndex(const std::string& name, bool if_exists);
+
+  /// Drops every index of `table_name` (DROP TABLE cleanup).
+  void DropTableIndexes(const std::string& table_name);
+
+  SecondaryIndexPtr Find(const std::string& name) const;
+
+  /// The index on (table, column position), or null. At most the first in
+  /// name order when several cover the same column (deterministic).
+  SecondaryIndexPtr FindOn(const std::string& table_name,
+                           size_t column_idx) const;
+
+  /// All indexes of one table (append maintenance fan-out).
+  std::vector<SecondaryIndexPtr> IndexesOn(const std::string& table_name) const;
+
+  /// Every definition, sorted by (lower-cased) name — SHOW INDEXES and
+  /// binary persistence.
+  std::vector<IndexDef> ListDefs() const;
+
+  size_t NumIndexes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, SecondaryIndexPtr> indexes_;  // key: lower-cased name
+};
+
+}  // namespace maybms

@@ -15,7 +15,7 @@ constexpr const char* kStatementKindNames[kNumStatementKinds] = {
     "select",        "create_table",  "create_table_as", "insert",
     "update",        "delete",        "drop_table",      "assert",
     "show_evidence", "clear_evidence", "set",            "explain",
-    "show_stats",
+    "show_stats",    "create_index",  "drop_index",      "show_indexes",
 };
 
 // Scalar counter names for everything past the per-kind blocks, in
@@ -49,6 +49,15 @@ constexpr const char* kScalarNames[] = {
     "opt.reorders",
     "opt.semijoin.inserted",
     "opt.semijoin.skipped",
+    "opt.index_scans",
+    "bufpool.hits",
+    "bufpool.misses",
+    "bufpool.evictions",
+    "bufpool.writebacks",
+    "index.lookups",
+    "index.scan_rows",
+    "index.rebuilds",
+    "index.appended_rows",
 };
 static_assert(sizeof(kScalarNames) / sizeof(kScalarNames[0]) ==
                   static_cast<size_t>(Counter::kNumCounters) -
@@ -244,19 +253,72 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::Snapshot() const {
   return out;
 }
 
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string prom = "maybms_";
+  for (char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    prom.push_back(ok ? ch : '_');
+  }
+  return prom;
+}
+
+void AppendPromValue(double value, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out->append(buf);
+}
+
+}  // namespace
+
 std::string MetricsRegistry::PrometheusText() const {
   std::string out;
-  for (const auto& [name, value] : Snapshot()) {
-    std::string prom = "maybms_";
-    for (char ch : name) {
-      const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
-                      (ch >= '0' && ch <= '9') || ch == '_';
-      prom.push_back(ok ? ch : '_');
+  // Scalar counters: monotonically increasing by construction.
+  for (size_t i = 0; i < static_cast<size_t>(Counter::kNumCounters); ++i) {
+    const std::string prom = PromName(CounterName(i));
+    out.append("# TYPE ").append(prom).append(" counter\n");
+    out.append(prom).append(" ");
+    AppendPromValue(
+        static_cast<double>(counters_[i].load(std::memory_order_relaxed)),
+        &out);
+    out.push_back('\n');
+  }
+  // Latency instruments as real Prometheus histograms in seconds (not the
+  // p50/p99 gauge approximations of SHOW STATS). Internal bucket b counts
+  // latencies in [2^b, 2^{b+1}) ns, so the cumulative `le` bound of bucket
+  // b is 2^{b+1} ns; `le` is nominally inclusive and our bound exclusive —
+  // a half-open/closed mismatch of one nanosecond point mass, below the
+  // log2 bucket resolution already documented for SHOW STATS.
+  const double kNsToSeconds = 1e-9;
+  for (size_t i = 0; i < static_cast<size_t>(Hist::kNumHists); ++i) {
+    const Histogram& h = hists_[i];
+    const std::string prom = PromName(std::string(kHistNames[i])) + "_seconds";
+    out.append("# TYPE ").append(prom).append(" histogram\n");
+    uint64_t cum = 0;
+    for (size_t b = 0; b < kHistBuckets; ++b) {
+      cum += h.buckets[b].load(std::memory_order_relaxed);
+      out.append(prom).append("_bucket{le=\"");
+      AppendPromValue(static_cast<double>(1ULL << (b + 1)) * kNsToSeconds,
+                      &out);
+      out.append("\"} ");
+      AppendPromValue(static_cast<double>(cum), &out);
+      out.push_back('\n');
     }
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", value);
-    out.append("# TYPE ").append(prom).append(" gauge\n");
-    out.append(prom).append(" ").append(buf).append("\n");
+    const uint64_t count = h.count.load(std::memory_order_relaxed);
+    out.append(prom).append("_bucket{le=\"+Inf\"} ");
+    AppendPromValue(static_cast<double>(count), &out);
+    out.push_back('\n');
+    out.append(prom).append("_sum ");
+    AppendPromValue(
+        static_cast<double>(h.sum_ns.load(std::memory_order_relaxed)) *
+            kNsToSeconds,
+        &out);
+    out.push_back('\n');
+    out.append(prom).append("_count ");
+    AppendPromValue(static_cast<double>(count), &out);
+    out.push_back('\n');
   }
   return out;
 }

@@ -39,7 +39,7 @@ namespace maybms {
 // StatementKindIndex() in session.cc; kNumStatementKinds must stay >= the
 // number of StatementKind enumerators (static_assert'd at the mapping
 // site).
-inline constexpr size_t kNumStatementKinds = 13;
+inline constexpr size_t kNumStatementKinds = 16;
 
 // Scalar counters. Names live in kCounterNames (metrics.cc) in the SAME
 // order; keep the two in sync.
@@ -90,6 +90,19 @@ enum class Counter : uint16_t {
   kOptReorders,           // join regions where a non-syntactic order won
   kOptSemijoinsInserted,  // semijoin reducers placed in plans
   kOptSemijoinsSkipped,   // reducer sites rejected by the benefit gate
+  kOptIndexScans,         // Filter(Scan) sites rewritten to an index path
+
+  // Paged storage / buffer pool (src/storage/page.h).
+  kBufferPoolHits,
+  kBufferPoolMisses,
+  kBufferPoolEvictions,
+  kBufferPoolWritebacks,
+
+  // Secondary indexes (src/index/).
+  kIndexLookups,       // B+ tree range/point lookups served
+  kIndexScanRows,      // candidate row ids returned by lookups
+  kIndexRebuilds,      // full lazy rebuilds (initial build or staleness)
+  kIndexAppendedRows,  // rows absorbed incrementally on INSERT
 
   kNumCounters,
 };
@@ -200,10 +213,13 @@ class MetricsRegistry {
   // midpoint); exact enough for operator dashboards, documented as such.
   std::vector<std::pair<std::string, double>> Snapshot() const;
 
-  // Snapshot() rendered in the Prometheus text exposition format
-  // (version 0.0.4): one gauge per metric, names prefixed "maybms_" with
-  // non-[a-zA-Z0-9_] characters mapped to '_'. Served by `\stats --prom`
-  // on both the shell and the server.
+  // Prometheus text exposition format (version 0.0.4): every scalar
+  // counter as a `counter` series, and every latency instrument as a real
+  // `histogram` — cumulative maybms_<name>_seconds_bucket{le="..."} over
+  // the log2-ns buckets (bounds converted to seconds) plus _sum/_count —
+  // rather than the p50/p99 gauge approximations SHOW STATS renders.
+  // Names are prefixed "maybms_" with non-[a-zA-Z0-9_] characters mapped
+  // to '_'. Served by `\stats --prom` on both the shell and the server.
   std::string PrometheusText() const;
 
   // Folds a statement's confidence-phase counters into the scalar

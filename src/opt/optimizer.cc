@@ -5,11 +5,13 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <utility>
 #include <vector>
 
 #include "src/common/str_util.h"
 #include "src/exec/exec_context.h"
+#include "src/index/index_manager.h"
 
 namespace maybms {
 
@@ -949,6 +951,172 @@ Status OptimizeNode(PlanNodePtr* node, StatsCache* stats, const ExecOptions& opt
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// Access-path selection (index scans)
+// ---------------------------------------------------------------------------
+
+/// Tables below this size always sequential-scan: the index cannot win
+/// anything measurable, and stable tiny-table plans keep EXPLAIN output
+/// (and row order) boring.
+constexpr double kIndexScanMinRows = 64.0;
+
+/// Splits a predicate into AND-conjuncts (borrowed pointers into the tree).
+void CollectAndConjuncts(const BoundExpr* e, std::vector<const BoundExpr*>* out) {
+  if (e->kind == BoundExprKind::kBinary) {
+    const auto* b = static_cast<const BoundBinary*>(e);
+    if (b->op == BinaryOp::kAnd) {
+      CollectAndConjuncts(b->left.get(), out);
+      CollectAndConjuncts(b->right.get(), out);
+      return;
+    }
+  }
+  out->push_back(e);
+}
+
+/// Matches `<column> op <literal>` (either side order; the op is flipped
+/// when the literal is on the left) for the sargable comparison ops. NULL
+/// literals never match — `col = NULL` keeps no rows, and the B+ tree does
+/// not store null keys.
+bool MatchSargableComparison(const BoundExpr& e, size_t* col, BinaryOp* op,
+                             const Value** lit) {
+  if (e.kind != BoundExprKind::kBinary) return false;
+  const auto& b = static_cast<const BoundBinary&>(e);
+  const BoundExpr* c = b.left.get();
+  const BoundExpr* o = b.right.get();
+  BinaryOp p = b.op;
+  if (c->kind != BoundExprKind::kColumnRef && o->kind == BoundExprKind::kColumnRef) {
+    std::swap(c, o);
+    switch (p) {
+      case BinaryOp::kLt: p = BinaryOp::kGt; break;
+      case BinaryOp::kLe: p = BinaryOp::kGe; break;
+      case BinaryOp::kGt: p = BinaryOp::kLt; break;
+      case BinaryOp::kGe: p = BinaryOp::kLe; break;
+      default: break;
+    }
+  }
+  if (c->kind != BoundExprKind::kColumnRef || o->kind != BoundExprKind::kLiteral) {
+    return false;
+  }
+  switch (p) {
+    case BinaryOp::kEq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      break;
+    default:
+      return false;
+  }
+  const Value& v = static_cast<const BoundLiteral*>(o)->value;
+  if (v.is_null()) return false;
+  *col = static_cast<const BoundColumnRef*>(c)->index;
+  *op = p;
+  *lit = &v;
+  return true;
+}
+
+/// Per-column key range assembled from the filter's sargable conjuncts.
+struct ColumnBounds {
+  std::optional<Value> lo;
+  std::optional<Value> hi;
+  std::vector<const BoundExpr*> conjuncts;  ///< the matched conjuncts
+};
+
+/// Rewrites a Filter chain over a Scan into the same chain over an
+/// IndexScan when an index covers a bounded column and the cost model
+/// favors it. The filters' predicates are
+/// left untouched — it re-checks every candidate row, which is what makes
+/// the rewrite answer-preserving by construction (the index only needs to
+/// return a superset in table order; boundary inclusivity, type coercion
+/// and string-key truncation all wash out in the recheck).
+Status ApplyAccessPaths(PlanNodePtr* node, StatsCache* stats,
+                        IndexManager* indexes, OptimizerCounters* counters) {
+  // Predicate pushdown stacks one Filter per pushed conjunct, so a range
+  // predicate arrives as Filter(k < hi, Filter(k >= lo, Scan)). The whole
+  // chain must be seen at once — bounds from every layer tighten the index
+  // range — so the chain is claimed at its topmost Filter, before the
+  // generic child recursion would rewrite the innermost layer alone.
+  std::vector<FilterNode*> chain;
+  if ((*node)->kind == PlanKind::kFilter) {
+    PlanNode* cursor = node->get();
+    while (cursor->kind == PlanKind::kFilter) {
+      chain.push_back(static_cast<FilterNode*>(cursor));
+      cursor = cursor->children[0].get();
+    }
+    if (cursor->kind != PlanKind::kScan) chain.clear();
+  }
+  if (chain.empty()) {
+    for (PlanNodePtr& child : (*node)->children) {
+      MAYBMS_RETURN_NOT_OK(ApplyAccessPaths(&child, stats, indexes, counters));
+    }
+    return Status::OK();
+  }
+  auto* scan = static_cast<ScanNode*>(chain.back()->children[0].get());
+  const double nrows = static_cast<double>(scan->table->NumRows());
+  if (nrows < kIndexScanMinRows) return Status::OK();
+
+  std::vector<const BoundExpr*> conjuncts;
+  for (FilterNode* f : chain) {
+    CollectAndConjuncts(f->predicate.get(), &conjuncts);
+  }
+  // std::map: deterministic candidate order by column index.
+  std::map<size_t, ColumnBounds> by_column;
+  for (const BoundExpr* conj : conjuncts) {
+    size_t col = 0;
+    BinaryOp op = BinaryOp::kEq;
+    const Value* lit = nullptr;
+    if (!MatchSargableComparison(*conj, &col, &op, &lit)) continue;
+    ColumnBounds& b = by_column[col];
+    // Intersect into the closed interval: eq tightens both sides; strict
+    // bounds are kept closed (the recheck excludes the boundary rows).
+    if (op == BinaryOp::kEq || op == BinaryOp::kGt || op == BinaryOp::kGe) {
+      if (!b.lo.has_value() || lit->Compare(*b.lo) > 0) b.lo = *lit;
+    }
+    if (op == BinaryOp::kEq || op == BinaryOp::kLt || op == BinaryOp::kLe) {
+      if (!b.hi.has_value() || lit->Compare(*b.hi) < 0) b.hi = *lit;
+    }
+    b.conjuncts.push_back(conj);
+  }
+  if (by_column.empty()) return Status::OK();
+
+  // Cost each indexed candidate column: tree height (page reads to reach
+  // the first leaf) plus the estimated candidate rows fetched, against the
+  // full-scan cost of nrows. The estimate reuses the filter-selectivity
+  // machinery over the table's KMV-sketch column stats.
+  LeafEstimate est = EstimateLeaf(scan, stats);
+  size_t best_col = SIZE_MAX;
+  double best_cost = nrows / 4.0;  // rewrite only on a clear win
+  double best_rows = nrows;
+  SecondaryIndexPtr best_index;
+  for (const auto& [col, b] : by_column) {
+    SecondaryIndexPtr index = indexes->FindOn(scan->table->name(), col);
+    if (index == nullptr) continue;
+    double sel = 1.0;
+    for (const BoundExpr* conj : b.conjuncts) {
+      sel *= FilterSelectivity(*conj, est);
+    }
+    const double est_rows = nrows * std::clamp(sel, kMinSelectivity, 1.0);
+    const double cost = static_cast<double>(index->stats().height) + est_rows;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_rows = est_rows;
+      best_col = col;
+      best_index = index;
+    }
+  }
+  if (best_col == SIZE_MAX) return Status::OK();
+
+  const ColumnBounds& b = by_column[best_col];
+  auto index_scan = std::make_unique<IndexScanNode>(
+      scan->table, best_index->def().name, best_col);
+  index_scan->lo = b.lo;
+  index_scan->hi = b.hi;
+  index_scan->est_rows = best_rows;
+  chain.back()->children[0] = std::move(index_scan);
+  ++counters->index_scans;
+  return Status::OK();
+}
+
 }  // namespace
 
 std::vector<size_t> ChooseJoinOrder(const std::vector<JoinLeafInfo>& leaves,
@@ -975,7 +1143,7 @@ std::vector<size_t> ChooseJoinOrder(const std::vector<JoinLeafInfo>& leaves,
 }
 
 Status OptimizePlan(PlanNodePtr* plan, StatsCache* stats, const ExecOptions& options,
-                    OptimizerCounters* counters) {
+                    OptimizerCounters* counters, IndexManager* indexes) {
   if (plan == nullptr || *plan == nullptr || !options.optimizer) return Status::OK();
   OptimizerCounters local;
   if (counters == nullptr) counters = &local;
@@ -984,7 +1152,14 @@ Status OptimizePlan(PlanNodePtr* plan, StatsCache* stats, const ExecOptions& opt
   // so such statements keep their join order and only gain pushdown, key
   // promotion, and cardinality annotations.
   const bool allow_reorder = !ContainsMinting(**plan);
-  return OptimizeNode(plan, stats, options, counters, allow_reorder);
+  MAYBMS_RETURN_NOT_OK(OptimizeNode(plan, stats, options, counters, allow_reorder));
+  // Access paths run last, over the final tree shape: join-region pushdown
+  // has already planted single-leaf conjuncts as Filter(Scan), exactly the
+  // sites this pass upgrades.
+  if (options.use_indexes && indexes != nullptr) {
+    MAYBMS_RETURN_NOT_OK(ApplyAccessPaths(plan, stats, indexes, counters));
+  }
+  return Status::OK();
 }
 
 }  // namespace maybms

@@ -30,6 +30,7 @@
 namespace maybms {
 
 struct ExecOptions;
+class IndexManager;  // src/index/index_manager.h
 
 /// Counters the session folds into the metrics registry (opt.*).
 struct OptimizerCounters {
@@ -37,6 +38,7 @@ struct OptimizerCounters {
   uint64_t reorders_applied = 0;    ///< regions rebuilt in a new order
   uint64_t semijoins_inserted = 0;  ///< SemiJoinReduce operators inserted
   uint64_t semijoins_skipped = 0;   ///< eligible reducers rejected by cost
+  uint64_t index_scans = 0;         ///< Filter(Scan) sites given an index path
 };
 
 /// Join-order enumerator inputs, exposed for unit tests.
@@ -61,7 +63,15 @@ std::vector<size_t> ChooseJoinOrder(const std::vector<JoinLeafInfo>& leaves,
 /// Optimizes a bound plan in place (no-op when options.optimizer is off or
 /// the plan is null). `stats` may be null — estimation then falls back to
 /// coarse defaults and only structural rewrites with sure wins apply.
+/// `indexes` (the catalog's secondary-index registry) enables the final
+/// access-path pass: Filter(Scan) sites whose predicate bounds an indexed
+/// column become Filter(IndexScan) when the cost model (tree height +
+/// estimated matching rows vs. a full scan) clearly favors it. The filter
+/// keeps its FULL predicate and re-checks every candidate, so the rewrite
+/// never changes answers. Null `indexes` — or options.use_indexes = false —
+/// skips the pass entirely.
 Status OptimizePlan(PlanNodePtr* plan, StatsCache* stats,
-                    const ExecOptions& options, OptimizerCounters* counters);
+                    const ExecOptions& options, OptimizerCounters* counters,
+                    IndexManager* indexes = nullptr);
 
 }  // namespace maybms

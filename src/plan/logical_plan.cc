@@ -59,6 +59,19 @@ std::string ScanNode::Describe() const {
   return StringFormat("Scan %s (%zu rows)", table->name().c_str(), table->NumRows());
 }
 
+std::string IndexScanNode::Describe() const {
+  std::string out = StringFormat("IndexScan %s using %s on %s",
+                                 table->name().c_str(), index_name.c_str(),
+                                 output_schema.column(column_idx).name.c_str());
+  if (lo.has_value() && hi.has_value() && lo->Compare(*hi) == 0) {
+    out += " = " + lo->ToString();
+  } else {
+    if (lo.has_value()) out += " >= " + lo->ToString();
+    if (hi.has_value()) out += " <= " + hi->ToString();
+  }
+  return out;
+}
+
 std::string FilterNode::Describe() const {
   return "Filter " + predicate->ToString();
 }

@@ -17,6 +17,11 @@ namespace maybms {
 
 enum class PlanKind : uint8_t {
   kScan,
+  /// B+ tree access path (optimizer-inserted, src/opt/): emits the rows
+  /// whose indexed column falls in [lo, hi] — a SUPERSET of the rows its
+  /// parent Filter keeps — in table order, so Filter(IndexScan) is
+  /// bit-identical to the Filter(Scan) it replaced.
+  kIndexScan,
   kFilter,
   kProject,
   kJoin,        ///< inner join: hash on equi-keys plus residual predicate
@@ -94,6 +99,27 @@ struct ScanNode : PlanNode {
   std::string Describe() const override;
 
   TablePtr table;
+};
+
+/// Index access path over a base table. The bounds form a CLOSED interval
+/// over the indexed column; rows with a NULL key never match. Candidate
+/// rows come back in ascending row order (= scan order), and the parent
+/// Filter re-checks the full predicate, so answers never depend on index
+/// key semantics (type coercion, key truncation). Built only by the
+/// optimizer's access-path pass — the binder always emits ScanNode.
+struct IndexScanNode : PlanNode {
+  IndexScanNode(TablePtr t, std::string index, size_t col)
+      : PlanNode(PlanKind::kIndexScan, t->schema(), t->uncertain()),
+        table(std::move(t)), index_name(std::move(index)), column_idx(col) {}
+  std::string Describe() const override;
+
+  TablePtr table;
+  std::string index_name;
+  size_t column_idx;
+  /// Key range; unset side = unbounded. Both unset never happens (the
+  /// optimizer only rewrites when a usable conjunct bounds the column).
+  std::optional<Value> lo;
+  std::optional<Value> hi;
 };
 
 struct FilterNode : PlanNode {

@@ -165,6 +165,32 @@ Result<BoundStatement> BindStatement(const Catalog& catalog, const Statement& st
       out.kind = stmt.kind;
       return out;
     }
+    case StatementKind::kCreateIndex: {
+      const auto& create = static_cast<const CreateIndexStmt&>(stmt);
+      MAYBMS_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(create.table));
+      // Validate the column now so the session can classify/lock on a
+      // well-formed statement; the executor resolves it again at run time.
+      MAYBMS_RETURN_NOT_OK(table->schema().GetColumnIndex(create.column).status());
+      BoundStatement out;
+      out.kind = StatementKind::kCreateIndex;
+      out.table_name = create.table;
+      out.index_name = create.name;
+      out.index_column = create.column;
+      return out;
+    }
+    case StatementKind::kDropIndex: {
+      const auto& drop = static_cast<const DropIndexStmt&>(stmt);
+      BoundStatement out;
+      out.kind = StatementKind::kDropIndex;
+      out.index_name = drop.name;
+      out.drop_if_exists = drop.if_exists;
+      return out;
+    }
+    case StatementKind::kShowIndexes: {
+      BoundStatement out;
+      out.kind = StatementKind::kShowIndexes;
+      return out;
+    }
     case StatementKind::kSet:
       // Session settings are applied by the Database facade before binding.
       return Status::Internal("SET statements are handled by the engine facade");

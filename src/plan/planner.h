@@ -41,6 +41,11 @@ struct BoundStatement {
   /// ASSERT CONFIDENCE >= p threshold: set = check-only assertion (no
   /// conditioning); unset on a plain ASSERT / CONDITION ON.
   std::optional<double> assert_min_confidence;
+
+  /// CREATE INDEX / DROP INDEX: index name; for CREATE the indexed column
+  /// lives in index_column and the base table in table_name.
+  std::string index_name;
+  std::string index_column;
 };
 
 /// Binds any parsed statement against the catalog.

@@ -4,6 +4,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -117,8 +118,11 @@ void AppendPayload(std::string_view text, std::string* out) {
 
 }  // namespace
 
-Server::Server(SessionManager* manager, SessionOptions session_defaults)
-    : manager_(manager), session_defaults_(std::move(session_defaults)) {}
+Server::Server(SessionManager* manager, SessionOptions session_defaults,
+               size_t num_workers)
+    : manager_(manager),
+      session_defaults_(std::move(session_defaults)),
+      num_workers_(num_workers != 0 ? num_workers : kDefaultWorkers) {}
 
 Server::~Server() { Stop(); }
 
@@ -153,6 +157,10 @@ Status Server::Start(const std::string& socket_path) {
   socket_path_ = socket_path;
   listen_fd_ = fd;
   stopping_.store(false, std::memory_order_release);
+  workers_.reserve(num_workers_);
+  for (size_t i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
@@ -164,16 +172,20 @@ void Server::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
-  std::vector<std::unique_ptr<Connection>> conns;
+  // Wake idle workers, shut down in-service sockets so blocked reads
+  // return, and refuse whatever queued but was never picked up.
+  std::deque<int> never_served;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conns.swap(conns_);
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    never_served.swap(pending_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  for (auto& conn : conns) {
-    ::shutdown(conn->fd, SHUT_RDWR);
-    if (conn->thread.joinable()) conn->thread.join();
-    ::close(conn->fd);
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
   }
+  workers_.clear();
+  for (int fd : never_served) ::close(fd);
   ::unlink(socket_path_.c_str());
 }
 
@@ -189,39 +201,50 @@ void Server::AcceptLoop() {
       return;
     }
     accepted_.fetch_add(1, std::memory_order_relaxed);
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    Connection* raw = conn.get();
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    // Reap finished connections so a long-lived server does not grow a
-    // thread-handle list without bound.
-    for (size_t i = 0; i < conns_.size();) {
-      if (conns_[i]->done.load(std::memory_order_acquire)) {
-        if (conns_[i]->thread.joinable()) conns_[i]->thread.join();
-        ::close(conns_[i]->fd);
-        conns_.erase(conns_.begin() + i);
-      } else {
-        ++i;
-      }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      pending_.push_back(fd);
     }
-    conn->thread = std::thread([this, raw] { Serve(raw); });
-    conns_.push_back(std::move(conn));
+    queue_cv_.notify_one();
   }
 }
 
-void Server::Serve(Connection* conn) {
+void Server::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !pending_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (pending_.empty()) return;  // stopping, queue drained by Stop()
+      fd = pending_.front();
+      pending_.pop_front();
+      active_fds_.push_back(fd);
+    }
+    Serve(fd);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      active_fds_.erase(
+          std::find(active_fds_.begin(), active_fds_.end(), fd));
+    }
+    ::close(fd);
+  }
+}
+
+void Server::Serve(int fd) {
   std::unique_ptr<Session> session = manager_->CreateSession(session_defaults_);
   MetricsRegistry& metrics = manager_->metrics();
   metrics.Add(Counter::kServerConnections);
   std::string buffer, line;
-  while (RecvLine(conn->fd, &buffer, &line)) {
+  while (RecvLine(fd, &buffer, &line)) {
     metrics.Add(Counter::kServerRequests);
     metrics.Add(Counter::kServerBytesIn, line.size() + 1);
     std::string_view req = Trim(line);
     std::string reply;
     if (req == "\\q") {
       metrics.Add(Counter::kServerBytesOut, 7);  // "OK bye\n"
-      SendAll(conn->fd, "OK bye\n");
+      SendAll(fd, "OK bye\n");
       break;
     } else if (req == "\\d") {
       AppendPayload(manager_->Describe(&session->constraints()), &reply);
@@ -305,11 +328,10 @@ void Server::Serve(Connection* conn) {
       }
     }
     metrics.Add(Counter::kServerBytesOut, reply.size());
-    if (!SendAll(conn->fd, reply)) break;
+    if (!SendAll(fd, reply)) break;
   }
   // The session (its knobs, RNG stream, and evidence) dies with the
-  // connection; Stop() reclaims the fd and thread handle.
-  conn->done.store(true, std::memory_order_release);
+  // connection; the worker loop reclaims the fd.
 }
 
 Client::~Client() { Close(); }

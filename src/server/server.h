@@ -33,6 +33,14 @@
 // Sessions die with their connection; their evidence and knobs die with
 // them. The shared catalog lives as long as the SessionManager.
 //
+// Threading: a FIXED worker pool (not thread-per-connection). The accept
+// loop enqueues accepted sockets; each of N worker threads serves one
+// connection start-to-finish, then takes the next from the queue. A
+// burst of more than N concurrent connections therefore queues — the
+// extra clients block in connect/first-read until a worker frees up —
+// which bounds server-side thread count and memory under load. N is a
+// constructor knob (0 = kDefaultWorkers).
+//
 // Observability: the server counts connections, requests, and payload
 // bytes into the manager's MetricsRegistry (server.* metrics). These are
 // front-end counters owned by the server, always on — the per-session
@@ -40,6 +48,8 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -54,10 +64,15 @@ namespace maybms {
 
 class Server {
  public:
+  /// Worker threads when the constructor is passed 0.
+  static constexpr size_t kDefaultWorkers = 8;
+
   /// Serves sessions of `manager` (non-owning; must outlive the server).
   /// Every connection's session starts from `session_defaults` — the
-  /// server analogue of the shell's interactive defaults.
-  explicit Server(SessionManager* manager, SessionOptions session_defaults = {});
+  /// server analogue of the shell's interactive defaults. `num_workers`
+  /// sizes the fixed worker pool (0 = kDefaultWorkers).
+  explicit Server(SessionManager* manager, SessionOptions session_defaults = {},
+                  size_t num_workers = 0);
   ~Server();  // calls Stop()
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -77,25 +92,31 @@ class Server {
     return accepted_.load(std::memory_order_relaxed);
   }
 
- private:
-  struct Connection {
-    int fd = -1;
-    std::thread thread;
-    std::atomic<bool> done{false};
-  };
+  /// Size of the fixed worker pool.
+  size_t num_workers() const { return num_workers_; }
 
+ private:
   void AcceptLoop();
-  void Serve(Connection* conn);
+  /// Takes connections off the queue until Stop(); one at a time, each
+  /// served start-to-finish.
+  void WorkerLoop();
+  void Serve(int fd);
 
   SessionManager* manager_;
   SessionOptions session_defaults_;
+  const size_t num_workers_;
   std::string socket_path_;
   int listen_fd_ = -1;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> accepted_{0};
   std::thread accept_thread_;
-  std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Connection>> conns_;
+  std::vector<std::thread> workers_;
+  /// Guards the pending queue AND the in-service fd list. Stop() shuts
+  /// active sockets down through the latter so blocked reads return.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;
+  std::vector<int> active_fds_;
 };
 
 /// One parsed server response.

@@ -208,6 +208,9 @@ enum class StatementKind : uint8_t {
   kSet,           ///< SET <knob> = <value>: session execution settings
   kExplain,       ///< EXPLAIN [ANALYZE] <stmt>: plan / execution trace
   kShowStats,     ///< SHOW STATS [LIKE 'pat']: metrics-registry snapshot
+  kCreateIndex,   ///< CREATE INDEX <name> ON <table> (<column>)
+  kDropIndex,     ///< DROP INDEX [IF EXISTS] <name>
+  kShowIndexes,   ///< SHOW INDEXES: secondary-index catalog listing
 };
 
 struct Statement {
@@ -361,6 +364,30 @@ struct ShowStatsStmt : Statement {
   ShowStatsStmt() : Statement(StatementKind::kShowStats) {}
 
   std::string pattern;  ///< empty = all metrics
+};
+
+/// `CREATE INDEX <name> ON <table> (<column>)`: a single-column B+ tree
+/// secondary index (src/index/). Built eagerly; maintained incrementally
+/// on INSERT and rebuilt lazily after other DML (see index_manager.h).
+struct CreateIndexStmt : Statement {
+  CreateIndexStmt() : Statement(StatementKind::kCreateIndex) {}
+
+  std::string name;
+  std::string table;
+  std::string column;
+};
+
+struct DropIndexStmt : Statement {
+  DropIndexStmt() : Statement(StatementKind::kDropIndex) {}
+
+  std::string name;
+  bool if_exists = false;
+};
+
+/// `SHOW INDEXES`: one (index_name, table_name, column_name) row per
+/// registered secondary index, sorted by index name.
+struct ShowIndexesStmt : Statement {
+  ShowIndexesStmt() : Statement(StatementKind::kShowIndexes) {}
 };
 
 }  // namespace maybms

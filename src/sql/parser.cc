@@ -227,11 +227,14 @@ class Parser {
     return StatementPtr(std::move(stmt));
   }
 
-  /// `SHOW EVIDENCE` or `SHOW STATS [LIKE '<pattern>']`.
+  /// `SHOW EVIDENCE`, `SHOW STATS [LIKE '<pattern>']`, or `SHOW INDEXES`.
   Result<StatementPtr> ParseShow() {
     MAYBMS_RETURN_NOT_OK(ExpectWord("show"));
     if (AcceptWord("evidence")) {
       return StatementPtr(std::make_unique<ShowEvidenceStmt>());
+    }
+    if (AcceptWord("indexes") || AcceptWord("index")) {
+      return StatementPtr(std::make_unique<ShowIndexesStmt>());
     }
     if (AcceptWord("stats")) {
       auto stmt = std::make_unique<ShowStatsStmt>();
@@ -243,7 +246,7 @@ class Parser {
       }
       return StatementPtr(std::move(stmt));
     }
-    MAYBMS_RETURN_NOT_OK(Unexpected("EVIDENCE or STATS after SHOW"));
+    MAYBMS_RETURN_NOT_OK(Unexpected("EVIDENCE, STATS, or INDEXES after SHOW"));
     return Status::Internal("unreachable");
   }
 
@@ -269,6 +272,7 @@ class Parser {
 
   Result<StatementPtr> ParseCreate() {
     MAYBMS_RETURN_NOT_OK(ExpectWord("create"));
+    if (AcceptWord("index")) return ParseCreateIndexTail();
     MAYBMS_RETURN_NOT_OK(ExpectWord("table"));
     MAYBMS_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("table name"));
     if (AcceptWord("as")) {
@@ -286,6 +290,19 @@ class Parser {
       MAYBMS_ASSIGN_OR_RETURN(col.type, ParseTypeName());
       stmt->columns.push_back(std::move(col));
     } while (AcceptSymbol(","));
+    MAYBMS_RETURN_NOT_OK(ExpectSymbol(")"));
+    return StatementPtr(std::move(stmt));
+  }
+
+  /// `CREATE INDEX <name> ON <table> (<column>)` — "create index" already
+  /// consumed by ParseCreate.
+  Result<StatementPtr> ParseCreateIndexTail() {
+    auto stmt = std::make_unique<CreateIndexStmt>();
+    MAYBMS_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("index name"));
+    MAYBMS_RETURN_NOT_OK(ExpectWord("on"));
+    MAYBMS_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    MAYBMS_RETURN_NOT_OK(ExpectSymbol("("));
+    MAYBMS_ASSIGN_OR_RETURN(stmt->column, ExpectIdentifier("column name"));
     MAYBMS_RETURN_NOT_OK(ExpectSymbol(")"));
     return StatementPtr(std::move(stmt));
   }
@@ -377,6 +394,15 @@ class Parser {
 
   Result<StatementPtr> ParseDrop() {
     MAYBMS_RETURN_NOT_OK(ExpectWord("drop"));
+    if (AcceptWord("index")) {
+      auto stmt = std::make_unique<DropIndexStmt>();
+      if (AcceptWord("if")) {
+        MAYBMS_RETURN_NOT_OK(ExpectWord("exists"));
+        stmt->if_exists = true;
+      }
+      MAYBMS_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("index name"));
+      return StatementPtr(std::move(stmt));
+    }
     MAYBMS_RETURN_NOT_OK(ExpectWord("table"));
     auto stmt = std::make_unique<DropTableStmt>();
     if (AcceptWord("if")) {

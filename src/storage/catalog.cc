@@ -44,6 +44,7 @@ Status Catalog::DropTable(const std::string& name) {
   if (it == tables_.end()) {
     return Status::NotFound(StringFormat("table '%s' does not exist", name.c_str()));
   }
+  index_manager_->DropTableIndexes(it->second->name());
   tables_.erase(it);
   return Status::OK();
 }

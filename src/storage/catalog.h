@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/index/index_manager.h"
 #include "src/lineage/dtree_cache.h"
 #include "src/prob/world_table.h"
 #include "src/storage/table.h"
@@ -34,6 +35,7 @@ class Catalog {
 
   Result<TablePtr> GetTable(const std::string& name) const;
   bool HasTable(const std::string& name) const;
+  /// Drops the table AND every secondary index built over it.
   Status DropTable(const std::string& name);
 
   std::vector<std::string> TableNames() const;
@@ -57,11 +59,19 @@ class Catalog {
   DTreeCache& dtree_cache() { return *dtree_cache_; }
   const DTreeCache& dtree_cache() const { return *dtree_cache_; }
 
+  /// The secondary-index registry (src/index/index_manager.h). Owned here
+  /// for the same reason as the d-tree cache: index lifetimes match the
+  /// tables they cover, and DROP TABLE reaps both. Behind a unique_ptr
+  /// (per-index mutexes) so the Catalog stays movable.
+  IndexManager& index_manager() { return *index_manager_; }
+  const IndexManager& index_manager() const { return *index_manager_; }
+
  private:
   std::map<std::string, TablePtr> tables_;  // key: lower-cased name
   size_t snapshot_chunk_rows_ = Batch::kDefaultCapacity;
   WorldTable world_table_;
   std::unique_ptr<DTreeCache> dtree_cache_ = std::make_unique<DTreeCache>();
+  std::unique_ptr<IndexManager> index_manager_ = std::make_unique<IndexManager>();
 };
 
 }  // namespace maybms

@@ -1,0 +1,305 @@
+#include "src/storage/page.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/str_util.h"
+
+namespace maybms {
+
+// ---------------------------------------------------------------------------
+// Page
+// ---------------------------------------------------------------------------
+
+void Page::Init() {
+  PutU16(0, 0);   // slot count
+  PutU16(2, 16);  // free-space offset: heap starts after header + user area
+  std::memset(data_.data() + 4, 0, 12);
+}
+
+size_t Page::FreeSpace() const {
+  const size_t heap_end = U16(2);
+  const size_t dir_start = kPageSize - 4 * static_cast<size_t>(NumSlots());
+  return dir_start > heap_end ? dir_start - heap_end : 0;
+}
+
+bool Page::InsertRecordAt(uint16_t pos, std::string_view bytes) {
+  const uint16_t nslots = NumSlots();
+  if (pos > nslots) return false;
+  if (bytes.size() + 4 > FreeSpace()) return false;
+  const uint16_t off = U16(2);
+  std::memcpy(data_.data() + off, bytes.data(), bytes.size());
+  // Shift slots [pos, nslots) down by one directory entry. The directory
+  // grows backward, so slot i lives at kPageSize - 4*(i+1): moving the
+  // block 4 bytes toward the heap renumbers them i -> i+1.
+  uint8_t* dir_low = data_.data() + kPageSize - 4 * (nslots + 1);
+  if (nslots > pos) {
+    std::memmove(dir_low, dir_low + 4, 4 * static_cast<size_t>(nslots - pos));
+  }
+  const size_t slot_at = kPageSize - 4 * (static_cast<size_t>(pos) + 1);
+  PutU16(slot_at, off);
+  PutU16(slot_at + 2, static_cast<uint16_t>(bytes.size()));
+  PutU16(0, static_cast<uint16_t>(nslots + 1));
+  PutU16(2, static_cast<uint16_t>(off + bytes.size()));
+  return true;
+}
+
+std::string_view Page::Record(uint16_t slot) const {
+  const size_t slot_at = kPageSize - 4 * (static_cast<size_t>(slot) + 1);
+  const uint16_t off = U16(slot_at);
+  const uint16_t len = U16(slot_at + 2);
+  return std::string_view(reinterpret_cast<const char*>(data_.data()) + off, len);
+}
+
+// ---------------------------------------------------------------------------
+// FilePageStore
+// ---------------------------------------------------------------------------
+
+FilePageStore::~FilePageStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
+    const std::string& path, bool truncate) {
+  int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IoError(StringFormat("cannot open page file '%s': %s",
+                                        path.c_str(), std::strerror(errno)));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    Status s = Status::IoError(StringFormat("fstat('%s'): %s", path.c_str(),
+                                            std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  if (st.st_size % static_cast<off_t>(kPageSize) != 0) {
+    ::close(fd);
+    return Status::IoError(StringFormat(
+        "'%s' is not a page file (size %lld is not a multiple of %zu)",
+        path.c_str(), static_cast<long long>(st.st_size), kPageSize));
+  }
+  const PageId pages = static_cast<PageId>(st.st_size / kPageSize);
+  return std::unique_ptr<FilePageStore>(new FilePageStore(fd, path, pages));
+}
+
+Status FilePageStore::Read(PageId id, Page* out) {
+  if (id >= num_pages_) {
+    return Status::IoError(StringFormat("page %u out of range (%u pages)",
+                                        id, num_pages_));
+  }
+  size_t done = 0;
+  while (done < kPageSize) {
+    ssize_t n = ::pread(fd_, out->raw() + done, kPageSize - done,
+                        static_cast<off_t>(id) * kPageSize + done);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return Status::IoError(StringFormat("pread page %u: %s", id,
+                                          std::strerror(errno)));
+    }
+    if (n == 0) {
+      // Allocated-but-never-written tail: reads as zeroes.
+      std::memset(out->raw() + done, 0, kPageSize - done);
+      break;
+    }
+    done += static_cast<size_t>(n);
+  }
+  ++reads_;
+  return Status::OK();
+}
+
+Status FilePageStore::Write(PageId id, const Page& page) {
+  if (id >= num_pages_) {
+    return Status::IoError(StringFormat("page %u out of range (%u pages)",
+                                        id, num_pages_));
+  }
+  size_t done = 0;
+  while (done < kPageSize) {
+    ssize_t n = ::pwrite(fd_, page.raw() + done, kPageSize - done,
+                         static_cast<off_t>(id) * kPageSize + done);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return Status::IoError(StringFormat("pwrite page %u: %s", id,
+                                          std::strerror(errno)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  ++writes_;
+  return Status::OK();
+}
+
+Result<PageId> FilePageStore::Allocate() {
+  // The file extends lazily: the new page materializes on first Write (a
+  // Read before that returns zeroes via the short-read path above, but to
+  // keep fstat-reopens consistent we extend eagerly).
+  const PageId id = num_pages_;
+  if (::ftruncate(fd_, static_cast<off_t>(id + 1) * kPageSize) != 0) {
+    return Status::IoError(StringFormat("ftruncate to %u pages: %s", id + 1,
+                                        std::strerror(errno)));
+  }
+  ++num_pages_;
+  return id;
+}
+
+Status FilePageStore::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(StringFormat("fsync('%s'): %s", path_.c_str(),
+                                        std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// MemPageStore
+// ---------------------------------------------------------------------------
+
+Status MemPageStore::Read(PageId id, Page* out) {
+  if (id >= pages_.size()) {
+    return Status::IoError(StringFormat("page %u out of range (%zu pages)",
+                                        id, pages_.size()));
+  }
+  *out = *pages_[id];
+  ++reads_;
+  return Status::OK();
+}
+
+Status MemPageStore::Write(PageId id, const Page& page) {
+  if (id >= pages_.size()) {
+    return Status::IoError(StringFormat("page %u out of range (%zu pages)",
+                                        id, pages_.size()));
+  }
+  *pages_[id] = page;
+  ++writes_;
+  return Status::OK();
+}
+
+Result<PageId> MemPageStore::Allocate() {
+  auto page = std::make_unique<Page>();
+  std::memset(page->raw(), 0, kPageSize);
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    page_ = other.page_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+    other.id_ = kInvalidPageId;
+    other.dirty_ = false;
+  }
+  return *this;
+}
+
+void PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_, dirty_);
+    pool_ = nullptr;
+    page_ = nullptr;
+    id_ = kInvalidPageId;
+    dirty_ = false;
+  }
+}
+
+BufferPool::BufferPool(PageStore* store, size_t capacity)
+    : store_(store), capacity_(capacity == 0 ? 1 : capacity) {}
+
+BufferPool::~BufferPool() = default;
+
+Result<PageRef> BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    Frame& f = it->second;
+    ++f.pins;
+    f.last_used = ++tick_;
+    return PageRef(this, id, &f.page);
+  }
+  ++stats_.misses;
+  while (frames_.size() >= capacity_) {
+    MAYBMS_RETURN_NOT_OK(EvictOneLocked());
+  }
+  Frame& f = frames_[id];
+  MAYBMS_RETURN_NOT_OK(store_->Read(id, &f.page));
+  f.pins = 1;
+  f.dirty = false;
+  f.last_used = ++tick_;
+  return PageRef(this, id, &f.page);
+}
+
+Result<PageRef> BufferPool::New() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MAYBMS_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
+  while (frames_.size() >= capacity_) {
+    MAYBMS_RETURN_NOT_OK(EvictOneLocked());
+  }
+  Frame& f = frames_[id];
+  std::memset(f.page.raw(), 0, kPageSize);
+  f.pins = 1;
+  f.dirty = true;  // a fresh page only exists in the pool until written back
+  f.last_used = ++tick_;
+  return PageRef(this, id, &f.page);
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, frame] : frames_) {
+    if (!frame.dirty) continue;
+    MAYBMS_RETURN_NOT_OK(store_->Write(id, frame.page));
+    frame.dirty = false;
+    ++stats_.writebacks;
+  }
+  return Status::OK();
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;  // defensive; pins keep frames resident
+  Frame& f = it->second;
+  if (f.pins > 0) --f.pins;
+  if (dirty) f.dirty = true;
+}
+
+Status BufferPool::EvictOneLocked() {
+  auto victim = frames_.end();
+  for (auto it = frames_.begin(); it != frames_.end(); ++it) {
+    if (it->second.pins > 0) continue;
+    if (victim == frames_.end() ||
+        it->second.last_used < victim->second.last_used) {
+      victim = it;
+    }
+  }
+  if (victim == frames_.end()) {
+    return Status::Internal(StringFormat(
+        "buffer pool exhausted: all %zu frames pinned", capacity_));
+  }
+  if (victim->second.dirty) {
+    MAYBMS_RETURN_NOT_OK(store_->Write(victim->first, victim->second.page));
+    ++stats_.writebacks;
+  }
+  ++stats_.evictions;
+  frames_.erase(victim);
+  return Status::OK();
+}
+
+}  // namespace maybms

@@ -1,0 +1,268 @@
+// Paged storage primitives: fixed-size slotted pages, page stores (file-
+// backed and in-memory), and a pinning BufferPool with LRU eviction.
+//
+// The original MayBMS lives inside PostgreSQL, so U-relations sit in
+// ordinary heap pages behind a buffer manager (paper §2.3-§2.4). This is
+// that layer for the reproduction: binary database persistence
+// (src/storage/persist.h) writes table rows as slotted records through a
+// BufferPool over a FilePageStore, and the B+ tree secondary indexes
+// (src/index/bplus_tree.h) keep their nodes in pages of either store —
+// MemPageStore for live in-memory indexes, FilePageStore when a tree is
+// built against a database file.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace maybms {
+
+/// Page size in bytes. 8 KiB, PostgreSQL's default block size.
+inline constexpr size_t kPageSize = 8192;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// One fixed-size slotted page.
+///
+/// Layout:
+///   [0..2)   uint16 slot count
+///   [2..4)   uint16 free-space offset (end of the record heap)
+///   [4..16)  12 user bytes (node metadata for B+ tree pages; unused by
+///            plain record pages)
+///   [16..free_off)                 record heap, grows forward
+///   [kPageSize - 4*nslots .. end)  slot directory, grows backward; slot i
+///            occupies the 4 bytes at kPageSize - 4*(i+1): uint16 offset,
+///            uint16 length
+///
+/// The slot directory is the indirection that keeps records logically
+/// ordered while the heap stays append-only: InsertRecordAt() shifts only
+/// 4-byte slot entries, never record bytes. There is no per-record delete —
+/// the callers here rebuild pages wholesale (B+ tree node splits copy into
+/// fresh pages; persistence writes pages once).
+class Page {
+ public:
+  /// Bytes available for records + slots on a freshly Init()ed page.
+  static constexpr size_t kCapacity = kPageSize - 16;
+  /// Largest record InsertRecordAt can ever accept (its 4-byte slot
+  /// included). Callers with bigger payloads must chain overflow pages.
+  static constexpr size_t kMaxRecord = kCapacity - 4;
+
+  /// Formats the page as an empty slotted page (zeroes the user area).
+  void Init();
+
+  uint16_t NumSlots() const { return U16(0); }
+
+  /// Contiguous bytes still available for one more record plus its slot.
+  size_t FreeSpace() const;
+
+  /// True iff a record of `n` bytes (plus its slot entry) fits.
+  bool Fits(size_t n) const { return n + 4 <= FreeSpace(); }
+
+  /// Inserts a record so it becomes slot `pos` (existing slots at >= pos
+  /// shift up by one). Returns false — page unchanged — if it doesn't fit.
+  bool InsertRecordAt(uint16_t pos, std::string_view bytes);
+
+  /// Appends a record as the last slot.
+  bool AppendRecord(std::string_view bytes) {
+    return InsertRecordAt(NumSlots(), bytes);
+  }
+
+  std::string_view Record(uint16_t slot) const;
+
+  /// The 12-byte caller-owned metadata area.
+  uint8_t* user() { return data_.data() + 4; }
+  const uint8_t* user() const { return data_.data() + 4; }
+
+  uint8_t* raw() { return data_.data(); }
+  const uint8_t* raw() const { return data_.data(); }
+
+ private:
+  uint16_t U16(size_t off) const {
+    uint16_t v;
+    std::memcpy(&v, data_.data() + off, 2);
+    return v;
+  }
+  void PutU16(size_t off, uint16_t v) { std::memcpy(data_.data() + off, &v, 2); }
+
+  std::array<uint8_t, kPageSize> data_;
+};
+
+static_assert(sizeof(Page) == kPageSize);
+
+/// Abstract page storage: the durable (or backing) array of pages the
+/// BufferPool caches. Implementations count physical reads/writes so
+/// benchmarks and tests can observe real I/O.
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+
+  virtual Status Read(PageId id, Page* out) = 0;
+  virtual Status Write(PageId id, const Page& page) = 0;
+  /// Extends the store by one (zeroed) page and returns its id.
+  virtual Result<PageId> Allocate() = 0;
+  virtual PageId num_pages() const = 0;
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ protected:
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+/// File-backed page store: page i lives at byte offset i * kPageSize.
+/// pread/pwrite, no caching of its own — that is the BufferPool's job.
+class FilePageStore final : public PageStore {
+ public:
+  ~FilePageStore() override;
+
+  /// Opens (creating if absent) a page file. `truncate` starts it empty.
+  static Result<std::unique_ptr<FilePageStore>> Open(const std::string& path,
+                                                     bool truncate);
+
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, const Page& page) override;
+  Result<PageId> Allocate() override;
+  PageId num_pages() const override { return num_pages_; }
+
+  /// fsync — binary persistence calls it once after the final flush.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FilePageStore(int fd, std::string path, PageId num_pages)
+      : fd_(fd), path_(std::move(path)), num_pages_(num_pages) {}
+
+  int fd_ = -1;
+  std::string path_;
+  PageId num_pages_ = 0;
+};
+
+/// In-memory page store: the backing array for live B+ tree indexes (and
+/// for eviction tests that want store traffic without a filesystem).
+class MemPageStore final : public PageStore {
+ public:
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, const Page& page) override;
+  Result<PageId> Allocate() override;
+  PageId num_pages() const override {
+    return static_cast<PageId>(pages_.size());
+  }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+};
+
+/// Buffer-pool traffic counters. Snapshot via BufferPool::stats(); callers
+/// that report to the MetricsRegistry fold before/after deltas
+/// (src/obs/metrics.h bufpool.* counters).
+struct BufferPoolStats {
+  uint64_t hits = 0;        ///< fetches served from a resident frame
+  uint64_t misses = 0;      ///< fetches that read from the store
+  uint64_t evictions = 0;   ///< frames evicted to make room
+  uint64_t writebacks = 0;  ///< dirty frames written back on eviction/flush
+};
+
+class BufferPool;
+
+/// RAII pin on a buffer-pool frame. While alive the page is resident and
+/// its address stable; destruction unpins. Mark dirty before releasing if
+/// the page bytes were modified.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef& operator=(PageRef&& other) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef() { Release(); }
+
+  Page* page() const { return page_; }
+  PageId id() const { return id_; }
+  /// Marks the frame dirty when this pin is released (so the pool writes
+  /// it back before eviction). The pin itself stays live.
+  void MarkDirty() { dirty_ = true; }
+  /// Explicit early unpin (destructor does the same).
+  void Release();
+
+  explicit operator bool() const { return page_ != nullptr; }
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, PageId id, Page* page)
+      : pool_(pool), id_(id), page_(page) {}
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+/// A fixed-capacity cache of store pages with pin counts and LRU eviction.
+///
+/// Fetch() pins: pinned frames are never evicted and their Page address is
+/// stable until the PageRef dies. When the pool is full an unpinned frame
+/// with the oldest last-use tick is evicted (written back first when
+/// dirty); fetching with every frame pinned is an error, not a deadlock.
+///
+/// Thread safety: the frame table and LRU bookkeeping are mutex-guarded,
+/// so concurrent Fetch/unpin calls are safe. Page CONTENT is caller-
+/// synchronized — the index layer serializes access per tree, persistence
+/// is single-threaded.
+class BufferPool {
+ public:
+  /// `store` is non-owning and must outlive the pool. `capacity` is the
+  /// maximum number of resident frames (>= 1).
+  BufferPool(PageStore* store, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from the store on a miss.
+  Result<PageRef> Fetch(PageId id);
+
+  /// Allocates a fresh store page and returns it pinned and dirty (the
+  /// caller formats it; it reaches the store on eviction/flush).
+  Result<PageRef> New();
+
+  /// Writes every dirty resident frame back to the store.
+  Status FlushAll();
+
+  size_t capacity() const { return capacity_; }
+  PageStore* store() const { return store_; }
+  BufferPoolStats stats() const;
+
+ private:
+  friend class PageRef;
+
+  struct Frame {
+    Page page;
+    int pins = 0;
+    bool dirty = false;
+    uint64_t last_used = 0;
+  };
+
+  void Unpin(PageId id, bool dirty);
+  /// Evicts the LRU unpinned frame; pool mutex held.
+  Status EvictOneLocked();
+
+  PageStore* store_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<PageId, Frame> frames_;
+  uint64_t tick_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace maybms

@@ -8,6 +8,16 @@
 // relational representation serialized: each row's condition is a list of
 // (variable, assignment) integer pairs and the world table is a ternary
 // relation (variable, assignment, probability).
+//
+// Two on-disk formats share one API:
+//   - The BINARY PAGED format (magic "MAYBMSP1", page 0 byte 0) writes
+//     rows as slotted records in 8 KiB pages through a BufferPool over a
+//     FilePageStore (src/storage/page.h) — the format SaveDatabaseToFile
+//     produces. Index definitions persist with the data and are
+//     re-registered (lazily rebuilt on first use) at load.
+//   - The TEXT dump (magic line "MAYBMS DUMP v1") remains fully supported
+//     for import: LoadDatabaseFromFile sniffs the magic and routes to the
+//     right reader, so pre-paged-storage dumps keep loading.
 #pragma once
 
 #include <string>
@@ -27,9 +37,24 @@ class ConstraintStore;
 std::string DumpDatabase(const Catalog& catalog,
                          const ConstraintStore* evidence = nullptr);
 
-/// Writes DumpDatabase() to a file.
+/// Writes the database to `path` in the binary paged format.
 Status SaveDatabaseToFile(const Catalog& catalog, const std::string& path,
                           const ConstraintStore* evidence = nullptr);
+
+/// Binary paged writer (what SaveDatabaseToFile calls): rows as slotted
+/// records behind a small BufferPool, oversize rows in overflow page
+/// chains, metadata (world table, schemas, index definitions, evidence)
+/// in a trailing stream, the page-0 header written last.
+Status SaveDatabaseBinary(const Catalog& catalog, const std::string& path,
+                          const ConstraintStore* evidence = nullptr);
+
+/// Binary paged reader. The catalog must be fresh (as RestoreDatabase).
+Status LoadDatabaseBinary(const std::string& path, Catalog* catalog,
+                          ConstraintStore* evidence = nullptr);
+
+/// Writes DumpDatabase() — the TEXT format — to a file.
+Status SaveDatabaseText(const Catalog& catalog, const std::string& path,
+                        const ConstraintStore* evidence = nullptr);
 
 /// Restores a dump into `catalog`. The catalog must be fresh: no tables
 /// and an empty world table (variable ids in conditions are dense indexes
@@ -39,7 +64,8 @@ Status SaveDatabaseToFile(const Catalog& catalog, const std::string& path,
 Status RestoreDatabase(const std::string& dump, Catalog* catalog,
                        ConstraintStore* evidence = nullptr);
 
-/// Reads a dump file and restores it.
+/// Reads a database file and restores it, sniffing the format from the
+/// leading magic: binary paged files and text dumps both load.
 Status LoadDatabaseFromFile(const std::string& path, Catalog* catalog,
                             ConstraintStore* evidence = nullptr);
 

@@ -86,6 +86,17 @@ GUARDED_CASES = [
     # overhead included).
     ("optimizer", "star_optimized"),
     ("optimizer", "chain_optimized"),
+    # Paged storage engine (ISSUE 10): indexed point lookups and narrow
+    # range scans through B+ tree access paths, plus the binary paged
+    # save/load round trip under a deliberately small 64-frame buffer
+    # pool. The binary self-checks indexed/scan answers bit-identical
+    # across both engines and enforces the >= 10x point-lookup speedup
+    # floor, exiting non-zero on either; this guard watches the absolute
+    # indexed-path and persistence latencies.
+    ("paged_storage", "point_lookup_indexed"),
+    ("paged_storage", "range_scan_indexed"),
+    ("paged_storage", "persist_save"),
+    ("paged_storage", "persist_load"),
 ]
 
 # Effectiveness guard (ISSUE 8): cache hit rates from the benches' embedded
